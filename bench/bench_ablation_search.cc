@@ -1,0 +1,242 @@
+// Ablations of the design choices DESIGN.md calls out (not in the paper):
+//
+//   A. Candidate-filter width p (the paper fixes p = 3): accuracy and
+//      search effort for p in {1, 2, 3, 5, unlimited}.
+//   B. Search algorithm: exhaustive branch-and-bound (the paper's) vs
+//      greedy vs graduated assignment, accuracy and effort.
+//   C. Normal-metric alpha sweep beyond the paper's {1, 4, 7} on the
+//      partial task (precision/recall trade-off curve).
+//   D. Null policy: null-as-symbol (default, matches the paper's entropy
+//      signatures) vs drop-nulls, on the null-heavy lab data.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/eval/experiment.h"
+#include "depmatch/eval/report.h"
+#include "depmatch/eval/accuracy.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/match/mapping_ops.h"
+#include "depmatch/match/matcher.h"
+#include "depmatch/common/rng.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+using depmatch::Cardinality;
+using depmatch::FormatPercent;
+using depmatch::MatchAlgorithm;
+using depmatch::MetricKind;
+using depmatch::NullPolicy;
+using depmatch::StrFormat;
+using depmatch::SubsetExperimentConfig;
+using depmatch::TextTable;
+using depmatch::benchutil::GraphPair;
+using depmatch::benchutil::Knobs;
+
+SubsetExperimentConfig OneToOneConfig(size_t width, const Knobs& knobs,
+                                      uint64_t seed) {
+  SubsetExperimentConfig config;
+  config.match.cardinality = Cardinality::kOneToOne;
+  config.match.metric = MetricKind::kMutualInfoEuclidean;
+  config.match.candidates_per_attribute = 3;
+  config.source_size = width;
+  config.target_size = width;
+  config.iterations = knobs.iterations;
+  config.num_threads = knobs.num_threads;
+  config.seed = seed;
+  return config;
+}
+
+void AblationCandidateFilter(const GraphPair& pair, const Knobs& knobs) {
+  std::printf("Ablation A: candidate-filter width p (one-to-one, MI "
+              "Euclidean, lab data, %zu iterations)\n\n",
+              knobs.iterations);
+  TextTable table;
+  table.SetHeader({"width", "p=1", "p=2", "p=3 (paper)", "p=5",
+                   "unlimited", "nodes p=3", "nodes unlimited"});
+  for (size_t width : {8, 14, 20}) {
+    std::vector<std::string> row = {std::to_string(width)};
+    uint64_t nodes_p3 = 0;
+    uint64_t nodes_unlimited = 0;
+    for (size_t p : {size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                     size_t{0}}) {
+      SubsetExperimentConfig config =
+          OneToOneConfig(width, knobs, 7000 + width);
+      config.match.candidates_per_attribute = p;
+      auto stats = RunSubsetExperiment(pair.g1, pair.g2, config);
+      if (!stats.ok()) {
+        row.push_back("err");
+        continue;
+      }
+      row.push_back(FormatPercent(stats->mean_precision));
+      if (p == 3) nodes_p3 = stats->total_nodes_explored;
+      if (p == 0) nodes_unlimited = stats->total_nodes_explored;
+    }
+    row.push_back(StrFormat("%llu",
+                            static_cast<unsigned long long>(nodes_p3)));
+    row.push_back(StrFormat(
+        "%llu", static_cast<unsigned long long>(nodes_unlimited)));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void AblationAlgorithm(const GraphPair& pair, const Knobs& knobs) {
+  std::printf("Ablation B: search algorithm (one-to-one, MI Euclidean, lab "
+              "data, %zu iterations)\n\n",
+              knobs.iterations);
+  TextTable table;
+  table.SetHeader({"width", "exhaustive B&B", "greedy",
+                   "graduated assignment"});
+  for (size_t width : {6, 10, 14, 18}) {
+    std::vector<std::string> row = {std::to_string(width)};
+    for (MatchAlgorithm algorithm :
+         {MatchAlgorithm::kExhaustive, MatchAlgorithm::kGreedy,
+          MatchAlgorithm::kGraduatedAssignment}) {
+      SubsetExperimentConfig config =
+          OneToOneConfig(width, knobs, 7100 + width);
+      config.match.algorithm = algorithm;
+      auto stats = RunSubsetExperiment(pair.g1, pair.g2, config);
+      row.push_back(stats.ok() ? FormatPercent(stats->mean_precision)
+                               : "err");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void AblationAlphaSweep(const GraphPair& pair, const Knobs& knobs) {
+  std::printf("Ablation C: normal-metric alpha sweep (partial 12x12, 6 "
+              "true matches, MI, lab data, %zu iterations)\n\n",
+              knobs.iterations);
+  TextTable table;
+  table.SetHeader({"alpha", "precision", "recall", "produced pairs"});
+  for (double alpha : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0}) {
+    SubsetExperimentConfig config;
+    config.match.cardinality = Cardinality::kPartial;
+    config.match.metric = MetricKind::kMutualInfoNormal;
+    config.match.alpha = alpha;
+    config.match.candidates_per_attribute = 3;
+    config.source_size = 12;
+    config.target_size = 12;
+    config.overlap = 6;
+    config.iterations = knobs.iterations;
+    config.num_threads = knobs.num_threads;
+    config.seed = 7200;
+    auto stats = RunSubsetExperiment(pair.g1, pair.g2, config);
+    if (!stats.ok()) {
+      table.AddRow({StrFormat("%.1f", alpha), "err", "err", "err"});
+      continue;
+    }
+    table.AddRow({StrFormat("%.1f", alpha),
+                  FormatPercent(stats->mean_precision),
+                  FormatPercent(stats->mean_recall),
+                  StrFormat("%.1f", stats->mean_produced_pairs)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void AblationNullPolicy(const Knobs& knobs) {
+  std::printf("Ablation D: null policy on the null-heavy lab data "
+              "(one-to-one, MI Euclidean, %zu iterations)\n\n",
+              knobs.iterations);
+  // Rebuild the lab graphs under each policy.
+  depmatch::benchutil::TablePair tables =
+      depmatch::benchutil::BuildLabTables(10000, 7);
+  TextTable table;
+  table.SetHeader({"width", "null-as-symbol (default)", "drop-nulls"});
+
+  GraphPair pairs[2];
+  for (int policy = 0; policy < 2; ++policy) {
+    depmatch::DependencyGraphOptions options;
+    options.stats.null_policy = policy == 0 ? NullPolicy::kNullAsSymbol
+                                            : NullPolicy::kDropNulls;
+    pairs[policy] = {
+        depmatch::BuildDependencyGraph(tables.t1, options).value(),
+        depmatch::BuildDependencyGraph(tables.t2, options).value()};
+  }
+  for (size_t width : {8, 14, 20}) {
+    std::vector<std::string> row = {std::to_string(width)};
+    for (int policy = 0; policy < 2; ++policy) {
+      SubsetExperimentConfig config =
+          OneToOneConfig(width, knobs, 7300 + width);
+      auto stats =
+          RunSubsetExperiment(pairs[policy].g1, pairs[policy].g2, config);
+      row.push_back(stats.ok() ? FormatPercent(stats->mean_precision)
+                               : "err");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void AblationConsensus(const GraphPair& pair, const Knobs& knobs) {
+  std::printf("Ablation E: consensus voting across metrics (one-to-one, "
+              "lab data, %zu iterations)\n\n",
+              knobs.iterations);
+  std::vector<depmatch::MatchOptions> configs(3);
+  configs[0].metric = MetricKind::kMutualInfoEuclidean;
+  configs[1].metric = MetricKind::kMutualInfoNormal;
+  configs[2].metric = MetricKind::kEntropyEuclidean;
+  for (auto& config : configs) config.candidates_per_attribute = 3;
+
+  TextTable table;
+  table.SetHeader({"width", "MI Euclidean alone", "consensus >=2 of 3",
+                   "consensus pairs/width"});
+  for (size_t width : {8, 14, 20}) {
+    double single = 0.0;
+    double consensus_precision = 0.0;
+    double consensus_pairs = 0.0;
+    size_t completed = 0;
+    for (size_t i = 0; i < knobs.iterations; ++i) {
+      depmatch::Rng rng(7400 + width * 977 + i);
+      std::vector<size_t> attrs =
+          rng.SampleWithoutReplacement(pair.g1.size(), width);
+      std::vector<size_t> target_attrs = attrs;
+      rng.Shuffle(target_attrs);
+      auto source = pair.g1.SubGraph(attrs);
+      auto target = pair.g2.SubGraph(target_attrs);
+      if (!source.ok() || !target.ok()) continue;
+      std::vector<depmatch::MatchPair> truth;
+      for (size_t s = 0; s < width; ++s) {
+        for (size_t t = 0; t < width; ++t) {
+          if (target_attrs[t] == attrs[s]) truth.push_back({s, t});
+        }
+      }
+      auto single_result =
+          MatchGraphs(source.value(), target.value(), configs[0]);
+      auto voted = ConsensusMatch(source.value(), target.value(), configs,
+                                  /*min_votes=*/2);
+      if (!single_result.ok() || !voted.ok()) continue;
+      ++completed;
+      single +=
+          ComputeAccuracy(single_result->pairs, truth).precision;
+      depmatch::Accuracy consensus_accuracy =
+          ComputeAccuracy(voted->pairs, truth);
+      consensus_precision += consensus_accuracy.precision;
+      consensus_pairs += static_cast<double>(voted->pairs.size()) /
+                         static_cast<double>(width);
+    }
+    if (completed == 0) continue;
+    double n = static_cast<double>(completed);
+    table.AddRow({std::to_string(width), FormatPercent(single / n),
+                  FormatPercent(consensus_precision / n),
+                  FormatPercent(consensus_pairs / n)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Knobs knobs = depmatch::benchutil::KnobsFromEnv(/*default_iterations=*/30);
+  GraphPair lab = depmatch::benchutil::BuildLabPair(10000, /*seed=*/7);
+  AblationCandidateFilter(lab, knobs);
+  AblationAlgorithm(lab, knobs);
+  AblationAlphaSweep(lab, knobs);
+  AblationNullPolicy(knobs);
+  AblationConsensus(lab, knobs);
+  return 0;
+}

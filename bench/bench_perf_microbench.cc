@@ -1,0 +1,201 @@
+// Performance microbenchmarks (google-benchmark): the building blocks of
+// the two-step algorithm.
+//
+//   BM_MutualInformation/<rows>/<alphabet>   one pairwise MI estimate
+//   BM_BuildDependencyGraph/<attrs>          Table2DepGraph, 10K rows
+//   BM_ExhaustiveMatch/<width>               one-to-one B&B, p=3 filter
+//   BM_GreedyMatch/<width>
+//   BM_GraduatedAssignment/<width>
+//
+// These quantify the costs the paper works around (its exhaustive runs
+// took ~5 hours across workstations; the candidate filter plus
+// branch-and-bound keeps one match call far below that).
+
+#include <benchmark/benchmark.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/graduated_assignment.h"
+#include "depmatch/match/annealing_matcher.h"
+#include "depmatch/match/greedy_matcher.h"
+#include "depmatch/match/hungarian_matcher.h"
+#include "depmatch/stats/entropy.h"
+
+namespace depmatch {
+namespace {
+
+// Correlated column pair with the given alphabet.
+std::pair<Column, Column> MakeColumns(size_t rows, size_t alphabet) {
+  Rng rng(1);
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    int64_t xv = static_cast<int64_t>(rng.NextBounded(alphabet));
+    int64_t yv = rng.NextBernoulli(0.7)
+                     ? (xv * 31 + 7) % static_cast<int64_t>(alphabet)
+                     : static_cast<int64_t>(rng.NextBounded(alphabet));
+    x.Append(Value(xv));
+    y.Append(Value(yv));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+void BM_MutualInformation(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t alphabet = static_cast<size_t>(state.range(1));
+  auto [x, y] = MakeColumns(rows, alphabet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualInformation(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_MutualInformation)
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({10000, 256})
+    ->Args({10000, 4096})
+    ->Args({100000, 256});
+
+Table MakeChainTable(size_t attrs, size_t rows) {
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < attrs; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 64 + (i % 7) * 50;
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.3;
+    }
+    spec.attributes.push_back(attr);
+  }
+  return datagen::GenerateBayesNet(spec, rows, 2).value();
+}
+
+void BM_BuildDependencyGraph(benchmark::State& state) {
+  size_t attrs = static_cast<size_t>(state.range(0));
+  Table table = MakeChainTable(attrs, 10000);
+  for (auto _ : state) {
+    auto graph = BuildDependencyGraph(table);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(attrs * attrs));
+}
+BENCHMARK(BM_BuildDependencyGraph)->Arg(5)->Arg(10)->Arg(20)->Arg(30);
+
+// Two related dependency graphs for matcher benchmarks.
+struct MatchFixture {
+  DependencyGraph g1;
+  DependencyGraph g2;
+};
+
+MatchFixture MakeMatchFixture(size_t width) {
+  Rng rng(3);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m1(width, std::vector<double>(width));
+  std::vector<std::vector<double>> m2(width, std::vector<double>(width));
+  for (size_t i = 0; i < width; ++i) {
+    names.push_back("n" + std::to_string(i));
+    double h = 1.0 + rng.NextDouble() * 9.0;
+    m1[i][i] = h;
+    m2[i][i] = h * (1.0 + 0.05 * (rng.NextDouble() - 0.5));
+  }
+  for (size_t i = 0; i < width; ++i) {
+    for (size_t j = i + 1; j < width; ++j) {
+      double v = rng.NextDouble() * std::min(m1[i][i], m1[j][j]) * 0.4;
+      m1[i][j] = m1[j][i] = v;
+      double w = v * (1.0 + 0.05 * (rng.NextDouble() - 0.5));
+      m2[i][j] = m2[j][i] = w;
+    }
+  }
+  return {DependencyGraph::Create(names, m1).value(),
+          DependencyGraph::Create(names, m2).value()};
+}
+
+MatchOptions BenchOptions() {
+  MatchOptions options;
+  options.cardinality = Cardinality::kOneToOne;
+  options.metric = MetricKind::kMutualInfoEuclidean;
+  options.candidates_per_attribute = 3;
+  return options;
+}
+
+void BM_ExhaustiveMatch(benchmark::State& state) {
+  MatchFixture fixture = MakeMatchFixture(
+      static_cast<size_t>(state.range(0)));
+  MatchOptions options = BenchOptions();
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto result = ExhaustiveMatch(fixture.g1, fixture.g2, options);
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) nodes = result->nodes_explored;
+  }
+  state.counters["search_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_ExhaustiveMatch)->Arg(5)->Arg(10)->Arg(15)->Arg(20)->Arg(25);
+
+void BM_GreedyMatch(benchmark::State& state) {
+  MatchFixture fixture = MakeMatchFixture(
+      static_cast<size_t>(state.range(0)));
+  MatchOptions options = BenchOptions();
+  options.algorithm = MatchAlgorithm::kGreedy;
+  for (auto _ : state) {
+    auto result = GreedyMatch(fixture.g1, fixture.g2, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyMatch)->Arg(5)->Arg(10)->Arg(20)->Arg(25);
+
+void BM_GraduatedAssignment(benchmark::State& state) {
+  MatchFixture fixture = MakeMatchFixture(
+      static_cast<size_t>(state.range(0)));
+  MatchOptions options = BenchOptions();
+  options.algorithm = MatchAlgorithm::kGraduatedAssignment;
+  for (auto _ : state) {
+    auto result =
+        GraduatedAssignmentMatch(fixture.g1, fixture.g2, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GraduatedAssignment)->Arg(5)->Arg(10)->Arg(20)->Arg(25);
+
+void BM_HungarianMatch(benchmark::State& state) {
+  MatchFixture fixture = MakeMatchFixture(
+      static_cast<size_t>(state.range(0)));
+  MatchOptions options = BenchOptions();
+  options.algorithm = MatchAlgorithm::kHungarian;
+  options.metric = MetricKind::kEntropyEuclidean;
+  for (auto _ : state) {
+    auto result = HungarianMatch(fixture.g1, fixture.g2, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HungarianMatch)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_AnnealingMatch(benchmark::State& state) {
+  MatchFixture fixture = MakeMatchFixture(
+      static_cast<size_t>(state.range(0)));
+  MatchOptions options = BenchOptions();
+  options.algorithm = MatchAlgorithm::kSimulatedAnnealing;
+  for (auto _ : state) {
+    auto result = AnnealingMatch(fixture.g1, fixture.g2, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AnnealingMatch)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_EntropyOf(benchmark::State& state) {
+  auto [x, y] = MakeColumns(static_cast<size_t>(state.range(0)), 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EntropyOf(x));
+  }
+}
+BENCHMARK(BM_EntropyOf)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace depmatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+#include "depmatch/common/logging.h"
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace benchutil {
+namespace {
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  auto parsed = ParseInt64(raw);
+  if (!parsed.has_value() || *parsed <= 0) return fallback;
+  return static_cast<size_t>(*parsed);
+}
+
+// Projects `table` onto `kUniverseSize` attributes drawn (seeded) from
+// `pool`, then samples `sample_rows` tuples.
+Table UniverseSample(const Table& table, const std::vector<size_t>& pool,
+                     size_t sample_rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> chosen_positions =
+      rng.SampleWithoutReplacement(pool.size(),
+                                   std::min(kUniverseSize, pool.size()));
+  std::vector<size_t> attrs;
+  attrs.reserve(chosen_positions.size());
+  for (size_t position : chosen_positions) attrs.push_back(pool[position]);
+  Result<Table> projected = ProjectColumns(table, attrs);
+  DEPMATCH_CHECK(projected.ok());
+  return SampleRows(projected.value(), sample_rows, rng);
+}
+
+DependencyGraph BuildGraph(const Table& table) {
+  Result<DependencyGraph> graph = BuildDependencyGraph(table);
+  DEPMATCH_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace
+
+Knobs KnobsFromEnv(size_t default_iterations) {
+  Knobs knobs;
+  knobs.iterations = EnvSizeOr("DEPMATCH_ITERS", default_iterations);
+  knobs.num_threads = EnvSizeOr("DEPMATCH_THREADS", 1);
+  return knobs;
+}
+
+TablePair BuildLabTables(size_t sample_rows, uint64_t seed) {
+  datagen::LabExamConfig config;
+  config.num_rows = 50000;
+  Result<Table> lab = datagen::MakeLabExamTable(config, seed);
+  DEPMATCH_CHECK(lab.ok());
+  // Range-partition by exam date (column 0), as the paper does.
+  Result<RangePartitionResult> parts =
+      RangePartitionAtMedian(lab.value(), 0);
+  DEPMATCH_CHECK(parts.ok());
+
+  // The matchable universe is the 44 test attributes (no date).
+  std::vector<size_t> tests;
+  for (size_t c = 1; c < lab->num_attributes(); ++c) tests.push_back(c);
+
+  TablePair pair;
+  // Both halves use the SAME attribute subset (same seed for the draw)
+  // but independent row samples.
+  pair.t1 = UniverseSample(parts->low, tests, sample_rows, seed ^ 0x11);
+  pair.t2 = UniverseSample(parts->high, tests, sample_rows, seed ^ 0x11);
+  return pair;
+}
+
+GraphPair BuildLabPair(size_t sample_rows, uint64_t seed) {
+  TablePair tables = BuildLabTables(sample_rows, seed);
+  return {BuildGraph(tables.t1), BuildGraph(tables.t2)};
+}
+
+TablePair BuildCensusTables(size_t sample_rows, uint64_t seed) {
+  datagen::CensusConfig config;
+  config.num_rows = 12000;
+  config.epoch = 0;
+  Result<Table> ny = datagen::MakeCensusTable(config, seed * 2 + 1);
+  config.epoch = 1;
+  Result<Table> ca = datagen::MakeCensusTable(config, seed * 2 + 2);
+  DEPMATCH_CHECK(ny.ok());
+  DEPMATCH_CHECK(ca.ok());
+
+  std::vector<size_t> pool;
+  for (size_t c = 0; c < ny->num_attributes(); ++c) pool.push_back(c);
+
+  TablePair pair;
+  pair.t1 = UniverseSample(ny.value(), pool, sample_rows, seed ^ 0x22);
+  pair.t2 = UniverseSample(ca.value(), pool, sample_rows, seed ^ 0x22);
+  return pair;
+}
+
+GraphPair BuildCensusPair(size_t sample_rows, uint64_t seed) {
+  TablePair tables = BuildCensusTables(sample_rows, seed);
+  return {BuildGraph(tables.t1), BuildGraph(tables.t2)};
+}
+
+const std::vector<MethodSpec>& StandardMethods() {
+  static const std::vector<MethodSpec>& methods =
+      *new std::vector<MethodSpec>{
+          {"MI Euclidean", MetricKind::kMutualInfoEuclidean, 3.0},
+          {"MI Normal(3.0)", MetricKind::kMutualInfoNormal, 3.0},
+          {"ET Euclidean", MetricKind::kEntropyEuclidean, 3.0},
+          {"ET Normal(3.0)", MetricKind::kEntropyNormal, 3.0},
+      };
+  return methods;
+}
+
+}  // namespace benchutil
+}  // namespace depmatch

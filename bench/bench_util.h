@@ -1,0 +1,77 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared setup for the figure-reproduction benches: builds the paper's
+// two dataset pairs —
+//   * "Lab Exam 1" / "Lab Exam 2": the synthetic thrombosis table range-
+//     partitioned by exam date into two halves, and
+//   * census "NY" / "CA": two independent samples of the synthetic census
+//     distribution —
+// samples the requested number of tuples, restricts to 30 randomly chosen
+// attributes (the paper's experimental universe), and returns dependency
+// graphs. Also provides the method table (MI/ET x Euclidean/Normal) and
+// environment-variable knobs so the benches can be scaled down:
+//
+//   DEPMATCH_ITERS   iterations per data point (default: per-bench)
+//   DEPMATCH_THREADS worker threads for iterations (default 1)
+
+#ifndef DEPMATCH_BENCH_BENCH_UTIL_H_
+#define DEPMATCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+namespace benchutil {
+
+struct Knobs {
+  size_t iterations = 50;
+  size_t num_threads = 1;
+};
+
+// Reads DEPMATCH_ITERS / DEPMATCH_THREADS, falling back to the defaults.
+Knobs KnobsFromEnv(size_t default_iterations);
+
+// A pair of dependency graphs over the same 30-attribute universe.
+struct GraphPair {
+  DependencyGraph g1;  // Lab Exam 1 / census NY
+  DependencyGraph g2;  // Lab Exam 2 / census CA
+};
+
+// The two tables underlying a graph pair (for fragment printing).
+struct TablePair {
+  Table t1;
+  Table t2;
+};
+
+// Builds the lab-exam pair at `sample_rows` tuples per half.
+// Deterministic in (sample_rows, seed).
+GraphPair BuildLabPair(size_t sample_rows, uint64_t seed);
+TablePair BuildLabTables(size_t sample_rows, uint64_t seed);
+
+// Builds the census NY/CA pair at `sample_rows` tuples per state.
+GraphPair BuildCensusPair(size_t sample_rows, uint64_t seed);
+TablePair BuildCensusTables(size_t sample_rows, uint64_t seed);
+
+// The four matching methods compared throughout the paper's Figures 5-6.
+struct MethodSpec {
+  const char* label;
+  MetricKind metric;
+  double alpha;
+};
+// {"MI Euclidean", "MI Normal(3.0)", "ET Euclidean", "ET Normal(3.0)"}.
+const std::vector<MethodSpec>& StandardMethods();
+
+// Default number of attributes in the experimental universe (the paper
+// uses 30 randomly chosen attributes of each dataset).
+inline constexpr size_t kUniverseSize = 30;
+
+}  // namespace benchutil
+}  // namespace depmatch
+
+#endif  // DEPMATCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// File-based matching: the paper's testbed "loads data tables from text
+// files". This example writes two CSV exports to disk (the second with
+// opaque headers and re-encoded values), loads them back through the CSV
+// reader, matches them, and prints the proposed header mapping — the
+// complete workflow a downstream user would run on real exports.
+//
+// Build & run:  ./build/examples/csv_matching [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+using depmatch::Result;
+using depmatch::Rng;
+using depmatch::Status;
+using depmatch::Table;
+using depmatch::Value;
+
+// An "orders" table: product determines category and (mostly) warehouse;
+// priority is independent.
+Table MakeOrders(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  auto schema =
+      depmatch::Schema::Create({{"product", depmatch::DataType::kString},
+                                {"category", depmatch::DataType::kString},
+                                {"warehouse", depmatch::DataType::kString},
+                                {"priority", depmatch::DataType::kString}});
+  depmatch::TableBuilder builder(schema.value());
+  const char* products[] = {"P100", "P200", "P300", "P400",
+                            "P500", "P600", "P700", "P800"};
+  const char* categories[] = {"tools", "parts", "media"};
+  const char* warehouses[] = {"east", "west", "north", "south"};
+  const char* priorities[] = {"low", "mid", "high"};
+  for (size_t r = 0; r < rows; ++r) {
+    size_t p = rng.NextBounded(8);
+    size_t c = p % 3;  // category is a function of product
+    size_t w = rng.NextBernoulli(0.8) ? (p % 4) : rng.NextBounded(4);
+    size_t pr = rng.NextBounded(3);
+    Status status = builder.AppendRow(
+        {Value(products[p]), Value(categories[c]), Value(warehouses[w]),
+         Value(priorities[pr])});
+    if (!status.ok()) std::abort();
+  }
+  return std::move(builder).Build().value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp";
+  std::string ours_path = dir + "/orders_ours.csv";
+  std::string theirs_path = dir + "/orders_theirs.csv";
+
+  // Write the two exports.
+  Table ours = MakeOrders(/*seed=*/3, /*rows=*/4000);
+  Rng encoder(77);
+  Table theirs = depmatch::OpaqueEncode(MakeOrders(/*seed=*/4, 4000), {},
+                                        encoder);
+  depmatch::CsvOptions csv;
+  if (!WriteCsvFile(ours, ours_path, csv).ok() ||
+      !WriteCsvFile(theirs, theirs_path, csv).ok()) {
+    std::fprintf(stderr, "cannot write CSV files under %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("wrote %s and %s\n\n", ours_path.c_str(),
+              theirs_path.c_str());
+
+  // Load them back (type inference and null handling included) and match.
+  Result<Table> loaded_ours = ReadCsvFile(ours_path, csv);
+  Result<Table> loaded_theirs = ReadCsvFile(theirs_path, csv);
+  if (!loaded_ours.ok() || !loaded_theirs.ok()) {
+    std::fprintf(stderr, "CSV load failed\n");
+    return 1;
+  }
+
+  depmatch::SchemaMatchOptions options;
+  options.match.metric = depmatch::MetricKind::kMutualInfoEuclidean;
+  auto result = depmatch::MatchTables(loaded_ours.value(),
+                                      loaded_theirs.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "matching failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("proposed header mapping (Euclidean distance %.4f):\n",
+              result->match.metric_value);
+  for (const depmatch::Correspondence& c : result->correspondences) {
+    std::printf("  %-10s -> %s\n", c.source_name.c_str(),
+                c.target_name.c_str());
+  }
+  return 0;
+}

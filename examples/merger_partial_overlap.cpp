@@ -1,0 +1,123 @@
+// Corporate-merger scenario (the paper's Section 1 motivation): two
+// companies' customer tables share only *some* attributes, under
+// different names and encodings. Neither side knows which columns
+// overlap, so this is the partial-mapping problem: find the overlapping
+// subset AND its correspondence.
+//
+// The example builds two tables from one generative model, keeps an
+// overlapping core plus company-specific extras, opaque-encodes company
+// B's export, and sweeps the normal metric's control parameter alpha to
+// show the precision/recall trade-off the paper describes: large alpha =
+// few, confident matches; small alpha = many, less confident ones.
+//
+// Build & run:  ./build/examples/merger_partial_overlap
+
+#include <cstdio>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/eval/accuracy.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+using depmatch::Cardinality;
+using depmatch::MatchPair;
+using depmatch::MetricKind;
+using depmatch::Result;
+using depmatch::Rng;
+using depmatch::Table;
+
+// A 10-attribute "customer" model; both companies observe (different
+// subsets of) these quantities.
+depmatch::datagen::BayesNetSpec CustomerModel() {
+  depmatch::datagen::BayesNetSpec spec;
+  struct Def {
+    const char* name;
+    size_t alphabet;
+    int parent;  // -1 = root
+    double noise;
+  };
+  // region -> city; segment -> plan -> addons; age_band; credit_band;
+  // activity chains.
+  const Def defs[] = {
+      {"region", 8, -1, 0.0},        {"city", 400, 0, 0.15},
+      {"segment", 6, -1, 0.0},       {"plan", 24, 2, 0.2},
+      {"addons", 60, 3, 0.25},       {"age_band", 12, -1, 0.0},
+      {"credit_band", 10, 5, 0.3},   {"visits", 200, 4, 0.35},
+      {"spend_band", 40, 7, 0.25},   {"tenure", 30, 5, 0.4},
+  };
+  for (const Def& def : defs) {
+    depmatch::datagen::AttributeGenSpec attr;
+    attr.name = def.name;
+    attr.alphabet_size = def.alphabet;
+    if (def.parent >= 0) attr.parents = {static_cast<size_t>(def.parent)};
+    attr.noise = def.noise;
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Table CompanyTable(uint64_t seed, const std::vector<size_t>& columns) {
+  Result<Table> full = depmatch::datagen::GenerateBayesNet(
+      CustomerModel(), /*num_rows=*/8000, seed);
+  Result<Table> projected = depmatch::ProjectColumns(full.value(), columns);
+  return projected.value();
+}
+
+}  // namespace
+
+int main() {
+  // Company A exposes columns {0..6}; company B exposes {3..9}.
+  // Overlap: {3, 4, 5, 6} = plan, addons, age_band, credit_band.
+  std::vector<size_t> a_columns = {0, 1, 2, 3, 4, 5, 6};
+  std::vector<size_t> b_columns = {3, 4, 5, 6, 7, 8, 9};
+  Table company_a = CompanyTable(/*seed=*/11, a_columns);
+  Rng encoder(5);
+  Table company_b =
+      depmatch::OpaqueEncode(CompanyTable(/*seed=*/22, b_columns), {},
+                             encoder);
+
+  // Ground truth in positional terms: A position 3+i <-> B position i.
+  std::vector<MatchPair> truth = {{3, 0}, {4, 1}, {5, 2}, {6, 3}};
+
+  std::printf("Company A schema: %s\n",
+              company_a.schema().ToString().c_str());
+  std::printf("Company B schema (opaque): %s\n\n",
+              company_b.schema().ToString().c_str());
+
+  for (double alpha : {1.0, 3.0, 5.0, 8.0}) {
+    depmatch::SchemaMatchOptions options;
+    options.match.cardinality = Cardinality::kPartial;
+    options.match.metric = MetricKind::kMutualInfoNormal;
+    options.match.alpha = alpha;
+
+    auto result = depmatch::MatchTables(company_a, company_b, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "matching failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    depmatch::Accuracy accuracy =
+        ComputeAccuracy(result->match.pairs, truth);
+    std::printf("alpha = %.1f -> %zu proposals, precision %.0f%%, recall "
+                "%.0f%%\n",
+                alpha, result->correspondences.size(),
+                accuracy.precision * 100.0, accuracy.recall * 100.0);
+    for (const depmatch::Correspondence& c : result->correspondences) {
+      bool correct = false;
+      for (const MatchPair& t : truth) {
+        if (t.source == c.source_index && t.target == c.target_index) {
+          correct = true;
+        }
+      }
+      std::printf("    %-12s -> %-8s %s\n", c.source_name.c_str(),
+                  c.target_name.c_str(), correct ? "(correct)" : "(wrong)");
+    }
+  }
+  std::printf(
+      "\nLarger alpha keeps only high-confidence pairs (higher precision,"
+      "\nlower recall); smaller alpha proposes more candidates.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Multi-source alignment: the paper's closing problem, full size. Five
+// departmental exports of the same underlying process — different column
+// subsets, opaque names, opaque encodings — are aligned in one call:
+// the widest export becomes the pivot and every attribute lands in a
+// global correspondence class.
+//
+// Build & run:  ./build/examples/multi_source_alignment
+
+#include <cstdio>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/multi_match.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+using depmatch::Rng;
+using depmatch::Table;
+
+// The shared underlying process: eight correlated quantities.
+depmatch::datagen::BayesNetSpec Process() {
+  depmatch::datagen::BayesNetSpec spec;
+  const char* names[] = {"plant",   "line",   "shift",  "product",
+                         "grade",   "defect", "batch",  "inspector"};
+  const size_t alphabets[] = {6, 18, 3, 40, 8, 12, 300, 25};
+  for (size_t i = 0; i < 8; ++i) {
+    depmatch::datagen::AttributeGenSpec attr;
+    attr.name = names[i];
+    attr.alphabet_size = alphabets[i];
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.25;
+    }
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Table Export(const std::vector<size_t>& columns, uint64_t seed) {
+  Table full =
+      depmatch::datagen::GenerateBayesNet(Process(), 5000, seed).value();
+  Table projected = depmatch::ProjectColumns(full, columns).value();
+  Rng encoder(seed * 31 + 7);
+  depmatch::OpaqueEncodeOptions options;
+  options.attribute_prefix = "s" + std::to_string(seed) + "_c";
+  return depmatch::OpaqueEncode(projected, options, encoder);
+}
+
+}  // namespace
+
+int main() {
+  // Five exports with overlapping column subsets of the process.
+  Table hq = Export({0, 1, 2, 3, 4, 5, 6, 7}, 1);      // everything
+  Table quality = Export({3, 4, 5, 7}, 2);              // QC view
+  Table logistics = Export({0, 1, 3, 6}, 3);            // logistics view
+  Table floor = Export({1, 2, 5}, 4);                   // shop floor
+  Table audit = Export({0, 2, 4, 6, 7}, 5);             // audit extract
+
+  std::vector<const Table*> sources = {&hq, &quality, &logistics, &floor,
+                                       &audit};
+  const char* source_names[] = {"hq", "quality", "logistics", "floor",
+                                "audit"};
+
+  auto result = depmatch::AlignSchemas(sources, {});
+  if (!result.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("pivot: %s\n\nglobal correspondence classes:\n",
+              source_names[result->pivot_table]);
+  const char* truth[] = {"plant",  "line",   "shift",  "product",
+                         "grade",  "defect", "batch",  "inspector"};
+  for (const depmatch::CorrespondenceClass& cls : result->classes) {
+    std::printf("  [%s]", truth[cls.pivot_attribute]);
+    for (const depmatch::AttributeRef& ref : cls.members) {
+      std::printf("  %s.%s", source_names[ref.table], ref.name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Verification: each export's column k corresponds to a known process
+  // column; check class purity against that ground truth.
+  const std::vector<size_t> projections[] = {
+      {0, 1, 2, 3, 4, 5, 6, 7}, {3, 4, 5, 7}, {0, 1, 3, 6}, {1, 2, 5},
+      {0, 2, 4, 6, 7}};
+  size_t total = 0;
+  size_t correct = 0;
+  for (const depmatch::CorrespondenceClass& cls : result->classes) {
+    for (const depmatch::AttributeRef& ref : cls.members) {
+      ++total;
+      if (projections[ref.table][ref.attribute] == cls.pivot_attribute) {
+        ++correct;
+      }
+    }
+  }
+  std::printf("\nverification: %zu/%zu attribute placements correct\n",
+              correct, total);
+  return 0;
+}

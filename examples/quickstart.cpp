@@ -1,0 +1,86 @@
+// Quickstart: the paper's Figure 1 / Figure 3 scenario end to end.
+//
+// Two car-parts tables from different plants. The second table's column
+// names and cell values are plant-specific codes ("opaque"), so neither
+// name-based nor value-based matching applies. DepMatch matches them by
+// dependency structure alone:
+//   1. Table2DepGraph: pairwise mutual information -> dependency graph
+//   2. GraphMatch:     metric-optimal node correspondence
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/table/table.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+// A plant database: Model determines Tire (almost); Color is free.
+depmatch::Table MakePlantTable(uint64_t seed, size_t rows) {
+  depmatch::Rng rng(seed);
+  auto schema = depmatch::Schema::Create({{"Model", depmatch::DataType::kString},
+                                          {"Tire", depmatch::DataType::kString},
+                                          {"Color", depmatch::DataType::kString}});
+  depmatch::TableBuilder builder(schema.value());
+  const char* models[] = {"XLE", "XR5", "XGL", "LE", "GM6", "XE"};
+  const char* tires[] = {"P2R6", "GL3.5", "XG2.5"};
+  const char* colors[] = {"White", "Silver", "Red", "Black"};
+  for (size_t r = 0; r < rows; ++r) {
+    size_t m = rng.NextBounded(6);
+    size_t t = rng.NextBernoulli(0.85) ? (m % 3) : rng.NextBounded(3);
+    size_t c = rng.NextBounded(4);
+    depmatch::Status status = builder.AppendRow(
+        {depmatch::Value(models[m]), depmatch::Value(tires[t]),
+         depmatch::Value(colors[c])});
+    if (!status.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::move(builder).Build().value();
+}
+
+}  // namespace
+
+int main() {
+  // Plant A keeps readable names and values.
+  depmatch::Table plant_a = MakePlantTable(/*seed=*/1, /*rows=*/5000);
+
+  // Plant B's export uses opaque codes for both columns and values
+  // (an arbitrary one-to-one re-encoding, Definition 1.1's f_i).
+  depmatch::Rng encoder(42);
+  depmatch::Table plant_b =
+      depmatch::OpaqueEncode(MakePlantTable(/*seed=*/2, /*rows=*/5000), {},
+                             encoder);
+
+  std::printf("Plant A fragment:\n%s\n",
+              plant_a.FormatFragment(4, 3).c_str());
+  std::printf("Plant B fragment (opaque):\n%s\n",
+              plant_b.FormatFragment(4, 3).c_str());
+
+  depmatch::SchemaMatchOptions options;
+  options.match.cardinality = depmatch::Cardinality::kOneToOne;
+  options.match.metric = depmatch::MetricKind::kMutualInfoEuclidean;
+
+  depmatch::Result<depmatch::SchemaMatchResult> result =
+      depmatch::MatchTables(plant_a, plant_b, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "matching failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Dependency graph of plant A:\n%s\n",
+              result->source_graph.ToString().c_str());
+  std::printf("Proposed correspondences (metric value %.4f):\n",
+              result->match.metric_value);
+  for (const depmatch::Correspondence& c : result->correspondences) {
+    std::printf("  %-8s -> %s\n", c.source_name.c_str(),
+                c.target_name.c_str());
+  }
+  return 0;
+}

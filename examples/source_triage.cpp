@@ -1,0 +1,155 @@
+// Web-source triage (the paper's "On the Result of Unrelated Schema
+// Matching" scenario): given a reference table and a pile of candidate
+// sources discovered on the web — some genuinely related, some not — use
+// the optimized distance-metric value to decide which sources make sense
+// to integrate, before any human looks at them.
+//
+// Related sources are independent samples of the reference's underlying
+// distribution (with their own opaque encodings); unrelated ones come
+// from different generative models. The example ranks all candidates by
+// the Euclidean metric value of their best one-to-one mapping and shows
+// the clear separation the paper reports in Figure 8.
+//
+// Build & run:  ./build/examples/source_triage
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/core/table_clustering.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/table/table_ops.h"
+
+namespace {
+
+using depmatch::Result;
+using depmatch::Rng;
+using depmatch::Table;
+
+depmatch::datagen::BayesNetSpec ChainModel(uint64_t variant) {
+  depmatch::datagen::BayesNetSpec spec;
+  // Six attributes; the variant scrambles alphabets and noise so that
+  // different variants are genuinely different distributions.
+  for (size_t i = 0; i < 6; ++i) {
+    depmatch::datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 8 + ((i * 37 + variant * 61) % 300);
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.15 + 0.07 * static_cast<double>((i + variant) % 4);
+    }
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Table Sample(const depmatch::datagen::BayesNetSpec& spec, uint64_t seed) {
+  Result<Table> table =
+      depmatch::datagen::GenerateBayesNet(spec, /*num_rows=*/6000, seed);
+  Rng encoder(seed ^ 0xabcd);
+  return depmatch::OpaqueEncode(table.value(), {}, encoder);
+}
+
+struct Candidate {
+  std::string name;
+  Table table;
+  bool actually_related;
+};
+
+}  // namespace
+
+int main() {
+  // The reference table (kept un-encoded; it is "ours").
+  Result<Table> reference = depmatch::datagen::GenerateBayesNet(
+      ChainModel(/*variant=*/0), 6000, /*seed=*/1);
+
+  std::vector<Candidate> candidates;
+  // Three related sources: same model, new samples, opaque encodings.
+  for (uint64_t s = 0; s < 3; ++s) {
+    candidates.push_back({"related_source_" + std::to_string(s),
+                          Sample(ChainModel(0), 100 + s), true});
+  }
+  // Three unrelated sources from different models.
+  for (uint64_t v = 1; v <= 3; ++v) {
+    candidates.push_back({"unrelated_source_" + std::to_string(v),
+                          Sample(ChainModel(v), 200 + v), false});
+  }
+
+  struct Scored {
+    const Candidate* candidate;
+    double distance;
+  };
+  std::vector<Scored> scored;
+
+  depmatch::SchemaMatchOptions options;
+  options.match.cardinality = depmatch::Cardinality::kOneToOne;
+  options.match.metric = depmatch::MetricKind::kMutualInfoEuclidean;
+
+  for (const Candidate& candidate : candidates) {
+    auto result =
+        depmatch::MatchTables(reference.value(), candidate.table, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "matching %s failed: %s\n",
+                   candidate.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    scored.push_back({&candidate, result->match.metric_value});
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.distance < b.distance;
+            });
+
+  std::printf("Candidates ranked by best-mapping Euclidean distance "
+              "(smaller = more integratable):\n\n");
+  std::printf("  %-20s  %10s  %s\n", "source", "distance", "truth");
+  for (const Scored& s : scored) {
+    std::printf("  %-20s  %10.3f  %s\n", s.candidate->name.c_str(),
+                s.distance,
+                s.candidate->actually_related ? "related" : "unrelated");
+  }
+
+  // Library-level triage: cluster the reference together with all
+  // candidates; whatever shares the reference's cluster is integratable.
+  std::vector<const depmatch::Table*> pool = {&reference.value()};
+  for (const Candidate& candidate : candidates) {
+    pool.push_back(&candidate.table);
+  }
+  depmatch::TableClusteringOptions clustering;
+  clustering.link_threshold = 0.5;
+  auto clusters = depmatch::ClusterTables(pool, clustering);
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 clusters.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nClusterTables(threshold %.1f):\n",
+              clustering.link_threshold);
+  bool clean = true;
+  for (size_t c = 0; c < clusters->clusters.size(); ++c) {
+    std::printf("  cluster %zu:", c);
+    bool has_reference = false;
+    for (size_t index : clusters->clusters[c]) {
+      if (index == 0) {
+        std::printf(" [reference]");
+        has_reference = true;
+      } else {
+        std::printf(" %s", candidates[index - 1].name.c_str());
+      }
+    }
+    for (size_t index : clusters->clusters[c]) {
+      if (index == 0) continue;
+      if (candidates[index - 1].actually_related != has_reference) {
+        clean = false;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("separation %s.\n", clean ? "perfect" : "imperfect");
+  return 0;
+}

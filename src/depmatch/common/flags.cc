@@ -1,0 +1,206 @@
+#include "depmatch/common/flags.h"
+
+#include <utility>
+
+#include "depmatch/common/logging.h"
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+void FlagParser::Register(const std::string& name, Flag flag) {
+  DEPMATCH_CHECK(!name.empty());
+  DEPMATCH_CHECK(flags_.find(name) == flags_.end());
+  flags_.emplace(name, std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.default_text = default_value;
+  flag.string_value = default_value;
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.default_text = std::to_string(default_value);
+  flag.int_value = default_value;
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.default_text = StrFormat("%g", default_value);
+  flag.double_value = default_value;
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.default_text = default_value ? "true" : "false";
+  flag.bool_value = default_value;
+  Register(name, std::move(flag));
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return InvalidArgumentError(StrFormat("unknown flag --%s", name.c_str()));
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = value;
+      break;
+    case Type::kInt64: {
+      auto parsed = ParseInt64(value);
+      if (!parsed.has_value()) {
+        return InvalidArgumentError(StrFormat(
+            "flag --%s expects an integer, got '%s'", name.c_str(),
+            value.c_str()));
+      }
+      flag.int_value = *parsed;
+      break;
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.has_value()) {
+        return InvalidArgumentError(StrFormat(
+            "flag --%s expects a number, got '%s'", name.c_str(),
+            value.c_str()));
+      }
+      flag.double_value = *parsed;
+      break;
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        return InvalidArgumentError(StrFormat(
+            "flag --%s expects true/false, got '%s'", name.c_str(),
+            value.c_str()));
+      }
+      break;
+    }
+  }
+  flag.set = true;
+  return OkStatus();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Status FlagParser::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      DEPMATCH_RETURN_IF_ERROR(
+          SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // --name value, or bare --name for bools.
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return InvalidArgumentError(
+          StrFormat("unknown flag --%s", body.c_str()));
+    }
+    if (it->second.type == Type::kBool) {
+      DEPMATCH_RETURN_IF_ERROR(SetValue(body, ""));
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return InvalidArgumentError(
+          StrFormat("flag --%s is missing its value", body.c_str()));
+    }
+    DEPMATCH_RETURN_IF_ERROR(SetValue(body, args[++i]));
+  }
+  return OkStatus();
+}
+
+const FlagParser::Flag& FlagParser::Lookup(const std::string& name,
+                                           Type type) const {
+  auto it = flags_.find(name);
+  DEPMATCH_CHECK(it != flags_.end());
+  DEPMATCH_CHECK(it->second.type == type);
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).string_value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return Lookup(name, Type::kInt64).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  DEPMATCH_CHECK(it != flags_.end());
+  return it->second.set;
+}
+
+std::string FlagParser::UsageString() const {
+  std::string out = description_;
+  out += "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    const char* type_name = "";
+    switch (flag.type) {
+      case Type::kString:
+        type_name = "string";
+        break;
+      case Type::kInt64:
+        type_name = "int";
+        break;
+      case Type::kDouble:
+        type_name = "double";
+        break;
+      case Type::kBool:
+        type_name = "bool";
+        break;
+    }
+    out += StrFormat("  --%-20s %-7s (default: %s)\n      %s\n",
+                     name.c_str(), type_name, flag.default_text.c_str(),
+                     flag.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace depmatch

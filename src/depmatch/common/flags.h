@@ -1,0 +1,80 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal command-line flag parsing for the DepMatch tools.
+//
+// Supports --name=value and --name value forms, plus bare --name for
+// booleans. Arguments that do not start with "--" are collected as
+// positionals. "--" ends flag parsing. Unknown flags and malformed values
+// are errors, not aborts, so tools can print usage.
+
+#ifndef DEPMATCH_COMMON_FLAGS_H_
+#define DEPMATCH_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+
+namespace depmatch {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  // Registration (call before Parse). Names must be unique and non-empty.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  // Parses argv[1..argc). Returns InvalidArgument on unknown flags,
+  // missing values, or unparsable numbers.
+  Status Parse(int argc, const char* const* argv);
+  // Convenience for tests.
+  Status Parse(const std::vector<std::string>& args);
+
+  // Accessors (abort on unregistered names — programmer error).
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  bool WasSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Help text listing every flag with type, default, and description.
+  std::string UsageString() const;
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_text;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    bool set = false;
+  };
+
+  void Register(const std::string& name, Flag flag);
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_COMMON_FLAGS_H_

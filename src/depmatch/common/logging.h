@@ -1,0 +1,78 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal leveled logging and check macros.
+//
+// DEPMATCH_CHECK* abort the process on violated invariants — they guard
+// programmer errors, not user input (user input errors travel via Status).
+
+#ifndef DEPMATCH_COMMON_LOGGING_H_
+#define DEPMATCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace depmatch {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Minimum severity that is emitted to stderr. Defaults to kWarning so that
+// library internals stay quiet in tests and benchmarks.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (and aborts, for kFatal) on
+// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the severity is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace depmatch
+
+#define DEPMATCH_LOG(severity)                                       \
+  ::depmatch::internal_logging::LogMessage(                          \
+      ::depmatch::LogSeverity::k##severity, __FILE__, __LINE__)      \
+      .stream()
+
+#define DEPMATCH_CHECK(condition)                                    \
+  (condition) ? static_cast<void>(0)                                 \
+              : static_cast<void>(                                   \
+                    ::depmatch::internal_logging::LogMessage(        \
+                        ::depmatch::LogSeverity::kFatal, __FILE__,   \
+                        __LINE__)                                    \
+                        .stream()                                    \
+                    << "Check failed: " #condition " ")
+
+#define DEPMATCH_CHECK_EQ(a, b) DEPMATCH_CHECK((a) == (b))
+#define DEPMATCH_CHECK_NE(a, b) DEPMATCH_CHECK((a) != (b))
+#define DEPMATCH_CHECK_LT(a, b) DEPMATCH_CHECK((a) < (b))
+#define DEPMATCH_CHECK_LE(a, b) DEPMATCH_CHECK((a) <= (b))
+#define DEPMATCH_CHECK_GT(a, b) DEPMATCH_CHECK((a) > (b))
+#define DEPMATCH_CHECK_GE(a, b) DEPMATCH_CHECK((a) >= (b))
+
+#endif  // DEPMATCH_COMMON_LOGGING_H_

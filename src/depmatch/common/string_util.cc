@@ -1,0 +1,101 @@
+#include "depmatch/common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace depmatch {
+
+std::vector<std::string> SplitString(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) return std::nullopt;
+  std::string buffer(stripped);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) return std::nullopt;
+  std::string buffer(stripped);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool IsBlank(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace depmatch

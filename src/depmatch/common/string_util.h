@@ -1,0 +1,42 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Small string helpers shared across DepMatch (splitting, trimming,
+// joining, numeric parsing without exceptions).
+
+#ifndef DEPMATCH_COMMON_STRING_UTIL_H_
+#define DEPMATCH_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depmatch {
+
+// Splits `text` on `delimiter`. Keeps empty fields ("a,,b" -> {"a","","b"}).
+// An empty input yields a single empty field, matching CSV semantics.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Joins `parts` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+// Locale-independent numeric parsing; nullopt on any trailing garbage,
+// overflow, or empty input. Surrounding whitespace is permitted.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+// True if `text` consists only of ASCII whitespace (or is empty).
+bool IsBlank(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_COMMON_STRING_UTIL_H_

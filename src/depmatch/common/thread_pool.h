@@ -1,0 +1,61 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Fixed-size thread pool used by the experiment runner to parallelize
+// independent matching iterations (the paper ran its 50-iteration
+// experiments in parallel across workstations; we parallelize across
+// cores within one process).
+
+#ifndef DEPMATCH_COMMON_THREAD_POOL_H_
+#define DEPMATCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace depmatch {
+
+// A minimal fixed-size thread pool. Tasks are void() callables. Destruction
+// waits for all scheduled tasks to finish.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task (including tasks scheduled by other
+  // tasks) has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs `fn(i)` for i in [0, count), distributing across the pool, and
+  // waits for completion. `fn` must be safe to call concurrently.
+  static void ParallelFor(size_t num_threads, size_t count,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_COMMON_THREAD_POOL_H_

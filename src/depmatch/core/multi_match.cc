@@ -1,0 +1,78 @@
+#include "depmatch/core/multi_match.h"
+
+#include <utility>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+Result<MultiMatchResult> AlignSchemas(
+    const std::vector<const Table*>& tables,
+    const MultiMatchOptions& options) {
+  if (tables.empty()) {
+    return InvalidArgumentError("need at least one table to align");
+  }
+  for (const Table* table : tables) {
+    if (table == nullptr) {
+      return InvalidArgumentError("null table pointer");
+    }
+  }
+
+  // Pivot: widest table, earliest on ties.
+  size_t pivot = 0;
+  for (size_t i = 1; i < tables.size(); ++i) {
+    if (tables[i]->num_attributes() >
+        tables[pivot]->num_attributes()) {
+      pivot = i;
+    }
+  }
+
+  MultiMatchResult result;
+  result.pivot_table = pivot;
+  const Table& pivot_table = *tables[pivot];
+  size_t pivot_width = pivot_table.num_attributes();
+
+  // One class per pivot attribute, seeded with the pivot's own column.
+  result.classes.resize(pivot_width);
+  for (size_t a = 0; a < pivot_width; ++a) {
+    result.classes[a].pivot_attribute = a;
+    result.classes[a].members.push_back(
+        {pivot, a, pivot_table.schema().attribute(a).name});
+  }
+
+  SchemaMatchOptions pairwise = options.match;
+  pairwise.match.cardinality = options.allow_partial
+                                   ? Cardinality::kPartial
+                                   : Cardinality::kOnto;
+  if (options.allow_partial &&
+      (pairwise.match.metric == MetricKind::kMutualInfoEuclidean ||
+       pairwise.match.metric == MetricKind::kEntropyEuclidean)) {
+    // Euclidean metrics are monotonic and degenerate under partial
+    // mappings (Definition 2.5); switch to the normal counterpart.
+    pairwise.match.metric =
+        pairwise.match.metric == MetricKind::kMutualInfoEuclidean
+            ? MetricKind::kMutualInfoNormal
+            : MetricKind::kEntropyNormal;
+  }
+
+  for (size_t t = 0; t < tables.size(); ++t) {
+    if (t == pivot) continue;
+    if (tables[t]->num_attributes() > pivot_width) {
+      return InternalError("pivot selection failed");  // unreachable
+    }
+    Result<SchemaMatchResult> match =
+        MatchTables(*tables[t], pivot_table, pairwise);
+    if (!match.ok()) {
+      return Status(match.status().code(),
+                    StrFormat("aligning table %zu: %s", t,
+                              match.status().message().c_str()));
+    }
+    for (const Correspondence& c : match->correspondences) {
+      result.classes[c.target_index].members.push_back(
+          {t, c.source_index, c.source_name});
+    }
+  }
+  return result;
+}
+
+}  // namespace depmatch

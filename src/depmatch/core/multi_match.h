@@ -1,0 +1,62 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Multi-schema alignment: the paper's closing remark — a complete
+// integration has to handle more than two tables at once. Star
+// alignment: pick a pivot schema (the widest), match every other table
+// onto it, and read global *correspondence classes* off the pivot: all
+// attributes (table, column) mapped to the same pivot attribute belong
+// to one class. Transitive consistency is inherited from the star shape.
+
+#ifndef DEPMATCH_CORE_MULTI_MATCH_H_
+#define DEPMATCH_CORE_MULTI_MATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+// One attribute occurrence inside a correspondence class.
+struct AttributeRef {
+  size_t table = 0;      // index into the input table list
+  size_t attribute = 0;  // attribute index within that table
+  std::string name;      // attribute name (for reporting)
+};
+
+// A set of attributes (at most one per table) judged to denote the same
+// concept.
+struct CorrespondenceClass {
+  // Pivot attribute index this class is anchored on.
+  size_t pivot_attribute = 0;
+  std::vector<AttributeRef> members;  // includes the pivot's own attribute
+};
+
+struct MultiMatchResult {
+  size_t pivot_table = 0;
+  std::vector<CorrespondenceClass> classes;  // ordered by pivot attribute
+};
+
+struct MultiMatchOptions {
+  // Pairwise matching configuration. Cardinality is forced to kOnto
+  // (every non-pivot attribute must land somewhere on the pivot) unless
+  // allow_partial is set, in which case unmatched attributes simply stay
+  // out of all classes.
+  SchemaMatchOptions match;
+  bool allow_partial = false;
+};
+
+// Aligns all `tables` (>= 1). The widest table is the pivot (ties: the
+// earliest). Fails if some table is wider than the pivot... impossible by
+// construction, or if a pairwise match fails.
+Result<MultiMatchResult> AlignSchemas(
+    const std::vector<const Table*>& tables,
+    const MultiMatchOptions& options = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_CORE_MULTI_MATCH_H_

@@ -1,0 +1,36 @@
+#include "depmatch/core/schema_matcher.h"
+
+#include <utility>
+
+namespace depmatch {
+
+Result<SchemaMatchResult> MatchTables(const Table& source,
+                                      const Table& target,
+                                      const SchemaMatchOptions& options) {
+  Result<DependencyGraph> source_graph =
+      BuildDependencyGraph(source, options.graph);
+  if (!source_graph.ok()) return source_graph.status();
+  Result<DependencyGraph> target_graph =
+      BuildDependencyGraph(target, options.graph);
+  if (!target_graph.ok()) return target_graph.status();
+
+  Result<MatchResult> match =
+      MatchGraphs(source_graph.value(), target_graph.value(), options.match);
+  if (!match.ok()) return match.status();
+
+  SchemaMatchResult result;
+  result.match = std::move(match).value();
+  for (const MatchPair& pair : result.match.pairs) {
+    Correspondence c;
+    c.source_index = pair.source;
+    c.target_index = pair.target;
+    c.source_name = source_graph.value().name(pair.source);
+    c.target_name = target_graph.value().name(pair.target);
+    result.correspondences.push_back(std::move(c));
+  }
+  result.source_graph = std::move(source_graph).value();
+  result.target_graph = std::move(target_graph).value();
+  return result;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,108 @@
+#include "depmatch/core/table_clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/match/matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<TableClusteringResult> ClusterTables(
+    const std::vector<const Table*>& tables,
+    const TableClusteringOptions& options) {
+  Metric metric(options.match.match.metric, options.match.match.alpha);
+  if (metric.maximize()) {
+    return InvalidArgumentError(
+        "table clustering needs a Euclidean (distance) metric");
+  }
+  for (const Table* table : tables) {
+    if (table == nullptr) {
+      return InvalidArgumentError("null table pointer");
+    }
+  }
+  size_t n = tables.size();
+  TableClusteringResult result;
+  result.distances.assign(n, std::vector<double>(n, 0.0));
+  if (n == 0) return result;
+
+  // Build each table's dependency graph once.
+  std::vector<DependencyGraph> graphs;
+  graphs.reserve(n);
+  for (const Table* table : tables) {
+    Result<DependencyGraph> graph =
+        BuildDependencyGraph(*table, options.match.graph);
+    if (!graph.ok()) return graph.status();
+    graphs.push_back(std::move(graph).value());
+  }
+
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  DisjointSets components(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // Narrower side is the source; equal widths use one-to-one.
+      const DependencyGraph& small =
+          graphs[i].size() <= graphs[j].size() ? graphs[i] : graphs[j];
+      const DependencyGraph& large =
+          graphs[i].size() <= graphs[j].size() ? graphs[j] : graphs[i];
+      MatchOptions match_options = options.match.match;
+      match_options.cardinality = small.size() == large.size()
+                                      ? Cardinality::kOneToOne
+                                      : Cardinality::kOnto;
+      Result<MatchResult> match = MatchGraphs(small, large, match_options);
+      double distance = kInfinity;
+      if (match.ok() && !match->pairs.empty()) {
+        distance = match->metric_value /
+                   static_cast<double>(match->pairs.size());
+      } else if (match.ok()) {
+        distance = 0.0;  // two empty tables
+      }
+      result.distances[i][j] = distance;
+      result.distances[j][i] = distance;
+      if (distance <= options.link_threshold) {
+        components.Union(i, j);
+      }
+    }
+  }
+
+  // Collect clusters ordered by smallest member.
+  std::vector<std::vector<size_t>> buckets(n);
+  for (size_t i = 0; i < n; ++i) {
+    buckets[components.Find(i)].push_back(i);
+  }
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end());
+    result.clusters.push_back(std::move(bucket));
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return a.front() < b.front();
+            });
+  return result;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,54 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Table triage: given a pile of tables (e.g. web sources), decide which
+// ones make sense to integrate with which — the paper's closing problem
+// ("identifying which tables are candidates for matching") and the
+// premise of its Figure 8 experiment, turned into a library feature.
+//
+// Every pair of tables is matched (the narrower side onto the wider) and
+// scored by the optimized Euclidean metric value normalized per matched
+// pair, giving a width-independent dissimilarity. Single-linkage
+// clustering at a caller-chosen threshold then groups integratable
+// tables.
+
+#ifndef DEPMATCH_CORE_TABLE_CLUSTERING_H_
+#define DEPMATCH_CORE_TABLE_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+struct TableClusteringOptions {
+  // Graph construction and matching knobs. The cardinality is chosen per
+  // pair (one-to-one for equal widths, onto otherwise); the configured
+  // metric should be a Euclidean kind (normal metrics are not distances).
+  SchemaMatchOptions match;
+  // Two tables link when their normalized distance (metric value divided
+  // by the number of matched pairs) is at or below this.
+  double link_threshold = 0.5;
+};
+
+struct TableClusteringResult {
+  // Pairwise normalized distances; distances[i][j] == distances[j][i],
+  // diagonal 0. Pairs whose match failed get +infinity.
+  std::vector<std::vector<double>> distances;
+  // Clusters as index lists, each sorted ascending; clusters ordered by
+  // their smallest member.
+  std::vector<std::vector<size_t>> clusters;
+};
+
+// Scores and clusters `tables`. Tables may have different widths and
+// schemas. Deterministic.
+Result<TableClusteringResult> ClusterTables(
+    const std::vector<const Table*>& tables,
+    const TableClusteringOptions& options = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_CORE_TABLE_CLUSTERING_H_

@@ -1,0 +1,208 @@
+#include "depmatch/datagen/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/table/schema.h"
+
+namespace depmatch {
+namespace datagen {
+namespace {
+
+// O(log A) sampler over a (possibly Zipf-skewed) base distribution.
+class BaseDistribution {
+ public:
+  BaseDistribution(size_t alphabet_size, double zipf_s)
+      : alphabet_size_(alphabet_size), uniform_(zipf_s == 0.0) {
+    if (uniform_) return;
+    cumulative_.resize(alphabet_size);
+    double acc = 0.0;
+    for (size_t i = 0; i < alphabet_size; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+      cumulative_[i] = acc;
+    }
+  }
+
+  int32_t Sample(Rng& rng) const {
+    if (uniform_) {
+      return static_cast<int32_t>(rng.NextBounded(alphabet_size_));
+    }
+    double target = rng.NextDouble() * cumulative_.back();
+    auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    size_t index = static_cast<size_t>(it - cumulative_.begin());
+    if (index >= alphabet_size_) index = alphabet_size_ - 1;
+    return static_cast<int32_t>(index);
+  }
+
+ private:
+  size_t alphabet_size_;
+  bool uniform_;
+  std::vector<double> cumulative_;
+};
+
+// Seed-independent hash of (attribute index, parent symbols), optionally
+// salted (for epoch-drifted maps).
+uint64_t ParentKeyHash(size_t attr_index,
+                       const std::vector<int32_t>& row_symbols,
+                       const std::vector<size_t>& parents, uint64_t salt) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (attr_index * 0xff51afd7ed558ccdULL) ^
+               salt;
+  for (size_t parent : parents) {
+    uint64_t v = static_cast<uint64_t>(
+        static_cast<uint32_t>(row_symbols[parent]));
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+// Deterministic child function: maps parent symbols onto the child
+// alphabet.
+int32_t DeterministicChildSymbol(size_t attr_index,
+                                 const std::vector<int32_t>& row_symbols,
+                                 const std::vector<size_t>& parents,
+                                 size_t alphabet_size) {
+  return static_cast<int32_t>(
+      ParentKeyHash(attr_index, row_symbols, parents, /*salt=*/0) %
+      alphabet_size);
+}
+
+// Epoch-1 noise: drift shifts dependency strength up for even attributes
+// and down for odd ones, clamped to [0, 1].
+double EffectiveNoise(const AttributeGenSpec& attr, size_t attr_index,
+                      int epoch) {
+  if (epoch != 1 || attr.drift == 0.0) return attr.noise;
+  double shifted = (attr_index % 2 == 0) ? attr.noise + attr.drift
+                                         : attr.noise - attr.drift;
+  if (shifted < 0.0) return 0.0;
+  if (shifted > 1.0) return 1.0;
+  return shifted;
+}
+
+constexpr int32_t kNullSymbol = -1;
+
+}  // namespace
+
+Status ValidateSpec(const BayesNetSpec& spec) {
+  for (size_t i = 0; i < spec.attributes.size(); ++i) {
+    const AttributeGenSpec& attr = spec.attributes[i];
+    if (attr.name.empty()) {
+      return InvalidArgumentError(
+          StrFormat("attribute %zu has an empty name", i));
+    }
+    if (attr.duplicate_of >= 0) {
+      if (static_cast<size_t>(attr.duplicate_of) >= i) {
+        return InvalidArgumentError(StrFormat(
+            "attribute %zu duplicates attribute %d which is not earlier",
+            i, attr.duplicate_of));
+      }
+      continue;
+    }
+    if (attr.alphabet_size == 0) {
+      return InvalidArgumentError(
+          StrFormat("attribute %zu has empty alphabet", i));
+    }
+    for (size_t parent : attr.parents) {
+      if (parent >= i) {
+        return InvalidArgumentError(StrFormat(
+            "attribute %zu lists parent %zu (parents must be earlier)", i,
+            parent));
+      }
+    }
+    if (attr.noise < 0.0 || attr.noise > 1.0) {
+      return InvalidArgumentError(
+          StrFormat("attribute %zu noise %f outside [0,1]", i, attr.noise));
+    }
+    if (attr.null_fraction < 0.0 || attr.null_fraction > 1.0) {
+      return InvalidArgumentError(StrFormat(
+          "attribute %zu null_fraction %f outside [0,1]", i,
+          attr.null_fraction));
+    }
+    if (attr.zipf_s < 0.0) {
+      return InvalidArgumentError(
+          StrFormat("attribute %zu zipf_s must be >= 0", i));
+    }
+    if (attr.drift < 0.0 || attr.drift > 1.0) {
+      return InvalidArgumentError(
+          StrFormat("attribute %zu drift %f outside [0,1]", i, attr.drift));
+    }
+  }
+  if (spec.epoch_source >= 0 &&
+      static_cast<size_t>(spec.epoch_source) >= spec.attributes.size()) {
+    return InvalidArgumentError("epoch_source out of range");
+  }
+  return OkStatus();
+}
+
+Result<Table> GenerateBayesNet(const BayesNetSpec& spec, size_t num_rows,
+                               uint64_t seed) {
+  DEPMATCH_RETURN_IF_ERROR(ValidateSpec(spec));
+  size_t n = spec.attributes.size();
+
+  std::vector<AttributeSpec> schema_specs;
+  schema_specs.reserve(n);
+  for (const AttributeGenSpec& attr : spec.attributes) {
+    schema_specs.push_back({attr.name, DataType::kInt64});
+  }
+  Result<Schema> schema = Schema::Create(std::move(schema_specs));
+  if (!schema.ok()) return schema.status();
+
+  std::vector<BaseDistribution> base;
+  base.reserve(n);
+  for (const AttributeGenSpec& attr : spec.attributes) {
+    base.emplace_back(std::max<size_t>(attr.alphabet_size, 1), attr.zipf_s);
+  }
+
+  Rng rng(seed);
+  TableBuilder builder(schema.value());
+  std::vector<int32_t> symbols(n, kNullSymbol);
+  for (size_t row = 0; row < num_rows; ++row) {
+    int epoch = spec.forced_epoch >= 0 ? (spec.forced_epoch != 0 ? 1 : 0)
+                                       : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const AttributeGenSpec& attr = spec.attributes[i];
+      if (attr.duplicate_of >= 0) {
+        symbols[i] = symbols[static_cast<size_t>(attr.duplicate_of)];
+        continue;
+      }
+      bool any_parent_null = false;
+      for (size_t parent : attr.parents) {
+        if (symbols[parent] == kNullSymbol) {
+          any_parent_null = true;
+          break;
+        }
+      }
+      bool redraw = attr.parents.empty() || any_parent_null ||
+                    rng.NextBernoulli(EffectiveNoise(attr, i, epoch));
+      int32_t symbol =
+          redraw ? base[i].Sample(rng)
+                 : DeterministicChildSymbol(i, symbols, attr.parents,
+                                            attr.alphabet_size);
+      if (spec.forced_epoch < 0 && spec.epoch_source >= 0 &&
+          static_cast<size_t>(spec.epoch_source) == i &&
+          symbol != kNullSymbol && symbol >= spec.epoch_pivot) {
+        epoch = 1;
+      }
+      if (attr.null_fraction > 0.0 && rng.NextBernoulli(attr.null_fraction)) {
+        symbol = kNullSymbol;
+      }
+      symbols[i] = symbol;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (symbols[i] == kNullSymbol) {
+        builder.AppendValue(i, Value::Null());
+      } else {
+        builder.AppendValue(i, Value(static_cast<int64_t>(symbols[i])));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace datagen
+}  // namespace depmatch

@@ -1,0 +1,88 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Synthetic table generation with controllable inter-attribute dependency.
+//
+// Attributes form a DAG (each attribute's parents have smaller indices).
+// A root attribute draws symbols from a (possibly Zipf-skewed) base
+// distribution over its alphabet. A child attribute is, with probability
+// (1 - noise), a fixed deterministic function of its parents' symbols,
+// and with probability noise an independent draw from its own base
+// distribution. `noise` therefore dials the mutual information between an
+// attribute and its parents continuously from "functional dependency"
+// (noise = 0) down to "independent" (noise = 1). Null injection mimics
+// the paper's sparsely-populated lab-exam columns.
+//
+// The deterministic functions depend only on (attribute index, parent
+// symbols), not on the seed, so two tables generated from the same spec
+// with different seeds are independent samples of the *same* joint
+// distribution — exactly the relationship between the paper's two table
+// halves / two census states.
+
+#ifndef DEPMATCH_DATAGEN_BAYES_NET_H_
+#define DEPMATCH_DATAGEN_BAYES_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+namespace datagen {
+
+struct AttributeGenSpec {
+  std::string name;
+  // Number of distinct symbols (>= 1). Symbols materialize as int64 values
+  // scrambled per attribute so that equal codes in different attributes do
+  // not collide as equal table values.
+  size_t alphabet_size = 2;
+  // Parent attribute indices; every parent index must be < this
+  // attribute's index. Empty = root.
+  std::vector<size_t> parents;
+  // P(independent redraw) in [0, 1]; ignored for roots (always redraw).
+  double noise = 0.1;
+  // P(cell is null), applied after symbol generation.
+  double null_fraction = 0.0;
+  // Zipf exponent of the base distribution (0 = uniform).
+  double zipf_s = 0.0;
+  // If >= 0, this attribute is an exact duplicate (cell-for-cell, nulls
+  // included) of the attribute at that index; all other knobs are ignored.
+  // Models the duplicated columns in the paper's census extract.
+  int duplicate_of = -1;
+  // Dependency-strength drift between epochs (see BayesNetSpec epoch
+  // fields): in epoch 1 this attribute's effective noise becomes
+  // noise + drift (even attribute indices) or max(0, noise - drift) (odd
+  // indices), so some dependencies weaken and others tighten. Models the
+  // nonstationarity of real data: the paper's lab halves are ~6 years
+  // apart and its census states are different populations. Note that
+  // merely *relabeling* conditional maps would be invisible to an
+  // un-interpreted matcher — only dependency-strength changes matter.
+  // 0 = stationary.
+  double drift = 0.0;
+};
+
+struct BayesNetSpec {
+  std::vector<AttributeGenSpec> attributes;
+  // Epoch of a row controls which deterministic maps drifted attributes
+  // use. If forced_epoch is 0 or 1, every row is in that epoch (e.g. two
+  // census states). Otherwise, if epoch_source >= 0, the row's epoch is 1
+  // when that attribute's symbol is >= epoch_pivot (e.g. the exam-date
+  // column: rows after the median date are epoch 1). Else epoch is 0.
+  int forced_epoch = -1;
+  int epoch_source = -1;
+  int32_t epoch_pivot = 0;
+};
+
+// Validates DAG ordering / alphabet sizes / probability ranges.
+Status ValidateSpec(const BayesNetSpec& spec);
+
+// Generates `num_rows` i.i.d. rows. Deterministic in (spec, seed).
+Result<Table> GenerateBayesNet(const BayesNetSpec& spec, size_t num_rows,
+                               uint64_t seed);
+
+}  // namespace datagen
+}  // namespace depmatch
+
+#endif  // DEPMATCH_DATAGEN_BAYES_NET_H_

@@ -1,0 +1,149 @@
+#include "depmatch/datagen/datasets.h"
+
+#include <array>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace datagen {
+namespace {
+
+// Deterministic variety tables for the lab spec.
+constexpr std::array<size_t, 12> kLabAlphabets = {2000, 1200, 800, 500,
+                                                  300,  150,  80,  40,
+                                                  20,   10,   6,   3};
+constexpr std::array<double, 3> kLabZipf = {0.0, 0.4, 0.8};
+
+constexpr std::array<size_t, 6> kCensusRootAlphabets = {20000, 12000, 8000,
+                                                        5000,  3000,  2000};
+constexpr std::array<size_t, 7> kCensusChildAlphabets = {6000, 3000, 1500,
+                                                         700,  350,  160,
+                                                         80};
+constexpr std::array<double, 3> kCensusZipf = {0.0, 0.45, 0.9};
+
+}  // namespace
+
+BayesNetSpec MakeLabExamSpec(const LabExamConfig& config) {
+  BayesNetSpec spec;
+  size_t tests = config.num_test_attributes;
+  size_t null_heavy =
+      config.num_null_heavy_attributes < tests
+          ? config.num_null_heavy_attributes
+          : 0;
+  spec.attributes.reserve(tests + 1);
+
+  // Column 0: exam date over ~12 years of days; only used for range
+  // partitioning, never as a matched attribute.
+  {
+    AttributeGenSpec date;
+    date.name = "exam_date";
+    date.alphabet_size = 4383;
+    date.zipf_s = 0.0;
+    spec.attributes.push_back(date);
+  }
+  // Column 1: observable severity score, the common ancestor that makes
+  // tests in different panels weakly correlated.
+  {
+    AttributeGenSpec severity;
+    severity.name = "t01_severity";
+    severity.alphabet_size = 32;
+    severity.zipf_s = 0.8;
+    spec.attributes.push_back(severity);
+  }
+  // Columns 2 .. tests - null_heavy: panels of six tests. Every third
+  // panel's first test is an independent root (high-entropy measurements
+  // unrelated to severity, like the near-unique numeric columns in Figure
+  // 4(c)); the other panel roots depend on severity; later tests chain on
+  // their predecessor. Alphabets/zipf cycle deterministically so several
+  // attributes share near-identical entropies (the regime where
+  // entropy-only matching gets confused and MI should win).
+  size_t dense_end = tests - null_heavy;  // index among tests, 1-based
+  for (size_t t = 2; t <= dense_end; ++t) {
+    AttributeGenSpec attr;
+    attr.name = StrFormat("t%02zu_test", t);
+    size_t position = (t - 2) % 6;
+    size_t panel = (t - 2) / 6;
+    if (position == 0) {
+      if (panel % 3 != 0) attr.parents = {1};  // severity
+      attr.noise = 0.35;
+    } else {
+      attr.parents = {t - 1};
+      attr.noise = 0.25 + 0.05 * static_cast<double>((t * 7) % 5);
+    }
+    // Conditional distributions drift between the two date halves, like
+    // 12 years of real lab data.
+    attr.drift = config.drift;
+    attr.alphabet_size = kLabAlphabets[(t * 7) % kLabAlphabets.size()];
+    attr.zipf_s = kLabZipf[t % kLabZipf.size()];
+    spec.attributes.push_back(attr);
+  }
+  spec.epoch_source = 0;  // exam_date
+  spec.epoch_pivot = 4383 / 2;
+  // Trailing mostly-null tests (the paper's Figure 4(a) low-entropy tail).
+  for (size_t t = dense_end + 1; t <= tests; ++t) {
+    AttributeGenSpec attr;
+    attr.name = StrFormat("t%02zu_sparse", t);
+    attr.parents = {size_t{1}};
+    attr.alphabet_size = 8;
+    attr.noise = 0.5;
+    attr.null_fraction =
+        0.88 + 0.018 * static_cast<double>(t - dense_end - 1);
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Result<Table> MakeLabExamTable(const LabExamConfig& config, uint64_t seed) {
+  return GenerateBayesNet(MakeLabExamSpec(config), config.num_rows, seed);
+}
+
+BayesNetSpec MakeCensusSpec(const CensusConfig& config) {
+  BayesNetSpec spec;
+  spec.attributes.reserve(config.num_attributes);
+  for (size_t i = 0; i < config.num_attributes; ++i) {
+    AttributeGenSpec attr;
+    attr.name = StrFormat("a%03zu", i);
+    if (config.duplicate_stride > 0 && i > 0 &&
+        i % config.duplicate_stride == config.duplicate_offset) {
+      // Exact duplicate of the preceding attribute (paper's census extract
+      // contains such duplicated columns).
+      attr.duplicate_of = static_cast<int>(i - 1);
+      spec.attributes.push_back(attr);
+      continue;
+    }
+    if (i == 14) {
+      // The paper notes exactly one near-empty-information census
+      // attribute (Figure 4(b), attribute 14).
+      attr.alphabet_size = 3;
+      attr.zipf_s = 3.0;
+      spec.attributes.push_back(attr);
+      continue;
+    }
+    size_t group = i / 8;
+    size_t position = i % 8;
+    if (position == 0) {
+      attr.alphabet_size =
+          kCensusRootAlphabets[group % kCensusRootAlphabets.size()];
+      attr.zipf_s = kCensusZipf[group % kCensusZipf.size()];
+    } else {
+      attr.parents = {i - 1};
+      attr.alphabet_size =
+          kCensusChildAlphabets[(i * 11) % kCensusChildAlphabets.size()];
+      attr.zipf_s = kCensusZipf[i % kCensusZipf.size()];
+      attr.noise = 0.10 + 0.04 * static_cast<double>((i * 3) % 5);
+    }
+    // Different states are different populations: a fraction of each
+    // conditional map differs between the two states.
+    attr.drift = config.drift;
+    spec.attributes.push_back(attr);
+  }
+  spec.forced_epoch = config.epoch;
+  return spec;
+}
+
+Result<Table> MakeCensusTable(const CensusConfig& config, uint64_t seed) {
+  return GenerateBayesNet(MakeCensusSpec(config), config.num_rows, seed);
+}
+
+}  // namespace datagen
+}  // namespace depmatch

@@ -1,0 +1,82 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Paper-shaped synthetic datasets.
+//
+// The paper evaluates on two real data sets we cannot redistribute or
+// fetch offline:
+//   * PKDD-2001 thrombosis lab exams: ~50K tuples, 44 numeric test
+//     attributes, an exam-date column used to range-partition the table
+//     into two halves, and a tail of mostly-null columns with near-zero
+//     entropy (Figure 4(a), attributes 25-30).
+//   * US Census 2000 state files (CA, NY): 240 attributes, dense, higher
+//     entropies (Figure 4(b)), containing duplicated columns (the paper's
+//     attributes 8/9).
+//
+// These constructors synthesize datasets with the same *structural*
+// signatures — entropy profile, null tail, duplicated columns, shared
+// inter-attribute MI structure across the two samples — using the
+// Bayes-net generator. The matcher consumes only distributions, never
+// value semantics, so this substitution exercises the identical code path
+// (see DESIGN.md, "Substitutions").
+
+#ifndef DEPMATCH_DATAGEN_DATASETS_H_
+#define DEPMATCH_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+
+#include "depmatch/common/status.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+namespace datagen {
+
+struct LabExamConfig {
+  // Test attributes (excluding the leading exam_date column).
+  size_t num_test_attributes = 44;
+  // Trailing test attributes that are mostly null (the low-entropy tail).
+  size_t num_null_heavy_attributes = 6;
+  size_t num_rows = 50000;
+  // Fraction of each conditional map that changes between the first and
+  // second half of the date range (temporal nonstationarity of real lab
+  // data; the paper's halves are ~6 years apart).
+  double drift = 0.10;
+};
+
+// Spec for the lab-exam generator: column 0 is "exam_date" (uniform over
+// ~12 years of days, for range partitioning); columns 1..num_test_
+// attributes are correlated test results organized into panels that all
+// descend from an observable severity score (column 1).
+BayesNetSpec MakeLabExamSpec(const LabExamConfig& config);
+
+// Generates the lab-exam table. Deterministic in (config, seed).
+Result<Table> MakeLabExamTable(const LabExamConfig& config, uint64_t seed);
+
+struct CensusConfig {
+  size_t num_attributes = 240;
+  size_t num_rows = 12000;
+  // Every attribute i with i % duplicate_stride == duplicate_offset is an
+  // exact copy of attribute i-1 (the paper's duplicated census columns).
+  size_t duplicate_stride = 40;
+  size_t duplicate_offset = 17;
+  // Which population this sample represents (0 = "NY", 1 = "CA"); a
+  // `drift` fraction of each conditional map differs between the two.
+  int epoch = 0;
+  double drift = 0.02;
+};
+
+// Spec for one census "state": 240 dense attributes in correlated groups
+// of eight, no nulls, entropies spanning roughly 0.5 - 14 bits at 10K
+// samples, with duplicated columns.
+BayesNetSpec MakeCensusSpec(const CensusConfig& config);
+
+// Generates one census state sample. Two states (the paper's NY and CA)
+// are two calls with different seeds: independent samples of the same
+// joint distribution, hence matchable by structure.
+Result<Table> MakeCensusTable(const CensusConfig& config, uint64_t seed);
+
+}  // namespace datagen
+}  // namespace depmatch
+
+#endif  // DEPMATCH_DATAGEN_DATASETS_H_

@@ -1,0 +1,32 @@
+#include "depmatch/eval/accuracy.h"
+
+#include <algorithm>
+
+namespace depmatch {
+
+Accuracy ComputeAccuracy(const std::vector<MatchPair>& produced,
+                         const std::vector<MatchPair>& truth) {
+  Accuracy acc;
+  acc.produced = produced.size();
+  acc.true_matches = truth.size();
+  for (const MatchPair& pair : produced) {
+    if (std::find(truth.begin(), truth.end(), pair) != truth.end()) {
+      ++acc.correct;
+    }
+  }
+  if (acc.produced == 0) {
+    acc.precision = acc.true_matches == 0 ? 1.0 : 0.0;
+  } else {
+    acc.precision =
+        static_cast<double>(acc.correct) / static_cast<double>(acc.produced);
+  }
+  if (acc.true_matches == 0) {
+    acc.recall = acc.produced == 0 ? 1.0 : 0.0;
+  } else {
+    acc.recall = static_cast<double>(acc.correct) /
+                 static_cast<double>(acc.true_matches);
+  }
+  return acc;
+}
+
+}  // namespace depmatch

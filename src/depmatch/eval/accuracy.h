@@ -1,0 +1,36 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Match-quality measures from Section 2.3 of the paper:
+//   Precision = c / n   (correct pairs / produced pairs)
+//   Recall    = c / m   (correct pairs / true pairs)
+// For one-to-one and onto mappings n == m, so precision == recall.
+
+#ifndef DEPMATCH_EVAL_ACCURACY_H_
+#define DEPMATCH_EVAL_ACCURACY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+struct Accuracy {
+  size_t produced = 0;      // n
+  size_t true_matches = 0;  // m
+  size_t correct = 0;       // c
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+// Compares a produced mapping against the ground truth. Edge conventions:
+// with no produced pairs, precision is 1 if the truth is also empty and 0
+// otherwise; with an empty truth, recall is 1 if nothing was produced and
+// 0 otherwise (producing pairs against an empty truth is all-wrong).
+Accuracy ComputeAccuracy(const std::vector<MatchPair>& produced,
+                         const std::vector<MatchPair>& truth);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_EVAL_ACCURACY_H_

@@ -1,0 +1,198 @@
+#include "depmatch/eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
+#include "depmatch/match/matcher.h"
+
+namespace depmatch {
+namespace {
+
+// Outcome of a single iteration.
+struct IterationOutcome {
+  bool failed = false;
+  Accuracy accuracy;
+  double metric_value = 0.0;
+  double produced_pairs = 0.0;
+  uint64_t nodes_explored = 0;
+};
+
+// Derives a well-separated per-iteration seed.
+uint64_t IterationSeed(uint64_t seed, size_t iteration) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (iteration + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+IterationOutcome RunOneIteration(const DependencyGraph& graph1,
+                                 const DependencyGraph& graph2,
+                                 const SubsetExperimentConfig& config,
+                                 size_t iteration) {
+  Rng rng(IterationSeed(config.seed, iteration));
+  size_t w = config.source_size;
+  size_t t_size = config.target_size;
+  size_t overlap = 0;
+  switch (config.match.cardinality) {
+    case Cardinality::kOneToOne:
+    case Cardinality::kOnto:
+      overlap = w;
+      break;
+    case Cardinality::kPartial:
+      overlap = config.overlap;
+      break;
+  }
+
+  std::vector<size_t> source_attrs;
+  std::vector<size_t> target_attrs;
+  std::vector<MatchPair> truth;
+
+  if (config.schemas_related) {
+    // Draw overlap + source-only + target-only distinct attributes from
+    // the shared universe.
+    size_t source_only = w - overlap;
+    size_t target_only = t_size - overlap;
+    std::vector<size_t> drawn = rng.SampleWithoutReplacement(
+        graph1.size(), overlap + source_only + target_only);
+    source_attrs.assign(drawn.begin(), drawn.begin() + overlap);
+    source_attrs.insert(source_attrs.end(), drawn.begin() + overlap,
+                        drawn.begin() + overlap + source_only);
+    target_attrs.assign(drawn.begin(), drawn.begin() + overlap);
+    target_attrs.insert(target_attrs.end(),
+                        drawn.begin() + overlap + source_only, drawn.end());
+    rng.Shuffle(source_attrs);
+    rng.Shuffle(target_attrs);
+    // Ground truth: positions of the shared attributes in both orders.
+    std::unordered_map<size_t, size_t> target_position;
+    for (size_t j = 0; j < target_attrs.size(); ++j) {
+      target_position[target_attrs[j]] = j;
+    }
+    for (size_t i = 0; i < source_attrs.size(); ++i) {
+      auto it = target_position.find(source_attrs[i]);
+      if (it != target_position.end()) {
+        truth.push_back({i, it->second});
+      }
+    }
+  } else {
+    source_attrs = rng.SampleWithoutReplacement(graph1.size(), w);
+    target_attrs = rng.SampleWithoutReplacement(graph2.size(), t_size);
+  }
+
+  IterationOutcome outcome;
+  Result<DependencyGraph> source = graph1.SubGraph(source_attrs);
+  Result<DependencyGraph> target = graph2.SubGraph(target_attrs);
+  if (!source.ok() || !target.ok()) {
+    outcome.failed = true;
+    return outcome;
+  }
+  Result<MatchResult> match =
+      MatchGraphs(source.value(), target.value(), config.match);
+  if (!match.ok()) {
+    outcome.failed = true;
+    return outcome;
+  }
+  outcome.accuracy = ComputeAccuracy(match.value().pairs, truth);
+  outcome.metric_value = match.value().metric_value;
+  outcome.produced_pairs = static_cast<double>(match.value().pairs.size());
+  outcome.nodes_explored = match.value().nodes_explored;
+  return outcome;
+}
+
+}  // namespace
+
+Result<ExperimentStats> RunSubsetExperiment(
+    const DependencyGraph& graph1, const DependencyGraph& graph2,
+    const SubsetExperimentConfig& config) {
+  size_t w = config.source_size;
+  size_t t_size = config.target_size;
+  if (w == 0 || t_size == 0) {
+    return InvalidArgumentError("source_size and target_size must be > 0");
+  }
+  if (config.match.cardinality == Cardinality::kOneToOne && w != t_size) {
+    return InvalidArgumentError(
+        "one-to-one experiments need source_size == target_size");
+  }
+  if (config.match.cardinality == Cardinality::kOnto && w > t_size) {
+    return InvalidArgumentError(
+        "onto experiments need source_size <= target_size");
+  }
+  size_t overlap = config.match.cardinality == Cardinality::kPartial
+                       ? config.overlap
+                       : w;
+  if (overlap > w || overlap > t_size) {
+    return InvalidArgumentError("overlap exceeds schema sizes");
+  }
+  if (config.schemas_related) {
+    if (graph1.size() != graph2.size()) {
+      return InvalidArgumentError(
+          "related experiments need graphs over the same attribute "
+          "universe");
+    }
+    size_t needed = overlap + (w - overlap) + (t_size - overlap);
+    if (needed > graph1.size()) {
+      return InvalidArgumentError(StrFormat(
+          "subset draw needs %zu distinct attributes, universe has %zu",
+          needed, graph1.size()));
+    }
+  } else {
+    if (w > graph1.size() || t_size > graph2.size()) {
+      return InvalidArgumentError("subset larger than graph");
+    }
+  }
+  if (config.iterations == 0) {
+    return InvalidArgumentError("iterations must be > 0");
+  }
+
+  std::vector<IterationOutcome> outcomes(config.iterations);
+  auto run = [&](size_t i) {
+    outcomes[i] = RunOneIteration(graph1, graph2, config, i);
+  };
+  if (config.num_threads > 1) {
+    ThreadPool::ParallelFor(config.num_threads, config.iterations, run);
+  } else {
+    for (size_t i = 0; i < config.iterations; ++i) run(i);
+  }
+
+  ExperimentStats stats;
+  for (const IterationOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      ++stats.iterations_failed;
+      continue;
+    }
+    ++stats.iterations_completed;
+    stats.mean_precision += outcome.accuracy.precision;
+    stats.mean_recall += outcome.accuracy.recall;
+    stats.mean_metric_value += outcome.metric_value;
+    stats.mean_produced_pairs += outcome.produced_pairs;
+    stats.total_nodes_explored += outcome.nodes_explored;
+  }
+  if (stats.iterations_completed > 0) {
+    double n = static_cast<double>(stats.iterations_completed);
+    stats.mean_precision /= n;
+    stats.mean_recall /= n;
+    stats.mean_metric_value /= n;
+    stats.mean_produced_pairs /= n;
+  }
+  if (stats.iterations_completed > 1) {
+    double n = static_cast<double>(stats.iterations_completed);
+    double precision_ss = 0.0;
+    double recall_ss = 0.0;
+    for (const IterationOutcome& outcome : outcomes) {
+      if (outcome.failed) continue;
+      double dp = outcome.accuracy.precision - stats.mean_precision;
+      double dr = outcome.accuracy.recall - stats.mean_recall;
+      precision_ss += dp * dp;
+      recall_ss += dr * dr;
+    }
+    stats.stddev_precision = std::sqrt(precision_ss / (n - 1.0));
+    stats.stddev_recall = std::sqrt(recall_ss / (n - 1.0));
+  }
+  return stats;
+}
+
+}  // namespace depmatch

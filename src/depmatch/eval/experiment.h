@@ -1,0 +1,83 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment runner replicating the paper's methodology (Section 3):
+// repeatedly draw random attribute subsets from two dependency graphs
+// built over the *same* attribute universe (e.g. the two halves of the
+// lab-exam table, or the NY and CA census samples), shuffle the node
+// order so index identity leaks nothing, run the matcher, score against
+// the known correspondence, and average over iterations.
+//
+// The runner also supports deliberately *unrelated* graph pairs (e.g.
+// lab-exam vs census, Figure 8), where there is no ground truth and only
+// the optimized metric value is recorded.
+
+#ifndef DEPMATCH_EVAL_EXPERIMENT_H_
+#define DEPMATCH_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "depmatch/common/status.h"
+#include "depmatch/eval/accuracy.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+struct SubsetExperimentConfig {
+  // Matcher configuration for every iteration.
+  MatchOptions match;
+
+  // Number of source attributes per iteration (the paper's x-axis for
+  // one-to-one and onto).
+  size_t source_size = 0;
+  // Number of target attributes. Must equal source_size for one-to-one.
+  // The paper fixes 22 for onto and 12/12 for partial.
+  size_t target_size = 0;
+  // kPartial only: number of attributes present on both sides (# of true
+  // matches). One-to-one and onto derive it from the sizes.
+  size_t overlap = 0;
+
+  // When true (default), the two graphs cover the same attribute universe
+  // and node i of graph 1 truly corresponds to node i of graph 2; subsets
+  // are drawn accordingly and scored against that correspondence. When
+  // false, subsets are drawn independently from each graph and there is no
+  // ground truth (accuracy fields stay zero).
+  bool schemas_related = true;
+
+  size_t iterations = 50;
+  uint64_t seed = 17;
+  // Worker threads across iterations (1 = serial; results are identical
+  // for any thread count).
+  size_t num_threads = 1;
+};
+
+struct ExperimentStats {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  // Sample standard deviations across completed iterations (0 when fewer
+  // than two iterations completed).
+  double stddev_precision = 0.0;
+  double stddev_recall = 0.0;
+  // Mean value of the optimized metric across iterations.
+  double mean_metric_value = 0.0;
+  // Mean number of produced pairs (interesting for partial mappings).
+  double mean_produced_pairs = 0.0;
+  size_t iterations_completed = 0;
+  // Iterations whose match attempt returned an error (budget exhaustion);
+  // excluded from the means.
+  size_t iterations_failed = 0;
+  uint64_t total_nodes_explored = 0;
+};
+
+// Runs the experiment. `graph1` is the source universe, `graph2` the
+// target universe; when schemas_related, both must have the same size.
+// Deterministic for fixed config.
+Result<ExperimentStats> RunSubsetExperiment(
+    const DependencyGraph& graph1, const DependencyGraph& graph2,
+    const SubsetExperimentConfig& config);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_EVAL_EXPERIMENT_H_

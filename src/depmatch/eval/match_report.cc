@@ -1,0 +1,99 @@
+#include "depmatch/eval/match_report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/eval/report.h"
+
+namespace depmatch {
+
+std::string_view MatchVerdictToString(MatchVerdict verdict) {
+  switch (verdict) {
+    case MatchVerdict::kCorrect:
+      return "correct";
+    case MatchVerdict::kWrong:
+      return "wrong";
+    case MatchVerdict::kSpurious:
+      return "spurious";
+    case MatchVerdict::kMissed:
+      return "missed";
+  }
+  return "unknown";
+}
+
+MatchReport BuildMatchReport(const std::vector<MatchPair>& produced,
+                             const std::vector<MatchPair>& truth) {
+  MatchReport report;
+  report.accuracy = ComputeAccuracy(produced, truth);
+
+  std::map<size_t, size_t> true_target;
+  for (const MatchPair& pair : truth) {
+    true_target[pair.source] = pair.target;
+  }
+  std::map<size_t, size_t> produced_target;
+  for (const MatchPair& pair : produced) {
+    produced_target[pair.source] = pair.target;
+  }
+
+  for (const MatchPair& pair : produced) {
+    MatchReportEntry entry;
+    entry.source = pair.source;
+    entry.produced_target = pair.target;
+    auto it = true_target.find(pair.source);
+    if (it == true_target.end()) {
+      entry.verdict = MatchVerdict::kSpurious;
+    } else {
+      entry.true_target = it->second;
+      entry.verdict = it->second == pair.target ? MatchVerdict::kCorrect
+                                                : MatchVerdict::kWrong;
+    }
+    report.entries.push_back(entry);
+  }
+  for (const MatchPair& pair : truth) {
+    auto it = produced_target.find(pair.source);
+    if (it != produced_target.end()) continue;  // covered above
+    MatchReportEntry entry;
+    entry.verdict = MatchVerdict::kMissed;
+    entry.source = pair.source;
+    entry.true_target = pair.target;
+    report.entries.push_back(entry);
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const MatchReportEntry& a, const MatchReportEntry& b) {
+              return a.source < b.source;
+            });
+  return report;
+}
+
+namespace {
+
+std::string NameOf(size_t index, const std::vector<std::string>& names) {
+  if (index == MatchReportEntry::kNone) return "-";
+  if (index < names.size()) return names[index];
+  return StrFormat("#%zu", index);
+}
+
+}  // namespace
+
+std::string FormatMatchReport(const MatchReport& report,
+                              const std::vector<std::string>& source_names,
+                              const std::vector<std::string>& target_names) {
+  TextTable table;
+  table.SetHeader({"source", "proposed", "expected", "verdict"});
+  for (const MatchReportEntry& entry : report.entries) {
+    table.AddRow({NameOf(entry.source, source_names),
+                  NameOf(entry.produced_target, target_names),
+                  NameOf(entry.true_target, target_names),
+                  std::string(MatchVerdictToString(entry.verdict))});
+  }
+  std::string out = table.ToString();
+  out += StrFormat(
+      "\nprecision %.1f%% (%zu/%zu)   recall %.1f%% (%zu/%zu)\n",
+      report.accuracy.precision * 100.0, report.accuracy.correct,
+      report.accuracy.produced, report.accuracy.recall * 100.0,
+      report.accuracy.correct, report.accuracy.true_matches);
+  return out;
+}
+
+}  // namespace depmatch

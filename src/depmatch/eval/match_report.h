@@ -1,0 +1,59 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Human-readable match-quality reports: classifies every produced and
+// expected pair as correct / wrong-target / spurious / missed and renders
+// the verdict with attribute names. The (semi-)automatic workflow the
+// paper targets has a human verifying proposals — this is the artifact
+// that human reads.
+
+#ifndef DEPMATCH_EVAL_MATCH_REPORT_H_
+#define DEPMATCH_EVAL_MATCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "depmatch/eval/accuracy.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+enum class MatchVerdict {
+  kCorrect,   // produced pair present in the truth
+  kWrong,     // produced pair whose source has a different true target
+  kSpurious,  // produced pair whose source has no true target
+  kMissed,    // truth pair whose source was not (correctly) matched
+};
+
+std::string_view MatchVerdictToString(MatchVerdict verdict);
+
+struct MatchReportEntry {
+  MatchVerdict verdict = MatchVerdict::kCorrect;
+  size_t source = 0;
+  // Produced target (kCorrect/kWrong/kSpurious) or kNone.
+  size_t produced_target = kNone;
+  // True target (kCorrect/kWrong/kMissed) or kNone.
+  size_t true_target = kNone;
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+struct MatchReport {
+  std::vector<MatchReportEntry> entries;  // sorted by source index
+  Accuracy accuracy;
+};
+
+// Classifies `produced` against `truth`. Sources appearing in neither are
+// omitted.
+MatchReport BuildMatchReport(const std::vector<MatchPair>& produced,
+                             const std::vector<MatchPair>& truth);
+
+// Renders the report with attribute names; indices out of range of the
+// name vectors fall back to "#<index>".
+std::string FormatMatchReport(const MatchReport& report,
+                              const std::vector<std::string>& source_names,
+                              const std::vector<std::string>& target_names);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_EVAL_MATCH_REPORT_H_

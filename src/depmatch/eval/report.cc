@@ -1,0 +1,90 @@
+#include "depmatch/eval/report.h"
+
+#include <algorithm>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += cell;
+      if (c + 1 < cols) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render(header_);
+    std::string rule;
+    for (size_t c = 0; c < cols; ++c) {
+      rule.append(widths[c], '-');
+      if (c + 1 < cols) rule.append(2, ' ');
+    }
+    out += rule;
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ',';
+      bool needs_quotes =
+          row[c].find_first_of(",\"\n\r") != std::string::npos;
+      if (!needs_quotes) {
+        line += row[c];
+        continue;
+      }
+      line += '"';
+      for (char ch : row[c]) {
+        if (ch == '"') line += '"';
+        line += ch;
+      }
+      line += '"';
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out;
+  if (!header_.empty()) out += render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string FormatPercent(double fraction) {
+  return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+}  // namespace depmatch

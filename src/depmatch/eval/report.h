@@ -1,0 +1,45 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// TextTable: column-aligned plain-text tables for the benchmark harness
+// output (each bench prints the same rows/series its paper figure plots).
+
+#ifndef DEPMATCH_EVAL_REPORT_H_
+#define DEPMATCH_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace depmatch {
+
+class TextTable {
+ public:
+  TextTable() = default;
+
+  // Sets the header row (defines the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a data row. Rows shorter than the header are right-padded with
+  // empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with two-space column separation and a dashed rule under the
+  // header.
+  std::string ToString() const;
+
+  // Renders as CSV (header first, RFC-4180 quoting) for plotting tools.
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a fraction as a percentage like "86.5%".
+std::string FormatPercent(double fraction);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_EVAL_REPORT_H_

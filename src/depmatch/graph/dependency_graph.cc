@@ -1,0 +1,139 @@
+#include "depmatch/graph/dependency_graph.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace {
+
+constexpr double kSymmetryTolerance = 1e-9;
+
+}  // namespace
+
+Result<DependencyGraph> DependencyGraph::Create(
+    std::vector<std::string> names, std::vector<std::vector<double>> matrix) {
+  size_t n = names.size();
+  if (matrix.size() != n) {
+    return InvalidArgumentError(
+        StrFormat("matrix has %zu rows for %zu names", matrix.size(), n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (matrix[i].size() != n) {
+      return InvalidArgumentError(
+          StrFormat("matrix row %zu has %zu entries, expected %zu", i,
+                    matrix[i].size(), n));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!(matrix[i][j] >= 0.0)) {  // also catches NaN
+        return InvalidArgumentError(StrFormat(
+            "mutual information m[%zu][%zu] = %f must be non-negative", i, j,
+            matrix[i][j]));
+      }
+      if (std::fabs(matrix[i][j] - matrix[j][i]) > kSymmetryTolerance) {
+        return InvalidArgumentError(StrFormat(
+            "matrix not symmetric at (%zu, %zu): %.12g vs %.12g", i, j,
+            matrix[i][j], matrix[j][i]));
+      }
+    }
+  }
+  return DependencyGraph(std::move(names), std::move(matrix));
+}
+
+Result<DependencyGraph> DependencyGraph::SubGraph(
+    const std::vector<size_t>& indices) const {
+  std::unordered_set<size_t> seen;
+  for (size_t index : indices) {
+    if (index >= size()) {
+      return OutOfRangeError(
+          StrFormat("node index %zu out of range (%zu nodes)", index,
+                    size()));
+    }
+    if (!seen.insert(index).second) {
+      return InvalidArgumentError(
+          StrFormat("node index %zu selected twice", index));
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(indices.size());
+  for (size_t index : indices) names.push_back(names_[index]);
+  std::vector<std::vector<double>> matrix(
+      indices.size(), std::vector<double>(indices.size(), 0.0));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = 0; j < indices.size(); ++j) {
+      matrix[i][j] = matrix_[indices[i]][indices[j]];
+    }
+  }
+  return DependencyGraph(std::move(names), std::move(matrix));
+}
+
+std::string DependencyGraph::ToString() const {
+  std::string out = StrFormat("DependencyGraph(%zu nodes)\n", size());
+  for (size_t i = 0; i < size(); ++i) {
+    out += StrFormat("  %-16s H=%.4f |", names_[i].c_str(), entropy(i));
+    for (size_t j = 0; j < size(); ++j) {
+      out += StrFormat(" %.4f", matrix_[i][j]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DependencyGraph::Serialize() const {
+  std::string out = StrFormat("%zu\n", size());
+  for (size_t i = 0; i < size(); ++i) {
+    if (i > 0) out += '\t';
+    out += names_[i];
+  }
+  out += '\n';
+  for (size_t i = 0; i < size(); ++i) {
+    for (size_t j = 0; j < size(); ++j) {
+      if (j > 0) out += '\t';
+      out += StrFormat("%.17g", matrix_[i][j]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<DependencyGraph> DependencyGraph::Deserialize(const std::string& text) {
+  std::vector<std::string> lines = SplitString(text, '\n');
+  if (lines.empty()) return InvalidArgumentError("empty graph text");
+  std::optional<int64_t> n_parsed = ParseInt64(lines[0]);
+  if (!n_parsed.has_value() || *n_parsed < 0) {
+    return InvalidArgumentError("bad node count line");
+  }
+  size_t n = static_cast<size_t>(*n_parsed);
+  if (lines.size() < n + 2) {
+    return InvalidArgumentError("truncated graph text");
+  }
+  std::vector<std::string> names =
+      n == 0 ? std::vector<std::string>{} : SplitString(lines[1], '\t');
+  if (names.size() != n) {
+    return InvalidArgumentError(
+        StrFormat("expected %zu names, found %zu", n, names.size()));
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> fields = SplitString(lines[i + 2], '\t');
+    if (fields.size() != n) {
+      return InvalidArgumentError(
+          StrFormat("matrix row %zu has %zu fields, expected %zu", i,
+                    fields.size(), n));
+    }
+    for (size_t j = 0; j < n; ++j) {
+      std::optional<double> v = ParseDouble(fields[j]);
+      if (!v.has_value()) {
+        return InvalidArgumentError(
+            StrFormat("bad matrix entry at (%zu, %zu)", i, j));
+      }
+      matrix[i][j] = *v;
+    }
+  }
+  return Create(std::move(names), std::move(matrix));
+}
+
+}  // namespace depmatch

@@ -1,0 +1,65 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// DependencyGraph: the paper's Definition 2.4.
+//
+// An undirected labeled graph over the attributes of one table, stored as a
+// symmetric square matrix M where m[i][j] = MI(a_i; a_j). Edge labels are
+// pairwise mutual information; node labels are attribute entropies, which
+// equal the diagonal (self-information MI(a_i; a_i) = H(a_i)).
+
+#ifndef DEPMATCH_GRAPH_DEPENDENCY_GRAPH_H_
+#define DEPMATCH_GRAPH_DEPENDENCY_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+
+namespace depmatch {
+
+class DependencyGraph {
+ public:
+  DependencyGraph() = default;
+
+  // Validates that `matrix` is square of dimension names.size(), symmetric
+  // (within 1e-9), and non-negative.
+  static Result<DependencyGraph> Create(std::vector<std::string> names,
+                                        std::vector<std::vector<double>> matrix);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // MI(a_i; a_j). Symmetric.
+  double mi(size_t i, size_t j) const { return matrix_[i][j]; }
+  // H(a_i) == mi(i, i).
+  double entropy(size_t i) const { return matrix_[i][i]; }
+
+  // Induced sub-graph on `indices` (order defines new node numbering).
+  // Fails on out-of-range or duplicate indices.
+  Result<DependencyGraph> SubGraph(const std::vector<size_t>& indices) const;
+
+  // Human-readable matrix with node names, for debugging and examples.
+  std::string ToString() const;
+
+  // Round-trippable text serialization:
+  //   line 1: n
+  //   line 2: tab-separated names
+  //   next n lines: tab-separated row of the MI matrix ("%.17g")
+  std::string Serialize() const;
+  static Result<DependencyGraph> Deserialize(const std::string& text);
+
+ private:
+  DependencyGraph(std::vector<std::string> names,
+                  std::vector<std::vector<double>> matrix)
+      : names_(std::move(names)), matrix_(std::move(matrix)) {}
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> matrix_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_GRAPH_DEPENDENCY_GRAPH_H_

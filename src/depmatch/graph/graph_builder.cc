@@ -1,0 +1,67 @@
+#include "depmatch/graph/graph_builder.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/thread_pool.h"
+#include "depmatch/stats/association.h"
+
+namespace depmatch {
+
+Result<DependencyGraph> BuildDependencyGraph(
+    const Table& table, const DependencyGraphOptions& options) {
+  size_t n = table.num_attributes();
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(table.schema().attribute(i).name);
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+
+  // Upper-triangle work list (including the diagonal).
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+
+  auto compute = [&](size_t k) {
+    auto [i, j] = pairs[k];
+    double value = 0.0;
+    if (i == j) {
+      // Node labels are always entropies (self-information MI(X;X) ==
+      // H(X)); EntropyOf avoids building the diagonal joint histogram.
+      value = EntropyOf(table.column(i), options.stats);
+    } else {
+      switch (options.measure) {
+        case DependencyMeasure::kMutualInformation:
+          value = MutualInformation(table.column(i), table.column(j),
+                                    options.stats);
+          break;
+        case DependencyMeasure::kNormalizedMutualInformation:
+          value = NormalizedMutualInformation(table.column(i),
+                                              table.column(j),
+                                              options.stats);
+          break;
+        case DependencyMeasure::kCramersV:
+          value = CramersV(table.column(i), table.column(j), options.stats);
+          break;
+      }
+    }
+    matrix[i][j] = value;
+    matrix[j][i] = value;
+  };
+
+  if (options.num_threads > 1) {
+    ThreadPool::ParallelFor(options.num_threads, pairs.size(), compute);
+  } else {
+    for (size_t k = 0; k < pairs.size(); ++k) compute(k);
+  }
+
+  return DependencyGraph::Create(std::move(names), std::move(matrix));
+}
+
+}  // namespace depmatch

@@ -1,0 +1,46 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Table2DepGraph (step 1 of the paper's algorithm): computes pairwise
+// mutual information over all attribute pairs of a table and assembles
+// the dependency graph.
+
+#ifndef DEPMATCH_GRAPH_GRAPH_BUILDER_H_
+#define DEPMATCH_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstddef>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+// Which dependency statistic labels the graph's edges. The paper uses
+// mutual information; the alternatives realize its "other dependency
+// models" future-work direction. The diagonal (node label) is always the
+// attribute entropy, so entropy-based candidate filtering and the
+// entropy-only metrics behave identically across measures.
+enum class DependencyMeasure {
+  kMutualInformation,            // MI(X;Y) in bits (the paper's choice)
+  kNormalizedMutualInformation,  // MI / max(H) in [0, 1]
+  kCramersV,                     // chi-square association in [0, 1]
+};
+
+struct DependencyGraphOptions {
+  StatsOptions stats;
+  // Worker threads for the O(n^2) MI computation; 1 = serial.
+  size_t num_threads = 1;
+  DependencyMeasure measure = DependencyMeasure::kMutualInformation;
+};
+
+// Builds the dependency graph of `table`: m[i][j] = MI(a_i; a_j), with the
+// diagonal m[i][i] = H(a_i) (self-information). Deterministic for a given
+// table and options.
+Result<DependencyGraph> BuildDependencyGraph(
+    const Table& table, const DependencyGraphOptions& options = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_GRAPH_GRAPH_BUILDER_H_

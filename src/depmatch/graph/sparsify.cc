@@ -1,0 +1,111 @@
+#include "depmatch/graph/sparsify.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace depmatch {
+namespace {
+
+struct Edge {
+  size_t i;
+  size_t j;
+  double weight;
+};
+
+// All off-diagonal edges (i < j) sorted by descending weight, ties by
+// (i, j).
+std::vector<Edge> SortedEdges(const DependencyGraph& graph) {
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < graph.size(); ++i) {
+    for (size_t j = i + 1; j < graph.size(); ++j) {
+      edges.push_back({i, j, graph.mi(i, j)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+  });
+  return edges;
+}
+
+// Rebuilds the graph keeping the given edges (plus the diagonal).
+Result<DependencyGraph> WithEdges(const DependencyGraph& graph,
+                                  const std::vector<Edge>& kept) {
+  size_t n = graph.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) matrix[i][i] = graph.entropy(i);
+  for (const Edge& edge : kept) {
+    matrix[edge.i][edge.j] = edge.weight;
+    matrix[edge.j][edge.i] = edge.weight;
+  }
+  return DependencyGraph::Create(graph.names(), std::move(matrix));
+}
+
+// Union-find for Kruskal.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<DependencyGraph> ChowLiuTree(const DependencyGraph& graph) {
+  DisjointSets components(graph.size());
+  std::vector<Edge> kept;
+  for (const Edge& edge : SortedEdges(graph)) {
+    if (edge.weight <= 0.0) break;  // zero edges are dropped anyway
+    if (components.Union(edge.i, edge.j)) {
+      kept.push_back(edge);
+    }
+  }
+  return WithEdges(graph, kept);
+}
+
+Result<DependencyGraph> KeepTopEdges(const DependencyGraph& graph,
+                                     size_t k) {
+  std::vector<Edge> edges = SortedEdges(graph);
+  if (edges.size() > k) edges.resize(k);
+  return WithEdges(graph, edges);
+}
+
+Result<DependencyGraph> DropWeakEdges(const DependencyGraph& graph,
+                                      double threshold) {
+  std::vector<Edge> kept;
+  for (const Edge& edge : SortedEdges(graph)) {
+    if (edge.weight >= threshold) kept.push_back(edge);
+  }
+  return WithEdges(graph, kept);
+}
+
+size_t CountEdges(const DependencyGraph& graph) {
+  size_t count = 0;
+  for (size_t i = 0; i < graph.size(); ++i) {
+    for (size_t j = i + 1; j < graph.size(); ++j) {
+      if (graph.mi(i, j) > 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,50 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Dependency-graph sparsification.
+//
+// The paper's related-work section points at Bayesian-network structure
+// learning as an alternative dependency model, citing in particular
+// approaches that use mutual information to bound the structure search.
+// The classic instance is the Chow-Liu tree: the maximum-weight spanning
+// tree of the pairwise-MI graph is the best tree-shaped approximation of
+// the joint distribution (Chow & Liu 1968). Matching sparsified graphs is
+// cheaper (fewer meaningful cells) and filters estimation noise in weak
+// edges; the accuracy trade-off is measured in bench_ablation_sparsify.
+//
+// Both transforms preserve node count, names, and the entropy diagonal;
+// they only zero out non-selected off-diagonal edges.
+
+#ifndef DEPMATCH_GRAPH_SPARSIFY_H_
+#define DEPMATCH_GRAPH_SPARSIFY_H_
+
+#include <cstddef>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+
+namespace depmatch {
+
+// Keeps only the edges of the maximum-weight spanning forest (Chow-Liu
+// tree; a forest if ties at zero weight leave components disconnected —
+// zero-weight edges are never needed since dropped edges become zero
+// anyway). Deterministic: ties broken by (i, j) order.
+Result<DependencyGraph> ChowLiuTree(const DependencyGraph& graph);
+
+// Keeps only the globally strongest `k` off-diagonal edges (by MI value;
+// ties broken by (i, j) order). k >= number of edges leaves the graph
+// unchanged.
+Result<DependencyGraph> KeepTopEdges(const DependencyGraph& graph,
+                                     size_t k);
+
+// Zeroes all edges with MI strictly below `threshold`.
+Result<DependencyGraph> DropWeakEdges(const DependencyGraph& graph,
+                                      double threshold);
+
+// Number of nonzero off-diagonal edges (counting each undirected edge
+// once).
+size_t CountEdges(const DependencyGraph& graph);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_GRAPH_SPARSIFY_H_

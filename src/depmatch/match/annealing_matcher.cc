@@ -1,0 +1,230 @@
+#include "depmatch/match/annealing_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/greedy_matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+// Mutable assignment state with O(n) contribution deltas.
+class State {
+ public:
+  State(const DependencyGraph& a, const DependencyGraph& b,
+        const Metric& metric, size_t n, size_t m)
+      : a_(a), b_(b), metric_(metric), target_of_(n, kUnassigned),
+        source_of_(m, kUnassigned) {}
+
+  size_t target_of(size_t s) const { return target_of_[s]; }
+  bool target_used(size_t t) const { return source_of_[t] != kUnassigned; }
+  double sum() const { return sum_; }
+
+  std::vector<MatchPair> Pairs() const {
+    std::vector<MatchPair> pairs;
+    for (size_t s = 0; s < target_of_.size(); ++s) {
+      if (target_of_[s] != kUnassigned) pairs.push_back({s, target_of_[s]});
+    }
+    return pairs;
+  }
+
+  // Contribution of assigning s -> t given the current assignment minus s.
+  double GainOf(size_t s, size_t t) const {
+    std::vector<MatchPair> others;
+    for (size_t s2 = 0; s2 < target_of_.size(); ++s2) {
+      if (s2 == s || target_of_[s2] == kUnassigned) continue;
+      others.push_back({s2, target_of_[s2]});
+    }
+    return metric_.IncrementalGain(a_, b_, others, s, t);
+  }
+
+  void Assign(size_t s, size_t t) {
+    sum_ += GainOf(s, t);
+    target_of_[s] = t;
+    source_of_[t] = s;
+  }
+
+  void Unassign(size_t s) {
+    size_t t = target_of_[s];
+    target_of_[s] = kUnassigned;
+    source_of_[t] = kUnassigned;
+    // Contribution is measured against the assignment without s.
+    sum_ -= GainOf(s, t);
+  }
+
+ private:
+  const DependencyGraph& a_;
+  const DependencyGraph& b_;
+  const Metric& metric_;
+  std::vector<size_t> target_of_;
+  std::vector<size_t> source_of_;
+  double sum_ = 0.0;
+};
+
+}  // namespace
+
+Result<MatchResult> AnnealingMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const MatchOptions& options,
+                                   const AnnealingParams& params) {
+  Metric metric(options.metric, options.alpha);
+  size_t n = source.size();
+  size_t m = target.size();
+  if (options.cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (options.cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+  MatchResult result;
+  result.metric = options.metric;
+  if (n == 0) {
+    result.metric_value = metric.Finalize(0.0);
+    return result;
+  }
+
+  std::vector<std::vector<size_t>> candidates = ComputeEntropyCandidates(
+      source, target, options.candidates_per_attribute);
+
+  // Start from the greedy solution; if greedy strands itself inside the
+  // candidate filter (its one-pass commitment can leave a later source
+  // without free candidates), fall back to any feasible assignment from
+  // bipartite matching. NotFound only if the filter truly admits none.
+  std::vector<MatchPair> start;
+  Result<MatchResult> greedy = GreedyMatch(source, target, options);
+  if (greedy.ok()) {
+    start = greedy->pairs;
+  } else if (greedy.status().code() == StatusCode::kNotFound) {
+    std::optional<std::vector<size_t>> feasible =
+        FindFeasibleAssignment(candidates, m);
+    if (!feasible.has_value()) return greedy.status();
+    for (size_t s = 0; s < n; ++s) start.push_back({s, (*feasible)[s]});
+  } else {
+    return greedy.status();
+  }
+  // allowed[s][t] for O(1) swap legality checks.
+  std::vector<std::vector<char>> allowed(n, std::vector<char>(m, 0));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t : candidates[s]) allowed[s][t] = 1;
+  }
+
+  State state(source, target, metric, n, m);
+  for (const MatchPair& pair : start) {
+    state.Assign(pair.source, pair.target);
+  }
+
+  bool partial = options.cardinality == Cardinality::kPartial;
+  bool maximize = metric.maximize();
+  auto better = [&](double candidate, double incumbent) {
+    return maximize ? candidate > incumbent : candidate < incumbent;
+  };
+
+  double best_sum = state.sum();
+  std::vector<MatchPair> best_pairs = state.Pairs();
+  uint64_t moves_tried = 0;
+
+  Rng rng(params.seed);
+  for (double temperature = params.initial_temperature;
+       temperature > params.final_temperature;
+       temperature *= params.cooling_rate) {
+    for (size_t step = 0; step < params.moves_per_node * n; ++step) {
+      ++moves_tried;
+      size_t s1 = rng.NextBounded(n);
+      const std::vector<size_t>& cand = candidates[s1];
+      if (cand.empty()) continue;
+      size_t t_new = cand[rng.NextBounded(cand.size())];
+      size_t t_old = state.target_of(s1);
+
+      double before = state.sum();
+      // Build and tentatively apply the move; roll back on rejection.
+      std::vector<std::pair<size_t, size_t>> undo_assign;   // (s, t)
+      std::vector<size_t> undo_unassign;                    // s
+
+      if (t_old == t_new) {
+        if (!partial) continue;
+        // Toggle: drop s1 (partial only).
+        state.Unassign(s1);
+        undo_assign.push_back({s1, t_old});
+      } else if (!state.target_used(t_new)) {
+        // Reassign (or fresh assign) s1 -> t_new.
+        if (t_old != kUnassigned) {
+          state.Unassign(s1);
+          undo_assign.push_back({s1, t_old});
+        }
+        state.Assign(s1, t_new);
+        undo_unassign.push_back(s1);
+      } else {
+        // Swap with the owner of t_new, if mutually legal.
+        size_t s2 = kUnassigned;
+        for (size_t s = 0; s < n; ++s) {
+          if (state.target_of(s) == t_new) {
+            s2 = s;
+            break;
+          }
+        }
+        if (s2 == kUnassigned || s2 == s1) continue;
+        if (t_old == kUnassigned) {
+          // s1 unmatched: steal t_new, leaving s2 unmatched (partial) or
+          // illegal (exact cardinalities).
+          if (!partial) continue;
+          state.Unassign(s2);
+          undo_assign.push_back({s2, t_new});
+          state.Assign(s1, t_new);
+          undo_unassign.push_back(s1);
+        } else {
+          if (!allowed[s2][t_old]) continue;
+          state.Unassign(s1);
+          undo_assign.push_back({s1, t_old});
+          state.Unassign(s2);
+          undo_assign.push_back({s2, t_new});
+          state.Assign(s1, t_new);
+          undo_unassign.push_back(s1);
+          state.Assign(s2, t_old);
+          undo_unassign.push_back(s2);
+        }
+      }
+
+      double delta = state.sum() - before;
+      double improvement = maximize ? delta : -delta;
+      bool accept = improvement > 0.0 ||
+                    rng.NextDouble() < std::exp(improvement / temperature);
+      if (!accept) {
+        // Roll back in reverse order of application.
+        for (auto it = undo_unassign.rbegin(); it != undo_unassign.rend();
+             ++it) {
+          state.Unassign(*it);
+        }
+        for (auto it = undo_assign.rbegin(); it != undo_assign.rend();
+             ++it) {
+          state.Assign(it->first, it->second);
+        }
+        continue;
+      }
+      if (better(state.sum(), best_sum)) {
+        best_sum = state.sum();
+        best_pairs = state.Pairs();
+      }
+    }
+  }
+
+  result.pairs = std::move(best_pairs);
+  std::sort(result.pairs.begin(), result.pairs.end());
+  // Recompute from scratch to shed accumulated floating-point drift.
+  result.metric_value = metric.Evaluate(source, target, result.pairs);
+  result.nodes_explored = moves_tried;
+  return result;
+}
+
+}  // namespace depmatch

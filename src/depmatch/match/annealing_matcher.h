@@ -1,0 +1,47 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Simulated-annealing matcher: a second approximate search (besides
+// graduated assignment) that handles the full quadratic objective of the
+// structural metrics. Useful when schemas are too wide for the exhaustive
+// branch-and-bound and graduated assignment's continuous relaxation
+// struggles (e.g. many near-tied compatibilities).
+//
+// Moves:
+//   * reassign: map a source to a currently free target
+//   * swap:     exchange the targets of two matched sources
+//   * drop:     unmatch a source               (kPartial only)
+// Acceptance follows Metropolis with a geometric cooling schedule. The
+// matcher is deterministic for a fixed options.seed.
+
+#ifndef DEPMATCH_MATCH_ANNEALING_MATCHER_H_
+#define DEPMATCH_MATCH_ANNEALING_MATCHER_H_
+
+#include <cstdint>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+struct AnnealingParams {
+  double initial_temperature = 2.0;
+  double final_temperature = 1e-3;
+  double cooling_rate = 0.95;
+  // Proposed moves per temperature step, as a multiple of source size.
+  size_t moves_per_node = 40;
+  uint64_t seed = 9;
+};
+
+// Same contract as ExhaustiveMatch, computed by simulated annealing.
+// Starts from the greedy solution and never returns something worse than
+// its starting point.
+Result<MatchResult> AnnealingMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const MatchOptions& options,
+                                   const AnnealingParams& params = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_ANNEALING_MATCHER_H_

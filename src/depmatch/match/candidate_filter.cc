@@ -1,0 +1,65 @@
+#include "depmatch/match/candidate_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace depmatch {
+
+std::vector<std::vector<size_t>> ComputeEntropyCandidates(
+    const DependencyGraph& source, const DependencyGraph& target,
+    size_t per_source) {
+  size_t n = source.size();
+  size_t m = target.size();
+  std::vector<std::vector<size_t>> candidates(n);
+  std::vector<std::pair<double, size_t>> ranked(m);
+  for (size_t s = 0; s < n; ++s) {
+    double hs = source.entropy(s);
+    for (size_t t = 0; t < m; ++t) {
+      ranked[t] = {std::fabs(hs - target.entropy(t)), t};
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t keep = (per_source == 0) ? m : std::min(per_source, m);
+    candidates[s].reserve(keep);
+    for (size_t k = 0; k < keep; ++k) {
+      candidates[s].push_back(ranked[k].second);
+    }
+  }
+  return candidates;
+}
+
+std::optional<std::vector<size_t>> FindFeasibleAssignment(
+    const std::vector<std::vector<size_t>>& candidates,
+    size_t num_targets) {
+  size_t n = candidates.size();
+  std::vector<int> target_owner(num_targets, -1);
+  std::vector<char> visited(num_targets, 0);
+
+  // Recursion depth is bounded by n; schema widths are small.
+  std::function<bool(size_t)> augment = [&](size_t s) -> bool {
+    for (size_t t : candidates[s]) {
+      if (visited[t]) continue;
+      visited[t] = 1;
+      if (target_owner[t] < 0 ||
+          augment(static_cast<size_t>(target_owner[t]))) {
+        target_owner[t] = static_cast<int>(s);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t s = 0; s < n; ++s) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (!augment(s)) return std::nullopt;
+  }
+  std::vector<size_t> assignment(n, 0);
+  for (size_t t = 0; t < num_targets; ++t) {
+    if (target_owner[t] >= 0) {
+      assignment[static_cast<size_t>(target_owner[t])] = t;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace depmatch

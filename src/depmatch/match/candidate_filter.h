@@ -1,0 +1,38 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Entropy-based candidate filtering (the paper's search-space heuristic):
+// for each source attribute, keep only the p target attributes whose
+// entropies are closest to the source attribute's entropy. The paper's
+// testbed uses p = 3.
+
+#ifndef DEPMATCH_MATCH_CANDIDATE_FILTER_H_
+#define DEPMATCH_MATCH_CANDIDATE_FILTER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "depmatch/graph/dependency_graph.h"
+
+namespace depmatch {
+
+// candidates[s] = target node indices source s may map to, ordered by
+// increasing |H_a(s) - H_b(t)| (ties broken by target index, so the output
+// is deterministic). `per_source` == 0 keeps all targets.
+std::vector<std::vector<size_t>> ComputeEntropyCandidates(
+    const DependencyGraph& source, const DependencyGraph& target,
+    size_t per_source);
+
+// Kuhn's augmenting-path bipartite matching over the candidate lists:
+// returns a complete injective source -> target assignment within the
+// filtered space, or nullopt when the filter violates Hall's condition.
+// Used by the exact matchers to detect infeasibility in O(n * m) and to
+// seed searches with a feasible incumbent. `num_targets` is the target
+// graph's size.
+std::optional<std::vector<size_t>> FindFeasibleAssignment(
+    const std::vector<std::vector<size_t>>& candidates, size_t num_targets);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_CANDIDATE_FILTER_H_

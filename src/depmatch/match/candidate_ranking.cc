@@ -1,0 +1,78 @@
+#include "depmatch/match/candidate_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace {
+
+std::vector<double> SortedOffDiagonal(const DependencyGraph& graph,
+                                      size_t node) {
+  std::vector<double> profile;
+  profile.reserve(graph.size() > 0 ? graph.size() - 1 : 0);
+  for (size_t j = 0; j < graph.size(); ++j) {
+    if (j == node) continue;
+    profile.push_back(graph.mi(node, j));
+  }
+  std::sort(profile.rbegin(), profile.rend());
+  return profile;
+}
+
+}  // namespace
+
+double MiProfileSimilarity(const DependencyGraph& source, size_t s,
+                           const DependencyGraph& target, size_t t) {
+  std::vector<double> a = SortedOffDiagonal(source, s);
+  std::vector<double> b = SortedOffDiagonal(target, t);
+  size_t length = std::max(a.size(), b.size());
+  a.resize(length, 0.0);
+  b.resize(length, 0.0);
+  double difference = 0.0;
+  double mass = 0.0;
+  for (size_t i = 0; i < length; ++i) {
+    difference += std::fabs(a[i] - b[i]);
+    mass += a[i] + b[i];
+  }
+  if (mass <= 0.0) return 1.0;
+  return 1.0 - difference / mass;
+}
+
+Result<std::vector<std::vector<RankedCandidate>>> RankCandidates(
+    const DependencyGraph& source, const DependencyGraph& target,
+    const CandidateRankingOptions& options) {
+  if (options.profile_weight < 0.0 || options.profile_weight > 1.0) {
+    return InvalidArgumentError("profile_weight must be in [0, 1]");
+  }
+  std::vector<std::vector<RankedCandidate>> ranking(source.size());
+  for (size_t s = 0; s < source.size(); ++s) {
+    std::vector<RankedCandidate>& candidates = ranking[s];
+    candidates.reserve(target.size());
+    double hs = source.entropy(s);
+    for (size_t t = 0; t < target.size(); ++t) {
+      RankedCandidate candidate;
+      candidate.target = t;
+      double ht = target.entropy(t);
+      double sum = hs + ht;
+      candidate.entropy_score =
+          sum <= 0.0 ? 1.0 : 1.0 - std::fabs(hs - ht) / sum;
+      candidate.profile_score = MiProfileSimilarity(source, s, target, t);
+      candidate.score =
+          options.profile_weight * candidate.profile_score +
+          (1.0 - options.profile_weight) * candidate.entropy_score;
+      candidates.push_back(candidate);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const RankedCandidate& a, const RankedCandidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.target < b.target;
+              });
+    if (options.top_k > 0 && candidates.size() > options.top_k) {
+      candidates.resize(options.top_k);
+    }
+  }
+  return ranking;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,57 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Ranked per-attribute candidates for human review. The paper frames
+// automatic matching as "proposing likely matches that are then verified
+// by some human expert"; a single best mapping is the wrong artifact for
+// that loop — reviewers want, per attribute, a short ranked list of
+// alternatives with scores.
+//
+// Each (source, target) pair is scored without fixing a global mapping,
+// from two un-interpreted node signals:
+//   * entropy closeness: 1 - |Ha-Hb| / (Ha+Hb)   (0/0 -> 1), and
+//   * MI-profile similarity: the node's sorted off-diagonal MI vector
+//     compared by normalized L1 distance (order-invariant, so it needs
+//     no correspondence to evaluate).
+// The final score is their weighted blend.
+
+#ifndef DEPMATCH_MATCH_CANDIDATE_RANKING_H_
+#define DEPMATCH_MATCH_CANDIDATE_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+
+namespace depmatch {
+
+// Order-invariant similarity in [0, 1] between the MI row profiles of
+// node `s` of `source` and node `t` of `target` (sorted descending,
+// zero-padded, 1 - L1/mass). Two all-zero profiles score 1.
+double MiProfileSimilarity(const DependencyGraph& source, size_t s,
+                           const DependencyGraph& target, size_t t);
+
+struct RankedCandidate {
+  size_t target = 0;
+  double score = 0.0;       // blended, in [0, 1]
+  double entropy_score = 0.0;
+  double profile_score = 0.0;
+};
+
+struct CandidateRankingOptions {
+  // Candidates kept per source attribute (0 = all targets).
+  size_t top_k = 5;
+  // Weight of the MI-profile signal vs entropy closeness, in [0, 1].
+  double profile_weight = 0.6;
+};
+
+// ranking[s] = up to top_k targets for source s, best first (ties broken
+// by target index).
+Result<std::vector<std::vector<RankedCandidate>>> RankCandidates(
+    const DependencyGraph& source, const DependencyGraph& target,
+    const CandidateRankingOptions& options = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_CANDIDATE_RANKING_H_

@@ -1,0 +1,265 @@
+#include "depmatch/match/exhaustive_matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+// Depth-first branch-and-bound state over a fixed source processing order.
+class Search {
+ public:
+  Search(const DependencyGraph& a, const DependencyGraph& b,
+         const Metric& metric, Cardinality cardinality,
+         std::vector<std::vector<size_t>> candidates,
+         std::vector<size_t> order, uint64_t node_budget)
+      : a_(a),
+        b_(b),
+        metric_(metric),
+        cardinality_(cardinality),
+        candidates_(std::move(candidates)),
+        order_(std::move(order)),
+        node_budget_(node_budget),
+        used_(b.size(), 0) {
+    // Per-depth diagonal-term bounds (admissible: each future assignment
+    // of order_[k] pays at least / at most its best diagonal term over
+    // its own candidates, regardless of which targets remain free).
+    // Only valid when every source must be assigned (not partial).
+    size_t depth = order_.size();
+    min_diag_suffix_.assign(depth + 1, 0.0);
+    max_diag_suffix_.assign(depth + 1, 0.0);
+    if (cardinality_ != Cardinality::kPartial) {
+      for (size_t k = depth; k > 0; --k) {
+        size_t s = order_[k - 1];
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (size_t t : candidates_[s]) {
+          double term = metric_.Term(a_.mi(s, s), b_.mi(t, t));
+          lo = std::min(lo, term);
+          hi = std::max(hi, term);
+        }
+        if (candidates_[s].empty()) {
+          lo = 0.0;
+          hi = 0.0;
+        }
+        min_diag_suffix_[k - 1] = min_diag_suffix_[k] + lo;
+        max_diag_suffix_[k - 1] = max_diag_suffix_[k] + hi;
+      }
+    }
+  }
+
+  // Installs a known-feasible assignment as the incumbent before the
+  // search starts, enabling pruning from the first node.
+  void SeedIncumbent(std::vector<MatchPair> pairs, double sum) {
+    has_best_ = true;
+    best_sum_ = sum;
+    best_pairs_ = std::move(pairs);
+  }
+
+  // Runs the search. Returns true if any feasible assignment was found
+  // (for partial, the empty assignment always counts).
+  bool Run() {
+    if (cardinality_ == Cardinality::kPartial && !has_best_) {
+      // The empty mapping is feasible; it is the baseline to beat.
+      has_best_ = true;
+      best_sum_ = 0.0;
+      best_pairs_.clear();
+    }
+    Dfs(0, 0.0);
+    return has_best_;
+  }
+
+  const std::vector<MatchPair>& best_pairs() const { return best_pairs_; }
+  double best_sum() const { return best_sum_; }
+  uint64_t nodes_explored() const { return nodes_explored_; }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+ private:
+  // Admissible optimistic bound on the additional sum attainable from
+  // depth `k` (maximization only). For exact cardinalities the r future
+  // diagonal cells are bounded by each source's best candidate diagonal
+  // term instead of MaxTerm, which bites hard on mismatched schema pairs.
+  double UpperBoundFrom(size_t k) const {
+    size_t assigned = assigned_.size();
+    size_t remaining = order_.size() - k;
+    if (metric_.structural()) {
+      double final_count = static_cast<double>(assigned + remaining);
+      double now = static_cast<double>(assigned);
+      double cells = final_count * final_count - now * now;
+      if (cardinality_ == Cardinality::kPartial) {
+        return cells * metric_.MaxTerm();
+      }
+      double r = static_cast<double>(remaining);
+      return (cells - r) * metric_.MaxTerm() + max_diag_suffix_[k];
+    }
+    if (cardinality_ == Cardinality::kPartial) {
+      return static_cast<double>(remaining) * metric_.MaxTerm();
+    }
+    return max_diag_suffix_[k];
+  }
+
+  // Admissible lower bound on the additional sum that *must* accrue from
+  // depth `k` (minimization; 0 under partial where skipping is free).
+  double LowerBoundFrom(size_t k) const { return min_diag_suffix_[k]; }
+
+  bool Improves(double sum) const {
+    if (!has_best_) return true;
+    return metric_.maximize() ? sum > best_sum_ : sum < best_sum_;
+  }
+
+  void RecordIfBetter(double sum) {
+    if (Improves(sum)) {
+      has_best_ = true;
+      best_sum_ = sum;
+      best_pairs_ = assigned_;
+    }
+  }
+
+  void Dfs(size_t k, double sum) {
+    if (budget_exhausted_) return;
+    if (k == order_.size()) {
+      RecordIfBetter(sum);
+      return;
+    }
+    // Prune.
+    if (has_best_) {
+      if (metric_.maximize()) {
+        if (sum + UpperBoundFrom(k) <= best_sum_) return;
+      } else {
+        // Every Euclidean increment is >= 0, and at least the best-case
+        // diagonal terms of all unassigned sources must still accrue.
+        if (sum + LowerBoundFrom(k) >= best_sum_) return;
+      }
+    }
+    size_t s = order_[k];
+    for (size_t t : candidates_[s]) {
+      if (used_[t]) continue;
+      if (++nodes_explored_ > node_budget_) {
+        budget_exhausted_ = true;
+        return;
+      }
+      double gain = metric_.IncrementalGain(a_, b_, assigned_, s, t);
+      // Cheap per-child pruning for minimization.
+      if (!metric_.maximize() && has_best_ &&
+          sum + gain + LowerBoundFrom(k + 1) >= best_sum_) {
+        continue;
+      }
+      used_[t] = 1;
+      assigned_.push_back({s, t});
+      Dfs(k + 1, sum + gain);
+      assigned_.pop_back();
+      used_[t] = 0;
+      if (budget_exhausted_) return;
+    }
+    if (cardinality_ == Cardinality::kPartial) {
+      // Leave s unmatched.
+      Dfs(k + 1, sum);
+    }
+  }
+
+  const DependencyGraph& a_;
+  const DependencyGraph& b_;
+  const Metric& metric_;
+  Cardinality cardinality_;
+  std::vector<std::vector<size_t>> candidates_;
+  std::vector<size_t> order_;
+  uint64_t node_budget_;
+
+  std::vector<char> used_;
+  std::vector<double> min_diag_suffix_;
+  std::vector<double> max_diag_suffix_;
+  std::vector<MatchPair> assigned_;
+  std::vector<MatchPair> best_pairs_;
+  double best_sum_ = 0.0;
+  bool has_best_ = false;
+  uint64_t nodes_explored_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+Result<MatchResult> ExhaustiveMatch(const DependencyGraph& source,
+                                    const DependencyGraph& target,
+                                    const MatchOptions& options) {
+  size_t n = source.size();
+  size_t m = target.size();
+  if (options.cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (options.cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+  Metric metric(options.metric, options.alpha);
+
+  MatchResult result;
+  result.metric = options.metric;
+  if (n == 0) {
+    result.metric_value = metric.Finalize(0.0);
+    return result;
+  }
+
+  std::vector<std::vector<size_t>> candidates = ComputeEntropyCandidates(
+      source, target, options.candidates_per_attribute);
+
+  // Process high-entropy sources first: their labels vary most, which
+  // tightens bounds early.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return source.entropy(x) > source.entropy(y);
+  });
+
+  // For the exact cardinalities, check feasibility of the filtered space
+  // up front and seed the search with the feasible assignment found, so
+  // that (a) infeasible filters fail in O(n * m) instead of by exhaustive
+  // enumeration and (b) pruning is active from the first search node.
+  std::optional<std::vector<MatchPair>> incumbent;
+  if (options.cardinality != Cardinality::kPartial) {
+    std::optional<std::vector<size_t>> assignment =
+        FindFeasibleAssignment(candidates, m);
+    if (!assignment.has_value()) {
+      return NotFoundError(
+          "candidate filter admits no complete injective assignment; "
+          "widen candidates_per_attribute");
+    }
+    incumbent.emplace();
+    for (size_t s = 0; s < n; ++s) {
+      incumbent->push_back({s, (*assignment)[s]});
+    }
+  }
+
+  Search search(source, target, metric, options.cardinality,
+                std::move(candidates), std::move(order),
+                options.max_search_nodes);
+  if (incumbent.has_value()) {
+    search.SeedIncumbent(*incumbent,
+                         metric.EvaluateSum(source, target, *incumbent));
+  }
+  bool found = search.Run();
+  if (!found) {
+    return NotFoundError(
+        "candidate filter admits no complete injective assignment; widen "
+        "candidates_per_attribute");
+  }
+
+  result.pairs = search.best_pairs();
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.metric_value = metric.Finalize(search.best_sum());
+  result.nodes_explored = search.nodes_explored();
+  result.budget_exhausted = search.budget_exhausted();
+  return result;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,37 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's search procedure: exhaustive search over injective node
+// mappings, restricted by the entropy candidate filter, implemented as
+// depth-first branch-and-bound so it is exact over the filtered space but
+// visits far fewer states than naive enumeration.
+//
+// Supports all three cardinality constraints:
+//   one-to-one: |A| == |B|, every source assigned
+//   onto:       |A| <= |B|, every source assigned
+//   partial:    any sizes, sources may stay unmatched
+//
+// For one-to-one and onto, the candidate filter can in rare cases admit no
+// complete injective assignment (a Hall-condition violation); the matcher
+// then returns NotFoundError and MatchGraphs() retries with a wider filter.
+
+#ifndef DEPMATCH_MATCH_EXHAUSTIVE_MATCHER_H_
+#define DEPMATCH_MATCH_EXHAUSTIVE_MATCHER_H_
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+// Finds the mapping optimizing options.metric subject to
+// options.cardinality. Exact over the candidate-filtered search space
+// unless options.max_search_nodes is exceeded (then best-so-far is
+// returned with budget_exhausted set).
+Result<MatchResult> ExhaustiveMatch(const DependencyGraph& source,
+                                    const DependencyGraph& target,
+                                    const MatchOptions& options);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_EXHAUSTIVE_MATCHER_H_

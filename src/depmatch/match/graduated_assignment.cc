@@ -1,0 +1,179 @@
+#include "depmatch/match/graduated_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+// Pair compatibility: a quantity to *maximize*. Normal-metric terms are
+// already benefits; Euclidean terms are costs and get negated.
+double Compatibility(const Metric& metric, double a, double b) {
+  double term = metric.Term(a, b);
+  return metric.maximize() ? term : -term;
+}
+
+// Rounds a soft assignment to a hard injective mapping by repeatedly
+// committing the largest remaining cell. `allow_unmatched` permits leaving
+// a source unmatched when its slack weight beats all remaining cells.
+std::vector<MatchPair> Round(const std::vector<std::vector<double>>& soft,
+                             size_t n, size_t m, bool allow_unmatched) {
+  std::vector<char> src_done(n, 0);
+  std::vector<char> tgt_used(m, 0);
+  std::vector<MatchPair> pairs;
+  size_t remaining = n;
+  while (remaining > 0) {
+    double best = -std::numeric_limits<double>::infinity();
+    size_t bs = 0, bt = 0;
+    bool found = false;
+    for (size_t s = 0; s < n; ++s) {
+      if (src_done[s]) continue;
+      for (size_t t = 0; t < m; ++t) {
+        if (tgt_used[t]) continue;
+        if (soft[s][t] > best) {
+          best = soft[s][t];
+          bs = s;
+          bt = t;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;  // no free targets left
+    if (allow_unmatched && soft[bs][m] >= best) {
+      // Slack wins: leave bs unmatched.
+      src_done[bs] = 1;
+      --remaining;
+      continue;
+    }
+    src_done[bs] = 1;
+    tgt_used[bt] = 1;
+    pairs.push_back({bs, bt});
+    --remaining;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<MatchResult> GraduatedAssignmentMatch(
+    const DependencyGraph& source, const DependencyGraph& target,
+    const MatchOptions& options, const GraduatedAssignmentParams& params) {
+  size_t n = source.size();
+  size_t m = target.size();
+  if (options.cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (options.cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+  Metric metric(options.metric, options.alpha);
+  MatchResult result;
+  result.metric = options.metric;
+  if (n == 0) {
+    result.metric_value = metric.Finalize(0.0);
+    return result;
+  }
+
+  std::vector<std::vector<size_t>> candidate_lists = ComputeEntropyCandidates(
+      source, target, options.candidates_per_attribute);
+  // allowed[s][t]: the filter admits s -> t.
+  std::vector<std::vector<char>> allowed(n, std::vector<char>(m, 0));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t : candidate_lists[s]) allowed[s][t] = 1;
+  }
+
+  // Soft assignment with one slack row (index n) and slack column (m).
+  std::vector<std::vector<double>> soft(n + 1,
+                                        std::vector<double>(m + 1, 0.0));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < m; ++t) {
+      if (!allowed[s][t]) continue;
+      // Deterministic symmetry-breaking perturbation.
+      soft[s][t] = 1.0 + 1e-3 * static_cast<double>((s * 31 + t * 17) % 7);
+    }
+    soft[s][m] = 1.0;
+  }
+  for (size_t t = 0; t <= m; ++t) soft[n][t] = 1.0;
+
+  std::vector<std::vector<double>> gradient(n, std::vector<double>(m, 0.0));
+
+  for (double beta = params.beta_initial; beta <= params.beta_final;
+       beta *= params.beta_rate) {
+    for (int it = 0; it < params.iterations_per_beta; ++it) {
+      // Q[s][t] = dE/dM[s][t]: node term + sum of pair interactions with
+      // the current soft assignment.
+      for (size_t s = 0; s < n; ++s) {
+        for (size_t t = 0; t < m; ++t) {
+          if (!allowed[s][t]) continue;
+          double q = Compatibility(metric, source.mi(s, s), target.mi(t, t));
+          if (metric.structural()) {
+            for (size_t s2 = 0; s2 < n; ++s2) {
+              if (s2 == s) continue;
+              for (size_t t2 = 0; t2 < m; ++t2) {
+                if (t2 == t || !allowed[s2][t2]) continue;
+                if (soft[s2][t2] <= 0.0) continue;
+                q += 2.0 * soft[s2][t2] *
+                     Compatibility(metric, source.mi(s, s2),
+                                   target.mi(t, t2));
+              }
+            }
+          }
+          gradient[s][t] = q;
+        }
+      }
+      // Softmax re-estimation.
+      for (size_t s = 0; s < n; ++s) {
+        for (size_t t = 0; t < m; ++t) {
+          if (!allowed[s][t]) continue;
+          // Clamp the exponent to keep exp() finite.
+          double e = std::min(beta * gradient[s][t], 500.0);
+          soft[s][t] = std::exp(e);
+        }
+        soft[s][m] = 1.0;  // slack stays at neutral weight
+      }
+      for (size_t t = 0; t <= m; ++t) soft[n][t] = 1.0;
+      // Sinkhorn normalization (slack row/column participate but are not
+      // required to sum to one across the other dimension).
+      for (int sk = 0; sk < params.sinkhorn_iterations; ++sk) {
+        // Rows (real sources only).
+        for (size_t s = 0; s < n; ++s) {
+          double row = soft[s][m];
+          for (size_t t = 0; t < m; ++t) row += soft[s][t];
+          if (row <= 0.0) continue;
+          for (size_t t = 0; t <= m; ++t) soft[s][t] /= row;
+        }
+        // Columns (real targets only).
+        for (size_t t = 0; t < m; ++t) {
+          double col = soft[n][t];
+          for (size_t s = 0; s < n; ++s) col += soft[s][t];
+          if (col <= 0.0) continue;
+          for (size_t s = 0; s <= n; ++s) soft[s][t] /= col;
+        }
+      }
+    }
+  }
+
+  bool allow_unmatched = options.cardinality == Cardinality::kPartial;
+  result.pairs = Round(soft, n, m, allow_unmatched);
+  std::sort(result.pairs.begin(), result.pairs.end());
+  if ((options.cardinality != Cardinality::kPartial) &&
+      result.pairs.size() != n) {
+    return NotFoundError(
+        "graduated assignment could not assign every source attribute; "
+        "widen candidates_per_attribute");
+  }
+  result.metric_value = metric.Evaluate(source, target, result.pairs);
+  return result;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,91 @@
+#include "depmatch/match/greedy_matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+
+Result<MatchResult> GreedyMatch(const DependencyGraph& source,
+                                const DependencyGraph& target,
+                                const MatchOptions& options) {
+  size_t n = source.size();
+  size_t m = target.size();
+  if (options.cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (options.cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+  Metric metric(options.metric, options.alpha);
+  std::vector<std::vector<size_t>> candidates = ComputeEntropyCandidates(
+      source, target, options.candidates_per_attribute);
+
+  MatchResult result;
+  result.metric = options.metric;
+
+  std::vector<char> source_done(n, 0);
+  std::vector<char> target_used(m, 0);
+  std::vector<MatchPair> assigned;
+  double sum = 0.0;
+  uint64_t nodes = 0;
+
+  bool must_assign_all = options.cardinality != Cardinality::kPartial;
+  size_t remaining = n;
+  while (remaining > 0) {
+    bool found = false;
+    double best_gain = 0.0;
+    MatchPair best_pair;
+    for (size_t s = 0; s < n; ++s) {
+      if (source_done[s]) continue;
+      for (size_t t : candidates[s]) {
+        if (target_used[t]) continue;
+        ++nodes;
+        double gain = metric.IncrementalGain(source, target, assigned, s, t);
+        bool better = !found || (metric.maximize() ? gain > best_gain
+                                                   : gain < best_gain);
+        if (better) {
+          found = true;
+          best_gain = gain;
+          best_pair = {s, t};
+        }
+      }
+    }
+    if (!found) {
+      if (must_assign_all) {
+        return NotFoundError(
+            "greedy search ran out of free candidate targets; widen "
+            "candidates_per_attribute");
+      }
+      break;
+    }
+    if (!must_assign_all) {
+      // Partial: stop once the best available step stops improving the
+      // objective (normal metrics: non-positive gain; Euclidean metrics:
+      // any positive gain worsens the distance).
+      bool improves = metric.maximize() ? best_gain > 0.0 : best_gain < 0.0;
+      if (!improves) break;
+    }
+    source_done[best_pair.source] = 1;
+    target_used[best_pair.target] = 1;
+    assigned.push_back(best_pair);
+    sum += best_gain;
+    --remaining;
+  }
+
+  result.pairs = std::move(assigned);
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.metric_value = metric.Finalize(sum);
+  result.nodes_explored = nodes;
+  return result;
+}
+
+}  // namespace depmatch

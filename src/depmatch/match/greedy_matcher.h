@@ -1,0 +1,26 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Greedy matcher: repeatedly commits the (source, target) pair with the
+// best incremental metric gain given the pairs chosen so far. O(n^2 * m)
+// and not exact — used as the cheap baseline in the search ablation.
+
+#ifndef DEPMATCH_MATCH_GREEDY_MATCHER_H_
+#define DEPMATCH_MATCH_GREEDY_MATCHER_H_
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+// Same contract as ExhaustiveMatch but computes a greedy approximation.
+// Under kPartial it stops as soon as no remaining pair improves the
+// objective.
+Result<MatchResult> GreedyMatch(const DependencyGraph& source,
+                                const DependencyGraph& target,
+                                const MatchOptions& options);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_GREEDY_MATCHER_H_

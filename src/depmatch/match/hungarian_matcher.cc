@@ -1,0 +1,153 @@
+#include "depmatch/match/hungarian_matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+
+Result<std::vector<size_t>> SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  size_t n = cost.size();
+  if (n == 0) return std::vector<size_t>{};
+  size_t m = cost[0].size();
+  for (const auto& row : cost) {
+    if (row.size() != m) {
+      return InvalidArgumentError("cost matrix rows have unequal lengths");
+    }
+  }
+  if (m < n) {
+    return InvalidArgumentError(StrFormat(
+        "assignment needs at least as many columns as rows (%zu < %zu)", m,
+        n));
+  }
+
+  // Hungarian algorithm with potentials (Jonker/e-maxx formulation),
+  // 1-based internally; p[j] = row currently assigned to column j.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0);
+  std::vector<size_t> way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<size_t> assignment(n, 0);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) assignment[p[j] - 1] = j - 1;
+  }
+  // Feasibility: an optimal solution through a forbidden cell means no
+  // feasible assignment avoids one.
+  for (size_t i = 0; i < n; ++i) {
+    if (cost[i][assignment[i]] >= kUnusableCost / 2) {
+      return NotFoundError(
+          "no feasible assignment within the allowed cells");
+    }
+  }
+  return assignment;
+}
+
+Result<MatchResult> HungarianMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const MatchOptions& options) {
+  Metric metric(options.metric, options.alpha);
+  if (metric.structural()) {
+    return InvalidArgumentError(
+        "the Hungarian matcher requires an element-wise (entropy-only) "
+        "metric; MI metrics form a quadratic assignment problem");
+  }
+  size_t n = source.size();
+  size_t m = target.size();
+  if (options.cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (options.cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+
+  MatchResult result;
+  result.metric = options.metric;
+  if (n == 0) {
+    result.metric_value = metric.Finalize(0.0);
+    return result;
+  }
+
+  std::vector<std::vector<size_t>> candidates = ComputeEntropyCandidates(
+      source, target, options.candidates_per_attribute);
+
+  bool partial = options.cardinality == Cardinality::kPartial;
+  size_t columns = partial ? m + n : m;
+  std::vector<std::vector<double>> cost(
+      n, std::vector<double>(columns, kUnusableCost));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t : candidates[s]) {
+      double term = metric.Term(source.entropy(s), target.entropy(t));
+      cost[s][t] = metric.maximize() ? -term : term;
+    }
+    if (partial) {
+      // Private zero-cost dummy: staying unmatched contributes nothing.
+      cost[s][m + s] = 0.0;
+    }
+  }
+
+  Result<std::vector<size_t>> assignment = SolveAssignment(cost);
+  if (!assignment.ok()) return assignment.status();
+
+  double sum = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    size_t t = (*assignment)[s];
+    if (t >= m) continue;  // dummy: unmatched
+    result.pairs.push_back({s, t});
+    sum += metric.Term(source.entropy(s), target.entropy(t));
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.metric_value = metric.Finalize(sum);
+  result.nodes_explored = n * columns;  // cost cells examined
+  return result;
+}
+
+}  // namespace depmatch

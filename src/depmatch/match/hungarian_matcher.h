@@ -1,0 +1,51 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Exact polynomial-time matcher for the element-wise (entropy-only)
+// metrics. With DEU/DEN the objective decomposes into one term per
+// matched node, so optimal matching is a linear assignment problem: the
+// Hungarian algorithm solves it exactly in O(n^2 * m) — no exponential
+// search, no candidate filter needed for tractability (the filter is
+// still honored so results stay comparable with the other matchers).
+//
+// Cardinalities:
+//   one-to-one / onto: rectangular assignment (every source assigned).
+//   partial:           each source may stay unmatched at gain 0; realized
+//                      by giving every source a private zero-cost dummy
+//                      target.
+//
+// Structural (MI) metrics make the objective a *quadratic* assignment
+// problem, which Hungarian cannot solve; requesting one is an
+// InvalidArgument error.
+
+#ifndef DEPMATCH_MATCH_HUNGARIAN_MATCHER_H_
+#define DEPMATCH_MATCH_HUNGARIAN_MATCHER_H_
+
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+// Same contract as ExhaustiveMatch, restricted to entropy-only metrics.
+// Exact: for kEntropyEuclidean / kEntropyNormal the returned mapping
+// attains the optimal metric value over the candidate-filtered space.
+Result<MatchResult> HungarianMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const MatchOptions& options);
+
+// Low-level solver, exposed for reuse (interpreted baselines use it with
+// their own cost matrices) and for direct testing.
+//
+// Minimizes sum_i cost[i][assignment[i]] over injective assignments of
+// all n rows into m >= n columns. Entries set to kUnusableCost are
+// forbidden; if no feasible assignment exists, returns NotFoundError.
+inline constexpr double kUnusableCost = 1e30;
+Result<std::vector<size_t>> SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_HUNGARIAN_MATCHER_H_

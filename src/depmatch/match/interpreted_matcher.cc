@@ -1,0 +1,189 @@
+#include "depmatch/match/interpreted_matcher.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/match/hungarian_matcher.h"
+
+namespace depmatch {
+namespace {
+
+// Solves the maximization assignment over a similarity matrix, honoring
+// the cardinality constraint. For kPartial, each source gets a private
+// dummy column worth `threshold`, so pairs are proposed only when their
+// similarity strictly exceeds it.
+Result<MatchResult> AssignBySimilarity(
+    const std::vector<std::vector<double>>& similarity, size_t m,
+    Cardinality cardinality, double threshold) {
+  size_t n = similarity.size();
+  MatchResult result;
+  if (n == 0) return result;
+  if (cardinality == Cardinality::kOneToOne && n != m) {
+    return InvalidArgumentError(
+        StrFormat("one-to-one mapping requires equal sizes (%zu vs %zu)", n,
+                  m));
+  }
+  if (cardinality == Cardinality::kOnto && n > m) {
+    return InvalidArgumentError(StrFormat(
+        "onto mapping requires source size <= target size (%zu vs %zu)", n,
+        m));
+  }
+  bool partial = cardinality == Cardinality::kPartial;
+  size_t columns = partial ? m + n : m;
+  std::vector<std::vector<double>> cost(
+      n, std::vector<double>(columns, kUnusableCost));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < m; ++t) {
+      cost[s][t] = -similarity[s][t];
+    }
+    if (partial) cost[s][m + s] = -threshold;
+  }
+  Result<std::vector<size_t>> assignment = SolveAssignment(cost);
+  if (!assignment.ok()) return assignment.status();
+  double total = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    size_t t = (*assignment)[s];
+    if (t >= m) continue;  // below threshold: unmatched
+    result.pairs.push_back({s, t});
+    total += similarity[s][t];
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.metric_value = total;
+  return result;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// Similarity of two MI row profiles compared order-invariantly (sorted
+// descending), so the score does not depend on node numbering — it stays
+// un-interpreted and usable before any mapping is known.
+double ProfileSimilarity(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.rbegin(), a.rend());
+  std::sort(b.rbegin(), b.rend());
+  size_t len = std::max(a.size(), b.size());
+  a.resize(len, 0.0);
+  b.resize(len, 0.0);
+  double diff = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    diff += std::abs(a[i] - b[i]);
+    total += a[i] + b[i];
+  }
+  if (total <= 0.0) return 1.0;  // two all-zero profiles match perfectly
+  return 1.0 - diff / total;
+}
+
+}  // namespace
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la.empty() && lb.empty()) return 1.0;
+  // Levenshtein distance, two-row dynamic program.
+  size_t n = la.size();
+  size_t m = lb.size();
+  std::vector<size_t> previous(m + 1);
+  std::vector<size_t> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution = previous[j - 1] + (la[i - 1] != lb[j - 1]);
+      current[j] =
+          std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  double distance = static_cast<double>(previous[m]);
+  double longest = static_cast<double>(std::max(n, m));
+  return 1.0 - distance / longest;
+}
+
+double ValueOverlapSimilarity(const Column& a, const Column& b) {
+  if (a.distinct_count() == 0 || b.distinct_count() == 0) return 0.0;
+  const Column& small = a.distinct_count() <= b.distinct_count() ? a : b;
+  const Column& large = a.distinct_count() <= b.distinct_count() ? b : a;
+  size_t shared = 0;
+  for (const Value& v : small.dictionary()) {
+    if (large.LookupCode(v) != Column::kNullCode) ++shared;
+  }
+  size_t united = a.distinct_count() + b.distinct_count() - shared;
+  return static_cast<double>(shared) / static_cast<double>(united);
+}
+
+Result<MatchResult> NameBasedMatch(const Table& source, const Table& target,
+                                   const InterpretedMatchOptions& options) {
+  size_t n = source.num_attributes();
+  size_t m = target.num_attributes();
+  std::vector<std::vector<double>> similarity(n, std::vector<double>(m));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < m; ++t) {
+      similarity[s][t] = NameSimilarity(source.schema().attribute(s).name,
+                                        target.schema().attribute(t).name);
+    }
+  }
+  return AssignBySimilarity(similarity, m, options.cardinality,
+                            options.min_similarity);
+}
+
+Result<MatchResult> ValueOverlapMatch(
+    const Table& source, const Table& target,
+    const InterpretedMatchOptions& options) {
+  size_t n = source.num_attributes();
+  size_t m = target.num_attributes();
+  std::vector<std::vector<double>> similarity(n, std::vector<double>(m));
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < m; ++t) {
+      similarity[s][t] =
+          ValueOverlapSimilarity(source.column(s), target.column(t));
+    }
+  }
+  return AssignBySimilarity(similarity, m, options.cardinality,
+                            options.min_similarity);
+}
+
+Result<MatchResult> HybridMatch(const Table& source, const Table& target,
+                                const HybridMatchOptions& options) {
+  if (options.name_weight < 0.0 || options.name_weight > 1.0) {
+    return InvalidArgumentError("name_weight must be in [0, 1]");
+  }
+  Result<DependencyGraph> source_graph = BuildDependencyGraph(source);
+  if (!source_graph.ok()) return source_graph.status();
+  Result<DependencyGraph> target_graph = BuildDependencyGraph(target);
+  if (!target_graph.ok()) return target_graph.status();
+
+  size_t n = source_graph->size();
+  size_t m = target_graph->size();
+  std::vector<std::vector<double>> similarity(n, std::vector<double>(m));
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<double> profile_s;
+    for (size_t j = 0; j < n; ++j) profile_s.push_back(source_graph->mi(s, j));
+    for (size_t t = 0; t < m; ++t) {
+      std::vector<double> profile_t;
+      for (size_t j = 0; j < m; ++j) {
+        profile_t.push_back(target_graph->mi(t, j));
+      }
+      double structure = ProfileSimilarity(profile_s, profile_t);
+      double name = NameSimilarity(source_graph->name(s),
+                                   target_graph->name(t));
+      similarity[s][t] = options.name_weight * name +
+                         (1.0 - options.name_weight) * structure;
+    }
+  }
+  // Threshold for partial: a combined similarity below 0.5 is noise.
+  return AssignBySimilarity(similarity, m, options.match.cardinality, 0.5);
+}
+
+}  // namespace depmatch

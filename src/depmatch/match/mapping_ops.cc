@@ -1,0 +1,99 @@
+#include "depmatch/match/mapping_ops.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "depmatch/match/matcher.h"
+
+namespace depmatch {
+
+MatchResult InvertMapping(const MatchResult& mapping) {
+  MatchResult inverted;
+  inverted.metric = mapping.metric;
+  inverted.metric_value = mapping.metric_value;
+  for (const MatchPair& pair : mapping.pairs) {
+    inverted.pairs.push_back({pair.target, pair.source});
+  }
+  std::sort(inverted.pairs.begin(), inverted.pairs.end());
+  return inverted;
+}
+
+MatchResult ComposeMappings(const MatchResult& ab, const MatchResult& bc) {
+  MatchResult composed;
+  for (const MatchPair& first : ab.pairs) {
+    size_t end = bc.TargetOf(first.target);
+    if (end == MatchResult::kUnmatched) continue;
+    composed.pairs.push_back({first.source, end});
+  }
+  std::sort(composed.pairs.begin(), composed.pairs.end());
+  return composed;
+}
+
+MatchResult IntersectMappings(const std::vector<MatchResult>& mappings) {
+  if (mappings.empty()) return MatchResult{};
+  return VoteMappings(mappings, mappings.size());
+}
+
+MatchResult VoteMappings(const std::vector<MatchResult>& mappings,
+                         size_t min_votes) {
+  if (min_votes == 0) min_votes = 1;
+  std::map<MatchPair, size_t> votes;
+  for (const MatchResult& mapping : mappings) {
+    for (const MatchPair& pair : mapping.pairs) {
+      ++votes[pair];
+    }
+  }
+  MatchResult result;
+  // A source (or target) may reach min_votes with several partners when
+  // the inputs disagree; keep only the most-voted partner per endpoint
+  // (ties: smallest index, for determinism) so the output stays a valid
+  // injective mapping.
+  std::map<size_t, std::pair<size_t, size_t>> best_for_source;  // s -> (votes, t)
+  for (const auto& [pair, count] : votes) {
+    if (count < min_votes) continue;
+    auto it = best_for_source.find(pair.source);
+    if (it == best_for_source.end() || count > it->second.first) {
+      best_for_source[pair.source] = {count, pair.target};
+    }
+  }
+  std::map<size_t, std::pair<size_t, size_t>> best_for_target;  // t -> (votes, s)
+  for (const auto& [source, entry] : best_for_source) {
+    auto it = best_for_target.find(entry.second);
+    if (it == best_for_target.end() || entry.first > it->second.first) {
+      best_for_target[entry.second] = {entry.first, source};
+    }
+  }
+  for (const auto& [target, entry] : best_for_target) {
+    result.pairs.push_back({entry.second, target});
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
+  return result;
+}
+
+Result<MatchResult> ConsensusMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const std::vector<MatchOptions>& configs,
+                                   size_t min_votes) {
+  if (configs.empty()) {
+    return InvalidArgumentError("consensus needs at least one config");
+  }
+  std::vector<MatchResult> results;
+  Status first_error = OkStatus();
+  uint64_t nodes = 0;
+  for (const MatchOptions& config : configs) {
+    Result<MatchResult> result = MatchGraphs(source, target, config);
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    nodes += result->nodes_explored;
+    results.push_back(std::move(result).value());
+  }
+  if (results.empty()) return first_error;
+  MatchResult consensus = VoteMappings(results, min_votes);
+  consensus.nodes_explored = nodes;
+  return consensus;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,56 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Mapping algebra — the model-management operators the paper situates
+// itself in (Bernstein et al.'s vision paper: Match, Compose, Merge...).
+// MatchGraphs/MatchTables realize the Match operator; this module adds
+// the operators that combine match results:
+//
+//   Invert     A->B  becomes  B->A
+//   Compose    A->B  with  B->C  gives  A->C
+//   Intersect  pairs proposed by every input mapping
+//   Consensus  run several matcher configurations and keep the pairs at
+//              least `min_votes` of them agree on — a cheap, effective
+//              way to trade recall for precision without a new metric.
+
+#ifndef DEPMATCH_MATCH_MAPPING_OPS_H_
+#define DEPMATCH_MATCH_MAPPING_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+// Swaps the roles of source and target. Always valid: mappings are
+// injective in both directions.
+MatchResult InvertMapping(const MatchResult& mapping);
+
+// Composes a -> b with b -> c into a -> c. Sources of `ab` whose target
+// is unmatched in `bc` drop out (composition of partial mappings).
+MatchResult ComposeMappings(const MatchResult& ab, const MatchResult& bc);
+
+// Pairs present in every input mapping. Empty input list gives an empty
+// result.
+MatchResult IntersectMappings(const std::vector<MatchResult>& mappings);
+
+// Pairs that appear in at least `min_votes` of the input mappings.
+// Precondition: min_votes >= 1.
+MatchResult VoteMappings(const std::vector<MatchResult>& mappings,
+                         size_t min_votes);
+
+// Runs MatchGraphs once per configuration and keeps pairs proposed by at
+// least `min_votes` of the successful runs. Configurations whose match
+// fails (e.g. infeasible) are skipped; if none succeed, the first error
+// is returned.
+Result<MatchResult> ConsensusMatch(const DependencyGraph& source,
+                                   const DependencyGraph& target,
+                                   const std::vector<MatchOptions>& configs,
+                                   size_t min_votes);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_MAPPING_OPS_H_

@@ -1,0 +1,84 @@
+#include "depmatch/match/matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/annealing_matcher.h"
+#include "depmatch/match/graduated_assignment.h"
+#include "depmatch/match/greedy_matcher.h"
+#include "depmatch/match/hungarian_matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+Result<MatchResult> Dispatch(const DependencyGraph& source,
+                             const DependencyGraph& target,
+                             const MatchOptions& options) {
+  switch (options.algorithm) {
+    case MatchAlgorithm::kExhaustive:
+      return ExhaustiveMatch(source, target, options);
+    case MatchAlgorithm::kGreedy:
+      return GreedyMatch(source, target, options);
+    case MatchAlgorithm::kGraduatedAssignment:
+      return GraduatedAssignmentMatch(source, target, options);
+    case MatchAlgorithm::kHungarian:
+      return HungarianMatch(source, target, options);
+    case MatchAlgorithm::kSimulatedAnnealing:
+      return AnnealingMatch(source, target, options);
+  }
+  return InternalError("unknown match algorithm");
+}
+
+}  // namespace
+
+Result<MatchResult> MatchGraphs(const DependencyGraph& source,
+                                const DependencyGraph& target,
+                                const MatchOptions& options) {
+  MatchOptions opts = options;
+  while (true) {
+    Result<MatchResult> result = Dispatch(source, target, opts);
+    if (result.ok() ||
+        result.status().code() != StatusCode::kNotFound ||
+        opts.cardinality == Cardinality::kPartial ||
+        opts.candidates_per_attribute == 0) {
+      return result;
+    }
+    // The filter admitted no complete assignment: widen and retry.
+    size_t widened = opts.candidates_per_attribute * 2;
+    opts.candidates_per_attribute =
+        (widened >= target.size()) ? 0 : widened;
+  }
+}
+
+Result<double> ScoreMapping(const DependencyGraph& source,
+                            const DependencyGraph& target,
+                            const std::vector<MatchPair>& pairs,
+                            MetricKind metric, double alpha) {
+  std::unordered_set<size_t> sources;
+  std::unordered_set<size_t> targets;
+  for (const MatchPair& pair : pairs) {
+    if (pair.source >= source.size()) {
+      return OutOfRangeError(
+          StrFormat("source index %zu out of range", pair.source));
+    }
+    if (pair.target >= target.size()) {
+      return OutOfRangeError(
+          StrFormat("target index %zu out of range", pair.target));
+    }
+    if (!sources.insert(pair.source).second) {
+      return InvalidArgumentError(
+          StrFormat("source %zu mapped twice", pair.source));
+    }
+    if (!targets.insert(pair.target).second) {
+      return InvalidArgumentError(
+          StrFormat("target %zu mapped twice", pair.target));
+    }
+  }
+  Metric m(metric, alpha);
+  return m.Evaluate(source, target, pairs);
+}
+
+}  // namespace depmatch

@@ -1,0 +1,39 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// MatchGraphs: the GraphMatch() entry point (step 2 of the paper's
+// algorithm). Dispatches to the configured search algorithm and, for the
+// exact cardinalities, automatically widens the entropy candidate filter
+// when it admits no complete assignment.
+
+#ifndef DEPMATCH_MATCH_MATCHER_H_
+#define DEPMATCH_MATCH_MATCHER_H_
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+// Finds the node mapping from `source` into `target` optimizing
+// options.metric under options.cardinality.
+//
+// If options.candidates_per_attribute > 0 and the filtered space contains
+// no complete assignment for one-to-one/onto (NotFoundError from the
+// search), the filter width is doubled and the search retried, up to
+// unfiltered.
+Result<MatchResult> MatchGraphs(const DependencyGraph& source,
+                                const DependencyGraph& target,
+                                const MatchOptions& options);
+
+// Scores an explicit mapping under the configured metric without
+// searching (used to compare the metric values of related vs unrelated
+// schema pairs, Figure 8).
+Result<double> ScoreMapping(const DependencyGraph& source,
+                            const DependencyGraph& target,
+                            const std::vector<MatchPair>& pairs,
+                            MetricKind metric, double alpha = 3.0);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_MATCHER_H_

@@ -1,0 +1,54 @@
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+std::string_view CardinalityToString(Cardinality cardinality) {
+  switch (cardinality) {
+    case Cardinality::kOneToOne:
+      return "one_to_one";
+    case Cardinality::kOnto:
+      return "onto";
+    case Cardinality::kPartial:
+      return "partial";
+  }
+  return "unknown";
+}
+
+std::string_view MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMutualInfoEuclidean:
+      return "mi_euclidean";
+    case MetricKind::kMutualInfoNormal:
+      return "mi_normal";
+    case MetricKind::kEntropyEuclidean:
+      return "entropy_euclidean";
+    case MetricKind::kEntropyNormal:
+      return "entropy_normal";
+  }
+  return "unknown";
+}
+
+std::string_view MatchAlgorithmToString(MatchAlgorithm algorithm) {
+  switch (algorithm) {
+    case MatchAlgorithm::kExhaustive:
+      return "exhaustive";
+    case MatchAlgorithm::kGreedy:
+      return "greedy";
+    case MatchAlgorithm::kGraduatedAssignment:
+      return "graduated_assignment";
+    case MatchAlgorithm::kHungarian:
+      return "hungarian";
+    case MatchAlgorithm::kSimulatedAnnealing:
+      return "simulated_annealing";
+  }
+  return "unknown";
+}
+
+size_t MatchResult::TargetOf(size_t source) const {
+  for (const MatchPair& pair : pairs) {
+    if (pair.source == source) return pair.target;
+  }
+  return kUnmatched;
+}
+
+}  // namespace depmatch

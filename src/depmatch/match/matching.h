@@ -1,0 +1,115 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared types for the graph-matching stage (step 2 of the paper):
+// cardinality constraints (Section 2.3), metric kinds (Definitions
+// 2.6-2.9), match results, and matcher options.
+
+#ifndef DEPMATCH_MATCH_MATCHING_H_
+#define DEPMATCH_MATCH_MATCHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depmatch {
+
+// Cardinality constraints between source schema A and target schema B
+// (Section 2.3 of the paper, UML-style):
+//   kOneToOne  [1,1]-[1,1]: |A| == |B|, every attribute matched both ways.
+//   kOnto      [0,1]-[1,1]: every A attribute matched; B may have extras.
+//   kPartial   [0,1]-[0,1]: attributes on both sides may stay unmatched.
+enum class Cardinality { kOneToOne, kOnto, kPartial };
+
+std::string_view CardinalityToString(Cardinality cardinality);
+
+// The four distance metrics evaluated in the paper.
+//   kMutualInfoEuclidean  DMU (Def 2.6)  structural, minimized, monotonic
+//   kMutualInfoNormal     DMN (Def 2.7)  structural, maximized
+//   kEntropyEuclidean     DEU (Def 2.8)  element-wise, minimized, monotonic
+//   kEntropyNormal        DEN (Def 2.9)  element-wise, maximized
+enum class MetricKind {
+  kMutualInfoEuclidean,
+  kMutualInfoNormal,
+  kEntropyEuclidean,
+  kEntropyNormal,
+};
+
+std::string_view MetricKindToString(MetricKind kind);
+
+// Search algorithm used by MatchGraphs.
+enum class MatchAlgorithm {
+  // The paper's method: exhaustive search with entropy-based candidate
+  // filtering, implemented as branch-and-bound (exact over the filtered
+  // candidate space).
+  kExhaustive,
+  // One-pass greedy best-incremental-gain baseline.
+  kGreedy,
+  // Graduated assignment (Gold & Rangarajan 1996), the approximate graph
+  // matcher the paper points to for scalability.
+  kGraduatedAssignment,
+  // Exact polynomial-time assignment for the entropy-only metrics
+  // (InvalidArgument for MI metrics, whose objective is quadratic).
+  kHungarian,
+  // Simulated annealing over the full objective; approximate, scales to
+  // wide schemas.
+  kSimulatedAnnealing,
+};
+
+std::string_view MatchAlgorithmToString(MatchAlgorithm algorithm);
+
+// One proposed correspondence: source node -> target node.
+struct MatchPair {
+  size_t source = 0;
+  size_t target = 0;
+
+  friend bool operator==(const MatchPair& a, const MatchPair& b) {
+    return a.source == b.source && a.target == b.target;
+  }
+  friend bool operator<(const MatchPair& a, const MatchPair& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  }
+};
+
+// Output of a matcher.
+struct MatchResult {
+  // Proposed pairs, sorted by source index. Sources absent from the list
+  // are unmatched (possible only under kPartial).
+  std::vector<MatchPair> pairs;
+  // Value of the optimized metric for `pairs` (Euclidean metrics report
+  // the square root, as in Definition 2.6).
+  double metric_value = 0.0;
+  MetricKind metric = MetricKind::kMutualInfoEuclidean;
+  // Search-effort accounting (exhaustive/greedy matchers).
+  uint64_t nodes_explored = 0;
+  // True if the exhaustive search hit its node budget; the result is then
+  // the best mapping found so far rather than a certified optimum.
+  bool budget_exhausted = false;
+
+  // Target of `source`, or npos.
+  static constexpr size_t kUnmatched = static_cast<size_t>(-1);
+  size_t TargetOf(size_t source) const;
+};
+
+struct MatchOptions {
+  Cardinality cardinality = Cardinality::kOneToOne;
+  MetricKind metric = MetricKind::kMutualInfoEuclidean;
+  MatchAlgorithm algorithm = MatchAlgorithm::kExhaustive;
+  // Control parameter of the normal metrics (the paper uses 3.0 for
+  // one-to-one/onto and {1, 4, 7} for partial).
+  double alpha = 3.0;
+  // Entropy-based candidate filter: each source attribute considers only
+  // the `candidates_per_attribute` target attributes with closest entropy.
+  // 0 disables filtering. The paper's testbed uses 3.
+  size_t candidates_per_attribute = 3;
+  // Branch-and-bound node budget; exceeded searches return best-so-far
+  // with budget_exhausted set.
+  uint64_t max_search_nodes = 200'000'000;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_MATCHING_H_

@@ -1,0 +1,105 @@
+#include "depmatch/match/metric.h"
+
+#include <cmath>
+
+#include "depmatch/common/logging.h"
+
+namespace depmatch {
+namespace {
+
+// Below this, a + b is treated as zero and the normal distance is defined
+// to be 0 (two zero-MI cells match perfectly).
+constexpr double kZeroSumEpsilon = 1e-12;
+
+}  // namespace
+
+Metric::Metric(MetricKind kind, double alpha) : kind_(kind), alpha_(alpha) {}
+
+bool Metric::maximize() const {
+  return kind_ == MetricKind::kMutualInfoNormal ||
+         kind_ == MetricKind::kEntropyNormal;
+}
+
+bool Metric::structural() const {
+  return kind_ == MetricKind::kMutualInfoEuclidean ||
+         kind_ == MetricKind::kMutualInfoNormal;
+}
+
+bool Metric::IsMonotonic() const {
+  if (!maximize()) return true;  // Euclidean kinds
+  // Normal kinds: every term is 1 - alpha*nd with nd in [0,1]; if
+  // alpha <= 1 all terms are >= 0 and the maximized sum only grows.
+  return alpha_ <= 1.0;
+}
+
+double Metric::Term(double a, double b) const {
+  switch (kind_) {
+    case MetricKind::kMutualInfoEuclidean:
+    case MetricKind::kEntropyEuclidean: {
+      double d = a - b;
+      return d * d;
+    }
+    case MetricKind::kMutualInfoNormal:
+    case MetricKind::kEntropyNormal: {
+      double sum = a + b;
+      double nd = (sum < kZeroSumEpsilon) ? 0.0 : std::fabs(a - b) / sum;
+      return 1.0 - alpha_ * nd;
+    }
+  }
+  return 0.0;
+}
+
+double Metric::MaxTerm() const { return maximize() ? 1.0 : 0.0; }
+
+double Metric::Finalize(double accumulated_sum) const {
+  if (kind_ == MetricKind::kMutualInfoEuclidean ||
+      kind_ == MetricKind::kEntropyEuclidean) {
+    return std::sqrt(accumulated_sum < 0.0 ? 0.0 : accumulated_sum);
+  }
+  return accumulated_sum;
+}
+
+double Metric::IncrementalGain(const DependencyGraph& a,
+                               const DependencyGraph& b,
+                               const std::vector<MatchPair>& assigned,
+                               size_t s, size_t t) const {
+  if (!structural()) {
+    return Term(a.entropy(s), b.entropy(t));
+  }
+  double gain = Term(a.mi(s, s), b.mi(t, t));
+  for (const MatchPair& pair : assigned) {
+    // Ordered pairs (s, s') and (s', s); the matrices are symmetric so the
+    // two cells contribute identical terms.
+    gain += 2.0 * Term(a.mi(s, pair.source), b.mi(t, pair.target));
+  }
+  return gain;
+}
+
+double Metric::EvaluateSum(const DependencyGraph& a,
+                           const DependencyGraph& b,
+                           const std::vector<MatchPair>& pairs) const {
+  for (const MatchPair& pair : pairs) {
+    DEPMATCH_CHECK_LT(pair.source, a.size());
+    DEPMATCH_CHECK_LT(pair.target, b.size());
+  }
+  double sum = 0.0;
+  if (structural()) {
+    for (const MatchPair& p : pairs) {
+      for (const MatchPair& q : pairs) {
+        sum += Term(a.mi(p.source, q.source), b.mi(p.target, q.target));
+      }
+    }
+  } else {
+    for (const MatchPair& p : pairs) {
+      sum += Term(a.entropy(p.source), b.entropy(p.target));
+    }
+  }
+  return sum;
+}
+
+double Metric::Evaluate(const DependencyGraph& a, const DependencyGraph& b,
+                        const std::vector<MatchPair>& pairs) const {
+  return Finalize(EvaluateSum(a, b, pairs));
+}
+
+}  // namespace depmatch

@@ -1,0 +1,86 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// The paper's four distance metrics (Definitions 2.6-2.9) behind one
+// incremental-evaluation interface used by every search algorithm.
+//
+// Structural (MI) metrics sum a per-cell term over all ordered pairs (i,j)
+// of *matched* source nodes, comparing a[i][j] against b[m(i)][m(j)]
+// (diagonal included: entropies compare against entropies). Element-wise
+// (entropy-only) metrics sum one term per matched node.
+//
+//   Euclidean term:  (a - b)^2          minimized; reported as sqrt(sum)
+//   Normal term:     1 - alpha*|a-b|/(a+b)   maximized; (a+b)=0 -> nd = 0
+//
+// Monotonicity (Definition 2.5): Euclidean metrics are monotonic (the
+// optimum over p+1 matched nodes is >= the optimum over p), so they are
+// unusable for partial mappings. The normal metric is monotonic iff
+// alpha <= 1 (every term is then non-negative), reproducing the paper's
+// Figure 8(c) discussion.
+
+#ifndef DEPMATCH_MATCH_METRIC_H_
+#define DEPMATCH_MATCH_METRIC_H_
+
+#include <vector>
+
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+
+class Metric {
+ public:
+  // `alpha` is used only by the normal kinds.
+  explicit Metric(MetricKind kind, double alpha = 3.0);
+
+  MetricKind kind() const { return kind_; }
+  double alpha() const { return alpha_; }
+
+  // True for the normal kinds (metric is maximized); Euclidean kinds are
+  // minimized.
+  bool maximize() const;
+
+  // True for the MI kinds (terms over node pairs); false for the
+  // entropy-only kinds (terms over single nodes).
+  bool structural() const;
+
+  // True if the metric is monotonic per Definition 2.5.
+  bool IsMonotonic() const;
+
+  // The per-cell / per-node term for label values a (source) and b
+  // (target).
+  double Term(double a, double b) const;
+
+  // Largest achievable single term when maximizing (used as an admissible
+  // branch-and-bound bound). 1.0 for normal kinds.
+  double MaxTerm() const;
+
+  // Accumulated-sum -> reported metric value (sqrt for Euclidean kinds).
+  double Finalize(double accumulated_sum) const;
+
+  // Incremental contribution of appending the pair (s -> t) to the partial
+  // assignment `assigned` (which must not already contain s or t).
+  // Structural kinds: Term(a[s][s], b[t][t]) + 2 * sum over prior pairs.
+  // Entropy-only kinds: Term(H_a(s), H_b(t)).
+  double IncrementalGain(const DependencyGraph& a, const DependencyGraph& b,
+                         const std::vector<MatchPair>& assigned, size_t s,
+                         size_t t) const;
+
+  // Raw accumulated sum of a complete assignment (the quantity the
+  // searchers accumulate incrementally; Finalize() of it is the metric
+  // value).
+  double EvaluateSum(const DependencyGraph& a, const DependencyGraph& b,
+                     const std::vector<MatchPair>& pairs) const;
+
+  // Full (finalized) metric value of a complete assignment.
+  double Evaluate(const DependencyGraph& a, const DependencyGraph& b,
+                  const std::vector<MatchPair>& pairs) const;
+
+ private:
+  MetricKind kind_;
+  double alpha_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_METRIC_H_

@@ -1,0 +1,188 @@
+#include "depmatch/nested/document.h"
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace nested {
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kNull:
+      return "null";
+    case NodeKind::kBool:
+      return "bool";
+    case NodeKind::kInt:
+      return "int";
+    case NodeKind::kDouble:
+      return "double";
+    case NodeKind::kString:
+      return "string";
+    case NodeKind::kArray:
+      return "array";
+    case NodeKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+NestedValue NestedValue::Bool(bool v) {
+  NestedValue value;
+  value.kind_ = NodeKind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+NestedValue NestedValue::Int(int64_t v) {
+  NestedValue value;
+  value.kind_ = NodeKind::kInt;
+  value.int_ = v;
+  return value;
+}
+
+NestedValue NestedValue::Double(double v) {
+  NestedValue value;
+  value.kind_ = NodeKind::kDouble;
+  value.double_ = v;
+  return value;
+}
+
+NestedValue NestedValue::String(std::string v) {
+  NestedValue value;
+  value.kind_ = NodeKind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+NestedValue NestedValue::Array() {
+  NestedValue value;
+  value.kind_ = NodeKind::kArray;
+  return value;
+}
+
+NestedValue NestedValue::Object() {
+  NestedValue value;
+  value.kind_ = NodeKind::kObject;
+  return value;
+}
+
+void NestedValue::Set(std::string name, NestedValue value) {
+  for (auto& [existing_name, existing_value] : members_) {
+    if (existing_name == name) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(name), std::move(value));
+}
+
+const NestedValue* NestedValue::Find(std::string_view name) const {
+  for (const auto& [member_name, member_value] : members_) {
+    if (member_name == name) return &member_value;
+  }
+  return nullptr;
+}
+
+std::string NestedValue::ToJson() const {
+  std::string out;
+  switch (kind_) {
+    case NodeKind::kNull:
+      out = "null";
+      break;
+    case NodeKind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case NodeKind::kInt:
+      out = std::to_string(int_);
+      break;
+    case NodeKind::kDouble:
+      out = StrFormat("%.17g", double_);
+      break;
+    case NodeKind::kString:
+      AppendJsonString(out, string_);
+      break;
+    case NodeKind::kArray: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].ToJson();
+      }
+      out += ']';
+      break;
+    }
+    case NodeKind::kObject: {
+      out = "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        AppendJsonString(out, members_[i].first);
+        out += ':';
+        out += members_[i].second.ToJson();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+bool operator==(const NestedValue& a, const NestedValue& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case NodeKind::kNull:
+      return true;
+    case NodeKind::kBool:
+      return a.bool_ == b.bool_;
+    case NodeKind::kInt:
+      return a.int_ == b.int_;
+    case NodeKind::kDouble:
+      return a.double_ == b.double_;
+    case NodeKind::kString:
+      return a.string_ == b.string_;
+    case NodeKind::kArray:
+      return a.array_ == b.array_;
+    case NodeKind::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+}  // namespace nested
+}  // namespace depmatch

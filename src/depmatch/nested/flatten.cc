@@ -1,0 +1,201 @@
+#include "depmatch/nested/flatten.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/table/schema.h"
+
+namespace depmatch {
+namespace nested {
+namespace {
+
+// One unnested row: leaf path -> scalar node.
+using PartialRow = std::vector<std::pair<std::string, NestedValue>>;
+
+// Expands `node` under `prefix` into the cross-product of its children's
+// expansions. Returns an error when the row count exceeds `max_rows`.
+Result<std::vector<PartialRow>> Expand(const NestedValue& node,
+                                       const std::string& prefix,
+                                       size_t max_rows) {
+  std::vector<PartialRow> rows;
+  switch (node.kind()) {
+    case NodeKind::kNull:
+      // Explicit null: same as absent (the column shows null).
+      rows.push_back({});
+      return rows;
+    case NodeKind::kBool:
+    case NodeKind::kInt:
+    case NodeKind::kDouble:
+    case NodeKind::kString:
+      rows.push_back({{prefix, node}});
+      return rows;
+    case NodeKind::kArray: {
+      if (node.array_size() == 0) {
+        rows.push_back({});
+        return rows;
+      }
+      std::string element_prefix = prefix + "[]";
+      for (size_t i = 0; i < node.array_size(); ++i) {
+        Result<std::vector<PartialRow>> element =
+            Expand(node.array_element(i), element_prefix, max_rows);
+        if (!element.ok()) return element;
+        for (PartialRow& row : element.value()) {
+          rows.push_back(std::move(row));
+          if (rows.size() > max_rows) {
+            return ResourceExhaustedError(StrFormat(
+                "document unnests into more than %zu rows", max_rows));
+          }
+        }
+      }
+      return rows;
+    }
+    case NodeKind::kObject: {
+      rows.push_back({});
+      for (size_t m = 0; m < node.object_size(); ++m) {
+        std::string child_prefix =
+            prefix.empty() ? node.member_name(m)
+                           : prefix + "." + node.member_name(m);
+        Result<std::vector<PartialRow>> child =
+            Expand(node.member_value(m), child_prefix, max_rows);
+        if (!child.ok()) return child;
+        // Cartesian merge.
+        std::vector<PartialRow> merged;
+        merged.reserve(rows.size() * child->size());
+        for (const PartialRow& left : rows) {
+          for (const PartialRow& right : child.value()) {
+            PartialRow combined = left;
+            combined.insert(combined.end(), right.begin(), right.end());
+            merged.push_back(std::move(combined));
+            if (merged.size() > max_rows) {
+              return ResourceExhaustedError(StrFormat(
+                  "document unnests into more than %zu rows", max_rows));
+            }
+          }
+        }
+        rows = std::move(merged);
+      }
+      return rows;
+    }
+  }
+  return InternalError("unreachable node kind");
+}
+
+// Column type lattice: int < double < string.
+enum class LeafType { kUnset, kInt, kDouble, kString };
+
+LeafType Join(LeafType a, LeafType b) {
+  if (a == LeafType::kUnset) return b;
+  if (b == LeafType::kUnset) return a;
+  if (a == b) return a;
+  if ((a == LeafType::kInt && b == LeafType::kDouble) ||
+      (a == LeafType::kDouble && b == LeafType::kInt)) {
+    return LeafType::kDouble;
+  }
+  return LeafType::kString;
+}
+
+LeafType TypeOf(const NestedValue& node) {
+  switch (node.kind()) {
+    case NodeKind::kInt:
+      return LeafType::kInt;
+    case NodeKind::kDouble:
+      return LeafType::kDouble;
+    default:
+      return LeafType::kString;
+  }
+}
+
+std::string ScalarToString(const NestedValue& node) {
+  switch (node.kind()) {
+    case NodeKind::kBool:
+      return node.bool_value() ? "true" : "false";
+    case NodeKind::kInt:
+      return std::to_string(node.int_value());
+    case NodeKind::kDouble:
+      return StrFormat("%.17g", node.double_value());
+    case NodeKind::kString:
+      return node.string_value();
+    default:
+      return "";
+  }
+}
+
+Value ScalarToValue(const NestedValue& node, LeafType column_type) {
+  switch (column_type) {
+    case LeafType::kInt:
+      return Value(node.int_value());
+    case LeafType::kDouble:
+      return Value(node.kind() == NodeKind::kInt
+                       ? static_cast<double>(node.int_value())
+                       : node.double_value());
+    default:
+      return Value(ScalarToString(node));
+  }
+}
+
+}  // namespace
+
+Result<Table> FlattenDocuments(const std::vector<NestedValue>& documents,
+                               const FlattenOptions& options) {
+  // Pass 1: expand every document, collecting paths and types.
+  std::vector<std::vector<PartialRow>> expanded;
+  expanded.reserve(documents.size());
+  std::vector<std::string> paths;                    // first-appearance order
+  std::unordered_map<std::string, size_t> path_index;
+  std::vector<LeafType> types;
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    if (documents[d].kind() != NodeKind::kObject) {
+      return InvalidArgumentError(StrFormat(
+          "document %zu is %s, expected an object", d,
+          std::string(NodeKindToString(documents[d].kind())).c_str()));
+    }
+    Result<std::vector<PartialRow>> rows =
+        Expand(documents[d], "", options.max_rows_per_document);
+    if (!rows.ok()) return rows.status();
+    for (const PartialRow& row : rows.value()) {
+      for (const auto& [path, node] : row) {
+        auto [it, inserted] = path_index.emplace(path, paths.size());
+        if (inserted) {
+          paths.push_back(path);
+          types.push_back(LeafType::kUnset);
+        }
+        types[it->second] = Join(types[it->second], TypeOf(node));
+      }
+    }
+    expanded.push_back(std::move(rows).value());
+  }
+
+  std::vector<AttributeSpec> specs;
+  specs.reserve(paths.size());
+  for (size_t c = 0; c < paths.size(); ++c) {
+    DataType type = DataType::kString;
+    if (types[c] == LeafType::kInt) type = DataType::kInt64;
+    if (types[c] == LeafType::kDouble) type = DataType::kDouble;
+    specs.push_back({paths[c], type});
+  }
+  Result<Schema> schema = Schema::Create(std::move(specs));
+  if (!schema.ok()) return schema.status();
+
+  // Pass 2: materialize rows.
+  TableBuilder builder(schema.value());
+  std::vector<Value> row_values(paths.size());
+  for (const std::vector<PartialRow>& document_rows : expanded) {
+    for (const PartialRow& row : document_rows) {
+      for (Value& value : row_values) value = Value::Null();
+      for (const auto& [path, node] : row) {
+        size_t c = path_index.at(path);
+        row_values[c] = ScalarToValue(node, types[c]);
+      }
+      DEPMATCH_RETURN_IF_ERROR(builder.AppendRow(row_values));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace nested
+}  // namespace depmatch

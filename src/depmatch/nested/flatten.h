@@ -1,0 +1,47 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Flattening nested document collections into relational tables, the
+// bridge that extends the paper's flat-table matcher to nested (XML /
+// JSON / object) schemas:
+//
+//   * every leaf path becomes a column ("customer.address.city";
+//     arrays contribute a "[]" path segment: "orders[].amount"),
+//   * every document becomes one row — or several, when it contains
+//     arrays: array elements are unnested, sibling arrays combine by
+//     cartesian product (standard UNNEST semantics),
+//   * paths absent from a document yield nulls.
+//
+// Column types are inferred across the collection: all-int leafs become
+// int64, numeric mixes become double, anything else becomes string
+// (booleans render as "true"/"false").
+
+#ifndef DEPMATCH_NESTED_FLATTEN_H_
+#define DEPMATCH_NESTED_FLATTEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/nested/document.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+namespace nested {
+
+struct FlattenOptions {
+  // Upper bound on the rows a single document may unnest into (guards
+  // against cartesian blowup of sibling arrays).
+  size_t max_rows_per_document = 4096;
+};
+
+// Flattens a collection of documents into one table. Documents that are
+// not objects are rejected (a relational row needs named fields).
+// Column order = first-appearance order of paths across the collection.
+Result<Table> FlattenDocuments(const std::vector<NestedValue>& documents,
+                               const FlattenOptions& options = {});
+
+}  // namespace nested
+}  // namespace depmatch
+
+#endif  // DEPMATCH_NESTED_FLATTEN_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// JSON parsing for the nested-document substrate. Supports the JSON
+// subset DepMatch needs: objects, arrays, double-quoted strings with the
+// standard escapes (\uXXXX limited to the BMP, encoded as UTF-8),
+// integers, doubles, booleans, null. Trailing content after the document
+// is an error. Also parses newline-delimited JSON (one document per
+// line) for document collections.
+
+#ifndef DEPMATCH_NESTED_JSON_H_
+#define DEPMATCH_NESTED_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/nested/document.h"
+
+namespace depmatch {
+namespace nested {
+
+// Parses one JSON document.
+Result<NestedValue> ParseJson(std::string_view text);
+
+// Parses newline-delimited JSON: blank lines are skipped, every other
+// line must be a complete document.
+Result<std::vector<NestedValue>> ParseJsonLines(std::string_view text);
+
+// Reads and parses a newline-delimited JSON file.
+Result<std::vector<NestedValue>> ReadJsonLinesFile(const std::string& path);
+
+}  // namespace nested
+}  // namespace depmatch
+
+#endif  // DEPMATCH_NESTED_JSON_H_

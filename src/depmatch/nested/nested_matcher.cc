@@ -1,0 +1,31 @@
+#include "depmatch/nested/nested_matcher.h"
+
+#include <utility>
+
+namespace depmatch {
+namespace nested {
+
+Result<NestedMatchResult> MatchNestedCollections(
+    const std::vector<NestedValue>& source,
+    const std::vector<NestedValue>& target,
+    const NestedMatchOptions& options) {
+  Result<Table> source_table = FlattenDocuments(source, options.flatten);
+  if (!source_table.ok()) return source_table.status();
+  Result<Table> target_table = FlattenDocuments(target, options.flatten);
+  if (!target_table.ok()) return target_table.status();
+
+  Result<SchemaMatchResult> flat =
+      MatchTables(source_table.value(), target_table.value(),
+                  options.match);
+  if (!flat.ok()) return flat.status();
+
+  NestedMatchResult result;
+  for (const Correspondence& c : flat->correspondences) {
+    result.paths.push_back({c.source_name, c.target_name});
+  }
+  result.flat = std::move(flat).value();
+  return result;
+}
+
+}  // namespace nested
+}  // namespace depmatch

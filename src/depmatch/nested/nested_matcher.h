@@ -1,0 +1,48 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Matching nested document collections: flatten both sides to relational
+// tables (leaf paths as columns) and run the ordinary two-step
+// un-interpreted matcher. This realizes the paper's future-work
+// direction of "extending the technique to nested structures".
+
+#ifndef DEPMATCH_NESTED_NESTED_MATCHER_H_
+#define DEPMATCH_NESTED_NESTED_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/nested/document.h"
+#include "depmatch/nested/flatten.h"
+
+namespace depmatch {
+namespace nested {
+
+struct PathCorrespondence {
+  std::string source_path;
+  std::string target_path;
+};
+
+struct NestedMatchResult {
+  std::vector<PathCorrespondence> paths;
+  // Underlying flat-table match (metric value, graphs, search stats).
+  SchemaMatchResult flat;
+};
+
+struct NestedMatchOptions {
+  FlattenOptions flatten;
+  SchemaMatchOptions match;
+};
+
+// Flattens both collections and matches their leaf paths.
+Result<NestedMatchResult> MatchNestedCollections(
+    const std::vector<NestedValue>& source,
+    const std::vector<NestedValue>& target,
+    const NestedMatchOptions& options = {});
+
+}  // namespace nested
+}  // namespace depmatch
+
+#endif  // DEPMATCH_NESTED_NESTED_MATCHER_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// XML ingestion for nested-schema matching ("extending the technique to
+// nested structures, for example XML" — the paper's future work).
+//
+// Supported XML subset: elements with attributes, nested elements, text
+// content, self-closing tags, comments, processing instructions /
+// declarations (skipped), CDATA sections, and the five predefined
+// entities. No DTDs or namespaces-aware processing (prefixes are kept as
+// part of the name).
+//
+// Mapping to NestedValue:
+//   * an element becomes an object;
+//   * attributes become members named "@attr";
+//   * child elements become members by tag name — repeated tags collapse
+//     into an array (in document order);
+//   * text-only elements become scalars (int64/double inferred, else
+//     string); mixed/padded text is kept under "#text";
+//   * ParseXml returns {root_tag: <root element value>} so the root tag
+//     participates in flattened paths.
+//
+// A "collection" file is a root element whose children are the
+// documents: <records><r>...</r><r>...</r></records>.
+
+#ifndef DEPMATCH_NESTED_XML_H_
+#define DEPMATCH_NESTED_XML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/nested/document.h"
+
+namespace depmatch {
+namespace nested {
+
+// Parses one XML document (single root element).
+Result<NestedValue> ParseXml(std::string_view text);
+
+// Parses a collection file: returns one document per child element of
+// the root, each wrapped as {child_tag: value}.
+Result<std::vector<NestedValue>> ParseXmlCollection(std::string_view text);
+
+// Reads and parses a collection file from disk.
+Result<std::vector<NestedValue>> ReadXmlCollectionFile(
+    const std::string& path);
+
+}  // namespace nested
+}  // namespace depmatch
+
+#endif  // DEPMATCH_NESTED_XML_H_

@@ -1,0 +1,42 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Alternative un-interpreted dependency measures.
+//
+// The paper's conclusion lists "evaluate other dependency models using
+// different un-interpreted methods" as future work. Any statistic that is
+// a function of the joint value distribution alone qualifies; this module
+// provides the two classical candidates next to mutual information:
+//
+//   * Cramér's V — chi-square association normalized to [0, 1]:
+//       V = sqrt( (chi^2 / N) / min(|X|-1, |Y|-1) )
+//   * Normalized mutual information (from stats/entropy.h)
+//
+// Both can drive the dependency graph via DependencyMeasure (see
+// graph/graph_builder.h); bench_ablation_measures compares matching
+// accuracy across measures.
+
+#ifndef DEPMATCH_STATS_ASSOCIATION_H_
+#define DEPMATCH_STATS_ASSOCIATION_H_
+
+#include "depmatch/stats/entropy.h"
+#include "depmatch/stats/histogram.h"
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+// Pearson's chi-square statistic of the joint distribution of (x, y).
+// 0 for independent columns; grows with association and sample size.
+// Precondition: x.size() == y.size().
+double ChiSquareStatistic(const Column& x, const Column& y,
+                          const StatsOptions& options = {});
+
+// Cramér's V in [0, 1]; 0 = independent, 1 = perfect association.
+// Columns with fewer than two distinct observed symbols yield 0.
+// Precondition: x.size() == y.size().
+double CramersV(const Column& x, const Column& y,
+                const StatsOptions& options = {});
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_ASSOCIATION_H_

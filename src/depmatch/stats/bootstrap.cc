@@ -1,0 +1,87 @@
+#include "depmatch/stats/bootstrap.h"
+
+#include <cmath>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+// Resampled copy of `column` at the given row indices.
+Column ResampleColumn(const Column& column,
+                      const std::vector<size_t>& rows) {
+  Column out(column.type());
+  for (size_t row : rows) {
+    out.Append(column.GetValue(row));
+  }
+  return out;
+}
+
+double StandardDeviation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+std::vector<size_t> DrawRows(Rng& rng, size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i] = static_cast<size_t>(rng.NextBounded(n));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<EstimateWithError> BootstrapEntropy(const Column& x,
+                                           const BootstrapOptions& options) {
+  if (options.resamples < 2) {
+    return InvalidArgumentError("bootstrap needs at least 2 resamples");
+  }
+  EstimateWithError estimate;
+  estimate.value = EntropyOf(x, options.stats);
+  if (x.size() == 0) return estimate;
+
+  Rng rng(options.seed);
+  std::vector<double> resampled_values;
+  resampled_values.reserve(options.resamples);
+  for (size_t b = 0; b < options.resamples; ++b) {
+    std::vector<size_t> rows = DrawRows(rng, x.size());
+    Column resampled = ResampleColumn(x, rows);
+    resampled_values.push_back(EntropyOf(resampled, options.stats));
+  }
+  estimate.standard_error = StandardDeviation(resampled_values);
+  return estimate;
+}
+
+Result<EstimateWithError> BootstrapMutualInformation(
+    const Column& x, const Column& y, const BootstrapOptions& options) {
+  if (x.size() != y.size()) {
+    return InvalidArgumentError("columns must have equal length");
+  }
+  if (options.resamples < 2) {
+    return InvalidArgumentError("bootstrap needs at least 2 resamples");
+  }
+  EstimateWithError estimate;
+  estimate.value = MutualInformation(x, y, options.stats);
+  if (x.size() == 0) return estimate;
+
+  Rng rng(options.seed);
+  std::vector<double> resampled_values;
+  resampled_values.reserve(options.resamples);
+  for (size_t b = 0; b < options.resamples; ++b) {
+    std::vector<size_t> rows = DrawRows(rng, x.size());
+    Column rx = ResampleColumn(x, rows);
+    Column ry = ResampleColumn(y, rows);
+    resampled_values.push_back(MutualInformation(rx, ry, options.stats));
+  }
+  estimate.standard_error = StandardDeviation(resampled_values);
+  return estimate;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,47 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Bootstrap uncertainty for the plug-in estimators. The matcher compares
+// MI values across two independently sampled tables; knowing each
+// estimate's sampling error tells a practitioner how much metric
+// difference is signal. (The paper studies this indirectly via its
+// Figure 9 sample-size sweep; the bootstrap quantifies it per estimate.)
+
+#ifndef DEPMATCH_STATS_BOOTSTRAP_H_
+#define DEPMATCH_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+
+#include "depmatch/common/status.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+struct BootstrapOptions {
+  // Bootstrap resamples (rows drawn with replacement). More = smoother
+  // error estimates, linearly more work.
+  size_t resamples = 50;
+  uint64_t seed = 1;
+  StatsOptions stats;
+};
+
+struct EstimateWithError {
+  // Point estimate on the original sample.
+  double value = 0.0;
+  // Bootstrap standard error (stddev of the resampled estimates).
+  double standard_error = 0.0;
+};
+
+// H(X) with bootstrap standard error. Precondition: resamples >= 2.
+Result<EstimateWithError> BootstrapEntropy(const Column& x,
+                                           const BootstrapOptions& options);
+
+// MI(X;Y) with bootstrap standard error (rows resampled jointly).
+// Preconditions: x.size() == y.size(), resamples >= 2.
+Result<EstimateWithError> BootstrapMutualInformation(
+    const Column& x, const Column& y, const BootstrapOptions& options);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_BOOTSTRAP_H_

@@ -1,0 +1,108 @@
+#include "depmatch/stats/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace depmatch {
+namespace {
+
+inline uint64_t EntryCount(uint64_t count) { return count; }
+template <typename K>
+uint64_t EntryCount(const std::pair<const K, uint64_t>& entry) {
+  return entry.second;
+}
+
+// H = log2(N) - (1/N) sum c*log2(c), over nonzero counts summing to N.
+template <typename Counts>
+double EntropyFromCountRange(const Counts& counts, uint64_t total) {
+  if (total == 0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& entry : counts) {
+    uint64_t count = EntryCount(entry);
+    if (count == 0) continue;
+    double c = static_cast<double>(count);
+    weighted += c * std::log2(c);
+  }
+  double n = static_cast<double>(total);
+  double h = std::log2(n) - weighted / n;
+  return h < 0.0 ? 0.0 : h;
+}
+
+}  // namespace
+
+double EntropyFromCounts(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return EntropyFromCountRange(counts, total);
+}
+
+double EntropyOf(const Column& x, const StatsOptions& options) {
+  Histogram h = Histogram::FromColumn(x, options.null_policy);
+  uint64_t total = h.total();
+  if (total == 0) return 0.0;
+  double weighted = 0.0;
+  for (uint64_t count : h.code_counts()) {
+    if (count == 0) continue;
+    double c = static_cast<double>(count);
+    weighted += c * std::log2(c);
+  }
+  if (h.null_count() > 0) {
+    double c = static_cast<double>(h.null_count());
+    weighted += c * std::log2(c);
+  }
+  double n = static_cast<double>(total);
+  double entropy = std::log2(n) - weighted / n;
+  return entropy < 0.0 ? 0.0 : entropy;
+}
+
+double JointEntropy(const Column& x, const Column& y,
+                    const StatsOptions& options) {
+  JointHistogram joint =
+      JointHistogram::FromColumns(x, y, options.null_policy);
+  return EntropyFromCountRange(joint.cells(), joint.total());
+}
+
+double MutualInformation(const Column& x, const Column& y,
+                         const StatsOptions& options) {
+  JointHistogram joint =
+      JointHistogram::FromColumns(x, y, options.null_policy);
+  uint64_t total = joint.total();
+  if (total == 0) return 0.0;
+  double hx = EntropyFromCountRange(joint.x_counts(), total);
+  double hy = EntropyFromCountRange(joint.y_counts(), total);
+  double hxy = EntropyFromCountRange(joint.cells(), total);
+  double mi = hx + hy - hxy;
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+double ConditionalEntropy(const Column& x, const Column& y,
+                          const StatsOptions& options) {
+  JointHistogram joint =
+      JointHistogram::FromColumns(x, y, options.null_policy);
+  uint64_t total = joint.total();
+  if (total == 0) return 0.0;
+  double hy = EntropyFromCountRange(joint.y_counts(), total);
+  double hxy = EntropyFromCountRange(joint.cells(), total);
+  double cond = hxy - hy;
+  return cond < 0.0 ? 0.0 : cond;
+}
+
+double NormalizedMutualInformation(const Column& x, const Column& y,
+                                   const StatsOptions& options) {
+  JointHistogram joint =
+      JointHistogram::FromColumns(x, y, options.null_policy);
+  uint64_t total = joint.total();
+  if (total == 0) return 0.0;
+  double hx = EntropyFromCountRange(joint.x_counts(), total);
+  double hy = EntropyFromCountRange(joint.y_counts(), total);
+  double denom = std::max(hx, hy);
+  if (denom <= 0.0) return 0.0;
+  double hxy = EntropyFromCountRange(joint.cells(), total);
+  double mi = hx + hy - hxy;
+  if (mi < 0.0) mi = 0.0;
+  double nmi = mi / denom;
+  return std::min(nmi, 1.0);
+}
+
+}  // namespace depmatch

@@ -1,0 +1,63 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Plug-in (maximum-likelihood) estimators of the information-theoretic
+// quantities in the paper:
+//
+//   Entropy             H(X)    = -sum_x p(x) log2 p(x)          (Def 2.2)
+//   Conditional entropy H(X|Y)  = -sum p(x,y) log2 p(x|y)        (Def 2.3)
+//   Mutual information  MI(X;Y) = sum p(x,y) log2 (p(x,y)/p(x)p(y)) (Def 2.1)
+//
+// All values are in bits (log base 2). Identities the implementation and
+// the tests rely on:
+//   MI(X;Y) = H(X) + H(Y) - H(X,Y) = H(X) - H(X|Y) = MI(Y;X)
+//   MI(X;X) = H(X)   ("self information", the dependency-graph diagonal)
+//
+// Everything is computed from counts with the numerically stable form
+//   H = log2(N) - (1/N) * sum_c count(c) * log2(count(c)),
+// which keeps MI(X;X) and H(X) equal to within summation-reordering error
+// (~1e-12); the dependency-graph builder uses EntropyOf directly for the
+// diagonal so the identity is exact there by construction.
+
+#ifndef DEPMATCH_STATS_ENTROPY_H_
+#define DEPMATCH_STATS_ENTROPY_H_
+
+#include "depmatch/stats/histogram.h"
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+struct StatsOptions {
+  NullPolicy null_policy = NullPolicy::kNullAsSymbol;
+};
+
+// H(X) in bits. An empty or all-dropped column has entropy 0.
+double EntropyOf(const Column& x, const StatsOptions& options = {});
+
+// H(X, Y) in bits. Precondition: x.size() == y.size().
+double JointEntropy(const Column& x, const Column& y,
+                    const StatsOptions& options = {});
+
+// MI(X; Y) in bits (non-negative up to rounding; clamped at 0).
+// Precondition: x.size() == y.size().
+double MutualInformation(const Column& x, const Column& y,
+                         const StatsOptions& options = {});
+
+// H(X | Y) = H(X,Y) - H(Y) in bits (clamped at 0).
+// Precondition: x.size() == y.size().
+double ConditionalEntropy(const Column& x, const Column& y,
+                          const StatsOptions& options = {});
+
+// Normalized mutual information MI(X;Y) / max(H(X), H(Y)), in [0, 1];
+// 0 when both entropies are 0. Not used by the paper's metrics but exposed
+// for the alternative-dependency-measure ablation.
+double NormalizedMutualInformation(const Column& x, const Column& y,
+                                   const StatsOptions& options = {});
+
+// Entropy of an explicit count vector (helper shared with tests and with
+// generator calibration). Ignores zero counts.
+double EntropyFromCounts(const std::vector<uint64_t>& counts);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_ENTROPY_H_

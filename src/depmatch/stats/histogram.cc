@@ -1,0 +1,71 @@
+#include "depmatch/stats/histogram.h"
+
+#include "depmatch/common/logging.h"
+
+namespace depmatch {
+
+Histogram Histogram::FromColumn(const Column& column, NullPolicy policy) {
+  Histogram h;
+  h.null_is_symbol_ = (policy == NullPolicy::kNullAsSymbol);
+  h.code_counts_.assign(column.distinct_count(), 0);
+  for (int32_t code : column.codes()) {
+    if (code == Column::kNullCode) {
+      if (policy == NullPolicy::kNullAsSymbol) {
+        ++h.null_count_;
+        ++h.total_;
+      }
+      continue;
+    }
+    ++h.code_counts_[static_cast<size_t>(code)];
+    ++h.total_;
+  }
+  return h;
+}
+
+size_t Histogram::support_size() const {
+  size_t support = (null_count_ > 0) ? 1 : 0;
+  for (uint64_t count : code_counts_) {
+    if (count > 0) ++support;
+  }
+  return support;
+}
+
+double Histogram::Probability(int32_t code) const {
+  if (total_ == 0) return 0.0;
+  uint64_t count = 0;
+  if (code == Column::kNullCode) {
+    count = null_count_;
+  } else if (code >= 0 &&
+             static_cast<size_t>(code) < code_counts_.size()) {
+    count = code_counts_[static_cast<size_t>(code)];
+  }
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+uint64_t JointHistogram::PackCodes(int32_t x_code, int32_t y_code) {
+  // Shift codes by +1 so the null sentinel (-1) packs as 0.
+  uint64_t hi = static_cast<uint32_t>(x_code + 1);
+  uint64_t lo = static_cast<uint32_t>(y_code + 1);
+  return (hi << 32) | lo;
+}
+
+JointHistogram JointHistogram::FromColumns(const Column& x, const Column& y,
+                                           NullPolicy policy) {
+  DEPMATCH_CHECK_EQ(x.size(), y.size());
+  JointHistogram joint;
+  for (size_t row = 0; row < x.size(); ++row) {
+    int32_t xc = x.code(row);
+    int32_t yc = y.code(row);
+    if (policy == NullPolicy::kDropNulls &&
+        (xc == Column::kNullCode || yc == Column::kNullCode)) {
+      continue;
+    }
+    ++joint.cells_[PackCodes(xc, yc)];
+    ++joint.x_counts_[xc];
+    ++joint.y_counts_[yc];
+    ++joint.total_;
+  }
+  return joint;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,102 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Frequency histograms over dictionary-encoded columns.
+//
+// The information-theoretic quantities in the paper (Definitions 2.1-2.3)
+// are plug-in estimates over the empirical marginal p(x) and joint p(x,y)
+// distributions of column values. Because columns are dictionary-encoded,
+// a histogram is just a count per dictionary code (plus the null count),
+// and a joint histogram is a sparse map over code pairs.
+
+#ifndef DEPMATCH_STATS_HISTOGRAM_H_
+#define DEPMATCH_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+// How null cells participate in distribution estimates.
+enum class NullPolicy {
+  // Null is one more symbol of the alphabet. This matches the paper's data
+  // handling: its lab-exam columns that are "mostly blank" show *low*
+  // entropy in Figure 4(a), which is only true if blank counts as a single
+  // very frequent value. Default.
+  kNullAsSymbol,
+  // Rows containing a null (in either column, for joint estimates) are
+  // excluded from the estimate.
+  kDropNulls,
+};
+
+// Marginal frequency histogram of one column.
+class Histogram {
+ public:
+  // Counts value frequencies of `column` under `policy`.
+  static Histogram FromColumn(const Column& column, NullPolicy policy);
+
+  // Number of observations contributing to the histogram.
+  uint64_t total() const { return total_; }
+  // Count per dictionary code (index = code). Does not include nulls.
+  const std::vector<uint64_t>& code_counts() const { return code_counts_; }
+  // Count of null observations (0 under kDropNulls).
+  uint64_t null_count() const { return null_count_; }
+  // Number of distinct observed symbols (including null as one symbol if
+  // it was observed and the policy keeps it).
+  size_t support_size() const;
+
+  // Empirical probability of dictionary code `code`.
+  double Probability(int32_t code) const;
+
+ private:
+  std::vector<uint64_t> code_counts_;
+  uint64_t null_count_ = 0;
+  uint64_t total_ = 0;
+  bool null_is_symbol_ = true;
+};
+
+// Sparse joint frequency histogram of two equal-length columns. Cells are
+// keyed by the pair of dictionary codes.
+class JointHistogram {
+ public:
+  // Counts pair frequencies of (x, y) under `policy`. Under kDropNulls,
+  // rows where either column is null are skipped; marginal counts returned
+  // by x_counts()/y_counts() are over the same retained rows, so that
+  // MI(X;Y) = H(X) + H(Y) - H(X,Y) is computed over a consistent sample.
+  // Precondition: x.size() == y.size().
+  static JointHistogram FromColumns(const Column& x, const Column& y,
+                                    NullPolicy policy);
+
+  uint64_t total() const { return total_; }
+  // Joint cell counts keyed by PackCodes(x_code, y_code).
+  const std::unordered_map<uint64_t, uint64_t>& cells() const {
+    return cells_;
+  }
+  // Marginal counts over the retained rows, keyed by code (null folded in
+  // as its own key under kNullAsSymbol).
+  const std::unordered_map<int32_t, uint64_t>& x_counts() const {
+    return x_counts_;
+  }
+  const std::unordered_map<int32_t, uint64_t>& y_counts() const {
+    return y_counts_;
+  }
+
+  // Number of distinct observed (x, y) pairs.
+  size_t support_size() const { return cells_.size(); }
+
+  // Packs two codes (null = -1 allowed) into one 64-bit key.
+  static uint64_t PackCodes(int32_t x_code, int32_t y_code);
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> cells_;
+  std::unordered_map<int32_t, uint64_t> x_counts_;
+  std::unordered_map<int32_t, uint64_t> y_counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_HISTOGRAM_H_

@@ -1,0 +1,243 @@
+#include "depmatch/table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/table/schema.h"
+
+namespace depmatch {
+namespace {
+
+// Tokenizes RFC-4180-style CSV: fields may be double-quoted; quoted fields
+// may contain the delimiter, newlines, and doubled quotes. Returns records
+// of raw field strings.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+        } else if (c == '\n') {
+          end_record();
+        } else if (c == '\r') {
+          // swallow; \r\n handled at \n
+        } else {
+          field.push_back(c);
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          // Strip a trailing \r from \r\n line endings.
+          if (!field.empty() && field.back() == '\r') field.pop_back();
+          end_record();
+          state = State::kFieldStart;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state = State::kQuoteInQuoted;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == '"') {
+          field.push_back('"');
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          end_record();
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          // swallow
+        } else {
+          return InvalidArgumentError(StrFormat(
+              "malformed CSV: stray character after closing quote at "
+              "offset %zu",
+              i));
+        }
+        break;
+    }
+  }
+  if (state == State::kQuoted) {
+    return InvalidArgumentError("malformed CSV: unterminated quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (state != State::kFieldStart || !field.empty() || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+// Per-column inferred type over raw string fields.
+DataType InferColumnType(const std::vector<std::vector<std::string>>& records,
+                         size_t first_data_row, size_t col) {
+  bool all_int = true;
+  bool all_double = true;
+  bool any_value = false;
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    const std::string& raw = records[r][col];
+    if (raw.empty() || IsBlank(raw)) continue;
+    any_value = true;
+    if (all_int && !ParseInt64(raw).has_value()) all_int = false;
+    if (all_double && !ParseDouble(raw).has_value()) all_double = false;
+    if (!all_int && !all_double) break;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value FieldToValue(const std::string& raw, DataType type) {
+  if (raw.empty() || IsBlank(raw)) return Value::Null();
+  switch (type) {
+    case DataType::kInt64:
+      return Value(*ParseInt64(raw));
+    case DataType::kDouble:
+      return Value(*ParseDouble(raw));
+    case DataType::kString:
+      return Value(raw);
+  }
+  return Value::Null();
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendCsvField(std::string& out, const std::string& field,
+                    char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
+  Result<std::vector<std::vector<std::string>>> tokenized =
+      Tokenize(text, options.delimiter);
+  if (!tokenized.ok()) return tokenized.status();
+  const std::vector<std::vector<std::string>>& records = tokenized.value();
+  if (records.empty()) {
+    return InvalidArgumentError("CSV input contains no records");
+  }
+  size_t arity = records[0].size();
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != arity) {
+      return InvalidArgumentError(
+          StrFormat("CSV record %zu has %zu fields, expected %zu", r,
+                    records[r].size(), arity));
+    }
+  }
+
+  size_t first_data_row = options.has_header ? 1 : 0;
+  std::vector<AttributeSpec> specs(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    specs[c].name =
+        options.has_header ? records[0][c] : StrFormat("c%zu", c);
+    specs[c].type = options.infer_types
+                        ? InferColumnType(records, first_data_row, c)
+                        : DataType::kString;
+  }
+  Result<Schema> schema = Schema::Create(std::move(specs));
+  if (!schema.ok()) return schema.status();
+
+  TableBuilder builder(schema.value());
+  std::vector<Value> row(arity);
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    for (size_t c = 0; c < arity; ++c) {
+      row[c] = FieldToValue(records[r][c], schema.value().attribute(c).type);
+    }
+    DEPMATCH_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_attributes(); ++c) {
+      if (c > 0) out += options.delimiter;
+      AppendCsvField(out, table.schema().attribute(c).name,
+                     options.delimiter);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_attributes(); ++c) {
+      if (c > 0) out += options.delimiter;
+      AppendCsvField(out, table.GetValue(r, c).ToString(), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return InvalidArgumentError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out << WriteCsvString(table, options);
+  if (!out) {
+    return InternalError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace depmatch

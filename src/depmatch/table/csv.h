@@ -1,0 +1,47 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// CSV reading and writing. The paper's testbed loads its data tables from
+// text files; this module provides the equivalent loader, including the
+// type inference needed to treat numeric columns as numbers in printed
+// fragments while the matcher itself stays value-agnostic.
+
+#ifndef DEPMATCH_TABLE_CSV_H_
+#define DEPMATCH_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "depmatch/common/status.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // First line is a header of attribute names. When false, attributes are
+  // named "c0", "c1", ...
+  bool has_header = true;
+  // Infer int64/double column types from the data; empty fields are nulls.
+  // When false, every column is typed string (empty fields still null).
+  bool infer_types = true;
+};
+
+// Parses CSV text into a Table. Every record must have the same number of
+// fields as the header/first record. Empty fields become nulls.
+Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options);
+
+// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options);
+
+// Serializes a table (header + rows, nulls as empty fields). Fields
+// containing the delimiter, quotes, or newlines are double-quoted.
+std::string WriteCsvString(const Table& table, const CsvOptions& options);
+
+// Writes a table to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TABLE_CSV_H_

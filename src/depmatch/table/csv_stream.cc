@@ -1,0 +1,189 @@
+#include "depmatch/table/csv_stream.h"
+
+#include <utility>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/table/schema.h"
+
+namespace depmatch {
+
+Result<std::unique_ptr<CsvStreamReader>> CsvStreamReader::Open(
+    const std::string& path, const CsvOptions& options) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return NotFoundError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::unique_ptr<CsvStreamReader> reader(
+      new CsvStreamReader(std::move(stream), options.delimiter));
+  if (options.has_header) {
+    std::vector<std::string> header;
+    Result<bool> read = reader->ReadRaw(header);
+    if (!read.ok()) return read.status();
+    if (!*read) {
+      return InvalidArgumentError("CSV file is empty (no header)");
+    }
+    reader->header_ = std::move(header);
+    reader->arity_ = reader->header_.size();
+    reader->arity_known_ = true;
+  }
+  return reader;
+}
+
+Result<bool> CsvStreamReader::ReadRaw(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+  bool consumed_anything = false;
+
+  int raw;
+  while ((raw = stream_.get()) != std::ifstream::traits_type::eof()) {
+    char c = static_cast<char>(raw);
+    consumed_anything = true;
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+        } else if (c == delimiter_) {
+          fields.push_back(std::move(field));
+          field.clear();
+        } else if (c == '\n') {
+          fields.push_back(std::move(field));
+          return true;
+        } else if (c != '\r') {
+          field.push_back(c);
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == delimiter_) {
+          fields.push_back(std::move(field));
+          field.clear();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          if (!field.empty() && field.back() == '\r') field.pop_back();
+          fields.push_back(std::move(field));
+          return true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state = State::kQuoteInQuoted;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == '"') {
+          field.push_back('"');
+          state = State::kQuoted;
+        } else if (c == delimiter_) {
+          fields.push_back(std::move(field));
+          field.clear();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          fields.push_back(std::move(field));
+          return true;
+        } else if (c != '\r') {
+          return InvalidArgumentError(
+              "malformed CSV: stray character after closing quote");
+        }
+        break;
+    }
+  }
+  if (state == State::kQuoted) {
+    return InvalidArgumentError("malformed CSV: unterminated quoted field");
+  }
+  if (!consumed_anything) return false;  // clean EOF
+  // Final record without trailing newline.
+  fields.push_back(std::move(field));
+  return true;
+}
+
+Result<bool> CsvStreamReader::ReadRecord(std::vector<std::string>& fields) {
+  Result<bool> read = ReadRaw(fields);
+  if (!read.ok()) return read;
+  if (!*read) return false;
+  if (!arity_known_) {
+    arity_ = fields.size();
+    arity_known_ = true;
+  } else if (fields.size() != arity_) {
+    return InvalidArgumentError(
+        StrFormat("CSV record %zu has %zu fields, expected %zu",
+                  records_read_ + 1, fields.size(), arity_));
+  }
+  ++records_read_;
+  return true;
+}
+
+Result<Table> SampleCsvFile(const std::string& path, size_t sample_rows,
+                            uint64_t seed, const CsvOptions& options) {
+  Result<std::unique_ptr<CsvStreamReader>> reader =
+      CsvStreamReader::Open(path, options);
+  if (!reader.ok()) return reader.status();
+
+  // Algorithm R reservoir over raw records.
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> reservoir;
+  reservoir.reserve(sample_rows);
+  std::vector<std::string> fields;
+  uint64_t seen = 0;
+  while (true) {
+    Result<bool> more = (*reader)->ReadRecord(fields);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    ++seen;
+    if (reservoir.size() < sample_rows) {
+      reservoir.push_back(fields);
+    } else if (sample_rows > 0) {
+      uint64_t slot = rng.NextBounded(seen);
+      if (slot < sample_rows) {
+        reservoir[static_cast<size_t>(slot)] = fields;
+      }
+    }
+  }
+
+  // Reassemble a small CSV in memory and reuse the batch parser's type
+  // inference so streamed and in-memory loads behave identically.
+  size_t arity = (*reader)->arity();
+  std::vector<std::string> names;
+  if (options.has_header) {
+    names = (*reader)->header();
+  } else {
+    for (size_t c = 0; c < arity; ++c) names.push_back(StrFormat("c%zu", c));
+  }
+  if (reservoir.empty() && arity == 0) {
+    return InvalidArgumentError("CSV file contains no records");
+  }
+
+  std::string text;
+  auto append_record = [&](const std::vector<std::string>& record) {
+    for (size_t c = 0; c < record.size(); ++c) {
+      if (c > 0) text += options.delimiter;
+      bool quote = record[c].find_first_of(
+                       std::string(1, options.delimiter) + "\"\n\r") !=
+                   std::string::npos;
+      if (!quote) {
+        text += record[c];
+        continue;
+      }
+      text += '"';
+      for (char ch : record[c]) {
+        if (ch == '"') text += '"';
+        text += ch;
+      }
+      text += '"';
+    }
+    text += '\n';
+  };
+  append_record(names);
+  for (const auto& record : reservoir) append_record(record);
+
+  CsvOptions parse = options;
+  parse.has_header = true;
+  return ReadCsvString(text, parse);
+}
+
+}  // namespace depmatch

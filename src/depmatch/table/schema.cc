@@ -1,0 +1,61 @@
+#include "depmatch/table/schema.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+Result<Schema> Schema::Create(std::vector<AttributeSpec> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const AttributeSpec& spec : attributes) {
+    if (spec.name.empty()) {
+      return InvalidArgumentError("attribute name must be non-empty");
+    }
+    if (!seen.insert(spec.name).second) {
+      return AlreadyExistsError(
+          StrFormat("duplicate attribute name '%s'", spec.name.c_str()));
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+std::optional<size_t> Schema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<AttributeSpec> projected;
+  projected.reserve(indices.size());
+  std::unordered_set<size_t> seen;
+  for (size_t index : indices) {
+    if (index >= attributes_.size()) {
+      return OutOfRangeError(
+          StrFormat("attribute index %zu out of range (schema has %zu)",
+                    index, attributes_.size()));
+    }
+    if (!seen.insert(index).second) {
+      return InvalidArgumentError(
+          StrFormat("attribute index %zu projected twice", index));
+    }
+    projected.push_back(attributes_[index]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += DataTypeToString(attributes_[i].type);
+  }
+  return out;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,65 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Schema: ordered list of named, typed attributes of a table.
+
+#ifndef DEPMATCH_TABLE_SCHEMA_H_
+#define DEPMATCH_TABLE_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/table/value.h"
+
+namespace depmatch {
+
+// One attribute (column) declaration.
+struct AttributeSpec {
+  std::string name;
+  DataType type = DataType::kString;
+
+  friend bool operator==(const AttributeSpec& a, const AttributeSpec& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+// Ordered attribute list. Attribute names must be unique and non-empty.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Validates uniqueness and non-emptiness of names.
+  static Result<Schema> Create(std::vector<AttributeSpec> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> FindAttribute(std::string_view name) const;
+
+  // New schema containing `indices` in order. Fails on out-of-range indices
+  // or duplicates.
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  // "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  explicit Schema(std::vector<AttributeSpec> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<AttributeSpec> attributes_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TABLE_SCHEMA_H_

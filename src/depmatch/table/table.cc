@@ -1,0 +1,124 @@
+#include "depmatch/table/table.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "depmatch/common/logging.h"
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  DEPMATCH_CHECK_LT(row, num_rows_);
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& column : columns_) {
+    out.push_back(column.GetValue(row));
+  }
+  return out;
+}
+
+std::string Table::FormatFragment(size_t max_rows, size_t max_cols) const {
+  size_t rows = std::min(max_rows, num_rows_);
+  size_t cols = std::min(max_cols, num_attributes());
+  std::string out;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += '\t';
+    out += schema_.attribute(c).name;
+  }
+  out += '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += '\t';
+      out += columns_[c].GetValue(r).ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_attributes());
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    columns_.emplace_back(schema_.attribute(i).type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return InvalidArgumentError(
+        StrFormat("row has %zu values, schema expects %zu", row.size(),
+                  schema_.num_attributes()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    DataType expected = schema_.attribute(i).type;
+    bool matches = (expected == DataType::kInt64 && v.is_int64()) ||
+                   (expected == DataType::kDouble && v.is_double()) ||
+                   (expected == DataType::kString && v.is_string());
+    if (!matches) {
+      return InvalidArgumentError(StrFormat(
+          "value for attribute '%s' has wrong type (expected %s)",
+          schema_.attribute(i).name.c_str(),
+          std::string(DataTypeToString(expected)).c_str()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].Append(row[i]);
+  }
+  ++appended_rows_;
+  return OkStatus();
+}
+
+void TableBuilder::AppendValue(size_t col, const Value& value) {
+  DEPMATCH_CHECK_LT(col, columns_.size());
+  columns_[col].Append(value);
+  columnar_fill_ = true;
+}
+
+size_t TableBuilder::num_appended_rows() const {
+  if (!columnar_fill_) return appended_rows_;
+  size_t rows = columns_.empty() ? 0 : columns_[0].size();
+  return rows;
+}
+
+Result<Table> TableBuilder::Build() && {
+  size_t rows = columns_.empty() ? 0 : columns_[0].size();
+  for (const Column& column : columns_) {
+    if (column.size() != rows) {
+      return FailedPreconditionError("columns have unequal lengths");
+    }
+  }
+  Table table;
+  table.schema_ = std::move(schema_);
+  table.columns_ = std::move(columns_);
+  table.num_rows_ = rows;
+  return table;
+}
+
+Result<Table> AssembleTable(Schema schema, std::vector<Column> columns) {
+  if (schema.num_attributes() != columns.size()) {
+    return InvalidArgumentError(
+        StrFormat("schema has %zu attributes but %zu columns supplied",
+                  schema.num_attributes(), columns.size()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].size() != rows) {
+      return InvalidArgumentError("columns have unequal lengths");
+    }
+    if (columns[i].type() != schema.attribute(i).type) {
+      return InvalidArgumentError(
+          StrFormat("column %zu type mismatch with schema", i));
+    }
+  }
+  Table table;
+  table.schema_ = std::move(schema);
+  table.columns_ = std::move(columns);
+  table.num_rows_ = rows;
+  return table;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,90 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Table: an immutable-after-build relation — a Schema plus one
+// dictionary-encoded Column per attribute, all of equal length.
+
+#ifndef DEPMATCH_TABLE_TABLE_H_
+#define DEPMATCH_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/table/column.h"
+#include "depmatch/table/schema.h"
+#include "depmatch/table/value.h"
+
+namespace depmatch {
+
+class TableBuilder;
+
+// A relation. Construct via TableBuilder or the table_ops transforms.
+class Table {
+ public:
+  Table() = default;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Cell accessor; returns Value::Null() for nulls.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  // Materializes one row as values.
+  std::vector<Value> GetRow(size_t row) const;
+
+  // Human-readable fragment: the first `max_rows` x `max_cols` cells,
+  // TAB-separated with a header line (used to print the paper's Figure 4
+  // (c)/(d)-style fragments).
+  std::string FormatFragment(size_t max_rows, size_t max_cols) const;
+
+ private:
+  friend class TableBuilder;
+  friend Result<Table> AssembleTable(Schema schema,
+                                     std::vector<Column> columns);
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+// Row-at-a-time table construction.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  // Appends a row. Fails if the arity or any non-null value's type does not
+  // match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  // Appends a cell to column `col` directly (columnar fill). All columns
+  // must reach equal length before Build().
+  void AppendValue(size_t col, const Value& value);
+
+  size_t num_appended_rows() const;
+
+  // Finalizes. Fails if columns have unequal lengths.
+  Result<Table> Build() &&;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t appended_rows_ = 0;
+  bool columnar_fill_ = false;
+};
+
+// Assembles a table from pre-built columns (internal fast path used by the
+// transforms in table_ops and by generators). Fails on length mismatch or
+// schema/column arity or type mismatch.
+Result<Table> AssembleTable(Schema schema, std::vector<Column> columns);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TABLE_TABLE_H_

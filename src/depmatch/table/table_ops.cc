@@ -1,0 +1,171 @@
+#include "depmatch/table/table_ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "depmatch/common/logging.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/table/schema.h"
+
+namespace depmatch {
+namespace {
+
+// Rebuilds a table keeping only `rows` (by index). Shared by the row-subset
+// transforms. Dictionary codes are re-interned so unused dictionary entries
+// do not leak into the result.
+Result<Table> RebuildWithRows(const Table& table,
+                              const std::vector<size_t>& rows) {
+  TableBuilder builder(table.schema());
+  for (size_t c = 0; c < table.num_attributes(); ++c) {
+    const Column& src = table.column(c);
+    for (size_t row : rows) {
+      if (row >= table.num_rows()) {
+        return OutOfRangeError(
+            StrFormat("row index %zu out of range (%zu rows)", row,
+                      table.num_rows()));
+      }
+      builder.AppendValue(c, src.GetValue(row));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<Table> ProjectColumns(const Table& table,
+                             const std::vector<size_t>& indices) {
+  Result<Schema> schema = table.schema().Project(indices);
+  if (!schema.ok()) return schema.status();
+  std::vector<Column> columns;
+  columns.reserve(indices.size());
+  for (size_t index : indices) {
+    columns.push_back(table.column(index));
+  }
+  return AssembleTable(std::move(schema).value(), std::move(columns));
+}
+
+Result<Table> SelectRows(const Table& table,
+                         const std::vector<size_t>& rows) {
+  return RebuildWithRows(table, rows);
+}
+
+Table HeadRows(const Table& table, size_t n) {
+  size_t count = std::min(n, table.num_rows());
+  std::vector<size_t> rows(count);
+  for (size_t i = 0; i < count; ++i) rows[i] = i;
+  Result<Table> result = RebuildWithRows(table, rows);
+  DEPMATCH_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Table SampleRows(const Table& table, size_t n, Rng& rng) {
+  size_t count = std::min(n, table.num_rows());
+  std::vector<size_t> rows =
+      rng.SampleWithoutReplacement(table.num_rows(), count);
+  Result<Table> result = RebuildWithRows(table, rows);
+  DEPMATCH_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<Table> RenameAttributes(const Table& table,
+                               const std::vector<std::string>& names) {
+  if (names.size() != table.num_attributes()) {
+    return InvalidArgumentError(
+        StrFormat("got %zu names for %zu attributes", names.size(),
+                  table.num_attributes()));
+  }
+  std::vector<AttributeSpec> specs;
+  specs.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    specs.push_back({names[i], table.schema().attribute(i).type});
+  }
+  Result<Schema> schema = Schema::Create(std::move(specs));
+  if (!schema.ok()) return schema.status();
+  return AssembleTable(std::move(schema).value(), table.columns());
+}
+
+Result<RangePartitionResult> RangePartition(const Table& table, size_t col,
+                                            const Value& pivot) {
+  if (col >= table.num_attributes()) {
+    return OutOfRangeError(StrFormat("attribute index %zu out of range", col));
+  }
+  std::vector<size_t> low_rows;
+  std::vector<size_t> high_rows;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value v = table.GetValue(r, col);
+    if (!v.is_null() && v < pivot) {
+      low_rows.push_back(r);
+    } else {
+      high_rows.push_back(r);
+    }
+  }
+  Result<Table> low = RebuildWithRows(table, low_rows);
+  if (!low.ok()) return low.status();
+  Result<Table> high = RebuildWithRows(table, high_rows);
+  if (!high.ok()) return high.status();
+  return RangePartitionResult{std::move(low).value(), std::move(high).value()};
+}
+
+Result<RangePartitionResult> RangePartitionAtMedian(const Table& table,
+                                                    size_t col) {
+  if (col >= table.num_attributes()) {
+    return OutOfRangeError(StrFormat("attribute index %zu out of range", col));
+  }
+  std::vector<Value> values;
+  values.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Value v = table.GetValue(r, col);
+    if (!v.is_null()) values.push_back(std::move(v));
+  }
+  if (values.empty()) {
+    return FailedPreconditionError(
+        "cannot take median of an all-null attribute");
+  }
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return RangePartition(table, col, values[mid]);
+}
+
+Table OpaqueEncode(const Table& table, const OpaqueEncodeOptions& options,
+                   Rng& rng) {
+  std::vector<AttributeSpec> specs;
+  specs.reserve(table.num_attributes());
+  for (size_t c = 0; c < table.num_attributes(); ++c) {
+    std::string name = options.rename_attributes
+                           ? StrFormat("%s%zu", options.attribute_prefix.c_str(), c)
+                           : table.schema().attribute(c).name;
+    // All re-encoded values are opaque string tokens.
+    specs.push_back({std::move(name), DataType::kString});
+  }
+  Result<Schema> schema = Schema::Create(std::move(specs));
+  DEPMATCH_CHECK(schema.ok());
+
+  TableBuilder builder(schema.value());
+  for (size_t c = 0; c < table.num_attributes(); ++c) {
+    const Column& src = table.column(c);
+    // Random injective token assignment: permute distinct-value indices.
+    size_t n = src.distinct_count();
+    std::vector<size_t> permutation(n);
+    for (size_t i = 0; i < n; ++i) permutation[i] = i;
+    rng.Shuffle(permutation);
+    std::vector<Value> tokens(n);
+    for (size_t i = 0; i < n; ++i) {
+      tokens[i] = Value(
+          StrFormat("%s%zu_%zu", options.value_prefix.c_str(), c,
+                    permutation[i]));
+    }
+    for (size_t r = 0; r < src.size(); ++r) {
+      int32_t code = src.code(r);
+      if (code == Column::kNullCode) {
+        builder.AppendValue(c, Value::Null());
+      } else {
+        builder.AppendValue(c, tokens[static_cast<size_t>(code)]);
+      }
+    }
+  }
+  Result<Table> result = std::move(builder).Build();
+  DEPMATCH_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace depmatch

@@ -1,0 +1,79 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Relational transforms used by the paper's experimental methodology:
+//
+//  * Project / rename        — random attribute subsets per iteration
+//  * SampleRows              — 1K / 5K / 10K tuple samples (Figure 9)
+//  * RangePartition          — split the lab table into "Lab Exam 1/2"
+//                              by exam date (column 1 of the original data)
+//  * OpaqueEncode            — apply an arbitrary per-column one-to-one
+//                              re-encoding f_i (Definition 1.1); used to
+//                              verify un-interpretedness
+//
+// All transforms return new tables; inputs are never modified.
+
+#ifndef DEPMATCH_TABLE_TABLE_OPS_H_
+#define DEPMATCH_TABLE_TABLE_OPS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/common/status.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+// New table with the attributes `indices`, in that order. Duplicate or
+// out-of-range indices fail.
+Result<Table> ProjectColumns(const Table& table,
+                             const std::vector<size_t>& indices);
+
+// New table with the given rows (indices may repeat; order preserved).
+Result<Table> SelectRows(const Table& table,
+                         const std::vector<size_t>& rows);
+
+// First min(n, num_rows) rows.
+Table HeadRows(const Table& table, size_t n);
+
+// Uniform random sample of min(n, num_rows) distinct rows, in random order.
+Table SampleRows(const Table& table, size_t n, Rng& rng);
+
+// Renames attributes. `names` must have one entry per attribute and be
+// duplicate-free.
+Result<Table> RenameAttributes(const Table& table,
+                               const std::vector<std::string>& names);
+
+// Splits `table` into (low, high) by the value of attribute `col`:
+// rows with value < pivot go low, the rest (including nulls) go high.
+struct RangePartitionResult {
+  Table low;
+  Table high;
+};
+Result<RangePartitionResult> RangePartition(const Table& table, size_t col,
+                                            const Value& pivot);
+
+// Convenience: partitions at the median of attribute `col`'s non-null
+// values (the paper splits its 12-year lab data into two halves by date).
+Result<RangePartitionResult> RangePartitionAtMedian(const Table& table,
+                                                    size_t col);
+
+// Applies an independent random one-to-one re-encoding f_i to every column:
+// each distinct value is replaced by an arbitrary unique opaque token
+// ("v<k>" strings by default), and attribute names are replaced by opaque
+// names ("attr<i>"). Nulls stay null. This realizes Definition 1.1's f_i
+// and makes a table "opaque" to any interpreted matcher.
+struct OpaqueEncodeOptions {
+  bool rename_attributes = true;
+  // Prefix for generated value tokens; the suffix is a random unique index.
+  std::string value_prefix = "v";
+  std::string attribute_prefix = "attr";
+};
+Table OpaqueEncode(const Table& table, const OpaqueEncodeOptions& options,
+                   Rng& rng);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TABLE_TABLE_OPS_H_

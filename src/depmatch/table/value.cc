@@ -1,0 +1,71 @@
+#include "depmatch/table/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int64()) return std::to_string(int64_value());
+  if (is_double()) {
+    double d = double_value();
+    // %g gives compact, round-trippable-enough output for display purposes.
+    return StrFormat("%.10g", d);
+  }
+  return string_value();
+}
+
+size_t Value::Hash() const {
+  constexpr size_t kNullHash = 0x9ae16a3b2f90404fULL;
+  constexpr size_t kTypeSalt[3] = {0x8f14e45fceea167aULL,
+                                   0x3b7e151628aed2a6ULL,
+                                   0x9b97f4a7c15f39ccULL};
+  auto mix = [](size_t h, size_t salt) {
+    h ^= salt + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  if (is_null()) return kNullHash;
+  if (is_int64()) {
+    return mix(std::hash<int64_t>{}(int64_value()), kTypeSalt[0]);
+  }
+  if (is_double()) {
+    double d = double_value();
+    if (d == 0.0) d = 0.0;  // normalize -0.0 to +0.0 (they compare equal)
+    return mix(std::hash<double>{}(d), kTypeSalt[1]);
+  }
+  return mix(std::hash<std::string>{}(string_value()), kTypeSalt[2]);
+}
+
+bool operator<(const Value& a, const Value& b) {
+  // Rank: null=0, int64=1, double=2, string=3 (variant index order).
+  size_t ra = a.data_.index();
+  size_t rb = b.data_.index();
+  if (ra != rb) return ra < rb;
+  if (a.is_null()) return false;  // equal nulls
+  if (a.is_int64()) return a.int64_value() < b.int64_value();
+  if (a.is_double()) return a.double_value() < b.double_value();
+  return a.string_value() < b.string_value();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace depmatch

@@ -1,0 +1,92 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Value: a dynamically-typed cell of a relational table.
+//
+// DepMatch's matching algorithm is *un-interpreted*: it never inspects what
+// a value means, only whether two cells of the same column are equal. Value
+// therefore supports exactly the operations the engine needs — equality,
+// ordering (for range partitioning and sorted output), hashing (for
+// dictionary encoding), and printing.
+
+#ifndef DEPMATCH_TABLE_VALUE_H_
+#define DEPMATCH_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace depmatch {
+
+// Physical type of a column. Null is a state of a cell, not a type.
+enum class DataType { kInt64 = 0, kDouble = 1, kString = 2 };
+
+std::string_view DataTypeToString(DataType type);
+
+// A single cell: null, int64, double, or string.
+//
+// Values of different physical types never compare equal; ordering across
+// types follows (null < int64 < double < string) so heterogeneous columns
+// still sort deterministically.
+class Value {
+ public:
+  // Constructs a null value.
+  Value() : data_(NullTag{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  // Preconditions: the corresponding is_*() holds.
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  // Printable form; nulls render as the empty string (CSV convention).
+  std::string ToString() const;
+
+  // Deterministic 64-bit hash (nulls hash to a fixed constant).
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  // Total order: null < int64 < double < string; within a type, natural
+  // order. int64 and double are distinct types and do not cross-compare by
+  // numeric value (the engine never relies on numeric semantics).
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  struct NullTag {
+    friend bool operator==(NullTag, NullTag) { return true; }
+  };
+  std::variant<NullTag, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TABLE_VALUE_H_

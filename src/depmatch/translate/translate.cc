@@ -1,0 +1,135 @@
+#include "depmatch/translate/translate.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+
+std::string GenerateMappingSql(const MatchResult& mapping,
+                               const Schema& source_schema,
+                               const Schema& target_schema,
+                               const std::string& target_table_name) {
+  std::string sql = "SELECT\n";
+  for (size_t s = 0; s < source_schema.num_attributes(); ++s) {
+    size_t t = mapping.TargetOf(s);
+    if (s > 0) sql += ",\n";
+    if (t == MatchResult::kUnmatched || t >= target_schema.num_attributes()) {
+      sql += StrFormat("  NULL AS \"%s\"",
+                       source_schema.attribute(s).name.c_str());
+    } else {
+      sql += StrFormat("  t.\"%s\" AS \"%s\"",
+                       target_schema.attribute(t).name.c_str(),
+                       source_schema.attribute(s).name.c_str());
+    }
+  }
+  sql += StrFormat("\nFROM \"%s\" AS t;", target_table_name.c_str());
+  return sql;
+}
+
+Result<Table> TranslateTable(const Table& target_data,
+                             const MatchResult& mapping,
+                             const Schema& source_schema) {
+  std::vector<const ValueTranslation*> no_translations(
+      source_schema.num_attributes(), nullptr);
+  return TranslateTableWithValues(target_data, mapping, source_schema,
+                                  no_translations);
+}
+
+Result<Table> TranslateTableWithValues(
+    const Table& target_data, const MatchResult& mapping,
+    const Schema& source_schema,
+    const std::vector<const ValueTranslation*>& translations) {
+  size_t n = source_schema.num_attributes();
+  if (translations.size() != n) {
+    return InvalidArgumentError(StrFormat(
+        "need one translation slot per source attribute (%zu for %zu)",
+        translations.size(), n));
+  }
+  for (const MatchPair& pair : mapping.pairs) {
+    if (pair.target >= target_data.num_attributes()) {
+      return OutOfRangeError(
+          StrFormat("mapping target %zu out of range", pair.target));
+    }
+    if (pair.source >= n) {
+      return OutOfRangeError(
+          StrFormat("mapping source %zu out of range", pair.source));
+    }
+  }
+
+  // The output schema keeps source attribute names; column types follow
+  // the data actually placed in them (target encoding, or the source
+  // side of a value translation), so recompute per column.
+  std::vector<AttributeSpec> specs;
+  specs.reserve(n);
+  std::vector<std::vector<Value>> columns(n);
+  size_t rows = target_data.num_rows();
+
+  for (size_t s = 0; s < n; ++s) {
+    size_t t = mapping.TargetOf(s);
+    std::vector<Value>& out = columns[s];
+    out.resize(rows);
+    if (t == MatchResult::kUnmatched) {
+      for (size_t r = 0; r < rows; ++r) out[r] = Value::Null();
+    } else if (translations[s] == nullptr) {
+      for (size_t r = 0; r < rows; ++r) {
+        out[r] = target_data.GetValue(r, t);
+      }
+    } else {
+      // Rewrite through the inverse translation (target -> source).
+      std::unordered_map<Value, Value, ValueHash> back;
+      for (const auto& [from, to] : translations[s]->pairs) {
+        back.emplace(to, from);
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        Value target_value = target_data.GetValue(r, t);
+        if (target_value.is_null()) {
+          out[r] = Value::Null();
+          continue;
+        }
+        auto it = back.find(target_value);
+        out[r] = it == back.end() ? Value::Null() : it->second;
+      }
+    }
+    // Type = the common type of non-null values, else string.
+    DataType type = DataType::kString;
+    bool seen = false;
+    bool uniform = true;
+    for (const Value& value : out) {
+      if (value.is_null()) continue;
+      DataType cell = value.is_int64()
+                          ? DataType::kInt64
+                          : value.is_double() ? DataType::kDouble
+                                              : DataType::kString;
+      if (!seen) {
+        type = cell;
+        seen = true;
+      } else if (type != cell) {
+        uniform = false;
+      }
+    }
+    if (!uniform) {
+      // Mixed physical types (possible when a translation maps into a
+      // heterogeneous source dictionary): stringify everything.
+      for (Value& value : out) {
+        if (!value.is_null()) value = Value(value.ToString());
+      }
+      type = DataType::kString;
+    }
+    specs.push_back({source_schema.attribute(s).name, type});
+  }
+
+  Result<Schema> schema = Schema::Create(std::move(specs));
+  if (!schema.ok()) return schema.status();
+  TableBuilder builder(schema.value());
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t r = 0; r < rows; ++r) {
+      builder.AppendValue(s, columns[s][r]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace depmatch

@@ -1,0 +1,57 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Executing a schema mapping: the step after matching, where the paper
+// points at Clio ("produces as a mapping a view definition over the
+// target schema so that a meta query engine can execute the mapping
+// query and translate the data"). Given a MatchResult from the matcher,
+// this module
+//
+//   * generates the mapping query as SQL text (documentation / handoff
+//     to a real engine), and
+//   * executes it directly: reshapes target-schema data into the source
+//     schema, optionally rewriting values through inferred value
+//     translations (see value_translation.h).
+
+#ifndef DEPMATCH_TRANSLATE_TRANSLATE_H_
+#define DEPMATCH_TRANSLATE_TRANSLATE_H_
+
+#include <string>
+
+#include "depmatch/common/status.h"
+#include "depmatch/match/matching.h"
+#include "depmatch/table/schema.h"
+#include "depmatch/table/table.h"
+#include "depmatch/translate/value_translation.h"
+
+namespace depmatch {
+
+// SQL view definition realizing `mapping`: one SELECT over
+// `target_table_name` producing `source_schema`'s attribute names.
+// Unmatched source attributes appear as NULL columns.
+std::string GenerateMappingSql(const MatchResult& mapping,
+                               const Schema& source_schema,
+                               const Schema& target_schema,
+                               const std::string& target_table_name);
+
+// Reshapes `target_data` (laid out in the target schema) into the source
+// schema: column i of the result is the target column mapping.TargetOf(i)
+// maps to, or all-null if unmatched. Result columns keep the *target*
+// value encoding and are typed accordingly.
+Result<Table> TranslateTable(const Table& target_data,
+                             const MatchResult& mapping,
+                             const Schema& source_schema);
+
+// Like TranslateTable, but additionally rewrites cell values through the
+// per-column translations in `translations` (indexed by source attribute;
+// columns without an entry keep target encoding). Values absent from a
+// translation become null (they were never observed when the translation
+// was inferred).
+Result<Table> TranslateTableWithValues(
+    const Table& target_data, const MatchResult& mapping,
+    const Schema& source_schema,
+    const std::vector<const ValueTranslation*>& translations);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TRANSLATE_TRANSLATE_H_

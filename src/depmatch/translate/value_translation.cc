@@ -1,0 +1,278 @@
+#include "depmatch/translate/value_translation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/match/hungarian_matcher.h"
+
+namespace depmatch {
+namespace {
+
+// Pairwise-cost ceiling for the anchor assignment (dictionaries whose
+// product exceeds this would make the O(|X| * |Y| * |A|) signature
+// comparison unreasonable).
+constexpr size_t kMaxCostCells = 250000;
+
+struct RankedValue {
+  Value value;
+  uint64_t count;
+};
+
+// Non-null dictionary values with counts, sorted by (count desc, value
+// asc) for deterministic rank alignment.
+std::vector<RankedValue> RankByFrequency(const Column& column) {
+  std::vector<uint64_t> counts(column.distinct_count(), 0);
+  for (int32_t code : column.codes()) {
+    if (code != Column::kNullCode) ++counts[static_cast<size_t>(code)];
+  }
+  std::vector<RankedValue> ranked;
+  ranked.reserve(counts.size());
+  for (size_t code = 0; code < counts.size(); ++code) {
+    if (counts[code] > 0) {
+      ranked.push_back({column.dictionary()[code], counts[code]});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedValue& a, const RankedValue& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  return ranked;
+}
+
+double FrequencyAgreement(double p, double q) {
+  double sum = p + q;
+  if (sum <= 0.0) return 1.0;
+  return 1.0 - std::fabs(p - q) / sum;
+}
+
+// P(anchor-source-value | column value) signatures for every value of
+// `column`, with the anchor side expressed in *source* anchor values
+// (`anchor_to_source` empty = anchor is already in source encoding).
+// Rows where the anchor translates to nothing are skipped.
+using Signature = std::unordered_map<Value, double, ValueHash>;
+
+std::vector<Signature> ConditionalSignatures(
+    const Column& column, const Column& anchor,
+    const std::unordered_map<Value, Value, ValueHash>* anchor_to_source) {
+  std::vector<Signature> signatures(column.distinct_count());
+  std::vector<double> totals(column.distinct_count(), 0.0);
+  for (size_t row = 0; row < column.size(); ++row) {
+    int32_t code = column.code(row);
+    if (code == Column::kNullCode) continue;
+    int32_t anchor_code = anchor.code(row);
+    if (anchor_code == Column::kNullCode) continue;
+    Value anchor_value = anchor.dictionary()[static_cast<size_t>(anchor_code)];
+    if (anchor_to_source != nullptr) {
+      auto it = anchor_to_source->find(anchor_value);
+      if (it == anchor_to_source->end()) continue;  // untranslated value
+      anchor_value = it->second;
+    }
+    signatures[static_cast<size_t>(code)][anchor_value] += 1.0;
+    totals[static_cast<size_t>(code)] += 1.0;
+  }
+  for (size_t code = 0; code < signatures.size(); ++code) {
+    if (totals[code] <= 0.0) continue;
+    for (auto& [value, mass] : signatures[code]) mass /= totals[code];
+  }
+  return signatures;
+}
+
+// Total-variation distance between two normalized signatures, in [0, 1].
+double TotalVariation(const Signature& a, const Signature& b) {
+  double distance = 0.0;
+  for (const auto& [value, mass] : a) {
+    auto it = b.find(value);
+    double other = it == b.end() ? 0.0 : it->second;
+    distance += std::fabs(mass - other);
+  }
+  for (const auto& [value, mass] : b) {
+    if (a.find(value) == a.end()) distance += mass;
+  }
+  return 0.5 * distance;
+}
+
+}  // namespace
+
+Value ValueTranslation::Translate(const Value& source_value) const {
+  for (const auto& [from, to] : pairs) {
+    if (from == source_value) return to;
+  }
+  return Value::Null();
+}
+
+Value ValueTranslation::TranslateBack(const Value& target_value) const {
+  for (const auto& [from, to] : pairs) {
+    if (to == target_value) return from;
+  }
+  return Value::Null();
+}
+
+Result<ValueTranslation> InferValueTranslationByFrequency(
+    const Column& source, const Column& target) {
+  std::vector<RankedValue> ranked_source = RankByFrequency(source);
+  std::vector<RankedValue> ranked_target = RankByFrequency(target);
+  double source_total = 0.0;
+  double target_total = 0.0;
+  for (const RankedValue& r : ranked_source) {
+    source_total += static_cast<double>(r.count);
+  }
+  for (const RankedValue& r : ranked_target) {
+    target_total += static_cast<double>(r.count);
+  }
+
+  ValueTranslation translation;
+  size_t count = std::min(ranked_source.size(), ranked_target.size());
+  double agreement_sum = 0.0;
+  for (size_t rank = 0; rank < count; ++rank) {
+    translation.pairs.emplace_back(ranked_source[rank].value,
+                                   ranked_target[rank].value);
+    double p = static_cast<double>(ranked_source[rank].count) /
+               (source_total > 0 ? source_total : 1.0);
+    double q = static_cast<double>(ranked_target[rank].count) /
+               (target_total > 0 ? target_total : 1.0);
+    agreement_sum += FrequencyAgreement(p, q);
+  }
+  translation.agreement =
+      count > 0 ? agreement_sum / static_cast<double>(count) : 0.0;
+  return translation;
+}
+
+Result<ValueTranslation> InferValueTranslationWithAnchor(
+    const Column& source, const Column& anchor_source, const Column& target,
+    const Column& anchor_target,
+    const ValueTranslation& anchor_translation) {
+  if (source.size() != anchor_source.size()) {
+    return InvalidArgumentError(
+        "source and anchor_source must be columns of the same table");
+  }
+  if (target.size() != anchor_target.size()) {
+    return InvalidArgumentError(
+        "target and anchor_target must be columns of the same table");
+  }
+  size_t n = source.distinct_count();
+  size_t m = target.distinct_count();
+  if (n == 0 || m == 0) return ValueTranslation{};
+  if (n * m > kMaxCostCells) {
+    return ResourceExhaustedError(StrFormat(
+        "dictionaries too large for anchor alignment (%zu x %zu)", n, m));
+  }
+
+  // Map target anchor values back into source anchor encoding.
+  std::unordered_map<Value, Value, ValueHash> anchor_back;
+  for (const auto& [from, to] : anchor_translation.pairs) {
+    anchor_back.emplace(to, from);
+  }
+
+  std::vector<Signature> source_signatures =
+      ConditionalSignatures(source, anchor_source, nullptr);
+  std::vector<Signature> target_signatures =
+      ConditionalSignatures(target, anchor_target, &anchor_back);
+
+  // Assignment over TV distances; flip roles if source dictionary is
+  // larger (SolveAssignment needs rows <= cols).
+  bool flipped = n > m;
+  size_t rows = flipped ? m : n;
+  size_t cols = flipped ? n : m;
+  std::vector<std::vector<double>> cost(rows, std::vector<double>(cols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const Signature& a = flipped ? target_signatures[r]
+                                   : source_signatures[r];
+      const Signature& b = flipped ? source_signatures[c]
+                                   : target_signatures[c];
+      cost[r][c] = TotalVariation(a, b);
+    }
+  }
+  Result<std::vector<size_t>> assignment = SolveAssignment(cost);
+  if (!assignment.ok()) return assignment.status();
+
+  ValueTranslation translation;
+  double agreement_sum = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    size_t c = (*assignment)[r];
+    size_t source_code = flipped ? c : r;
+    size_t target_code = flipped ? r : c;
+    translation.pairs.emplace_back(source.dictionary()[source_code],
+                                   target.dictionary()[target_code]);
+    agreement_sum += 1.0 - cost[r][c];
+  }
+  // Deterministic order: sort by source value.
+  std::sort(translation.pairs.begin(), translation.pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  translation.agreement =
+      rows > 0 ? agreement_sum / static_cast<double>(rows) : 0.0;
+  return translation;
+}
+
+Result<std::vector<ValueTranslation>> InferValueTranslations(
+    const Table& source_table, const Table& target_table,
+    const MatchResult& mapping) {
+  for (const MatchPair& pair : mapping.pairs) {
+    if (pair.source >= source_table.num_attributes() ||
+        pair.target >= target_table.num_attributes()) {
+      return OutOfRangeError("mapping refers to out-of-range attributes");
+    }
+  }
+  size_t count = mapping.pairs.size();
+  std::vector<ValueTranslation> translations(count);
+  if (count == 0) return translations;
+
+  // Seed: the pair whose source frequency signature is most informative
+  // (largest probability mass on values with a unique count).
+  size_t seed = 0;
+  double best_quality = -1.0;
+  for (size_t i = 0; i < count; ++i) {
+    const Column& column = source_table.column(mapping.pairs[i].source);
+    std::vector<RankedValue> ranked = RankByFrequency(column);
+    double total = 0.0;
+    double unique_mass = 0.0;
+    for (size_t k = 0; k < ranked.size(); ++k) {
+      total += static_cast<double>(ranked[k].count);
+      bool tied = (k > 0 && ranked[k - 1].count == ranked[k].count) ||
+                  (k + 1 < ranked.size() &&
+                   ranked[k + 1].count == ranked[k].count);
+      if (!tied) unique_mass += static_cast<double>(ranked[k].count);
+    }
+    double quality = total > 0 ? unique_mass / total : 0.0;
+    if (quality > best_quality) {
+      best_quality = quality;
+      seed = i;
+    }
+  }
+
+  Result<ValueTranslation> seeded = InferValueTranslationByFrequency(
+      source_table.column(mapping.pairs[seed].source),
+      target_table.column(mapping.pairs[seed].target));
+  if (!seeded.ok()) return seeded.status();
+  translations[seed] = std::move(seeded).value();
+
+  // Propagate: every other pair aligns via the seed as anchor; if the
+  // anchor alignment fails (e.g. dictionary blowup), fall back to
+  // frequency ranks.
+  for (size_t i = 0; i < count; ++i) {
+    if (i == seed) continue;
+    Result<ValueTranslation> anchored = InferValueTranslationWithAnchor(
+        source_table.column(mapping.pairs[i].source),
+        source_table.column(mapping.pairs[seed].source),
+        target_table.column(mapping.pairs[i].target),
+        target_table.column(mapping.pairs[seed].target),
+        translations[seed]);
+    if (anchored.ok()) {
+      translations[i] = std::move(anchored).value();
+      continue;
+    }
+    Result<ValueTranslation> by_frequency =
+        InferValueTranslationByFrequency(
+            source_table.column(mapping.pairs[i].source),
+            target_table.column(mapping.pairs[i].target));
+    if (!by_frequency.ok()) return by_frequency.status();
+    translations[i] = std::move(by_frequency).value();
+  }
+  return translations;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,81 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Value-correspondence discovery: after the schema matcher pairs column X
+// (source table) with column Y (target table), infer which *value* of Y
+// encodes which value of X — i.e. recover Definition 1.1's opaque
+// re-encoding f, without interpreting either side. Two un-interpreted
+// signals are available:
+//
+//   * Frequency signatures: a one-to-one re-encoding preserves each
+//     value's relative frequency, so rank-aligning the two frequency
+//     distributions recovers the translation wherever frequencies are
+//     distinct (InferValueTranslationByFrequency).
+//
+//   * Co-occurrence signatures: values with near-tied frequencies are
+//     disambiguated by their conditional distribution over an *anchor*
+//     column whose translation is already known: v and f(v) must
+//     co-occur with corresponding anchor values. Solved exactly as an
+//     assignment problem over total-variation distances
+//     (InferValueTranslationWithAnchor).
+//
+// InferValueTranslations drives both: frequency-seed the most skewed
+// matched column, then propagate along the matched pairs using the best
+// available anchor.
+
+#ifndef DEPMATCH_TRANSLATE_VALUE_TRANSLATION_H_
+#define DEPMATCH_TRANSLATE_VALUE_TRANSLATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/match/matching.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+
+// A (partial) one-to-one value correspondence between a source column's
+// and a target column's dictionaries.
+struct ValueTranslation {
+  // (source value, target value) pairs; each side appears at most once.
+  std::vector<std::pair<Value, Value>> pairs;
+  // Mean per-pair frequency agreement in [0, 1] (1 = the aligned values
+  // have identical relative frequencies). A coarse confidence signal.
+  double agreement = 0.0;
+
+  // Target value for `source_value`, or null if unmapped.
+  Value Translate(const Value& source_value) const;
+  // Source value for `target_value`, or null if unmapped (inverse
+  // direction, used when rewriting target data into source encoding).
+  Value TranslateBack(const Value& target_value) const;
+};
+
+// Aligns the two columns' dictionaries by frequency rank. min(|X|, |Y|)
+// pairs are produced (rarest unmatched values drop out when sizes
+// differ).
+Result<ValueTranslation> InferValueTranslationByFrequency(
+    const Column& source, const Column& target);
+
+// Aligns dictionaries by similarity of conditional distributions over an
+// anchor column pair whose translation is known. `source` and
+// `anchor_source` are columns of the same table (equal length), likewise
+// `target`/`anchor_target`. Cost = total-variation distance between
+// P(anchor | value) signatures, solved as an assignment problem.
+Result<ValueTranslation> InferValueTranslationWithAnchor(
+    const Column& source, const Column& anchor_source, const Column& target,
+    const Column& anchor_target, const ValueTranslation& anchor_translation);
+
+// Infers a translation for every matched column pair: the pair whose
+// source column has the most informative (skewed, collision-free)
+// frequency signature is seeded by frequency alignment; the rest use the
+// strongest already-translated column as anchor (falling back to
+// frequency when no anchor helps). Returns one entry per
+// mapping.pairs[i].
+Result<std::vector<ValueTranslation>> InferValueTranslations(
+    const Table& source_table, const Table& target_table,
+    const MatchResult& mapping);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_TRANSLATE_VALUE_TRANSLATION_H_

@@ -1,0 +1,112 @@
+#include "depmatch/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddString("name", "default", "a string flag");
+  parser.AddInt64("count", 5, "an int flag");
+  parser.AddDouble("alpha", 3.0, "a double flag");
+  parser.AddBool("verbose", false, "a bool flag");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt64("count"), 5);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("alpha"), 3.0);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.WasSet("name"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(
+      parser.Parse({"--name=x", "--count=9", "--alpha=1.5", "--verbose=true"})
+          .ok());
+  EXPECT_EQ(parser.GetString("name"), "x");
+  EXPECT_EQ(parser.GetInt64("count"), 9);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("alpha"), 1.5);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_TRUE(parser.WasSet("count"));
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--name", "spaced", "--count", "-3"}).ok());
+  EXPECT_EQ(parser.GetString("name"), "spaced");
+  EXPECT_EQ(parser.GetInt64("count"), -3);
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BoolFalseForms) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(parser2.Parse({"--verbose=0"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"cmd", "--count=1", "file.csv"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"cmd", "file.csv"}));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--count=1", "--", "--name=literal"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"--name=literal"}));
+  EXPECT_EQ(parser.GetString("name"), "default");
+}
+
+TEST(FlagParserTest, UnknownFlagErrors) {
+  FlagParser parser = MakeParser();
+  Status status = parser.Parse({"--bogus=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadNumberErrors) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(parser.Parse({"--count=abc"}).ok());
+  EXPECT_FALSE(parser.Parse({"--alpha=xy"}).ok());
+  EXPECT_FALSE(parser.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueErrors) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(parser.Parse({"--count"}).ok());
+}
+
+TEST(FlagParserTest, ArgcArgvForm) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"prog", "--count=7", "pos"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetInt64("count"), 7);
+  EXPECT_EQ(parser.positional().size(), 1u);
+}
+
+TEST(FlagParserTest, UsageMentionsEveryFlag) {
+  FlagParser parser = MakeParser();
+  std::string usage = parser.UsageString();
+  for (const char* name : {"name", "count", "alpha", "verbose"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,45 @@
+#include "depmatch/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotCrash) {
+  SetMinLogSeverity(LogSeverity::kError);
+  DEPMATCH_LOG(Info) << "suppressed info " << 42;
+  DEPMATCH_LOG(Warning) << "suppressed warning";
+  SetMinLogSeverity(LogSeverity::kWarning);
+}
+
+TEST(CheckTest, PassingChecksAreNoOps) {
+  DEPMATCH_CHECK(true);
+  DEPMATCH_CHECK_EQ(1, 1);
+  DEPMATCH_CHECK_NE(1, 2);
+  DEPMATCH_CHECK_LT(1, 2);
+  DEPMATCH_CHECK_LE(2, 2);
+  DEPMATCH_CHECK_GT(3, 2);
+  DEPMATCH_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(DEPMATCH_CHECK(1 == 2), "Check failed");
+}
+
+TEST(CheckDeathTest, FailingCheckEqAborts) {
+  EXPECT_DEATH(DEPMATCH_CHECK_EQ(3, 4), "Check failed");
+}
+
+TEST(CheckDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(DEPMATCH_LOG(Fatal) << "boom", "boom");
+}
+
+}  // namespace
+}  // namespace depmatch

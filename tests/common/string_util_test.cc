@@ -1,0 +1,92 @@
+#include "depmatch/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace depmatch {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString(",a,", ','),
+            (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitStringTest, EmptyInputIsSingleEmptyField) {
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitStringTest, NoDelimiter) {
+  EXPECT_EQ(SplitString("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("  13  "), 13);
+  EXPECT_EQ(ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 7 ").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5y").has_value());
+}
+
+TEST(IsBlankTest, DetectsBlankStrings) {
+  EXPECT_TRUE(IsBlank(""));
+  EXPECT_TRUE(IsBlank("  \t\n"));
+  EXPECT_FALSE(IsBlank(" a "));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(1000, 'q');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+}  // namespace
+}  // namespace depmatch

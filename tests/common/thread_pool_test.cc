@@ -1,0 +1,81 @@
+#include "depmatch/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace depmatch {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksCanScheduleMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  ThreadPool::ParallelFor(4, visits.size(),
+                          [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> visits(20, 0);
+  ThreadPool::ParallelFor(1, visits.size(),
+                          [&visits](size_t i) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  bool called = false;
+  ThreadPool::ParallelFor(4, 0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace depmatch

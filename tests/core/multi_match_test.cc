@@ -1,0 +1,134 @@
+#include "depmatch/core/multi_match.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+datagen::BayesNetSpec Model(size_t attrs) {
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < attrs; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "m" + std::to_string(i);
+    attr.alphabet_size = 6 + (i * 31) % 120;
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.2;
+    }
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+// A sample of the model projected onto `columns`, opaque-encoded so each
+// "organization" has its own names/values.
+Table Source(const std::vector<size_t>& columns, uint64_t seed) {
+  Table full = datagen::GenerateBayesNet(Model(6), 4000, seed).value();
+  Table projected = ProjectColumns(full, columns).value();
+  Rng encoder(seed ^ 0x77);
+  OpaqueEncodeOptions options;
+  options.attribute_prefix = "t" + std::to_string(seed) + "_a";
+  return OpaqueEncode(projected, options, encoder);
+}
+
+TEST(AlignSchemasTest, StarAlignsThreeSources) {
+  // Pivot candidate: all 6 columns; two narrower sources with subsets.
+  Table wide = Source({0, 1, 2, 3, 4, 5}, 1);
+  Table mid = Source({0, 1, 2, 3}, 2);
+  Table narrow = Source({2, 3, 4}, 3);
+
+  auto result = AlignSchemas({&mid, &wide, &narrow}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pivot_table, 1u);  // the widest
+  ASSERT_EQ(result->classes.size(), 6u);
+
+  // Every non-pivot attribute lands in exactly one class (onto).
+  size_t mid_members = 0;
+  size_t narrow_members = 0;
+  for (const CorrespondenceClass& cls : result->classes) {
+    for (const AttributeRef& ref : cls.members) {
+      if (ref.table == 0) ++mid_members;
+      if (ref.table == 2) ++narrow_members;
+    }
+  }
+  EXPECT_EQ(mid_members, 4u);
+  EXPECT_EQ(narrow_members, 3u);
+
+  // Correctness: model column k of `mid` is its column k, of `wide` its
+  // column k; `narrow` covers model columns {2,3,4} as its {0,1,2}.
+  // Check that mid's column 2 and narrow's column 0 share a class
+  // (both are model column 2).
+  for (const CorrespondenceClass& cls : result->classes) {
+    bool has_mid2 = false;
+    bool has_narrow0 = false;
+    for (const AttributeRef& ref : cls.members) {
+      if (ref.table == 0 && ref.attribute == 2) has_mid2 = true;
+      if (ref.table == 2 && ref.attribute == 0) has_narrow0 = true;
+    }
+    EXPECT_EQ(has_mid2, has_narrow0)
+        << "model column 2 split across classes";
+  }
+}
+
+TEST(AlignSchemasTest, ClassesCarryNames) {
+  Table a = Source({0, 1, 2}, 4);
+  Table b = Source({0, 1, 2}, 5);
+  auto result = AlignSchemas({&a, &b}, {});
+  ASSERT_TRUE(result.ok());
+  for (const CorrespondenceClass& cls : result->classes) {
+    ASSERT_EQ(cls.members.size(), 2u);
+    for (const AttributeRef& ref : cls.members) {
+      EXPECT_FALSE(ref.name.empty());
+    }
+  }
+}
+
+TEST(AlignSchemasTest, SingleTableTrivial) {
+  Table only = Source({0, 1}, 6);
+  auto result = AlignSchemas({&only}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pivot_table, 0u);
+  ASSERT_EQ(result->classes.size(), 2u);
+  EXPECT_EQ(result->classes[0].members.size(), 1u);
+}
+
+TEST(AlignSchemasTest, PartialModeLeavesForeignAttributesOut) {
+  // `stranger` shares no structure with the model; under allow_partial
+  // with a conservative alpha its attributes may stay unclassified
+  // instead of being forced onto the pivot.
+  Table wide = Source({0, 1, 2, 3, 4, 5}, 7);
+  datagen::BayesNetSpec unrelated;
+  for (size_t i = 0; i < 3; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "u" + std::to_string(i);
+    attr.alphabet_size = 50;
+    unrelated.attributes.push_back(attr);  // independent roots
+  }
+  Table stranger =
+      datagen::GenerateBayesNet(unrelated, 4000, 8).value();
+
+  MultiMatchOptions options;
+  options.allow_partial = true;
+  options.match.match.alpha = 7.0;
+  auto result = AlignSchemas({&wide, &stranger}, options);
+  ASSERT_TRUE(result.ok());
+  size_t stranger_members = 0;
+  for (const CorrespondenceClass& cls : result->classes) {
+    for (const AttributeRef& ref : cls.members) {
+      if (ref.table == 1) ++stranger_members;
+    }
+  }
+  EXPECT_LT(stranger_members, 3u);
+}
+
+TEST(AlignSchemasTest, Validation) {
+  EXPECT_FALSE(AlignSchemas({}, {}).ok());
+  EXPECT_FALSE(AlignSchemas({nullptr}, {}).ok());
+}
+
+}  // namespace
+}  // namespace depmatch

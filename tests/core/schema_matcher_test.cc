@@ -1,0 +1,104 @@
+#include "depmatch/core/schema_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+// Two samples of the same joint distribution: color depends on model,
+// tire depends on model, generated from a fixed pattern.
+Table CarTable(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  auto schema = Schema::Create({{"model", DataType::kString},
+                                {"tire", DataType::kString},
+                                {"color", DataType::kString}});
+  EXPECT_TRUE(schema.ok());
+  TableBuilder builder(schema.value());
+  const char* models[] = {"XL", "GT", "RS", "EV"};
+  const char* tires[] = {"t1", "t2", "t3"};
+  const char* colors[] = {"red", "blue", "silver", "white", "black"};
+  for (size_t r = 0; r < rows; ++r) {
+    size_t m = rng.NextBounded(4);
+    // Tire strongly depends on model; color is nearly independent.
+    size_t t = rng.NextBernoulli(0.9) ? (m % 3) : rng.NextBounded(3);
+    size_t c = rng.NextBounded(5);
+    EXPECT_TRUE(builder
+                    .AppendRow({Value(models[m]), Value(tires[t]),
+                                Value(colors[c])})
+                    .ok());
+  }
+  auto table = std::move(builder).Build();
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+TEST(MatchTablesTest, MatchesOpaqueEncodedCopy) {
+  // The paper's headline scenario (Figure 1): the second table has opaque
+  // column names and re-encoded values; structure matching still finds
+  // the correspondence.
+  Table source = CarTable(1, 3000);
+  Rng rng(99);
+  Table target = OpaqueEncode(CarTable(2, 3000), {}, rng);
+
+  SchemaMatchOptions options;
+  auto result = MatchTables(source, target, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->correspondences.size(), 3u);
+  // Identity mapping by construction (OpaqueEncode keeps column order).
+  for (const Correspondence& c : result->correspondences) {
+    EXPECT_EQ(c.source_index, c.target_index);
+  }
+  EXPECT_EQ(result->correspondences[0].source_name, "model");
+  EXPECT_EQ(result->correspondences[0].target_name, "attr0");
+}
+
+TEST(MatchTablesTest, ExposesGraphs) {
+  Table source = CarTable(3, 1000);
+  auto result = MatchTables(source, source, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->source_graph.size(), 3u);
+  EXPECT_EQ(result->target_graph.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->match.metric_value, 0.0);
+}
+
+TEST(MatchTablesTest, OntoAgainstWiderTable) {
+  Table full = CarTable(4, 2000);
+  auto source = ProjectColumns(full, {0, 1});
+  ASSERT_TRUE(source.ok());
+  SchemaMatchOptions options;
+  options.match.cardinality = Cardinality::kOnto;
+  auto result = MatchTables(source.value(), full, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->correspondences.size(), 2u);
+  EXPECT_EQ(result->correspondences[0].target_name, "model");
+  EXPECT_EQ(result->correspondences[1].target_name, "tire");
+}
+
+TEST(MatchTablesTest, PropagatesMatchErrors) {
+  Table a = CarTable(5, 100);
+  auto b = ProjectColumns(a, {0, 1});
+  ASSERT_TRUE(b.ok());
+  SchemaMatchOptions options;  // one-to-one but sizes differ
+  auto result = MatchTables(a, b.value(), options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatchTablesTest, GraphOptionsRespected) {
+  auto table = ReadCsvString("x,y\n1,1\n,2\n1,\n2,2\n", {});
+  ASSERT_TRUE(table.ok());
+  SchemaMatchOptions as_symbol;
+  SchemaMatchOptions drop;
+  drop.graph.stats.null_policy = NullPolicy::kDropNulls;
+  auto r1 = MatchTables(table.value(), table.value(), as_symbol);
+  auto r2 = MatchTables(table.value(), table.value(), drop);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1->source_graph.entropy(0), r2->source_graph.entropy(0));
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,119 @@
+#include "depmatch/core/table_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+datagen::BayesNetSpec ChainSpec(uint64_t variant, size_t attrs) {
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < attrs; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 8 + ((i * 29 + variant * 53) % 200);
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.15 + 0.08 * static_cast<double>((i + variant) % 3);
+    }
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Table Sample(const datagen::BayesNetSpec& spec, uint64_t seed,
+             bool opaque) {
+  Table table = datagen::GenerateBayesNet(spec, 4000, seed).value();
+  if (!opaque) return table;
+  Rng encoder(seed ^ 0xfeed);
+  return OpaqueEncode(table, {}, encoder);
+}
+
+TEST(ClusterTablesTest, GroupsRelatedSeparatesUnrelated) {
+  // Tables 0,1 share model A; 2,3 share model B; 4 is model C alone.
+  Table a1 = Sample(ChainSpec(0, 5), 1, false);
+  Table a2 = Sample(ChainSpec(0, 5), 2, true);
+  Table b1 = Sample(ChainSpec(3, 5), 3, false);
+  Table b2 = Sample(ChainSpec(3, 5), 4, true);
+  Table c1 = Sample(ChainSpec(7, 5), 5, false);
+
+  TableClusteringOptions options;
+  options.link_threshold = 0.4;
+  auto result = ClusterTables({&a1, &a2, &b1, &b2, &c1}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 3u);
+  EXPECT_EQ(result->clusters[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(result->clusters[1], (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(result->clusters[2], (std::vector<size_t>{4}));
+
+  // Distances are symmetric with a zero diagonal, and related pairs are
+  // far closer than unrelated ones.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(result->distances[i][i], 0.0);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(result->distances[i][j], result->distances[j][i]);
+    }
+  }
+  EXPECT_LT(result->distances[0][1] * 3.0, result->distances[0][2]);
+}
+
+TEST(ClusterTablesTest, DifferentWidthsUseOnto) {
+  // A 3-attribute projection of model A should still cluster with the
+  // full 5-attribute samples.
+  Table full = Sample(ChainSpec(0, 5), 6, false);
+  Table narrow =
+      ProjectColumns(Sample(ChainSpec(0, 5), 7, false), {0, 1, 2}).value();
+  TableClusteringOptions options;
+  options.link_threshold = 0.4;
+  auto result = ClusterTables({&full, &narrow}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 1u);
+  EXPECT_EQ(result->clusters[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(ClusterTablesTest, ThresholdControlsGranularity) {
+  Table a1 = Sample(ChainSpec(0, 5), 8, false);
+  Table a2 = Sample(ChainSpec(0, 5), 9, false);
+  Table b1 = Sample(ChainSpec(3, 5), 10, false);
+  TableClusteringOptions tight;
+  tight.link_threshold = 0.0;  // nothing links (sampling noise > 0)
+  auto separate = ClusterTables({&a1, &a2, &b1}, tight);
+  ASSERT_TRUE(separate.ok());
+  EXPECT_EQ(separate->clusters.size(), 3u);
+
+  TableClusteringOptions loose;
+  loose.link_threshold = 1e9;  // everything links
+  auto merged = ClusterTables({&a1, &a2, &b1}, loose);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->clusters.size(), 1u);
+}
+
+TEST(ClusterTablesTest, RejectsNormalMetric) {
+  Table t = Sample(ChainSpec(0, 3), 11, false);
+  TableClusteringOptions options;
+  options.match.match.metric = MetricKind::kMutualInfoNormal;
+  EXPECT_FALSE(ClusterTables({&t}, options).ok());
+}
+
+TEST(ClusterTablesTest, RejectsNullPointer) {
+  TableClusteringOptions options;
+  EXPECT_FALSE(ClusterTables({nullptr}, options).ok());
+}
+
+TEST(ClusterTablesTest, EmptyAndSingleton) {
+  auto empty = ClusterTables({}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->clusters.empty());
+
+  Table t = Sample(ChainSpec(0, 3), 12, false);
+  auto single = ClusterTables({&t}, {});
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->clusters.size(), 1u);
+  EXPECT_EQ(single->clusters[0], (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,256 @@
+#include "depmatch/datagen/bayes_net.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/stats/entropy.h"
+
+namespace depmatch {
+namespace datagen {
+namespace {
+
+BayesNetSpec ChainSpec(double noise) {
+  BayesNetSpec spec;
+  AttributeGenSpec root;
+  root.name = "root";
+  root.alphabet_size = 16;
+  spec.attributes.push_back(root);
+  AttributeGenSpec child;
+  child.name = "child";
+  child.alphabet_size = 16;
+  child.parents = {0};
+  child.noise = noise;
+  spec.attributes.push_back(child);
+  return spec;
+}
+
+TEST(BayesNetTest, GeneratesRequestedShape) {
+  auto table = GenerateBayesNet(ChainSpec(0.2), 500, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 500u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_EQ(table->schema().attribute(0).name, "root");
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kInt64);
+}
+
+TEST(BayesNetTest, DeterministicForSeed) {
+  auto t1 = GenerateBayesNet(ChainSpec(0.2), 200, 42);
+  auto t2 = GenerateBayesNet(ChainSpec(0.2), 200, 42);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(t1->GetValue(r, 0), t2->GetValue(r, 0));
+    EXPECT_EQ(t1->GetValue(r, 1), t2->GetValue(r, 1));
+  }
+}
+
+TEST(BayesNetTest, DifferentSeedsDiffer) {
+  auto t1 = GenerateBayesNet(ChainSpec(0.2), 200, 1);
+  auto t2 = GenerateBayesNet(ChainSpec(0.2), 200, 2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  size_t same = 0;
+  for (size_t r = 0; r < 200; ++r) {
+    if (t1->GetValue(r, 0) == t2->GetValue(r, 0)) ++same;
+  }
+  EXPECT_LT(same, 50u);
+}
+
+TEST(BayesNetTest, NoiseControlsMutualInformation) {
+  auto crisp = GenerateBayesNet(ChainSpec(0.05), 5000, 3);
+  auto noisy = GenerateBayesNet(ChainSpec(0.9), 5000, 3);
+  ASSERT_TRUE(crisp.ok());
+  ASSERT_TRUE(noisy.ok());
+  double mi_crisp =
+      MutualInformation(crisp->column(0), crisp->column(1));
+  double mi_noisy =
+      MutualInformation(noisy->column(0), noisy->column(1));
+  EXPECT_GT(mi_crisp, mi_noisy + 0.5);
+}
+
+TEST(BayesNetTest, ZeroNoiseYieldsFunctionalDependency) {
+  auto table = GenerateBayesNet(ChainSpec(0.0), 3000, 4);
+  ASSERT_TRUE(table.ok());
+  // H(child | root) == 0 for a deterministic function.
+  EXPECT_NEAR(ConditionalEntropy(table->column(1), table->column(0)), 0.0,
+              1e-9);
+}
+
+TEST(BayesNetTest, SameSpecDifferentSeedsShareJointDistribution) {
+  // The core property the paper's methodology relies on: two samples of
+  // the same spec have similar MI structure.
+  auto t1 = GenerateBayesNet(ChainSpec(0.3), 8000, 5);
+  auto t2 = GenerateBayesNet(ChainSpec(0.3), 8000, 6);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  double mi1 = MutualInformation(t1->column(0), t1->column(1));
+  double mi2 = MutualInformation(t2->column(0), t2->column(1));
+  EXPECT_NEAR(mi1, mi2, 0.15 * mi1);
+}
+
+TEST(BayesNetTest, NullFractionRespected) {
+  BayesNetSpec spec = ChainSpec(0.2);
+  spec.attributes[1].null_fraction = 0.4;
+  auto table = GenerateBayesNet(spec, 5000, 7);
+  ASSERT_TRUE(table.ok());
+  double null_rate =
+      static_cast<double>(table->column(1).null_count()) / 5000.0;
+  EXPECT_NEAR(null_rate, 0.4, 0.03);
+  EXPECT_EQ(table->column(0).null_count(), 0u);
+}
+
+TEST(BayesNetTest, DuplicateOfCopiesCellForCell) {
+  BayesNetSpec spec = ChainSpec(0.2);
+  spec.attributes[1].null_fraction = 0.3;
+  AttributeGenSpec dup;
+  dup.name = "dup";
+  dup.duplicate_of = 1;
+  spec.attributes.push_back(dup);
+  auto table = GenerateBayesNet(spec, 1000, 8);
+  ASSERT_TRUE(table.ok());
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_EQ(table->GetValue(r, 1), table->GetValue(r, 2));
+  }
+}
+
+TEST(BayesNetTest, MultipleParents) {
+  BayesNetSpec spec;
+  for (int i = 0; i < 2; ++i) {
+    AttributeGenSpec root;
+    root.name = "r" + std::to_string(i);
+    root.alphabet_size = 8;
+    spec.attributes.push_back(root);
+  }
+  AttributeGenSpec child;
+  child.name = "c";
+  child.alphabet_size = 64;
+  child.parents = {0, 1};
+  child.noise = 0.0;
+  spec.attributes.push_back(child);
+  auto table = GenerateBayesNet(spec, 6000, 9);
+  ASSERT_TRUE(table.ok());
+  // The child is determined by the parent pair, and depends on both.
+  double mi0 = MutualInformation(table->column(0), table->column(2));
+  double mi1 = MutualInformation(table->column(1), table->column(2));
+  EXPECT_GT(mi0, 0.5);
+  EXPECT_GT(mi1, 0.5);
+}
+
+TEST(BayesNetTest, ZipfSkewLowersEntropy) {
+  BayesNetSpec uniform = ChainSpec(0.2);
+  BayesNetSpec skewed = ChainSpec(0.2);
+  skewed.attributes[0].zipf_s = 1.5;
+  auto tu = GenerateBayesNet(uniform, 5000, 10);
+  auto ts = GenerateBayesNet(skewed, 5000, 10);
+  ASSERT_TRUE(tu.ok());
+  ASSERT_TRUE(ts.ok());
+  EXPECT_GT(EntropyOf(tu->column(0)), EntropyOf(ts->column(0)) + 0.5);
+}
+
+TEST(BayesNetValidationTest, RejectsBadSpecs) {
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[1].parents = {1};  // self-parent
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[0].alphabet_size = 0;
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[1].noise = 1.5;
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[1].null_fraction = -0.1;
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[0].name = "";
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+  {
+    BayesNetSpec spec = ChainSpec(0.2);
+    spec.attributes[0].duplicate_of = 0;  // duplicates itself
+    EXPECT_FALSE(ValidateSpec(spec).ok());
+  }
+}
+
+TEST(BayesNetTest, ForcedEpochDriftShiftsDependencyStrength) {
+  BayesNetSpec spec = ChainSpec(0.3);
+  spec.attributes[1].drift = 0.3;
+  // Attribute index 1 is odd: epoch 1 shifts its noise DOWN (0.3 -> 0.0),
+  // strengthening the dependency.
+  spec.forced_epoch = 0;
+  auto epoch0 = GenerateBayesNet(spec, 8000, 11);
+  spec.forced_epoch = 1;
+  auto epoch1 = GenerateBayesNet(spec, 8000, 11);
+  ASSERT_TRUE(epoch0.ok());
+  ASSERT_TRUE(epoch1.ok());
+  double mi0 = MutualInformation(epoch0->column(0), epoch0->column(1));
+  double mi1 = MutualInformation(epoch1->column(0), epoch1->column(1));
+  EXPECT_GT(mi1, mi0 + 0.3);
+}
+
+TEST(BayesNetTest, EpochSourceSplitsByPivot) {
+  // Root attribute 0 doubles as the epoch source: rows with symbol >=
+  // pivot are epoch 1 where the (even-indexed) drifted attribute 2 gets
+  // extra noise, so MI(1,2) measured on the two halves differs.
+  BayesNetSpec spec;
+  AttributeGenSpec date;
+  date.name = "date";
+  date.alphabet_size = 100;
+  spec.attributes.push_back(date);
+  AttributeGenSpec root;
+  root.name = "root";
+  root.alphabet_size = 16;
+  spec.attributes.push_back(root);
+  AttributeGenSpec child;
+  child.name = "child";
+  child.alphabet_size = 16;
+  child.parents = {1};
+  child.noise = 0.1;
+  child.drift = 0.6;  // attribute index 2 (even): epoch-1 noise 0.7
+  spec.attributes.push_back(child);
+  spec.epoch_source = 0;
+  spec.epoch_pivot = 50;
+
+  auto table = GenerateBayesNet(spec, 12000, 12);
+  ASSERT_TRUE(table.ok());
+  // Split rows by the date pivot and compare MI on the halves.
+  Column root_lo(DataType::kInt64), child_lo(DataType::kInt64);
+  Column root_hi(DataType::kInt64), child_hi(DataType::kInt64);
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    bool high = table->GetValue(r, 0).int64_value() >= 50;
+    Column& root_col = high ? root_hi : root_lo;
+    Column& child_col = high ? child_hi : child_lo;
+    root_col.Append(table->GetValue(r, 1));
+    child_col.Append(table->GetValue(r, 2));
+  }
+  double mi_lo = MutualInformation(root_lo, child_lo);
+  double mi_hi = MutualInformation(root_hi, child_hi);
+  EXPECT_GT(mi_lo, mi_hi + 0.5);
+}
+
+TEST(BayesNetValidationTest, RejectsBadDriftAndEpochSource) {
+  BayesNetSpec spec = ChainSpec(0.2);
+  spec.attributes[1].drift = 1.5;
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+  spec.attributes[1].drift = 0.0;
+  spec.epoch_source = 9;
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(BayesNetTest, EmptySpecYieldsEmptyTable) {
+  BayesNetSpec spec;
+  auto table = GenerateBayesNet(spec, 100, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_attributes(), 0u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace depmatch

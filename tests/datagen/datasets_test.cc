@@ -1,0 +1,174 @@
+#include "depmatch/datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace datagen {
+namespace {
+
+LabExamConfig SmallLab() {
+  LabExamConfig config;
+  config.num_rows = 4000;
+  return config;
+}
+
+CensusConfig SmallCensus() {
+  CensusConfig config;
+  config.num_attributes = 80;
+  config.num_rows = 4000;
+  return config;
+}
+
+TEST(LabExamTest, ShapeMatchesPaper) {
+  auto table = MakeLabExamTable(SmallLab(), 1);
+  ASSERT_TRUE(table.ok());
+  // exam_date + 44 tests.
+  EXPECT_EQ(table->num_attributes(), 45u);
+  EXPECT_EQ(table->num_rows(), 4000u);
+  EXPECT_EQ(table->schema().attribute(0).name, "exam_date");
+}
+
+TEST(LabExamTest, TrailingColumnsAreMostlyNull) {
+  auto table = MakeLabExamTable(SmallLab(), 2);
+  ASSERT_TRUE(table.ok());
+  // The last 6 test attributes mimic the paper's blank-heavy columns.
+  for (size_t c = table->num_attributes() - 6; c < table->num_attributes();
+       ++c) {
+    double null_rate = static_cast<double>(table->column(c).null_count()) /
+                       static_cast<double>(table->num_rows());
+    EXPECT_GT(null_rate, 0.8) << "column " << c;
+  }
+}
+
+TEST(LabExamTest, NullHeavyColumnsHaveLowEntropy) {
+  auto table = MakeLabExamTable(SmallLab(), 3);
+  ASSERT_TRUE(table.ok());
+  size_t n = table->num_attributes();
+  // Entropy signature of Figure 4(a): dense tests carry multiple bits,
+  // the sparse tail sits near zero.
+  double max_sparse = 0.0;
+  for (size_t c = n - 6; c < n; ++c) {
+    max_sparse = std::max(max_sparse, EntropyOf(table->column(c)));
+  }
+  EXPECT_LT(max_sparse, 1.5);
+  double max_dense = 0.0;
+  for (size_t c = 1; c < n - 6; ++c) {
+    max_dense = std::max(max_dense, EntropyOf(table->column(c)));
+  }
+  EXPECT_GT(max_dense, 6.0);
+}
+
+TEST(LabExamTest, DatePartitionGivesTwoComparableHalves) {
+  auto table = MakeLabExamTable(SmallLab(), 4);
+  ASSERT_TRUE(table.ok());
+  auto parts = RangePartitionAtMedian(table.value(), 0);
+  ASSERT_TRUE(parts.ok());
+  double ratio = static_cast<double>(parts->low.num_rows()) /
+                 static_cast<double>(table->num_rows());
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.6);
+  // Entropy signatures of the halves track each other (same underlying
+  // distribution up to the configured temporal drift), which is what
+  // makes them matchable.
+  for (size_t c = 1; c < table->num_attributes(); c += 7) {
+    double h1 = EntropyOf(parts->low.column(c));
+    double h2 = EntropyOf(parts->high.column(c));
+    EXPECT_NEAR(h1, h2, 0.9) << "column " << c;
+  }
+}
+
+TEST(LabExamTest, TestsShareDependencyStructure) {
+  auto table = MakeLabExamTable(SmallLab(), 5);
+  ASSERT_TRUE(table.ok());
+  // Within-panel neighbors (chained) must carry much more MI than
+  // attributes from different panels.
+  double chained = MutualInformation(table->column(3), table->column(4));
+  double cross = MutualInformation(table->column(3), table->column(20));
+  EXPECT_GT(chained, cross);
+}
+
+TEST(CensusTest, ShapeAndDuplicates) {
+  auto table = MakeCensusTable(SmallCensus(), 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_attributes(), 80u);
+  // Attributes 17 and 57 duplicate their predecessors.
+  for (size_t dup : {size_t{17}, size_t{57}}) {
+    for (size_t r = 0; r < 200; ++r) {
+      EXPECT_EQ(table->GetValue(r, dup), table->GetValue(r, dup - 1))
+          << "dup " << dup;
+    }
+  }
+}
+
+TEST(CensusTest, DenseNoNulls) {
+  auto table = MakeCensusTable(SmallCensus(), 2);
+  ASSERT_TRUE(table.ok());
+  for (size_t c = 0; c < table->num_attributes(); ++c) {
+    EXPECT_EQ(table->column(c).null_count(), 0u) << "column " << c;
+  }
+}
+
+TEST(CensusTest, EntropyRangeMatchesFigure4b) {
+  CensusConfig config = SmallCensus();
+  config.num_rows = 10000;
+  auto table = MakeCensusTable(config, 3);
+  ASSERT_TRUE(table.ok());
+  double min_h = 1e9;
+  double max_h = 0.0;
+  for (size_t c = 0; c < table->num_attributes(); ++c) {
+    double h = EntropyOf(table->column(c));
+    min_h = std::min(min_h, h);
+    max_h = std::max(max_h, h);
+  }
+  // Figure 4(b): one near-zero-information attribute, the rest up to ~14.
+  EXPECT_LT(min_h, 1.0);
+  EXPECT_GT(max_h, 10.0);
+}
+
+TEST(CensusTest, TwoStatesShareEntropySignature) {
+  auto ny = MakeCensusTable(SmallCensus(), 10);
+  auto ca = MakeCensusTable(SmallCensus(), 20);
+  ASSERT_TRUE(ny.ok());
+  ASSERT_TRUE(ca.ok());
+  for (size_t c = 0; c < ny->num_attributes(); c += 9) {
+    EXPECT_NEAR(EntropyOf(ny->column(c)), EntropyOf(ca->column(c)), 0.4)
+        << "column " << c;
+  }
+}
+
+TEST(CensusTest, GroupStructureGivesWithinGroupMi) {
+  auto table = MakeCensusTable(SmallCensus(), 4);
+  ASSERT_TRUE(table.ok());
+  // Attributes 1 and 2 chain within group 0; attribute 33 lives in group 4.
+  double within = MutualInformation(table->column(1), table->column(2));
+  double across = MutualInformation(table->column(1), table->column(33));
+  EXPECT_GT(within, across + 0.5);
+}
+
+TEST(SpecTest, SpecsValidate) {
+  EXPECT_TRUE(ValidateSpec(MakeLabExamSpec({})).ok());
+  EXPECT_TRUE(ValidateSpec(MakeCensusSpec({})).ok());
+}
+
+TEST(SpecTest, LabSpecConfigurable) {
+  LabExamConfig config;
+  config.num_test_attributes = 20;
+  config.num_null_heavy_attributes = 4;
+  BayesNetSpec spec = MakeLabExamSpec(config);
+  EXPECT_EQ(spec.attributes.size(), 21u);  // date + 20 tests
+  size_t null_heavy = 0;
+  for (const auto& attr : spec.attributes) {
+    if (attr.null_fraction > 0.5) ++null_heavy;
+  }
+  EXPECT_EQ(null_heavy, 4u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace depmatch

@@ -1,0 +1,64 @@
+#include "depmatch/eval/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(AccuracyTest, PerfectMatch) {
+  std::vector<MatchPair> truth = {{0, 1}, {1, 0}, {2, 2}};
+  Accuracy acc = ComputeAccuracy(truth, truth);
+  EXPECT_EQ(acc.correct, 3u);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(AccuracyTest, PartiallyCorrect) {
+  std::vector<MatchPair> truth = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  std::vector<MatchPair> produced = {{0, 0}, {1, 2}};
+  Accuracy acc = ComputeAccuracy(produced, truth);
+  EXPECT_EQ(acc.correct, 1u);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.5);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.25);
+}
+
+TEST(AccuracyTest, WrongTargetIsIncorrect) {
+  // Mirrors the paper's duplicate-column convention: mapping NY9 to CA8
+  // does not count even if the columns are identical.
+  std::vector<MatchPair> truth = {{0, 0}};
+  std::vector<MatchPair> produced = {{0, 1}};
+  Accuracy acc = ComputeAccuracy(produced, truth);
+  EXPECT_EQ(acc.correct, 0u);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(AccuracyTest, EmptyProducedNonEmptyTruth) {
+  Accuracy acc = ComputeAccuracy({}, {{0, 0}});
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(AccuracyTest, EmptyBoth) {
+  Accuracy acc = ComputeAccuracy({}, {});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(AccuracyTest, ProducedAgainstEmptyTruth) {
+  Accuracy acc = ComputeAccuracy({{0, 0}}, {});
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(AccuracyTest, OneToOneStylePrecisionEqualsRecall) {
+  // When produced and truth have the same size, precision == recall
+  // (Section 2.3 note).
+  std::vector<MatchPair> truth = {{0, 0}, {1, 1}, {2, 2}};
+  std::vector<MatchPair> produced = {{0, 0}, {1, 2}, {2, 1}};
+  Accuracy acc = ComputeAccuracy(produced, truth);
+  EXPECT_DOUBLE_EQ(acc.precision, acc.recall);
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,203 @@
+#include "depmatch/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+// Structured random graph over a universe of `n` attributes.
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("a" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+// A slightly noisy copy of `g`, mimicking the second sample of the same
+// underlying distribution.
+DependencyGraph Perturb(const DependencyGraph& g, double magnitude,
+                        uint64_t seed) {
+  Rng rng(seed);
+  size_t n = g.size();
+  std::vector<std::string> names(g.names());
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = g.mi(i, j) * (1.0 + magnitude * (rng.NextDouble() - 0.5));
+      if (v < 0.0) v = 0.0;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto created = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(created.ok());
+  return created.value();
+}
+
+SubsetExperimentConfig BaseConfig() {
+  SubsetExperimentConfig config;
+  config.match.cardinality = Cardinality::kOneToOne;
+  config.match.metric = MetricKind::kMutualInfoEuclidean;
+  config.match.candidates_per_attribute = 3;
+  config.source_size = 5;
+  config.target_size = 5;
+  config.iterations = 10;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SubsetExperimentTest, PerfectOnIdenticalGraphs) {
+  DependencyGraph g = RandomGraph(12, 1);
+  auto stats = RunSubsetExperiment(g, g, BaseConfig());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations_completed, 10u);
+  EXPECT_DOUBLE_EQ(stats->mean_precision, 1.0);
+  EXPECT_DOUBLE_EQ(stats->mean_recall, 1.0);
+  EXPECT_NEAR(stats->mean_metric_value, 0.0, 1e-9);
+}
+
+TEST(SubsetExperimentTest, HighAccuracyOnMildPerturbation) {
+  DependencyGraph g = RandomGraph(12, 2);
+  DependencyGraph g2 = Perturb(g, 0.05, 3);
+  auto stats = RunSubsetExperiment(g, g2, BaseConfig());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->mean_precision, 0.8);
+}
+
+TEST(SubsetExperimentTest, StddevReflectsVariance) {
+  // Identical graphs: every iteration is perfect, stddev 0.
+  DependencyGraph g = RandomGraph(12, 40);
+  auto perfect = RunSubsetExperiment(g, g, BaseConfig());
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(perfect->stddev_precision, 0.0);
+  // Heavier perturbation: iterations vary, stddev positive.
+  DependencyGraph noisy = Perturb(g, 0.8, 41);
+  auto varied = RunSubsetExperiment(g, noisy, BaseConfig());
+  ASSERT_TRUE(varied.ok());
+  if (varied->mean_precision > 0.0 && varied->mean_precision < 1.0) {
+    EXPECT_GT(varied->stddev_precision, 0.0);
+  }
+}
+
+TEST(SubsetExperimentTest, DeterministicForSeed) {
+  DependencyGraph g = RandomGraph(12, 4);
+  DependencyGraph g2 = Perturb(g, 0.3, 5);
+  auto s1 = RunSubsetExperiment(g, g2, BaseConfig());
+  auto s2 = RunSubsetExperiment(g, g2, BaseConfig());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(s1->mean_precision, s2->mean_precision);
+  EXPECT_DOUBLE_EQ(s1->mean_metric_value, s2->mean_metric_value);
+}
+
+TEST(SubsetExperimentTest, ThreadCountDoesNotChangeResults) {
+  DependencyGraph g = RandomGraph(12, 6);
+  DependencyGraph g2 = Perturb(g, 0.3, 7);
+  SubsetExperimentConfig serial = BaseConfig();
+  SubsetExperimentConfig parallel = BaseConfig();
+  parallel.num_threads = 4;
+  auto s1 = RunSubsetExperiment(g, g2, serial);
+  auto s2 = RunSubsetExperiment(g, g2, parallel);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_DOUBLE_EQ(s1->mean_precision, s2->mean_precision);
+}
+
+TEST(SubsetExperimentTest, OntoConfiguration) {
+  DependencyGraph g = RandomGraph(15, 8);
+  SubsetExperimentConfig config = BaseConfig();
+  config.match.cardinality = Cardinality::kOnto;
+  config.source_size = 4;
+  config.target_size = 8;
+  auto stats = RunSubsetExperiment(g, g, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->mean_precision, 1.0);
+}
+
+TEST(SubsetExperimentTest, PartialConfigurationProducesBothMetrics) {
+  DependencyGraph g = RandomGraph(20, 9);
+  SubsetExperimentConfig config = BaseConfig();
+  config.match.cardinality = Cardinality::kPartial;
+  config.match.metric = MetricKind::kMutualInfoNormal;
+  config.match.alpha = 4.0;
+  config.source_size = 6;
+  config.target_size = 6;
+  config.overlap = 3;
+  auto stats = RunSubsetExperiment(g, g, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->mean_recall, 0.0);
+  EXPECT_LE(stats->mean_produced_pairs, 6.0);
+}
+
+TEST(SubsetExperimentTest, UnrelatedModeRecordsMetricOnly) {
+  DependencyGraph g1 = RandomGraph(10, 10);
+  DependencyGraph g2 = RandomGraph(14, 11);
+  SubsetExperimentConfig config = BaseConfig();
+  config.schemas_related = false;
+  config.match.metric = MetricKind::kMutualInfoNormal;
+  auto stats = RunSubsetExperiment(g1, g2, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations_completed, 10u);
+  // No ground truth: precision counts produced-vs-empty-truth as 0.
+  EXPECT_DOUBLE_EQ(stats->mean_precision, 0.0);
+  EXPECT_NE(stats->mean_metric_value, 0.0);
+}
+
+TEST(SubsetExperimentTest, ValidatesConfiguration) {
+  DependencyGraph g = RandomGraph(8, 12);
+  {
+    SubsetExperimentConfig config = BaseConfig();
+    config.source_size = 0;
+    EXPECT_FALSE(RunSubsetExperiment(g, g, config).ok());
+  }
+  {
+    SubsetExperimentConfig config = BaseConfig();
+    config.target_size = 6;  // one-to-one needs equal sizes
+    EXPECT_FALSE(RunSubsetExperiment(g, g, config).ok());
+  }
+  {
+    SubsetExperimentConfig config = BaseConfig();
+    config.match.cardinality = Cardinality::kOnto;
+    config.source_size = 7;
+    config.target_size = 5;
+    EXPECT_FALSE(RunSubsetExperiment(g, g, config).ok());
+  }
+  {
+    // Draw larger than the universe.
+    SubsetExperimentConfig config = BaseConfig();
+    config.match.cardinality = Cardinality::kPartial;
+    config.match.metric = MetricKind::kMutualInfoNormal;
+    config.source_size = 6;
+    config.target_size = 6;
+    config.overlap = 2;  // needs 6 + 4 = 10 > 8 attributes
+    EXPECT_FALSE(RunSubsetExperiment(g, g, config).ok());
+  }
+  {
+    SubsetExperimentConfig config = BaseConfig();
+    config.iterations = 0;
+    EXPECT_FALSE(RunSubsetExperiment(g, g, config).ok());
+  }
+  {
+    // Related graphs of different sizes.
+    DependencyGraph other = RandomGraph(9, 13);
+    EXPECT_FALSE(RunSubsetExperiment(g, other, BaseConfig()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

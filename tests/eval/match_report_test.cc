@@ -1,0 +1,79 @@
+#include "depmatch/eval/match_report.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(MatchReportTest, ClassifiesAllVerdicts) {
+  std::vector<MatchPair> truth = {{0, 0}, {1, 1}, {2, 2}};
+  std::vector<MatchPair> produced = {{0, 0}, {1, 2}, {3, 3}};
+  MatchReport report = BuildMatchReport(produced, truth);
+  ASSERT_EQ(report.entries.size(), 4u);
+  EXPECT_EQ(report.entries[0].verdict, MatchVerdict::kCorrect);   // 0->0
+  EXPECT_EQ(report.entries[1].verdict, MatchVerdict::kWrong);     // 1->2
+  EXPECT_EQ(report.entries[1].true_target, 1u);
+  EXPECT_EQ(report.entries[2].verdict, MatchVerdict::kMissed);    // 2
+  EXPECT_EQ(report.entries[2].produced_target,
+            MatchReportEntry::kNone);
+  EXPECT_EQ(report.entries[3].verdict, MatchVerdict::kSpurious);  // 3->3
+  EXPECT_DOUBLE_EQ(report.accuracy.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.accuracy.recall, 1.0 / 3.0);
+}
+
+TEST(MatchReportTest, PerfectMatchAllCorrect) {
+  std::vector<MatchPair> truth = {{0, 1}, {1, 0}};
+  MatchReport report = BuildMatchReport(truth, truth);
+  for (const MatchReportEntry& entry : report.entries) {
+    EXPECT_EQ(entry.verdict, MatchVerdict::kCorrect);
+  }
+  EXPECT_DOUBLE_EQ(report.accuracy.precision, 1.0);
+}
+
+TEST(MatchReportTest, EmptyInputs) {
+  MatchReport report = BuildMatchReport({}, {});
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_DOUBLE_EQ(report.accuracy.precision, 1.0);
+}
+
+TEST(MatchReportTest, EntriesSortedBySource) {
+  std::vector<MatchPair> truth = {{5, 0}, {1, 1}};
+  std::vector<MatchPair> produced = {{3, 2}};
+  MatchReport report = BuildMatchReport(produced, truth);
+  ASSERT_EQ(report.entries.size(), 3u);
+  EXPECT_EQ(report.entries[0].source, 1u);
+  EXPECT_EQ(report.entries[1].source, 3u);
+  EXPECT_EQ(report.entries[2].source, 5u);
+}
+
+TEST(FormatMatchReportTest, UsesNamesAndFallsBack) {
+  std::vector<MatchPair> truth = {{0, 0}};
+  std::vector<MatchPair> produced = {{0, 1}};
+  MatchReport report = BuildMatchReport(produced, truth);
+  std::string text = FormatMatchReport(report, {"alpha"}, {"t0", "t1"});
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("t1"), std::string::npos);   // proposed
+  EXPECT_NE(text.find("t0"), std::string::npos);   // expected
+  EXPECT_NE(text.find("wrong"), std::string::npos);
+  EXPECT_NE(text.find("precision 0.0%"), std::string::npos);
+
+  // Out-of-range indices render as #<index>.
+  std::string sparse = FormatMatchReport(report, {}, {});
+  EXPECT_NE(sparse.find("#0"), std::string::npos);
+}
+
+TEST(FormatMatchReportTest, MissedShowsDashForProposed) {
+  std::vector<MatchPair> truth = {{0, 0}};
+  MatchReport report = BuildMatchReport({}, truth);
+  std::string text = FormatMatchReport(report, {"s"}, {"t"});
+  EXPECT_NE(text.find("missed"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+TEST(MatchVerdictTest, Names) {
+  EXPECT_EQ(MatchVerdictToString(MatchVerdict::kCorrect), "correct");
+  EXPECT_EQ(MatchVerdictToString(MatchVerdict::kSpurious), "spurious");
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,64 @@
+#include "depmatch/eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "name    v\n"
+            "------  --\n"
+            "a       1\n"
+            "longer  22\n");
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TextTableTest, NoHeaderNoRule) {
+  TextTable table;
+  table.AddRow({"x", "y"});
+  EXPECT_EQ(table.ToString(), "x  y\n");
+}
+
+TEST(TextTableTest, EmptyTable) {
+  TextTable table;
+  EXPECT_EQ(table.ToString(), "");
+}
+
+TEST(TextTableTest, ToCsvQuotesSpecials) {
+  TextTable table;
+  table.SetHeader({"name", "note"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"q\"uote", "line\nbreak"});
+  EXPECT_EQ(table.ToCsv(),
+            "name,note\n"
+            "plain,\"with,comma\"\n"
+            "\"q\"\"uote\",\"line\nbreak\"\n");
+}
+
+TEST(TextTableTest, ToCsvEmpty) {
+  TextTable table;
+  EXPECT_EQ(table.ToCsv(), "");
+}
+
+TEST(FormatPercentTest, Formats) {
+  EXPECT_EQ(FormatPercent(0.8653), "86.5%");
+  EXPECT_EQ(FormatPercent(1.0), "100.0%");
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace depmatch

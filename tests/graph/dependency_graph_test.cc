@@ -1,0 +1,95 @@
+#include "depmatch/graph/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+DependencyGraph MakeGraph() {
+  auto g = DependencyGraph::Create(
+      {"a", "b", "c"},
+      {{2.0, 1.5, 0.1}, {1.5, 3.0, 0.4}, {0.1, 0.4, 1.0}});
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(DependencyGraphTest, CreateAndAccess) {
+  DependencyGraph g = MakeGraph();
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.name(1), "b");
+  EXPECT_DOUBLE_EQ(g.mi(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.mi(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g.entropy(2), 1.0);
+}
+
+TEST(DependencyGraphTest, EmptyGraph) {
+  auto g = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->size(), 0u);
+}
+
+TEST(DependencyGraphTest, RejectsNonSquareMatrix) {
+  auto g = DependencyGraph::Create({"a", "b"}, {{1.0, 0.5}});
+  EXPECT_FALSE(g.ok());
+  auto g2 = DependencyGraph::Create({"a"}, {{1.0, 2.0}});
+  EXPECT_FALSE(g2.ok());
+}
+
+TEST(DependencyGraphTest, RejectsAsymmetry) {
+  auto g = DependencyGraph::Create({"a", "b"}, {{1.0, 0.5}, {0.6, 1.0}});
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DependencyGraphTest, RejectsNegativeEntries) {
+  auto g = DependencyGraph::Create({"a", "b"}, {{1.0, -0.5}, {-0.5, 1.0}});
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DependencyGraphTest, SubGraphSelectsAndReorders) {
+  DependencyGraph g = MakeGraph();
+  auto sub = g.SubGraph({2, 0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->size(), 2u);
+  EXPECT_EQ(sub->name(0), "c");
+  EXPECT_DOUBLE_EQ(sub->entropy(0), 1.0);
+  EXPECT_DOUBLE_EQ(sub->mi(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(sub->mi(1, 1), 2.0);
+}
+
+TEST(DependencyGraphTest, SubGraphRejectsBadIndices) {
+  DependencyGraph g = MakeGraph();
+  EXPECT_EQ(g.SubGraph({3}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.SubGraph({0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DependencyGraphTest, SerializeDeserializeRoundTrip) {
+  DependencyGraph g = MakeGraph();
+  auto parsed = DependencyGraph::Deserialize(g.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), g.size());
+  for (size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(parsed->name(i), g.name(i));
+    for (size_t j = 0; j < g.size(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed->mi(i, j), g.mi(i, j));
+    }
+  }
+}
+
+TEST(DependencyGraphTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DependencyGraph::Deserialize("").ok());
+  EXPECT_FALSE(DependencyGraph::Deserialize("x\n").ok());
+  EXPECT_FALSE(DependencyGraph::Deserialize("2\na\tb\n1\t2\n").ok());
+  EXPECT_FALSE(
+      DependencyGraph::Deserialize("1\na\nnot_a_number\n").ok());
+}
+
+TEST(DependencyGraphTest, ToStringMentionsNames) {
+  DependencyGraph g = MakeGraph();
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("3 nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depmatch

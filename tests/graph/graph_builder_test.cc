@@ -1,0 +1,161 @@
+#include "depmatch/graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/stats/entropy.h"
+#include "depmatch/table/csv.h"
+
+namespace depmatch {
+namespace {
+
+Table FigureThreeTable() {
+  // The paper's Figure 3(a): four attributes with visible dependencies
+  // (C is a function of A; D is loosely related).
+  auto table = ReadCsvString(
+      "A,B,C,D\n"
+      "a1,b2,c1,d1\n"
+      "a3,b4,c2,d2\n"
+      "a1,b1,c1,d2\n"
+      "a4,b3,c2,d3\n",
+      {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+TEST(GraphBuilderTest, DiagonalIsEntropy) {
+  Table table = FigureThreeTable();
+  auto graph = BuildDependencyGraph(table);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_EQ(graph->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(graph->entropy(i), EntropyOf(table.column(i)));
+  }
+}
+
+TEST(GraphBuilderTest, OffDiagonalIsPairwiseMi) {
+  Table table = FigureThreeTable();
+  auto graph = BuildDependencyGraph(table);
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(graph->mi(i, j),
+                  MutualInformation(table.column(i), table.column(j)),
+                  1e-12);
+    }
+  }
+}
+
+TEST(GraphBuilderTest, MatrixIsSymmetric) {
+  auto graph = BuildDependencyGraph(FigureThreeTable());
+  ASSERT_TRUE(graph.ok());
+  for (size_t i = 0; i < graph->size(); ++i) {
+    for (size_t j = 0; j < graph->size(); ++j) {
+      EXPECT_DOUBLE_EQ(graph->mi(i, j), graph->mi(j, i));
+    }
+  }
+}
+
+TEST(GraphBuilderTest, NamesComeFromSchema) {
+  auto graph = BuildDependencyGraph(FigureThreeTable());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->name(0), "A");
+  EXPECT_EQ(graph->name(3), "D");
+}
+
+TEST(GraphBuilderTest, FunctionalDependencyShowsFullMi) {
+  // C = f(A) in the Figure 3 table (a1->c1, a3->c2, a4->c2): MI(A;C) must
+  // equal H(C).
+  Table table = FigureThreeTable();
+  auto graph = BuildDependencyGraph(table);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(graph->mi(0, 2), graph->entropy(2), 1e-12);
+}
+
+TEST(GraphBuilderTest, ParallelBuildMatchesSerial) {
+  Table table = FigureThreeTable();
+  DependencyGraphOptions serial;
+  DependencyGraphOptions parallel;
+  parallel.num_threads = 4;
+  auto g1 = BuildDependencyGraph(table, serial);
+  auto g2 = BuildDependencyGraph(table, parallel);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  for (size_t i = 0; i < g1->size(); ++i) {
+    for (size_t j = 0; j < g1->size(); ++j) {
+      EXPECT_DOUBLE_EQ(g1->mi(i, j), g2->mi(i, j));
+    }
+  }
+}
+
+TEST(GraphBuilderTest, EmptyTable) {
+  auto schema = Schema::Create({});
+  ASSERT_TRUE(schema.ok());
+  TableBuilder builder(schema.value());
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  auto graph = BuildDependencyGraph(table.value());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->size(), 0u);
+}
+
+TEST(GraphBuilderTest, AlternativeMeasuresKeepEntropyDiagonal) {
+  Table table = FigureThreeTable();
+  for (DependencyMeasure measure :
+       {DependencyMeasure::kNormalizedMutualInformation,
+        DependencyMeasure::kCramersV}) {
+    DependencyGraphOptions options;
+    options.measure = measure;
+    auto graph = BuildDependencyGraph(table, options);
+    ASSERT_TRUE(graph.ok());
+    for (size_t i = 0; i < graph->size(); ++i) {
+      // Node labels stay entropies regardless of the edge measure.
+      EXPECT_DOUBLE_EQ(graph->entropy(i), EntropyOf(table.column(i)));
+      for (size_t j = 0; j < graph->size(); ++j) {
+        if (i == j) continue;
+        // Both alternative measures are normalized to [0, 1].
+        EXPECT_GE(graph->mi(i, j), 0.0);
+        EXPECT_LE(graph->mi(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(GraphBuilderTest, MeasuresAgreeOnFunctionalDependency) {
+  // C = f(A): both alternative measures score the functional pair (A, C)
+  // strictly above the non-functional pair (C, D). (B is all-distinct in
+  // this 4-row fragment and trivially "determines" everything, so pairs
+  // involving B are not informative here.)
+  Table table = FigureThreeTable();
+  for (DependencyMeasure measure :
+       {DependencyMeasure::kNormalizedMutualInformation,
+        DependencyMeasure::kCramersV}) {
+    DependencyGraphOptions options;
+    options.measure = measure;
+    auto graph = BuildDependencyGraph(table, options);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_GT(graph->mi(0, 2), graph->mi(2, 3));
+  }
+}
+
+TEST(GraphBuilderTest, NullPolicyAffectsGraph) {
+  auto table = ReadCsvString(
+      "x,y\n"
+      "1,1\n"
+      ",2\n"
+      "1,\n"
+      "2,2\n",
+      {});
+  ASSERT_TRUE(table.ok());
+  DependencyGraphOptions as_symbol;
+  DependencyGraphOptions drop;
+  drop.stats.null_policy = NullPolicy::kDropNulls;
+  auto g1 = BuildDependencyGraph(table.value(), as_symbol);
+  auto g2 = BuildDependencyGraph(table.value(), drop);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_NE(g1->entropy(0), g2->entropy(0));
+}
+
+}  // namespace
+}  // namespace depmatch

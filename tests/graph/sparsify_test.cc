@@ -1,0 +1,182 @@
+#include "depmatch/graph/sparsify.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph Graph(std::vector<std::vector<double>> matrix) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) m[i][i] = 1.0 + rng.NextDouble() * 5.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = 0.01 + rng.NextDouble();
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  return Graph(std::move(m));
+}
+
+TEST(ChowLiuTreeTest, KeepsExactlyTreeEdges) {
+  DependencyGraph g = RandomGraph(8, 1);
+  auto tree = ChowLiuTree(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(CountEdges(tree.value()), 7u);  // n - 1
+}
+
+TEST(ChowLiuTreeTest, PreservesDiagonalAndNames) {
+  DependencyGraph g = RandomGraph(6, 2);
+  auto tree = ChowLiuTree(g);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree->entropy(i), g.entropy(i));
+    EXPECT_EQ(tree->name(i), g.name(i));
+  }
+}
+
+TEST(ChowLiuTreeTest, SelectsMaximumWeightTree) {
+  // Chain weights: strongest edges 0-1 (0.9) and 1-2 (0.8); weak 0-2
+  // (0.1) must be dropped.
+  DependencyGraph g = Graph({{1.0, 0.9, 0.1},
+                             {0.9, 1.0, 0.8},
+                             {0.1, 0.8, 1.0}});
+  auto tree = ChowLiuTree(g);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->mi(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(tree->mi(1, 2), 0.8);
+  EXPECT_DOUBLE_EQ(tree->mi(0, 2), 0.0);
+}
+
+TEST(ChowLiuTreeTest, DisconnectedZeroEdgesYieldForest) {
+  // Two independent cliques (cross edges are exactly 0): a forest with
+  // one edge per component.
+  DependencyGraph g = Graph({{1.0, 0.5, 0.0, 0.0},
+                             {0.5, 1.0, 0.0, 0.0},
+                             {0.0, 0.0, 1.0, 0.7},
+                             {0.0, 0.0, 0.7, 1.0}});
+  auto forest = ChowLiuTree(g);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(CountEdges(forest.value()), 2u);
+}
+
+TEST(ChowLiuTreeTest, TreeTotalWeightMatchesBruteForce) {
+  // Verify maximality against all spanning trees of a 5-node graph
+  // (Cayley: 125 trees) via Prüfer enumeration.
+  DependencyGraph g = RandomGraph(5, 3);
+  auto tree = ChowLiuTree(g);
+  ASSERT_TRUE(tree.ok());
+  double tree_weight = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) tree_weight += tree->mi(i, j);
+  }
+  double best = 0.0;
+  // Enumerate Prüfer sequences of length 3 over {0..4}.
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 0; b < 5; ++b) {
+      for (size_t c = 0; c < 5; ++c) {
+        size_t prufer[3] = {a, b, c};
+        size_t degree[5] = {1, 1, 1, 1, 1};
+        for (size_t p : prufer) ++degree[p];
+        double weight = 0.0;
+        size_t deg[5];
+        std::copy(degree, degree + 5, deg);
+        for (size_t k = 0; k < 3; ++k) {
+          for (size_t leaf = 0; leaf < 5; ++leaf) {
+            if (deg[leaf] == 1) {
+              weight += g.mi(leaf, prufer[k]);
+              --deg[leaf];
+              --deg[prufer[k]];
+              break;
+            }
+          }
+        }
+        size_t u = 5, v = 5;
+        for (size_t node = 0; node < 5; ++node) {
+          if (deg[node] == 1) (u == 5 ? u : v) = node;
+        }
+        weight += g.mi(u, v);
+        best = std::max(best, weight);
+      }
+    }
+  }
+  EXPECT_NEAR(tree_weight, best, 1e-9);
+}
+
+TEST(KeepTopEdgesTest, KeepsStrongest) {
+  DependencyGraph g = Graph({{1.0, 0.9, 0.1},
+                             {0.9, 1.0, 0.8},
+                             {0.1, 0.8, 1.0}});
+  auto sparse = KeepTopEdges(g, 1);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_DOUBLE_EQ(sparse->mi(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(sparse->mi(1, 2), 0.0);
+  EXPECT_EQ(CountEdges(sparse.value()), 1u);
+}
+
+TEST(KeepTopEdgesTest, LargeKIsIdentity) {
+  DependencyGraph g = RandomGraph(5, 4);
+  auto sparse = KeepTopEdges(g, 100);
+  ASSERT_TRUE(sparse.ok());
+  for (size_t i = 0; i < g.size(); ++i) {
+    for (size_t j = 0; j < g.size(); ++j) {
+      EXPECT_DOUBLE_EQ(sparse->mi(i, j), g.mi(i, j));
+    }
+  }
+}
+
+TEST(KeepTopEdgesTest, ZeroKDropsAll) {
+  DependencyGraph g = RandomGraph(4, 5);
+  auto sparse = KeepTopEdges(g, 0);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(CountEdges(sparse.value()), 0u);
+  EXPECT_DOUBLE_EQ(sparse->entropy(2), g.entropy(2));
+}
+
+TEST(DropWeakEdgesTest, ThresholdFilters) {
+  DependencyGraph g = Graph({{1.0, 0.9, 0.1},
+                             {0.9, 1.0, 0.8},
+                             {0.1, 0.8, 1.0}});
+  auto sparse = DropWeakEdges(g, 0.5);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(CountEdges(sparse.value()), 2u);
+  EXPECT_DOUBLE_EQ(sparse->mi(0, 2), 0.0);
+}
+
+TEST(DropWeakEdgesTest, ZeroThresholdKeepsEverything) {
+  DependencyGraph g = RandomGraph(5, 6);
+  auto sparse = DropWeakEdges(g, 0.0);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(CountEdges(sparse.value()), CountEdges(g));
+}
+
+TEST(CountEdgesTest, CountsNonzeroOffDiagonal) {
+  DependencyGraph g = Graph({{1.0, 0.0, 0.3},
+                             {0.0, 1.0, 0.0},
+                             {0.3, 0.0, 1.0}});
+  EXPECT_EQ(CountEdges(g), 1u);
+}
+
+TEST(SparsifyTest, EmptyGraph) {
+  auto empty = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(ChowLiuTree(empty.value()).ok());
+  EXPECT_TRUE(KeepTopEdges(empty.value(), 3).ok());
+  EXPECT_EQ(CountEdges(empty.value()), 0u);
+}
+
+}  // namespace
+}  // namespace depmatch

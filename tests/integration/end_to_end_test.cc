@@ -1,0 +1,143 @@
+// Full-pipeline integration tests: generate a paper-shaped dataset, split
+// or resample it, build dependency graphs, run the subset-experiment
+// methodology, and check that the paper's qualitative findings hold on a
+// scaled-down configuration:
+//   * one-to-one matching is highly accurate,
+//   * mutual information beats entropy-only matching,
+//   * related table pairs score far better than unrelated ones.
+
+#include <gtest/gtest.h>
+
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/eval/experiment.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+class EndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::LabExamConfig lab_config;
+    lab_config.num_rows = 12000;
+    auto lab = datagen::MakeLabExamTable(lab_config, 7);
+    ASSERT_TRUE(lab.ok());
+    auto parts = RangePartitionAtMedian(lab.value(), 0);
+    ASSERT_TRUE(parts.ok());
+
+    // Drop the date column; the 44 test attributes are the universe.
+    std::vector<size_t> tests;
+    for (size_t c = 1; c < lab->num_attributes(); ++c) tests.push_back(c);
+    auto t1 = ProjectColumns(parts->low, tests);
+    auto t2 = ProjectColumns(parts->high, tests);
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE(t2.ok());
+
+    auto g1 = BuildDependencyGraph(t1.value());
+    auto g2 = BuildDependencyGraph(t2.value());
+    ASSERT_TRUE(g1.ok());
+    ASSERT_TRUE(g2.ok());
+    lab1_graph_ = new DependencyGraph(std::move(g1).value());
+    lab2_graph_ = new DependencyGraph(std::move(g2).value());
+  }
+
+  static SubsetExperimentConfig Config(MetricKind metric, size_t width) {
+    SubsetExperimentConfig config;
+    config.match.metric = metric;
+    config.match.candidates_per_attribute = 3;
+    config.source_size = width;
+    config.target_size = width;
+    config.iterations = 12;
+    config.seed = 101;
+    return config;
+  }
+
+  static const DependencyGraph* lab1_graph_;
+  static const DependencyGraph* lab2_graph_;
+};
+
+const DependencyGraph* EndToEndTest::lab1_graph_ = nullptr;
+const DependencyGraph* EndToEndTest::lab2_graph_ = nullptr;
+
+TEST_F(EndToEndTest, OneToOneMiEuclideanIsAccurate) {
+  auto stats = RunSubsetExperiment(
+      *lab1_graph_, *lab2_graph_,
+      Config(MetricKind::kMutualInfoEuclidean, 8));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations_failed, 0u);
+  EXPECT_GT(stats->mean_precision, 0.7);
+}
+
+TEST_F(EndToEndTest, MutualInformationBeatsEntropyOnly) {
+  // The paper's central claim. Averaged over widths to damp noise.
+  double mi_total = 0.0;
+  double et_total = 0.0;
+  for (size_t width : {8, 12}) {
+    auto mi = RunSubsetExperiment(
+        *lab1_graph_, *lab2_graph_,
+        Config(MetricKind::kMutualInfoEuclidean, width));
+    auto et = RunSubsetExperiment(
+        *lab1_graph_, *lab2_graph_,
+        Config(MetricKind::kEntropyEuclidean, width));
+    ASSERT_TRUE(mi.ok());
+    ASSERT_TRUE(et.ok());
+    mi_total += mi->mean_precision;
+    et_total += et->mean_precision;
+  }
+  EXPECT_GT(mi_total, et_total);
+}
+
+TEST_F(EndToEndTest, RelatedPairScoresBetterThanUnrelated) {
+  // Figure 8's discrimination property, on the Euclidean metric: the
+  // distance for matching Lab1 to Lab2 (related) is much smaller than for
+  // matching Lab1 to a column-shuffled *independent* census sample.
+  datagen::CensusConfig census_config;
+  census_config.num_attributes = 44;
+  census_config.num_rows = 6000;
+  auto census = datagen::MakeCensusTable(census_config, 9);
+  ASSERT_TRUE(census.ok());
+  auto census_graph = BuildDependencyGraph(census.value());
+  ASSERT_TRUE(census_graph.ok());
+
+  SubsetExperimentConfig related =
+      Config(MetricKind::kMutualInfoEuclidean, 8);
+  auto related_stats =
+      RunSubsetExperiment(*lab1_graph_, *lab2_graph_, related);
+  ASSERT_TRUE(related_stats.ok());
+
+  SubsetExperimentConfig unrelated = related;
+  unrelated.schemas_related = false;
+  auto unrelated_stats =
+      RunSubsetExperiment(*lab1_graph_, census_graph.value(), unrelated);
+  ASSERT_TRUE(unrelated_stats.ok());
+
+  EXPECT_LT(related_stats->mean_metric_value,
+            unrelated_stats->mean_metric_value);
+}
+
+TEST_F(EndToEndTest, OntoAccuracyReasonable) {
+  SubsetExperimentConfig config =
+      Config(MetricKind::kMutualInfoEuclidean, 6);
+  config.match.cardinality = Cardinality::kOnto;
+  config.target_size = 12;
+  auto stats = RunSubsetExperiment(*lab1_graph_, *lab2_graph_, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->mean_precision, 0.4);
+}
+
+TEST_F(EndToEndTest, PartialProducesPrecisionAndRecall) {
+  SubsetExperimentConfig config =
+      Config(MetricKind::kMutualInfoNormal, 8);
+  config.match.cardinality = Cardinality::kPartial;
+  config.match.alpha = 4.0;
+  config.target_size = 8;
+  config.overlap = 5;
+  auto stats = RunSubsetExperiment(*lab1_graph_, *lab2_graph_, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->mean_recall, 0.2);
+  EXPECT_GT(stats->mean_precision, 0.2);
+}
+
+}  // namespace
+}  // namespace depmatch

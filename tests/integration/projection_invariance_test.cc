@@ -1,0 +1,91 @@
+// Cross-module invariant: building a dependency graph of a projected
+// table must equal projecting the full table's dependency graph —
+// Table2DepGraph and SubGraph commute. The experiment runner relies on
+// this (it builds the full graph once and sub-graphs per iteration
+// instead of re-estimating), so the invariant is load-bearing.
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+struct ProjectionCase {
+  size_t attributes;
+  size_t rows;
+  double null_fraction;
+  NullPolicy policy;
+  uint64_t seed;
+};
+
+class ProjectionInvarianceTest
+    : public testing::TestWithParam<ProjectionCase> {};
+
+TEST_P(ProjectionInvarianceTest, BuildAndSubgraphCommute) {
+  const ProjectionCase& c = GetParam();
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < c.attributes; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 4 + (i * 13) % 30;
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.35;
+    }
+    attr.null_fraction = c.null_fraction;
+    spec.attributes.push_back(attr);
+  }
+  auto table = datagen::GenerateBayesNet(spec, c.rows, c.seed);
+  ASSERT_TRUE(table.ok());
+
+  DependencyGraphOptions options;
+  options.stats.null_policy = c.policy;
+  auto full_graph = BuildDependencyGraph(table.value(), options);
+  ASSERT_TRUE(full_graph.ok());
+
+  // A scrambled strict subset of attributes.
+  Rng rng(c.seed ^ 0xabc);
+  std::vector<size_t> subset = rng.SampleWithoutReplacement(
+      c.attributes, c.attributes / 2 + 1);
+
+  auto projected_table = ProjectColumns(table.value(), subset);
+  ASSERT_TRUE(projected_table.ok());
+  auto direct = BuildDependencyGraph(projected_table.value(), options);
+  ASSERT_TRUE(direct.ok());
+  auto via_subgraph = full_graph->SubGraph(subset);
+  ASSERT_TRUE(via_subgraph.ok());
+
+  ASSERT_EQ(direct->size(), via_subgraph->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(direct->name(i), via_subgraph->name(i));
+    for (size_t j = 0; j < direct->size(); ++j) {
+      EXPECT_NEAR(direct->mi(i, j), via_subgraph->mi(i, j), 1e-9)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProjectionInvarianceTest,
+    testing::Values(
+        ProjectionCase{4, 200, 0.0, NullPolicy::kNullAsSymbol, 1},
+        ProjectionCase{8, 1000, 0.0, NullPolicy::kNullAsSymbol, 2},
+        ProjectionCase{8, 1000, 0.2, NullPolicy::kNullAsSymbol, 3},
+        ProjectionCase{8, 1000, 0.2, NullPolicy::kDropNulls, 4},
+        ProjectionCase{12, 500, 0.5, NullPolicy::kNullAsSymbol, 5},
+        ProjectionCase{12, 500, 0.5, NullPolicy::kDropNulls, 6}),
+    [](const testing::TestParamInfo<ProjectionCase>& info) {
+      const ProjectionCase& c = info.param;
+      return "a" + std::to_string(c.attributes) + "_r" +
+             std::to_string(c.rows) + "_n" +
+             std::to_string(static_cast<int>(c.null_fraction * 100)) +
+             (c.policy == NullPolicy::kDropNulls ? "_drop" : "_sym") +
+             "_s" + std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,73 @@
+// Self-containedness check: every public header of the library is
+// included here, in one translation unit and in alphabetical order, so a
+// header that forgets one of its own dependencies breaks this build (the
+// style guide's self-contained-headers rule, enforced).
+
+#include "depmatch/common/flags.h"
+#include "depmatch/common/logging.h"
+#include "depmatch/common/rng.h"
+#include "depmatch/common/status.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
+#include "depmatch/core/multi_match.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/core/table_clustering.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/eval/accuracy.h"
+#include "depmatch/eval/experiment.h"
+#include "depmatch/eval/match_report.h"
+#include "depmatch/eval/report.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/graph/sparsify.h"
+#include "depmatch/match/annealing_matcher.h"
+#include "depmatch/match/candidate_filter.h"
+#include "depmatch/match/candidate_ranking.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/graduated_assignment.h"
+#include "depmatch/match/greedy_matcher.h"
+#include "depmatch/match/hungarian_matcher.h"
+#include "depmatch/match/interpreted_matcher.h"
+#include "depmatch/match/mapping_ops.h"
+#include "depmatch/match/matcher.h"
+#include "depmatch/match/matching.h"
+#include "depmatch/match/metric.h"
+#include "depmatch/nested/document.h"
+#include "depmatch/nested/flatten.h"
+#include "depmatch/nested/json.h"
+#include "depmatch/nested/nested_matcher.h"
+#include "depmatch/nested/xml.h"
+#include "depmatch/stats/association.h"
+#include "depmatch/stats/bootstrap.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/stats/histogram.h"
+#include "depmatch/table/column.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/csv_stream.h"
+#include "depmatch/table/schema.h"
+#include "depmatch/table/table.h"
+#include "depmatch/table/table_ops.h"
+#include "depmatch/table/value.h"
+#include "depmatch/translate/translate.h"
+#include "depmatch/translate/value_translation.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(PublicHeadersTest, EveryHeaderIsSelfContainedAndLinks) {
+  // Touch one symbol per subsystem so the linker pulls every library in.
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(MetricKindToString(MetricKind::kMutualInfoEuclidean),
+            "mi_euclidean");
+  EXPECT_EQ(CardinalityToString(Cardinality::kPartial), "partial");
+  EXPECT_EQ(nested::NodeKindToString(nested::NodeKind::kArray), "array");
+  EXPECT_EQ(MatchVerdictToString(MatchVerdict::kMissed), "missed");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
+}
+
+}  // namespace
+}  // namespace depmatch

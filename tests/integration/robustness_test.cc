@@ -1,0 +1,182 @@
+// Failure-injection / degenerate-input robustness: the public API must
+// return sensible results or clean Status errors — never crash — on the
+// pathological inputs a real deployment will eventually feed it.
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/datagen/bayes_net.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
+#include "depmatch/translate/value_translation.h"
+
+namespace depmatch {
+namespace {
+
+Table ParseCsv(const char* text) {
+  auto table = ReadCsvString(text, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+TEST(RobustnessTest, AllConstantColumns) {
+  // Every column constant: all entropies and MI are zero; any bijection
+  // is equally (vacuously) optimal — matching must still succeed.
+  Table t = ParseCsv("a,b\nk,v\nk,v\nk,v\n");
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->correspondences.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->match.metric_value, 0.0);
+}
+
+TEST(RobustnessTest, SingleRowTable) {
+  Table t = ParseCsv("a,b,c\n1,2,3\n");
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->correspondences.size(), 3u);
+}
+
+TEST(RobustnessTest, AllNullColumns) {
+  Table t = ParseCsv("a,b\n,\n,\n");
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  // Both graphs are all-zero; matching still yields a full bijection.
+  EXPECT_EQ(result->correspondences.size(), 2u);
+}
+
+TEST(RobustnessTest, SingleColumnTables) {
+  Table a = ParseCsv("x\n1\n2\n1\n");
+  Table b = ParseCsv("y\n9\n8\n9\n");
+  auto result = MatchTables(a, b, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->correspondences.size(), 1u);
+  EXPECT_EQ(result->correspondences[0].target_name, "y");
+}
+
+TEST(RobustnessTest, EmptyTablesMatchEmptily) {
+  auto schema = Schema::Create({});
+  ASSERT_TRUE(schema.ok());
+  TableBuilder builder_a(schema.value());
+  TableBuilder builder_b(schema.value());
+  Table a = std::move(builder_a).Build().value();
+  Table b = std::move(builder_b).Build().value();
+  auto result = MatchTables(a, b, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->correspondences.empty());
+}
+
+TEST(RobustnessTest, ZeroRowTablesWithColumns) {
+  auto schema = Schema::Create(
+      {{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  TableBuilder builder(schema.value());
+  Table t = std::move(builder).Build().value();
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->correspondences.size(), 2u);
+}
+
+TEST(RobustnessTest, ExactDuplicateColumnsStayStable) {
+  // Two identical columns are structurally indistinguishable: the match
+  // must still be a valid bijection (either orientation).
+  Table t = ParseCsv("a,b,c\n1,1,x\n2,2,y\n1,1,x\n3,3,z\n");
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->correspondences.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->match.metric_value, 0.0);
+}
+
+TEST(RobustnessTest, TinySearchBudgetStillReturnsMapping) {
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < 10; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 8 + i;
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.3;
+    }
+    spec.attributes.push_back(attr);
+  }
+  auto t1 = datagen::GenerateBayesNet(spec, 1000, 1);
+  auto t2 = datagen::GenerateBayesNet(spec, 1000, 2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  SchemaMatchOptions options;
+  options.match.max_search_nodes = 1;  // absurdly small
+  auto result = MatchTables(t1.value(), t2.value(), options);
+  ASSERT_TRUE(result.ok());
+  // Feasibility seeding guarantees a complete (if unoptimized) mapping.
+  EXPECT_EQ(result->correspondences.size(), 10u);
+  EXPECT_TRUE(result->match.budget_exhausted);
+}
+
+TEST(RobustnessTest, PartialOnDisjointTablesProposesLittle) {
+  // Completely unrelated tables under a conservative alpha: the partial
+  // matcher should propose few or no pairs rather than inventing many.
+  Table a = ParseCsv("x,y\n1,a\n2,b\n3,c\n4,d\n1,a\n2,b\n");
+  Table b = ParseCsv("p,q\n10,9\n10,9\n10,9\n10,9\n11,8\n12,7\n");
+  SchemaMatchOptions options;
+  options.match.cardinality = Cardinality::kPartial;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  options.match.alpha = 8.0;
+  auto result = MatchTables(a, b, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->correspondences.size(), 1u);
+}
+
+TEST(RobustnessTest, ValueTranslationOnConstantColumns) {
+  Column a(DataType::kString);
+  Column b(DataType::kString);
+  for (int i = 0; i < 5; ++i) {
+    a.Append(Value("only"));
+    b.Append(Value("sole"));
+  }
+  auto translation = InferValueTranslationByFrequency(a, b);
+  ASSERT_TRUE(translation.ok());
+  ASSERT_EQ(translation->pairs.size(), 1u);
+  EXPECT_EQ(translation->Translate(Value("only")), Value("sole"));
+}
+
+TEST(RobustnessTest, WideTableSmallRows) {
+  // More columns than rows: estimates saturate, matching must not crash.
+  std::string header;
+  std::string row1;
+  std::string row2;
+  for (int c = 0; c < 20; ++c) {
+    if (c > 0) {
+      header += ',';
+      row1 += ',';
+      row2 += ',';
+    }
+    header += "c" + std::to_string(c);
+    row1 += std::to_string(c);
+    row2 += std::to_string(c + 100);
+  }
+  Table t = ParseCsv((header + "\n" + row1 + "\n" + row2 + "\n").c_str());
+  auto result = MatchTables(t, t, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->correspondences.size(), 20u);
+}
+
+TEST(RobustnessTest, GraphWithNanRejected) {
+  auto graph = DependencyGraph::Create(
+      {"a"}, {{std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(RobustnessTest, OpaqueEncodeOfEmptyTable) {
+  auto schema = Schema::Create({{"a", DataType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  TableBuilder builder(schema.value());
+  Table t = std::move(builder).Build().value();
+  Rng rng(1);
+  Table encoded = OpaqueEncode(t, {}, rng);
+  EXPECT_EQ(encoded.num_rows(), 0u);
+  EXPECT_EQ(encoded.num_attributes(), 1u);
+}
+
+}  // namespace
+}  // namespace depmatch

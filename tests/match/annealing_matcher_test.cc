@@ -1,0 +1,171 @@
+#include "depmatch/match/annealing_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/greedy_matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+DependencyGraph Permute(const DependencyGraph& g,
+                        const std::vector<size_t>& perm) {
+  std::vector<size_t> inverse(g.size());
+  for (size_t i = 0; i < g.size(); ++i) inverse[perm[i]] = i;
+  auto sub = g.SubGraph(inverse);
+  EXPECT_TRUE(sub.ok());
+  return sub.value();
+}
+
+MatchOptions Options(Cardinality cardinality, MetricKind metric,
+                     double alpha = 3.0) {
+  MatchOptions o;
+  o.cardinality = cardinality;
+  o.metric = metric;
+  o.alpha = alpha;
+  o.algorithm = MatchAlgorithm::kSimulatedAnnealing;
+  o.candidates_per_attribute = 0;
+  return o;
+}
+
+TEST(AnnealingMatchTest, RecoversPermutation) {
+  DependencyGraph g = RandomGraph(8, 1);
+  std::vector<size_t> perm = {5, 2, 7, 0, 3, 6, 1, 4};
+  DependencyGraph permuted = Permute(g, perm);
+  auto result = AnnealingMatch(
+      g, permuted,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  size_t correct = 0;
+  for (const MatchPair& pair : result->pairs) {
+    if (pair.target == perm[pair.source]) ++correct;
+  }
+  EXPECT_EQ(correct, 8u);  // zero-distance optimum is reachable
+}
+
+TEST(AnnealingMatchTest, NeverWorseThanGreedy) {
+  for (uint64_t seed = 5; seed < 10; ++seed) {
+    DependencyGraph a = RandomGraph(7, seed);
+    DependencyGraph b = RandomGraph(7, seed + 50);
+    for (MetricKind kind :
+         {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+      MatchOptions anneal = Options(Cardinality::kOneToOne, kind);
+      MatchOptions greedy = anneal;
+      greedy.algorithm = MatchAlgorithm::kGreedy;
+      auto sa = AnnealingMatch(a, b, anneal);
+      auto gr = GreedyMatch(a, b, greedy);
+      ASSERT_TRUE(sa.ok());
+      ASSERT_TRUE(gr.ok());
+      Metric metric(kind, 3.0);
+      if (metric.maximize()) {
+        EXPECT_GE(sa->metric_value, gr->metric_value - 1e-9);
+      } else {
+        EXPECT_LE(sa->metric_value, gr->metric_value + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AnnealingMatchTest, CloseToExhaustiveOptimum) {
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    DependencyGraph g = RandomGraph(7, seed);
+    std::vector<size_t> perm = {3, 5, 1, 6, 0, 2, 4};
+    DependencyGraph permuted = Permute(g, perm);
+    MatchOptions anneal =
+        Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal);
+    MatchOptions exhaustive = anneal;
+    exhaustive.algorithm = MatchAlgorithm::kExhaustive;
+    auto sa = AnnealingMatch(g, permuted, anneal);
+    auto ex = ExhaustiveMatch(g, permuted, exhaustive);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(ex.ok());
+    EXPECT_LE(sa->metric_value, ex->metric_value + 1e-9);
+    EXPECT_GE(sa->metric_value, 0.9 * ex->metric_value);
+  }
+}
+
+TEST(AnnealingMatchTest, DeterministicForFixedSeed) {
+  DependencyGraph a = RandomGraph(6, 30);
+  DependencyGraph b = RandomGraph(6, 31);
+  MatchOptions options =
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal);
+  auto r1 = AnnealingMatch(a, b, options);
+  auto r2 = AnnealingMatch(a, b, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->pairs, r2->pairs);
+  EXPECT_DOUBLE_EQ(r1->metric_value, r2->metric_value);
+}
+
+TEST(AnnealingMatchTest, ResultIsValidMapping) {
+  DependencyGraph a = RandomGraph(6, 40);
+  DependencyGraph b = RandomGraph(9, 41);
+  auto result = AnnealingMatch(
+      a, b, Options(Cardinality::kOnto, MetricKind::kMutualInfoNormal));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 6u);
+  std::set<size_t> sources;
+  std::set<size_t> targets;
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_TRUE(sources.insert(pair.source).second);
+    EXPECT_TRUE(targets.insert(pair.target).second);
+    EXPECT_LT(pair.target, 9u);
+  }
+}
+
+TEST(AnnealingMatchTest, PartialRespectsAlphaSelectivity) {
+  DependencyGraph a = RandomGraph(5, 50);
+  DependencyGraph b = RandomGraph(5, 51);
+  auto strict = AnnealingMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 9.0));
+  auto lax = AnnealingMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 1.0));
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(lax.ok());
+  EXPECT_LE(strict->pairs.size(), lax->pairs.size());
+}
+
+TEST(AnnealingMatchTest, SizeValidationAndEmpty) {
+  DependencyGraph a = RandomGraph(3, 60);
+  DependencyGraph b = RandomGraph(2, 61);
+  EXPECT_FALSE(AnnealingMatch(a, b,
+                              Options(Cardinality::kOneToOne,
+                                      MetricKind::kMutualInfoEuclidean))
+                   .ok());
+  auto empty = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(empty.ok());
+  auto result = AnnealingMatch(
+      empty.value(), b,
+      Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,71 @@
+#include "depmatch/match/candidate_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+DependencyGraph GraphWithEntropies(std::vector<double> entropies) {
+  size_t n = entropies.size();
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    matrix[i][i] = entropies[i];
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(CandidateFilterTest, PicksClosestEntropies) {
+  DependencyGraph source = GraphWithEntropies({5.0});
+  DependencyGraph target = GraphWithEntropies({1.0, 4.8, 5.1, 9.0});
+  auto candidates = ComputeEntropyCandidates(source, target, 2);
+  ASSERT_EQ(candidates.size(), 1u);
+  ASSERT_EQ(candidates[0].size(), 2u);
+  EXPECT_EQ(candidates[0][0], 2u);  // |5.0 - 5.1| = 0.1
+  EXPECT_EQ(candidates[0][1], 1u);  // |5.0 - 4.8| = 0.2
+}
+
+TEST(CandidateFilterTest, ZeroMeansUnfiltered) {
+  DependencyGraph source = GraphWithEntropies({1.0, 2.0});
+  DependencyGraph target = GraphWithEntropies({1.0, 2.0, 3.0});
+  auto candidates = ComputeEntropyCandidates(source, target, 0);
+  EXPECT_EQ(candidates[0].size(), 3u);
+  EXPECT_EQ(candidates[1].size(), 3u);
+}
+
+TEST(CandidateFilterTest, ClampsToTargetSize) {
+  DependencyGraph source = GraphWithEntropies({1.0});
+  DependencyGraph target = GraphWithEntropies({1.0, 2.0});
+  auto candidates = ComputeEntropyCandidates(source, target, 10);
+  EXPECT_EQ(candidates[0].size(), 2u);
+}
+
+TEST(CandidateFilterTest, TieBreaksByTargetIndex) {
+  DependencyGraph source = GraphWithEntropies({2.0});
+  DependencyGraph target = GraphWithEntropies({3.0, 1.0});  // both diff 1.0
+  auto candidates = ComputeEntropyCandidates(source, target, 2);
+  EXPECT_EQ(candidates[0][0], 0u);
+  EXPECT_EQ(candidates[0][1], 1u);
+}
+
+TEST(CandidateFilterTest, EmptySource) {
+  DependencyGraph source = GraphWithEntropies({});
+  DependencyGraph target = GraphWithEntropies({1.0});
+  EXPECT_TRUE(ComputeEntropyCandidates(source, target, 3).empty());
+}
+
+TEST(CandidateFilterTest, PaperDefaultKeepsThree) {
+  DependencyGraph source = GraphWithEntropies({5.0, 1.0});
+  DependencyGraph target =
+      GraphWithEntropies({0.5, 1.5, 2.5, 4.5, 5.5, 6.5});
+  auto candidates = ComputeEntropyCandidates(source, target, 3);
+  for (const auto& list : candidates) {
+    EXPECT_EQ(list.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

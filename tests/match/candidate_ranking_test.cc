@@ -1,0 +1,140 @@
+#include "depmatch/match/candidate_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(MiProfileSimilarityTest, SelfSimilarityIsOne) {
+  DependencyGraph g = RandomGraph(6, 1);
+  for (size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(MiProfileSimilarity(g, i, g, i), 1.0);
+  }
+}
+
+TEST(MiProfileSimilarityTest, BoundedAndSymmetric) {
+  DependencyGraph a = RandomGraph(5, 2);
+  DependencyGraph b = RandomGraph(7, 3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      double forward = MiProfileSimilarity(a, i, b, j);
+      double backward = MiProfileSimilarity(b, j, a, i);
+      EXPECT_DOUBLE_EQ(forward, backward);
+      EXPECT_GE(forward, 0.0);
+      EXPECT_LE(forward, 1.0);
+    }
+  }
+}
+
+TEST(MiProfileSimilarityTest, ZeroProfilesMatchPerfectly) {
+  auto isolated = DependencyGraph::Create(
+      {"a", "b"}, {{2.0, 0.0}, {0.0, 3.0}});
+  ASSERT_TRUE(isolated.ok());
+  EXPECT_DOUBLE_EQ(
+      MiProfileSimilarity(isolated.value(), 0, isolated.value(), 1), 1.0);
+}
+
+TEST(RankCandidatesTest, SelfRankingPutsIdentityFirst) {
+  DependencyGraph g = RandomGraph(8, 4);
+  auto ranking = RankCandidates(g, g, {});
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), 8u);
+  for (size_t s = 0; s < 8; ++s) {
+    ASSERT_FALSE((*ranking)[s].empty());
+    EXPECT_EQ((*ranking)[s][0].target, s) << "source " << s;
+    EXPECT_DOUBLE_EQ((*ranking)[s][0].score, 1.0);
+  }
+}
+
+TEST(RankCandidatesTest, RespectsTopK) {
+  DependencyGraph a = RandomGraph(4, 5);
+  DependencyGraph b = RandomGraph(9, 6);
+  CandidateRankingOptions options;
+  options.top_k = 3;
+  auto ranking = RankCandidates(a, b, options);
+  ASSERT_TRUE(ranking.ok());
+  for (const auto& candidates : ranking.value()) {
+    EXPECT_EQ(candidates.size(), 3u);
+    // Scores non-increasing.
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_GE(candidates[i - 1].score, candidates[i].score);
+    }
+  }
+}
+
+TEST(RankCandidatesTest, ZeroTopKKeepsAll) {
+  DependencyGraph a = RandomGraph(3, 7);
+  DependencyGraph b = RandomGraph(5, 8);
+  CandidateRankingOptions options;
+  options.top_k = 0;
+  auto ranking = RankCandidates(a, b, options);
+  ASSERT_TRUE(ranking.ok());
+  for (const auto& candidates : ranking.value()) {
+    EXPECT_EQ(candidates.size(), 5u);
+  }
+}
+
+TEST(RankCandidatesTest, WeightExtremesSelectSignal) {
+  DependencyGraph a = RandomGraph(6, 9);
+  DependencyGraph b = RandomGraph(6, 10);
+  CandidateRankingOptions entropy_only;
+  entropy_only.profile_weight = 0.0;
+  entropy_only.top_k = 0;
+  auto by_entropy = RankCandidates(a, b, entropy_only);
+  ASSERT_TRUE(by_entropy.ok());
+  for (const auto& candidates : by_entropy.value()) {
+    for (const RankedCandidate& c : candidates) {
+      EXPECT_DOUBLE_EQ(c.score, c.entropy_score);
+    }
+  }
+  CandidateRankingOptions profile_only;
+  profile_only.profile_weight = 1.0;
+  profile_only.top_k = 0;
+  auto by_profile = RankCandidates(a, b, profile_only);
+  ASSERT_TRUE(by_profile.ok());
+  for (const auto& candidates : by_profile.value()) {
+    for (const RankedCandidate& c : candidates) {
+      EXPECT_DOUBLE_EQ(c.score, c.profile_score);
+    }
+  }
+}
+
+TEST(RankCandidatesTest, RejectsBadWeight) {
+  DependencyGraph g = RandomGraph(3, 11);
+  CandidateRankingOptions options;
+  options.profile_weight = 1.5;
+  EXPECT_FALSE(RankCandidates(g, g, options).ok());
+}
+
+TEST(RankCandidatesTest, EmptyGraphs) {
+  auto empty = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(empty.ok());
+  auto ranking = RankCandidates(empty.value(), empty.value(), {});
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_TRUE(ranking->empty());
+}
+
+}  // namespace
+}  // namespace depmatch

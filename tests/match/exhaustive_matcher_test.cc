@@ -1,0 +1,301 @@
+#include "depmatch/match/exhaustive_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph Graph(std::vector<std::vector<double>> matrix) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+// A random graph with distinct-ish entropies and structured MI.
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  return Graph(std::move(m));
+}
+
+// Permutes the nodes of `g` by `perm` (new index of old node i is perm[i]).
+DependencyGraph Permute(const DependencyGraph& g,
+                        const std::vector<size_t>& perm) {
+  size_t n = g.size();
+  std::vector<size_t> inverse(n);
+  for (size_t i = 0; i < n; ++i) inverse[perm[i]] = i;
+  auto sub = g.SubGraph(inverse);
+  EXPECT_TRUE(sub.ok());
+  return sub.value();
+}
+
+MatchOptions Options(Cardinality cardinality, MetricKind metric,
+                     double alpha = 3.0, size_t candidates = 0) {
+  MatchOptions o;
+  o.cardinality = cardinality;
+  o.metric = metric;
+  o.alpha = alpha;
+  o.candidates_per_attribute = candidates;
+  return o;
+}
+
+TEST(ExhaustiveMatchTest, IdenticalGraphsMatchIdentically) {
+  DependencyGraph g = RandomGraph(6, 1);
+  auto result = ExhaustiveMatch(
+      g, g, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result->pairs[i].source, i);
+    EXPECT_EQ(result->pairs[i].target, i);
+  }
+  EXPECT_DOUBLE_EQ(result->metric_value, 0.0);
+}
+
+TEST(ExhaustiveMatchTest, RecoversKnownPermutation) {
+  DependencyGraph g = RandomGraph(7, 2);
+  std::vector<size_t> perm = {3, 0, 6, 1, 5, 2, 4};
+  DependencyGraph permuted = Permute(g, perm);
+  auto result = ExhaustiveMatch(
+      g, permuted,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 7u);
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.target, perm[pair.source]);
+  }
+}
+
+TEST(ExhaustiveMatchTest, RecoversPermutationWithNormalMetric) {
+  DependencyGraph g = RandomGraph(6, 3);
+  std::vector<size_t> perm = {5, 3, 1, 0, 4, 2};
+  DependencyGraph permuted = Permute(g, perm);
+  auto result = ExhaustiveMatch(
+      g, permuted,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal, 3.0));
+  ASSERT_TRUE(result.ok());
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.target, perm[pair.source]);
+  }
+}
+
+TEST(ExhaustiveMatchTest, OntoFindsEmbeddedSubgraph) {
+  DependencyGraph big = RandomGraph(8, 4);
+  // Source = nodes {2, 5, 7} of the big graph, in that order.
+  auto source = big.SubGraph({2, 5, 7});
+  ASSERT_TRUE(source.ok());
+  auto result = ExhaustiveMatch(
+      source.value(), big,
+      Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 3u);
+  EXPECT_EQ(result->pairs[0].target, 2u);
+  EXPECT_EQ(result->pairs[1].target, 5u);
+  EXPECT_EQ(result->pairs[2].target, 7u);
+}
+
+TEST(ExhaustiveMatchTest, OneToOneSizeMismatchIsError) {
+  DependencyGraph a = RandomGraph(3, 5);
+  DependencyGraph b = RandomGraph(4, 6);
+  auto result = ExhaustiveMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExhaustiveMatchTest, OntoRequiresSourceNotLarger) {
+  DependencyGraph a = RandomGraph(5, 7);
+  DependencyGraph b = RandomGraph(4, 8);
+  auto result = ExhaustiveMatch(
+      a, b, Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExhaustiveMatchTest, EmptySourceMatchesEmpty) {
+  DependencyGraph empty = Graph({});
+  DependencyGraph b = RandomGraph(3, 9);
+  auto result = ExhaustiveMatch(
+      empty, b, Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(ExhaustiveMatchTest, PartialWithEuclideanDegeneratesToEmpty) {
+  // Definition 2.5 discussion: a monotonic metric is unusable for partial
+  // mapping — the optimum is the minimal (here: empty) mapping.
+  DependencyGraph a = RandomGraph(4, 10);
+  DependencyGraph b = RandomGraph(4, 11);
+  auto result = ExhaustiveMatch(
+      a, b, Options(Cardinality::kPartial, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(ExhaustiveMatchTest, PartialNormalAlphaOneReturnsMaximumMatching) {
+  // With alpha <= 1 every term is non-negative, the normal metric becomes
+  // monotonic, and partial matching returns maximum-size matchings
+  // (paper's Figure 8(c) explanation).
+  DependencyGraph a = RandomGraph(4, 12);
+  DependencyGraph b = RandomGraph(4, 13);
+  auto result = ExhaustiveMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 1.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 4u);
+}
+
+TEST(ExhaustiveMatchTest, PartialNormalHighAlphaIsSelective) {
+  // Two graphs sharing two strongly-similar nodes (indices 0, 1) among
+  // unrelated ones: a large alpha should keep only confident pairs. The
+  // unrelated nodes carry nonzero cross-MI on both sides so that no cell
+  // can "free-ride" on 0-vs-0 perfect matches.
+  DependencyGraph a = Graph({{5.0, 2.0, 0.3, 0.4},
+                             {2.0, 4.0, 0.5, 0.6},
+                             {0.3, 0.5, 9.0, 0.1},
+                             {0.4, 0.6, 0.1, 8.5}});
+  DependencyGraph b = Graph({{5.0, 2.0, 3.0, 2.8},
+                             {2.0, 4.0, 2.6, 2.4},
+                             {3.0, 2.6, 1.5, 0.9},
+                             {2.8, 2.4, 0.9, 2.5}});
+  auto result = ExhaustiveMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 7.0));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 2u);
+  EXPECT_EQ(result->pairs[0], (MatchPair{0, 0}));
+  EXPECT_EQ(result->pairs[1], (MatchPair{1, 1}));
+}
+
+TEST(ExhaustiveMatchTest, CandidateFilterLimitsSearch) {
+  DependencyGraph g = RandomGraph(8, 14);
+  auto unfiltered = ExhaustiveMatch(
+      g, g,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean, 3.0,
+              0));
+  auto filtered = ExhaustiveMatch(
+      g, g,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean, 3.0,
+              3));
+  ASSERT_TRUE(unfiltered.ok());
+  ASSERT_TRUE(filtered.ok());
+  // The incumbent seeding can make both searches prune to near-nothing on
+  // identical graphs, so only require that filtering never explores more.
+  EXPECT_LE(filtered->nodes_explored, unfiltered->nodes_explored);
+  // Identity is within the filter (every node's closest-entropy candidate
+  // is itself), so the result is unchanged.
+  EXPECT_EQ(filtered->pairs.size(), 8u);
+  for (const MatchPair& pair : filtered->pairs) {
+    EXPECT_EQ(pair.source, pair.target);
+  }
+}
+
+TEST(ExhaustiveMatchTest, FilterInfeasibilityReportsNotFound) {
+  // Two sources whose single closest-entropy candidate is the same target
+  // cannot both be assigned with p = 1.
+  DependencyGraph a = Graph({{5.0, 0.0}, {0.0, 5.0}});
+  DependencyGraph b = Graph({{5.0, 0.0}, {0.0, 100.0}});
+  auto result = ExhaustiveMatch(
+      a, b,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean, 3.0,
+              1));
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExhaustiveMatchTest, BudgetExhaustionReported) {
+  DependencyGraph a = RandomGraph(9, 15);
+  DependencyGraph b = RandomGraph(9, 16);
+  MatchOptions options =
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal, 3.0);
+  options.max_search_nodes = 3;
+  auto result = ExhaustiveMatch(a, b, options);
+  // Either a partial best was found and flagged, or the search gave up
+  // before finding any complete assignment.
+  if (result.ok()) {
+    EXPECT_TRUE(result->budget_exhausted);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ExhaustiveMatchTest, MetricValueMatchesEvaluate) {
+  DependencyGraph a = RandomGraph(5, 17);
+  DependencyGraph b = RandomGraph(5, 18);
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal,
+        MetricKind::kEntropyEuclidean, MetricKind::kEntropyNormal}) {
+    auto result =
+        ExhaustiveMatch(a, b, Options(Cardinality::kOneToOne, kind, 3.0));
+    ASSERT_TRUE(result.ok());
+    Metric metric(kind, 3.0);
+    EXPECT_NEAR(result->metric_value, metric.Evaluate(a, b, result->pairs),
+                1e-9)
+        << MetricKindToString(kind);
+  }
+}
+
+TEST(ExhaustiveMatchTest, FindsGlobalOptimumAgainstBruteForce) {
+  // Compare branch-and-bound against explicit permutation enumeration.
+  DependencyGraph a = RandomGraph(5, 19);
+  DependencyGraph b = RandomGraph(5, 20);
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+    Metric metric(kind, 3.0);
+    std::vector<size_t> perm = {0, 1, 2, 3, 4};
+    double best = 0.0;
+    bool first = true;
+    do {
+      std::vector<MatchPair> pairs;
+      for (size_t i = 0; i < perm.size(); ++i) pairs.push_back({i, perm[i]});
+      double value = metric.Evaluate(a, b, pairs);
+      if (first || (metric.maximize() ? value > best : value < best)) {
+        best = value;
+        first = false;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    auto result =
+        ExhaustiveMatch(a, b, Options(Cardinality::kOneToOne, kind, 3.0));
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->metric_value, best, 1e-9)
+        << MetricKindToString(kind);
+  }
+}
+
+TEST(ExhaustiveMatchTest, EntropyOnlyMatchesSortedEntropies) {
+  // With the entropy-only Euclidean metric and distinct entropies, the
+  // optimal one-to-one mapping pairs sorted entropy ranks.
+  DependencyGraph a = Graph({{1.0, 0.0, 0.0},
+                             {0.0, 5.0, 0.0},
+                             {0.0, 0.0, 3.0}});
+  DependencyGraph b = Graph({{4.9, 0.0, 0.0},
+                             {0.0, 1.2, 0.0},
+                             {0.0, 0.0, 3.1}});
+  auto result = ExhaustiveMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);  // 1.0 -> 1.2
+  EXPECT_EQ(result->TargetOf(1), 0u);  // 5.0 -> 4.9
+  EXPECT_EQ(result->TargetOf(2), 2u);  // 3.0 -> 3.1
+}
+
+}  // namespace
+}  // namespace depmatch

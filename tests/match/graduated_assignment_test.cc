@@ -1,0 +1,166 @@
+#include "depmatch/match/graduated_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/exhaustive_matcher.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+DependencyGraph Permute(const DependencyGraph& g,
+                        const std::vector<size_t>& perm) {
+  std::vector<size_t> inverse(g.size());
+  for (size_t i = 0; i < g.size(); ++i) inverse[perm[i]] = i;
+  auto sub = g.SubGraph(inverse);
+  EXPECT_TRUE(sub.ok());
+  return sub.value();
+}
+
+MatchOptions Options(Cardinality cardinality, MetricKind metric,
+                     double alpha = 3.0) {
+  MatchOptions o;
+  o.cardinality = cardinality;
+  o.metric = metric;
+  o.alpha = alpha;
+  o.algorithm = MatchAlgorithm::kGraduatedAssignment;
+  o.candidates_per_attribute = 0;
+  return o;
+}
+
+TEST(GraduatedAssignmentTest, IdentityOnIdenticalGraphs) {
+  DependencyGraph g = RandomGraph(6, 1);
+  auto result = GraduatedAssignmentMatch(
+      g, g, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 6u);
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.source, pair.target);
+  }
+}
+
+TEST(GraduatedAssignmentTest, RecoversPermutationOnStructuredGraph) {
+  DependencyGraph g = RandomGraph(7, 2);
+  std::vector<size_t> perm = {4, 2, 6, 0, 3, 5, 1};
+  DependencyGraph permuted = Permute(g, perm);
+  auto result = GraduatedAssignmentMatch(
+      g, permuted,
+      Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  size_t correct = 0;
+  for (const MatchPair& pair : result->pairs) {
+    if (pair.target == perm[pair.source]) ++correct;
+  }
+  // An approximate matcher: demand a large majority, not perfection.
+  EXPECT_GE(correct, 5u);
+}
+
+TEST(GraduatedAssignmentTest, ResultIsInjectiveAndComplete) {
+  DependencyGraph a = RandomGraph(8, 3);
+  DependencyGraph b = RandomGraph(8, 4);
+  auto result = GraduatedAssignmentMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 8u);
+  std::set<size_t> targets;
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_TRUE(targets.insert(pair.target).second);
+  }
+}
+
+TEST(GraduatedAssignmentTest, OntoAssignsAllSources) {
+  DependencyGraph a = RandomGraph(4, 5);
+  DependencyGraph b = RandomGraph(9, 6);
+  auto result = GraduatedAssignmentMatch(
+      a, b, Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 4u);
+}
+
+TEST(GraduatedAssignmentTest, PartialMayLeaveSourcesUnmatched) {
+  DependencyGraph a = RandomGraph(5, 7);
+  DependencyGraph b = RandomGraph(5, 8);
+  auto result = GraduatedAssignmentMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 7.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->pairs.size(), 5u);
+}
+
+TEST(GraduatedAssignmentTest, DeterministicAcrossRuns) {
+  DependencyGraph a = RandomGraph(6, 9);
+  DependencyGraph b = RandomGraph(6, 10);
+  auto r1 = GraduatedAssignmentMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal));
+  auto r2 = GraduatedAssignmentMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->pairs, r2->pairs);
+}
+
+TEST(GraduatedAssignmentTest, SizeValidation) {
+  DependencyGraph a = RandomGraph(4, 11);
+  DependencyGraph b = RandomGraph(3, 12);
+  EXPECT_FALSE(GraduatedAssignmentMatch(
+                   a, b,
+                   Options(Cardinality::kOneToOne,
+                           MetricKind::kMutualInfoEuclidean))
+                   .ok());
+}
+
+TEST(GraduatedAssignmentTest, EmptySource) {
+  auto empty = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(empty.ok());
+  DependencyGraph b = RandomGraph(3, 13);
+  auto result = GraduatedAssignmentMatch(
+      empty.value(), b,
+      Options(Cardinality::kOnto, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(GraduatedAssignmentTest, CloseToExhaustiveQualityOnSmallGraphs) {
+  // Quality check: over a few instances GA should land within 25% of the
+  // exhaustive optimum of the maximized normal metric.
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    DependencyGraph g = RandomGraph(6, seed);
+    std::vector<size_t> perm = {1, 3, 5, 0, 2, 4};
+    DependencyGraph permuted = Permute(g, perm);
+    MatchOptions ga_opts =
+        Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal);
+    MatchOptions ex_opts = ga_opts;
+    ex_opts.algorithm = MatchAlgorithm::kExhaustive;
+    auto approx = GraduatedAssignmentMatch(g, permuted, ga_opts);
+    auto exact = ExhaustiveMatch(g, permuted, ex_opts);
+    ASSERT_TRUE(approx.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(approx->metric_value, exact->metric_value + 1e-9);
+    EXPECT_GE(approx->metric_value, 0.75 * exact->metric_value);
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

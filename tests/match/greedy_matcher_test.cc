@@ -1,0 +1,138 @@
+#include "depmatch/match/greedy_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+MatchOptions Options(Cardinality cardinality, MetricKind metric,
+                     double alpha = 3.0) {
+  MatchOptions o;
+  o.cardinality = cardinality;
+  o.metric = metric;
+  o.alpha = alpha;
+  o.algorithm = MatchAlgorithm::kGreedy;
+  o.candidates_per_attribute = 0;
+  return o;
+}
+
+TEST(GreedyMatchTest, IdentityOnIdenticalGraphs) {
+  DependencyGraph g = RandomGraph(6, 1);
+  auto result = GreedyMatch(
+      g, g, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 6u);
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.source, pair.target);
+  }
+}
+
+TEST(GreedyMatchTest, AssignsAllSourcesForOnto) {
+  DependencyGraph a = RandomGraph(4, 2);
+  DependencyGraph b = RandomGraph(7, 3);
+  auto result = GreedyMatch(
+      a, b, Options(Cardinality::kOnto, MetricKind::kMutualInfoNormal));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 4u);
+}
+
+TEST(GreedyMatchTest, InjectiveTargets) {
+  DependencyGraph a = RandomGraph(5, 4);
+  DependencyGraph b = RandomGraph(5, 5);
+  auto result = GreedyMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> targets;
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_TRUE(targets.insert(pair.target).second);
+  }
+}
+
+TEST(GreedyMatchTest, NeverBeatsExhaustive) {
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    DependencyGraph a = RandomGraph(6, seed);
+    DependencyGraph b = RandomGraph(6, seed + 100);
+    for (MetricKind kind :
+         {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+      MatchOptions greedy_opts = Options(Cardinality::kOneToOne, kind);
+      MatchOptions exhaustive_opts = greedy_opts;
+      exhaustive_opts.algorithm = MatchAlgorithm::kExhaustive;
+      auto greedy = GreedyMatch(a, b, greedy_opts);
+      auto exhaustive = ExhaustiveMatch(a, b, exhaustive_opts);
+      ASSERT_TRUE(greedy.ok());
+      ASSERT_TRUE(exhaustive.ok());
+      Metric metric(kind, 3.0);
+      if (metric.maximize()) {
+        EXPECT_LE(greedy->metric_value, exhaustive->metric_value + 1e-9);
+      } else {
+        EXPECT_GE(greedy->metric_value, exhaustive->metric_value - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(GreedyMatchTest, PartialStopsWhenGainTurnsNegative) {
+  DependencyGraph a = RandomGraph(5, 30);
+  DependencyGraph b = RandomGraph(5, 31);
+  auto result = GreedyMatch(
+      a, b,
+      Options(Cardinality::kPartial, MetricKind::kMutualInfoNormal, 7.0));
+  ASSERT_TRUE(result.ok());
+  // With a harsh alpha on unrelated random graphs the greedy matcher must
+  // not force all five pairs.
+  Metric metric(MetricKind::kMutualInfoNormal, 7.0);
+  EXPECT_GE(result->metric_value, 0.0);
+}
+
+TEST(GreedyMatchTest, PartialEuclideanReturnsEmpty) {
+  DependencyGraph a = RandomGraph(4, 40);
+  DependencyGraph b = RandomGraph(4, 41);
+  auto result = GreedyMatch(
+      a, b, Options(Cardinality::kPartial, MetricKind::kMutualInfoEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(GreedyMatchTest, SizeValidation) {
+  DependencyGraph a = RandomGraph(4, 50);
+  DependencyGraph b = RandomGraph(3, 51);
+  EXPECT_FALSE(
+      GreedyMatch(a, b,
+                  Options(Cardinality::kOneToOne,
+                          MetricKind::kMutualInfoEuclidean))
+          .ok());
+  EXPECT_FALSE(
+      GreedyMatch(a, b,
+                  Options(Cardinality::kOnto,
+                          MetricKind::kMutualInfoEuclidean))
+          .ok());
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,204 @@
+#include "depmatch/match/hungarian_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/exhaustive_matcher.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph GraphWithEntropies(std::vector<double> entropies) {
+  size_t n = entropies.size();
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    matrix[i][i] = entropies[i];
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+MatchOptions Options(Cardinality cardinality, MetricKind metric,
+                     double alpha = 3.0, size_t candidates = 0) {
+  MatchOptions o;
+  o.cardinality = cardinality;
+  o.metric = metric;
+  o.alpha = alpha;
+  o.algorithm = MatchAlgorithm::kHungarian;
+  o.candidates_per_attribute = candidates;
+  return o;
+}
+
+TEST(SolveAssignmentTest, SimpleOptimal) {
+  // Classic 3x3: optimal picks the zero diagonal permutation.
+  auto assignment = SolveAssignment({{1.0, 2.0, 0.0},
+                                     {0.0, 3.0, 4.0},
+                                     {5.0, 0.0, 6.0}});
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(*assignment, (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(SolveAssignmentTest, RectangularSkipsWorstColumn) {
+  auto assignment = SolveAssignment({{10.0, 1.0, 10.0},
+                                     {10.0, 10.0, 1.0}});
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(*assignment, (std::vector<size_t>{1, 2}));
+}
+
+TEST(SolveAssignmentTest, EmptyInput) {
+  auto assignment = SolveAssignment({});
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_TRUE(assignment->empty());
+}
+
+TEST(SolveAssignmentTest, RejectsMoreRowsThanColumns) {
+  EXPECT_FALSE(SolveAssignment({{1.0}, {2.0}}).ok());
+}
+
+TEST(SolveAssignmentTest, RejectsRaggedMatrix) {
+  EXPECT_FALSE(SolveAssignment({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(SolveAssignmentTest, InfeasibleForbiddenCells) {
+  // Both rows can only use column 0.
+  auto assignment = SolveAssignment(
+      {{0.0, kUnusableCost}, {0.0, kUnusableCost}});
+  EXPECT_EQ(assignment.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SolveAssignmentTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    size_t n = 2 + rng.NextBounded(4);  // 2..5
+    size_t m = n + rng.NextBounded(3);  // n..n+2
+    std::vector<std::vector<double>> cost(n, std::vector<double>(m));
+    for (auto& row : cost) {
+      for (double& cell : row) cell = rng.NextDouble() * 10.0;
+    }
+    auto solved = SolveAssignment(cost);
+    ASSERT_TRUE(solved.ok());
+    double solved_cost = 0.0;
+    for (size_t i = 0; i < n; ++i) solved_cost += cost[i][(*solved)[i]];
+
+    // Brute force over all injective assignments.
+    std::vector<size_t> columns(m);
+    for (size_t j = 0; j < m; ++j) columns[j] = j;
+    double best = 1e99;
+    std::sort(columns.begin(), columns.end());
+    do {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) total += cost[i][columns[i]];
+      best = std::min(best, total);
+    } while (std::next_permutation(columns.begin(), columns.end()));
+    EXPECT_NEAR(solved_cost, best, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(HungarianMatchTest, RejectsStructuralMetrics) {
+  DependencyGraph g = GraphWithEntropies({1.0, 2.0});
+  auto result = HungarianMatch(
+      g, g, Options(Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianMatchTest, MatchesSortedEntropies) {
+  DependencyGraph a = GraphWithEntropies({1.0, 5.0, 3.0});
+  DependencyGraph b = GraphWithEntropies({4.9, 1.2, 3.1});
+  auto result = HungarianMatch(
+      a, b, Options(Cardinality::kOneToOne, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);
+  EXPECT_EQ(result->TargetOf(1), 0u);
+  EXPECT_EQ(result->TargetOf(2), 2u);
+}
+
+TEST(HungarianMatchTest, AgreesWithExhaustiveOnBothEntropyMetrics) {
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    Rng rng(seed);
+    std::vector<double> ha, hb;
+    for (int i = 0; i < 7; ++i) {
+      ha.push_back(0.5 + rng.NextDouble() * 9.0);
+      hb.push_back(0.5 + rng.NextDouble() * 9.0);
+    }
+    DependencyGraph a = GraphWithEntropies(ha);
+    DependencyGraph b = GraphWithEntropies(hb);
+    for (MetricKind kind :
+         {MetricKind::kEntropyEuclidean, MetricKind::kEntropyNormal}) {
+      MatchOptions hungarian = Options(Cardinality::kOneToOne, kind, 3.0);
+      MatchOptions exhaustive = hungarian;
+      exhaustive.algorithm = MatchAlgorithm::kExhaustive;
+      auto h = HungarianMatch(a, b, hungarian);
+      auto e = ExhaustiveMatch(a, b, exhaustive);
+      ASSERT_TRUE(h.ok());
+      ASSERT_TRUE(e.ok());
+      EXPECT_NEAR(h->metric_value, e->metric_value, 1e-9)
+          << "seed " << seed << " metric " << MetricKindToString(kind);
+    }
+  }
+}
+
+TEST(HungarianMatchTest, OntoUsesBestSubset) {
+  DependencyGraph a = GraphWithEntropies({2.0});
+  DependencyGraph b = GraphWithEntropies({9.0, 2.1, 0.5});
+  auto result = HungarianMatch(
+      a, b, Options(Cardinality::kOnto, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);
+}
+
+TEST(HungarianMatchTest, PartialNormalDropsBadPairs) {
+  // Source entropies {2, 9}; target {2.1, 0.2}. With alpha 7, pairing 9
+  // with anything available is negative — it must stay unmatched.
+  DependencyGraph a = GraphWithEntropies({2.0, 9.0});
+  DependencyGraph b = GraphWithEntropies({2.1, 0.2});
+  auto result = HungarianMatch(
+      a, b, Options(Cardinality::kPartial, MetricKind::kEntropyNormal, 7.0));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 1u);
+  EXPECT_EQ(result->pairs[0], (MatchPair{0, 0}));
+}
+
+TEST(HungarianMatchTest, PartialEuclideanDegeneratesToEmpty) {
+  DependencyGraph a = GraphWithEntropies({1.0, 2.0});
+  DependencyGraph b = GraphWithEntropies({3.0, 4.0});
+  auto result = HungarianMatch(
+      a, b, Options(Cardinality::kPartial, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(HungarianMatchTest, CandidateFilterInfeasibilityIsNotFound) {
+  DependencyGraph a = GraphWithEntropies({5.0, 5.0});
+  DependencyGraph b = GraphWithEntropies({5.0, 100.0});
+  auto result =
+      HungarianMatch(a, b,
+                     Options(Cardinality::kOneToOne,
+                             MetricKind::kEntropyEuclidean, 3.0, 1));
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HungarianMatchTest, SizeValidationAndEmpty) {
+  DependencyGraph a = GraphWithEntropies({1.0, 2.0});
+  DependencyGraph b = GraphWithEntropies({1.0});
+  EXPECT_FALSE(HungarianMatch(a, b,
+                              Options(Cardinality::kOneToOne,
+                                      MetricKind::kEntropyEuclidean))
+                   .ok());
+  EXPECT_FALSE(HungarianMatch(a, b,
+                              Options(Cardinality::kOnto,
+                                      MetricKind::kEntropyEuclidean))
+                   .ok());
+  DependencyGraph empty = GraphWithEntropies({});
+  auto result = HungarianMatch(
+      empty, b, Options(Cardinality::kOnto, MetricKind::kEntropyEuclidean));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,171 @@
+#include "depmatch/match/interpreted_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+Table ParseCsv(const char* text) {
+  auto table = ReadCsvString(text, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+TEST(NameSimilarityTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("dept", "dept"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("Dept", "dept"), 1.0);  // case folded
+  EXPECT_DOUBLE_EQ(NameSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("abc", ""), 0.0);
+  EXPECT_GT(NameSimilarity("DeptName", "DeptID"),
+            NameSimilarity("DeptName", "Salary"));
+}
+
+TEST(NameSimilarityTest, SymmetricAndBounded) {
+  const char* names[] = {"employee_id", "EmployeeID", "cust_id", "zzz"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      double s1 = NameSimilarity(a, b);
+      double s2 = NameSimilarity(b, a);
+      EXPECT_DOUBLE_EQ(s1, s2);
+      EXPECT_GE(s1, 0.0);
+      EXPECT_LE(s1, 1.0);
+    }
+  }
+}
+
+TEST(ValueOverlapSimilarityTest, JaccardSemantics) {
+  Column a(DataType::kString);
+  Column b(DataType::kString);
+  for (const char* v : {"x", "y", "z"}) a.Append(Value(v));
+  for (const char* v : {"y", "z", "w"}) b.Append(Value(v));
+  // Intersection {y, z} = 2, union {x, y, z, w} = 4.
+  EXPECT_DOUBLE_EQ(ValueOverlapSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ValueOverlapSimilarity(a, a), 1.0);
+}
+
+TEST(ValueOverlapSimilarityTest, EmptyColumns) {
+  Column a(DataType::kString);
+  Column b(DataType::kString);
+  b.Append(Value("x"));
+  EXPECT_DOUBLE_EQ(ValueOverlapSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(ValueOverlapSimilarity(a, a), 0.0);
+}
+
+TEST(NameBasedMatchTest, MatchesSimilarNames) {
+  Table source = ParseCsv("EmployeeID,DeptName,Salary\n1,sales,100\n");
+  Table target = ParseCsv("salary_usd,employee_id,dept_name\n100,1,sales\n");
+  InterpretedMatchOptions options;
+  auto result = NameBasedMatch(source, target, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);  // EmployeeID -> employee_id
+  EXPECT_EQ(result->TargetOf(1), 2u);  // DeptName -> dept_name
+  EXPECT_EQ(result->TargetOf(2), 0u);  // Salary -> salary_usd
+}
+
+TEST(NameBasedMatchTest, OpaqueNamesGiveNoSignal) {
+  Table source = ParseCsv("model,tire,color\na,b,c\n");
+  Table target = ParseCsv("attr0,attr1,attr2\nx,y,z\n");
+  InterpretedMatchOptions options;
+  options.cardinality = Cardinality::kPartial;
+  options.min_similarity = 0.5;
+  auto result = NameBasedMatch(source, target, options);
+  ASSERT_TRUE(result.ok());
+  // No name pair is similar enough: nothing proposed.
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(ValueOverlapMatchTest, MatchesSharedDomains) {
+  Table source = ParseCsv(
+      "dept,code\n"
+      "sales,a1\n"
+      "eng,b2\n"
+      "hr,c3\n");
+  Table target = ParseCsv(
+      "kode,abteilung\n"
+      "a1,sales\n"
+      "b2,eng\n"
+      "x9,hr\n");
+  InterpretedMatchOptions options;
+  auto result = ValueOverlapMatch(source, target, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);  // dept values match "abteilung"
+  EXPECT_EQ(result->TargetOf(1), 0u);  // code values match "kode"
+}
+
+TEST(ValueOverlapMatchTest, OpaqueEncodingDestroysSignal) {
+  Table source = ParseCsv("a,b\n1,x\n2,y\n3,z\n");
+  Rng rng(3);
+  Table target = OpaqueEncode(source, {}, rng);
+  InterpretedMatchOptions options;
+  options.cardinality = Cardinality::kPartial;
+  options.min_similarity = 0.1;
+  auto result = ValueOverlapMatch(source, target, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(InterpretedMatchTest, CardinalityValidation) {
+  Table source = ParseCsv("a,b\n1,2\n");
+  Table target = ParseCsv("x\n1\n");
+  InterpretedMatchOptions options;
+  EXPECT_FALSE(NameBasedMatch(source, target, options).ok());
+  options.cardinality = Cardinality::kOnto;
+  EXPECT_FALSE(ValueOverlapMatch(source, target, options).ok());
+}
+
+// Two tables with informative names AND structure; hybrid should work at
+// every weight, and the weight should control which signal dominates on a
+// conflict.
+TEST(HybridMatchTest, WeightValidation) {
+  Table t = ParseCsv("a,b\n1,2\n3,4\n");
+  HybridMatchOptions options;
+  options.name_weight = 1.5;
+  EXPECT_FALSE(HybridMatch(t, t, options).ok());
+}
+
+TEST(HybridMatchTest, IdentityOnSelfMatch) {
+  Table t = ParseCsv(
+      "product,category,priority\n"
+      "p1,c1,hi\n"
+      "p2,c1,lo\n"
+      "p3,c2,hi\n"
+      "p4,c2,lo\n");
+  HybridMatchOptions options;
+  auto result = HybridMatch(t, t, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 3u);
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.source, pair.target);
+  }
+}
+
+TEST(HybridMatchTest, NamesBreakStructuralTies) {
+  // Two columns with identical distributions (structurally
+  // indistinguishable) but recognizable names: pure structure cannot
+  // separate them; adding name weight resolves the tie correctly.
+  Table source = ParseCsv(
+      "left_code,right_code\n"
+      "a,q\n"
+      "b,r\n"
+      "c,s\n"
+      "d,t\n");
+  Table target = ParseCsv(
+      "right_code,left_code\n"
+      "q2,a2\n"
+      "r2,b2\n"
+      "s2,c2\n"
+      "t2,d2\n");
+  HybridMatchOptions with_names;
+  with_names.name_weight = 0.5;
+  auto result = HybridMatch(source, target, with_names);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TargetOf(0), 1u);  // left_code -> left_code
+  EXPECT_EQ(result->TargetOf(1), 0u);  // right_code -> right_code
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,156 @@
+#include "depmatch/match/mapping_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+MatchResult Mapping(std::vector<MatchPair> pairs) {
+  MatchResult result;
+  result.pairs = std::move(pairs);
+  std::sort(result.pairs.begin(), result.pairs.end());
+  return result;
+}
+
+TEST(InvertMappingTest, SwapsRoles) {
+  MatchResult inverted = InvertMapping(Mapping({{0, 2}, {1, 0}}));
+  EXPECT_EQ(inverted.pairs, (std::vector<MatchPair>{{0, 1}, {2, 0}}));
+}
+
+TEST(InvertMappingTest, DoubleInvertIsIdentity) {
+  MatchResult original = Mapping({{0, 3}, {2, 1}, {5, 5}});
+  EXPECT_EQ(InvertMapping(InvertMapping(original)).pairs, original.pairs);
+}
+
+TEST(ComposeMappingsTest, ChainsPairs) {
+  MatchResult ab = Mapping({{0, 1}, {1, 2}});
+  MatchResult bc = Mapping({{1, 9}, {2, 7}});
+  MatchResult ac = ComposeMappings(ab, bc);
+  EXPECT_EQ(ac.pairs, (std::vector<MatchPair>{{0, 9}, {1, 7}}));
+}
+
+TEST(ComposeMappingsTest, DropsBrokenChains) {
+  MatchResult ab = Mapping({{0, 1}, {1, 2}});
+  MatchResult bc = Mapping({{2, 7}});  // no mapping for b-node 1
+  MatchResult ac = ComposeMappings(ab, bc);
+  EXPECT_EQ(ac.pairs, (std::vector<MatchPair>{{1, 7}}));
+}
+
+TEST(ComposeMappingsTest, ComposeWithInverseIsSubIdentity) {
+  MatchResult ab = Mapping({{0, 4}, {2, 1}, {3, 3}});
+  MatchResult identity = ComposeMappings(ab, InvertMapping(ab));
+  EXPECT_EQ(identity.pairs,
+            (std::vector<MatchPair>{{0, 0}, {2, 2}, {3, 3}}));
+}
+
+TEST(IntersectMappingsTest, KeepsCommonPairs) {
+  MatchResult a = Mapping({{0, 0}, {1, 1}, {2, 2}});
+  MatchResult b = Mapping({{0, 0}, {1, 2}, {2, 1}});
+  MatchResult common = IntersectMappings({a, b});
+  EXPECT_EQ(common.pairs, (std::vector<MatchPair>{{0, 0}}));
+}
+
+TEST(IntersectMappingsTest, EmptyInput) {
+  EXPECT_TRUE(IntersectMappings({}).pairs.empty());
+}
+
+TEST(VoteMappingsTest, ThresholdCounts) {
+  MatchResult a = Mapping({{0, 0}, {1, 1}});
+  MatchResult b = Mapping({{0, 0}, {1, 2}});
+  MatchResult c = Mapping({{0, 0}, {1, 1}});
+  MatchResult two = VoteMappings({a, b, c}, 2);
+  EXPECT_EQ(two.pairs, (std::vector<MatchPair>{{0, 0}, {1, 1}}));
+  MatchResult three = VoteMappings({a, b, c}, 3);
+  EXPECT_EQ(three.pairs, (std::vector<MatchPair>{{0, 0}}));
+}
+
+TEST(VoteMappingsTest, OutputStaysInjective) {
+  // Source 0 gets two partners above threshold; the more-voted wins and
+  // the result maps each endpoint at most once.
+  MatchResult a = Mapping({{0, 0}});
+  MatchResult b = Mapping({{0, 0}});
+  MatchResult c = Mapping({{0, 1}});
+  MatchResult d = Mapping({{1, 0}});
+  MatchResult voted = VoteMappings({a, b, c, d}, 1);
+  std::set<size_t> sources;
+  std::set<size_t> targets;
+  for (const MatchPair& pair : voted.pairs) {
+    EXPECT_TRUE(sources.insert(pair.source).second);
+    EXPECT_TRUE(targets.insert(pair.target).second);
+  }
+  // (0,0) has 2 votes and beats both (0,1) and (1,0).
+  EXPECT_EQ(voted.pairs, (std::vector<MatchPair>{{0, 0}}));
+}
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(ConsensusMatchTest, UnanimousOnIdenticalGraphs) {
+  DependencyGraph g = RandomGraph(6, 1);
+  std::vector<MatchOptions> configs(3);
+  configs[0].metric = MetricKind::kMutualInfoEuclidean;
+  configs[1].metric = MetricKind::kMutualInfoNormal;
+  configs[2].metric = MetricKind::kEntropyEuclidean;
+  auto result = ConsensusMatch(g, g, configs, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 6u);
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_EQ(pair.source, pair.target);
+  }
+}
+
+TEST(ConsensusMatchTest, HigherThresholdNeverAddsPairs) {
+  DependencyGraph a = RandomGraph(6, 2);
+  DependencyGraph b = RandomGraph(6, 3);
+  std::vector<MatchOptions> configs(3);
+  configs[0].metric = MetricKind::kMutualInfoEuclidean;
+  configs[1].metric = MetricKind::kMutualInfoNormal;
+  configs[2].metric = MetricKind::kEntropyEuclidean;
+  auto loose = ConsensusMatch(a, b, configs, 1);
+  auto strict = ConsensusMatch(a, b, configs, 3);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_LE(strict->pairs.size(), loose->pairs.size());
+  for (const MatchPair& pair : strict->pairs) {
+    EXPECT_NE(std::find(loose->pairs.begin(), loose->pairs.end(), pair),
+              loose->pairs.end());
+  }
+}
+
+TEST(ConsensusMatchTest, EmptyConfigListIsError) {
+  DependencyGraph g = RandomGraph(3, 4);
+  EXPECT_FALSE(ConsensusMatch(g, g, {}, 1).ok());
+}
+
+TEST(ConsensusMatchTest, PropagatesErrorWhenAllConfigsFail) {
+  DependencyGraph a = RandomGraph(3, 5);
+  DependencyGraph b = RandomGraph(4, 6);
+  std::vector<MatchOptions> configs(1);  // one-to-one on unequal sizes
+  auto result = ConsensusMatch(a, b, configs, 1);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace depmatch

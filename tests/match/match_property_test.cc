@@ -1,0 +1,218 @@
+// Property tests over all matching algorithms: structural invariants any
+// correct matcher must satisfy, checked on batches of random dependency
+// graphs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/match/mapping_ops.h"
+#include "depmatch/match/matcher.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+DependencyGraph Permute(const DependencyGraph& g,
+                        const std::vector<size_t>& perm) {
+  std::vector<size_t> inverse(g.size());
+  for (size_t i = 0; i < g.size(); ++i) inverse[perm[i]] = i;
+  auto sub = g.SubGraph(inverse);
+  EXPECT_TRUE(sub.ok());
+  return sub.value();
+}
+
+DependencyGraph Scale(const DependencyGraph& g, double factor) {
+  std::vector<std::vector<double>> m(g.size(),
+                                     std::vector<double>(g.size()));
+  for (size_t i = 0; i < g.size(); ++i) {
+    for (size_t j = 0; j < g.size(); ++j) m[i][j] = g.mi(i, j) * factor;
+  }
+  auto scaled = DependencyGraph::Create(g.names(), std::move(m));
+  EXPECT_TRUE(scaled.ok());
+  return scaled.value();
+}
+
+bool SupportsMetric(MatchAlgorithm algorithm, MetricKind metric) {
+  if (algorithm != MatchAlgorithm::kHungarian) return true;
+  return metric == MetricKind::kEntropyEuclidean ||
+         metric == MetricKind::kEntropyNormal;
+}
+
+using PropertyParam = std::tuple<MatchAlgorithm, MetricKind, Cardinality,
+                                 uint64_t>;
+
+class MatchPropertyTest : public testing::TestWithParam<PropertyParam> {};
+
+TEST_P(MatchPropertyTest, ResultIsValidMapping) {
+  auto [algorithm, metric, cardinality, seed] = GetParam();
+  if (!SupportsMetric(algorithm, metric)) {
+    GTEST_SKIP() << "algorithm does not support this metric";
+  }
+  size_t n = 6;
+  size_t m = cardinality == Cardinality::kOnto ? 9 : 6;
+  DependencyGraph a = RandomGraph(n, seed);
+  DependencyGraph b = RandomGraph(m, seed + 1000);
+
+  MatchOptions options;
+  options.algorithm = algorithm;
+  options.metric = metric;
+  options.cardinality = cardinality;
+  options.alpha = 4.0;
+  options.candidates_per_attribute = 3;
+
+  auto result = MatchGraphs(a, b, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Injectivity and range validity.
+  std::set<size_t> sources;
+  std::set<size_t> targets;
+  for (const MatchPair& pair : result->pairs) {
+    EXPECT_LT(pair.source, n);
+    EXPECT_LT(pair.target, m);
+    EXPECT_TRUE(sources.insert(pair.source).second);
+    EXPECT_TRUE(targets.insert(pair.target).second);
+  }
+  // Completeness for exact cardinalities.
+  if (cardinality != Cardinality::kPartial) {
+    EXPECT_EQ(result->pairs.size(), n);
+  }
+  // Pairs sorted by source.
+  for (size_t i = 1; i < result->pairs.size(); ++i) {
+    EXPECT_LT(result->pairs[i - 1].source, result->pairs[i].source);
+  }
+  // Reported metric value consistent with independent evaluation.
+  Metric evaluator(metric, options.alpha);
+  EXPECT_NEAR(result->metric_value,
+              evaluator.Evaluate(a, b, result->pairs), 1e-9);
+}
+
+std::string ParamName(const testing::TestParamInfo<PropertyParam>& info) {
+  auto [algorithm, metric, cardinality, seed] = info.param;
+  return std::string(MatchAlgorithmToString(algorithm)) + "_" +
+         std::string(MetricKindToString(metric)) + "_" +
+         std::string(CardinalityToString(cardinality)) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MatchPropertyTest,
+    testing::Combine(
+        testing::Values(MatchAlgorithm::kExhaustive, MatchAlgorithm::kGreedy,
+                        MatchAlgorithm::kGraduatedAssignment,
+                        MatchAlgorithm::kHungarian,
+                        MatchAlgorithm::kSimulatedAnnealing),
+        testing::Values(MetricKind::kMutualInfoEuclidean,
+                        MetricKind::kMutualInfoNormal,
+                        MetricKind::kEntropyEuclidean,
+                        MetricKind::kEntropyNormal),
+        testing::Values(Cardinality::kOneToOne, Cardinality::kOnto,
+                        Cardinality::kPartial),
+        testing::Values(uint64_t{1}, uint64_t{2})),
+    ParamName);
+
+// Equivariance and symmetry properties for the deterministic exact
+// matchers (optimum is unique on generic random graphs).
+
+class ExactMatcherPropertyTest
+    : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactMatcherPropertyTest, PermutationEquivariance) {
+  uint64_t seed = GetParam();
+  DependencyGraph a = RandomGraph(6, seed);
+  DependencyGraph b = RandomGraph(6, seed + 77);
+  Rng rng(seed + 5);
+  std::vector<size_t> perm = {0, 1, 2, 3, 4, 5};
+  rng.Shuffle(perm);
+  DependencyGraph b_permuted = Permute(b, perm);
+
+  MatchOptions options;
+  options.candidates_per_attribute = 0;
+  for (MetricKind metric :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+    options.metric = metric;
+    auto plain = MatchGraphs(a, b, options);
+    auto permuted = MatchGraphs(a, b_permuted, options);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(permuted.ok());
+    for (const MatchPair& pair : plain->pairs) {
+      EXPECT_EQ(permuted->TargetOf(pair.source), perm[pair.target])
+          << "metric " << MetricKindToString(metric);
+    }
+  }
+}
+
+TEST_P(ExactMatcherPropertyTest, ScaleInvariance) {
+  // Scaling every MI value of both graphs by the same positive factor
+  // must not change the optimal mapping (Euclidean: distances scale by
+  // c^2; Normal: terms are ratios, fully invariant).
+  uint64_t seed = GetParam();
+  DependencyGraph a = RandomGraph(6, seed + 10);
+  DependencyGraph b = RandomGraph(6, seed + 20);
+  DependencyGraph a2 = Scale(a, 3.7);
+  DependencyGraph b2 = Scale(b, 3.7);
+
+  MatchOptions options;
+  options.candidates_per_attribute = 0;
+  for (MetricKind metric :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal,
+        MetricKind::kEntropyEuclidean, MetricKind::kEntropyNormal}) {
+    options.metric = metric;
+    auto plain = MatchGraphs(a, b, options);
+    auto scaled = MatchGraphs(a2, b2, options);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(scaled.ok());
+    EXPECT_EQ(plain->pairs, scaled->pairs)
+        << "metric " << MetricKindToString(metric);
+    if (metric == MetricKind::kMutualInfoNormal ||
+        metric == MetricKind::kEntropyNormal) {
+      EXPECT_NEAR(plain->metric_value, scaled->metric_value, 1e-9);
+    }
+  }
+}
+
+TEST_P(ExactMatcherPropertyTest, RoleSymmetry) {
+  // One-to-one matching is symmetric in its arguments: match(B, A) is
+  // the inverse of match(A, B) when the optimum is unique.
+  uint64_t seed = GetParam();
+  DependencyGraph a = RandomGraph(6, seed + 30);
+  DependencyGraph b = RandomGraph(6, seed + 40);
+  MatchOptions options;
+  options.candidates_per_attribute = 0;
+  auto forward = MatchGraphs(a, b, options);
+  auto backward = MatchGraphs(b, a, options);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_EQ(InvertMapping(backward.value()).pairs, forward->pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMatcherPropertyTest,
+                         testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3}, uint64_t{4},
+                                         uint64_t{5}));
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,115 @@
+#include "depmatch/match/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+DependencyGraph Graph(std::vector<std::vector<double>> matrix) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(MatchGraphsTest, DispatchesToConfiguredAlgorithm) {
+  DependencyGraph g = Graph({{1.0, 0.3}, {0.3, 2.0}});
+  for (MatchAlgorithm algorithm :
+       {MatchAlgorithm::kExhaustive, MatchAlgorithm::kGreedy,
+        MatchAlgorithm::kGraduatedAssignment}) {
+    MatchOptions options;
+    options.algorithm = algorithm;
+    options.candidates_per_attribute = 0;
+    auto result = MatchGraphs(g, g, options);
+    ASSERT_TRUE(result.ok()) << MatchAlgorithmToString(algorithm);
+    EXPECT_EQ(result->pairs.size(), 2u);
+  }
+}
+
+TEST(MatchGraphsTest, WidensInfeasibleCandidateFilter) {
+  // With p = 1, both sources compete for target 0 (see exhaustive matcher
+  // test); MatchGraphs must widen the filter and succeed.
+  DependencyGraph a = Graph({{5.0, 0.0}, {0.0, 5.0}});
+  DependencyGraph b = Graph({{5.0, 0.0}, {0.0, 100.0}});
+  MatchOptions options;
+  options.candidates_per_attribute = 1;
+  auto result = MatchGraphs(a, b, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 2u);
+}
+
+TEST(MatchGraphsTest, PartialDoesNotRetry) {
+  DependencyGraph a = Graph({{5.0, 0.0}, {0.0, 5.0}});
+  DependencyGraph b = Graph({{5.0, 0.0}, {0.0, 100.0}});
+  MatchOptions options;
+  options.cardinality = Cardinality::kPartial;
+  options.metric = MetricKind::kMutualInfoNormal;
+  options.candidates_per_attribute = 1;
+  auto result = MatchGraphs(a, b, options);
+  ASSERT_TRUE(result.ok());  // partial always feasible (possibly empty)
+}
+
+TEST(ScoreMappingTest, MatchesMetricEvaluate) {
+  DependencyGraph a = Graph({{1.0, 0.5}, {0.5, 2.0}});
+  DependencyGraph b = Graph({{1.0, 0.5}, {0.5, 2.0}});
+  auto score = ScoreMapping(a, b, {{0, 0}, {1, 1}},
+                            MetricKind::kMutualInfoEuclidean);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), 0.0);
+  auto swapped = ScoreMapping(a, b, {{0, 1}, {1, 0}},
+                              MetricKind::kMutualInfoEuclidean);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_GT(swapped.value(), 0.0);
+}
+
+TEST(ScoreMappingTest, ValidatesIndices) {
+  DependencyGraph a = Graph({{1.0}});
+  DependencyGraph b = Graph({{1.0}});
+  EXPECT_EQ(ScoreMapping(a, b, {{1, 0}}, MetricKind::kMutualInfoEuclidean)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ScoreMapping(a, b, {{0, 1}}, MetricKind::kMutualInfoEuclidean)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ScoreMappingTest, RejectsDuplicateEndpoints) {
+  DependencyGraph g = Graph({{1.0, 0.0}, {0.0, 2.0}});
+  EXPECT_EQ(ScoreMapping(g, g, {{0, 0}, {0, 1}},
+                         MetricKind::kMutualInfoEuclidean)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScoreMapping(g, g, {{0, 0}, {1, 0}},
+                         MetricKind::kMutualInfoEuclidean)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnumToStringTest, AllNamesStable) {
+  EXPECT_EQ(CardinalityToString(Cardinality::kOneToOne), "one_to_one");
+  EXPECT_EQ(CardinalityToString(Cardinality::kOnto), "onto");
+  EXPECT_EQ(CardinalityToString(Cardinality::kPartial), "partial");
+  EXPECT_EQ(MetricKindToString(MetricKind::kMutualInfoEuclidean),
+            "mi_euclidean");
+  EXPECT_EQ(MetricKindToString(MetricKind::kEntropyNormal),
+            "entropy_normal");
+  EXPECT_EQ(MatchAlgorithmToString(MatchAlgorithm::kGreedy), "greedy");
+}
+
+TEST(MatchResultTest, TargetOfLookup) {
+  MatchResult result;
+  result.pairs = {{0, 3}, {2, 1}};
+  EXPECT_EQ(result.TargetOf(0), 3u);
+  EXPECT_EQ(result.TargetOf(2), 1u);
+  EXPECT_EQ(result.TargetOf(1), MatchResult::kUnmatched);
+}
+
+}  // namespace
+}  // namespace depmatch

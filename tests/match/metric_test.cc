@@ -1,0 +1,140 @@
+#include "depmatch/match/metric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace depmatch {
+namespace {
+
+DependencyGraph Graph(std::vector<std::string> names,
+                      std::vector<std::vector<double>> matrix) {
+  auto g = DependencyGraph::Create(std::move(names), std::move(matrix));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(MetricTest, KindProperties) {
+  EXPECT_FALSE(Metric(MetricKind::kMutualInfoEuclidean).maximize());
+  EXPECT_TRUE(Metric(MetricKind::kMutualInfoNormal).maximize());
+  EXPECT_FALSE(Metric(MetricKind::kEntropyEuclidean).maximize());
+  EXPECT_TRUE(Metric(MetricKind::kEntropyNormal).maximize());
+
+  EXPECT_TRUE(Metric(MetricKind::kMutualInfoEuclidean).structural());
+  EXPECT_TRUE(Metric(MetricKind::kMutualInfoNormal).structural());
+  EXPECT_FALSE(Metric(MetricKind::kEntropyEuclidean).structural());
+  EXPECT_FALSE(Metric(MetricKind::kEntropyNormal).structural());
+}
+
+TEST(MetricTest, EuclideanTermIsSquaredDifference) {
+  Metric m(MetricKind::kMutualInfoEuclidean);
+  EXPECT_DOUBLE_EQ(m.Term(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.Term(1.0, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.Term(2.0, 2.0), 0.0);
+}
+
+TEST(MetricTest, NormalTermMatchesDefinition) {
+  // Definition 2.7: 1 - alpha * |a-b| / (a+b).
+  Metric m(MetricKind::kMutualInfoNormal, 3.0);
+  EXPECT_DOUBLE_EQ(m.Term(8.0, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Term(1.0, 2.0), 1.0 - 3.0 * (1.0 / 3.0));
+  // Paper's intuition: (8, 9) is a better match than (1, 2).
+  EXPECT_GT(m.Term(8.0, 9.0), m.Term(1.0, 2.0));
+}
+
+TEST(MetricTest, NormalTermZeroSumIsPerfectMatch) {
+  Metric m(MetricKind::kMutualInfoNormal, 3.0);
+  EXPECT_DOUBLE_EQ(m.Term(0.0, 0.0), 1.0);
+}
+
+TEST(MetricTest, NormalRandomPairExpectation) {
+  // The paper: under uniform assumptions the expected normal distance is
+  // 1/3, so alpha = 3 makes random mappings contribute ~0 on average.
+  // Verify the crossover: nd = 1/3 gives exactly 0 at alpha = 3.
+  Metric m(MetricKind::kMutualInfoNormal, 3.0);
+  EXPECT_NEAR(m.Term(1.0, 2.0), 0.0, 1e-12);  // nd = 1/3
+  EXPECT_GT(m.Term(3.0, 4.0), 0.0);           // nd = 1/7 < 1/3
+  EXPECT_LT(m.Term(1.0, 9.0), 0.0);           // nd = 0.8 > 1/3
+}
+
+TEST(MetricTest, MonotonicityClassification) {
+  // Definition 2.5 discussion: Euclidean metrics are monotonic; normal
+  // metrics become monotonic only at alpha <= 1 (Figure 8(c) analysis).
+  EXPECT_TRUE(Metric(MetricKind::kMutualInfoEuclidean).IsMonotonic());
+  EXPECT_TRUE(Metric(MetricKind::kEntropyEuclidean).IsMonotonic());
+  EXPECT_TRUE(Metric(MetricKind::kMutualInfoNormal, 1.0).IsMonotonic());
+  EXPECT_FALSE(Metric(MetricKind::kMutualInfoNormal, 3.0).IsMonotonic());
+  EXPECT_FALSE(Metric(MetricKind::kEntropyNormal, 4.0).IsMonotonic());
+}
+
+TEST(MetricTest, FinalizeSqrtOnlyForEuclidean) {
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kMutualInfoEuclidean).Finalize(9.0),
+                   3.0);
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kEntropyEuclidean).Finalize(16.0),
+                   4.0);
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kMutualInfoNormal).Finalize(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kMutualInfoEuclidean).Finalize(-1e-15),
+                   0.0);
+}
+
+TEST(MetricTest, EvaluateStructuralSumsAllOrderedPairs) {
+  // A: H = {1, 2}, MI(0,1) = 0.5; B identical. Identity mapping has zero
+  // Euclidean distance; the swap does not.
+  DependencyGraph a = Graph({"x", "y"}, {{1.0, 0.5}, {0.5, 2.0}});
+  DependencyGraph b = Graph({"u", "v"}, {{1.0, 0.5}, {0.5, 2.0}});
+  Metric m(MetricKind::kMutualInfoEuclidean);
+  EXPECT_DOUBLE_EQ(m.Evaluate(a, b, {{0, 0}, {1, 1}}), 0.0);
+  // Swap: diagonal mismatch (1-2)^2 twice; off-diagonals still equal.
+  EXPECT_DOUBLE_EQ(m.Evaluate(a, b, {{0, 1}, {1, 0}}), std::sqrt(2.0));
+}
+
+TEST(MetricTest, EvaluateEntropyOnlyIgnoresOffDiagonal) {
+  // Same entropies but wildly different MI: entropy-only metric cannot
+  // tell identity from swap when entropies are equal.
+  DependencyGraph a = Graph({"x", "y"}, {{1.0, 0.9}, {0.9, 1.0}});
+  DependencyGraph b = Graph({"u", "v"}, {{1.0, 0.0}, {0.0, 1.0}});
+  Metric m(MetricKind::kEntropyEuclidean);
+  EXPECT_DOUBLE_EQ(m.Evaluate(a, b, {{0, 0}, {1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(m.Evaluate(a, b, {{0, 1}, {1, 0}}), 0.0);
+  // The structural metric does distinguish.
+  Metric mi(MetricKind::kMutualInfoEuclidean);
+  EXPECT_GT(mi.Evaluate(a, b, {{0, 0}, {1, 1}}), 0.0);
+}
+
+TEST(MetricTest, IncrementalGainMatchesEvaluateDelta) {
+  DependencyGraph a =
+      Graph({"x", "y", "z"},
+            {{1.0, 0.5, 0.2}, {0.5, 2.0, 0.7}, {0.2, 0.7, 3.0}});
+  DependencyGraph b =
+      Graph({"u", "v", "w"},
+            {{1.1, 0.4, 0.3}, {0.4, 1.9, 0.8}, {0.3, 0.8, 2.5}});
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal,
+        MetricKind::kEntropyEuclidean, MetricKind::kEntropyNormal}) {
+    Metric m(kind, 3.0);
+    std::vector<MatchPair> assigned;
+    double sum = 0.0;
+    // Build the mapping 0->1, 1->0, 2->2 incrementally and compare the
+    // running sum against full evaluation at every step.
+    std::vector<MatchPair> steps = {{0, 1}, {1, 0}, {2, 2}};
+    for (const MatchPair& step : steps) {
+      sum += m.IncrementalGain(a, b, assigned, step.source, step.target);
+      assigned.push_back(step);
+      EXPECT_NEAR(m.Finalize(sum), m.Evaluate(a, b, assigned), 1e-9)
+          << "metric " << MetricKindToString(kind) << " after "
+          << assigned.size() << " pairs";
+    }
+  }
+}
+
+TEST(MetricTest, MaxTermBoundsNormalTerms) {
+  Metric m(MetricKind::kMutualInfoNormal, 7.0);
+  for (double a : {0.0, 0.1, 1.0, 5.0}) {
+    for (double b : {0.0, 0.3, 2.0, 9.0}) {
+      EXPECT_LE(m.Term(a, b), m.MaxTerm() + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,97 @@
+#include "depmatch/nested/document.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace nested {
+namespace {
+
+TEST(NestedValueTest, DefaultIsNull) {
+  NestedValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_TRUE(v.is_scalar());
+  EXPECT_EQ(v.kind(), NodeKind::kNull);
+}
+
+TEST(NestedValueTest, ScalarConstruction) {
+  EXPECT_EQ(NestedValue::Bool(true).bool_value(), true);
+  EXPECT_EQ(NestedValue::Int(-3).int_value(), -3);
+  EXPECT_DOUBLE_EQ(NestedValue::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(NestedValue::String("hi").string_value(), "hi");
+}
+
+TEST(NestedValueTest, ArrayOperations) {
+  NestedValue array = NestedValue::Array();
+  EXPECT_EQ(array.array_size(), 0u);
+  array.Append(NestedValue::Int(1));
+  array.Append(NestedValue::String("two"));
+  ASSERT_EQ(array.array_size(), 2u);
+  EXPECT_EQ(array.array_element(1).string_value(), "two");
+  EXPECT_FALSE(array.is_scalar());
+}
+
+TEST(NestedValueTest, ObjectPreservesInsertionOrder) {
+  NestedValue object = NestedValue::Object();
+  object.Set("z", NestedValue::Int(1));
+  object.Set("a", NestedValue::Int(2));
+  ASSERT_EQ(object.object_size(), 2u);
+  EXPECT_EQ(object.member_name(0), "z");
+  EXPECT_EQ(object.member_name(1), "a");
+}
+
+TEST(NestedValueTest, SetReplacesExistingMember) {
+  NestedValue object = NestedValue::Object();
+  object.Set("k", NestedValue::Int(1));
+  object.Set("k", NestedValue::Int(2));
+  EXPECT_EQ(object.object_size(), 1u);
+  EXPECT_EQ(object.Find("k")->int_value(), 2);
+}
+
+TEST(NestedValueTest, FindMissingReturnsNull) {
+  NestedValue object = NestedValue::Object();
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(NestedValueTest, EqualityDeep) {
+  NestedValue a = NestedValue::Object();
+  a.Set("x", NestedValue::Int(1));
+  NestedValue inner = NestedValue::Array();
+  inner.Append(NestedValue::String("v"));
+  a.Set("y", inner);
+
+  NestedValue b = NestedValue::Object();
+  b.Set("x", NestedValue::Int(1));
+  NestedValue inner2 = NestedValue::Array();
+  inner2.Append(NestedValue::String("v"));
+  b.Set("y", inner2);
+
+  EXPECT_EQ(a, b);
+  b.Set("x", NestedValue::Int(9));
+  EXPECT_NE(a, b);
+}
+
+TEST(NestedValueTest, ToJsonScalars) {
+  EXPECT_EQ(NestedValue::Null().ToJson(), "null");
+  EXPECT_EQ(NestedValue::Bool(true).ToJson(), "true");
+  EXPECT_EQ(NestedValue::Int(42).ToJson(), "42");
+  EXPECT_EQ(NestedValue::String("a\"b").ToJson(), "\"a\\\"b\"");
+}
+
+TEST(NestedValueTest, ToJsonComposite) {
+  NestedValue object = NestedValue::Object();
+  object.Set("n", NestedValue::Int(1));
+  NestedValue array = NestedValue::Array();
+  array.Append(NestedValue::Bool(false));
+  array.Append(NestedValue::Null());
+  object.Set("a", array);
+  EXPECT_EQ(object.ToJson(), "{\"n\":1,\"a\":[false,null]}");
+}
+
+TEST(NodeKindTest, Names) {
+  EXPECT_EQ(NodeKindToString(NodeKind::kObject), "object");
+  EXPECT_EQ(NodeKindToString(NodeKind::kInt), "int");
+}
+
+}  // namespace
+}  // namespace nested
+}  // namespace depmatch

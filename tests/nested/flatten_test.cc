@@ -1,0 +1,150 @@
+#include "depmatch/nested/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/nested/json.h"
+
+namespace depmatch {
+namespace nested {
+namespace {
+
+std::vector<NestedValue> Docs(std::initializer_list<const char*> lines) {
+  std::vector<NestedValue> docs;
+  for (const char* line : lines) {
+    auto doc = ParseJson(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    docs.push_back(std::move(doc).value());
+  }
+  return docs;
+}
+
+TEST(FlattenTest, FlatObjectsBecomeRows) {
+  auto table = FlattenDocuments(Docs({
+      R"({"a": 1, "b": "x"})",
+      R"({"a": 2, "b": "y"})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_EQ(table->schema().attribute(0).name, "a");
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kInt64);
+  EXPECT_EQ(table->GetValue(1, 1), Value("y"));
+}
+
+TEST(FlattenTest, NestedObjectsUseDottedPaths) {
+  auto table = FlattenDocuments(Docs({
+      R"({"customer": {"address": {"city": "ann arbor"}}})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).name, "customer.address.city");
+  EXPECT_EQ(table->GetValue(0, 0), Value("ann arbor"));
+}
+
+TEST(FlattenTest, MissingPathsAreNull) {
+  auto table = FlattenDocuments(Docs({
+      R"({"a": 1, "b": 2})",
+      R"({"a": 3})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->GetValue(1, 1).is_null());
+}
+
+TEST(FlattenTest, ExplicitNullEqualsAbsent) {
+  auto table = FlattenDocuments(Docs({
+      R"({"a": null, "b": 1})",
+  }));
+  ASSERT_TRUE(table.ok());
+  // "a" never yields a value, so only "b" materializes as a column.
+  EXPECT_EQ(table->num_attributes(), 1u);
+  EXPECT_EQ(table->schema().attribute(0).name, "b");
+}
+
+TEST(FlattenTest, ArraysUnnestToRows) {
+  auto table = FlattenDocuments(Docs({
+      R"({"id": 1, "orders": [{"amt": 10}, {"amt": 20}]})",
+      R"({"id": 2, "orders": [{"amt": 30}]})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  auto amt = table->schema().FindAttribute("orders[].amt");
+  ASSERT_TRUE(amt.has_value());
+  auto id = table->schema().FindAttribute("id");
+  ASSERT_TRUE(id.has_value());
+  // Parent scalar repeats across unnested rows.
+  EXPECT_EQ(table->GetValue(0, *id), Value(int64_t{1}));
+  EXPECT_EQ(table->GetValue(1, *id), Value(int64_t{1}));
+  EXPECT_EQ(table->GetValue(2, *id), Value(int64_t{2}));
+  EXPECT_EQ(table->GetValue(1, *amt), Value(int64_t{20}));
+}
+
+TEST(FlattenTest, ScalarArraysUnnest) {
+  auto table = FlattenDocuments(Docs({
+      R"({"tags": ["x", "y", "z"]})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->schema().attribute(0).name, "tags[]");
+}
+
+TEST(FlattenTest, SiblingArraysCrossProduct) {
+  auto table = FlattenDocuments(Docs({
+      R"({"a": [1, 2], "b": [10, 20, 30]})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 6u);
+}
+
+TEST(FlattenTest, EmptyArrayYieldsOneRowWithNull) {
+  auto table = FlattenDocuments(Docs({
+      R"({"id": 5, "orders": []})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->num_attributes(), 1u);  // only "id" ever materializes
+}
+
+TEST(FlattenTest, MixedNumericTypesPromoteToDouble) {
+  auto table = FlattenDocuments(Docs({
+      R"({"v": 1})",
+      R"({"v": 2.5})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kDouble);
+  EXPECT_EQ(table->GetValue(0, 0), Value(1.0));
+}
+
+TEST(FlattenTest, MixedWithStringsPromoteToString) {
+  auto table = FlattenDocuments(Docs({
+      R"({"v": 1})",
+      R"({"v": "x"})",
+      R"({"v": true})",
+  }));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kString);
+  EXPECT_EQ(table->GetValue(0, 0), Value("1"));
+  EXPECT_EQ(table->GetValue(2, 0), Value("true"));
+}
+
+TEST(FlattenTest, RejectsNonObjectDocuments) {
+  auto table = FlattenDocuments(Docs({"[1,2,3]"}));
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlattenTest, CartesianBlowupGuard) {
+  FlattenOptions options;
+  options.max_rows_per_document = 8;
+  auto table = FlattenDocuments(
+      Docs({R"({"a":[1,2,3],"b":[1,2,3],"c":[1,2,3]})"}), options);
+  EXPECT_EQ(table.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FlattenTest, EmptyCollection) {
+  auto table = FlattenDocuments({});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_attributes(), 0u);
+}
+
+}  // namespace
+}  // namespace nested
+}  // namespace depmatch

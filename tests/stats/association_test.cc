@@ -1,0 +1,121 @@
+#include "depmatch/stats/association.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+Column Int64Column(std::initializer_list<int> values) {
+  Column col(DataType::kInt64);
+  for (int v : values) col.Append(Value(static_cast<int64_t>(v)));
+  return col;
+}
+
+TEST(ChiSquareTest, IndependentUniformIsZero) {
+  Column x = Int64Column({0, 0, 1, 1});
+  Column y = Int64Column({0, 1, 0, 1});
+  EXPECT_NEAR(ChiSquareStatistic(x, y), 0.0, 1e-9);
+}
+
+TEST(ChiSquareTest, PerfectAssociationEqualsNTimesLevels) {
+  // For a perfect bijection over k levels, chi^2 = N * (k - 1).
+  Column x = Int64Column({0, 1, 2, 0, 1, 2});
+  Column y = Int64Column({5, 6, 7, 5, 6, 7});
+  EXPECT_NEAR(ChiSquareStatistic(x, y), 6.0 * 2.0, 1e-9);
+}
+
+TEST(ChiSquareTest, MatchesHandComputedTwoByTwo) {
+  // Table: x=0: y=0 x3, y=1 x1; x=1: y=0 x1, y=1 x3. N=8.
+  // Row/col sums all 4. Expected each cell = 2. chi2 = 4 * (1)^2/2 = 2.
+  Column x = Int64Column({0, 0, 0, 0, 1, 1, 1, 1});
+  Column y = Int64Column({0, 0, 0, 1, 0, 1, 1, 1});
+  EXPECT_NEAR(ChiSquareStatistic(x, y), 2.0, 1e-9);
+}
+
+TEST(ChiSquareTest, SymmetricInArguments) {
+  Column x = Int64Column({0, 1, 2, 0, 1, 0});
+  Column y = Int64Column({1, 1, 0, 0, 1, 1});
+  EXPECT_NEAR(ChiSquareStatistic(x, y), ChiSquareStatistic(y, x), 1e-9);
+}
+
+TEST(CramersVTest, BoundsAndExtremes) {
+  Column x = Int64Column({0, 1, 2, 0, 1, 2});
+  Column bijection = Int64Column({5, 6, 7, 5, 6, 7});
+  EXPECT_NEAR(CramersV(x, bijection), 1.0, 1e-9);
+  Column indep = Int64Column({0, 0, 0, 1, 1, 1});
+  Column y = Int64Column({0, 1, 2, 0, 1, 2});
+  EXPECT_NEAR(CramersV(indep, y), 0.0, 1e-9);
+}
+
+TEST(CramersVTest, ConstantColumnGivesZero) {
+  Column x = Int64Column({7, 7, 7, 7});
+  Column y = Int64Column({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(CramersV(x, y), 0.0);
+}
+
+TEST(CramersVTest, EmptyColumns) {
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  EXPECT_DOUBLE_EQ(CramersV(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(x, y), 0.0);
+}
+
+TEST(CramersVTest, NullPolicyRespected) {
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  // Perfect association on non-null rows; the null-x rows map to *both*
+  // y values, so keeping null as a symbol breaks the determinism.
+  for (int i = 0; i < 6; ++i) {
+    x.Append(Value(static_cast<int64_t>(i % 2)));
+    y.Append(Value(static_cast<int64_t>(i % 2)));
+  }
+  x.Append(Value::Null());
+  y.Append(Value(int64_t{0}));
+  x.Append(Value::Null());
+  y.Append(Value(int64_t{1}));
+  StatsOptions drop;
+  drop.null_policy = NullPolicy::kDropNulls;
+  EXPECT_NEAR(CramersV(x, y, drop), 1.0, 1e-9);
+  StatsOptions keep;
+  keep.null_policy = NullPolicy::kNullAsSymbol;
+  EXPECT_LT(CramersV(x, y, keep), 1.0);
+}
+
+TEST(CramersVTest, MonotoneInAssociationStrength) {
+  // y copies x with decreasing noise; V should increase.
+  Rng rng(4);
+  double previous = -1.0;
+  for (double copy_probability : {0.3, 0.6, 0.9}) {
+    Rng local(7);
+    Column x(DataType::kInt64);
+    Column y(DataType::kInt64);
+    for (int i = 0; i < 4000; ++i) {
+      int64_t xv = static_cast<int64_t>(local.NextBounded(6));
+      int64_t yv = local.NextBernoulli(copy_probability)
+                       ? xv
+                       : static_cast<int64_t>(local.NextBounded(6));
+      x.Append(Value(xv));
+      y.Append(Value(yv));
+    }
+    double v = CramersV(x, y);
+    EXPECT_GT(v, previous);
+    previous = v;
+  }
+  (void)rng;
+}
+
+TEST(CramersVTest, InvariantUnderRelabeling) {
+  // Like MI, Cramér's V is un-interpreted: renaming symbols changes
+  // nothing.
+  Column x = Int64Column({0, 1, 2, 0, 1, 2, 1, 0});
+  Column y = Int64Column({1, 1, 0, 0, 1, 0, 1, 1});
+  Column y_relabeled = Int64Column({9, 9, 4, 4, 9, 4, 9, 9});
+  EXPECT_NEAR(CramersV(x, y), CramersV(x, y_relabeled), 1e-12);
+}
+
+}  // namespace
+}  // namespace depmatch

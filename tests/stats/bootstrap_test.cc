@@ -1,0 +1,121 @@
+#include "depmatch/stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/common/rng.h"
+
+namespace depmatch {
+namespace {
+
+Column RandomColumn(size_t rows, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  Column col(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    col.Append(Value(static_cast<int64_t>(rng.NextBounded(alphabet))));
+  }
+  return col;
+}
+
+std::pair<Column, Column> CorrelatedPair(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    int64_t xv = static_cast<int64_t>(rng.NextBounded(8));
+    int64_t yv = rng.NextBernoulli(0.7) ? xv
+                                        : static_cast<int64_t>(
+                                              rng.NextBounded(8));
+    x.Append(Value(xv));
+    y.Append(Value(yv));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(BootstrapEntropyTest, PointEstimateMatchesPlainEstimator) {
+  Column col = RandomColumn(500, 16, 1);
+  auto estimate = BootstrapEntropy(col, {});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->value, EntropyOf(col));
+  EXPECT_GT(estimate->standard_error, 0.0);
+}
+
+TEST(BootstrapEntropyTest, ConstantColumnHasZeroError) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) col.Append(Value(int64_t{7}));
+  auto estimate = BootstrapEntropy(col, {});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->value, 0.0);
+  EXPECT_DOUBLE_EQ(estimate->standard_error, 0.0);
+}
+
+TEST(BootstrapEntropyTest, ErrorShrinksWithSampleSize) {
+  BootstrapOptions options;
+  options.resamples = 40;
+  auto small = BootstrapEntropy(RandomColumn(100, 16, 2), options);
+  auto large = BootstrapEntropy(RandomColumn(10000, 16, 2), options);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->standard_error, small->standard_error);
+}
+
+TEST(BootstrapEntropyTest, DeterministicForSeed) {
+  Column col = RandomColumn(300, 8, 3);
+  auto e1 = BootstrapEntropy(col, {});
+  auto e2 = BootstrapEntropy(col, {});
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_DOUBLE_EQ(e1->standard_error, e2->standard_error);
+}
+
+TEST(BootstrapEntropyTest, EmptyColumn) {
+  Column col(DataType::kInt64);
+  auto estimate = BootstrapEntropy(col, {});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->value, 0.0);
+  EXPECT_DOUBLE_EQ(estimate->standard_error, 0.0);
+}
+
+TEST(BootstrapEntropyTest, RejectsTooFewResamples) {
+  BootstrapOptions options;
+  options.resamples = 1;
+  EXPECT_FALSE(BootstrapEntropy(RandomColumn(10, 4, 4), options).ok());
+}
+
+TEST(BootstrapMiTest, PointEstimateMatchesPlainEstimator) {
+  auto [x, y] = CorrelatedPair(800, 5);
+  auto estimate = BootstrapMutualInformation(x, y, {});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->value, MutualInformation(x, y));
+  EXPECT_GT(estimate->standard_error, 0.0);
+}
+
+TEST(BootstrapMiTest, ErrorShrinksWithSampleSize) {
+  BootstrapOptions options;
+  options.resamples = 40;
+  auto [xs, ys] = CorrelatedPair(100, 6);
+  auto [xl, yl] = CorrelatedPair(8000, 6);
+  auto small = BootstrapMutualInformation(xs, ys, options);
+  auto large = BootstrapMutualInformation(xl, yl, options);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->standard_error, small->standard_error);
+}
+
+TEST(BootstrapMiTest, ValidatesLengths) {
+  Column x = RandomColumn(10, 4, 7);
+  Column y = RandomColumn(11, 4, 8);
+  EXPECT_FALSE(BootstrapMutualInformation(x, y, {}).ok());
+}
+
+TEST(BootstrapMiTest, ErrorIsPlausibleScale) {
+  // For ~1.5-bit MI at 800 rows, the bootstrap error should land well
+  // under a bit but clearly above float noise.
+  auto [x, y] = CorrelatedPair(800, 9);
+  auto estimate = BootstrapMutualInformation(x, y, {});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate->standard_error, 1e-4);
+  EXPECT_LT(estimate->standard_error, 0.5);
+}
+
+}  // namespace
+}  // namespace depmatch

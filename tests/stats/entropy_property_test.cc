@@ -1,0 +1,139 @@
+// Property-based tests of the information-theoretic estimators: for many
+// randomly generated column pairs (parameterized over alphabet size, row
+// count, null fraction, and null policy) the textbook identities and
+// bounds must hold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/stats/entropy.h"
+
+namespace depmatch {
+namespace {
+
+struct PropertyCase {
+  size_t alphabet_x;
+  size_t alphabet_y;
+  size_t rows;
+  double null_fraction;
+  NullPolicy policy;
+  uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::string policy =
+      c.policy == NullPolicy::kNullAsSymbol ? "sym" : "drop";
+  return "ax" + std::to_string(c.alphabet_x) + "_ay" +
+         std::to_string(c.alphabet_y) + "_n" + std::to_string(c.rows) +
+         "_null" + std::to_string(static_cast<int>(c.null_fraction * 100)) +
+         "_" + policy + "_s" + std::to_string(c.seed);
+}
+
+// Generates a correlated pair: y copies a hash of x with probability 0.6,
+// otherwise redraws, so MI is strictly between 0 and min entropy for most
+// alphabets.
+std::pair<Column, Column> GeneratePair(const PropertyCase& c) {
+  Rng rng(c.seed);
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  for (size_t r = 0; r < c.rows; ++r) {
+    bool x_null = rng.NextBernoulli(c.null_fraction);
+    bool y_null = rng.NextBernoulli(c.null_fraction);
+    int64_t xv = static_cast<int64_t>(rng.NextBounded(c.alphabet_x));
+    int64_t yv = rng.NextBernoulli(0.6)
+                     ? (xv * 2654435761 + 17) % static_cast<int64_t>(
+                                                    c.alphabet_y)
+                     : static_cast<int64_t>(rng.NextBounded(c.alphabet_y));
+    x.Append(x_null ? Value::Null() : Value(xv));
+    y.Append(y_null ? Value::Null() : Value(yv));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+class EntropyPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EntropyPropertyTest, IdentitiesAndBoundsHold) {
+  const PropertyCase& c = GetParam();
+  auto [x, y] = GeneratePair(c);
+  StatsOptions options;
+  options.null_policy = c.policy;
+
+  double hx = EntropyOf(x, options);
+  double hy = EntropyOf(y, options);
+  double hxy = JointEntropy(x, y, options);
+  double mi = MutualInformation(x, y, options);
+  double h_x_given_y = ConditionalEntropy(x, y, options);
+  double h_y_given_x = ConditionalEntropy(y, x, options);
+
+  // Non-negativity.
+  EXPECT_GE(hx, 0.0);
+  EXPECT_GE(hy, 0.0);
+  EXPECT_GE(hxy, 0.0);
+  EXPECT_GE(mi, 0.0);
+  EXPECT_GE(h_x_given_y, 0.0);
+
+  // Entropy bounded by log2 of support.
+  EXPECT_LE(hx, std::log2(static_cast<double>(c.alphabet_x) + 1) + 1e-9);
+
+  // With kNullAsSymbol both estimates cover all rows, so the standard
+  // decompositions hold exactly; with kDropNulls the single-column
+  // estimates use different row subsets than the pairwise ones, so we
+  // only check them on the shared-policy quantities below.
+  if (c.policy == NullPolicy::kNullAsSymbol) {
+    // Joint entropy bounds: max(H) <= H(X,Y) <= H(X) + H(Y).
+    EXPECT_GE(hxy + 1e-9, std::max(hx, hy));
+    EXPECT_LE(hxy, hx + hy + 1e-9);
+    // MI = H(X) + H(Y) - H(X,Y).
+    EXPECT_NEAR(mi, hx + hy - hxy, 1e-9);
+    // MI = H(X) - H(X|Y) = H(Y) - H(Y|X).
+    EXPECT_NEAR(mi, hx - h_x_given_y, 1e-9);
+    EXPECT_NEAR(mi, hy - h_y_given_x, 1e-9);
+    // MI <= min(H(X), H(Y)).
+    EXPECT_LE(mi, std::min(hx, hy) + 1e-9);
+  }
+
+  // Symmetry holds under every policy.
+  EXPECT_NEAR(mi, MutualInformation(y, x, options), 1e-12);
+  // Self-information identity holds under every policy (up to summation
+  // reordering in floating point).
+  EXPECT_NEAR(MutualInformation(x, x, options), EntropyOf(x, options),
+              1e-9);
+  // Chain rule within the pairwise estimate: H(X,Y) = H(Y) + H(X|Y)
+  // computed over the same retained rows.
+  EXPECT_NEAR(hxy, JointEntropy(y, x, options), 1e-9);
+
+  // NMI in [0, 1].
+  double nmi = NormalizedMutualInformation(x, y, options);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EntropyPropertyTest,
+    testing::Values(
+        PropertyCase{2, 2, 100, 0.0, NullPolicy::kNullAsSymbol, 1},
+        PropertyCase{2, 2, 100, 0.0, NullPolicy::kDropNulls, 2},
+        PropertyCase{8, 4, 500, 0.0, NullPolicy::kNullAsSymbol, 3},
+        PropertyCase{8, 4, 500, 0.2, NullPolicy::kNullAsSymbol, 4},
+        PropertyCase{8, 4, 500, 0.2, NullPolicy::kDropNulls, 5},
+        PropertyCase{64, 64, 2000, 0.0, NullPolicy::kNullAsSymbol, 6},
+        PropertyCase{64, 64, 2000, 0.5, NullPolicy::kNullAsSymbol, 7},
+        PropertyCase{64, 64, 2000, 0.5, NullPolicy::kDropNulls, 8},
+        PropertyCase{500, 10, 3000, 0.0, NullPolicy::kNullAsSymbol, 9},
+        PropertyCase{500, 10, 3000, 0.1, NullPolicy::kDropNulls, 10},
+        PropertyCase{1000, 1000, 5000, 0.0, NullPolicy::kNullAsSymbol, 11},
+        PropertyCase{3, 7, 17, 0.3, NullPolicy::kNullAsSymbol, 12},
+        PropertyCase{3, 7, 17, 0.3, NullPolicy::kDropNulls, 13},
+        PropertyCase{1, 1, 50, 0.0, NullPolicy::kNullAsSymbol, 14},
+        PropertyCase{2, 2, 1, 0.0, NullPolicy::kNullAsSymbol, 15},
+        PropertyCase{16, 16, 200, 0.9, NullPolicy::kDropNulls, 16}),
+    CaseName);
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,164 @@
+#include "depmatch/stats/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace depmatch {
+namespace {
+
+Column Int64Column(std::initializer_list<int> values) {
+  Column col(DataType::kInt64);
+  for (int v : values) col.Append(Value(static_cast<int64_t>(v)));
+  return col;
+}
+
+TEST(EntropyTest, UniformBinaryIsOneBit) {
+  Column col = Int64Column({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(EntropyOf(col), 1.0);
+}
+
+TEST(EntropyTest, ConstantColumnIsZero) {
+  Column col = Int64Column({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(EntropyOf(col), 0.0);
+}
+
+TEST(EntropyTest, AllDistinctIsLogN) {
+  Column col = Int64Column({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(EntropyOf(col), 3.0);
+}
+
+TEST(EntropyTest, SkewedDistribution) {
+  // p = {3/4, 1/4}: H = 0.75*log2(4/3) + 0.25*log2(4) = 0.811278...
+  Column col = Int64Column({0, 0, 0, 1});
+  EXPECT_NEAR(EntropyOf(col), 0.8112781244591328, 1e-12);
+}
+
+TEST(EntropyTest, EmptyColumnIsZero) {
+  Column col(DataType::kInt64);
+  EXPECT_DOUBLE_EQ(EntropyOf(col), 0.0);
+}
+
+TEST(EntropyTest, NullPolicyChangesResult) {
+  Column col(DataType::kInt64);
+  col.Append(Value(int64_t{1}));
+  col.Append(Value::Null());
+  StatsOptions as_symbol;
+  as_symbol.null_policy = NullPolicy::kNullAsSymbol;
+  StatsOptions drop;
+  drop.null_policy = NullPolicy::kDropNulls;
+  EXPECT_DOUBLE_EQ(EntropyOf(col, as_symbol), 1.0);  // {1, null} uniform
+  EXPECT_DOUBLE_EQ(EntropyOf(col, drop), 0.0);       // single value
+}
+
+TEST(EntropyTest, MostlyNullColumnHasLowEntropy) {
+  // Mirrors the paper's lab-exam columns: mostly blank -> near zero.
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 95; ++i) col.Append(Value::Null());
+  for (int i = 0; i < 5; ++i) col.Append(Value(static_cast<int64_t>(i)));
+  double h = EntropyOf(col);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 0.7);
+}
+
+TEST(JointEntropyTest, IndependentUniformAddsUp) {
+  // X, Y uniform binary and independent over the 4 combinations.
+  Column x = Int64Column({0, 0, 1, 1});
+  Column y = Int64Column({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(JointEntropy(x, y), 2.0);
+}
+
+TEST(JointEntropyTest, IdenticalColumnsEqualMarginal) {
+  Column x = Int64Column({0, 1, 2, 0});
+  EXPECT_DOUBLE_EQ(JointEntropy(x, x), EntropyOf(x));
+}
+
+TEST(MutualInformationTest, IndependentIsZero) {
+  Column x = Int64Column({0, 0, 1, 1});
+  Column y = Int64Column({0, 1, 0, 1});
+  EXPECT_NEAR(MutualInformation(x, y), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, FunctionalDependencyEqualsEntropy) {
+  // Y = f(X) deterministic and injective: MI = H(X) = H(Y).
+  Column x = Int64Column({0, 1, 2, 3});
+  Column y = Int64Column({10, 11, 12, 13});
+  EXPECT_DOUBLE_EQ(MutualInformation(x, y), EntropyOf(x));
+}
+
+TEST(MutualInformationTest, SelfInformationEqualsEntropy) {
+  // The dependency-graph diagonal identity (up to float summation order).
+  Column x = Int64Column({5, 5, 1, 2, 2, 2, 9});
+  EXPECT_NEAR(MutualInformation(x, x), EntropyOf(x), 1e-12);
+}
+
+TEST(MutualInformationTest, Symmetric) {
+  Column x = Int64Column({0, 0, 1, 2, 2, 1});
+  Column y = Int64Column({3, 4, 3, 3, 4, 4});
+  EXPECT_DOUBLE_EQ(MutualInformation(x, y), MutualInformation(y, x));
+}
+
+TEST(MutualInformationTest, NoisyChannelPartialInformation) {
+  // Y copies X except for one flipped row out of 8: 0 < MI < H(X).
+  Column x = Int64Column({0, 0, 0, 0, 1, 1, 1, 1});
+  Column y = Int64Column({0, 0, 0, 0, 1, 1, 1, 0});
+  double mi = MutualInformation(x, y);
+  EXPECT_GT(mi, 0.0);
+  EXPECT_LT(mi, EntropyOf(x));
+}
+
+TEST(MutualInformationTest, DropNullsUsesConsistentSample) {
+  // Over non-null rows X and Y are identical; the null row must not
+  // dilute MI under kDropNulls.
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  for (int i = 0; i < 4; ++i) {
+    x.Append(Value(static_cast<int64_t>(i % 2)));
+    y.Append(Value(static_cast<int64_t>(i % 2)));
+  }
+  x.Append(Value::Null());
+  y.Append(Value(int64_t{0}));
+  StatsOptions drop;
+  drop.null_policy = NullPolicy::kDropNulls;
+  EXPECT_DOUBLE_EQ(MutualInformation(x, y, drop), 1.0);
+}
+
+TEST(ConditionalEntropyTest, FunctionalDependencyIsZero) {
+  // X determined by Y -> H(X|Y) = 0 (Definition 2.3 discussion).
+  Column y = Int64Column({0, 1, 2, 0, 1, 2});
+  Column x = Int64Column({5, 6, 7, 5, 6, 7});
+  EXPECT_NEAR(ConditionalEntropy(x, y), 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, IndependenceGivesMarginalEntropy) {
+  Column x = Int64Column({0, 0, 1, 1});
+  Column y = Int64Column({0, 1, 0, 1});
+  EXPECT_NEAR(ConditionalEntropy(x, y), EntropyOf(x), 1e-12);
+}
+
+TEST(ConditionalEntropyTest, ChainRuleIdentity) {
+  // MI(X;Y) = H(X) - H(X|Y).
+  Column x = Int64Column({0, 0, 1, 2, 2, 1, 0, 2});
+  Column y = Int64Column({1, 1, 0, 0, 1, 0, 0, 1});
+  EXPECT_NEAR(MutualInformation(x, y),
+              EntropyOf(x) - ConditionalEntropy(x, y), 1e-12);
+}
+
+TEST(NormalizedMutualInformationTest, BoundsAndExtremes) {
+  Column x = Int64Column({0, 1, 0, 1});
+  Column indep = Int64Column({0, 0, 1, 1});
+  EXPECT_NEAR(NormalizedMutualInformation(x, indep), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(x, x), 1.0);
+  Column constant = Int64Column({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(constant, constant), 0.0);
+}
+
+TEST(EntropyFromCountsTest, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({1, 1, 1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({4}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({0, 2, 0, 2}), 1.0);
+}
+
+}  // namespace
+}  // namespace depmatch

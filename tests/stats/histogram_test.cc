@@ -1,0 +1,101 @@
+#include "depmatch/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+Column StringColumn(std::initializer_list<const char*> values) {
+  Column col(DataType::kString);
+  for (const char* v : values) {
+    if (v == nullptr) {
+      col.Append(Value::Null());
+    } else {
+      col.Append(Value(v));
+    }
+  }
+  return col;
+}
+
+TEST(HistogramTest, CountsFrequencies) {
+  Column col = StringColumn({"a", "b", "a", "a"});
+  Histogram h = Histogram::FromColumn(col, NullPolicy::kNullAsSymbol);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.code_counts()[0], 3u);  // "a"
+  EXPECT_EQ(h.code_counts()[1], 1u);  // "b"
+  EXPECT_EQ(h.null_count(), 0u);
+  EXPECT_EQ(h.support_size(), 2u);
+}
+
+TEST(HistogramTest, NullAsSymbolCountsNulls) {
+  Column col = StringColumn({"a", nullptr, nullptr});
+  Histogram h = Histogram::FromColumn(col, NullPolicy::kNullAsSymbol);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.null_count(), 2u);
+  EXPECT_EQ(h.support_size(), 2u);
+}
+
+TEST(HistogramTest, DropNullsExcludesNulls) {
+  Column col = StringColumn({"a", nullptr, nullptr});
+  Histogram h = Histogram::FromColumn(col, NullPolicy::kDropNulls);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.null_count(), 0u);
+  EXPECT_EQ(h.support_size(), 1u);
+}
+
+TEST(HistogramTest, Probability) {
+  Column col = StringColumn({"a", "b", "a", nullptr});
+  Histogram h = Histogram::FromColumn(col, NullPolicy::kNullAsSymbol);
+  EXPECT_DOUBLE_EQ(h.Probability(0), 0.5);   // "a"
+  EXPECT_DOUBLE_EQ(h.Probability(1), 0.25);  // "b"
+  EXPECT_DOUBLE_EQ(h.Probability(Column::kNullCode), 0.25);
+  EXPECT_DOUBLE_EQ(h.Probability(99), 0.0);
+}
+
+TEST(HistogramTest, EmptyColumn) {
+  Column col(DataType::kString);
+  Histogram h = Histogram::FromColumn(col, NullPolicy::kNullAsSymbol);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.support_size(), 0u);
+  EXPECT_DOUBLE_EQ(h.Probability(0), 0.0);
+}
+
+TEST(JointHistogramTest, CountsPairs) {
+  Column x = StringColumn({"a", "a", "b"});
+  Column y = StringColumn({"u", "v", "u"});
+  JointHistogram j =
+      JointHistogram::FromColumns(x, y, NullPolicy::kNullAsSymbol);
+  EXPECT_EQ(j.total(), 3u);
+  EXPECT_EQ(j.support_size(), 3u);  // (a,u), (a,v), (b,u)
+  EXPECT_EQ(j.cells().at(JointHistogram::PackCodes(0, 0)), 1u);
+  EXPECT_EQ(j.x_counts().at(0), 2u);  // "a"
+  EXPECT_EQ(j.y_counts().at(0), 2u);  // "u"
+}
+
+TEST(JointHistogramTest, DropNullsSkipsRowsWithEitherNull) {
+  Column x = StringColumn({"a", nullptr, "b", "c"});
+  Column y = StringColumn({"u", "v", nullptr, "w"});
+  JointHistogram j =
+      JointHistogram::FromColumns(x, y, NullPolicy::kDropNulls);
+  EXPECT_EQ(j.total(), 2u);  // rows 0 and 3
+}
+
+TEST(JointHistogramTest, NullAsSymbolKeepsNullPairs) {
+  Column x = StringColumn({"a", nullptr});
+  Column y = StringColumn({nullptr, nullptr});
+  JointHistogram j =
+      JointHistogram::FromColumns(x, y, NullPolicy::kNullAsSymbol);
+  EXPECT_EQ(j.total(), 2u);
+  EXPECT_EQ(j.cells().at(JointHistogram::PackCodes(
+                Column::kNullCode, Column::kNullCode)),
+            1u);
+}
+
+TEST(JointHistogramTest, PackCodesIsInjective) {
+  EXPECT_NE(JointHistogram::PackCodes(0, 1), JointHistogram::PackCodes(1, 0));
+  EXPECT_NE(JointHistogram::PackCodes(-1, 0), JointHistogram::PackCodes(0, -1));
+  EXPECT_EQ(JointHistogram::PackCodes(5, 7), JointHistogram::PackCodes(5, 7));
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,80 @@
+#include "depmatch/table/column.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+TEST(ColumnTest, AppendInternsDictionary) {
+  Column col(DataType::kString);
+  col.Append(Value("a"));
+  col.Append(Value("b"));
+  col.Append(Value("a"));
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.distinct_count(), 2u);
+  EXPECT_EQ(col.code(0), col.code(2));
+  EXPECT_NE(col.code(0), col.code(1));
+}
+
+TEST(ColumnTest, NullHandling) {
+  Column col(DataType::kInt64);
+  col.Append(Value::Null());
+  col.Append(Value(int64_t{5}));
+  col.Append(Value::Null());
+  EXPECT_EQ(col.null_count(), 2u);
+  EXPECT_EQ(col.code(0), Column::kNullCode);
+  EXPECT_TRUE(col.GetValue(0).is_null());
+  EXPECT_EQ(col.GetValue(1), Value(int64_t{5}));
+}
+
+TEST(ColumnTest, GetValueRoundTrips) {
+  Column col(DataType::kDouble);
+  col.Append(Value(1.5));
+  col.Append(Value(-2.5));
+  EXPECT_EQ(col.GetValue(0), Value(1.5));
+  EXPECT_EQ(col.GetValue(1), Value(-2.5));
+}
+
+TEST(ColumnTest, DictionaryPreservesFirstAppearanceOrder) {
+  Column col(DataType::kInt64);
+  col.Append(Value(int64_t{30}));
+  col.Append(Value(int64_t{10}));
+  col.Append(Value(int64_t{30}));
+  col.Append(Value(int64_t{20}));
+  ASSERT_EQ(col.dictionary().size(), 3u);
+  EXPECT_EQ(col.dictionary()[0], Value(int64_t{30}));
+  EXPECT_EQ(col.dictionary()[1], Value(int64_t{10}));
+  EXPECT_EQ(col.dictionary()[2], Value(int64_t{20}));
+}
+
+TEST(ColumnTest, LookupCode) {
+  Column col(DataType::kString);
+  col.Append(Value("x"));
+  EXPECT_EQ(col.LookupCode(Value("x")), 0);
+  EXPECT_EQ(col.LookupCode(Value("y")), Column::kNullCode);
+  EXPECT_EQ(col.LookupCode(Value::Null()), Column::kNullCode);
+}
+
+TEST(ColumnTest, AppendCodeFastPath) {
+  Column col(DataType::kString);
+  col.Append(Value("x"));
+  col.AppendCode(0);
+  col.AppendCode(Column::kNullCode);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetValue(1), Value("x"));
+  EXPECT_TRUE(col.GetValue(2).is_null());
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(ColumnDeathTest, TypeMismatchAborts) {
+  Column col(DataType::kInt64);
+  EXPECT_DEATH(col.Append(Value("wrong type")), "Check failed");
+}
+
+TEST(ColumnDeathTest, AppendCodeOutOfRangeAborts) {
+  Column col(DataType::kInt64);
+  EXPECT_DEATH(col.AppendCode(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,193 @@
+#include "depmatch/table/csv_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace depmatch {
+namespace {
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+TEST(CsvStreamReaderTest, ReadsRecordsInOrder) {
+  std::string path =
+      WriteTempFile("stream_basic.csv", "a,b\n1,x\n2,y\n3,z\n");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->header(),
+            (std::vector<std::string>{"a", "b"}));
+  std::vector<std::string> fields;
+  std::vector<std::string> firsts;
+  while (true) {
+    auto more = (*reader)->ReadRecord(fields);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    firsts.push_back(fields[0]);
+  }
+  EXPECT_EQ(firsts, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ((*reader)->records_read(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, QuotedFieldsAcrossNewlines) {
+  std::string path = WriteTempFile(
+      "stream_quotes.csv", "h\n\"multi\nline\"\n\"with\"\"quote\"\n");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE((*reader)->ReadRecord(fields).value());
+  EXPECT_EQ(fields[0], "multi\nline");
+  ASSERT_TRUE((*reader)->ReadRecord(fields).value());
+  EXPECT_EQ(fields[0], "with\"quote");
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, MissingFinalNewline) {
+  std::string path = WriteTempFile("stream_eof.csv", "h\nlast");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE((*reader)->ReadRecord(fields).value());
+  EXPECT_EQ(fields[0], "last");
+  EXPECT_FALSE((*reader)->ReadRecord(fields).value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, CrLfHandling) {
+  std::string path = WriteTempFile("stream_crlf.csv", "a,b\r\n1,2\r\n");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE((*reader)->ReadRecord(fields).value());
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, RejectsRaggedRecord) {
+  std::string path = WriteTempFile("stream_ragged.csv", "a,b\n1\n");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  auto more = (*reader)->ReadRecord(fields);
+  EXPECT_FALSE(more.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, RejectsUnterminatedQuote) {
+  std::string path = WriteTempFile("stream_unterm.csv", "a\n\"oops\n");
+  auto reader = CsvStreamReader::Open(path, {});
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  EXPECT_FALSE((*reader)->ReadRecord(fields).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, MissingFileAndEmptyFile) {
+  EXPECT_EQ(CsvStreamReader::Open("/no/such.csv", {}).status().code(),
+            StatusCode::kNotFound);
+  std::string path = WriteTempFile("stream_empty.csv", "");
+  EXPECT_FALSE(CsvStreamReader::Open(path, {}).ok());  // no header
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamReaderTest, NoHeaderMode) {
+  std::string path = WriteTempFile("stream_nohdr.csv", "1,2\n3,4\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto reader = CsvStreamReader::Open(path, options);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->header().empty());
+  std::vector<std::string> fields;
+  ASSERT_TRUE((*reader)->ReadRecord(fields).value());
+  EXPECT_EQ(fields[0], "1");
+  std::remove(path.c_str());
+}
+
+std::string BigNumericCsv(size_t rows) {
+  std::string content = "id,val\n";
+  for (size_t r = 0; r < rows; ++r) {
+    content += std::to_string(r) + "," + std::to_string(r % 7) + "\n";
+  }
+  return content;
+}
+
+TEST(SampleCsvFileTest, SamplesRequestedRows) {
+  std::string path =
+      WriteTempFile("stream_sample.csv", BigNumericCsv(1000));
+  auto table = SampleCsvFile(path, 50, /*seed=*/3, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 50u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kInt64);
+  // Distinct ids (sampling without replacement by construction).
+  std::set<int64_t> ids;
+  for (size_t r = 0; r < 50; ++r) {
+    ids.insert(table->GetValue(r, 0).int64_value());
+  }
+  EXPECT_EQ(ids.size(), 50u);
+  std::remove(path.c_str());
+}
+
+TEST(SampleCsvFileTest, SampleLargerThanFileKeepsAll) {
+  std::string path =
+      WriteTempFile("stream_small.csv", BigNumericCsv(20));
+  auto table = SampleCsvFile(path, 100, 1, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 20u);
+  std::remove(path.c_str());
+}
+
+TEST(SampleCsvFileTest, DeterministicForSeed) {
+  std::string path =
+      WriteTempFile("stream_det.csv", BigNumericCsv(500));
+  auto t1 = SampleCsvFile(path, 30, 9, {});
+  auto t2 = SampleCsvFile(path, 30, 9, {});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (size_t r = 0; r < 30; ++r) {
+    EXPECT_EQ(t1->GetValue(r, 0), t2->GetValue(r, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SampleCsvFileTest, RoughlyUniformCoverage) {
+  // Sampling 100 of 400 rows repeatedly: every row's inclusion frequency
+  // should be near 25%.
+  std::string path =
+      WriteTempFile("stream_uniform.csv", BigNumericCsv(400));
+  std::vector<int> hits(400, 0);
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto table = SampleCsvFile(path, 100, 100 + trial, {});
+    ASSERT_TRUE(table.ok());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      ++hits[static_cast<size_t>(table->GetValue(r, 0).int64_value())];
+    }
+  }
+  // Mean inclusion = 15; allow generous slack for 60 trials.
+  for (int h : hits) {
+    EXPECT_GT(h, 2);
+    EXPECT_LT(h, 35);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SampleCsvFileTest, ZeroSampleGivesEmptyTable) {
+  std::string path = WriteTempFile("stream_zero.csv", BigNumericCsv(10));
+  auto table = SampleCsvFile(path, 0, 1, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace depmatch

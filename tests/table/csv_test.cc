@@ -1,0 +1,137 @@
+#include "depmatch/table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace depmatch {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeaderAndInference) {
+  auto table = ReadCsvString("id,name,score\n1,alice,2.5\n2,bob,3.5\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_attributes(), 3u);
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kInt64);
+  EXPECT_EQ(table->schema().attribute(1).type, DataType::kString);
+  EXPECT_EQ(table->schema().attribute(2).type, DataType::kDouble);
+  EXPECT_EQ(table->GetValue(1, 1), Value("bob"));
+  EXPECT_EQ(table->GetValue(0, 0), Value(int64_t{1}));
+}
+
+TEST(CsvReadTest, EmptyFieldsBecomeNulls) {
+  auto table = ReadCsvString("a,b\n1,\n,2\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->GetValue(0, 1).is_null());
+  EXPECT_TRUE(table->GetValue(1, 0).is_null());
+  EXPECT_EQ(table->GetValue(1, 1), Value(int64_t{2}));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsvString("1,x\n2,y\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).name, "c0");
+  EXPECT_EQ(table->schema().attribute(1).name, "c1");
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, NoInferenceKeepsStrings) {
+  CsvOptions options;
+  options.infer_types = false;
+  auto table = ReadCsvString("a\n1\n2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kString);
+  EXPECT_EQ(table->GetValue(0, 0), Value("1"));
+}
+
+TEST(CsvReadTest, MixedNumericColumnFallsBackToDouble) {
+  auto table = ReadCsvString("x\n1\n2.5\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().attribute(0).type, DataType::kDouble);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimiterAndNewline) {
+  auto table =
+      ReadCsvString("a,b\n\"x,y\",\"line1\nline2\"\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->GetValue(0, 0), Value("x,y"));
+  EXPECT_EQ(table->GetValue(0, 1), Value("line1\nline2"));
+}
+
+TEST(CsvReadTest, EscapedQuotes) {
+  auto table = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->GetValue(0, 0), Value("he said \"hi\""));
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto table = ReadCsvString("a,b\r\n1,2\r\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->GetValue(0, 1), Value(int64_t{2}));
+}
+
+TEST(CsvReadTest, MissingFinalNewline) {
+  auto table = ReadCsvString("a\n7", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->GetValue(0, 0), Value(int64_t{7}));
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto table = ReadCsvString("a\tb\n1\t2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_attributes(), 2u);
+}
+
+TEST(CsvReadTest, RejectsRaggedRows) {
+  auto table = ReadCsvString("a,b\n1\n", {});
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, RejectsUnterminatedQuote) {
+  auto table = ReadCsvString("a\n\"oops\n", {});
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, RejectsEmptyInput) {
+  auto table = ReadCsvString("", {});
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvReadTest, FileNotFound) {
+  auto table = ReadCsvFile("/nonexistent/path.csv", {});
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvWriteTest, RoundTripsThroughString) {
+  auto table =
+      ReadCsvString("id,label\n1,\"a,b\"\n2,\n", {});
+  ASSERT_TRUE(table.ok());
+  std::string text = WriteCsvString(table.value(), {});
+  auto reparsed = ReadCsvString(text, {});
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rows(), 2u);
+  EXPECT_EQ(reparsed->GetValue(0, 1), Value("a,b"));
+  EXPECT_TRUE(reparsed->GetValue(1, 1).is_null());
+}
+
+TEST(CsvWriteTest, FileRoundTrip) {
+  auto table = ReadCsvString("x\n1\n2\n3\n", {});
+  ASSERT_TRUE(table.ok());
+  std::string path = testing::TempDir() + "/depmatch_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table.value(), path, {}).ok());
+  auto reparsed = ReadCsvFile(path, {});
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace depmatch

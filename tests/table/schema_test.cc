@@ -1,0 +1,75 @@
+#include "depmatch/table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace depmatch {
+namespace {
+
+Schema MakeSchema() {
+  auto schema = Schema::Create({{"id", DataType::kInt64},
+                                {"name", DataType::kString},
+                                {"score", DataType::kDouble}});
+  EXPECT_TRUE(schema.ok());
+  return schema.value();
+}
+
+TEST(SchemaTest, CreateAndInspect) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.attribute(0).name, "id");
+  EXPECT_EQ(s.attribute(1).type, DataType::kString);
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  auto s = Schema::Create({});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attributes(), 0u);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto s = Schema::Create({{"a", DataType::kInt64}, {"a", DataType::kString}});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto s = Schema::Create({{"", DataType::kInt64}});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.FindAttribute("name"), 1u);
+  EXPECT_FALSE(s.FindAttribute("missing").has_value());
+}
+
+TEST(SchemaTest, ProjectReordersAndSubsets) {
+  Schema s = MakeSchema();
+  auto p = s.Project({2, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_attributes(), 2u);
+  EXPECT_EQ(p->attribute(0).name, "score");
+  EXPECT_EQ(p->attribute(1).name, "id");
+}
+
+TEST(SchemaTest, ProjectRejectsOutOfRange) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.Project({3}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, ProjectRejectsDuplicates) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.Project({0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a = MakeSchema();
+  Schema b = MakeSchema();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToString(), "id:int64, name:string, score:double");
+}
+
+}  // namespace
+}  // namespace depmatch

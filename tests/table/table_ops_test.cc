@@ -1,0 +1,175 @@
+#include "depmatch/table/table_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depmatch/table/csv.h"
+
+namespace depmatch {
+namespace {
+
+Table MakeTable() {
+  auto table = ReadCsvString(
+      "id,grp,score\n"
+      "1,a,10\n"
+      "2,b,20\n"
+      "3,a,30\n"
+      "4,c,40\n"
+      "5,b,50\n"
+      "6,a,60\n",
+      {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+TEST(ProjectColumnsTest, SubsetsAndReorders) {
+  auto projected = ProjectColumns(MakeTable(), {2, 0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_attributes(), 2u);
+  EXPECT_EQ(projected->schema().attribute(0).name, "score");
+  EXPECT_EQ(projected->GetValue(0, 0), Value(int64_t{10}));
+  EXPECT_EQ(projected->GetValue(0, 1), Value(int64_t{1}));
+  EXPECT_EQ(projected->num_rows(), 6u);
+}
+
+TEST(ProjectColumnsTest, RejectsBadIndices) {
+  EXPECT_FALSE(ProjectColumns(MakeTable(), {9}).ok());
+  EXPECT_FALSE(ProjectColumns(MakeTable(), {0, 0}).ok());
+}
+
+TEST(SelectRowsTest, SelectsWithRepeats) {
+  auto selected = SelectRows(MakeTable(), {0, 0, 5});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->num_rows(), 3u);
+  EXPECT_EQ(selected->GetValue(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(selected->GetValue(1, 0), Value(int64_t{1}));
+  EXPECT_EQ(selected->GetValue(2, 0), Value(int64_t{6}));
+}
+
+TEST(SelectRowsTest, RejectsOutOfRange) {
+  EXPECT_EQ(SelectRows(MakeTable(), {6}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SelectRowsTest, ReInternsDictionary) {
+  // A subset containing only "a" rows must not keep "b"/"c" dictionary
+  // entries alive.
+  auto selected = SelectRows(MakeTable(), {0, 2, 5});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->column(1).distinct_count(), 1u);
+}
+
+TEST(HeadRowsTest, TakesPrefix) {
+  Table head = HeadRows(MakeTable(), 2);
+  EXPECT_EQ(head.num_rows(), 2u);
+  EXPECT_EQ(head.GetValue(1, 0), Value(int64_t{2}));
+}
+
+TEST(HeadRowsTest, ClampsToTableSize) {
+  Table head = HeadRows(MakeTable(), 100);
+  EXPECT_EQ(head.num_rows(), 6u);
+}
+
+TEST(SampleRowsTest, SamplesDistinctRows) {
+  Rng rng(1);
+  Table sample = SampleRows(MakeTable(), 4, rng);
+  EXPECT_EQ(sample.num_rows(), 4u);
+  std::set<int64_t> ids;
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    ids.insert(sample.GetValue(r, 0).int64_value());
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(SampleRowsTest, DeterministicForSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  Table s1 = SampleRows(MakeTable(), 3, rng1);
+  Table s2 = SampleRows(MakeTable(), 3, rng2);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(s1.GetValue(r, 0), s2.GetValue(r, 0));
+  }
+}
+
+TEST(RenameAttributesTest, Renames) {
+  auto renamed = RenameAttributes(MakeTable(), {"x", "y", "z"});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->schema().attribute(0).name, "x");
+  EXPECT_EQ(renamed->GetValue(0, 0), Value(int64_t{1}));
+}
+
+TEST(RenameAttributesTest, RejectsWrongCount) {
+  EXPECT_FALSE(RenameAttributes(MakeTable(), {"x"}).ok());
+}
+
+TEST(RangePartitionTest, SplitsByPivot) {
+  auto parts = RangePartition(MakeTable(), 0, Value(int64_t{4}));
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->low.num_rows(), 3u);   // ids 1,2,3
+  EXPECT_EQ(parts->high.num_rows(), 3u);  // ids 4,5,6
+}
+
+TEST(RangePartitionTest, NullsGoHigh) {
+  auto table = ReadCsvString("k\n1\n\n3\n", {});
+  ASSERT_TRUE(table.ok());
+  auto parts = RangePartition(table.value(), 0, Value(int64_t{2}));
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->low.num_rows(), 1u);
+  EXPECT_EQ(parts->high.num_rows(), 2u);
+}
+
+TEST(RangePartitionAtMedianTest, RoughlyHalves) {
+  auto parts = RangePartitionAtMedian(MakeTable(), 0);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->low.num_rows() + parts->high.num_rows(), 6u);
+  EXPECT_GE(parts->low.num_rows(), 2u);
+  EXPECT_GE(parts->high.num_rows(), 2u);
+}
+
+TEST(RangePartitionAtMedianTest, FailsOnAllNullColumn) {
+  auto table = ReadCsvString("k,v\n,1\n,2\n", {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(RangePartitionAtMedian(table.value(), 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OpaqueEncodeTest, PreservesStructureHidesValues) {
+  Table original = MakeTable();
+  Rng rng(5);
+  Table opaque = OpaqueEncode(original, {}, rng);
+  EXPECT_EQ(opaque.num_rows(), original.num_rows());
+  EXPECT_EQ(opaque.num_attributes(), original.num_attributes());
+  // Attribute names replaced.
+  EXPECT_EQ(opaque.schema().attribute(0).name, "attr0");
+  // Every column is string-typed tokens now.
+  for (size_t c = 0; c < opaque.num_attributes(); ++c) {
+    EXPECT_EQ(opaque.schema().attribute(c).type, DataType::kString);
+    // One-to-one: distinct counts preserved.
+    EXPECT_EQ(opaque.column(c).distinct_count(),
+              original.column(c).distinct_count());
+  }
+  // Equality pattern within a column preserved: rows 0 and 2 share grp "a".
+  EXPECT_EQ(opaque.GetValue(0, 1), opaque.GetValue(2, 1));
+  EXPECT_NE(opaque.GetValue(0, 1), opaque.GetValue(1, 1));
+}
+
+TEST(OpaqueEncodeTest, PreservesNulls) {
+  auto table = ReadCsvString("a\n1\n\n", {});
+  ASSERT_TRUE(table.ok());
+  Rng rng(2);
+  Table opaque = OpaqueEncode(table.value(), {}, rng);
+  EXPECT_FALSE(opaque.GetValue(0, 0).is_null());
+  EXPECT_TRUE(opaque.GetValue(1, 0).is_null());
+}
+
+TEST(OpaqueEncodeTest, KeepNamesOption) {
+  OpaqueEncodeOptions options;
+  options.rename_attributes = false;
+  Rng rng(3);
+  Table opaque = OpaqueEncode(MakeTable(), options, rng);
+  EXPECT_EQ(opaque.schema().attribute(0).name, "id");
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,129 @@
+#include "depmatch/table/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace depmatch {
+namespace {
+
+Schema TwoColumnSchema() {
+  auto s = Schema::Create(
+      {{"id", DataType::kInt64}, {"label", DataType::kString}});
+  EXPECT_TRUE(s.ok());
+  return s.value();
+}
+
+TEST(TableBuilderTest, BuildsRowWise) {
+  TableBuilder builder(TwoColumnSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(int64_t{1}), Value("a")}).ok());
+  ASSERT_TRUE(builder.AppendRow({Value(int64_t{2}), Value::Null()}).ok());
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_EQ(table->GetValue(0, 1), Value("a"));
+  EXPECT_TRUE(table->GetValue(1, 1).is_null());
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder builder(TwoColumnSchema());
+  EXPECT_EQ(builder.AppendRow({Value(int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableBuilderTest, RejectsWrongType) {
+  TableBuilder builder(TwoColumnSchema());
+  EXPECT_EQ(builder.AppendRow({Value("not int"), Value("a")}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableBuilderTest, NullAllowedInAnyColumn) {
+  TableBuilder builder(TwoColumnSchema());
+  EXPECT_TRUE(builder.AppendRow({Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableBuilderTest, ColumnarFillBuilds) {
+  TableBuilder builder(TwoColumnSchema());
+  builder.AppendValue(0, Value(int64_t{1}));
+  builder.AppendValue(0, Value(int64_t{2}));
+  builder.AppendValue(1, Value("x"));
+  builder.AppendValue(1, Value("y"));
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->GetValue(1, 1), Value("y"));
+}
+
+TEST(TableBuilderTest, UnequalColumnarFillFailsBuild) {
+  TableBuilder builder(TwoColumnSchema());
+  builder.AppendValue(0, Value(int64_t{1}));
+  auto table = std::move(builder).Build();
+  EXPECT_EQ(table.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TableBuilderTest, EmptyTableBuilds) {
+  TableBuilder builder(TwoColumnSchema());
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+}
+
+TEST(TableTest, GetRowMaterializesValues) {
+  TableBuilder builder(TwoColumnSchema());
+  ASSERT_TRUE(builder.AppendRow({Value(int64_t{7}), Value("z")}).ok());
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  auto row = table->GetRow(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], Value(int64_t{7}));
+  EXPECT_EQ(row[1], Value("z"));
+}
+
+TEST(TableTest, FormatFragmentClipsAndHeaders) {
+  TableBuilder builder(TwoColumnSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        builder.AppendRow({Value(int64_t{i}), Value("r")}).ok());
+  }
+  auto table = std::move(builder).Build();
+  ASSERT_TRUE(table.ok());
+  std::string fragment = table->FormatFragment(2, 1);
+  EXPECT_EQ(fragment, "id\n0\n1\n");
+}
+
+TEST(AssembleTableTest, AssemblesFromColumns) {
+  Column ids(DataType::kInt64);
+  ids.Append(Value(int64_t{1}));
+  Column labels(DataType::kString);
+  labels.Append(Value("a"));
+  auto table = AssembleTable(TwoColumnSchema(), {ids, labels});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+TEST(AssembleTableTest, RejectsArityMismatch) {
+  Column ids(DataType::kInt64);
+  auto table = AssembleTable(TwoColumnSchema(), {ids});
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssembleTableTest, RejectsLengthMismatch) {
+  Column ids(DataType::kInt64);
+  ids.Append(Value(int64_t{1}));
+  Column labels(DataType::kString);
+  auto table = AssembleTable(TwoColumnSchema(), {ids, labels});
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssembleTableTest, RejectsTypeMismatch) {
+  Column a(DataType::kString);
+  a.Append(Value("x"));
+  Column b(DataType::kString);
+  b.Append(Value("y"));
+  auto table = AssembleTable(TwoColumnSchema(), {a, b});
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace depmatch

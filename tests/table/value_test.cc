@@ -1,0 +1,109 @@
+#include "depmatch/table/value.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace depmatch {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_FALSE(v.is_double());
+  EXPECT_FALSE(v.is_string());
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+  EXPECT_TRUE(Value("literal").is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-3}).int64_value(), -3);
+  EXPECT_DOUBLE_EQ(Value(1.25).double_value(), 1.25);
+  EXPECT_EQ(Value("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeNeverEqual) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{1}));
+}
+
+TEST(ValueTest, OrderingAcrossTypesIsTotal) {
+  // null < int64 < double < string.
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{100}), Value(0.0));
+  EXPECT_LT(Value(1e9), Value(""));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, StreamOutput) {
+  std::ostringstream os;
+  os << Value(int64_t{7});
+  EXPECT_EQ(os.str(), "7");
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value(int64_t{9}).Hash(), Value(int64_t{9}).Hash());
+  EXPECT_EQ(Value("zz").Hash(), Value("zz").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  // Not a guarantee of the abstract interface, but our implementation
+  // salts per type; an int and a double of equal numeric value should
+  // hash apart (they compare unequal too).
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikePositiveZero) {
+  // -0.0 == 0.0, so their hashes must agree.
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(int64_t{1}));
+  set.insert(Value(int64_t{1}));
+  set.insert(Value("1"));
+  set.insert(Value::Null());
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -1,0 +1,207 @@
+// End-to-end tests of the `depmatch` command-line tool: every subcommand
+// is run as a real subprocess against generated files. The binary path is
+// injected by CMake as DEPMATCH_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace depmatch {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string command =
+      std::string(DEPMATCH_CLI_PATH) + " " + args + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t read;
+  while ((read = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), read);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class CliTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Generate two related tables once for the whole suite.
+    ours_ = new std::string(TempPath("cli_ours.csv"));
+    theirs_ = new std::string(TempPath("cli_theirs.csv"));
+    CommandResult gen1 = RunCli("gen --dataset=census --rows=800 --seed=5 "
+                             "--state=0 --out=" + *ours_);
+    CommandResult gen2 = RunCli("gen --dataset=census --rows=800 --seed=6 "
+                             "--state=1 --out=" + *theirs_);
+    ASSERT_EQ(gen1.exit_code, 0) << gen1.output;
+    ASSERT_EQ(gen2.exit_code, 0) << gen2.output;
+  }
+
+  static std::string* ours_;
+  static std::string* theirs_;
+};
+
+std::string* CliTest::ours_ = nullptr;
+std::string* CliTest::theirs_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  CommandResult result = RunCli("");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownSubcommandFails) {
+  CommandResult result = RunCli("frobnicate");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown subcommand"), std::string::npos);
+}
+
+TEST_F(CliTest, GenRejectsBadDataset) {
+  CommandResult result = RunCli("gen --dataset=bogus --out=/tmp/x.csv");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST_F(CliTest, GenRequiresOut) {
+  CommandResult result = RunCli("gen --dataset=lab");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--out is required"), std::string::npos);
+}
+
+TEST_F(CliTest, EntropyPrintsEveryAttribute) {
+  CommandResult result = RunCli("entropy --in=" + *ours_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("entropy"), std::string::npos);
+  EXPECT_NE(result.output.find("a239"), std::string::npos);
+}
+
+TEST_F(CliTest, EntropyMissingFileFails) {
+  CommandResult result = RunCli("entropy --in=/no/such.csv");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("not_found"), std::string::npos);
+}
+
+TEST_F(CliTest, GraphSerializesRoundTrippableOutput) {
+  std::string graph_path = TempPath("cli_graph.txt");
+  CommandResult result =
+      RunCli("graph --in=" + *ours_ + " --out=" + graph_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("240-node"), std::string::npos);
+  std::remove(graph_path.c_str());
+}
+
+TEST_F(CliTest, GraphRejectsBadMeasure) {
+  CommandResult result =
+      RunCli("graph --in=" + *ours_ + " --measure=psi");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST_F(CliTest, MatchPrintsPairsAndMetric) {
+  // Match two small projections to keep runtime negligible: generate lab
+  // tables (45 columns) instead of full census.
+  std::string a = TempPath("cli_lab_a.csv");
+  std::string b = TempPath("cli_lab_b.csv");
+  ASSERT_EQ(RunCli("gen --dataset=lab --rows=600 --seed=9 --out=" + a)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("gen --dataset=lab --rows=600 --seed=10 --out=" + b)
+                .exit_code,
+            0);
+  CommandResult result = RunCli("match --source=" + a + " --target=" + b +
+                             " --metric=entropy_euclidean "
+                             "--algorithm=hungarian --suggestions=3");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("metric (entropy_euclidean) value"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("exam_date"), std::string::npos);
+  EXPECT_NE(result.output.find("ranked candidates"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST_F(CliTest, MatchRejectsBadFlagCombos) {
+  EXPECT_NE(RunCli("match --source=" + *ours_ + " --target=" + *theirs_ +
+                " --metric=nope")
+                .exit_code,
+            0);
+  EXPECT_NE(RunCli("match --source=" + *ours_ + " --target=" + *theirs_ +
+                " --cardinality=sideways")
+                .exit_code,
+            0);
+  EXPECT_NE(RunCli("match --source=/missing.csv --target=" + *theirs_)
+                .exit_code,
+            0);
+}
+
+TEST_F(CliTest, NestedMatchOnJsonl) {
+  std::string a = TempPath("cli_a.jsonl");
+  std::string b = TempPath("cli_b.jsonl");
+  FILE* fa = fopen(a.c_str(), "w");
+  FILE* fb = fopen(b.c_str(), "w");
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    fprintf(fa, "{\"g\": %d, \"h\": %d}\n", i % 5, (i % 5) * 2);
+    fprintf(fb, "{\"x\": %d, \"y\": %d}\n", (i % 5) * 3, i % 5);
+  }
+  fclose(fa);
+  fclose(fb);
+  CommandResult result =
+      RunCli("nested-match --source=" + a + " --target=" + b);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("source path"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST_F(CliTest, ClusterSeparatesUnrelatedTables) {
+  std::string lab = TempPath("cli_lab.csv");
+  ASSERT_EQ(RunCli("gen --dataset=lab --rows=600 --seed=11 --out=" + lab)
+                .exit_code,
+            0);
+  CommandResult result = RunCli("cluster --threshold=0.6 " + *ours_ + " " +
+                             *theirs_ + " " + lab);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("cluster 0:"), std::string::npos);
+  EXPECT_NE(result.output.find("cluster 1:"), std::string::npos);
+  std::remove(lab.c_str());
+}
+
+TEST_F(CliTest, ClusterNeedsTwoTables) {
+  EXPECT_NE(RunCli("cluster " + *ours_).exit_code, 0);
+}
+
+TEST_F(CliTest, TranslateWritesOutput) {
+  std::string a = TempPath("cli_tr_a.csv");
+  std::string b = TempPath("cli_tr_b.csv");
+  std::string out = TempPath("cli_translated.csv");
+  ASSERT_EQ(RunCli("gen --dataset=lab --rows=500 --seed=12 --out=" + a)
+                .exit_code,
+            0);
+  ASSERT_EQ(RunCli("gen --dataset=lab --rows=500 --seed=13 --out=" + b)
+                .exit_code,
+            0);
+  CommandResult result = RunCli("translate --source=" + a + " --target=" + b +
+                             " --out=" + out + " --values=false");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote 500 translated rows"),
+            std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace depmatch

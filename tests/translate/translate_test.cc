@@ -1,0 +1,149 @@
+#include "depmatch/translate/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "depmatch/table/csv.h"
+
+namespace depmatch {
+namespace {
+
+Table ParseCsv(const char* text) {
+  auto table = ReadCsvString(text, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+Schema SourceSchema() {
+  auto schema = Schema::Create({{"model", DataType::kString},
+                                {"tire", DataType::kString},
+                                {"color", DataType::kString}});
+  EXPECT_TRUE(schema.ok());
+  return schema.value();
+}
+
+MatchResult Mapping(std::vector<MatchPair> pairs) {
+  MatchResult mapping;
+  mapping.pairs = std::move(pairs);
+  return mapping;
+}
+
+TEST(GenerateMappingSqlTest, FullMapping) {
+  Table target = ParseCsv("A,B,C\nx,y,z\n");
+  std::string sql = GenerateMappingSql(Mapping({{0, 2}, {1, 0}, {2, 1}}),
+                                       SourceSchema(), target.schema(),
+                                       "their_export");
+  EXPECT_EQ(sql,
+            "SELECT\n"
+            "  t.\"C\" AS \"model\",\n"
+            "  t.\"A\" AS \"tire\",\n"
+            "  t.\"B\" AS \"color\"\n"
+            "FROM \"their_export\" AS t;");
+}
+
+TEST(GenerateMappingSqlTest, UnmatchedBecomesNull) {
+  Table target = ParseCsv("A,B\nx,y\n");
+  std::string sql = GenerateMappingSql(Mapping({{0, 0}, {2, 1}}),
+                                       SourceSchema(), target.schema(),
+                                       "t2");
+  EXPECT_NE(sql.find("NULL AS \"tire\""), std::string::npos);
+}
+
+TEST(TranslateTableTest, ReshapesColumns) {
+  Table target = ParseCsv(
+      "c1,c2,c3\n"
+      "red,m1,t9\n"
+      "blue,m2,t8\n");
+  auto translated =
+      TranslateTable(target, Mapping({{0, 1}, {1, 2}, {2, 0}}),
+                     SourceSchema());
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->schema().attribute(0).name, "model");
+  EXPECT_EQ(translated->GetValue(0, 0), Value("m1"));   // model <- c2
+  EXPECT_EQ(translated->GetValue(0, 1), Value("t9"));   // tire  <- c3
+  EXPECT_EQ(translated->GetValue(1, 2), Value("blue")); // color <- c1
+}
+
+TEST(TranslateTableTest, UnmatchedSourceColumnsAreNull) {
+  Table target = ParseCsv("c1\nv\n");
+  auto translated =
+      TranslateTable(target, Mapping({{1, 0}}), SourceSchema());
+  ASSERT_TRUE(translated.ok());
+  EXPECT_TRUE(translated->GetValue(0, 0).is_null());   // model unmatched
+  EXPECT_EQ(translated->GetValue(0, 1), Value("v"));   // tire <- c1
+  EXPECT_TRUE(translated->GetValue(0, 2).is_null());   // color unmatched
+}
+
+TEST(TranslateTableTest, ValidatesMappingRanges) {
+  Table target = ParseCsv("c1\nv\n");
+  EXPECT_EQ(
+      TranslateTable(target, Mapping({{0, 5}}), SourceSchema()).status()
+          .code(),
+      StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      TranslateTable(target, Mapping({{9, 0}}), SourceSchema()).status()
+          .code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(TranslateTableWithValuesTest, RewritesThroughTranslation) {
+  Table target = ParseCsv(
+      "enc\n"
+      "tok1\n"
+      "tok2\n"
+      "tok9\n");
+  auto schema = Schema::Create({{"plain", DataType::kString}});
+  ASSERT_TRUE(schema.ok());
+  ValueTranslation translation;
+  translation.pairs = {{Value("alpha"), Value("tok1")},
+                       {Value("beta"), Value("tok2")}};
+  std::vector<const ValueTranslation*> translations = {&translation};
+  auto translated = TranslateTableWithValues(
+      target, Mapping({{0, 0}}), schema.value(), translations);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->GetValue(0, 0), Value("alpha"));
+  EXPECT_EQ(translated->GetValue(1, 0), Value("beta"));
+  // tok9 has no known source value: null.
+  EXPECT_TRUE(translated->GetValue(2, 0).is_null());
+}
+
+TEST(TranslateTableWithValuesTest, TranslationSlotCountValidated) {
+  Table target = ParseCsv("c1\nv\n");
+  std::vector<const ValueTranslation*> wrong_size;  // needs 3 slots
+  EXPECT_EQ(TranslateTableWithValues(target, Mapping({{0, 0}}),
+                                     SourceSchema(), wrong_size)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TranslateTableWithValuesTest, MixedTypesStringify) {
+  Table target = ParseCsv("enc\nt1\nt2\n");
+  auto schema = Schema::Create({{"v", DataType::kString}});
+  ASSERT_TRUE(schema.ok());
+  // Translation maps into a heterogeneous dictionary (int and string).
+  ValueTranslation translation;
+  translation.pairs = {{Value(int64_t{7}), Value("t1")},
+                       {Value("seven"), Value("t2")}};
+  std::vector<const ValueTranslation*> translations = {&translation};
+  auto translated = TranslateTableWithValues(
+      target, Mapping({{0, 0}}), schema.value(), translations);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->schema().attribute(0).type, DataType::kString);
+  EXPECT_EQ(translated->GetValue(0, 0), Value("7"));
+  EXPECT_EQ(translated->GetValue(1, 0), Value("seven"));
+}
+
+TEST(TranslateTableTest, PreservesRowCountAndTypes) {
+  Table target = ParseCsv("n\n1\n2\n3\n");
+  auto schema = Schema::Create({{"num", DataType::kInt64}});
+  ASSERT_TRUE(schema.ok());
+  auto translated =
+      TranslateTable(target, Mapping({{0, 0}}), schema.value());
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->num_rows(), 3u);
+  EXPECT_EQ(translated->schema().attribute(0).type, DataType::kInt64);
+  EXPECT_EQ(translated->GetValue(2, 0), Value(int64_t{3}));
+}
+
+}  // namespace
+}  // namespace depmatch

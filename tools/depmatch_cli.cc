@@ -1,0 +1,525 @@
+// depmatch — command-line interface to the DepMatch library.
+//
+// Subcommands:
+//   gen      generate a synthetic paper-shaped dataset as CSV
+//   entropy  print per-attribute entropies of a CSV table
+//   graph    build and print/serialize a dependency graph
+//   match    match two CSV tables and print the correspondences
+//
+// Examples:
+//   depmatch gen --dataset=lab --rows=10000 --seed=7 --out=/tmp/lab.csv
+//   depmatch entropy --in=/tmp/lab.csv
+//   depmatch graph --in=/tmp/lab.csv --out=/tmp/lab.depgraph
+//   depmatch match --source=a.csv --target=b.csv --metric=mi_euclidean
+//                  --cardinality=one_to_one --candidates=3
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "depmatch/common/flags.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/core/multi_match.h"
+#include "depmatch/core/schema_matcher.h"
+#include "depmatch/core/table_clustering.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/eval/match_report.h"
+#include "depmatch/match/candidate_ranking.h"
+#include "depmatch/eval/report.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/nested/json.h"
+#include "depmatch/nested/nested_matcher.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/translate/translate.h"
+#include "depmatch/translate/value_translation.h"
+
+namespace depmatch {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<MetricKind> ParseMetric(const std::string& name) {
+  if (name == "mi_euclidean") return MetricKind::kMutualInfoEuclidean;
+  if (name == "mi_normal") return MetricKind::kMutualInfoNormal;
+  if (name == "entropy_euclidean") return MetricKind::kEntropyEuclidean;
+  if (name == "entropy_normal") return MetricKind::kEntropyNormal;
+  return InvalidArgumentError(
+      "metric must be one of mi_euclidean, mi_normal, entropy_euclidean, "
+      "entropy_normal");
+}
+
+Result<Cardinality> ParseCardinality(const std::string& name) {
+  if (name == "one_to_one") return Cardinality::kOneToOne;
+  if (name == "onto") return Cardinality::kOnto;
+  if (name == "partial") return Cardinality::kPartial;
+  return InvalidArgumentError(
+      "cardinality must be one of one_to_one, onto, partial");
+}
+
+Result<MatchAlgorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "exhaustive") return MatchAlgorithm::kExhaustive;
+  if (name == "greedy") return MatchAlgorithm::kGreedy;
+  if (name == "graduated_assignment") {
+    return MatchAlgorithm::kGraduatedAssignment;
+  }
+  if (name == "hungarian") return MatchAlgorithm::kHungarian;
+  if (name == "simulated_annealing") {
+    return MatchAlgorithm::kSimulatedAnnealing;
+  }
+  return InvalidArgumentError(
+      "algorithm must be one of exhaustive, greedy, graduated_assignment, "
+      "hungarian, simulated_annealing");
+}
+
+Result<DependencyMeasure> ParseMeasure(const std::string& name) {
+  if (name == "mi") return DependencyMeasure::kMutualInformation;
+  if (name == "nmi") return DependencyMeasure::kNormalizedMutualInformation;
+  if (name == "cramers_v") return DependencyMeasure::kCramersV;
+  return InvalidArgumentError("measure must be one of mi, nmi, cramers_v");
+}
+
+Result<NullPolicy> ParseNullPolicy(const std::string& name) {
+  if (name == "symbol") return NullPolicy::kNullAsSymbol;
+  if (name == "drop") return NullPolicy::kDropNulls;
+  return InvalidArgumentError("null-policy must be 'symbol' or 'drop'");
+}
+
+int RunGen(int argc, const char* const* argv) {
+  FlagParser flags("depmatch gen: generate a synthetic dataset as CSV");
+  flags.AddString("dataset", "lab", "dataset family: lab | census");
+  flags.AddInt64("rows", 10000, "number of tuples");
+  flags.AddInt64("seed", 7, "generator seed");
+  flags.AddInt64("state", 0, "census only: population epoch (0 or 1)");
+  flags.AddString("out", "", "output CSV path (required)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  if (flags.GetString("out").empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 1;
+  }
+  Result<Table> table = InvalidArgumentError("unset");
+  if (flags.GetString("dataset") == "lab") {
+    datagen::LabExamConfig config;
+    config.num_rows = static_cast<size_t>(flags.GetInt64("rows"));
+    table = datagen::MakeLabExamTable(
+        config, static_cast<uint64_t>(flags.GetInt64("seed")));
+  } else if (flags.GetString("dataset") == "census") {
+    datagen::CensusConfig config;
+    config.num_rows = static_cast<size_t>(flags.GetInt64("rows"));
+    config.epoch = static_cast<int>(flags.GetInt64("state"));
+    table = datagen::MakeCensusTable(
+        config, static_cast<uint64_t>(flags.GetInt64("seed")));
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (lab | census)\n",
+                 flags.GetString("dataset").c_str());
+    return 1;
+  }
+  if (!table.ok()) return Fail(table.status());
+  Status written = WriteCsvFile(table.value(), flags.GetString("out"), {});
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %zu rows x %zu attributes to %s\n", table->num_rows(),
+              table->num_attributes(), flags.GetString("out").c_str());
+  return 0;
+}
+
+int RunEntropy(int argc, const char* const* argv) {
+  FlagParser flags("depmatch entropy: per-attribute entropies of a CSV");
+  flags.AddString("in", "", "input CSV path (required)");
+  flags.AddString("null-policy", "symbol", "null handling: symbol | drop");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  Result<Table> table = ReadCsvFile(flags.GetString("in"), {});
+  if (!table.ok()) return Fail(table.status());
+  Result<NullPolicy> policy = ParseNullPolicy(flags.GetString("null-policy"));
+  if (!policy.ok()) return Fail(policy.status());
+  StatsOptions stats;
+  stats.null_policy = policy.value();
+
+  TextTable report;
+  report.SetHeader({"attribute", "entropy", "distinct", "nulls"});
+  for (size_t c = 0; c < table->num_attributes(); ++c) {
+    report.AddRow({table->schema().attribute(c).name,
+                   StrFormat("%.4f", EntropyOf(table->column(c), stats)),
+                   std::to_string(table->column(c).distinct_count()),
+                   std::to_string(table->column(c).null_count())});
+  }
+  std::printf("%s", report.ToString().c_str());
+  return 0;
+}
+
+int RunGraph(int argc, const char* const* argv) {
+  FlagParser flags("depmatch graph: build a dependency graph from a CSV");
+  flags.AddString("in", "", "input CSV path (required)");
+  flags.AddString("out", "", "write serialized graph here (else pretty-print)");
+  flags.AddString("measure", "mi", "edge dependency measure: mi | nmi | cramers_v");
+  flags.AddString("null-policy", "symbol", "null handling: symbol | drop");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  Result<Table> table = ReadCsvFile(flags.GetString("in"), {});
+  if (!table.ok()) return Fail(table.status());
+  Result<NullPolicy> policy = ParseNullPolicy(flags.GetString("null-policy"));
+  if (!policy.ok()) return Fail(policy.status());
+  Result<DependencyMeasure> measure = ParseMeasure(flags.GetString("measure"));
+  if (!measure.ok()) return Fail(measure.status());
+  DependencyGraphOptions options;
+  options.stats.null_policy = policy.value();
+  options.measure = measure.value();
+  Result<DependencyGraph> graph =
+      BuildDependencyGraph(table.value(), options);
+  if (!graph.ok()) return Fail(graph.status());
+  if (flags.GetString("out").empty()) {
+    std::printf("%s", graph->ToString().c_str());
+    return 0;
+  }
+  std::ofstream out(flags.GetString("out"));
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", flags.GetString("out").c_str());
+    return 1;
+  }
+  out << graph->Serialize();
+  std::printf("wrote %zu-node dependency graph to %s\n", graph->size(),
+              flags.GetString("out").c_str());
+  return 0;
+}
+
+int RunMatch(int argc, const char* const* argv) {
+  FlagParser flags("depmatch match: match two CSV tables");
+  flags.AddString("source", "", "source CSV path (required)");
+  flags.AddString("target", "", "target CSV path (required)");
+  flags.AddString("metric", "mi_euclidean",
+                  "mi_euclidean | mi_normal | entropy_euclidean | "
+                  "entropy_normal");
+  flags.AddString("cardinality", "one_to_one",
+                  "one_to_one | onto | partial");
+  flags.AddString("algorithm", "exhaustive",
+                  "exhaustive | greedy | graduated_assignment | hungarian "
+                  "| simulated_annealing");
+  flags.AddDouble("alpha", 3.0, "normal-metric control parameter");
+  flags.AddInt64("candidates", 3,
+                 "entropy candidate filter width (0 = unlimited)");
+  flags.AddString("measure", "mi", "edge dependency measure: mi | nmi | cramers_v");
+  flags.AddString("null-policy", "symbol", "null handling: symbol | drop");
+  flags.AddString("truth", "",
+                  "optional ground-truth CSV with columns source,target "
+                  "(attribute names); prints a verdict report");
+  flags.AddInt64("suggestions", 0,
+                 "also print the top-K ranked candidate targets per "
+                 "source attribute (0 = off)");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  Result<Table> source = ReadCsvFile(flags.GetString("source"), {});
+  if (!source.ok()) return Fail(source.status());
+  Result<Table> target = ReadCsvFile(flags.GetString("target"), {});
+  if (!target.ok()) return Fail(target.status());
+
+  Result<MetricKind> metric = ParseMetric(flags.GetString("metric"));
+  if (!metric.ok()) return Fail(metric.status());
+  Result<Cardinality> cardinality =
+      ParseCardinality(flags.GetString("cardinality"));
+  if (!cardinality.ok()) return Fail(cardinality.status());
+  Result<MatchAlgorithm> algorithm =
+      ParseAlgorithm(flags.GetString("algorithm"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  Result<NullPolicy> policy = ParseNullPolicy(flags.GetString("null-policy"));
+  if (!policy.ok()) return Fail(policy.status());
+
+  Result<DependencyMeasure> measure = ParseMeasure(flags.GetString("measure"));
+  if (!measure.ok()) return Fail(measure.status());
+  SchemaMatchOptions options;
+  options.graph.stats.null_policy = policy.value();
+  options.graph.measure = measure.value();
+  options.match.metric = metric.value();
+  options.match.cardinality = cardinality.value();
+  options.match.algorithm = algorithm.value();
+  options.match.alpha = flags.GetDouble("alpha");
+  options.match.candidates_per_attribute =
+      static_cast<size_t>(flags.GetInt64("candidates"));
+
+  Result<SchemaMatchResult> result =
+      MatchTables(source.value(), target.value(), options);
+  if (!result.ok()) return Fail(result.status());
+
+  TextTable report;
+  report.SetHeader({"source", "target", "H(source)", "H(target)"});
+  for (const Correspondence& c : result->correspondences) {
+    report.AddRow({c.source_name, c.target_name,
+                   StrFormat("%.3f",
+                             result->source_graph.entropy(c.source_index)),
+                   StrFormat("%.3f",
+                             result->target_graph.entropy(c.target_index))});
+  }
+  std::printf("%s", report.ToString().c_str());
+  std::printf("\nmetric (%s) value: %.6f   pairs: %zu   search nodes: %llu%s\n",
+              std::string(MetricKindToString(options.match.metric)).c_str(),
+              result->match.metric_value, result->match.pairs.size(),
+              static_cast<unsigned long long>(result->match.nodes_explored),
+              result->match.budget_exhausted ? "   (budget exhausted)" : "");
+
+  if (flags.GetInt64("suggestions") > 0) {
+    CandidateRankingOptions ranking_options;
+    ranking_options.top_k =
+        static_cast<size_t>(flags.GetInt64("suggestions"));
+    auto ranking = RankCandidates(result->source_graph,
+                                  result->target_graph, ranking_options);
+    if (!ranking.ok()) return Fail(ranking.status());
+    std::printf("\nranked candidates (score = blended entropy + "
+                "MI-profile similarity):\n");
+    for (size_t s = 0; s < ranking->size(); ++s) {
+      std::printf("  %-16s", result->source_graph.name(s).c_str());
+      for (const RankedCandidate& candidate : (*ranking)[s]) {
+        std::printf("  %s(%.2f)",
+                    result->target_graph.name(candidate.target).c_str(),
+                    candidate.score);
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (!flags.GetString("truth").empty()) {
+    CsvOptions truth_csv;
+    truth_csv.infer_types = false;
+    Result<Table> truth_table =
+        ReadCsvFile(flags.GetString("truth"), truth_csv);
+    if (!truth_table.ok()) return Fail(truth_table.status());
+    if (truth_table->num_attributes() < 2) {
+      std::fprintf(stderr,
+                   "truth CSV needs two columns: source,target names\n");
+      return 1;
+    }
+    std::vector<MatchPair> truth;
+    for (size_t r = 0; r < truth_table->num_rows(); ++r) {
+      auto s_index = source->schema().FindAttribute(
+          truth_table->GetValue(r, 0).ToString());
+      auto t_index = target->schema().FindAttribute(
+          truth_table->GetValue(r, 1).ToString());
+      if (!s_index.has_value() || !t_index.has_value()) {
+        std::fprintf(stderr, "truth row %zu names unknown attributes\n",
+                     r);
+        return 1;
+      }
+      truth.push_back({*s_index, *t_index});
+    }
+    MatchReport verdicts = BuildMatchReport(result->match.pairs, truth);
+    std::printf("\n%s",
+                FormatMatchReport(verdicts,
+                                  result->source_graph.names(),
+                                  result->target_graph.names())
+                    .c_str());
+  }
+  return 0;
+}
+
+int RunCluster(int argc, const char* const* argv) {
+  FlagParser flags(
+      "depmatch cluster: group CSV tables into integratable clusters "
+      "(positional args: two or more CSV paths)");
+  flags.AddDouble("threshold", 0.5,
+                  "normalized-distance link threshold");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok() || flags.positional().size() < 2) {
+    std::fprintf(stderr, "%s\nneed >= 2 CSV paths\n%s",
+                 parsed.ToString().c_str(), flags.UsageString().c_str());
+    return 1;
+  }
+  std::vector<Table> tables;
+  for (const std::string& path : flags.positional()) {
+    Result<Table> table = ReadCsvFile(path, {});
+    if (!table.ok()) return Fail(table.status());
+    tables.push_back(std::move(table).value());
+  }
+  std::vector<const Table*> pointers;
+  for (const Table& table : tables) pointers.push_back(&table);
+  TableClusteringOptions options;
+  options.link_threshold = flags.GetDouble("threshold");
+  Result<TableClusteringResult> result =
+      ClusterTables(pointers, options);
+  if (!result.ok()) return Fail(result.status());
+
+  TextTable matrix;
+  std::vector<std::string> header = {""};
+  for (size_t i = 0; i < tables.size(); ++i) {
+    header.push_back(StrFormat("T%zu", i));
+  }
+  matrix.SetHeader(header);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    std::vector<std::string> row = {StrFormat("T%zu", i)};
+    for (size_t j = 0; j < tables.size(); ++j) {
+      row.push_back(StrFormat("%.3f", result->distances[i][j]));
+    }
+    matrix.AddRow(std::move(row));
+  }
+  std::printf("normalized pairwise distances:\n%s\n",
+              matrix.ToString().c_str());
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    std::printf("cluster %zu:", c);
+    for (size_t index : result->clusters[c]) {
+      std::printf(" %s", flags.positional()[index].c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunTranslate(int argc, const char* const* argv) {
+  FlagParser flags(
+      "depmatch translate: match two CSV tables, then rewrite the target "
+      "table into the source schema (optionally recovering value "
+      "encodings)");
+  flags.AddString("source", "", "source CSV path (required)");
+  flags.AddString("target", "", "target CSV path (required)");
+  flags.AddString("out", "", "output CSV path (required)");
+  flags.AddBool("values", true,
+                "also recover per-column value encodings and rewrite "
+                "cells into the source vocabulary");
+  flags.AddString("sql", "", "optionally write the mapping query here");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  Result<Table> source = ReadCsvFile(flags.GetString("source"), {});
+  if (!source.ok()) return Fail(source.status());
+  Result<Table> target = ReadCsvFile(flags.GetString("target"), {});
+  if (!target.ok()) return Fail(target.status());
+  if (flags.GetString("out").empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 1;
+  }
+
+  SchemaMatchOptions options;
+  Result<SchemaMatchResult> match =
+      MatchTables(source.value(), target.value(), options);
+  if (!match.ok()) return Fail(match.status());
+  for (const Correspondence& c : match->correspondences) {
+    std::printf("%s -> %s\n", c.source_name.c_str(),
+                c.target_name.c_str());
+  }
+  if (!flags.GetString("sql").empty()) {
+    std::ofstream sql_out(flags.GetString("sql"));
+    sql_out << GenerateMappingSql(match->match, source->schema(),
+                                  target->schema(),
+                                  flags.GetString("target"));
+  }
+
+  Result<Table> translated = InvalidArgumentError("unset");
+  std::vector<ValueTranslation> translations;
+  if (flags.GetBool("values")) {
+    Result<std::vector<ValueTranslation>> inferred =
+        InferValueTranslations(source.value(), target.value(),
+                               match->match);
+    if (!inferred.ok()) return Fail(inferred.status());
+    translations = std::move(inferred).value();
+    std::vector<const ValueTranslation*> slots(
+        source->num_attributes(), nullptr);
+    for (size_t i = 0; i < match->match.pairs.size(); ++i) {
+      slots[match->match.pairs[i].source] = &translations[i];
+    }
+    translated = TranslateTableWithValues(target.value(), match->match,
+                                          source->schema(), slots);
+  } else {
+    translated =
+        TranslateTable(target.value(), match->match, source->schema());
+  }
+  if (!translated.ok()) return Fail(translated.status());
+  Status written =
+      WriteCsvFile(translated.value(), flags.GetString("out"), {});
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %zu translated rows to %s\n",
+              translated->num_rows(), flags.GetString("out").c_str());
+  return 0;
+}
+
+int RunNestedMatch(int argc, const char* const* argv) {
+  FlagParser flags(
+      "depmatch nested-match: match two newline-delimited JSON "
+      "collections by flattened leaf paths");
+  flags.AddString("source", "", "source .jsonl path (required)");
+  flags.AddString("target", "", "target .jsonl path (required)");
+  flags.AddString("metric", "mi_euclidean",
+                  "mi_euclidean | mi_normal | entropy_euclidean | "
+                  "entropy_normal");
+  flags.AddString("cardinality", "one_to_one",
+                  "one_to_one | onto | partial");
+  flags.AddDouble("alpha", 3.0, "normal-metric control parameter");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  auto source = nested::ReadJsonLinesFile(flags.GetString("source"));
+  if (!source.ok()) return Fail(source.status());
+  auto target = nested::ReadJsonLinesFile(flags.GetString("target"));
+  if (!target.ok()) return Fail(target.status());
+
+  Result<MetricKind> metric = ParseMetric(flags.GetString("metric"));
+  if (!metric.ok()) return Fail(metric.status());
+  Result<Cardinality> cardinality =
+      ParseCardinality(flags.GetString("cardinality"));
+  if (!cardinality.ok()) return Fail(cardinality.status());
+
+  nested::NestedMatchOptions options;
+  options.match.match.metric = metric.value();
+  options.match.match.cardinality = cardinality.value();
+  options.match.match.alpha = flags.GetDouble("alpha");
+  auto result = nested::MatchNestedCollections(source.value(),
+                                               target.value(), options);
+  if (!result.ok()) return Fail(result.status());
+
+  TextTable report;
+  report.SetHeader({"source path", "target path"});
+  for (const nested::PathCorrespondence& c : result->paths) {
+    report.AddRow({c.source_path, c.target_path});
+  }
+  std::printf("%s\nmetric value: %.6f\n", report.ToString().c_str(),
+              result->flat.match.metric_value);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  const char* usage =
+      "usage: depmatch <gen|entropy|graph|match|nested-match|translate|cluster> [flags]\n"
+      "run 'depmatch <subcommand> --help-flags' is not needed: bad flags "
+      "print the flag list.\n";
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage);
+    return 1;
+  }
+  std::string command = argv[1];
+  if (command == "gen") return RunGen(argc - 1, argv + 1);
+  if (command == "entropy") return RunEntropy(argc - 1, argv + 1);
+  if (command == "graph") return RunGraph(argc - 1, argv + 1);
+  if (command == "match") return RunMatch(argc - 1, argv + 1);
+  if (command == "nested-match") return RunNestedMatch(argc - 1, argv + 1);
+  if (command == "translate") return RunTranslate(argc - 1, argv + 1);
+  if (command == "cluster") return RunCluster(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown subcommand '%s'\n%s", command.c_str(),
+               usage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace depmatch
+
+int main(int argc, char** argv) { return depmatch::Main(argc, argv); }
