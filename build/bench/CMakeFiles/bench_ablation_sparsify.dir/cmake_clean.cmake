@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparsify.dir/bench_ablation_sparsify.cc.o"
+  "CMakeFiles/bench_ablation_sparsify.dir/bench_ablation_sparsify.cc.o.d"
+  "bench_ablation_sparsify"
+  "bench_ablation_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

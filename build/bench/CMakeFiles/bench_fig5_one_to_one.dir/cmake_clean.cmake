@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_one_to_one.dir/bench_fig5_one_to_one.cc.o"
+  "CMakeFiles/bench_fig5_one_to_one.dir/bench_fig5_one_to_one.cc.o.d"
+  "bench_fig5_one_to_one"
+  "bench_fig5_one_to_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_one_to_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

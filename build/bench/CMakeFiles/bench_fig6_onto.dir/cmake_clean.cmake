@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_onto.dir/bench_fig6_onto.cc.o"
+  "CMakeFiles/bench_fig6_onto.dir/bench_fig6_onto.cc.o.d"
+  "bench_fig6_onto"
+  "bench_fig6_onto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_onto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_partial.dir/bench_fig7_partial.cc.o"
+  "CMakeFiles/bench_fig7_partial.dir/bench_fig7_partial.cc.o.d"
+  "bench_fig7_partial"
+  "bench_fig7_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_unrelated.dir/bench_fig8_unrelated.cc.o"
+  "CMakeFiles/bench_fig8_unrelated.dir/bench_fig8_unrelated.cc.o.d"
+  "bench_fig8_unrelated"
+  "bench_fig8_unrelated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_unrelated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

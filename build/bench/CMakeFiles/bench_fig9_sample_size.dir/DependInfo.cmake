@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_sample_size.cc" "bench/CMakeFiles/bench_fig9_sample_size.dir/bench_fig9_sample_size.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_sample_size.dir/bench_fig9_sample_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/depmatch_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/core/CMakeFiles/depmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/eval/CMakeFiles/depmatch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/match/CMakeFiles/depmatch_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/graph/CMakeFiles/depmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/stats/CMakeFiles/depmatch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/table/CMakeFiles/depmatch_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

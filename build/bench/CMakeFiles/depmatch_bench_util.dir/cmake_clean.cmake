@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libdepmatch_bench_util.a"
+  "../lib/libdepmatch_bench_util.pdb"
+  "CMakeFiles/depmatch_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/depmatch_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdepmatch_bench_util.a"
+)

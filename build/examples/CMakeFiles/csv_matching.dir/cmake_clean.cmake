@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_matching.dir/csv_matching.cpp.o"
+  "CMakeFiles/csv_matching.dir/csv_matching.cpp.o.d"
+  "csv_matching"
+  "csv_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

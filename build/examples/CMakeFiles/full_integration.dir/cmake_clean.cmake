@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_integration.dir/full_integration.cpp.o"
+  "CMakeFiles/full_integration.dir/full_integration.cpp.o.d"
+  "full_integration"
+  "full_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_partial_overlap.dir/merger_partial_overlap.cpp.o"
+  "CMakeFiles/merger_partial_overlap.dir/merger_partial_overlap.cpp.o.d"
+  "merger_partial_overlap"
+  "merger_partial_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_partial_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_alignment.dir/multi_source_alignment.cpp.o"
+  "CMakeFiles/multi_source_alignment.dir/multi_source_alignment.cpp.o.d"
+  "multi_source_alignment"
+  "multi_source_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

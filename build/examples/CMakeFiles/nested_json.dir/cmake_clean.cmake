@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_json.dir/nested_json.cpp.o"
+  "CMakeFiles/nested_json.dir/nested_json.cpp.o.d"
+  "nested_json"
+  "nested_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

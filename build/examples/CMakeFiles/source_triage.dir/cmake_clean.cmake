@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_triage.dir/source_triage.cpp.o"
+  "CMakeFiles/source_triage.dir/source_triage.cpp.o.d"
+  "source_triage"
+  "source_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("depmatch/common")
+subdirs("depmatch/table")
+subdirs("depmatch/stats")
+subdirs("depmatch/graph")
+subdirs("depmatch/match")
+subdirs("depmatch/eval")
+subdirs("depmatch/datagen")
+subdirs("depmatch/core")
+subdirs("depmatch/nested")
+subdirs("depmatch/translate")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_common.dir/flags.cc.o"
+  "CMakeFiles/depmatch_common.dir/flags.cc.o.d"
+  "CMakeFiles/depmatch_common.dir/logging.cc.o"
+  "CMakeFiles/depmatch_common.dir/logging.cc.o.d"
+  "CMakeFiles/depmatch_common.dir/rng.cc.o"
+  "CMakeFiles/depmatch_common.dir/rng.cc.o.d"
+  "CMakeFiles/depmatch_common.dir/status.cc.o"
+  "CMakeFiles/depmatch_common.dir/status.cc.o.d"
+  "CMakeFiles/depmatch_common.dir/string_util.cc.o"
+  "CMakeFiles/depmatch_common.dir/string_util.cc.o.d"
+  "CMakeFiles/depmatch_common.dir/thread_pool.cc.o"
+  "CMakeFiles/depmatch_common.dir/thread_pool.cc.o.d"
+  "libdepmatch_common.a"
+  "libdepmatch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_core.dir/multi_match.cc.o"
+  "CMakeFiles/depmatch_core.dir/multi_match.cc.o.d"
+  "CMakeFiles/depmatch_core.dir/schema_matcher.cc.o"
+  "CMakeFiles/depmatch_core.dir/schema_matcher.cc.o.d"
+  "CMakeFiles/depmatch_core.dir/table_clustering.cc.o"
+  "CMakeFiles/depmatch_core.dir/table_clustering.cc.o.d"
+  "libdepmatch_core.a"
+  "libdepmatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depmatch/datagen/bayes_net.cc" "src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/bayes_net.cc.o" "gcc" "src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/bayes_net.cc.o.d"
+  "/root/repo/src/depmatch/datagen/datasets.cc" "src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/datasets.cc.o" "gcc" "src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depmatch/table/CMakeFiles/depmatch_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

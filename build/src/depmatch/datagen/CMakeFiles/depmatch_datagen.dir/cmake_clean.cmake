@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_datagen.dir/bayes_net.cc.o"
+  "CMakeFiles/depmatch_datagen.dir/bayes_net.cc.o.d"
+  "CMakeFiles/depmatch_datagen.dir/datasets.cc.o"
+  "CMakeFiles/depmatch_datagen.dir/datasets.cc.o.d"
+  "libdepmatch_datagen.a"
+  "libdepmatch_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_eval.dir/accuracy.cc.o"
+  "CMakeFiles/depmatch_eval.dir/accuracy.cc.o.d"
+  "CMakeFiles/depmatch_eval.dir/experiment.cc.o"
+  "CMakeFiles/depmatch_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/depmatch_eval.dir/match_report.cc.o"
+  "CMakeFiles/depmatch_eval.dir/match_report.cc.o.d"
+  "CMakeFiles/depmatch_eval.dir/report.cc.o"
+  "CMakeFiles/depmatch_eval.dir/report.cc.o.d"
+  "libdepmatch_eval.a"
+  "libdepmatch_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

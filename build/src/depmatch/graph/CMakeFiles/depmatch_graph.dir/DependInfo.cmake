@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depmatch/graph/dependency_graph.cc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/dependency_graph.cc.o" "gcc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/depmatch/graph/graph_builder.cc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/graph_builder.cc.o" "gcc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/depmatch/graph/sparsify.cc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/sparsify.cc.o" "gcc" "src/depmatch/graph/CMakeFiles/depmatch_graph.dir/sparsify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depmatch/stats/CMakeFiles/depmatch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/table/CMakeFiles/depmatch_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

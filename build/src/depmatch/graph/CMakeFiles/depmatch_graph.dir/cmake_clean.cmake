@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_graph.dir/dependency_graph.cc.o"
+  "CMakeFiles/depmatch_graph.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/depmatch_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/depmatch_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/depmatch_graph.dir/sparsify.cc.o"
+  "CMakeFiles/depmatch_graph.dir/sparsify.cc.o.d"
+  "libdepmatch_graph.a"
+  "libdepmatch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depmatch/match/annealing_matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/annealing_matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/annealing_matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/candidate_filter.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/candidate_filter.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/candidate_filter.cc.o.d"
+  "/root/repo/src/depmatch/match/candidate_ranking.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/candidate_ranking.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/candidate_ranking.cc.o.d"
+  "/root/repo/src/depmatch/match/exhaustive_matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/exhaustive_matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/exhaustive_matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/graduated_assignment.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/graduated_assignment.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/graduated_assignment.cc.o.d"
+  "/root/repo/src/depmatch/match/greedy_matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/greedy_matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/greedy_matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/hungarian_matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/hungarian_matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/hungarian_matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/interpreted_matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/interpreted_matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/interpreted_matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/mapping_ops.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/mapping_ops.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/mapping_ops.cc.o.d"
+  "/root/repo/src/depmatch/match/matcher.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/matcher.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/matcher.cc.o.d"
+  "/root/repo/src/depmatch/match/matching.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/matching.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/matching.cc.o.d"
+  "/root/repo/src/depmatch/match/metric.cc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/metric.cc.o" "gcc" "src/depmatch/match/CMakeFiles/depmatch_match.dir/metric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depmatch/graph/CMakeFiles/depmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/stats/CMakeFiles/depmatch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/table/CMakeFiles/depmatch_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_match.dir/annealing_matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/annealing_matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/candidate_filter.cc.o"
+  "CMakeFiles/depmatch_match.dir/candidate_filter.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/candidate_ranking.cc.o"
+  "CMakeFiles/depmatch_match.dir/candidate_ranking.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/exhaustive_matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/exhaustive_matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/graduated_assignment.cc.o"
+  "CMakeFiles/depmatch_match.dir/graduated_assignment.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/greedy_matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/greedy_matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/hungarian_matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/hungarian_matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/interpreted_matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/interpreted_matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/mapping_ops.cc.o"
+  "CMakeFiles/depmatch_match.dir/mapping_ops.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/matcher.cc.o"
+  "CMakeFiles/depmatch_match.dir/matcher.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/matching.cc.o"
+  "CMakeFiles/depmatch_match.dir/matching.cc.o.d"
+  "CMakeFiles/depmatch_match.dir/metric.cc.o"
+  "CMakeFiles/depmatch_match.dir/metric.cc.o.d"
+  "libdepmatch_match.a"
+  "libdepmatch_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

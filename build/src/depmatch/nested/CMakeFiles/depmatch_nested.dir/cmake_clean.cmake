@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_nested.dir/document.cc.o"
+  "CMakeFiles/depmatch_nested.dir/document.cc.o.d"
+  "CMakeFiles/depmatch_nested.dir/flatten.cc.o"
+  "CMakeFiles/depmatch_nested.dir/flatten.cc.o.d"
+  "CMakeFiles/depmatch_nested.dir/json.cc.o"
+  "CMakeFiles/depmatch_nested.dir/json.cc.o.d"
+  "CMakeFiles/depmatch_nested.dir/nested_matcher.cc.o"
+  "CMakeFiles/depmatch_nested.dir/nested_matcher.cc.o.d"
+  "CMakeFiles/depmatch_nested.dir/xml.cc.o"
+  "CMakeFiles/depmatch_nested.dir/xml.cc.o.d"
+  "libdepmatch_nested.a"
+  "libdepmatch_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_stats.dir/association.cc.o"
+  "CMakeFiles/depmatch_stats.dir/association.cc.o.d"
+  "CMakeFiles/depmatch_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/depmatch_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/depmatch_stats.dir/entropy.cc.o"
+  "CMakeFiles/depmatch_stats.dir/entropy.cc.o.d"
+  "CMakeFiles/depmatch_stats.dir/histogram.cc.o"
+  "CMakeFiles/depmatch_stats.dir/histogram.cc.o.d"
+  "libdepmatch_stats.a"
+  "libdepmatch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depmatch/table/column.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/column.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/column.cc.o.d"
+  "/root/repo/src/depmatch/table/csv.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/csv.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/csv.cc.o.d"
+  "/root/repo/src/depmatch/table/csv_stream.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/csv_stream.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/csv_stream.cc.o.d"
+  "/root/repo/src/depmatch/table/schema.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/schema.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/schema.cc.o.d"
+  "/root/repo/src/depmatch/table/table.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/table.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/table.cc.o.d"
+  "/root/repo/src/depmatch/table/table_ops.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/table_ops.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/table_ops.cc.o.d"
+  "/root/repo/src/depmatch/table/value.cc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/value.cc.o" "gcc" "src/depmatch/table/CMakeFiles/depmatch_table.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_table.dir/column.cc.o"
+  "CMakeFiles/depmatch_table.dir/column.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/csv.cc.o"
+  "CMakeFiles/depmatch_table.dir/csv.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/csv_stream.cc.o"
+  "CMakeFiles/depmatch_table.dir/csv_stream.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/schema.cc.o"
+  "CMakeFiles/depmatch_table.dir/schema.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/table.cc.o"
+  "CMakeFiles/depmatch_table.dir/table.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/table_ops.cc.o"
+  "CMakeFiles/depmatch_table.dir/table_ops.cc.o.d"
+  "CMakeFiles/depmatch_table.dir/value.cc.o"
+  "CMakeFiles/depmatch_table.dir/value.cc.o.d"
+  "libdepmatch_table.a"
+  "libdepmatch_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

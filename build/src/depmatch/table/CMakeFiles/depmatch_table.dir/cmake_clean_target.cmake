@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdepmatch_table.a"
+)

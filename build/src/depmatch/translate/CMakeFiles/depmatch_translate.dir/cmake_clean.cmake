@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_translate.dir/translate.cc.o"
+  "CMakeFiles/depmatch_translate.dir/translate.cc.o.d"
+  "CMakeFiles/depmatch_translate.dir/value_translation.cc.o"
+  "CMakeFiles/depmatch_translate.dir/value_translation.cc.o.d"
+  "libdepmatch_translate.a"
+  "libdepmatch_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_test.dir/match/annealing_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/annealing_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/candidate_filter_test.cc.o"
+  "CMakeFiles/match_test.dir/match/candidate_filter_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/candidate_ranking_test.cc.o"
+  "CMakeFiles/match_test.dir/match/candidate_ranking_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/exhaustive_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/exhaustive_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/graduated_assignment_test.cc.o"
+  "CMakeFiles/match_test.dir/match/graduated_assignment_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/greedy_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/greedy_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/hungarian_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/hungarian_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/interpreted_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/interpreted_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/mapping_ops_test.cc.o"
+  "CMakeFiles/match_test.dir/match/mapping_ops_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/match_property_test.cc.o"
+  "CMakeFiles/match_test.dir/match/match_property_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match/matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match/metric_test.cc.o"
+  "CMakeFiles/match_test.dir/match/metric_test.cc.o.d"
+  "match_test"
+  "match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

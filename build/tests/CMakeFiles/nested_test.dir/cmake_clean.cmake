@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_test.dir/nested/document_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested/document_test.cc.o.d"
+  "CMakeFiles/nested_test.dir/nested/flatten_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested/flatten_test.cc.o.d"
+  "CMakeFiles/nested_test.dir/nested/json_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested/json_test.cc.o.d"
+  "CMakeFiles/nested_test.dir/nested/nested_matcher_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested/nested_matcher_test.cc.o.d"
+  "CMakeFiles/nested_test.dir/nested/xml_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested/xml_test.cc.o.d"
+  "nested_test"
+  "nested_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/association_test.cc" "tests/CMakeFiles/stats_test.dir/stats/association_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/association_test.cc.o.d"
+  "/root/repo/tests/stats/bootstrap_test.cc" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o.d"
+  "/root/repo/tests/stats/entropy_property_test.cc" "tests/CMakeFiles/stats_test.dir/stats/entropy_property_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/entropy_property_test.cc.o.d"
+  "/root/repo/tests/stats/entropy_test.cc" "tests/CMakeFiles/stats_test.dir/stats/entropy_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/entropy_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depmatch/nested/CMakeFiles/depmatch_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/translate/CMakeFiles/depmatch_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/core/CMakeFiles/depmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/eval/CMakeFiles/depmatch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/datagen/CMakeFiles/depmatch_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/match/CMakeFiles/depmatch_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/graph/CMakeFiles/depmatch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/stats/CMakeFiles/depmatch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/table/CMakeFiles/depmatch_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/depmatch/common/CMakeFiles/depmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

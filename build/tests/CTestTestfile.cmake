@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;24;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(table_test "/root/repo/build/tests/table_test")
+set_tests_properties(table_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;33;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;44;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;52;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(match_test "/root/repo/build/tests/match_test")
+set_tests_properties(match_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;58;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;73;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;80;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;85;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(translate_test "/root/repo/build/tests/translate_test")
+set_tests_properties(translate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;91;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nested_test "/root/repo/build/tests/nested_test")
+set_tests_properties(nested_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;96;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_test "/root/repo/build/tests/cli_test")
+set_tests_properties(cli_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;104;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;111;depmatch_add_test;/root/repo/tests/CMakeLists.txt;0;")

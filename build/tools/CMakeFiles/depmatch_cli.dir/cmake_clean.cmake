@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depmatch_cli.dir/depmatch_cli.cc.o"
+  "CMakeFiles/depmatch_cli.dir/depmatch_cli.cc.o.d"
+  "depmatch"
+  "depmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
