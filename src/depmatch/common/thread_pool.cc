@@ -70,19 +70,26 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t num_threads, size_t count,
                              const std::function<void(size_t)>& fn) {
+  ParallelForWithWorker(num_threads, count,
+                        [&fn](size_t /*worker*/, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWithWorker(
+    size_t num_threads, size_t count,
+    const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   if (num_threads <= 1 || count == 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
   ThreadPool pool(num_threads);
   std::atomic<size_t> next{0};
   for (size_t t = 0; t < num_threads; ++t) {
-    pool.Schedule([&next, count, &fn] {
+    pool.Schedule([&next, count, &fn, t] {
       while (true) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        fn(i);
+        fn(t, i);
       }
     });
   }

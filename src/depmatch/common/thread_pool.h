@@ -44,6 +44,15 @@ class ThreadPool {
   static void ParallelFor(size_t num_threads, size_t count,
                           const std::function<void(size_t)>& fn);
 
+  // Like ParallelFor, but passes the worker's index in [0, num_threads)
+  // as the first argument, so callers can give each worker its own
+  // reusable scratch (O(threads) buffers instead of O(count)). Each index
+  // runs on exactly one worker; the serial path (num_threads <= 1) uses
+  // worker 0 throughout.
+  static void ParallelForWithWorker(
+      size_t num_threads, size_t count,
+      const std::function<void(size_t worker, size_t index)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -1,13 +1,62 @@
 #include "depmatch/graph/graph_builder.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "depmatch/common/thread_pool.h"
-#include "depmatch/stats/association.h"
+#include "depmatch/stats/joint_kernel.h"
 
 namespace depmatch {
+namespace {
+
+// One pairwise edge value from a counting result plus the marginal cache.
+double EdgeValue(DependencyMeasure measure, const JointCounts& joint,
+                 const ColumnMarginal& mx, const ColumnMarginal& my) {
+  if (joint.total == 0) return 0.0;
+  // Under kDropNulls with nulls present the retained rows are
+  // pair-specific and the kernel supplies marginals; otherwise the cached
+  // pair-invariant column marginals apply.
+  double hx = joint.has_marginals
+                  ? EntropyFromSlots(joint.x_marginals, joint.total)
+                  : mx.entropy;
+  double hy = joint.has_marginals
+                  ? EntropyFromSlots(joint.y_marginals, joint.total)
+                  : my.entropy;
+  switch (measure) {
+    case DependencyMeasure::kMutualInformation: {
+      double mi = hx + hy - JointEntropyFromCells(joint);
+      return mi < 0.0 ? 0.0 : mi;
+    }
+    case DependencyMeasure::kNormalizedMutualInformation: {
+      double denom = std::max(hx, hy);
+      if (denom <= 0.0) return 0.0;
+      double mi = hx + hy - JointEntropyFromCells(joint);
+      if (mi < 0.0) mi = 0.0;
+      return std::min(mi / denom, 1.0);
+    }
+    case DependencyMeasure::kCramersV: {
+      size_t levels_x =
+          joint.has_marginals ? SupportFromSlots(joint.x_marginals)
+                              : mx.support;
+      size_t levels_y =
+          joint.has_marginals ? SupportFromSlots(joint.y_marginals)
+                              : my.support;
+      if (levels_x < 2 || levels_y < 2) return 0.0;
+      double chi2 = ChiSquareFromCounts(
+          joint, joint.has_marginals ? joint.x_marginals : mx.slots,
+          joint.has_marginals ? joint.y_marginals : my.slots);
+      double denom = static_cast<double>(joint.total) *
+                     static_cast<double>(std::min(levels_x, levels_y) - 1);
+      return std::min(std::sqrt(chi2 / denom), 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 Result<DependencyGraph> BuildDependencyGraph(
     const Table& table, const DependencyGraphOptions& options) {
@@ -19,47 +68,46 @@ Result<DependencyGraph> BuildDependencyGraph(
   }
   std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
 
-  // Upper-triangle work list (including the diagonal).
-  std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(n * (n + 1) / 2);
+  size_t workers = std::max<size_t>(options.num_threads, 1);
+
+  // Marginal cache: each column's histogram, support, and entropy are
+  // computed exactly once and shared across all pairs, so per-pair work is
+  // joint counting plus the joint fold only.
+  std::vector<ColumnMarginal> marginals(n);
+  ThreadPool::ParallelForWithWorker(
+      workers, n, [&](size_t /*worker*/, size_t i) {
+        marginals[i] =
+            ComputeColumnMarginal(table.column(i), options.stats.null_policy);
+      });
+
+  // Node labels are always entropies (self-information MI(X;X) == H(X));
+  // the cached marginal entropy equals EntropyOf bit-for-bit.
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i; j < n; ++j) {
+    matrix[i][i] = marginals[i].entropy;
+  }
+
+  // Strict upper-triangle work list.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
       pairs.emplace_back(i, j);
     }
   }
 
-  auto compute = [&](size_t k) {
-    auto [i, j] = pairs[k];
-    double value = 0.0;
-    if (i == j) {
-      // Node labels are always entropies (self-information MI(X;X) ==
-      // H(X)); EntropyOf avoids building the diagonal joint histogram.
-      value = EntropyOf(table.column(i), options.stats);
-    } else {
-      switch (options.measure) {
-        case DependencyMeasure::kMutualInformation:
-          value = MutualInformation(table.column(i), table.column(j),
-                                    options.stats);
-          break;
-        case DependencyMeasure::kNormalizedMutualInformation:
-          value = NormalizedMutualInformation(table.column(i),
-                                              table.column(j),
-                                              options.stats);
-          break;
-        case DependencyMeasure::kCramersV:
-          value = CramersV(table.column(i), table.column(j), options.stats);
-          break;
-      }
-    }
-    matrix[i][j] = value;
-    matrix[j][i] = value;
-  };
-
-  if (options.num_threads > 1) {
-    ThreadPool::ParallelFor(options.num_threads, pairs.size(), compute);
-  } else {
-    for (size_t k = 0; k < pairs.size(); ++k) compute(k);
-  }
+  // One counting kernel per worker: scratch buffers are allocated
+  // O(threads) times and reused across pairs.
+  std::vector<JointCountKernel> kernels(workers);
+  ThreadPool::ParallelForWithWorker(
+      workers, pairs.size(), [&](size_t worker, size_t k) {
+        auto [i, j] = pairs[k];
+        const JointCounts& joint = kernels[worker].Count(
+            table.column(i), table.column(j), options.stats);
+        double value =
+            EdgeValue(options.measure, joint, marginals[i], marginals[j]);
+        matrix[i][j] = value;
+        matrix[j][i] = value;
+      });
 
   return DependencyGraph::Create(std::move(names), std::move(matrix));
 }

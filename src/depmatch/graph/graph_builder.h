@@ -4,6 +4,16 @@
 // Table2DepGraph (step 1 of the paper's algorithm): computes pairwise
 // mutual information over all attribute pairs of a table and assembles
 // the dependency graph.
+//
+// The O(n^2) pairwise phase runs on the joint-count kernels of
+// stats/joint_kernel.h: each pair is counted densely (flat matrix) when
+// (distinct_x + 1) * (distinct_y + 1) fits options.stats.dense_cell_budget
+// and sparsely (hash map) otherwise, each column's marginal histogram and
+// entropy are computed once and shared across all pairs, and each worker
+// thread reuses one kernel's scratch across its pairs. Both kernels emit
+// counts in a canonical order, so the resulting graph is bit-identical
+// across kernel choices and thread counts. docs/performance.md describes
+// the selection rule and how to tune the budget.
 
 #ifndef DEPMATCH_GRAPH_GRAPH_BUILDER_H_
 #define DEPMATCH_GRAPH_GRAPH_BUILDER_H_
@@ -29,8 +39,11 @@ enum class DependencyMeasure {
 };
 
 struct DependencyGraphOptions {
+  // Null handling plus the dense-kernel cell budget (stats.dense_cell_budget;
+  // 0 forces the sparse hash-map path for every pair).
   StatsOptions stats;
-  // Worker threads for the O(n^2) MI computation; 1 = serial.
+  // Worker threads for the O(n^2) MI computation; 1 = serial. The result
+  // is identical for every thread count.
   size_t num_threads = 1;
   DependencyMeasure measure = DependencyMeasure::kMutualInformation;
 };

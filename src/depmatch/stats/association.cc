@@ -2,52 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+
+#include "depmatch/stats/joint_kernel.h"
 
 namespace depmatch {
+namespace {
+
+// Marginal slot vectors and supports for a counted pair, from the kernel's
+// per-pair marginals when present, otherwise from the column marginals.
+struct PairMarginals {
+  std::vector<uint64_t> x_slots;
+  std::vector<uint64_t> y_slots;
+  size_t support_x = 0;
+  size_t support_y = 0;
+};
+
+PairMarginals MarginalsFor(const JointCounts& joint, const Column& x,
+                           const Column& y, NullPolicy policy) {
+  PairMarginals m;
+  if (joint.has_marginals) {
+    m.x_slots = joint.x_marginals;
+    m.y_slots = joint.y_marginals;
+  } else {
+    m.x_slots = ComputeColumnMarginal(x, policy).slots;
+    m.y_slots = ComputeColumnMarginal(y, policy).slots;
+  }
+  m.support_x = SupportFromSlots(m.x_slots);
+  m.support_y = SupportFromSlots(m.y_slots);
+  return m;
+}
+
+}  // namespace
 
 double ChiSquareStatistic(const Column& x, const Column& y,
                           const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  uint64_t total = joint.total();
-  if (total == 0) return 0.0;
-  double n = static_cast<double>(total);
-
   // chi^2 = N * (sum over observed cells of o^2 / (row * col) - 1).
   // Summing only observed cells is exact: unobserved cells contribute
   // (0 - e)^2 / e = e, and the sum of all expected values is N, so
   //   chi^2 = sum_observed (o - e)^2 / e + (N - sum_observed e)
   //         = sum_observed (o^2/e - 2o + e) + N - sum_observed e
   //         = sum_observed o^2/e - 2N + N = sum_observed o^2/e - N.
-  double sum = 0.0;
-  for (const auto& [key, count] : joint.cells()) {
-    int32_t x_code = static_cast<int32_t>(
-        static_cast<uint32_t>(key >> 32)) - 1;
-    int32_t y_code = static_cast<int32_t>(
-        static_cast<uint32_t>(key & 0xffffffffULL)) - 1;
-    double row = static_cast<double>(joint.x_counts().at(x_code));
-    double col = static_cast<double>(joint.y_counts().at(y_code));
-    double observed = static_cast<double>(count);
-    double expected = row * col / n;
-    sum += observed * observed / expected;
-  }
-  double chi2 = sum - n;
-  return chi2 < 0.0 ? 0.0 : chi2;
+  // The fold itself lives in ChiSquareFromCounts (joint_kernel.h).
+  JointCountKernel kernel;
+  const JointCounts& joint = kernel.Count(x, y, options);
+  if (joint.total == 0) return 0.0;
+  PairMarginals m = MarginalsFor(joint, x, y, options.null_policy);
+  return ChiSquareFromCounts(joint, m.x_slots, m.y_slots);
 }
 
 double CramersV(const Column& x, const Column& y,
                 const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  uint64_t total = joint.total();
-  if (total == 0) return 0.0;
-  size_t levels_x = joint.x_counts().size();
-  size_t levels_y = joint.y_counts().size();
-  if (levels_x < 2 || levels_y < 2) return 0.0;
-  double chi2 = ChiSquareStatistic(x, y, options);
-  double denom = static_cast<double>(total) *
-                 static_cast<double>(std::min(levels_x, levels_y) - 1);
+  // One counting pass serves both the chi-square fold and the level
+  // counts.
+  JointCountKernel kernel;
+  const JointCounts& joint = kernel.Count(x, y, options);
+  if (joint.total == 0) return 0.0;
+  PairMarginals m = MarginalsFor(joint, x, y, options.null_policy);
+  if (m.support_x < 2 || m.support_y < 2) return 0.0;
+  double chi2 = ChiSquareFromCounts(joint, m.x_slots, m.y_slots);
+  double denom = static_cast<double>(joint.total) *
+                 static_cast<double>(std::min(m.support_x, m.support_y) - 1);
   double v = std::sqrt(chi2 / denom);
   return std::min(v, 1.0);
 }

@@ -4,105 +4,85 @@
 #include <cmath>
 #include <cstdint>
 
+#include "depmatch/stats/joint_kernel.h"
+
 namespace depmatch {
 namespace {
 
-inline uint64_t EntryCount(uint64_t count) { return count; }
-template <typename K>
-uint64_t EntryCount(const std::pair<const K, uint64_t>& entry) {
-  return entry.second;
-}
-
-// H = log2(N) - (1/N) sum c*log2(c), over nonzero counts summing to N.
-template <typename Counts>
-double EntropyFromCountRange(const Counts& counts, uint64_t total) {
-  if (total == 0) return 0.0;
-  double weighted = 0.0;
-  for (const auto& entry : counts) {
-    uint64_t count = EntryCount(entry);
-    if (count == 0) continue;
-    double c = static_cast<double>(count);
-    weighted += c * std::log2(c);
+// Marginal entropies of a counted pair: from the kernel's per-pair
+// marginals when the retained-row set is pair-dependent, otherwise from
+// the pair-invariant column marginals.
+std::pair<double, double> MarginalEntropies(const JointCounts& joint,
+                                            const Column& x, const Column& y,
+                                            NullPolicy policy) {
+  if (joint.has_marginals) {
+    return {EntropyFromSlots(joint.x_marginals, joint.total),
+            EntropyFromSlots(joint.y_marginals, joint.total)};
   }
-  double n = static_cast<double>(total);
-  double h = std::log2(n) - weighted / n;
-  return h < 0.0 ? 0.0 : h;
+  return {ComputeColumnMarginal(x, policy).entropy,
+          ComputeColumnMarginal(y, policy).entropy};
 }
 
 }  // namespace
 
 double EntropyFromCounts(const std::vector<uint64_t>& counts) {
   uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  return EntropyFromCountRange(counts, total);
-}
-
-double EntropyOf(const Column& x, const StatsOptions& options) {
-  Histogram h = Histogram::FromColumn(x, options.null_policy);
-  uint64_t total = h.total();
-  if (total == 0) return 0.0;
   double weighted = 0.0;
-  for (uint64_t count : h.code_counts()) {
+  for (uint64_t count : counts) {
     if (count == 0) continue;
+    total += count;
     double c = static_cast<double>(count);
     weighted += c * std::log2(c);
   }
-  if (h.null_count() > 0) {
-    double c = static_cast<double>(h.null_count());
-    weighted += c * std::log2(c);
-  }
+  if (total == 0) return 0.0;
   double n = static_cast<double>(total);
-  double entropy = std::log2(n) - weighted / n;
-  return entropy < 0.0 ? 0.0 : entropy;
+  double h = std::log2(n) - weighted / n;
+  return h < 0.0 ? 0.0 : h;
+}
+
+double EntropyOf(const Column& x, const StatsOptions& options) {
+  return ComputeColumnMarginal(x, options.null_policy).entropy;
 }
 
 double JointEntropy(const Column& x, const Column& y,
                     const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  return EntropyFromCountRange(joint.cells(), joint.total());
+  JointCountKernel kernel;
+  return JointEntropyFromCells(kernel.Count(x, y, options));
 }
 
 double MutualInformation(const Column& x, const Column& y,
                          const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  uint64_t total = joint.total();
-  if (total == 0) return 0.0;
-  double hx = EntropyFromCountRange(joint.x_counts(), total);
-  double hy = EntropyFromCountRange(joint.y_counts(), total);
-  double hxy = EntropyFromCountRange(joint.cells(), total);
-  double mi = hx + hy - hxy;
+  JointCountKernel kernel;
+  const JointCounts& joint = kernel.Count(x, y, options);
+  if (joint.total == 0) return 0.0;
+  auto [hx, hy] = MarginalEntropies(joint, x, y, options.null_policy);
+  double mi = hx + hy - JointEntropyFromCells(joint);
   return mi < 0.0 ? 0.0 : mi;
 }
 
 double ConditionalEntropy(const Column& x, const Column& y,
                           const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  uint64_t total = joint.total();
-  if (total == 0) return 0.0;
-  double hy = EntropyFromCountRange(joint.y_counts(), total);
-  double hxy = EntropyFromCountRange(joint.cells(), total);
-  double cond = hxy - hy;
+  JointCountKernel kernel;
+  const JointCounts& joint = kernel.Count(x, y, options);
+  if (joint.total == 0) return 0.0;
+  double hy = joint.has_marginals
+                  ? EntropyFromSlots(joint.y_marginals, joint.total)
+                  : ComputeColumnMarginal(y, options.null_policy).entropy;
+  double cond = JointEntropyFromCells(joint) - hy;
   return cond < 0.0 ? 0.0 : cond;
 }
 
 double NormalizedMutualInformation(const Column& x, const Column& y,
                                    const StatsOptions& options) {
-  JointHistogram joint =
-      JointHistogram::FromColumns(x, y, options.null_policy);
-  uint64_t total = joint.total();
-  if (total == 0) return 0.0;
-  double hx = EntropyFromCountRange(joint.x_counts(), total);
-  double hy = EntropyFromCountRange(joint.y_counts(), total);
+  JointCountKernel kernel;
+  const JointCounts& joint = kernel.Count(x, y, options);
+  if (joint.total == 0) return 0.0;
+  auto [hx, hy] = MarginalEntropies(joint, x, y, options.null_policy);
   double denom = std::max(hx, hy);
   if (denom <= 0.0) return 0.0;
-  double hxy = EntropyFromCountRange(joint.cells(), total);
-  double mi = hx + hy - hxy;
+  double mi = hx + hy - JointEntropyFromCells(joint);
   if (mi < 0.0) mi = 0.0;
-  double nmi = mi / denom;
-  return std::min(nmi, 1.0);
+  return std::min(mi / denom, 1.0);
 }
 
 }  // namespace depmatch

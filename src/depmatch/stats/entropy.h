@@ -27,9 +27,8 @@
 
 namespace depmatch {
 
-struct StatsOptions {
-  NullPolicy null_policy = NullPolicy::kNullAsSymbol;
-};
+// StatsOptions (the null policy and the dense-kernel budget) is defined in
+// histogram.h and shared with association.h and joint_kernel.h.
 
 // H(X) in bits. An empty or all-dropped column has entropy 0.
 double EntropyOf(const Column& x, const StatsOptions& options = {});

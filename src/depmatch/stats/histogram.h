@@ -12,6 +12,7 @@
 #ifndef DEPMATCH_STATS_HISTOGRAM_H_
 #define DEPMATCH_STATS_HISTOGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,11 @@
 #include "depmatch/table/column.h"
 
 namespace depmatch {
+
+// Default ceiling on (distinct_x + 1) * (distinct_y + 1) below which the
+// pairwise statistics use the dense counting kernel (see joint_kernel.h):
+// 2^20 cells = 8 MiB of uint64 counts per worker thread.
+inline constexpr size_t kDefaultDenseCellBudget = size_t{1} << 20;
 
 // How null cells participate in distribution estimates.
 enum class NullPolicy {
@@ -30,6 +36,17 @@ enum class NullPolicy {
   // Rows containing a null (in either column, for joint estimates) are
   // excluded from the estimate.
   kDropNulls,
+};
+
+// Options shared by every pairwise statistic (entropy.h, association.h,
+// joint_kernel.h). Lives here, next to NullPolicy, so the counting layer
+// and the estimator layer agree on one knob set.
+struct StatsOptions {
+  NullPolicy null_policy = NullPolicy::kNullAsSymbol;
+  // A pair of columns is counted with the dense flat-matrix kernel when
+  // (distinct_x + 1) * (distinct_y + 1) <= dense_cell_budget; otherwise
+  // the sparse hash-map kernel is used. 0 forces the sparse path.
+  size_t dense_cell_budget = kDefaultDenseCellBudget;
 };
 
 // Marginal frequency histogram of one column.

@@ -1,0 +1,123 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Pairwise joint-count kernels: the hot path of Table2DepGraph.
+//
+// Every pairwise statistic (MI, NMI, chi-square / Cramér's V) is a fold
+// over the joint count table of two dictionary-encoded columns. This module
+// provides two interchangeable counting kernels plus the deterministic
+// folds:
+//
+//   * Dense: a flat (distinct_x + 1) x (distinct_y + 1) count matrix, one
+//     array increment per row. Chosen when the matrix fits the configured
+//     cell budget (StatsOptions::dense_cell_budget). The scratch matrix is
+//     kept all-zero between calls and only the touched cells are reset, so
+//     per-pair cost is O(rows + k log k) for k distinct pairs, with no
+//     per-pair allocation after warm-up.
+//   * Sparse: the classic hash-map of packed code pairs, used as fallback
+//     for high-cardinality pairs whose product exceeds the budget.
+//
+// Both kernels emit cells in row-major (x_code, y_code) order with the
+// null slot first, so every downstream floating-point fold visits cells in
+// the same order regardless of which kernel ran: the two paths are
+// bit-identical, which the equivalence tests assert with exact equality.
+//
+// A JointCountKernel instance owns reusable scratch and is meant to live
+// per worker thread (the graph builder allocates O(threads) kernels, not
+// O(pairs) hash maps).
+
+#ifndef DEPMATCH_STATS_JOINT_KERNEL_H_
+#define DEPMATCH_STATS_JOINT_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/stats/histogram.h"
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+// Marginal distribution of one column in "slot" form: slots[code + 1] is
+// the count of dictionary code `code`, slots[0] the null count (0 under
+// kDropNulls). Computed once per column and reused across all pairs by the
+// graph builder (the marginal cache).
+struct ColumnMarginal {
+  std::vector<uint64_t> slots;
+  uint64_t total = 0;
+  // Number of distinct observed symbols (non-zero slots).
+  size_t support = 0;
+  // H(X) in bits, folded in slot order (codes first, then null) — the same
+  // order as EntropyOf, so the two are bit-identical.
+  double entropy = 0.0;
+};
+
+ColumnMarginal ComputeColumnMarginal(const Column& column, NullPolicy policy);
+
+// Result of one pairwise counting pass. Cells are the non-zero entries of
+// the joint count table, stored as parallel arrays in row-major
+// (x_slot, y_slot) order where slot = code + 1 and slot 0 is null.
+struct JointCounts {
+  uint64_t total = 0;
+  std::vector<uint32_t> cell_x_slots;
+  std::vector<uint32_t> cell_y_slots;
+  std::vector<uint64_t> cell_counts;
+  // Per-pair marginals over the retained rows. Filled only when the
+  // retained-row set is pair-dependent (kDropNulls with nulls present);
+  // otherwise the pair-invariant ColumnMarginal of each column applies and
+  // `has_marginals` is false.
+  bool has_marginals = false;
+  std::vector<uint64_t> x_marginals;
+  std::vector<uint64_t> y_marginals;
+  // Which kernel produced this result (observability / tests).
+  bool used_dense = false;
+
+  size_t num_cells() const { return cell_counts.size(); }
+};
+
+// Reusable two-column counting kernel. Not thread-safe; use one instance
+// per worker. Count() returns a reference to internal storage that remains
+// valid until the next Count() call.
+class JointCountKernel {
+ public:
+  // True when the dense kernel will be used for (x, y) under `options`.
+  static bool UseDense(const Column& x, const Column& y,
+                       const StatsOptions& options);
+
+  // Counts pair frequencies of (x, y) under options.null_policy.
+  // Precondition: x.size() == y.size().
+  const JointCounts& Count(const Column& x, const Column& y,
+                           const StatsOptions& options);
+
+ private:
+  void CountDense(const Column& x, const Column& y, NullPolicy policy);
+  void CountSparse(const Column& x, const Column& y, NullPolicy policy);
+  void FillMarginals(const Column& x, const Column& y);
+
+  JointCounts counts_;
+  // Dense scratch; invariant: all-zero between Count() calls.
+  std::vector<uint64_t> dense_;
+  // Flat indices of non-zero dense cells for the current pair.
+  std::vector<uint64_t> touched_;
+  // Sparse scratch, cleared (capacity kept) between pairs.
+  std::unordered_map<uint64_t, uint64_t> sparse_;
+  std::vector<uint64_t> sparse_keys_;
+};
+
+// Deterministic folds over a counting result. All entropies are in bits
+// and use the numerically stable form H = log2(N) - (1/N) sum c*log2(c).
+double JointEntropyFromCells(const JointCounts& counts);
+double EntropyFromSlots(const std::vector<uint64_t>& slots, uint64_t total);
+size_t SupportFromSlots(const std::vector<uint64_t>& slots);
+
+// Pearson chi-square from one counting pass plus the two marginal slot
+// vectors (cached or pair-computed; they must cover the retained rows of
+// `counts`). Returns 0 for an empty pair.
+double ChiSquareFromCounts(const JointCounts& counts,
+                           const std::vector<uint64_t>& x_slots,
+                           const std::vector<uint64_t>& y_slots);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_JOINT_KERNEL_H_

@@ -77,5 +77,46 @@ TEST(ParallelForTest, ZeroCountIsNoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelForWithWorkerTest, VisitsEveryIndexWithValidWorker) {
+  constexpr size_t kThreads = 4;
+  std::vector<std::atomic<int>> visits(1000);
+  std::atomic<bool> worker_in_range{true};
+  ThreadPool::ParallelForWithWorker(
+      kThreads, visits.size(),
+      [&visits, &worker_in_range](size_t worker, size_t i) {
+        if (worker >= kThreads) worker_in_range = false;
+        visits[i].fetch_add(1);
+      });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+  EXPECT_TRUE(worker_in_range.load());
+}
+
+TEST(ParallelForWithWorkerTest, SerialPathUsesWorkerZero) {
+  std::vector<size_t> workers;
+  ThreadPool::ParallelForWithWorker(
+      1, 10, [&workers](size_t worker, size_t) { workers.push_back(worker); });
+  ASSERT_EQ(workers.size(), 10u);
+  for (size_t w : workers) EXPECT_EQ(w, 0u);
+}
+
+TEST(ParallelForWithWorkerTest, EachIndexSeesExactlyOneWorker) {
+  // Per-worker scratch is sound only if an index never runs on two
+  // workers; record the worker per index and check it was set once.
+  std::vector<std::atomic<int>> owner(500);
+  for (auto& o : owner) o.store(-1);
+  ThreadPool::ParallelForWithWorker(
+      3, owner.size(), [&owner](size_t worker, size_t i) {
+        int expected = -1;
+        owner[i].compare_exchange_strong(expected,
+                                         static_cast<int>(worker));
+      });
+  for (const auto& o : owner) {
+    EXPECT_GE(o.load(), 0);
+    EXPECT_LT(o.load(), 3);
+  }
+}
+
 }  // namespace
 }  // namespace depmatch

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/bayes_net.h"
 #include "depmatch/stats/entropy.h"
+#include "depmatch/stats/joint_kernel.h"
 #include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
 
 namespace depmatch {
 namespace {
@@ -135,6 +139,99 @@ TEST(GraphBuilderTest, MeasuresAgreeOnFunctionalDependency) {
     auto graph = BuildDependencyGraph(table, options);
     ASSERT_TRUE(graph.ok());
     EXPECT_GT(graph->mi(0, 2), graph->mi(2, 3));
+  }
+}
+
+// Randomized 12-attribute table with mixed alphabets and a dependency
+// chain, deterministic in `seed`.
+Table RandomChainTable(size_t rows, uint64_t seed) {
+  datagen::BayesNetSpec spec;
+  for (size_t i = 0; i < 12; ++i) {
+    datagen::AttributeGenSpec attr;
+    attr.name = "a" + std::to_string(i);
+    attr.alphabet_size = 4 + (i % 5) * 11;
+    if (i > 0) {
+      attr.parents = {i - 1};
+      attr.noise = 0.3;
+    }
+    spec.attributes.push_back(attr);
+  }
+  return datagen::GenerateBayesNet(spec, rows, seed).value();
+}
+
+TEST(GraphBuilderTest, DenseAndSparseKernelsProduceIdenticalGraphs) {
+  // The dense flat-matrix kernel and the sparse hash-map fallback emit
+  // counts in the same canonical order, so the graphs must match exactly,
+  // for every measure.
+  Table table = RandomChainTable(2000, 7);
+  for (DependencyMeasure measure :
+       {DependencyMeasure::kMutualInformation,
+        DependencyMeasure::kNormalizedMutualInformation,
+        DependencyMeasure::kCramersV}) {
+    DependencyGraphOptions dense;
+    dense.measure = measure;
+    DependencyGraphOptions sparse;
+    sparse.measure = measure;
+    sparse.stats.dense_cell_budget = 0;
+    auto g1 = BuildDependencyGraph(table, dense);
+    auto g2 = BuildDependencyGraph(table, sparse);
+    ASSERT_TRUE(g1.ok());
+    ASSERT_TRUE(g2.ok());
+    for (size_t i = 0; i < g1->size(); ++i) {
+      for (size_t j = 0; j < g1->size(); ++j) {
+        EXPECT_DOUBLE_EQ(g1->mi(i, j), g2->mi(i, j))
+            << "measure " << static_cast<int>(measure) << " cell (" << i
+            << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GraphBuilderTest, ThreadCountDoesNotChangeTheGraph) {
+  // num_threads is a throughput knob only: 1 worker and 8 workers must
+  // yield bit-identical dependency graphs.
+  Table table = RandomChainTable(1500, 13);
+  DependencyGraphOptions serial;
+  DependencyGraphOptions parallel;
+  parallel.num_threads = 8;
+  auto g1 = BuildDependencyGraph(table, serial);
+  auto g2 = BuildDependencyGraph(table, parallel);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  for (size_t i = 0; i < g1->size(); ++i) {
+    for (size_t j = 0; j < g1->size(); ++j) {
+      EXPECT_DOUBLE_EQ(g1->mi(i, j), g2->mi(i, j));
+    }
+  }
+}
+
+TEST(GraphBuilderTest, DensePathIsReEncodingInvariant) {
+  // Definition 1.1 run through the dense kernel: arbitrary one-to-one
+  // re-encodings of every column leave the dependency graph unchanged
+  // (up to float summation order, since codes are renumbered).
+  Table table = RandomChainTable(2000, 21);
+  DependencyGraphOptions options;
+  // All pairs must take the dense path for this to exercise it.
+  for (size_t i = 0; i < table.num_attributes(); ++i) {
+    for (size_t j = i + 1; j < table.num_attributes(); ++j) {
+      ASSERT_TRUE(JointCountKernel::UseDense(table.column(i),
+                                             table.column(j), options.stats));
+    }
+  }
+  auto baseline = BuildDependencyGraph(table, options);
+  ASSERT_TRUE(baseline.ok());
+  for (uint64_t encoding_seed : {31u, 32u}) {
+    Rng rng(encoding_seed);
+    Table encoded = OpaqueEncode(table, {}, rng);
+    auto graph = BuildDependencyGraph(encoded, options);
+    ASSERT_TRUE(graph.ok());
+    for (size_t i = 0; i < baseline->size(); ++i) {
+      for (size_t j = 0; j < baseline->size(); ++j) {
+        EXPECT_NEAR(graph->mi(i, j), baseline->mi(i, j), 1e-9)
+            << "cell (" << i << ", " << j << ") under seed "
+            << encoding_seed;
+      }
+    }
   }
 }
 

@@ -1,0 +1,216 @@
+#include "depmatch/stats/joint_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/stats/association.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/stats/histogram.h"
+
+namespace depmatch {
+namespace {
+
+Column Int64Column(std::initializer_list<int> values) {
+  Column col(DataType::kInt64);
+  for (int v : values) col.Append(Value(static_cast<int64_t>(v)));
+  return col;
+}
+
+// Random column with the given alphabet and null probability.
+Column RandomColumn(Rng& rng, size_t rows, size_t alphabet,
+                    double null_probability) {
+  Column col(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(null_probability)) {
+      col.Append(Value::Null());
+    } else {
+      col.Append(Value(static_cast<int64_t>(rng.NextBounded(alphabet))));
+    }
+  }
+  return col;
+}
+
+StatsOptions DenseOptions(NullPolicy policy = NullPolicy::kNullAsSymbol) {
+  StatsOptions options;
+  options.null_policy = policy;
+  return options;
+}
+
+StatsOptions SparseOptions(NullPolicy policy = NullPolicy::kNullAsSymbol) {
+  StatsOptions options;
+  options.null_policy = policy;
+  options.dense_cell_budget = 0;  // force the hash-map fallback
+  return options;
+}
+
+TEST(ColumnMarginalTest, MatchesHistogramAndEntropyOf) {
+  Rng rng(11);
+  Column col = RandomColumn(rng, 500, 17, 0.1);
+  for (NullPolicy policy :
+       {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+    ColumnMarginal m = ComputeColumnMarginal(col, policy);
+    Histogram h = Histogram::FromColumn(col, policy);
+    EXPECT_EQ(m.total, h.total());
+    EXPECT_EQ(m.support, h.support_size());
+    EXPECT_EQ(m.slots[0], h.null_count());
+    for (size_t c = 0; c < h.code_counts().size(); ++c) {
+      EXPECT_EQ(m.slots[c + 1], h.code_counts()[c]);
+    }
+    StatsOptions options;
+    options.null_policy = policy;
+    EXPECT_DOUBLE_EQ(m.entropy, EntropyOf(col, options));
+  }
+}
+
+TEST(JointCountKernelTest, DenseSelectionRule) {
+  Column x = Int64Column({0, 1, 2, 3});  // 4 distinct -> 5 slots
+  Column y = Int64Column({0, 1, 0, 1});  // 2 distinct -> 3 slots
+  StatsOptions options;
+  options.dense_cell_budget = 15;  // 5 * 3 = 15 fits exactly
+  EXPECT_TRUE(JointCountKernel::UseDense(x, y, options));
+  options.dense_cell_budget = 14;
+  EXPECT_FALSE(JointCountKernel::UseDense(x, y, options));
+  options.dense_cell_budget = 0;
+  EXPECT_FALSE(JointCountKernel::UseDense(x, y, options));
+}
+
+TEST(JointCountKernelTest, MatchesJointHistogram) {
+  Rng rng(5);
+  Column x = RandomColumn(rng, 400, 13, 0.15);
+  Column y = RandomColumn(rng, 400, 7, 0.15);
+  for (NullPolicy policy :
+       {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+    for (bool dense : {true, false}) {
+      StatsOptions options = dense ? DenseOptions(policy)
+                                   : SparseOptions(policy);
+      JointCountKernel kernel;
+      const JointCounts& counts = kernel.Count(x, y, options);
+      EXPECT_EQ(counts.used_dense, dense);
+
+      JointHistogram joint = JointHistogram::FromColumns(x, y, policy);
+      EXPECT_EQ(counts.total, joint.total());
+      ASSERT_EQ(counts.num_cells(), joint.cells().size());
+      for (size_t c = 0; c < counts.num_cells(); ++c) {
+        int32_t x_code = static_cast<int32_t>(counts.cell_x_slots[c]) - 1;
+        int32_t y_code = static_cast<int32_t>(counts.cell_y_slots[c]) - 1;
+        uint64_t key = JointHistogram::PackCodes(x_code, y_code);
+        auto it = joint.cells().find(key);
+        ASSERT_NE(it, joint.cells().end());
+        EXPECT_EQ(counts.cell_counts[c], it->second);
+      }
+    }
+  }
+}
+
+TEST(JointCountKernelTest, CellsAreInCanonicalOrder) {
+  Rng rng(9);
+  Column x = RandomColumn(rng, 300, 19, 0.05);
+  Column y = RandomColumn(rng, 300, 23, 0.05);
+  for (bool dense : {true, false}) {
+    StatsOptions options = dense ? DenseOptions() : SparseOptions();
+    JointCountKernel kernel;
+    const JointCounts& counts = kernel.Count(x, y, options);
+    for (size_t c = 1; c < counts.num_cells(); ++c) {
+      bool ordered =
+          counts.cell_x_slots[c - 1] < counts.cell_x_slots[c] ||
+          (counts.cell_x_slots[c - 1] == counts.cell_x_slots[c] &&
+           counts.cell_y_slots[c - 1] < counts.cell_y_slots[c]);
+      EXPECT_TRUE(ordered) << "cell " << c << " out of order";
+    }
+  }
+}
+
+TEST(JointCountKernelTest, DenseAndSparseAreBitIdentical) {
+  // The two kernels must agree exactly (not just approximately): they emit
+  // cells in the same canonical order, so every downstream fold sums the
+  // same doubles in the same order.
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t alphabet_x = 2 + rng.NextBounded(40);
+    size_t alphabet_y = 2 + rng.NextBounded(40);
+    double null_p = (trial % 2 == 0) ? 0.0 : 0.2;
+    Column x = RandomColumn(rng, 600, alphabet_x, null_p);
+    Column y = RandomColumn(rng, 600, alphabet_y, null_p);
+    for (NullPolicy policy :
+         {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+      StatsOptions dense = DenseOptions(policy);
+      StatsOptions sparse = SparseOptions(policy);
+      EXPECT_DOUBLE_EQ(MutualInformation(x, y, dense),
+                       MutualInformation(x, y, sparse));
+      EXPECT_DOUBLE_EQ(NormalizedMutualInformation(x, y, dense),
+                       NormalizedMutualInformation(x, y, sparse));
+      EXPECT_DOUBLE_EQ(CramersV(x, y, dense), CramersV(x, y, sparse));
+      EXPECT_DOUBLE_EQ(JointEntropy(x, y, dense),
+                       JointEntropy(x, y, sparse));
+      EXPECT_DOUBLE_EQ(ConditionalEntropy(x, y, dense),
+                       ConditionalEntropy(x, y, sparse));
+      EXPECT_DOUBLE_EQ(ChiSquareStatistic(x, y, dense),
+                       ChiSquareStatistic(x, y, sparse));
+    }
+  }
+}
+
+TEST(JointCountKernelTest, PairMarginalsOnlyWhenDroppingObservedNulls) {
+  Rng rng(3);
+  Column with_nulls = RandomColumn(rng, 200, 6, 0.3);
+  Column no_nulls = RandomColumn(rng, 200, 6, 0.0);
+  JointCountKernel kernel;
+  EXPECT_FALSE(
+      kernel.Count(with_nulls, no_nulls, DenseOptions()).has_marginals);
+  EXPECT_FALSE(kernel
+                   .Count(no_nulls, no_nulls,
+                          DenseOptions(NullPolicy::kDropNulls))
+                   .has_marginals);
+
+  const JointCounts& counts =
+      kernel.Count(with_nulls, no_nulls, DenseOptions(NullPolicy::kDropNulls));
+  ASSERT_TRUE(counts.has_marginals);
+  uint64_t x_sum = 0;
+  for (uint64_t c : counts.x_marginals) x_sum += c;
+  uint64_t y_sum = 0;
+  for (uint64_t c : counts.y_marginals) y_sum += c;
+  EXPECT_EQ(x_sum, counts.total);
+  EXPECT_EQ(y_sum, counts.total);
+  EXPECT_EQ(counts.x_marginals[0], 0u);  // dropped rows leave no null mass
+}
+
+TEST(JointCountKernelTest, ScratchReuseAcrossPairsIsClean) {
+  // One kernel counting many different pairs (alternating dense/sparse)
+  // must give the same answers as a fresh kernel per pair: the scratch
+  // reset logic may not leak counts between pairs.
+  Rng rng(77);
+  std::vector<Column> columns;
+  for (int i = 0; i < 6; ++i) {
+    columns.push_back(RandomColumn(rng, 300, 3 + 7 * i, 0.1));
+  }
+  JointCountKernel reused;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      StatsOptions options = DenseOptions();
+      // Alternate kernels across pairs.
+      if ((i + j) % 2 == 0) options.dense_cell_budget = 0;
+      const JointCounts& a = reused.Count(columns[i], columns[j], options);
+      uint64_t a_total = a.total;
+      std::vector<uint64_t> a_cells = a.cell_counts;
+      JointCountKernel fresh;
+      const JointCounts& b = fresh.Count(columns[i], columns[j], options);
+      EXPECT_EQ(a_total, b.total);
+      EXPECT_EQ(a_cells, b.cell_counts);
+    }
+  }
+}
+
+TEST(JointCountKernelTest, EmptyColumns) {
+  Column x(DataType::kInt64);
+  Column y(DataType::kInt64);
+  JointCountKernel kernel;
+  const JointCounts& counts = kernel.Count(x, y, DenseOptions());
+  EXPECT_EQ(counts.total, 0u);
+  EXPECT_EQ(counts.num_cells(), 0u);
+}
+
+}  // namespace
+}  // namespace depmatch

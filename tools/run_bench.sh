@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds Release and refreshes BENCH_graph_build.json at the repo root so
+# perf changes in the Table2DepGraph hot path can be diffed PR over PR.
+#
+# Usage: tools/run_bench.sh [build_dir]
+#   build_dir        defaults to <repo>/build
+#   DEPMATCH_BENCH_REPS   repetitions per data point (default 5)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target bench_graph_build
+"$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
