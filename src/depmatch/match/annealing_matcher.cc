@@ -5,69 +5,139 @@
 #include <optional>
 #include <vector>
 
+#include "depmatch/common/logging.h"
 #include "depmatch/common/rng.h"
 #include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
 #include "depmatch/match/candidate_filter.h"
 #include "depmatch/match/greedy_matcher.h"
 #include "depmatch/match/metric.h"
+#include "depmatch/match/score_kernel.h"
 
 namespace depmatch {
 namespace {
 
-constexpr size_t kUnassigned = static_cast<size_t>(-1);
+constexpr size_t kUnassigned = ScoreState::kUnassigned;
 
-// Mutable assignment state with O(n) contribution deltas.
-class State {
- public:
-  State(const DependencyGraph& a, const DependencyGraph& b,
-        const Metric& metric, size_t n, size_t m)
-      : a_(a), b_(b), metric_(metric), target_of_(n, kUnassigned),
-        source_of_(m, kUnassigned) {}
-
-  size_t target_of(size_t s) const { return target_of_[s]; }
-  bool target_used(size_t t) const { return source_of_[t] != kUnassigned; }
-  double sum() const { return sum_; }
-
-  std::vector<MatchPair> Pairs() const {
-    std::vector<MatchPair> pairs;
-    for (size_t s = 0; s < target_of_.size(); ++s) {
-      if (target_of_[s] != kUnassigned) pairs.push_back({s, target_of_[s]});
-    }
-    return pairs;
-  }
-
-  // Contribution of assigning s -> t given the current assignment minus s.
-  double GainOf(size_t s, size_t t) const {
-    std::vector<MatchPair> others;
-    for (size_t s2 = 0; s2 < target_of_.size(); ++s2) {
-      if (s2 == s || target_of_[s2] == kUnassigned) continue;
-      others.push_back({s2, target_of_[s2]});
-    }
-    return metric_.IncrementalGain(a_, b_, others, s, t);
-  }
-
-  void Assign(size_t s, size_t t) {
-    sum_ += GainOf(s, t);
-    target_of_[s] = t;
-    source_of_[t] = s;
-  }
-
-  void Unassign(size_t s) {
-    size_t t = target_of_[s];
-    target_of_[s] = kUnassigned;
-    source_of_[t] = kUnassigned;
-    // Contribution is measured against the assignment without s.
-    sum_ -= GainOf(s, t);
-  }
-
- private:
-  const DependencyGraph& a_;
-  const DependencyGraph& b_;
-  const Metric& metric_;
-  std::vector<size_t> target_of_;
-  std::vector<size_t> source_of_;
-  double sum_ = 0.0;
+struct RestartOutcome {
+  double best_sum = 0.0;
+  std::vector<MatchPair> best_pairs;
+  uint64_t moves_tried = 0;
 };
+
+// One annealing run over the shared kernel, seeded with `seed`. The move
+// proposal / acceptance sequence is identical to the historical
+// implementation; only the mechanics changed (allocation-free ScoreState
+// deltas, O(1) owner lookup, fixed-size undo stacks).
+RestartOutcome RunRestart(const ScoreKernel& kernel,
+                          const std::vector<std::vector<size_t>>& candidates,
+                          const std::vector<char>& allowed,
+                          const std::vector<MatchPair>& start,
+                          const AnnealingParams& params, uint64_t seed,
+                          bool partial) {
+  size_t n = kernel.source_size();
+  size_t m = kernel.target_size();
+  bool maximize = kernel.maximize();
+  auto better = [maximize](double candidate, double incumbent) {
+    return maximize ? candidate > incumbent : candidate < incumbent;
+  };
+
+  ScoreState state(kernel);
+  for (const MatchPair& pair : start) {
+    state.Assign(pair.source, pair.target);
+  }
+
+  RestartOutcome out;
+  out.best_sum = state.sum();
+  state.AppendPairs(&out.best_pairs);
+
+  // A move touches at most two sources, so the undo stacks never exceed
+  // two entries each.
+  size_t undo_assign_s[2];
+  size_t undo_assign_t[2];
+  size_t undo_unassign[2];
+
+  Rng rng(seed);
+  for (double temperature = params.initial_temperature;
+       temperature > params.final_temperature;
+       temperature *= params.cooling_rate) {
+    for (size_t step = 0; step < params.moves_per_node * n; ++step) {
+      ++out.moves_tried;
+      size_t s1 = rng.NextBounded(n);
+      const std::vector<size_t>& cand = candidates[s1];
+      if (cand.empty()) continue;
+      size_t t_new = cand[rng.NextBounded(cand.size())];
+      size_t t_old = state.target_of(s1);
+
+      double before = state.sum();
+      size_t num_undo_assign = 0;
+      size_t num_undo_unassign = 0;
+
+      if (t_old == t_new) {
+        if (!partial) continue;
+        // Toggle: drop s1 (partial only).
+        state.Unassign(s1);
+        undo_assign_s[num_undo_assign] = s1;
+        undo_assign_t[num_undo_assign++] = t_old;
+      } else if (!state.target_used(t_new)) {
+        // Reassign (or fresh assign) s1 -> t_new.
+        if (t_old != kUnassigned) {
+          state.Unassign(s1);
+          undo_assign_s[num_undo_assign] = s1;
+          undo_assign_t[num_undo_assign++] = t_old;
+        }
+        state.Assign(s1, t_new);
+        undo_unassign[num_undo_unassign++] = s1;
+      } else {
+        // Swap with the owner of t_new, if mutually legal.
+        size_t s2 = state.source_of(t_new);
+        if (s2 == s1) continue;
+        if (t_old == kUnassigned) {
+          // s1 unmatched: steal t_new, leaving s2 unmatched (partial) or
+          // illegal (exact cardinalities).
+          if (!partial) continue;
+          state.Unassign(s2);
+          undo_assign_s[num_undo_assign] = s2;
+          undo_assign_t[num_undo_assign++] = t_new;
+          state.Assign(s1, t_new);
+          undo_unassign[num_undo_unassign++] = s1;
+        } else {
+          if (!allowed[s2 * m + t_old]) continue;
+          state.Unassign(s1);
+          undo_assign_s[num_undo_assign] = s1;
+          undo_assign_t[num_undo_assign++] = t_old;
+          state.Unassign(s2);
+          undo_assign_s[num_undo_assign] = s2;
+          undo_assign_t[num_undo_assign++] = t_new;
+          state.Assign(s1, t_new);
+          undo_unassign[num_undo_unassign++] = s1;
+          state.Assign(s2, t_old);
+          undo_unassign[num_undo_unassign++] = s2;
+        }
+      }
+
+      double delta = state.sum() - before;
+      double improvement = maximize ? delta : -delta;
+      bool accept = improvement > 0.0 ||
+                    rng.NextDouble() < std::exp(improvement / temperature);
+      if (!accept) {
+        // Roll back in reverse order of application.
+        for (size_t i = num_undo_unassign; i > 0; --i) {
+          state.Unassign(undo_unassign[i - 1]);
+        }
+        for (size_t i = num_undo_assign; i > 0; --i) {
+          state.Assign(undo_assign_s[i - 1], undo_assign_t[i - 1]);
+        }
+        continue;
+      }
+      if (better(state.sum(), out.best_sum)) {
+        out.best_sum = state.sum();
+        state.AppendPairs(&out.best_pairs);
+      }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -114,113 +184,49 @@ Result<MatchResult> AnnealingMatch(const DependencyGraph& source,
   } else {
     return greedy.status();
   }
-  // allowed[s][t] for O(1) swap legality checks.
-  std::vector<std::vector<char>> allowed(n, std::vector<char>(m, 0));
+  // allowed[s * m + t] for O(1) swap legality checks.
+  std::vector<char> allowed(n * m, 0);
   for (size_t s = 0; s < n; ++s) {
-    for (size_t t : candidates[s]) allowed[s][t] = 1;
+    for (size_t t : candidates[s]) allowed[s * m + t] = 1;
   }
 
-  State state(source, target, metric, n, m);
-  for (const MatchPair& pair : start) {
-    state.Assign(pair.source, pair.target);
-  }
-
+  ScoreKernel kernel(source, target, metric);
   bool partial = options.cardinality == Cardinality::kPartial;
   bool maximize = metric.maximize();
-  auto better = [&](double candidate, double incumbent) {
-    return maximize ? candidate > incumbent : candidate < incumbent;
-  };
 
-  double best_sum = state.sum();
-  std::vector<MatchPair> best_pairs = state.Pairs();
-  uint64_t moves_tried = 0;
+  // Restart portfolio: independent runs seeded seed + r, distributed over
+  // the pool. Each outcome lands in its own slot, so the reduction below
+  // sees the same values at any thread count.
+  size_t restarts = std::max<size_t>(1, params.num_restarts);
+  std::vector<RestartOutcome> outcomes(restarts);
+  ThreadPool::ParallelForWithWorker(
+      options.num_threads, restarts,
+      [&](size_t /*worker*/, size_t r) {
+        outcomes[r] = RunRestart(kernel, candidates, allowed, start, params,
+                                 params.seed + r, partial);
+      });
 
-  Rng rng(params.seed);
-  for (double temperature = params.initial_temperature;
-       temperature > params.final_temperature;
-       temperature *= params.cooling_rate) {
-    for (size_t step = 0; step < params.moves_per_node * n; ++step) {
-      ++moves_tried;
-      size_t s1 = rng.NextBounded(n);
-      const std::vector<size_t>& cand = candidates[s1];
-      if (cand.empty()) continue;
-      size_t t_new = cand[rng.NextBounded(cand.size())];
-      size_t t_old = state.target_of(s1);
-
-      double before = state.sum();
-      // Build and tentatively apply the move; roll back on rejection.
-      std::vector<std::pair<size_t, size_t>> undo_assign;   // (s, t)
-      std::vector<size_t> undo_unassign;                    // s
-
-      if (t_old == t_new) {
-        if (!partial) continue;
-        // Toggle: drop s1 (partial only).
-        state.Unassign(s1);
-        undo_assign.push_back({s1, t_old});
-      } else if (!state.target_used(t_new)) {
-        // Reassign (or fresh assign) s1 -> t_new.
-        if (t_old != kUnassigned) {
-          state.Unassign(s1);
-          undo_assign.push_back({s1, t_old});
-        }
-        state.Assign(s1, t_new);
-        undo_unassign.push_back(s1);
-      } else {
-        // Swap with the owner of t_new, if mutually legal.
-        size_t s2 = kUnassigned;
-        for (size_t s = 0; s < n; ++s) {
-          if (state.target_of(s) == t_new) {
-            s2 = s;
-            break;
-          }
-        }
-        if (s2 == kUnassigned || s2 == s1) continue;
-        if (t_old == kUnassigned) {
-          // s1 unmatched: steal t_new, leaving s2 unmatched (partial) or
-          // illegal (exact cardinalities).
-          if (!partial) continue;
-          state.Unassign(s2);
-          undo_assign.push_back({s2, t_new});
-          state.Assign(s1, t_new);
-          undo_unassign.push_back(s1);
-        } else {
-          if (!allowed[s2][t_old]) continue;
-          state.Unassign(s1);
-          undo_assign.push_back({s1, t_old});
-          state.Unassign(s2);
-          undo_assign.push_back({s2, t_new});
-          state.Assign(s1, t_new);
-          undo_unassign.push_back(s1);
-          state.Assign(s2, t_old);
-          undo_unassign.push_back(s2);
-        }
-      }
-
-      double delta = state.sum() - before;
-      double improvement = maximize ? delta : -delta;
-      bool accept = improvement > 0.0 ||
-                    rng.NextDouble() < std::exp(improvement / temperature);
-      if (!accept) {
-        // Roll back in reverse order of application.
-        for (auto it = undo_unassign.rbegin(); it != undo_unassign.rend();
-             ++it) {
-          state.Unassign(*it);
-        }
-        for (auto it = undo_assign.rbegin(); it != undo_assign.rend();
-             ++it) {
-          state.Assign(it->first, it->second);
-        }
-        continue;
-      }
-      if (better(state.sum(), best_sum)) {
-        best_sum = state.sum();
-        best_pairs = state.Pairs();
-      }
-    }
+  // Winner by (score, seed): strictly better wins, ties keep the earliest
+  // seed. Deterministic regardless of scheduling.
+  size_t winner = 0;
+  uint64_t moves_tried = outcomes[0].moves_tried;
+  for (size_t r = 1; r < restarts; ++r) {
+    moves_tried += outcomes[r].moves_tried;
+    bool better = maximize ? outcomes[r].best_sum > outcomes[winner].best_sum
+                           : outcomes[r].best_sum < outcomes[winner].best_sum;
+    if (better) winner = r;
   }
 
-  result.pairs = std::move(best_pairs);
+  result.pairs = std::move(outcomes[winner].best_pairs);
   std::sort(result.pairs.begin(), result.pairs.end());
+#ifndef NDEBUG
+  // Delta-kernel self-check: the incrementally maintained sum must agree
+  // with a from-scratch evaluation (catches future delta-kernel bugs).
+  double full_sum = metric.EvaluateSum(source, target, result.pairs);
+  DEPMATCH_CHECK(std::fabs(outcomes[winner].best_sum - full_sum) <= 1e-6)
+      << "annealing delta sum " << outcomes[winner].best_sum
+      << " diverged from full evaluation " << full_sum;
+#endif
   // Recompute from scratch to shed accumulated floating-point drift.
   result.metric_value = metric.Evaluate(source, target, result.pairs);
   result.nodes_explored = moves_tried;

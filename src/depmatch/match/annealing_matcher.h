@@ -32,6 +32,12 @@ struct AnnealingParams {
   // Proposed moves per temperature step, as a multiple of source size.
   size_t moves_per_node = 40;
   uint64_t seed = 9;
+  // Independent annealing runs seeded seed, seed+1, ..., run across
+  // options.num_threads workers. The winner is chosen by (score, seed):
+  // strictly better score first, earlier seed on ties — so the result is
+  // bit-identical at any thread count. Restart 0 reproduces the
+  // single-restart trajectory exactly.
+  size_t num_restarts = 1;
 };
 
 // Same contract as ExhaustiveMatch, computed by simulated annealing.

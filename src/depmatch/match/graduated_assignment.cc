@@ -6,24 +6,22 @@
 #include <vector>
 
 #include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
 #include "depmatch/match/candidate_filter.h"
 #include "depmatch/match/metric.h"
+#include "depmatch/match/score_kernel.h"
 
 namespace depmatch {
 namespace {
 
-// Pair compatibility: a quantity to *maximize*. Normal-metric terms are
-// already benefits; Euclidean terms are costs and get negated.
-double Compatibility(const Metric& metric, double a, double b) {
-  double term = metric.Term(a, b);
-  return metric.maximize() ? term : -term;
-}
-
 // Rounds a soft assignment to a hard injective mapping by repeatedly
-// committing the largest remaining cell. `allow_unmatched` permits leaving
-// a source unmatched when its slack weight beats all remaining cells.
-std::vector<MatchPair> Round(const std::vector<std::vector<double>>& soft,
-                             size_t n, size_t m, bool allow_unmatched) {
+// committing the largest remaining cell. `soft` is flat (n+1) x (m+1)
+// row-major (slack row n, slack column m). `allow_unmatched` permits
+// leaving a source unmatched when its slack weight beats all remaining
+// cells.
+std::vector<MatchPair> Round(const std::vector<double>& soft, size_t n,
+                             size_t m, bool allow_unmatched) {
+  size_t stride = m + 1;
   std::vector<char> src_done(n, 0);
   std::vector<char> tgt_used(m, 0);
   std::vector<MatchPair> pairs;
@@ -34,10 +32,11 @@ std::vector<MatchPair> Round(const std::vector<std::vector<double>>& soft,
     bool found = false;
     for (size_t s = 0; s < n; ++s) {
       if (src_done[s]) continue;
+      const double* row = soft.data() + s * stride;
       for (size_t t = 0; t < m; ++t) {
         if (tgt_used[t]) continue;
-        if (soft[s][t] > best) {
-          best = soft[s][t];
+        if (row[t] > best) {
+          best = row[t];
           bs = s;
           bt = t;
           found = true;
@@ -45,7 +44,7 @@ std::vector<MatchPair> Round(const std::vector<std::vector<double>>& soft,
       }
     }
     if (!found) break;  // no free targets left
-    if (allow_unmatched && soft[bs][m] >= best) {
+    if (allow_unmatched && soft[bs * stride + m] >= best) {
       // Slack wins: leave bs unmatched.
       src_done[bs] = 1;
       --remaining;
@@ -86,78 +85,78 @@ Result<MatchResult> GraduatedAssignmentMatch(
 
   std::vector<std::vector<size_t>> candidate_lists = ComputeEntropyCandidates(
       source, target, options.candidates_per_attribute);
-  // allowed[s][t]: the filter admits s -> t.
-  std::vector<std::vector<char>> allowed(n, std::vector<char>(m, 0));
+  // allowed[s * m + t]: the filter admits s -> t.
+  std::vector<char> allowed(n * m, 0);
   for (size_t s = 0; s < n; ++s) {
-    for (size_t t : candidate_lists[s]) allowed[s][t] = 1;
+    for (size_t t : candidate_lists[s]) allowed[s * m + t] = 1;
   }
 
-  // Soft assignment with one slack row (index n) and slack column (m).
-  std::vector<std::vector<double>> soft(n + 1,
-                                        std::vector<double>(m + 1, 0.0));
+  ScoreKernel kernel(source, target, metric);
+
+  // Soft assignment, flat (n+1) x (m+1) with one slack row (index n) and
+  // slack column (index m). Disallowed cells stay exactly 0 throughout,
+  // which is what lets the gradient kernel skip them by weight alone.
+  size_t stride = m + 1;
+  std::vector<double> soft((n + 1) * stride, 0.0);
   for (size_t s = 0; s < n; ++s) {
+    double* row = soft.data() + s * stride;
     for (size_t t = 0; t < m; ++t) {
-      if (!allowed[s][t]) continue;
+      if (!allowed[s * m + t]) continue;
       // Deterministic symmetry-breaking perturbation.
-      soft[s][t] = 1.0 + 1e-3 * static_cast<double>((s * 31 + t * 17) % 7);
+      row[t] = 1.0 + 1e-3 * static_cast<double>((s * 31 + t * 17) % 7);
     }
-    soft[s][m] = 1.0;
+    row[m] = 1.0;
   }
-  for (size_t t = 0; t <= m; ++t) soft[n][t] = 1.0;
+  for (size_t t = 0; t <= m; ++t) soft[n * stride + t] = 1.0;
 
-  std::vector<std::vector<double>> gradient(n, std::vector<double>(m, 0.0));
+  std::vector<double> gradient(n * m, 0.0);
 
   for (double beta = params.beta_initial; beta <= params.beta_final;
        beta *= params.beta_rate) {
     for (int it = 0; it < params.iterations_per_beta; ++it) {
       // Q[s][t] = dE/dM[s][t]: node term + sum of pair interactions with
-      // the current soft assignment.
-      for (size_t s = 0; s < n; ++s) {
-        for (size_t t = 0; t < m; ++t) {
-          if (!allowed[s][t]) continue;
-          double q = Compatibility(metric, source.mi(s, s), target.mi(t, t));
-          if (metric.structural()) {
-            for (size_t s2 = 0; s2 < n; ++s2) {
-              if (s2 == s) continue;
-              for (size_t t2 = 0; t2 < m; ++t2) {
-                if (t2 == t || !allowed[s2][t2]) continue;
-                if (soft[s2][t2] <= 0.0) continue;
-                q += 2.0 * soft[s2][t2] *
-                     Compatibility(metric, source.mi(s, s2),
-                                   target.mi(t, t2));
-              }
+      // the current soft assignment. Rows are independent (each worker
+      // writes a disjoint gradient row and only reads `soft`), so the
+      // values — and everything downstream — are bit-identical at any
+      // thread count.
+      ThreadPool::ParallelForWithWorker(
+          options.num_threads, n, [&](size_t /*worker*/, size_t s) {
+            double* grad_row = gradient.data() + s * m;
+            const char* allowed_row = allowed.data() + s * m;
+            for (size_t t = 0; t < m; ++t) {
+              if (!allowed_row[t]) continue;
+              grad_row[t] = kernel.SoftGradient(soft.data(), stride, s, t);
             }
-          }
-          gradient[s][t] = q;
-        }
-      }
+          });
       // Softmax re-estimation.
       for (size_t s = 0; s < n; ++s) {
+        double* row = soft.data() + s * stride;
         for (size_t t = 0; t < m; ++t) {
-          if (!allowed[s][t]) continue;
+          if (!allowed[s * m + t]) continue;
           // Clamp the exponent to keep exp() finite.
-          double e = std::min(beta * gradient[s][t], 500.0);
-          soft[s][t] = std::exp(e);
+          double e = std::min(beta * gradient[s * m + t], 500.0);
+          row[t] = std::exp(e);
         }
-        soft[s][m] = 1.0;  // slack stays at neutral weight
+        row[m] = 1.0;  // slack stays at neutral weight
       }
-      for (size_t t = 0; t <= m; ++t) soft[n][t] = 1.0;
+      for (size_t t = 0; t <= m; ++t) soft[n * stride + t] = 1.0;
       // Sinkhorn normalization (slack row/column participate but are not
       // required to sum to one across the other dimension).
       for (int sk = 0; sk < params.sinkhorn_iterations; ++sk) {
         // Rows (real sources only).
         for (size_t s = 0; s < n; ++s) {
-          double row = soft[s][m];
-          for (size_t t = 0; t < m; ++t) row += soft[s][t];
+          double* srow = soft.data() + s * stride;
+          double row = srow[m];
+          for (size_t t = 0; t < m; ++t) row += srow[t];
           if (row <= 0.0) continue;
-          for (size_t t = 0; t <= m; ++t) soft[s][t] /= row;
+          for (size_t t = 0; t <= m; ++t) srow[t] /= row;
         }
         // Columns (real targets only).
         for (size_t t = 0; t < m; ++t) {
-          double col = soft[n][t];
-          for (size_t s = 0; s < n; ++s) col += soft[s][t];
+          double col = soft[n * stride + t];
+          for (size_t s = 0; s < n; ++s) col += soft[s * stride + t];
           if (col <= 0.0) continue;
-          for (size_t s = 0; s <= n; ++s) soft[s][t] /= col;
+          for (size_t s = 0; s <= n; ++s) soft[s * stride + t] /= col;
         }
       }
     }

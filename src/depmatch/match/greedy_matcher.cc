@@ -7,6 +7,7 @@
 #include "depmatch/common/string_util.h"
 #include "depmatch/match/candidate_filter.h"
 #include "depmatch/match/metric.h"
+#include "depmatch/match/score_kernel.h"
 
 namespace depmatch {
 
@@ -26,6 +27,9 @@ Result<MatchResult> GreedyMatch(const DependencyGraph& source,
         m));
   }
   Metric metric(options.metric, options.alpha);
+  // One greedy pass computes too few gains to amortize the pair-term
+  // table; budget 0 keeps the kernel on the on-the-fly path.
+  ScoreKernel kernel(source, target, metric, /*pair_term_budget=*/0);
   std::vector<std::vector<size_t>> candidates = ComputeEntropyCandidates(
       source, target, options.candidates_per_attribute);
 
@@ -49,7 +53,7 @@ Result<MatchResult> GreedyMatch(const DependencyGraph& source,
       for (size_t t : candidates[s]) {
         if (target_used[t]) continue;
         ++nodes;
-        double gain = metric.IncrementalGain(source, target, assigned, s, t);
+        double gain = kernel.GainOf(assigned.data(), assigned.size(), s, t);
         bool better = !found || (metric.maximize() ? gain > best_gain
                                                    : gain < best_gain);
         if (better) {

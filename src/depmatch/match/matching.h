@@ -108,6 +108,12 @@ struct MatchOptions {
   // Branch-and-bound node budget; exceeded searches return best-so-far
   // with budget_exhausted set.
   uint64_t max_search_nodes = 200'000'000;
+  // Worker threads for the parallel search backends: annealing restart
+  // portfolios, graduated-assignment row updates, and exhaustive
+  // root-level branches. 1 = serial. Results are bit-identical at any
+  // thread count (for the exhaustive matcher: as long as the node budget
+  // is not exhausted).
+  size_t num_threads = 1;
 };
 
 }  // namespace depmatch

@@ -151,6 +151,53 @@ TEST(AnnealingMatchTest, PartialRespectsAlphaSelectivity) {
   EXPECT_LE(strict->pairs.size(), lax->pairs.size());
 }
 
+TEST(AnnealingMatchTest, MultiRestartBitIdenticalAcrossThreadCounts) {
+  // The restart portfolio must pick the same winner no matter how the
+  // restarts are scheduled over workers: identical pairs AND identical
+  // metric_value bits.
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+    for (Cardinality cardinality :
+         {Cardinality::kOneToOne, Cardinality::kPartial}) {
+      DependencyGraph a = RandomGraph(7, 70);
+      DependencyGraph b = RandomGraph(7, 71);
+      AnnealingParams params;
+      params.num_restarts = 5;
+      MatchOptions options = Options(cardinality, kind);
+      options.num_threads = 1;
+      auto serial = AnnealingMatch(a, b, options, params);
+      ASSERT_TRUE(serial.ok());
+      for (size_t threads : {size_t{2}, size_t{8}}) {
+        options.num_threads = threads;
+        auto parallel = AnnealingMatch(a, b, options, params);
+        ASSERT_TRUE(parallel.ok());
+        EXPECT_EQ(parallel->pairs, serial->pairs)
+            << MetricKindToString(kind) << " with " << threads << " threads";
+        EXPECT_EQ(parallel->metric_value, serial->metric_value);
+      }
+    }
+  }
+}
+
+TEST(AnnealingMatchTest, MultiRestartNeverWorseThanSingleRestart) {
+  // Restart 0 reproduces the single-restart trajectory, so the portfolio
+  // winner can only match or beat it.
+  for (uint64_t seed = 80; seed < 84; ++seed) {
+    DependencyGraph a = RandomGraph(8, seed);
+    DependencyGraph b = RandomGraph(8, seed + 40);
+    MatchOptions options =
+        Options(Cardinality::kOneToOne, MetricKind::kMutualInfoNormal);
+    AnnealingParams single;
+    AnnealingParams multi;
+    multi.num_restarts = 4;
+    auto one = AnnealingMatch(a, b, options, single);
+    auto four = AnnealingMatch(a, b, options, multi);
+    ASSERT_TRUE(one.ok());
+    ASSERT_TRUE(four.ok());
+    EXPECT_GE(four->metric_value, one->metric_value - 1e-9);
+  }
+}
+
 TEST(AnnealingMatchTest, SizeValidationAndEmpty) {
   DependencyGraph a = RandomGraph(3, 60);
   DependencyGraph b = RandomGraph(2, 61);

@@ -280,6 +280,33 @@ TEST(ExhaustiveMatchTest, FindsGlobalOptimumAgainstBruteForce) {
   }
 }
 
+TEST(ExhaustiveMatchTest, ParallelBranchesMatchSerialResult) {
+  // Root-level branch parallelism with the shared incumbent bound must
+  // return exactly the serial search's matching: the shared bound only
+  // prunes strictly-worse subtrees, so each branch records its
+  // first-in-DFS optimum deterministically.
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+    for (Cardinality cardinality :
+         {Cardinality::kOneToOne, Cardinality::kPartial}) {
+      DependencyGraph a = RandomGraph(7, 90);
+      DependencyGraph b = RandomGraph(7, 91);
+      MatchOptions options = Options(cardinality, kind);
+      options.num_threads = 1;
+      auto serial = ExhaustiveMatch(a, b, options);
+      ASSERT_TRUE(serial.ok());
+      for (size_t threads : {size_t{2}, size_t{8}}) {
+        options.num_threads = threads;
+        auto parallel = ExhaustiveMatch(a, b, options);
+        ASSERT_TRUE(parallel.ok());
+        EXPECT_EQ(parallel->pairs, serial->pairs)
+            << MetricKindToString(kind) << " " << threads << " threads";
+        EXPECT_EQ(parallel->metric_value, serial->metric_value);
+      }
+    }
+  }
+}
+
 TEST(ExhaustiveMatchTest, EntropyOnlyMatchesSortedEntropies) {
   // With the entropy-only Euclidean metric and distinct entropies, the
   // optimal one-to-one mapping pairs sorted entropy ranks.

@@ -121,6 +121,29 @@ TEST(GraduatedAssignmentTest, DeterministicAcrossRuns) {
   EXPECT_EQ(r1->pairs, r2->pairs);
 }
 
+TEST(GraduatedAssignmentTest, BitIdenticalAcrossThreadCounts) {
+  // Gradient rows are computed into disjoint slices from a read-only soft
+  // matrix, so the converged assignment must not depend on the worker
+  // count.
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal}) {
+    DependencyGraph a = RandomGraph(8, 30);
+    DependencyGraph b = RandomGraph(8, 31);
+    MatchOptions options = Options(Cardinality::kOneToOne, kind);
+    options.num_threads = 1;
+    auto serial = GraduatedAssignmentMatch(a, b, options);
+    ASSERT_TRUE(serial.ok());
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      options.num_threads = threads;
+      auto parallel = GraduatedAssignmentMatch(a, b, options);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(parallel->pairs, serial->pairs)
+          << MetricKindToString(kind) << " with " << threads << " threads";
+      EXPECT_EQ(parallel->metric_value, serial->metric_value);
+    }
+  }
+}
+
 TEST(GraduatedAssignmentTest, SizeValidation) {
   DependencyGraph a = RandomGraph(4, 11);
   DependencyGraph b = RandomGraph(3, 12);

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Builds Release and refreshes BENCH_graph_build.json at the repo root so
-# perf changes in the Table2DepGraph hot path can be diffed PR over PR.
+# Builds Release and refreshes the tracked BENCH_*.json files at the repo
+# root so perf changes in the hot paths can be diffed PR over PR:
+#   BENCH_graph_build.json   Table2DepGraph pairwise-statistics path
+#   BENCH_match_search.json  the four matching search backends
 #
 # Usage: tools/run_bench.sh [build_dir]
 #   build_dir        defaults to <repo>/build
-#   DEPMATCH_BENCH_REPS   repetitions per data point (default 5)
+#   DEPMATCH_BENCH_REPS   repetitions per data point (defaults: 5 for
+#                         graph_build, 3 for match_search)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target bench_graph_build
+cmake --build "$BUILD" -j --target bench_graph_build bench_match_search
 "$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
+"$BUILD/bench/bench_match_search" "$ROOT/BENCH_match_search.json"
