@@ -37,7 +37,12 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 // Value-semantic success/error indicator.
-class Status {
+//
+// [[nodiscard]] at class level: any function returning Status produces a
+// value the caller must consume (check ok(), propagate, or explicitly
+// void-cast with a reason). tools/depmatch_lint.cc enforces the same
+// invariant textually so it also covers builds without warnings enabled.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -65,16 +70,18 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
-// Convenience constructors, mirroring absl.
-Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status OutOfRangeError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status InternalError(std::string message);
-Status UnimplementedError(std::string message);
-Status ResourceExhaustedError(std::string message);
+// Convenience constructors, mirroring absl. [[nodiscard]] individually as
+// well as via the return type: constructing an error only to drop it is
+// always a bug.
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status OutOfRangeError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
 
 // Result<T>: either a value of type T or a non-OK Status.
 //
@@ -83,7 +90,7 @@ Status ResourceExhaustedError(std::string message);
 //   if (!t.ok()) return t.status();
 //   Use(t.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work
   // inside functions returning Result<T>, mirroring absl::StatusOr.

@@ -1,3 +1,10 @@
+// depmatch-lint: bit-identical-file
+// Results are bit-identical at any thread count: every floating-point
+// sum in this file accumulates in a fixed, thread-independent order.
+// Do not introduce constructs that reorder double accumulation
+// (std::reduce, atomic floating adds, OpenMP reductions); the
+// depmatch_lint bit-identical rule and the tsan_stress tests enforce
+// and exercise this contract.
 #include "depmatch/match/exhaustive_matcher.h"
 
 #include <algorithm>
@@ -39,6 +46,9 @@ class SharedBound {
 
  private:
   bool maximize_;
+  // Bound publication, not a sum: branches only prune strictly against
+  // it, so the result stays exact at any publication order.
+  // depmatch-lint: allow(bit-identical) — no accumulation through this atomic
   std::atomic<double> value_;
 };
 
@@ -46,13 +56,13 @@ class SharedBound {
 // kernel), candidate lists, processing order, and the per-depth
 // diagonal-term bounds.
 struct SearchContext {
-  SearchContext(const ScoreKernel& kernel, Cardinality cardinality,
-                const std::vector<std::vector<size_t>>& candidates,
-                const std::vector<size_t>& order)
-      : kernel(kernel),
-        cardinality(cardinality),
-        candidates(candidates),
-        order(order) {
+  SearchContext(const ScoreKernel& kernel_in, Cardinality cardinality_in,
+                const std::vector<std::vector<size_t>>& candidates_in,
+                const std::vector<size_t>& order_in)
+      : kernel(kernel_in),
+        cardinality(cardinality_in),
+        candidates(candidates_in),
+        order(order_in) {
     // Per-depth diagonal-term bounds (admissible: each future assignment
     // of order[k] pays at least / at most its best diagonal term over
     // its own candidates, regardless of which targets remain free).

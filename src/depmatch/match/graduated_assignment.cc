@@ -1,3 +1,10 @@
+// depmatch-lint: bit-identical-file
+// Results are bit-identical at any thread count: every floating-point
+// sum in this file accumulates in a fixed, thread-independent order.
+// Do not introduce constructs that reorder double accumulation
+// (std::reduce, atomic floating adds, OpenMP reductions); the
+// depmatch_lint bit-identical rule and the tsan_stress tests enforce
+// and exercise this contract.
 #include "depmatch/match/graduated_assignment.h"
 
 #include <algorithm>

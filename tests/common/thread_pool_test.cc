@@ -101,6 +101,56 @@ TEST(ParallelForWithWorkerTest, SerialPathUsesWorkerZero) {
   for (size_t w : workers) EXPECT_EQ(w, 0u);
 }
 
+TEST(ThreadPoolTest, DestructionWithLongQueueDrainsEverything) {
+  // Unlike DestructorDrainsOutstandingWork's 50 quick tasks, this queue
+  // is deep enough that the destructor necessarily runs while most of it
+  // is still pending: ~ThreadPool must finish every queued task before
+  // joining the workers.
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 2000; ++i) {
+      pool.Schedule([&executed] { executed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 2000);
+}
+
+TEST(ThreadPoolTest, TasksMustNotThrow) {
+  // DepMatch tasks are exception-free by contract: library code never
+  // throws (tools/depmatch_lint.cc's no-throw rule enforces it at the
+  // source level), so WorkerLoop intentionally has no try/catch — an
+  // escaping exception would std::terminate. This test documents the
+  // invariant: every task communicates failure through captured state,
+  // never by unwinding into the pool.
+  ThreadPool pool(2);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Schedule([&failures, i] {
+      if (i % 2 == 0) failures.fetch_add(1);  // "failure" via state
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 5);
+}
+
+TEST(ParallelForWithWorkerTest, CountBelowThreadCountRunsEachIndexOnce) {
+  // count < num_threads: surplus workers must exit cleanly without
+  // calling fn, and each index still runs exactly once on a valid
+  // worker.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kCount = 2;
+  std::vector<std::atomic<int>> visits(kCount);
+  std::atomic<bool> worker_in_range{true};
+  ThreadPool::ParallelForWithWorker(
+      kThreads, kCount, [&](size_t worker, size_t i) {
+        if (worker >= kThreads) worker_in_range = false;
+        visits[i].fetch_add(1);
+      });
+  EXPECT_TRUE(worker_in_range.load());
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
 TEST(ParallelForWithWorkerTest, EachIndexSeesExactlyOneWorker) {
   // Per-worker scratch is sound only if an index never runs on two
   // workers; record the worker per index and check it was set once.

@@ -1,0 +1,120 @@
+// Thread-count invariance of Table2DepGraph's joint-count hot path under
+// load: the dense and sparse counting kernels, the shared marginal cache,
+// and the ParallelForWithWorker scratch reuse must produce bit-identical
+// dependency graphs at 1, 2, and 8 threads, for both kernels. Run under
+// the `tsan` preset (ctest label `tsan_stress`) this puts the race
+// detector on the per-worker kernel scratch while the contract is
+// asserted with exact double equality.
+
+#include "depmatch/graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table.h"
+
+namespace depmatch {
+namespace {
+
+// A table whose columns span low and high cardinality so that the
+// default cell budget routes some pairs dense and (with budget 0) all
+// pairs sparse.
+Table RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::string csv;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) csv += ',';
+    csv += "a" + std::to_string(c);
+  }
+  csv += '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) csv += ',';
+      // Alphabet size varies per column: 2, 4, 8, ... capped at 64.
+      uint64_t alphabet = std::min<uint64_t>(64, uint64_t{2} << (c % 6));
+      csv += "v" + std::to_string(rng.NextBounded(alphabet));
+    }
+    csv += '\n';
+  }
+  auto table = ReadCsvString(csv, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+void ExpectIdenticalGraphs(const DependencyGraph& base,
+                           const DependencyGraph& other, size_t threads) {
+  ASSERT_EQ(other.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (size_t j = 0; j < base.size(); ++j) {
+      // Exact equality: the contract is bit-identical, not approximate.
+      EXPECT_EQ(other.mi(i, j), base.mi(i, j))
+          << "cell (" << i << "," << j << ") at num_threads=" << threads;
+    }
+  }
+}
+
+TEST(GraphBuildStressTest, JointCountKernelIsThreadInvariant) {
+  Table table = RandomTable(400, 12, 97);
+  const size_t kThreadCounts[] = {1, 2, 8};
+  // dense_cell_budget 0 forces the sparse kernel for every pair; the
+  // default budget routes small-alphabet pairs through the dense kernel.
+  const size_t kBudgets[] = {0, size_t{1} << 20};
+  for (size_t budget : kBudgets) {
+    DependencyGraphOptions options;
+    options.stats.dense_cell_budget = budget;
+    options.num_threads = 1;
+    auto base = BuildDependencyGraph(table, options);
+    ASSERT_TRUE(base.ok()) << base.status();
+    for (size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      auto graph = BuildDependencyGraph(table, options);
+      ASSERT_TRUE(graph.ok()) << graph.status();
+      ExpectIdenticalGraphs(base.value(), graph.value(), threads);
+    }
+  }
+}
+
+TEST(GraphBuildStressTest, DenseAndSparseKernelsAgreeAtEveryThreadCount) {
+  Table table = RandomTable(300, 10, 131);
+  DependencyGraphOptions sparse_options;
+  sparse_options.stats.dense_cell_budget = 0;
+  auto sparse = BuildDependencyGraph(table, sparse_options);
+  ASSERT_TRUE(sparse.ok()) << sparse.status();
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    DependencyGraphOptions dense_options;
+    dense_options.num_threads = threads;
+    auto dense = BuildDependencyGraph(table, dense_options);
+    ASSERT_TRUE(dense.ok()) << dense.status();
+    ExpectIdenticalGraphs(sparse.value(), dense.value(), threads);
+  }
+}
+
+TEST(GraphBuildStressTest, BackToBackParallelBuildsAreIdentical) {
+  // Repeated 8-thread builds of several measures: per-worker scratch
+  // reset and the marginal cache must not leak state across builds.
+  Table table = RandomTable(200, 8, 151);
+  const DependencyMeasure kMeasures[] = {
+      DependencyMeasure::kMutualInformation,
+      DependencyMeasure::kNormalizedMutualInformation,
+      DependencyMeasure::kCramersV,
+  };
+  for (DependencyMeasure measure : kMeasures) {
+    DependencyGraphOptions options;
+    options.measure = measure;
+    options.num_threads = 8;
+    auto first = BuildDependencyGraph(table, options);
+    ASSERT_TRUE(first.ok()) << first.status();
+    for (int rep = 0; rep < 2; ++rep) {
+      auto again = BuildDependencyGraph(table, options);
+      ASSERT_TRUE(again.ok()) << again.status();
+      ExpectIdenticalGraphs(first.value(), again.value(), 8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

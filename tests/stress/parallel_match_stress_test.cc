@@ -1,0 +1,160 @@
+// Determinism contract of the parallel search backends under load: the
+// annealing restart portfolio, the graduated-assignment row updates, and
+// the exhaustive root-branch split must return bit-identical results at
+// 1, 2, and 8 threads. Run under the `tsan` preset (ctest label
+// `tsan_stress`) these same tests put the race detector on the shared
+// score-kernel tables, the exhaustive matcher's shared atomic bound, and
+// the (score, seed) winner reduction while the contract is asserted.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/annealing_matcher.h"
+#include "depmatch/match/exhaustive_matcher.h"
+#include "depmatch/match/graduated_assignment.h"
+#include "depmatch/match/matching.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("n" + std::to_string(i));
+    m[i][i] = 1.0 + rng.NextDouble() * 9.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.5;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+const MetricKind kStressKinds[] = {MetricKind::kMutualInfoEuclidean,
+                                   MetricKind::kMutualInfoNormal};
+
+void ExpectSameResult(const MatchResult& base, const MatchResult& other,
+                      const char* what, size_t threads) {
+  EXPECT_EQ(other.pairs, base.pairs)
+      << what << " pairs diverged at num_threads=" << threads;
+  // Bit-identical, not approximately equal: the parallel backends promise
+  // the exact accumulation order of the serial path.
+  EXPECT_EQ(other.metric_value, base.metric_value)
+      << what << " metric diverged at num_threads=" << threads;
+}
+
+TEST(ParallelMatchStressTest, AnnealingRestartPortfolioIsThreadInvariant) {
+  DependencyGraph a = RandomGraph(10, 41);
+  DependencyGraph b = RandomGraph(12, 42);
+  for (MetricKind kind : kStressKinds) {
+    MatchOptions options;
+    options.metric = kind;
+    options.cardinality = Cardinality::kOnto;
+    options.candidates_per_attribute = 0;
+    AnnealingParams params;
+    params.num_restarts = 8;
+    params.moves_per_node = 10;
+
+    MatchResult base;
+    for (size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      auto result = AnnealingMatch(a, b, options, params);
+      ASSERT_TRUE(result.ok()) << result.status();
+      if (threads == 1) {
+        base = result.value();
+      } else {
+        ExpectSameResult(base, result.value(), "annealing", threads);
+      }
+    }
+  }
+}
+
+TEST(ParallelMatchStressTest, GraduatedAssignmentIsThreadInvariant) {
+  DependencyGraph a = RandomGraph(12, 51);
+  DependencyGraph b = RandomGraph(12, 52);
+  for (MetricKind kind : kStressKinds) {
+    MatchOptions options;
+    options.metric = kind;
+    options.candidates_per_attribute = 0;
+
+    MatchResult base;
+    for (size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      auto result = GraduatedAssignmentMatch(a, b, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      if (threads == 1) {
+        base = result.value();
+      } else {
+        ExpectSameResult(base, result.value(), "graduated assignment",
+                         threads);
+      }
+    }
+  }
+}
+
+TEST(ParallelMatchStressTest, ExhaustiveSharedBoundIsThreadInvariant) {
+  // The parallel exhaustive matcher prunes against a shared atomic
+  // bound; as long as the node budget is not exhausted the returned
+  // optimum (pairs and metric) must not depend on pruning order.
+  DependencyGraph a = RandomGraph(8, 61);
+  DependencyGraph b = RandomGraph(9, 62);
+  for (MetricKind kind : kStressKinds) {
+    MatchOptions options;
+    options.metric = kind;
+    options.cardinality = Cardinality::kOnto;
+    options.candidates_per_attribute = 3;
+
+    MatchResult base;
+    for (size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      auto result = ExhaustiveMatch(a, b, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      ASSERT_FALSE(result->budget_exhausted);
+      if (threads == 1) {
+        base = result.value();
+      } else {
+        ExpectSameResult(base, result.value(), "exhaustive", threads);
+      }
+    }
+  }
+}
+
+TEST(ParallelMatchStressTest, RepeatedRunsShareNoHiddenState) {
+  // Back-to-back parallel runs over the same graphs: any scratch reuse
+  // inside the backends must be re-initialized (and TSan-visible) run to
+  // run.
+  DependencyGraph a = RandomGraph(9, 71);
+  DependencyGraph b = RandomGraph(9, 72);
+  MatchOptions options;
+  options.metric = MetricKind::kMutualInfoNormal;
+  options.candidates_per_attribute = 0;
+  options.num_threads = 8;
+  AnnealingParams params;
+  params.num_restarts = 4;
+  params.moves_per_node = 5;
+
+  auto first = AnnealingMatch(a, b, options, params);
+  ASSERT_TRUE(first.ok()) << first.status();
+  for (int rep = 0; rep < 3; ++rep) {
+    auto again = AnnealingMatch(a, b, options, params);
+    ASSERT_TRUE(again.ok()) << again.status();
+    ExpectSameResult(first.value(), again.value(), "repeated annealing", 8);
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

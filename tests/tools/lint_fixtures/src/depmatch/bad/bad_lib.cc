@@ -1,0 +1,27 @@
+// Fixture: one violation per rule, each on its own clearly-marked line.
+
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "bad_lib.h"
+
+namespace depmatch {
+
+void EveryRuleFires() {
+  DoThing();  // discarded-status: Status result dropped on the floor
+
+  throw std::runtime_error("boom");  // no-throw: library code must not throw
+}
+
+int UnseededRandomness() {
+  std::mt19937 gen;  // no-std-random: argless mt19937 in library code
+  return static_cast<int>(gen() ^ static_cast<unsigned>(std::rand()));
+}
+
+void RawThread() {
+  std::thread worker([] {});  // raw-thread: bypasses ThreadPool
+  worker.join();
+}
+
+}  // namespace depmatch

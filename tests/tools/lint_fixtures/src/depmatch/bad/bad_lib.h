@@ -1,0 +1,15 @@
+// Fixture: violates header-guard (guard does not match the path-derived
+// DEPMATCH_BAD_BAD_LIB_H_) and seeds the Status registry with DoThing.
+
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace depmatch {
+
+class Status;
+
+Status DoThing();
+
+}  // namespace depmatch
+
+#endif  // WRONG_GUARD_H

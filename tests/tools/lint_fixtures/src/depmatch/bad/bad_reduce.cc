@@ -1,0 +1,14 @@
+// Fixture for the bit-identical rule: this file declares itself
+// bit-identical but uses an accumulation-order-changing construct.
+// depmatch-lint: bit-identical-file
+
+#include <numeric>
+#include <vector>
+
+namespace depmatch {
+
+double UnorderedSum(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // bit-identical: reorders adds
+}
+
+}  // namespace depmatch

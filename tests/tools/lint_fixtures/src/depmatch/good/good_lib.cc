@@ -1,0 +1,26 @@
+// Fixture: clean consumption patterns the discarded-status rule must NOT
+// flag, plus one correctly-suppressed finding.
+
+#include "good_lib.h"
+
+namespace depmatch {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoGoodThing() { return Status(); }
+
+bool ConsumeEveryWay() {
+  Status assigned = DoGoodThing();        // consumed: initialization
+  if (!DoGoodThing().ok()) return false;  // consumed: condition
+  (void)DoGoodThing();                    // consumed: explicit void cast
+  // depmatch-lint: allow(discarded-status) — fixture for suppression
+  DoGoodThing();
+  return assigned.ok();
+}
+
+Status Propagate() { return DoGoodThing(); }  // consumed: return
+
+}  // namespace depmatch

@@ -1,0 +1,14 @@
+// Fixture: fully clean header — correct path-derived guard.
+
+#ifndef DEPMATCH_GOOD_GOOD_LIB_H_
+#define DEPMATCH_GOOD_GOOD_LIB_H_
+
+namespace depmatch {
+
+class Status;
+
+Status DoGoodThing();
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_GOOD_GOOD_LIB_H_

@@ -1,0 +1,80 @@
+// Self-test for tools/depmatch_lint.cc: the lint must pass on the real
+// tree, demonstrably fail on the fixture tree (one finding per rule), and
+// honor suppressions. Paths are injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace depmatch {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunLint(const std::string& args) {
+  std::string command =
+      std::string(DEPMATCH_LINT_PATH) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+const char kFixtures[] = DEPMATCH_LINT_FIXTURES;
+
+TEST(DepmatchLintTest, PassesOnTheRealTree) {
+  RunResult result = RunLint(std::string("--root ") + DEPMATCH_SOURCE_DIR);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("files clean"), std::string::npos)
+      << result.output;
+}
+
+TEST(DepmatchLintTest, FailsOnTheFixtureTreeWithEveryRule) {
+  RunResult result = RunLint(std::string("--root ") + kFixtures);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // The acceptance-criteria pair first: a discarded Status and a raw
+  // std::thread must each produce a finding.
+  EXPECT_NE(result.output.find("[discarded-status]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[raw-thread]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[no-throw]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[no-std-random]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[header-guard]"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[bit-identical]"), std::string::npos)
+      << result.output;
+}
+
+TEST(DepmatchLintTest, FindingsNameFileAndLine) {
+  RunResult result = RunLint(std::string("--root ") + kFixtures);
+  EXPECT_NE(result.output.find("bad_lib.cc:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("bad_lib.h:"), std::string::npos)
+      << result.output;
+}
+
+TEST(DepmatchLintTest, CleanFilesWithSuppressionsPass) {
+  // Explicit-file mode over only the good fixtures: the suppressed
+  // discarded-status call must not fail the run.
+  std::string good = std::string(kFixtures) + "/src/depmatch/good";
+  RunResult result =
+      RunLint("--root " + std::string(kFixtures) + " " + good +
+              "/good_lib.h " + good + "/good_lib.cc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+}  // namespace
+}  // namespace depmatch

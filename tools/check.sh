@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: format check, clang-tidy build, depmatch_lint,
+# and ASan+TSan smoke runs of the benches' --smoke correctness gates plus
+# the tsan_stress test suite.
+#
+#   tools/check.sh            run every stage
+#   tools/check.sh --fast     skip the sanitizer stages (format+tidy+lint)
+#
+# Stages that need an optional tool (clang-format, clang-tidy) are
+# SKIPPED with a notice when the tool is absent — the container image
+# ships only gcc — so the gate degrades gracefully instead of failing on
+# machines without LLVM. Everything else is mandatory.
+#
+# Exit code: 0 iff every stage that ran passed.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+failures=0
+note()  { printf '\n== %s ==\n' "$*"; }
+fail()  { printf 'FAIL: %s\n' "$*"; failures=$((failures + 1)); }
+skip()  { printf 'SKIP: %s\n' "$*"; }
+
+# ---- 1. clang-format ------------------------------------------------------
+note "clang-format (style: .clang-format)"
+if command -v clang-format >/dev/null 2>&1; then
+  if find src tests bench tools -name '*.cc' -o -name '*.h' \
+      | grep -v lint_fixtures \
+      | xargs clang-format --dry-run -Werror; then
+    echo "format clean"
+  else
+    fail "clang-format found unformatted files"
+  fi
+else
+  skip "clang-format not on PATH"
+fi
+
+# ---- 2. clang-tidy build --------------------------------------------------
+note "clang-tidy (config: .clang-tidy, preset: tidy)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if cmake --preset tidy >/dev/null \
+      && cmake --build --preset tidy -j "$JOBS"; then
+    echo "tidy build clean"
+  else
+    fail "clang-tidy build reported findings"
+  fi
+else
+  skip "clang-tidy not on PATH"
+fi
+
+# ---- 3. depmatch_lint -----------------------------------------------------
+note "depmatch_lint (repo invariants)"
+if cmake --preset default >/dev/null \
+    && cmake --build --preset default -j "$JOBS" --target depmatch_lint \
+    && ./build/tools/depmatch_lint --root "$ROOT"; then
+  echo "lint clean"
+else
+  fail "depmatch_lint reported findings"
+fi
+
+if [ "$FAST" = 1 ]; then
+  note "fast mode: skipping sanitizer stages"
+else
+  # ---- 4. ASan+UBSan smoke ------------------------------------------------
+  note "ASan+UBSan smoke (preset: asan)"
+  if cmake --preset asan >/dev/null \
+      && cmake --build --preset asan -j "$JOBS" \
+          --target bench_match_search bench_graph_build tsan_stress_test \
+      && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_match_search --smoke \
+      && ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/tsan_stress_test; then
+    echo "asan smoke clean"
+  else
+    fail "ASan+UBSan smoke failed"
+  fi
+
+  # ---- 5. TSan stress -----------------------------------------------------
+  note "TSan stress (preset: tsan, ctest label: tsan_stress)"
+  if cmake --preset tsan >/dev/null \
+      && cmake --build --preset tsan -j "$JOBS" \
+          --target tsan_stress_test bench_match_search \
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/tsan_stress_test \
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_match_search --smoke; then
+    echo "tsan stress clean"
+  else
+    fail "TSan stress failed"
+  fi
+fi
+
+note "summary"
+if [ "$failures" -eq 0 ]; then
+  echo "check.sh: all stages passed"
+  exit 0
+fi
+echo "check.sh: $failures stage(s) failed"
+exit 1
