@@ -1,0 +1,389 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// bench_pipeline: end-to-end experiment-pipeline benchmark over the
+// lab-exam halves (the paper's Figure-9 style sweep over sample sizes).
+// Each configuration runs a batch of trials; every trial draws a random
+// attribute subset of the 30-attribute universe and builds both halves'
+// dependency graphs over a shared row sample. Two modes per point:
+//
+//   * cold    — the pre-encoded-store pipeline: every trial materializes
+//               a fresh Table copy (ProjectColumns + SelectRows re-intern
+//               of width x rows values) before BuildDependencyGraph
+//   * cached  — zero-copy EncodedTableView slices over one base encoding
+//               plus a shared StatCache (fresh per repetition, so the
+//               number includes the cache's own cold misses)
+//
+// Before timing, every configuration asserts that the cold and cached
+// trial graphs are bit-identical (exact double equality) — the encoded
+// path is required to be unobservable in the results.
+//
+//   DEPMATCH_BENCH_REPS  repetitions per data point (default 3)
+//   --smoke              tiny sizes, 1 rep, no JSON unless a path is given
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "depmatch/common/logging.h"
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/stats/stat_cache.h"
+#include "depmatch/table/encoded_column.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+struct Config {
+  size_t sample_rows;
+  size_t attrs_per_trial;
+  size_t trials;
+};
+
+struct Sample {
+  Config config;
+  std::string mode;
+  size_t reps;
+  double min_ms;
+  double mean_ms;
+};
+
+// The two lab-exam halves restricted to the 30-attribute universe, kept
+// both as Tables (the cold path re-materializes from these) and as
+// encoded views over a one-time snapshot (the cached path slices these).
+struct PipelineBase {
+  Table source;
+  Table target;
+  EncodedTableView source_view;
+  EncodedTableView target_view;
+};
+
+PipelineBase MakeBase(bool smoke, uint64_t seed) {
+  datagen::LabExamConfig config;
+  config.num_rows = smoke ? 2000 : 50000;
+  Result<Table> lab = datagen::MakeLabExamTable(config, seed);
+  DEPMATCH_CHECK(lab.ok());
+  // Range-partition by exam date (column 0), as the paper does.
+  Result<RangePartitionResult> parts =
+      RangePartitionAtMedian(lab.value(), 0);
+  DEPMATCH_CHECK(parts.ok());
+
+  // The matchable universe: up to 30 of the 44 test attributes, drawn
+  // once with a fixed seed (no date column).
+  std::vector<size_t> pool;
+  for (size_t c = 1; c < lab->num_attributes(); ++c) pool.push_back(c);
+  size_t universe_size = std::min<size_t>(smoke ? 12 : 30, pool.size());
+  Rng rng(seed ^ 0x11);
+  std::vector<size_t> positions =
+      rng.SampleWithoutReplacement(pool.size(), universe_size);
+  std::vector<size_t> attrs;
+  attrs.reserve(positions.size());
+  for (size_t position : positions) attrs.push_back(pool[position]);
+
+  Result<Table> source = ProjectColumns(parts->low, attrs);
+  Result<Table> target = ProjectColumns(parts->high, attrs);
+  DEPMATCH_CHECK(source.ok());
+  DEPMATCH_CHECK(target.ok());
+
+  PipelineBase base;
+  base.source = std::move(source).value();
+  base.target = std::move(target).value();
+  base.source_view = EncodedTableView::FromTable(base.source);
+  base.target_view = EncodedTableView::FromTable(base.target);
+  return base;
+}
+
+// One configuration's pre-drawn randomness, shared verbatim by both
+// modes so they time the exact same trials.
+struct TrialPlan {
+  std::vector<size_t> source_rows;
+  std::vector<size_t> target_rows;
+  std::vector<std::vector<size_t>> attrs;  // one subset per trial
+};
+
+TrialPlan MakePlan(const PipelineBase& base, const Config& config,
+                   uint64_t seed) {
+  TrialPlan plan;
+  Rng rng(seed ^ (config.sample_rows * 0x9e3779b9u));
+  plan.source_rows = rng.SampleWithoutReplacement(
+      base.source.num_rows(),
+      std::min(config.sample_rows, base.source.num_rows()));
+  plan.target_rows = rng.SampleWithoutReplacement(
+      base.target.num_rows(),
+      std::min(config.sample_rows, base.target.num_rows()));
+  size_t universe = base.source.num_attributes();
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    plan.attrs.push_back(rng.SampleWithoutReplacement(
+        universe, std::min(config.attrs_per_trial, universe)));
+  }
+  return plan;
+}
+
+std::vector<uint32_t> ToUint32(const std::vector<size_t>& rows) {
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  for (size_t row : rows) out.push_back(static_cast<uint32_t>(row));
+  return out;
+}
+
+// The seed pipeline's per-trial path: materialize a fresh Table (full
+// value re-intern of the slice), then build its graph.
+DependencyGraph ColdTrial(const Table& table,
+                          const std::vector<size_t>& attrs,
+                          const std::vector<size_t>& rows) {
+  Result<Table> projected = ProjectColumns(table, attrs);
+  DEPMATCH_CHECK(projected.ok());
+  Result<Table> materialized = SelectRows(projected.value(), rows);
+  DEPMATCH_CHECK(materialized.ok());
+  Result<DependencyGraph> graph = BuildDependencyGraph(materialized.value());
+  DEPMATCH_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+// The encoded path: zero-copy slice of the pre-sampled view, statistics
+// served from (and inserted into) the shared cache.
+DependencyGraph CachedTrial(const EncodedTableView& sampled,
+                            const std::vector<size_t>& attrs,
+                            StatCache* cache) {
+  Result<EncodedTableView> slice = sampled.Project(attrs);
+  DEPMATCH_CHECK(slice.ok());
+  Result<DependencyGraph> graph =
+      BuildDependencyGraph(slice.value(), {}, cache);
+  DEPMATCH_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+void RunColdTrials(const PipelineBase& base, const TrialPlan& plan) {
+  for (const std::vector<size_t>& attrs : plan.attrs) {
+    ColdTrial(base.source, attrs, plan.source_rows);
+    ColdTrial(base.target, attrs, plan.target_rows);
+  }
+}
+
+void RunCachedTrials(const PipelineBase& base, const TrialPlan& plan) {
+  StatCache cache;
+  Result<EncodedTableView> source =
+      base.source_view.SelectRows(ToUint32(plan.source_rows));
+  Result<EncodedTableView> target =
+      base.target_view.SelectRows(ToUint32(plan.target_rows));
+  DEPMATCH_CHECK(source.ok());
+  DEPMATCH_CHECK(target.ok());
+  for (const std::vector<size_t>& attrs : plan.attrs) {
+    CachedTrial(source.value(), attrs, &cache);
+    CachedTrial(target.value(), attrs, &cache);
+  }
+}
+
+// Exact graph comparison: cold and cached trials must agree bit-for-bit.
+bool GraphsIdentical(const DependencyGraph& a, const DependencyGraph& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.name(i) != b.name(i)) return false;
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a.mi(i, j) != b.mi(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+bool VerifyIdentity(const PipelineBase& base, const TrialPlan& plan) {
+  StatCache cache;
+  Result<EncodedTableView> source =
+      base.source_view.SelectRows(ToUint32(plan.source_rows));
+  Result<EncodedTableView> target =
+      base.target_view.SelectRows(ToUint32(plan.target_rows));
+  DEPMATCH_CHECK(source.ok());
+  DEPMATCH_CHECK(target.ok());
+  for (const std::vector<size_t>& attrs : plan.attrs) {
+    DependencyGraph cold_s = ColdTrial(base.source, attrs, plan.source_rows);
+    DependencyGraph cold_t = ColdTrial(base.target, attrs, plan.target_rows);
+    if (!GraphsIdentical(cold_s, CachedTrial(source.value(), attrs, &cache)))
+      return false;
+    if (!GraphsIdentical(cold_t, CachedTrial(target.value(), attrs, &cache)))
+      return false;
+  }
+  return true;
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+Sample Measure(const PipelineBase& base, const TrialPlan& plan,
+               const Config& config, const std::string& mode, size_t reps) {
+  Sample sample{config, mode, reps, 1e300, 0.0};
+  for (size_t rep = 0; rep < reps; ++rep) {
+    double ms = TimeMs([&] {
+      if (mode == "cold") {
+        RunColdTrials(base, plan);
+      } else {
+        RunCachedTrials(base, plan);
+      }
+    });
+    sample.min_ms = std::min(sample.min_ms, ms);
+    sample.mean_ms += ms;
+  }
+  sample.mean_ms /= static_cast<double>(reps);
+  return sample;
+}
+
+std::string IsoTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::tm utc;
+  gmtime_r(&now, &utc);
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+std::string HostName() {
+  char buffer[256] = {0};
+  if (gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
+  return buffer;
+}
+
+int Run(bool smoke, const std::string& output_path) {
+  size_t reps = smoke ? 1 : 3;
+  if (const char* raw = std::getenv("DEPMATCH_BENCH_REPS")) {
+    auto parsed = ParseInt64(raw);
+    if (parsed.has_value() && *parsed > 0) {
+      reps = static_cast<size_t>(*parsed);
+    }
+  }
+
+  const uint64_t seed = 7;
+  PipelineBase base = MakeBase(smoke, seed);
+
+  // Figure-9 style sweep over sample sizes; the headline point is the
+  // middle one.
+  const std::vector<Config> configs =
+      smoke ? std::vector<Config>{{200, 6, 3}}
+            : std::vector<Config>{
+                  {1000, 10, 50}, {5000, 10, 50}, {20000, 10, 50}};
+  const Config headline_config = configs[configs.size() / 2];
+
+  std::vector<Sample> samples;
+  bool all_identical = true;
+  double headline_cold_ms = 0.0;
+  double headline_cached_ms = 0.0;
+
+  for (const Config& config : configs) {
+    TrialPlan plan = MakePlan(base, config, seed);
+
+    // Correctness gate first: every trial's cached graph must equal the
+    // materialized cold graph exactly.
+    if (!VerifyIdentity(base, plan)) {
+      all_identical = false;
+    }
+
+    for (const char* mode : {"cold", "cached"}) {
+      Sample sample = Measure(base, plan, config, mode, reps);
+      std::printf("sample_rows=%-6zu attrs=%-3zu trials=%-3zu %-7s "
+                  "min %9.2f ms   mean %9.2f ms\n",
+                  config.sample_rows, config.attrs_per_trial, config.trials,
+                  mode, sample.min_ms, sample.mean_ms);
+      if (config.sample_rows == headline_config.sample_rows) {
+        if (sample.mode == "cold") headline_cold_ms = sample.min_ms;
+        if (sample.mode == "cached") headline_cached_ms = sample.min_ms;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+
+  double headline_speedup = (headline_cached_ms > 0.0)
+                                ? headline_cold_ms / headline_cached_ms
+                                : 0.0;
+  std::printf("\nheadline (%zu sample rows, %zu attrs/trial, %zu trials): "
+              "cold %.2f ms -> cached %.2f ms = %.2fx speedup\n",
+              headline_config.sample_rows, headline_config.attrs_per_trial,
+              headline_config.trials, headline_cold_ms, headline_cached_ms,
+              headline_speedup);
+  std::printf("cached graphs identical: %s\n",
+              all_identical ? "true" : "false");
+
+  if (!output_path.empty()) {
+    std::FILE* out = std::fopen(output_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", output_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"pipeline\",\n");
+    std::fprintf(out, "  \"timestamp_utc\": \"%s\",\n",
+                 IsoTimestampUtc().c_str());
+    std::fprintf(out, "  \"machine\": {\n");
+    std::fprintf(out, "    \"hostname\": \"%s\",\n", HostName().c_str());
+    std::fprintf(out, "    \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
+#ifdef NDEBUG
+    std::fprintf(out, "    \"build_type\": \"Release\"\n");
+#else
+    std::fprintf(out, "    \"build_type\": \"Debug\"\n");
+#endif
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"cached_graphs_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"headline\": {\n");
+    std::fprintf(out,
+                 "    \"config\": \"%zu sample rows, %zu attrs/trial, "
+                 "%zu trials\",\n",
+                 headline_config.sample_rows, headline_config.attrs_per_trial,
+                 headline_config.trials);
+    std::fprintf(out, "    \"cold_min_ms\": %.3f,\n", headline_cold_ms);
+    std::fprintf(out, "    \"cached_min_ms\": %.3f,\n", headline_cached_ms);
+    std::fprintf(out, "    \"speedup\": %.3f\n", headline_speedup);
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"results\": [\n");
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(out,
+                   "    {\"sample_rows\": %zu, \"attrs_per_trial\": %zu, "
+                   "\"trials\": %zu, \"mode\": \"%s\", \"reps\": %zu, "
+                   "\"min_ms\": %.3f, \"mean_ms\": %.3f}%s\n",
+                   s.config.sample_rows, s.config.attrs_per_trial,
+                   s.config.trials, s.mode.c_str(), s.reps, s.min_ms,
+                   s.mean_ms, (i + 1 < samples.size()) ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", output_path.c_str());
+  }
+  return all_identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace depmatch
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool path_given = false;
+  std::string output_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      output_path = arg;
+      path_given = true;
+    }
+  }
+  if (!smoke && !path_given) output_path = "BENCH_pipeline.json";
+  return depmatch::Run(smoke, output_path);
+}

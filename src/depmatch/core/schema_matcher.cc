@@ -3,15 +3,14 @@
 #include <utility>
 
 namespace depmatch {
+namespace {
 
-Result<SchemaMatchResult> MatchTables(const Table& source,
-                                      const Table& target,
-                                      const SchemaMatchOptions& options) {
-  Result<DependencyGraph> source_graph =
-      BuildDependencyGraph(source, options.graph);
+// Step 2 plus name resolution, shared by both MatchTables overloads once
+// step 1 has produced the two graphs.
+Result<SchemaMatchResult> MatchBuiltGraphs(Result<DependencyGraph> source_graph,
+                                           Result<DependencyGraph> target_graph,
+                                           const SchemaMatchOptions& options) {
   if (!source_graph.ok()) return source_graph.status();
-  Result<DependencyGraph> target_graph =
-      BuildDependencyGraph(target, options.graph);
   if (!target_graph.ok()) return target_graph.status();
 
   Result<MatchResult> match =
@@ -31,6 +30,25 @@ Result<SchemaMatchResult> MatchTables(const Table& source,
   result.source_graph = std::move(source_graph).value();
   result.target_graph = std::move(target_graph).value();
   return result;
+}
+
+}  // namespace
+
+Result<SchemaMatchResult> MatchTables(const Table& source,
+                                      const Table& target,
+                                      const SchemaMatchOptions& options) {
+  return MatchBuiltGraphs(BuildDependencyGraph(source, options.graph),
+                          BuildDependencyGraph(target, options.graph),
+                          options);
+}
+
+Result<SchemaMatchResult> MatchTables(const EncodedTableView& source,
+                                      const EncodedTableView& target,
+                                      const SchemaMatchOptions& options) {
+  return MatchBuiltGraphs(
+      BuildDependencyGraph(source, options.graph, options.stat_cache),
+      BuildDependencyGraph(target, options.graph, options.stat_cache),
+      options);
 }
 
 }  // namespace depmatch

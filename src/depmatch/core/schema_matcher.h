@@ -42,6 +42,11 @@ struct SchemaMatchOptions {
   DependencyGraphOptions graph;
   // Step 2: metric, cardinality, search algorithm, candidate filter.
   MatchOptions match;
+  // Optional memo for step 1's per-column statistics, honored by the
+  // EncodedTableView overload of MatchTables (ignored by the Table one).
+  // Borrowed, not owned: the caller keeps it alive across calls so
+  // repeated matches over slices of the same base tables reuse entries.
+  StatCache* stat_cache = nullptr;
 };
 
 // One attribute correspondence, with names resolved.
@@ -67,6 +72,16 @@ struct SchemaMatchResult {
 // or data types: only their dependency structure is used.
 Result<SchemaMatchResult> MatchTables(const Table& source,
                                       const Table& target,
+                                      const SchemaMatchOptions& options = {});
+
+// Same over zero-copy views of encoded table snapshots
+// (table/encoded_column.h): step 1 consumes pre-encoded slot arrays, and
+// with options.stat_cache set, per-column statistics are memoized across
+// calls sharing base tables and row selections. Bit-identical to the
+// Table overload on equivalent data (see graph/graph_builder.h for the
+// exact contract).
+Result<SchemaMatchResult> MatchTables(const EncodedTableView& source,
+                                      const EncodedTableView& target,
                                       const SchemaMatchOptions& options = {});
 
 }  // namespace depmatch

@@ -30,6 +30,53 @@ uint64_t IterationSeed(uint64_t seed, size_t iteration) {
   return x ^ (x >> 31);
 }
 
+// Overlap of the drawn subsets implied by the cardinality constraint.
+size_t OverlapFor(Cardinality cardinality, size_t source_size,
+                  size_t config_overlap) {
+  switch (cardinality) {
+    case Cardinality::kOneToOne:
+    case Cardinality::kOnto:
+      return source_size;
+    case Cardinality::kPartial:
+      return config_overlap;
+  }
+  return 0;
+}
+
+// Draws related source/target attribute subsets (overlap + source-only +
+// target-only distinct attributes) from a shared universe, shuffles both
+// orders so index identity leaks nothing, and records the positional
+// ground truth of the shared attributes.
+void DrawRelatedSubsets(Rng& rng, size_t universe, size_t source_size,
+                        size_t target_size, size_t overlap,
+                        std::vector<size_t>& source_attrs,
+                        std::vector<size_t>& target_attrs,
+                        std::vector<MatchPair>& truth) {
+  size_t source_only = source_size - overlap;
+  size_t target_only = target_size - overlap;
+  std::vector<size_t> drawn = rng.SampleWithoutReplacement(
+      universe, overlap + source_only + target_only);
+  source_attrs.assign(drawn.begin(), drawn.begin() + overlap);
+  source_attrs.insert(source_attrs.end(), drawn.begin() + overlap,
+                      drawn.begin() + overlap + source_only);
+  target_attrs.assign(drawn.begin(), drawn.begin() + overlap);
+  target_attrs.insert(target_attrs.end(),
+                      drawn.begin() + overlap + source_only, drawn.end());
+  rng.Shuffle(source_attrs);
+  rng.Shuffle(target_attrs);
+  // Ground truth: positions of the shared attributes in both orders.
+  std::unordered_map<size_t, size_t> target_position;
+  for (size_t j = 0; j < target_attrs.size(); ++j) {
+    target_position[target_attrs[j]] = j;
+  }
+  for (size_t i = 0; i < source_attrs.size(); ++i) {
+    auto it = target_position.find(source_attrs[i]);
+    if (it != target_position.end()) {
+      truth.push_back({i, it->second});
+    }
+  }
+}
+
 IterationOutcome RunOneIteration(const DependencyGraph& graph1,
                                  const DependencyGraph& graph2,
                                  const SubsetExperimentConfig& config,
@@ -37,47 +84,16 @@ IterationOutcome RunOneIteration(const DependencyGraph& graph1,
   Rng rng(IterationSeed(config.seed, iteration));
   size_t w = config.source_size;
   size_t t_size = config.target_size;
-  size_t overlap = 0;
-  switch (config.match.cardinality) {
-    case Cardinality::kOneToOne:
-    case Cardinality::kOnto:
-      overlap = w;
-      break;
-    case Cardinality::kPartial:
-      overlap = config.overlap;
-      break;
-  }
+  size_t overlap =
+      OverlapFor(config.match.cardinality, w, config.overlap);
 
   std::vector<size_t> source_attrs;
   std::vector<size_t> target_attrs;
   std::vector<MatchPair> truth;
 
   if (config.schemas_related) {
-    // Draw overlap + source-only + target-only distinct attributes from
-    // the shared universe.
-    size_t source_only = w - overlap;
-    size_t target_only = t_size - overlap;
-    std::vector<size_t> drawn = rng.SampleWithoutReplacement(
-        graph1.size(), overlap + source_only + target_only);
-    source_attrs.assign(drawn.begin(), drawn.begin() + overlap);
-    source_attrs.insert(source_attrs.end(), drawn.begin() + overlap,
-                        drawn.begin() + overlap + source_only);
-    target_attrs.assign(drawn.begin(), drawn.begin() + overlap);
-    target_attrs.insert(target_attrs.end(),
-                        drawn.begin() + overlap + source_only, drawn.end());
-    rng.Shuffle(source_attrs);
-    rng.Shuffle(target_attrs);
-    // Ground truth: positions of the shared attributes in both orders.
-    std::unordered_map<size_t, size_t> target_position;
-    for (size_t j = 0; j < target_attrs.size(); ++j) {
-      target_position[target_attrs[j]] = j;
-    }
-    for (size_t i = 0; i < source_attrs.size(); ++i) {
-      auto it = target_position.find(source_attrs[i]);
-      if (it != target_position.end()) {
-        truth.push_back({i, it->second});
-      }
-    }
+    DrawRelatedSubsets(rng, graph1.size(), w, t_size, overlap, source_attrs,
+                       target_attrs, truth);
   } else {
     source_attrs = rng.SampleWithoutReplacement(graph1.size(), w);
     target_attrs = rng.SampleWithoutReplacement(graph2.size(), t_size);
@@ -101,6 +117,92 @@ IterationOutcome RunOneIteration(const DependencyGraph& graph1,
   outcome.produced_pairs = static_cast<double>(match.value().pairs.size());
   outcome.nodes_explored = match.value().nodes_explored;
   return outcome;
+}
+
+// One end-to-end pipeline trial: attribute draw, zero-copy slicing, graph
+// construction (through the cache when given), match, score.
+IterationOutcome RunPipelineIteration(const EncodedTableView& source,
+                                      const EncodedTableView& target,
+                                      const PipelineExperimentConfig& config,
+                                      StatCache* cache, size_t iteration) {
+  Rng rng(IterationSeed(config.seed, iteration));
+  size_t overlap = OverlapFor(config.match.cardinality, config.source_size,
+                              config.overlap);
+
+  std::vector<size_t> source_attrs;
+  std::vector<size_t> target_attrs;
+  std::vector<MatchPair> truth;
+  DrawRelatedSubsets(rng, source.num_attributes(), config.source_size,
+                     config.target_size, overlap, source_attrs, target_attrs,
+                     truth);
+
+  IterationOutcome outcome;
+  Result<EncodedTableView> source_slice = source.Project(source_attrs);
+  Result<EncodedTableView> target_slice = target.Project(target_attrs);
+  if (!source_slice.ok() || !target_slice.ok()) {
+    outcome.failed = true;
+    return outcome;
+  }
+  Result<DependencyGraph> source_graph =
+      BuildDependencyGraph(source_slice.value(), config.graph, cache);
+  Result<DependencyGraph> target_graph =
+      BuildDependencyGraph(target_slice.value(), config.graph, cache);
+  if (!source_graph.ok() || !target_graph.ok()) {
+    outcome.failed = true;
+    return outcome;
+  }
+  Result<MatchResult> match =
+      MatchGraphs(source_graph.value(), target_graph.value(), config.match);
+  if (!match.ok()) {
+    outcome.failed = true;
+    return outcome;
+  }
+  outcome.accuracy = ComputeAccuracy(match.value().pairs, truth);
+  outcome.metric_value = match.value().metric_value;
+  outcome.produced_pairs = static_cast<double>(match.value().pairs.size());
+  outcome.nodes_explored = match.value().nodes_explored;
+  return outcome;
+}
+
+// Means / stddevs / totals over completed iterations, shared by both
+// runners.
+ExperimentStats AggregateOutcomes(
+    const std::vector<IterationOutcome>& outcomes) {
+  ExperimentStats stats;
+  for (const IterationOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      ++stats.iterations_failed;
+      continue;
+    }
+    ++stats.iterations_completed;
+    stats.mean_precision += outcome.accuracy.precision;
+    stats.mean_recall += outcome.accuracy.recall;
+    stats.mean_metric_value += outcome.metric_value;
+    stats.mean_produced_pairs += outcome.produced_pairs;
+    stats.total_nodes_explored += outcome.nodes_explored;
+  }
+  if (stats.iterations_completed > 0) {
+    double n = static_cast<double>(stats.iterations_completed);
+    stats.mean_precision /= n;
+    stats.mean_recall /= n;
+    stats.mean_metric_value /= n;
+    stats.mean_produced_pairs /= n;
+  }
+  if (stats.iterations_completed > 1) {
+    double n = static_cast<double>(stats.iterations_completed);
+    double precision_ss = 0.0;
+    double recall_ss = 0.0;
+    for (const IterationOutcome& outcome : outcomes) {
+      if (outcome.failed) continue;
+      double dp = outcome.accuracy.precision - stats.mean_precision;
+      double dr = outcome.accuracy.recall - stats.mean_recall;
+      precision_ss += dp * dp;
+      recall_ss += dr * dr;
+    }
+    stats.stddev_precision = std::sqrt(precision_ss / (n - 1.0));
+    stats.stddev_recall = std::sqrt(recall_ss / (n - 1.0));
+  }
+  return stats;
 }
 
 }  // namespace
@@ -158,41 +260,68 @@ Result<ExperimentStats> RunSubsetExperiment(
     for (size_t i = 0; i < config.iterations; ++i) run(i);
   }
 
-  ExperimentStats stats;
-  for (const IterationOutcome& outcome : outcomes) {
-    if (outcome.failed) {
-      ++stats.iterations_failed;
-      continue;
-    }
-    ++stats.iterations_completed;
-    stats.mean_precision += outcome.accuracy.precision;
-    stats.mean_recall += outcome.accuracy.recall;
-    stats.mean_metric_value += outcome.metric_value;
-    stats.mean_produced_pairs += outcome.produced_pairs;
-    stats.total_nodes_explored += outcome.nodes_explored;
+  return AggregateOutcomes(outcomes);
+}
+
+Result<ExperimentStats> RunPipelineExperiment(
+    const EncodedTableView& source, const EncodedTableView& target,
+    const PipelineExperimentConfig& config, StatCache* cache) {
+  if (!source.valid() || !target.valid()) {
+    return InvalidArgumentError("pipeline experiments need valid views");
   }
-  if (stats.iterations_completed > 0) {
-    double n = static_cast<double>(stats.iterations_completed);
-    stats.mean_precision /= n;
-    stats.mean_recall /= n;
-    stats.mean_metric_value /= n;
-    stats.mean_produced_pairs /= n;
+  if (source.num_attributes() != target.num_attributes()) {
+    return InvalidArgumentError(
+        "pipeline experiments need views over the same attribute universe");
   }
-  if (stats.iterations_completed > 1) {
-    double n = static_cast<double>(stats.iterations_completed);
-    double precision_ss = 0.0;
-    double recall_ss = 0.0;
-    for (const IterationOutcome& outcome : outcomes) {
-      if (outcome.failed) continue;
-      double dp = outcome.accuracy.precision - stats.mean_precision;
-      double dr = outcome.accuracy.recall - stats.mean_recall;
-      precision_ss += dp * dp;
-      recall_ss += dr * dr;
-    }
-    stats.stddev_precision = std::sqrt(precision_ss / (n - 1.0));
-    stats.stddev_recall = std::sqrt(recall_ss / (n - 1.0));
+  size_t w = config.source_size;
+  size_t t_size = config.target_size;
+  if (w == 0 || t_size == 0) {
+    return InvalidArgumentError("source_size and target_size must be > 0");
   }
-  return stats;
+  if (config.match.cardinality == Cardinality::kOneToOne && w != t_size) {
+    return InvalidArgumentError(
+        "one-to-one experiments need source_size == target_size");
+  }
+  if (config.match.cardinality == Cardinality::kOnto && w > t_size) {
+    return InvalidArgumentError(
+        "onto experiments need source_size <= target_size");
+  }
+  size_t overlap = OverlapFor(config.match.cardinality, w, config.overlap);
+  if (overlap > w || overlap > t_size) {
+    return InvalidArgumentError("overlap exceeds schema sizes");
+  }
+  size_t needed = overlap + (w - overlap) + (t_size - overlap);
+  if (needed > source.num_attributes()) {
+    return InvalidArgumentError(StrFormat(
+        "subset draw needs %zu distinct attributes, universe has %zu",
+        needed, source.num_attributes()));
+  }
+  if (config.iterations == 0) {
+    return InvalidArgumentError("iterations must be > 0");
+  }
+
+  // The sample-size axis: one shared draw per experiment (not per trial),
+  // so every iteration — and every cache entry — sees the same rows.
+  EncodedTableView sampled_source = source;
+  EncodedTableView sampled_target = target;
+  if (config.sample_rows > 0) {
+    Rng sample_rng(config.seed);
+    sampled_source = source.Sample(config.sample_rows, sample_rng);
+    sampled_target = target.Sample(config.sample_rows, sample_rng);
+  }
+
+  std::vector<IterationOutcome> outcomes(config.iterations);
+  auto run = [&](size_t i) {
+    outcomes[i] =
+        RunPipelineIteration(sampled_source, sampled_target, config, cache, i);
+  };
+  if (config.num_threads > 1) {
+    ThreadPool::ParallelFor(config.num_threads, config.iterations, run);
+  } else {
+    for (size_t i = 0; i < config.iterations; ++i) run(i);
+  }
+
+  return AggregateOutcomes(outcomes);
 }
 
 }  // namespace depmatch

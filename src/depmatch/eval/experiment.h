@@ -21,7 +21,10 @@
 #include "depmatch/common/status.h"
 #include "depmatch/eval/accuracy.h"
 #include "depmatch/graph/dependency_graph.h"
+#include "depmatch/graph/graph_builder.h"
 #include "depmatch/match/matching.h"
+#include "depmatch/stats/stat_cache.h"
+#include "depmatch/table/encoded_column.h"
 
 namespace depmatch {
 
@@ -77,6 +80,45 @@ struct ExperimentStats {
 Result<ExperimentStats> RunSubsetExperiment(
     const DependencyGraph& graph1, const DependencyGraph& graph2,
     const SubsetExperimentConfig& config);
+
+// End-to-end pipeline experiment (tables in, accuracy out), the Figure-9
+// style protocol driven from the data rather than from pre-built graphs.
+struct PipelineExperimentConfig {
+  // Step 1: per-slice dependency-graph construction.
+  DependencyGraphOptions graph;
+  // Step 2: matcher configuration for every iteration.
+  MatchOptions match;
+
+  // Rows to sample from each view, drawn once per experiment from `seed`
+  // (0 = keep all rows). The paper's 1K/5K/10K sample-size axis.
+  size_t sample_rows = 0;
+
+  // Attribute-subset shape per iteration; same semantics as
+  // SubsetExperimentConfig (the views play the related-universe role:
+  // view column i of `source` truly corresponds to view column i of
+  // `target`).
+  size_t source_size = 0;
+  size_t target_size = 0;
+  size_t overlap = 0;  // kPartial only.
+
+  size_t iterations = 50;
+  uint64_t seed = 17;
+  // Worker threads across iterations (results are identical for any
+  // thread count, with or without a cache).
+  size_t num_threads = 1;
+};
+
+// Runs the pipeline: once per experiment, sample `sample_rows` rows of
+// each view; per iteration, draw a random attribute subset of the shared
+// universe, build both dependency graphs from the zero-copy slices, match,
+// and score against the positional ground truth. With `cache` non-null,
+// per-column selection statistics flow through it, so each base column is
+// encoded once across all iterations and threads instead of once per
+// trial. Deterministic for fixed config; cached and cold runs produce
+// identical statistics.
+Result<ExperimentStats> RunPipelineExperiment(
+    const EncodedTableView& source, const EncodedTableView& target,
+    const PipelineExperimentConfig& config, StatCache* cache = nullptr);
 
 }  // namespace depmatch
 

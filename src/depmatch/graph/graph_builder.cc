@@ -112,4 +112,71 @@ Result<DependencyGraph> BuildDependencyGraph(
   return DependencyGraph::Create(std::move(names), std::move(matrix));
 }
 
+Result<DependencyGraph> BuildDependencyGraph(
+    const EncodedTableView& view, const DependencyGraphOptions& options,
+    StatCache* cache) {
+  if (!view.valid()) {
+    return InvalidArgumentError("BuildDependencyGraph: invalid (empty) view");
+  }
+  size_t n = view.num_attributes();
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(view.attribute_name(i));
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+
+  size_t workers = std::max<size_t>(options.num_threads, 1);
+
+  // Per-column selection stats play the marginal cache's role and carry
+  // the (possibly remapped) slot arrays; with a StatCache they are also
+  // memoized across builds sharing the base table and row selection.
+  std::vector<std::shared_ptr<const ColumnSelectionStats>> stats(n);
+  ThreadPool::ParallelForWithWorker(
+      workers, n, [&](size_t /*worker*/, size_t i) {
+        stats[i] = cache != nullptr
+                       ? cache->Get(view, i, options.stats.null_policy)
+                       : ComputeSelectionStats(view, i,
+                                               options.stats.null_policy);
+      });
+
+  for (size_t i = 0; i < n; ++i) {
+    matrix[i][i] = stats[i]->marginal.entropy;
+  }
+
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+
+  // The edge memo keys on the measure as well (the fold differs), not on
+  // the kernel knobs (dense/sparse/auto emit bit-identical folds).
+  const uint32_t fold_tag = static_cast<uint32_t>(options.measure);
+  const NullPolicy policy = options.stats.null_policy;
+
+  std::vector<JointCountKernel> kernels(workers);
+  ThreadPool::ParallelForWithWorker(
+      workers, pairs.size(), [&](size_t worker, size_t k) {
+        auto [i, j] = pairs[k];
+        double value;
+        if (cache == nullptr ||
+            !cache->GetEdge(view, i, j, policy, fold_tag, &value)) {
+          const JointCounts& joint = kernels[worker].Count(
+              stats[i]->code_view(), stats[j]->code_view(), options.stats);
+          value = EdgeValue(options.measure, joint, stats[i]->marginal,
+                            stats[j]->marginal);
+          if (cache != nullptr) {
+            cache->PutEdge(view, i, j, policy, fold_tag, value);
+          }
+        }
+        matrix[i][j] = value;
+        matrix[j][i] = value;
+      });
+
+  return DependencyGraph::Create(std::move(names), std::move(matrix));
+}
+
 }  // namespace depmatch

@@ -23,6 +23,8 @@
 #include "depmatch/common/status.h"
 #include "depmatch/graph/dependency_graph.h"
 #include "depmatch/stats/entropy.h"
+#include "depmatch/stats/stat_cache.h"
+#include "depmatch/table/encoded_column.h"
 #include "depmatch/table/table.h"
 
 namespace depmatch {
@@ -53,6 +55,24 @@ struct DependencyGraphOptions {
 // table and options.
 Result<DependencyGraph> BuildDependencyGraph(
     const Table& table, const DependencyGraphOptions& options = {});
+
+// Same over a zero-copy view of an encoded table snapshot, consuming
+// pre-encoded slot arrays directly (no Value is copied or re-hashed).
+// When `cache` is non-null, per-column selection stats (remapped slots,
+// marginal, entropy) are fetched through it, so repeated builds over
+// overlapping slices of the same base table encode each column once; the
+// pairwise edge values are memoized too, so a column pair recurring
+// across builds (same selection, policy, measure) skips the joint count
+// entirely.
+//
+// Bit-identical contract: a view with no row selection yields exactly
+// BuildDependencyGraph(table) on the snapshotted table; a view with a row
+// selection yields exactly the graph of the SelectRows-materialized table
+// (first-appearance remap, see table/encoded_column.h). Cached and cold
+// builds are identical by construction.
+Result<DependencyGraph> BuildDependencyGraph(
+    const EncodedTableView& view, const DependencyGraphOptions& options = {},
+    StatCache* cache = nullptr);
 
 }  // namespace depmatch
 

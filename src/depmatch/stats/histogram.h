@@ -26,6 +26,17 @@ namespace depmatch {
 // 2^20 cells = 8 MiB of uint64 counts per worker thread.
 inline constexpr size_t kDefaultDenseCellBudget = size_t{1} << 20;
 
+// Auto-tuned dense budget (StatsOptions::auto_dense_budget): a pair whose
+// matrix exceeds dense_cell_budget may still count densely when the
+// *measured* dictionary sizes give at most min(rows * kDenseAutoCellsPerRow,
+// kDenseAutoMaxCells) cells. Touched-cell compaction keeps per-pair work
+// O(rows + k log k) regardless of matrix size, so beyond the static budget
+// the only cost is scratch memory — capped at 2^25 cells = 256 MiB of
+// uint64 counts per worker. The rows factor keeps tiny tables from paying
+// a huge first-touch memset for a matrix they barely populate.
+inline constexpr size_t kDenseAutoCellsPerRow = 4096;
+inline constexpr size_t kDenseAutoMaxCells = size_t{1} << 25;
+
 // How null cells participate in distribution estimates.
 enum class NullPolicy {
   // Null is one more symbol of the alphabet. This matches the paper's data
@@ -47,6 +58,13 @@ struct StatsOptions {
   // (distinct_x + 1) * (distinct_y + 1) <= dense_cell_budget; otherwise
   // the sparse hash-map kernel is used. 0 forces the sparse path.
   size_t dense_cell_budget = kDefaultDenseCellBudget;
+  // When true (default), the crossover decision additionally admits pairs
+  // whose measured cell count fits min(rows * kDenseAutoCellsPerRow,
+  // kDenseAutoMaxCells), so high-cardinality pairs on row-heavy tables
+  // stay on the dense kernel instead of falling back to the hash map.
+  // Kernel choice is a pure performance knob: results are bit-identical
+  // either way. Ignored when dense_cell_budget is 0 (forced sparse).
+  bool auto_dense_budget = true;
 };
 
 // Marginal frequency histogram of one column.

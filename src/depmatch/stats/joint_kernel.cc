@@ -13,6 +13,47 @@
 #include "depmatch/common/logging.h"
 
 namespace depmatch {
+namespace {
+
+// Per-row slot sources the counting templates are instantiated over. Both
+// yield slot = code + 1 with slot 0 = null, so the loop bodies — and thus
+// the accumulation order — are identical for Column and CodeView inputs.
+struct ColumnSlots {
+  const int32_t* codes;
+  uint32_t operator()(size_t r) const {
+    return static_cast<uint32_t>(codes[r] + 1);
+  }
+};
+
+struct SpanSlots {
+  const uint32_t* slots;
+  uint32_t operator()(size_t r) const { return slots[r]; }
+};
+
+// The cell budget the dense/sparse crossover compares against. With
+// auto_dense_budget, the static budget is raised to the measured-shape
+// allowance min(rows * kDenseAutoCellsPerRow, kDenseAutoMaxCells):
+// touched-cell compaction makes dense counting O(rows + k log k) in time
+// regardless of matrix size, so admitting more cells only costs capped
+// scratch memory. Budget 0 (forced sparse) is never overridden.
+size_t EffectiveDenseBudget(size_t rows, const StatsOptions& options) {
+  size_t budget = options.dense_cell_budget;
+  if (budget == 0 || !options.auto_dense_budget) return budget;
+  size_t by_rows = rows >= kDenseAutoMaxCells / kDenseAutoCellsPerRow
+                       ? kDenseAutoMaxCells
+                       : rows * kDenseAutoCellsPerRow;
+  return std::max(budget, by_rows);
+}
+
+bool UseDenseForShape(size_t dx1, size_t dy1, size_t rows,
+                      const StatsOptions& options) {
+  size_t budget = EffectiveDenseBudget(rows, options);
+  if (budget == 0) return false;
+  // Overflow-safe form of dx1 * dy1 <= budget.
+  return dx1 <= budget / dy1;
+}
+
+}  // namespace
 
 ColumnMarginal ComputeColumnMarginal(const Column& column,
                                      NullPolicy policy) {
@@ -30,13 +71,31 @@ ColumnMarginal ComputeColumnMarginal(const Column& column,
   return m;
 }
 
+ColumnMarginal ComputeColumnMarginal(const CodeView& codes,
+                                     NullPolicy policy) {
+  ColumnMarginal m;
+  m.slots.assign(codes.num_slots, 0);
+  const bool drop = (policy == NullPolicy::kDropNulls);
+  for (size_t r = 0; r < codes.size; ++r) {
+    uint32_t slot = codes.slots[r];
+    if (slot == 0 && drop) continue;
+    ++m.slots[slot];
+    ++m.total;
+  }
+  m.support = SupportFromSlots(m.slots);
+  m.entropy = EntropyFromSlots(m.slots, m.total);
+  return m;
+}
+
 bool JointCountKernel::UseDense(const Column& x, const Column& y,
                                 const StatsOptions& options) {
-  if (options.dense_cell_budget == 0) return false;
-  size_t dx1 = x.distinct_count() + 1;
-  size_t dy1 = y.distinct_count() + 1;
-  // Overflow-safe form of dx1 * dy1 <= dense_cell_budget.
-  return dx1 <= options.dense_cell_budget / dy1;
+  return UseDenseForShape(x.distinct_count() + 1, y.distinct_count() + 1,
+                          x.size(), options);
+}
+
+bool JointCountKernel::UseDense(const CodeView& x, const CodeView& y,
+                                const StatsOptions& options) {
+  return UseDenseForShape(x.num_slots, y.num_slots, x.size, options);
 }
 
 const JointCounts& JointCountKernel::Count(const Column& x, const Column& y,
@@ -51,10 +110,13 @@ const JointCounts& JointCountKernel::Count(const Column& x, const Column& y,
   counts_.y_marginals.clear();
 
   counts_.used_dense = UseDense(x, y, options);
+  ColumnSlots xs{x.codes().data()};
+  ColumnSlots ys{y.codes().data()};
   if (counts_.used_dense) {
-    CountDense(x, y, options.null_policy);
+    CountDense(xs, ys, x.size(), x.distinct_count() + 1,
+               y.distinct_count() + 1, options.null_policy);
   } else {
-    CountSparse(x, y, options.null_policy);
+    CountSparse(xs, ys, x.size(), options.null_policy);
   }
 
   // The retained-row set depends on the pair only under kDropNulls with
@@ -62,21 +124,48 @@ const JointCounts& JointCountKernel::Count(const Column& x, const Column& y,
   // (otherwise each column's pair-invariant ColumnMarginal applies).
   if (options.null_policy == NullPolicy::kDropNulls &&
       (x.null_count() > 0 || y.null_count() > 0)) {
-    FillMarginals(x, y);
+    FillMarginals(x.distinct_count() + 1, y.distinct_count() + 1);
   }
   return counts_;
 }
 
-void JointCountKernel::CountDense(const Column& x, const Column& y,
+const JointCounts& JointCountKernel::Count(const CodeView& x,
+                                           const CodeView& y,
+                                           const StatsOptions& options) {
+  DEPMATCH_CHECK_EQ(x.size, y.size);
+  counts_.total = 0;
+  counts_.cell_x_slots.clear();
+  counts_.cell_y_slots.clear();
+  counts_.cell_counts.clear();
+  counts_.has_marginals = false;
+  counts_.x_marginals.clear();
+  counts_.y_marginals.clear();
+
+  counts_.used_dense = UseDense(x, y, options);
+  SpanSlots xs{x.slots};
+  SpanSlots ys{y.slots};
+  if (counts_.used_dense) {
+    CountDense(xs, ys, x.size, x.num_slots, y.num_slots,
+               options.null_policy);
+  } else {
+    CountSparse(xs, ys, x.size, options.null_policy);
+  }
+
+  if (options.null_policy == NullPolicy::kDropNulls &&
+      (x.null_count > 0 || y.null_count > 0)) {
+    FillMarginals(x.num_slots, y.num_slots);
+  }
+  return counts_;
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountDense(SlotOfX x_slot, SlotOfY y_slot,
+                                  size_t rows, size_t dx1, size_t dy1,
                                   NullPolicy policy) {
-  const size_t dy1 = y.distinct_count() + 1;
-  const size_t cells = (x.distinct_count() + 1) * dy1;
+  const size_t cells = dx1 * dy1;
   if (dense_.size() < cells) dense_.resize(cells, 0);
   touched_.clear();
 
-  const std::vector<int32_t>& xs = x.codes();
-  const std::vector<int32_t>& ys = y.codes();
-  const size_t rows = xs.size();
   const bool drop = (policy == NullPolicy::kDropNulls);
 
   // Low-cardinality pairs (matrix no bigger than the row count) take the
@@ -87,13 +176,10 @@ void JointCountKernel::CountDense(const Column& x, const Column& y,
   const bool scan_compact = (cells <= rows);
   if (scan_compact) {
     for (size_t r = 0; r < rows; ++r) {
-      int32_t xc = xs[r];
-      int32_t yc = ys[r];
-      if (drop && (xc == Column::kNullCode || yc == Column::kNullCode)) {
-        continue;
-      }
-      ++dense_[static_cast<size_t>(xc + 1) * dy1 +
-               static_cast<size_t>(yc + 1)];
+      uint32_t sx = x_slot(r);
+      uint32_t sy = y_slot(r);
+      if (drop && (sx == 0 || sy == 0)) continue;
+      ++dense_[static_cast<size_t>(sx) * dy1 + sy];
       ++counts_.total;
     }
     // Flat-index order is the canonical row-major cell order; zeroing as
@@ -110,13 +196,10 @@ void JointCountKernel::CountDense(const Column& x, const Column& y,
 
   touched_.clear();
   for (size_t r = 0; r < rows; ++r) {
-    int32_t xc = xs[r];
-    int32_t yc = ys[r];
-    if (drop && (xc == Column::kNullCode || yc == Column::kNullCode)) {
-      continue;
-    }
-    size_t slot = static_cast<size_t>(xc + 1) * dy1 +
-                  static_cast<size_t>(yc + 1);
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    size_t slot = static_cast<size_t>(sx) * dy1 + sy;
     if (dense_[slot]++ == 0) touched_.push_back(slot);
     ++counts_.total;
   }
@@ -136,20 +219,18 @@ void JointCountKernel::CountDense(const Column& x, const Column& y,
   }
 }
 
-void JointCountKernel::CountSparse(const Column& x, const Column& y,
-                                   NullPolicy policy) {
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountSparse(SlotOfX x_slot, SlotOfY y_slot,
+                                   size_t rows, NullPolicy policy) {
   sparse_.clear();
-  const std::vector<int32_t>& xs = x.codes();
-  const std::vector<int32_t>& ys = y.codes();
-  const size_t rows = xs.size();
   const bool drop = (policy == NullPolicy::kDropNulls);
   for (size_t r = 0; r < rows; ++r) {
-    int32_t xc = xs[r];
-    int32_t yc = ys[r];
-    if (drop && (xc == Column::kNullCode || yc == Column::kNullCode)) {
-      continue;
-    }
-    ++sparse_[JointHistogram::PackCodes(xc, yc)];
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    // Same packing as JointHistogram::PackCodes(code_x, code_y): slot in
+    // the high word, slot in the low word.
+    ++sparse_[(static_cast<uint64_t>(sx) << 32) | sy];
     ++counts_.total;
   }
 
@@ -170,10 +251,10 @@ void JointCountKernel::CountSparse(const Column& x, const Column& y,
   }
 }
 
-void JointCountKernel::FillMarginals(const Column& x, const Column& y) {
+void JointCountKernel::FillMarginals(size_t x_slots, size_t y_slots) {
   counts_.has_marginals = true;
-  counts_.x_marginals.assign(x.distinct_count() + 1, 0);
-  counts_.y_marginals.assign(y.distinct_count() + 1, 0);
+  counts_.x_marginals.assign(x_slots, 0);
+  counts_.y_marginals.assign(y_slots, 0);
   for (size_t c = 0; c < counts_.cell_counts.size(); ++c) {
     counts_.x_marginals[counts_.cell_x_slots[c]] += counts_.cell_counts[c];
     counts_.y_marginals[counts_.cell_y_slots[c]] += counts_.cell_counts[c];

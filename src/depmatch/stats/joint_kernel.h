@@ -55,6 +55,23 @@ struct ColumnMarginal {
 
 ColumnMarginal ComputeColumnMarginal(const Column& column, NullPolicy policy);
 
+// A borrowed slot-encoded column: slots[r] = dictionary code + 1, slot 0 =
+// null — the storage form of table/encoded_column.h (EncodedColumn slot
+// arrays and SelectionCodes), consumed by the kernels directly so cached
+// encodings never round-trip through a Column. The storage is owned
+// elsewhere and must outlive the kernel call.
+struct CodeView {
+  const uint32_t* slots = nullptr;
+  size_t size = 0;
+  // Marginal slot-array length: distinct + 1 (slot 0 = null).
+  uint32_t num_slots = 1;
+  uint64_t null_count = 0;
+};
+
+// Slot-order marginal over a borrowed encoding; bit-identical to the
+// Column overload on the equivalent column.
+ColumnMarginal ComputeColumnMarginal(const CodeView& codes, NullPolicy policy);
+
 // Result of one pairwise counting pass. Cells are the non-zero entries of
 // the joint count table, stored as parallel arrays in row-major
 // (x_slot, y_slot) order where slot = code + 1 and slot 0 is null.
@@ -82,18 +99,35 @@ struct JointCounts {
 class JointCountKernel {
  public:
   // True when the dense kernel will be used for (x, y) under `options`.
+  // The crossover uses the measured dictionary sizes against the effective
+  // cell budget: dense_cell_budget, raised (when auto_dense_budget is on)
+  // to min(rows * kDenseAutoCellsPerRow, kDenseAutoMaxCells). Budget 0
+  // always forces the sparse path.
   static bool UseDense(const Column& x, const Column& y,
+                       const StatsOptions& options);
+  static bool UseDense(const CodeView& x, const CodeView& y,
                        const StatsOptions& options);
 
   // Counts pair frequencies of (x, y) under options.null_policy.
   // Precondition: x.size() == y.size().
   const JointCounts& Count(const Column& x, const Column& y,
                            const StatsOptions& options);
+  // Same over borrowed slot encodings; bit-identical to the Column
+  // overload on equivalent data. Precondition: x.size == y.size.
+  const JointCounts& Count(const CodeView& x, const CodeView& y,
+                           const StatsOptions& options);
 
  private:
-  void CountDense(const Column& x, const Column& y, NullPolicy policy);
-  void CountSparse(const Column& x, const Column& y, NullPolicy policy);
-  void FillMarginals(const Column& x, const Column& y);
+  // Counting loops are generic over the per-row slot source (a callable
+  // r -> slot) so the Column and CodeView entry points share one body and
+  // therefore one accumulation order.
+  template <typename SlotOfX, typename SlotOfY>
+  void CountDense(SlotOfX x_slot, SlotOfY y_slot, size_t rows, size_t dx1,
+                  size_t dy1, NullPolicy policy);
+  template <typename SlotOfX, typename SlotOfY>
+  void CountSparse(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                   NullPolicy policy);
+  void FillMarginals(size_t x_slots, size_t y_slots);
 
   JointCounts counts_;
   // Dense scratch; invariant: all-zero between Count() calls.

@@ -1,0 +1,173 @@
+// depmatch-lint: bit-identical-file
+// Cached statistics must be bit-identical to cold-computed ones at any
+// thread count: computation happens outside the lock in deterministic
+// slot order (ComputeColumnMarginal / MaterializeSelectionCodes), and on
+// a racing double-compute the first insert wins — both candidates are
+// equal, so which one survives is unobservable. No floating accumulation
+// may be reordered here.
+#include "depmatch/stats/stat_cache.h"
+
+#include <utility>
+
+#include "depmatch/common/logging.h"
+
+namespace depmatch {
+namespace {
+
+// FNV-1a over the key's fields, mixed field-by-field.
+uint64_t HashMix(uint64_t hash, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xffu;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnSelectionStats> ComputeSelectionStats(
+    const EncodedTableView& view, size_t column, NullPolicy policy) {
+  DEPMATCH_CHECK(view.valid());
+  DEPMATCH_CHECK_LT(column, view.num_attributes());
+  auto stats = std::make_shared<ColumnSelectionStats>();
+  const EncodedColumn& base_column = view.column(column);
+  if (!view.has_row_selection()) {
+    // All rows: alias the base slot array (kept alive via `base`).
+    stats->base = view.base_ptr();
+    stats->slots = &base_column.slots();
+    stats->num_slots = base_column.num_slots();
+    stats->null_count = base_column.null_count();
+  } else {
+    SelectionCodes codes =
+        MaterializeSelectionCodes(base_column, view.row_selection());
+    stats->owned_slots = std::move(codes.slots);
+    stats->slots = &stats->owned_slots;
+    stats->num_slots = codes.num_slots;
+    stats->null_count = codes.null_count;
+  }
+  stats->marginal = ComputeColumnMarginal(stats->code_view(), policy);
+  return stats;
+}
+
+std::shared_ptr<const ColumnSelectionStats> StatCache::Get(
+    const EncodedTableView& view, size_t column, NullPolicy policy) {
+  DEPMATCH_CHECK(view.valid());
+  DEPMATCH_CHECK_LT(column, view.num_attributes());
+  Key key;
+  key.table_id = view.base().id();
+  key.row_digest = view.row_digest();
+  key.row_count = view.num_rows();
+  key.column = static_cast<uint32_t>(view.base_column(column));
+  key.policy = static_cast<uint8_t>(policy);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+
+  // Compute outside the lock; concurrent misses on the same key may both
+  // compute, but the computation is deterministic so the candidates are
+  // equal and the first insert wins.
+  std::shared_ptr<const ColumnSelectionStats> computed =
+      ComputeSelectionStats(view, column, policy);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto [it, inserted] = map_.emplace(key, std::move(computed));
+  return it->second;
+}
+
+bool StatCache::GetEdge(const EncodedTableView& view, size_t x, size_t y,
+                        NullPolicy policy, uint32_t fold_tag,
+                        double* value) {
+  DEPMATCH_CHECK(view.valid());
+  DEPMATCH_CHECK_LT(x, view.num_attributes());
+  DEPMATCH_CHECK_LT(y, view.num_attributes());
+  EdgeKey key;
+  key.table_id = view.base().id();
+  key.row_digest = view.row_digest();
+  key.row_count = view.num_rows();
+  key.x = static_cast<uint32_t>(view.base_column(x));
+  key.y = static_cast<uint32_t>(view.base_column(y));
+  key.fold_tag = fold_tag;
+  key.policy = static_cast<uint8_t>(policy);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = edge_map_.find(key);
+  if (it == edge_map_.end()) {
+    ++edge_misses_;
+    return false;
+  }
+  ++edge_hits_;
+  *value = it->second;
+  return true;
+}
+
+void StatCache::PutEdge(const EncodedTableView& view, size_t x, size_t y,
+                        NullPolicy policy, uint32_t fold_tag, double value) {
+  DEPMATCH_CHECK(view.valid());
+  DEPMATCH_CHECK_LT(x, view.num_attributes());
+  DEPMATCH_CHECK_LT(y, view.num_attributes());
+  EdgeKey key;
+  key.table_id = view.base().id();
+  key.row_digest = view.row_digest();
+  key.row_count = view.num_rows();
+  key.x = static_cast<uint32_t>(view.base_column(x));
+  key.y = static_cast<uint32_t>(view.base_column(y));
+  key.fold_tag = fold_tag;
+  key.policy = static_cast<uint8_t>(policy);
+
+  // First insert wins; racing candidates are equal (the fold is
+  // deterministic in its inputs), so which survives is unobservable.
+  std::lock_guard<std::mutex> lock(mu_);
+  edge_map_.emplace(key, value);
+}
+
+StatCache::Counters StatCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters counters;
+  counters.hits = hits_;
+  counters.misses = misses_;
+  counters.entries = map_.size();
+  counters.edge_hits = edge_hits_;
+  counters.edge_misses = edge_misses_;
+  counters.edge_entries = edge_map_.size();
+  return counters;
+}
+
+void StatCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  edge_map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  edge_hits_ = 0;
+  edge_misses_ = 0;
+}
+
+size_t StatCache::KeyHash::operator()(const Key& key) const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = HashMix(hash, key.table_id);
+  hash = HashMix(hash, key.row_digest);
+  hash = HashMix(hash, key.row_count);
+  hash = HashMix(hash, (static_cast<uint64_t>(key.column) << 8) |
+                           key.policy);
+  return static_cast<size_t>(hash);
+}
+
+size_t StatCache::EdgeKeyHash::operator()(const EdgeKey& key) const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = HashMix(hash, key.table_id);
+  hash = HashMix(hash, key.row_digest);
+  hash = HashMix(hash, key.row_count);
+  hash = HashMix(hash, (static_cast<uint64_t>(key.x) << 32) | key.y);
+  hash = HashMix(hash, (static_cast<uint64_t>(key.fold_tag) << 8) |
+                           key.policy);
+  return static_cast<size_t>(hash);
+}
+
+}  // namespace depmatch

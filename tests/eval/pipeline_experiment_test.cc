@@ -1,0 +1,159 @@
+#include "depmatch/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/table/csv.h"
+
+namespace depmatch {
+namespace {
+
+// Two correlated tables over the same attribute universe: both encode the
+// same hidden row structure, so view column i of one truly corresponds to
+// view column i of the other.
+Table RelatedTable(size_t rows, size_t cols, uint64_t noise_seed) {
+  Rng rng(noise_seed);
+  std::string csv;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) csv += ',';
+    csv += "a" + std::to_string(c);
+  }
+  csv += '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    // A shared latent driver plus per-column deterministic structure and
+    // a little noise keeps cross-column MI informative.
+    uint64_t latent = (r * 2654435761u) % 16;
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) csv += ',';
+      uint64_t alphabet = 4 + (c % 5);
+      uint64_t value = (latent + c * (latent % 3)) % alphabet;
+      if (rng.NextBernoulli(0.05)) value = rng.NextBounded(alphabet);
+      csv += "v" + std::to_string(value);
+    }
+    csv += '\n';
+  }
+  auto table = ReadCsvString(csv, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+PipelineExperimentConfig BaseConfig() {
+  PipelineExperimentConfig config;
+  config.match.cardinality = Cardinality::kOneToOne;
+  config.match.metric = MetricKind::kMutualInfoEuclidean;
+  config.match.candidates_per_attribute = 3;
+  config.sample_rows = 120;
+  config.source_size = 5;
+  config.target_size = 5;
+  config.iterations = 8;
+  config.seed = 7;
+  return config;
+}
+
+void ExpectSameStats(const ExperimentStats& a, const ExperimentStats& b) {
+  // Exact equality: the pipeline is deterministic and the cache is
+  // required to be unobservable in the results.
+  EXPECT_EQ(a.mean_precision, b.mean_precision);
+  EXPECT_EQ(a.mean_recall, b.mean_recall);
+  EXPECT_EQ(a.stddev_precision, b.stddev_precision);
+  EXPECT_EQ(a.stddev_recall, b.stddev_recall);
+  EXPECT_EQ(a.mean_metric_value, b.mean_metric_value);
+  EXPECT_EQ(a.mean_produced_pairs, b.mean_produced_pairs);
+  EXPECT_EQ(a.iterations_completed, b.iterations_completed);
+  EXPECT_EQ(a.iterations_failed, b.iterations_failed);
+}
+
+TEST(PipelineExperimentTest, RunsAndScores) {
+  Table source_table = RelatedTable(600, 10, 3);
+  Table target_table = RelatedTable(600, 10, 4);
+  EncodedTableView source = EncodedTableView::FromTable(source_table);
+  EncodedTableView target = EncodedTableView::FromTable(target_table);
+  auto stats = RunPipelineExperiment(source, target, BaseConfig());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->iterations_completed, 8u);
+  EXPECT_EQ(stats->iterations_failed, 0u);
+  EXPECT_EQ(stats->mean_produced_pairs, 5.0);
+  EXPECT_GT(stats->mean_recall, 0.0);
+}
+
+TEST(PipelineExperimentTest, CachedColdAndThreadedRunsAreIdentical) {
+  Table source_table = RelatedTable(500, 9, 5);
+  Table target_table = RelatedTable(500, 9, 6);
+  EncodedTableView source = EncodedTableView::FromTable(source_table);
+  EncodedTableView target = EncodedTableView::FromTable(target_table);
+  PipelineExperimentConfig config = BaseConfig();
+
+  auto cold = RunPipelineExperiment(source, target, config);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  StatCache cache;
+  auto cached = RunPipelineExperiment(source, target, config, &cache);
+  ASSERT_TRUE(cached.ok());
+  ExpectSameStats(cold.value(), cached.value());
+  // The sweep reuses the sample across iterations: each (column, sample)
+  // is computed once and everything else hits.
+  StatCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 18u);  // 9 columns x 2 base tables
+  EXPECT_GT(counters.hits, 0u);
+  // Attribute subsets drawn across iterations overlap, so some column
+  // pairs recur and are served from the edge memo.
+  EXPECT_GT(counters.edge_hits, 0u);
+
+  // Warm-cache rerun and multi-threaded runs change nothing.
+  auto warm = RunPipelineExperiment(source, target, config, &cache);
+  ASSERT_TRUE(warm.ok());
+  ExpectSameStats(cold.value(), warm.value());
+  config.num_threads = 4;
+  auto threaded = RunPipelineExperiment(source, target, config, &cache);
+  ASSERT_TRUE(threaded.ok());
+  ExpectSameStats(cold.value(), threaded.value());
+}
+
+TEST(PipelineExperimentTest, SampleRowsZeroKeepsAllRows) {
+  Table table = RelatedTable(200, 8, 9);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  PipelineExperimentConfig config = BaseConfig();
+  config.sample_rows = 0;
+  StatCache cache;
+  auto stats = RunPipelineExperiment(view, view, config, &cache);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->iterations_completed, 8u);
+  // Matching a universe against itself with full rows: the drawn subsets
+  // carry identical statistics, so recall should be high.
+  EXPECT_GT(stats->mean_recall, 0.5);
+}
+
+TEST(PipelineExperimentTest, ValidatesConfig) {
+  Table table = RelatedTable(100, 6, 11);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  Table other_table = RelatedTable(100, 4, 12);
+  EncodedTableView other = EncodedTableView::FromTable(other_table);
+
+  PipelineExperimentConfig config = BaseConfig();
+  EXPECT_FALSE(RunPipelineExperiment(EncodedTableView(), view, config).ok());
+  EXPECT_FALSE(RunPipelineExperiment(view, other, config).ok());
+
+  config.source_size = 0;
+  EXPECT_FALSE(RunPipelineExperiment(view, view, config).ok());
+  config.source_size = 4;
+  config.target_size = 5;
+  EXPECT_FALSE(RunPipelineExperiment(view, view, config).ok());  // 1:1 sizes
+  config.target_size = 4;
+  config.iterations = 0;
+  EXPECT_FALSE(RunPipelineExperiment(view, view, config).ok());
+  config.iterations = 2;
+  config.source_size = 6;
+  config.target_size = 6;
+  // 1:1 with full overlap needs only 6 <= 6 attributes: fine.
+  EXPECT_TRUE(RunPipelineExperiment(view, view, config).ok());
+  // Partial with disjoint remainders needs more than the universe has.
+  config.match.cardinality = Cardinality::kPartial;
+  config.overlap = 2;
+  EXPECT_FALSE(RunPipelineExperiment(view, view, config).ok());
+}
+
+}  // namespace
+}  // namespace depmatch

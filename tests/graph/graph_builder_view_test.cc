@@ -1,0 +1,209 @@
+// Cache-correctness suite for the encoded-view path of Table2DepGraph:
+// view-built graphs must equal materialized-table graphs bit-for-bit,
+// cached builds must equal cold builds bit-for-bit, and re-encoding
+// invariance (Definition 1.1) must survive the encoded path.
+
+#include "depmatch/graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/table/csv.h"
+#include "depmatch/table/table_ops.h"
+
+namespace depmatch {
+namespace {
+
+Table RandomTable(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::string csv;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) csv += ',';
+    csv += "a" + std::to_string(c);
+  }
+  csv += '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) csv += ',';
+      if (rng.NextBernoulli(0.08)) continue;  // empty cell = null
+      uint64_t alphabet = std::min<uint64_t>(64, uint64_t{2} << (c % 6));
+      csv += "v" + std::to_string(rng.NextBounded(alphabet));
+    }
+    csv += '\n';
+  }
+  auto table = ReadCsvString(csv, {});
+  EXPECT_TRUE(table.ok());
+  return table.value();
+}
+
+void ExpectIdenticalGraphs(const DependencyGraph& expected,
+                           const DependencyGraph& actual) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.name(i), expected.name(i));
+    for (size_t j = 0; j < expected.size(); ++j) {
+      // Exact equality: the contract is bit-identical, not approximate.
+      EXPECT_EQ(actual.mi(i, j), expected.mi(i, j))
+          << "cell (" << i << "," << j << ")";
+    }
+  }
+}
+
+// Every (measure, policy) combination the builder supports.
+std::vector<DependencyGraphOptions> AllOptionCombos() {
+  std::vector<DependencyGraphOptions> combos;
+  for (DependencyMeasure measure :
+       {DependencyMeasure::kMutualInformation,
+        DependencyMeasure::kNormalizedMutualInformation,
+        DependencyMeasure::kCramersV}) {
+    for (NullPolicy policy :
+         {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+      DependencyGraphOptions options;
+      options.measure = measure;
+      options.stats.null_policy = policy;
+      combos.push_back(options);
+    }
+  }
+  return combos;
+}
+
+TEST(GraphBuilderViewTest, FullViewMatchesTablePath) {
+  Table table = RandomTable(250, 8, 201);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  for (const DependencyGraphOptions& options : AllOptionCombos()) {
+    auto from_table = BuildDependencyGraph(table, options);
+    auto from_view = BuildDependencyGraph(view, options);
+    ASSERT_TRUE(from_table.ok()) << from_table.status();
+    ASSERT_TRUE(from_view.ok()) << from_view.status();
+    ExpectIdenticalGraphs(from_table.value(), from_view.value());
+  }
+}
+
+TEST(GraphBuilderViewTest, ProjectedViewMatchesProjectedTable) {
+  Table table = RandomTable(250, 8, 211);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  std::vector<size_t> indices = {6, 1, 3, 0};
+  auto projected_table = ProjectColumns(table, indices);
+  auto projected_view = view.Project(indices);
+  ASSERT_TRUE(projected_table.ok() && projected_view.ok());
+  auto from_table = BuildDependencyGraph(projected_table.value());
+  auto from_view = BuildDependencyGraph(projected_view.value());
+  ASSERT_TRUE(from_table.ok() && from_view.ok());
+  ExpectIdenticalGraphs(from_table.value(), from_view.value());
+}
+
+TEST(GraphBuilderViewTest, SampledViewMatchesMaterializedSample) {
+  Table table = RandomTable(400, 6, 223);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  Rng view_rng(7);
+  Rng table_rng(7);
+  EncodedTableView sampled_view = view.Sample(120, view_rng);
+  Table sampled_table = SampleRows(table, 120, table_rng);
+  for (const DependencyGraphOptions& options : AllOptionCombos()) {
+    auto from_table = BuildDependencyGraph(sampled_table, options);
+    auto from_view = BuildDependencyGraph(sampled_view, options);
+    ASSERT_TRUE(from_table.ok() && from_view.ok());
+    // The first-appearance remap makes the zero-copy sampled view
+    // bit-identical to building from the re-interned sample.
+    ExpectIdenticalGraphs(from_table.value(), from_view.value());
+  }
+}
+
+TEST(GraphBuilderViewTest, CachedBuildsAreBitIdenticalToCold) {
+  Table table = RandomTable(300, 7, 227);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  Rng rng(31);
+  EncodedTableView sampled = view.Sample(150, rng);
+  StatCache cache;
+  for (const DependencyGraphOptions& options : AllOptionCombos()) {
+    for (const EncodedTableView& slice : {view, sampled}) {
+      auto cold = BuildDependencyGraph(slice, options, nullptr);
+      auto cached_miss = BuildDependencyGraph(slice, options, &cache);
+      auto cached_hit = BuildDependencyGraph(slice, options, &cache);
+      ASSERT_TRUE(cold.ok() && cached_miss.ok() && cached_hit.ok());
+      ExpectIdenticalGraphs(cold.value(), cached_miss.value());
+      ExpectIdenticalGraphs(cold.value(), cached_hit.value());
+    }
+  }
+  StatCache::Counters counters = cache.counters();
+  EXPECT_GT(counters.hits, 0u);
+  EXPECT_GT(counters.misses, 0u);
+  // The second build of each (slice, options) served every pair from the
+  // edge memo — and still matched the cold build exactly above.
+  EXPECT_GT(counters.edge_hits, 0u);
+}
+
+TEST(GraphBuilderViewTest, ViewPathIsThreadInvariant) {
+  Table table = RandomTable(300, 8, 229);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  Rng rng(17);
+  EncodedTableView sampled = view.Sample(100, rng);
+  StatCache cache;
+  DependencyGraphOptions options;
+  options.num_threads = 1;
+  auto base = BuildDependencyGraph(sampled, options, &cache);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    auto graph = BuildDependencyGraph(sampled, options, &cache);
+    ASSERT_TRUE(graph.ok());
+    ExpectIdenticalGraphs(base.value(), graph.value());
+  }
+}
+
+TEST(GraphBuilderViewTest, AutoDenseBudgetDoesNotChangeResults) {
+  // High-cardinality pair: the auto rule routes it dense while the static
+  // budget alone routes it sparse; both must agree exactly.
+  Rng rng(41);
+  std::string csv = "x,y\n";
+  for (size_t r = 0; r < 3000; ++r) {
+    csv += "v" + std::to_string(rng.NextBounded(2000)) + ",w" +
+           std::to_string(rng.NextBounded(2000)) + "\n";
+  }
+  auto table = ReadCsvString(csv, {});
+  ASSERT_TRUE(table.ok());
+  DependencyGraphOptions with_auto;
+  with_auto.stats.dense_cell_budget = 1024;  // far below the pair's cells
+  ASSERT_TRUE(with_auto.stats.auto_dense_budget);
+  DependencyGraphOptions without_auto = with_auto;
+  without_auto.stats.auto_dense_budget = false;
+  auto dense = BuildDependencyGraph(table.value(), with_auto);
+  auto sparse = BuildDependencyGraph(table.value(), without_auto);
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  ExpectIdenticalGraphs(sparse.value(), dense.value());
+}
+
+TEST(GraphBuilderViewTest, ReEncodingInvarianceThroughEncodedPath) {
+  // Definition 1.1: an arbitrary one-to-one re-encoding of every column
+  // must not change the dependency graph, encoded path included.
+  Table table = RandomTable(200, 6, 233);
+  Rng rng(47);
+  Table opaque = OpaqueEncode(table, {}, rng);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  EncodedTableView opaque_view = EncodedTableView::FromTable(opaque);
+  // Same row sample on both (same draw).
+  Rng rng_a(3);
+  Rng rng_b(3);
+  EncodedTableView sampled = view.Sample(80, rng_a);
+  EncodedTableView opaque_sampled = opaque_view.Sample(80, rng_b);
+  StatCache cache;
+  auto graph = BuildDependencyGraph(sampled, {}, &cache);
+  auto opaque_graph = BuildDependencyGraph(opaque_sampled, {}, &cache);
+  ASSERT_TRUE(graph.ok() && opaque_graph.ok());
+  ASSERT_EQ(opaque_graph->size(), graph->size());
+  for (size_t i = 0; i < graph->size(); ++i) {
+    for (size_t j = 0; j < graph->size(); ++j) {
+      // Identical distributions (re-encoding is one-to-one), so identical
+      // statistics — exactly, because codes and counts coincide.
+      EXPECT_EQ(opaque_graph->mi(i, j), graph->mi(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

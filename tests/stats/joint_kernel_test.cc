@@ -69,12 +69,61 @@ TEST(JointCountKernelTest, DenseSelectionRule) {
   Column x = Int64Column({0, 1, 2, 3});  // 4 distinct -> 5 slots
   Column y = Int64Column({0, 1, 0, 1});  // 2 distinct -> 3 slots
   StatsOptions options;
-  options.dense_cell_budget = 15;  // 5 * 3 = 15 fits exactly
+  options.auto_dense_budget = false;  // exercise the static budget alone
+  options.dense_cell_budget = 15;     // 5 * 3 = 15 fits exactly
   EXPECT_TRUE(JointCountKernel::UseDense(x, y, options));
   options.dense_cell_budget = 14;
   EXPECT_FALSE(JointCountKernel::UseDense(x, y, options));
   options.dense_cell_budget = 0;
   EXPECT_FALSE(JointCountKernel::UseDense(x, y, options));
+}
+
+// All-distinct column of `rows` values: rows + 1 slots.
+Column DistinctColumn(size_t rows) {
+  Column col(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    col.Append(Value(static_cast<int64_t>(r)));
+  }
+  return col;
+}
+
+TEST(JointCountKernelTest, AutoDenseBudgetUsesMeasuredShape) {
+  StatsOptions options;
+  ASSERT_TRUE(options.auto_dense_budget);
+  options.dense_cell_budget = 1;
+
+  // 15 cells exceed the static budget of 1 but fit the measured-shape
+  // allowance (4 rows * kDenseAutoCellsPerRow), so the pair goes dense.
+  Column x = Int64Column({0, 1, 2, 3});  // 4 rows, 5 slots
+  Column y = Int64Column({0, 1, 0, 1});  // 3 slots
+  EXPECT_TRUE(JointCountKernel::UseDense(x, y, options));
+
+  // Budget 0 still forces sparse: auto never overrides the opt-out.
+  options.dense_cell_budget = 0;
+  EXPECT_FALSE(JointCountKernel::UseDense(x, y, options));
+  options.dense_cell_budget = 1;
+
+  // The allowance is row-bounded: two all-distinct 5000-row columns give
+  // 5001^2 ~ 25M cells > 5000 * kDenseAutoCellsPerRow ~ 20.5M, so the
+  // pair stays sparse under a tiny static budget...
+  Column big_x = DistinctColumn(5000);
+  Column big_y = DistinctColumn(5000);
+  ASSERT_GT((big_x.distinct_count() + 1) * (big_y.distinct_count() + 1),
+            5000 * kDenseAutoCellsPerRow);
+  EXPECT_FALSE(JointCountKernel::UseDense(big_x, big_y, options));
+
+  // ...but a generous static budget still wins (auto only ever raises).
+  options.dense_cell_budget = size_t{1} << 26;
+  EXPECT_TRUE(JointCountKernel::UseDense(big_x, big_y, options));
+
+  // The CodeView overload applies the same rule.
+  std::vector<uint32_t> slots = {1, 2, 1, 2};
+  CodeView view{slots.data(), slots.size(), 3, 0};
+  StatsOptions tiny;
+  tiny.dense_cell_budget = 1;
+  EXPECT_TRUE(JointCountKernel::UseDense(view, view, tiny));
+  tiny.dense_cell_budget = 0;
+  EXPECT_FALSE(JointCountKernel::UseDense(view, view, tiny));
 }
 
 TEST(JointCountKernelTest, MatchesJointHistogram) {

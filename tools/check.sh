@@ -71,8 +71,10 @@ else
   note "ASan+UBSan smoke (preset: asan)"
   if cmake --preset asan >/dev/null \
       && cmake --build --preset asan -j "$JOBS" \
-          --target bench_match_search bench_graph_build tsan_stress_test \
+          --target bench_match_search bench_graph_build bench_pipeline \
+          tsan_stress_test \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_match_search --smoke \
+      && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_pipeline --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/tsan_stress_test; then
     echo "asan smoke clean"
   else
@@ -83,9 +85,10 @@ else
   note "TSan stress (preset: tsan, ctest label: tsan_stress)"
   if cmake --preset tsan >/dev/null \
       && cmake --build --preset tsan -j "$JOBS" \
-          --target tsan_stress_test bench_match_search \
+          --target tsan_stress_test bench_match_search bench_pipeline \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/tsan_stress_test \
-      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_match_search --smoke; then
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_match_search --smoke \
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_pipeline --smoke; then
     echo "tsan stress clean"
   else
     fail "TSan stress failed"

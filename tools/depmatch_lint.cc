@@ -481,6 +481,8 @@ class Linter {
     // it shows up in a diff (and here).
     static const char* kRequired[] = {
         "src/depmatch/stats/joint_kernel.cc",
+        "src/depmatch/stats/stat_cache.cc",
+        "src/depmatch/table/encoded_column.cc",
         "src/depmatch/match/score_kernel.cc",
         "src/depmatch/match/annealing_matcher.cc",
         "src/depmatch/match/graduated_assignment.cc",

@@ -3,17 +3,21 @@
 # root so perf changes in the hot paths can be diffed PR over PR:
 #   BENCH_graph_build.json   Table2DepGraph pairwise-statistics path
 #   BENCH_match_search.json  the four matching search backends
+#   BENCH_pipeline.json      end-to-end experiment pipeline, cold
+#                            materialization vs encoded views + StatCache
 #
 # Usage: tools/run_bench.sh [build_dir]
 #   build_dir        defaults to <repo>/build
 #   DEPMATCH_BENCH_REPS   repetitions per data point (defaults: 5 for
-#                         graph_build, 3 for match_search)
+#                         graph_build, 3 for match_search and pipeline)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target bench_graph_build bench_match_search
+cmake --build "$BUILD" -j --target bench_graph_build bench_match_search \
+  bench_pipeline
 "$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
 "$BUILD/bench/bench_match_search" "$ROOT/BENCH_match_search.json"
+"$BUILD/bench/bench_pipeline" "$ROOT/BENCH_pipeline.json"
