@@ -1,0 +1,412 @@
+// depmatch-lint: bit-identical-file
+// Catalog search promises a top-k ranking that is bit-identical at any
+// thread count and identical to the brute-force all-pairs ranking. The
+// proof depends on (a) every per-entry key being computed by one
+// GraphMatch call with fixed accumulation order, and (b) entries being
+// pruned only when their admissible bound is *strictly* below the
+// running k-th best completed key. Do not introduce constructs that
+// reorder double accumulation (std::reduce, atomic floating adds,
+// OpenMP reductions), and keep the shared threshold monotone.
+#include "depmatch/core/graph_catalog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
+#include "depmatch/graph/graph_io.h"
+
+namespace depmatch {
+namespace {
+
+constexpr char kCatalogMagic[4] = {'D', 'M', 'C', '1'};
+constexpr uint32_t kCatalogFormatVersion = 1;
+// Magic + version + entry count + checksum.
+constexpr size_t kMinCatalogFileSize = 4 + 4 + 8 + 4;
+
+// Deterministic floating-point safety slack. The bound derivation below
+// is exact in real arithmetic; in doubles, the per-term nearest-neighbor
+// argument can be off by an ulp and the bound's summation order differs
+// from the searchers'. The slack is a fixed function of the bound value
+// (no runtime state), so determinism is preserved, and it is orders of
+// magnitude below any meaningful score separation.
+double WithSlack(double key_bound) {
+  return key_bound + 1e-9 + 1e-12 * std::fabs(key_bound);
+}
+
+// Best achievable term of pairing source value `x` against any value of
+// the sorted-ascending array (best = max when the metric is maximized,
+// min when minimized). Both term families are unimodal in the target
+// value y for fixed x — Euclidean (x-y)^2 strictly decreases below x and
+// increases above it, and the normal term 1 - alpha*|x-y|/(x+y) is
+// increasing in y below x and decreasing above (for x, y >= 0) — so the
+// optimum over a sorted array is attained at one of the two neighbors of
+// x, found by binary search. (For minimized metrics the same two
+// neighbors bracket the minimum.)
+double BestTermAgainst(const Metric& metric, double x, const double* ascending,
+                       size_t length) {
+  if (length == 0) return 0.0;
+  const double* end = ascending + length;
+  const double* hi = std::lower_bound(ascending, end, x);
+  bool maximize = metric.maximize();
+  double best = maximize ? -std::numeric_limits<double>::infinity()
+                         : std::numeric_limits<double>::infinity();
+  if (hi != end) {
+    best = metric.Term(x, *hi);
+  }
+  if (hi != ascending) {
+    double term = metric.Term(x, *(hi - 1));
+    if (maximize ? term > best : term < best) best = term;
+  }
+  return best;
+}
+
+// Bounded-size min-heap of the best completed ranking keys, publishing
+// the k-th best through an atomic the workers read without locking. The
+// threshold only ever increases, so a prune decision made against a
+// stale (lower) threshold is merely conservative — never wrong.
+// std::atomic<double> is intentionally avoided (and lint-banned in this
+// file): the double's bit pattern rides in a uint64_t instead.
+class SharedTopK {
+ public:
+  explicit SharedTopK(size_t k)
+      : k_(k),
+        threshold_bits_(
+            std::bit_cast<uint64_t>(-std::numeric_limits<double>::infinity())) {}
+
+  void Submit(double key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.size() < k_) {
+      heap_.push(key);
+    } else if (key > heap_.top()) {
+      heap_.pop();
+      heap_.push(key);
+    }
+    if (heap_.size() == k_) {
+      threshold_bits_.store(std::bit_cast<uint64_t>(heap_.top()),
+                            std::memory_order_release);
+    }
+  }
+
+  // -inf until k entries have completed, then the k-th best key so far.
+  double Threshold() const {
+    return std::bit_cast<double>(
+        threshold_bits_.load(std::memory_order_acquire));
+  }
+
+ private:
+  size_t k_;
+  std::mutex mu_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
+  std::atomic<uint64_t> threshold_bits_;
+};
+
+bool EntryCompatible(Cardinality cardinality, size_t query_width,
+                     size_t entry_width) {
+  switch (cardinality) {
+    case Cardinality::kOneToOne:
+      return entry_width == query_width;
+    case Cardinality::kOnto:
+      return entry_width >= query_width;
+    case Cardinality::kPartial:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status GraphCatalog::Insert(std::string name, DependencyGraph graph) {
+  if (index_.count(name) > 0) {
+    return AlreadyExistsError(
+        StrFormat("catalog already holds a graph named '%s'", name.c_str()));
+  }
+  GraphSignature signature(graph);
+  index_.emplace(name, names_.size());
+  names_.push_back(std::move(name));
+  graphs_.push_back(std::move(graph));
+  signatures_.push_back(std::move(signature));
+  return OkStatus();
+}
+
+Result<size_t> GraphCatalog::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return NotFoundError(
+        StrFormat("no catalog entry named '%s'", std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+Status GraphCatalog::Save(const std::string& path) const {
+  std::string out;
+  out.append(kCatalogMagic, sizeof(kCatalogMagic));
+  graphio::AppendU32(&out, kCatalogFormatVersion);
+  graphio::AppendU64(&out, static_cast<uint64_t>(names_.size()));
+  for (size_t i = 0; i < names_.size(); ++i) {
+    graphio::AppendU64(&out, static_cast<uint64_t>(names_[i].size()));
+    out.append(names_[i]);
+    std::string blob = SerializeGraphBinary(graphs_[i]);
+    graphio::AppendU64(&out, static_cast<uint64_t>(blob.size()));
+    out.append(blob);
+  }
+  graphio::AppendU32(&out, graphio::Crc32(out));
+  return graphio::WriteStringToFile(path, out);
+}
+
+Result<GraphCatalog> GraphCatalog::Load(const std::string& path) {
+  std::string bytes;
+  DEPMATCH_RETURN_IF_ERROR(graphio::ReadFileToString(path, &bytes));
+  if (bytes.size() < kMinCatalogFileSize) {
+    return InvalidArgumentError(
+        StrFormat("catalog file %s too short (%zu bytes)", path.c_str(),
+                  bytes.size()));
+  }
+  size_t crc_offset = bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  size_t crc_cursor = crc_offset;
+  if (!graphio::ReadU32(bytes, &crc_cursor, &stored_crc)) {
+    return InvalidArgumentError("catalog checksum unreadable");
+  }
+  uint32_t actual_crc =
+      graphio::Crc32(std::string_view(bytes).substr(0, crc_offset));
+  if (stored_crc != actual_crc) {
+    return InvalidArgumentError(
+        StrFormat("catalog file %s checksum mismatch (stored %08x, computed"
+                  " %08x): data corrupted or truncated",
+                  path.c_str(), stored_crc, actual_crc));
+  }
+  size_t cursor = 0;
+  if (std::string_view(bytes).substr(0, 4) !=
+      std::string_view(kCatalogMagic, 4)) {
+    return InvalidArgumentError(
+        StrFormat("%s is not a catalog file (bad magic)", path.c_str()));
+  }
+  cursor = 4;
+  uint32_t version = 0;
+  if (!graphio::ReadU32(bytes, &cursor, &version)) {
+    return InvalidArgumentError("truncated catalog file (version)");
+  }
+  if (version != kCatalogFormatVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported catalog format version %u (expected %u)",
+                  version, kCatalogFormatVersion));
+  }
+  uint64_t count64 = 0;
+  if (!graphio::ReadU64(bytes, &cursor, &count64)) {
+    return InvalidArgumentError("truncated catalog file (entry count)");
+  }
+  // Every entry costs at least 16 bytes of lengths; reject counts the
+  // file cannot possibly hold before reserving anything.
+  if (count64 > bytes.size() / 16 + 1) {
+    return InvalidArgumentError(
+        StrFormat("catalog file declares %llu entries but holds %zu bytes",
+                  static_cast<unsigned long long>(count64), bytes.size()));
+  }
+  GraphCatalog catalog;
+  size_t count = static_cast<size_t>(count64);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t name_length = 0;
+    if (!graphio::ReadU64(bytes, &cursor, &name_length) ||
+        name_length > bytes.size() - cursor) {
+      return InvalidArgumentError(
+          StrFormat("truncated catalog file (entry %zu name)", i));
+    }
+    std::string name(
+        std::string_view(bytes).substr(cursor,
+                                       static_cast<size_t>(name_length)));
+    cursor += static_cast<size_t>(name_length);
+    uint64_t blob_length = 0;
+    if (!graphio::ReadU64(bytes, &cursor, &blob_length) ||
+        blob_length > bytes.size() - cursor) {
+      return InvalidArgumentError(
+          StrFormat("truncated catalog file (entry %zu graph)", i));
+    }
+    Result<DependencyGraph> graph = DeserializeGraphBinary(
+        std::string_view(bytes).substr(cursor,
+                                       static_cast<size_t>(blob_length)));
+    if (!graph.ok()) {
+      return Status(graph.status().code(),
+                    StrFormat("catalog entry %zu ('%s'): %s", i, name.c_str(),
+                              graph.status().message().c_str()));
+    }
+    cursor += static_cast<size_t>(blob_length);
+    DEPMATCH_RETURN_IF_ERROR(
+        catalog.Insert(std::move(name), *std::move(graph)));
+  }
+  if (cursor != crc_offset) {
+    return InvalidArgumentError(
+        StrFormat("catalog file has %zu trailing bytes", crc_offset - cursor));
+  }
+  return catalog;
+}
+
+double CatalogEntryBound(const GraphSignature& query,
+                         const GraphSignature& entry, const Metric& metric,
+                         Cardinality cardinality) {
+  size_t n = query.size();
+  size_t m = entry.size();
+  bool maximize = metric.maximize();
+  if (n == 0 || m == 0) {
+    // Nothing can be matched; the only achievable sum is the empty one.
+    return WithSlack(maximize ? 0.0 : -metric.Finalize(0.0));
+  }
+  if (cardinality == Cardinality::kPartial && !maximize) {
+    // A minimized (monotonic) metric admits the empty mapping at sum 0,
+    // which is already its optimum — the bound is exact but vacuous.
+    return WithSlack(-metric.Finalize(0.0));
+  }
+  bool partial = cardinality == Cardinality::kPartial;
+  bool structural = metric.structural();
+  size_t query_profile = query.profile_length();
+  size_t entry_profile = entry.profile_length();
+  double total = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    double hs = query.entropy(s);
+    const double* profile = query.ProfileDesc(s);
+    // Relaxation: each query node independently picks its best entry
+    // node, and each of its off-diagonal MI values independently pairs
+    // with the closest-to-optimal value of that entry row — distinctness
+    // constraints are dropped, so the result can only overestimate
+    // (maximize) / underestimate (minimize) the reachable sum.
+    double best_row = maximize ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < m; ++t) {
+      double row = metric.Term(hs, entry.entropy(t));
+      if (structural) {
+        const double* ascending = entry.ProfileAsc(t);
+        for (size_t idx = 0; idx < query_profile; ++idx) {
+          double term =
+              BestTermAgainst(metric, profile[idx], ascending, entry_profile);
+          // Under partial cardinality a negative cross term can always
+          // be avoided by leaving the other endpoint unmatched.
+          if (partial && term < 0.0) term = 0.0;
+          row += term;
+        }
+      }
+      if (maximize ? row > best_row : row < best_row) best_row = row;
+    }
+    // Under partial cardinality the node itself may stay unmatched,
+    // contributing nothing.
+    if (partial && best_row < 0.0) best_row = 0.0;
+    total += best_row;
+  }
+  return WithSlack(maximize ? total : -metric.Finalize(total));
+}
+
+Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
+                                          const GraphCatalog& catalog,
+                                          const CatalogSearchOptions& options) {
+  if (options.k == 0) {
+    return InvalidArgumentError("catalog search requires k >= 1");
+  }
+  if (query.size() == 0) {
+    return InvalidArgumentError("catalog search requires a non-empty query");
+  }
+  const Metric metric(options.match.metric, options.match.alpha);
+  const GraphSignature query_signature(query);
+  const size_t n = query.size();
+  const size_t count = catalog.size();
+
+  CatalogSearchResult out;
+  out.stats.entries_total = count;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> bounds(count, -kInf);
+  std::vector<size_t> candidates;
+  candidates.reserve(count);
+  for (size_t e = 0; e < count; ++e) {
+    if (!EntryCompatible(options.match.cardinality, n,
+                         catalog.graph(e).size())) {
+      ++out.stats.entries_incompatible;
+      continue;
+    }
+    bounds[e] = options.use_prefilter
+                    ? CatalogEntryBound(query_signature, catalog.signature(e),
+                                        metric, options.match.cardinality)
+                    : kInf;
+    candidates.push_back(e);
+  }
+  // Highest bound first: the most promising entries complete earliest
+  // and lift the shared threshold fastest. Ties keep entry order.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&bounds](size_t a, size_t b) {
+                     if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
+                     return a < b;
+                   });
+
+  SharedTopK shared(options.k);
+  std::vector<std::optional<CatalogMatch>> slots(count);
+  std::vector<Status> errors(count);
+  std::vector<uint8_t> pruned(count, 0);
+  const bool maximize = metric.maximize();
+  const double denominator = metric.structural()
+                                 ? static_cast<double>(n) * static_cast<double>(n)
+                                 : static_cast<double>(n);
+
+  ThreadPool::ParallelFor(
+      options.num_threads, candidates.size(), [&](size_t i) {
+        size_t e = candidates[i];
+        // Strict <: an entry whose achievable key ties the k-th best is
+        // never skipped, so boundary ties resolve identically at every
+        // thread count. The threshold only grows, so a stale read can
+        // only under-prune.
+        if (options.use_prefilter && bounds[e] < shared.Threshold()) {
+          pruned[e] = 1;
+          return;
+        }
+        Result<MatchResult> match =
+            MatchGraphs(query, catalog.graph(e), options.match);
+        if (!match.ok()) {
+          errors[e] = match.status();
+          return;
+        }
+        CatalogMatch candidate;
+        candidate.entry = e;
+        candidate.name = catalog.name(e);
+        candidate.match = *std::move(match);
+        candidate.ranking_key = maximize ? candidate.match.metric_value
+                                         : -candidate.match.metric_value;
+        candidate.normalized_score = candidate.ranking_key / denominator;
+        shared.Submit(candidate.ranking_key);
+        slots[e] = std::move(candidate);
+      });
+
+  for (size_t e = 0; e < count; ++e) {
+    if (!errors[e].ok()) {
+      return Status(errors[e].code(),
+                    StrFormat("searching catalog entry %zu ('%s'): %s", e,
+                              catalog.name(e).c_str(),
+                              errors[e].message().c_str()));
+    }
+  }
+  for (size_t e = 0; e < count; ++e) {
+    if (pruned[e] != 0) ++out.stats.entries_pruned;
+    if (slots[e].has_value()) {
+      ++out.stats.entries_searched;
+      out.ranked.push_back(*std::move(slots[e]));
+    }
+  }
+  std::sort(out.ranked.begin(), out.ranked.end(),
+            [](const CatalogMatch& a, const CatalogMatch& b) {
+              if (a.ranking_key != b.ranking_key) {
+                return a.ranking_key > b.ranking_key;
+              }
+              return a.entry < b.entry;
+            });
+  if (out.ranked.size() > options.k) {
+    out.ranked.resize(options.k);
+  }
+  return out;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,158 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// GraphCatalog: N-way matching against a corpus of dependency graphs.
+//
+// The paper closes by noting that a complete integration system must
+// match more than two tables at once; the production shape of that
+// problem is one query table against a large catalog, where cheap
+// per-attribute signals prune most candidates before any expensive
+// structural match runs. This module provides:
+//
+//   * a catalog container holding named DependencyGraphs with compact
+//     per-entry node signatures (entropy vector + sorted off-diagonal
+//     MI profiles, match/graph_signature.h) precomputed at insert time;
+//   * versioned, checksummed binary persistence (graph/graph_io.h), so
+//     catalogs load from disk instead of re-running Table2DepGraph;
+//   * an admissible prefilter: CatalogEntryBound() upper-bounds the
+//     best achievable ranking key of matching the query against an
+//     entry, from signatures alone — entries whose bound falls below
+//     the running top-k threshold are skipped without ever running a
+//     search backend;
+//   * SearchCatalog(): fans the surviving candidates across the
+//     ThreadPool (one full GraphMatch per entry), maintains a shared
+//     atomic score threshold for cross-entry pruning, and returns a
+//     deterministic top-k ranking — bit-identical at any thread count.
+//
+// Ranking key: a single higher-is-better number comparable across
+// entries of one search. For the maximized (normal) metrics it is the
+// raw accumulated metric sum; for the minimized (Euclidean) metrics it
+// is the negated finalized distance. CatalogMatch::normalized_score is
+// the key divided by the query's term count (n^2 for structural
+// metrics, n for entropy-only ones), so thresholds read the same
+// regardless of schema width.
+//
+// Determinism under pruning: an entry is skipped only when its
+// admissible bound is strictly below the running threshold, and the
+// threshold is always the k-th best key of fully evaluated entries —
+// so every skipped entry's achievable key is strictly below the final
+// k-th best and the top-k set (ties broken by entry index) is
+// identical to the brute-force all-pairs ranking at every thread
+// count. Only the CatalogSearchStats counters depend on scheduling.
+
+#ifndef DEPMATCH_CORE_GRAPH_CATALOG_H_
+#define DEPMATCH_CORE_GRAPH_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/graph_signature.h"
+#include "depmatch/match/matcher.h"
+#include "depmatch/match/matching.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+
+class GraphCatalog {
+ public:
+  GraphCatalog() = default;
+
+  // Adds a named graph; the node signature is computed here, once.
+  // Fails with AlreadyExists on a duplicate name.
+  Status Insert(std::string name, DependencyGraph graph);
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const DependencyGraph& graph(size_t i) const { return graphs_[i]; }
+  const GraphSignature& signature(size_t i) const { return signatures_[i]; }
+
+  // Entry index for `name`, or NotFound.
+  Result<size_t> Find(std::string_view name) const;
+
+  // Versioned binary catalog file: a checksummed envelope of per-entry
+  // (name, graph blob) records, each blob itself checksummed
+  // (graph/graph_io.h). Load rebuilds signatures, so a loaded catalog
+  // is indistinguishable from one built by repeated Insert calls with
+  // bit-identical graphs.
+  Status Save(const std::string& path) const;
+  static Result<GraphCatalog> Load(const std::string& path);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DependencyGraph> graphs_;
+  std::vector<GraphSignature> signatures_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+struct CatalogSearchOptions {
+  // Ranking size; must be >= 1.
+  size_t k = 10;
+  // Per-entry GraphMatch configuration (metric, cardinality, search
+  // algorithm, filter width, and the *inner* match thread count — keep
+  // match.num_threads at 1 when fanning entries out with num_threads
+  // below, or the two levels multiply).
+  MatchOptions match;
+  // Signature-based admissible prefilter. Disabling it forces a full
+  // GraphMatch per compatible entry (the brute-force baseline); results
+  // are identical either way.
+  bool use_prefilter = true;
+  // Worker threads for the catalog-level fan-out (1 = serial). The
+  // returned ranking is bit-identical at any value.
+  size_t num_threads = 1;
+};
+
+struct CatalogMatch {
+  size_t entry = 0;  // catalog index
+  std::string name;
+  // Higher-is-better ranking key (see file comment) and its per-term
+  // normalization.
+  double ranking_key = 0.0;
+  double normalized_score = 0.0;
+  // Full GraphMatch output for the entry (pairs, metric value, search
+  // statistics).
+  MatchResult match;
+};
+
+struct CatalogSearchStats {
+  size_t entries_total = 0;
+  // Width-incompatible with the requested cardinality (skipped upfront).
+  size_t entries_incompatible = 0;
+  // Skipped by the admissible bound vs. the running threshold. NOTE:
+  // scheduling-dependent — do not assert on this across thread counts.
+  size_t entries_pruned = 0;
+  // Entries that ran a full GraphMatch.
+  size_t entries_searched = 0;
+};
+
+struct CatalogSearchResult {
+  // Top-k matches, best first (ties by entry index). Deterministic.
+  std::vector<CatalogMatch> ranked;
+  CatalogSearchStats stats;
+};
+
+// Admissible bound on the ranking key of matching a query with
+// signature `query` against an entry with signature `entry` under
+// `metric` / `cardinality`: no mapping admitted by the cardinality can
+// achieve a key above the returned value. Exposed for the admissibility
+// tests and the bench's prune-rate report.
+double CatalogEntryBound(const GraphSignature& query,
+                         const GraphSignature& entry, const Metric& metric,
+                         Cardinality cardinality);
+
+// Ranks the catalog's entries by their best GraphMatch against `query`.
+// Entries incompatible with options.match.cardinality (one-to-one with
+// a different width, onto with a narrower entry) are skipped. Any
+// search-backend error aborts the whole call with that entry's status.
+Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
+                                          const GraphCatalog& catalog,
+                                          const CatalogSearchOptions& options);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_CORE_GRAPH_CATALOG_H_

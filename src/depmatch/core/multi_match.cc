@@ -1,10 +1,93 @@
+// depmatch-lint: bit-identical-file
+// Star alignment promises output that is bit-identical at every
+// num_threads value and identical to the historical sequential path:
+// graphs are deterministic per table, each spoke's GraphMatch runs with
+// fixed accumulation order into its own slot, and assembly walks slots
+// in table order. Do not introduce constructs that reorder double
+// accumulation (std::reduce, atomic floating adds, OpenMP reductions).
 #include "depmatch/core/multi_match.h"
 
+#include <optional>
 #include <utility>
 
 #include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_pool.h"
 
 namespace depmatch {
+namespace {
+
+// Spoke-match configuration shared by both entry points: onto the pivot
+// unless partial alignment was requested, with the monotonic Euclidean
+// metrics (degenerate under partial mappings, Definition 2.5) switched
+// to their normal counterparts.
+MatchOptions SpokeMatchOptions(const MultiMatchOptions& options) {
+  MatchOptions pairwise = options.match.match;
+  pairwise.cardinality =
+      options.allow_partial ? Cardinality::kPartial : Cardinality::kOnto;
+  if (options.allow_partial &&
+      (pairwise.metric == MetricKind::kMutualInfoEuclidean ||
+       pairwise.metric == MetricKind::kEntropyEuclidean)) {
+    pairwise.metric = pairwise.metric == MetricKind::kMutualInfoEuclidean
+                          ? MetricKind::kMutualInfoNormal
+                          : MetricKind::kEntropyNormal;
+  }
+  return pairwise;
+}
+
+// Matches every non-pivot graph onto the pivot (spokes fanned across the
+// ThreadPool into per-table slots) and assembles the correspondence
+// classes in table order.
+Result<MultiMatchResult> AlignGraphsOntoPivot(
+    const std::vector<const DependencyGraph*>& graphs, size_t pivot,
+    const MultiMatchOptions& options) {
+  const DependencyGraph& pivot_graph = *graphs[pivot];
+  size_t pivot_width = pivot_graph.size();
+
+  MultiMatchResult result;
+  result.pivot_table = pivot;
+  result.classes.resize(pivot_width);
+  for (size_t a = 0; a < pivot_width; ++a) {
+    result.classes[a].pivot_attribute = a;
+    result.classes[a].members.push_back({pivot, a, pivot_graph.name(a)});
+  }
+  if (graphs.size() == 1) return result;
+
+  MatchOptions pairwise = SpokeMatchOptions(options);
+  std::vector<std::optional<MatchResult>> spokes(graphs.size());
+  std::vector<Status> errors(graphs.size());
+  ThreadPool::ParallelFor(options.num_threads, graphs.size(), [&](size_t t) {
+    if (t == pivot) return;
+    if (graphs[t]->size() > pivot_width) {
+      errors[t] = InternalError("pivot selection failed");  // unreachable
+      return;
+    }
+    Result<MatchResult> match = MatchGraphs(*graphs[t], pivot_graph, pairwise);
+    if (!match.ok()) {
+      errors[t] = match.status();
+      return;
+    }
+    spokes[t] = *std::move(match);
+  });
+
+  // First failure by table index, independent of completion order.
+  for (size_t t = 0; t < graphs.size(); ++t) {
+    if (!errors[t].ok()) {
+      return Status(errors[t].code(),
+                    StrFormat("aligning table %zu: %s", t,
+                              errors[t].message().c_str()));
+    }
+  }
+  for (size_t t = 0; t < graphs.size(); ++t) {
+    if (t == pivot) continue;
+    for (const MatchPair& pair : spokes[t]->pairs) {
+      result.classes[pair.target].members.push_back(
+          {t, pair.source, graphs[t]->name(pair.source)});
+    }
+  }
+  return result;
+}
+
+}  // namespace
 
 Result<MultiMatchResult> AlignSchemas(
     const std::vector<const Table*>& tables,
@@ -21,58 +104,72 @@ Result<MultiMatchResult> AlignSchemas(
   // Pivot: widest table, earliest on ties.
   size_t pivot = 0;
   for (size_t i = 1; i < tables.size(); ++i) {
-    if (tables[i]->num_attributes() >
-        tables[pivot]->num_attributes()) {
+    if (tables[i]->num_attributes() > tables[pivot]->num_attributes()) {
       pivot = i;
     }
   }
 
-  MultiMatchResult result;
-  result.pivot_table = pivot;
-  const Table& pivot_table = *tables[pivot];
-  size_t pivot_width = pivot_table.num_attributes();
-
-  // One class per pivot attribute, seeded with the pivot's own column.
-  result.classes.resize(pivot_width);
-  for (size_t a = 0; a < pivot_width; ++a) {
-    result.classes[a].pivot_attribute = a;
-    result.classes[a].members.push_back(
-        {pivot, a, pivot_table.schema().attribute(a).name});
+  // A single table aligns with itself; report its classes without
+  // building any graph.
+  if (tables.size() == 1) {
+    const Table& only = *tables[0];
+    MultiMatchResult result;
+    result.pivot_table = 0;
+    result.classes.resize(only.num_attributes());
+    for (size_t a = 0; a < only.num_attributes(); ++a) {
+      result.classes[a].pivot_attribute = a;
+      result.classes[a].members.push_back(
+          {0, a, only.schema().attribute(a).name});
+    }
+    return result;
   }
 
-  SchemaMatchOptions pairwise = options.match;
-  pairwise.match.cardinality = options.allow_partial
-                                   ? Cardinality::kPartial
-                                   : Cardinality::kOnto;
-  if (options.allow_partial &&
-      (pairwise.match.metric == MetricKind::kMutualInfoEuclidean ||
-       pairwise.match.metric == MetricKind::kEntropyEuclidean)) {
-    // Euclidean metrics are monotonic and degenerate under partial
-    // mappings (Definition 2.5); switch to the normal counterpart.
-    pairwise.match.metric =
-        pairwise.match.metric == MetricKind::kMutualInfoEuclidean
-            ? MetricKind::kMutualInfoNormal
-            : MetricKind::kEntropyNormal;
-  }
-
+  // Step 1 once per table (the pivot's graph used to be rebuilt for
+  // every spoke), fanned across the pool.
+  std::vector<std::optional<DependencyGraph>> built(tables.size());
+  std::vector<Status> errors(tables.size());
+  ThreadPool::ParallelFor(options.num_threads, tables.size(), [&](size_t t) {
+    Result<DependencyGraph> graph =
+        BuildDependencyGraph(*tables[t], options.match.graph);
+    if (!graph.ok()) {
+      errors[t] = graph.status();
+      return;
+    }
+    built[t] = *std::move(graph);
+  });
   for (size_t t = 0; t < tables.size(); ++t) {
-    if (t == pivot) continue;
-    if (tables[t]->num_attributes() > pivot_width) {
-      return InternalError("pivot selection failed");  // unreachable
-    }
-    Result<SchemaMatchResult> match =
-        MatchTables(*tables[t], pivot_table, pairwise);
-    if (!match.ok()) {
-      return Status(match.status().code(),
+    if (!errors[t].ok()) {
+      return Status(errors[t].code(),
                     StrFormat("aligning table %zu: %s", t,
-                              match.status().message().c_str()));
-    }
-    for (const Correspondence& c : match->correspondences) {
-      result.classes[c.target_index].members.push_back(
-          {t, c.source_index, c.source_name});
+                              errors[t].message().c_str()));
     }
   }
-  return result;
+  std::vector<const DependencyGraph*> graphs;
+  graphs.reserve(tables.size());
+  for (const std::optional<DependencyGraph>& graph : built) {
+    graphs.push_back(&*graph);
+  }
+  return AlignGraphsOntoPivot(graphs, pivot, options);
+}
+
+Result<MultiMatchResult> AlignSchemaGraphs(
+    const std::vector<const DependencyGraph*>& graphs,
+    const MultiMatchOptions& options) {
+  if (graphs.empty()) {
+    return InvalidArgumentError("need at least one graph to align");
+  }
+  for (const DependencyGraph* graph : graphs) {
+    if (graph == nullptr) {
+      return InvalidArgumentError("null graph pointer");
+    }
+  }
+  size_t pivot = 0;
+  for (size_t i = 1; i < graphs.size(); ++i) {
+    if (graphs[i]->size() > graphs[pivot]->size()) {
+      pivot = i;
+    }
+  }
+  return AlignGraphsOntoPivot(graphs, pivot, options);
 }
 
 }  // namespace depmatch

@@ -7,6 +7,14 @@
 // onto it, and read global *correspondence classes* off the pivot: all
 // attributes (table, column) mapped to the same pivot attribute belong
 // to one class. Transitive consistency is inherited from the star shape.
+//
+// The per-table spokes are independent, so both phases fan out across
+// the ThreadPool when options.num_threads > 1: every dependency graph
+// is built exactly once (the pivot's graph used to be rebuilt for every
+// spoke), and the pairwise GraphMatch calls run concurrently into
+// per-table result slots that are assembled in table order — the output
+// is bit-identical at every thread count, and identical to the
+// historical sequential implementation.
 
 #ifndef DEPMATCH_CORE_MULTI_MATCH_H_
 #define DEPMATCH_CORE_MULTI_MATCH_H_
@@ -48,13 +56,28 @@ struct MultiMatchOptions {
   // out of all classes.
   SchemaMatchOptions match;
   bool allow_partial = false;
+  // Worker threads for the table-level fan-out (graph builds and spoke
+  // matches; 1 = serial). Distinct from match.graph.num_threads /
+  // match.match.num_threads, which parallelize *within* one build or
+  // one match — keep those at 1 when raising this, or the levels
+  // multiply. The result is bit-identical at every value.
+  size_t num_threads = 1;
 };
 
 // Aligns all `tables` (>= 1). The widest table is the pivot (ties: the
-// earliest). Fails if some table is wider than the pivot... impossible by
-// construction, or if a pairwise match fails.
+// earliest). Fails if a graph build or a pairwise match fails.
 Result<MultiMatchResult> AlignSchemas(
     const std::vector<const Table*>& tables,
+    const MultiMatchOptions& options = {});
+
+// Star alignment over already-built dependency graphs (one per table,
+// same indexing): the path AlignSchemas itself takes after step 1, and
+// the natural entry point when the graphs come from a GraphCatalog
+// (core/graph_catalog.h) instead of raw tables. Ignores options.match's
+// graph-construction settings. The widest graph is the pivot (ties: the
+// earliest).
+Result<MultiMatchResult> AlignSchemaGraphs(
+    const std::vector<const DependencyGraph*>& graphs,
     const MultiMatchOptions& options = {});
 
 }  // namespace depmatch

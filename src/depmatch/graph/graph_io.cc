@@ -1,0 +1,244 @@
+// depmatch-lint: bit-identical-file
+// Serialization is part of the bit-identical contract: a graph written
+// and re-read must carry exactly the doubles of the original (raw
+// IEEE-754 bit patterns, no text formatting). Keep the encoding
+// byte-deterministic; do not introduce constructs that reorder double
+// accumulation (std::reduce, atomic floating adds, OpenMP reductions).
+#include "depmatch/graph/graph_io.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace graphio {
+namespace {
+
+// Table-driven CRC-32, generated once at first use from the reflected
+// polynomial.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void AppendF64(std::string* out, double value) {
+  AppendU64(out, std::bit_cast<uint64_t>(value));
+}
+
+bool ReadU32(std::string_view bytes, size_t* cursor, uint32_t* value) {
+  if (*cursor > bytes.size() || bytes.size() - *cursor < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[*cursor + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  *cursor += 4;
+  *value = v;
+  return true;
+}
+
+bool ReadU64(std::string_view bytes, size_t* cursor, uint64_t* value) {
+  if (*cursor > bytes.size() || bytes.size() - *cursor < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[*cursor + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  *cursor += 8;
+  *value = v;
+  return true;
+}
+
+bool ReadF64(std::string_view bytes, size_t* cursor, double* value) {
+  uint64_t bits = 0;
+  if (!ReadU64(bytes, cursor, &bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+uint32_t Crc32(std::string_view bytes) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  }
+  out->clear();
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, got);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return InternalError(StrFormat("read error on %s", path.c_str()));
+  }
+  return OkStatus();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return NotFoundError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  bool failed = std::fclose(file) != 0 || written != data.size();
+  if (failed) {
+    return InternalError(StrFormat("short write to %s", path.c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace graphio
+
+namespace {
+
+constexpr char kGraphMagic[4] = {'D', 'M', 'G', '1'};
+constexpr uint32_t kGraphFormatVersion = 1;
+// Magic + version + checksum: the smallest well-formed blob envelope.
+constexpr size_t kMinBlobSize = 4 + 4 + 4;
+
+}  // namespace
+
+std::string SerializeGraphBinary(const DependencyGraph& graph) {
+  std::string out;
+  size_t n = graph.size();
+  // names + matrix dominate; 24 bytes/name is a comfortable overestimate.
+  out.reserve(kMinBlobSize + n * 24 + n * n * 8 + 8);
+  out.append(kGraphMagic, sizeof(kGraphMagic));
+  graphio::AppendU32(&out, kGraphFormatVersion);
+  graphio::AppendU64(&out, static_cast<uint64_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = graph.name(i);
+    graphio::AppendU64(&out, static_cast<uint64_t>(name.size()));
+    out.append(name);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      graphio::AppendF64(&out, graph.mi(i, j));
+    }
+  }
+  graphio::AppendU32(&out, graphio::Crc32(out));
+  return out;
+}
+
+Result<DependencyGraph> DeserializeGraphBinary(std::string_view bytes) {
+  if (bytes.size() < kMinBlobSize) {
+    return InvalidArgumentError(
+        StrFormat("graph blob too short (%zu bytes)", bytes.size()));
+  }
+  // Verify the trailing checksum before trusting any field.
+  size_t crc_offset = bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  size_t crc_cursor = crc_offset;
+  if (!graphio::ReadU32(bytes, &crc_cursor, &stored_crc)) {
+    return InvalidArgumentError("graph blob checksum unreadable");
+  }
+  uint32_t actual_crc = graphio::Crc32(bytes.substr(0, crc_offset));
+  if (stored_crc != actual_crc) {
+    return InvalidArgumentError(
+        StrFormat("graph blob checksum mismatch (stored %08x, computed %08x):"
+                  " data corrupted or truncated",
+                  stored_crc, actual_crc));
+  }
+  size_t cursor = 0;
+  if (bytes.substr(0, 4) != std::string_view(kGraphMagic, 4)) {
+    return InvalidArgumentError("bad graph blob magic");
+  }
+  cursor = 4;
+  uint32_t version = 0;
+  if (!graphio::ReadU32(bytes, &cursor, &version)) {
+    return InvalidArgumentError("truncated graph blob (version)");
+  }
+  if (version != kGraphFormatVersion) {
+    return InvalidArgumentError(
+        StrFormat("unsupported graph format version %u (expected %u)",
+                  version, kGraphFormatVersion));
+  }
+  uint64_t n64 = 0;
+  if (!graphio::ReadU64(bytes, &cursor, &n64)) {
+    return InvalidArgumentError("truncated graph blob (node count)");
+  }
+  // Reject sizes whose matrix cannot possibly fit the blob, before
+  // allocating anything proportional to them.
+  if (n64 > (bytes.size() / 8) + 1) {
+    return InvalidArgumentError(
+        StrFormat("graph blob declares %llu nodes but holds %zu bytes",
+                  static_cast<unsigned long long>(n64), bytes.size()));
+  }
+  size_t n = static_cast<size_t>(n64);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t length = 0;
+    if (!graphio::ReadU64(bytes, &cursor, &length)) {
+      return InvalidArgumentError(
+          StrFormat("truncated graph blob (name %zu length)", i));
+    }
+    if (length > bytes.size() - cursor) {
+      return InvalidArgumentError(
+          StrFormat("truncated graph blob (name %zu bytes)", i));
+    }
+    names.emplace_back(bytes.substr(cursor, static_cast<size_t>(length)));
+    cursor += static_cast<size_t>(length);
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!graphio::ReadF64(bytes, &cursor, &matrix[i][j])) {
+        return InvalidArgumentError(
+            StrFormat("truncated graph blob (matrix cell %zu,%zu)", i, j));
+      }
+    }
+  }
+  if (cursor != crc_offset) {
+    return InvalidArgumentError(
+        StrFormat("graph blob has %zu trailing bytes", crc_offset - cursor));
+  }
+  return DependencyGraph::Create(std::move(names), std::move(matrix));
+}
+
+Status WriteGraphFile(const std::string& path, const DependencyGraph& graph) {
+  return graphio::WriteStringToFile(path, SerializeGraphBinary(graph));
+}
+
+Result<DependencyGraph> ReadGraphFile(const std::string& path) {
+  std::string bytes;
+  DEPMATCH_RETURN_IF_ERROR(graphio::ReadFileToString(path, &bytes));
+  return DeserializeGraphBinary(bytes);
+}
+
+}  // namespace depmatch

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "depmatch/common/string_util.h"
+#include "depmatch/match/graph_signature.h"
 
 namespace depmatch {
 namespace {
@@ -45,6 +46,11 @@ Result<std::vector<std::vector<RankedCandidate>>> RankCandidates(
   if (options.profile_weight < 0.0 || options.profile_weight > 1.0) {
     return InvalidArgumentError("profile_weight must be in [0, 1]");
   }
+  // One-time per-graph signature build (O(n^2 log n) each) replaces the
+  // per-pair profile extraction + sort the O(n_s * n_t) loop below used
+  // to pay; the similarity values are bit-identical.
+  GraphSignature source_signature(source);
+  GraphSignature target_signature(target);
   std::vector<std::vector<RankedCandidate>> ranking(source.size());
   for (size_t s = 0; s < source.size(); ++s) {
     std::vector<RankedCandidate>& candidates = ranking[s];
@@ -57,7 +63,8 @@ Result<std::vector<std::vector<RankedCandidate>>> RankCandidates(
       double sum = hs + ht;
       candidate.entropy_score =
           sum <= 0.0 ? 1.0 : 1.0 - std::fabs(hs - ht) / sum;
-      candidate.profile_score = MiProfileSimilarity(source, s, target, t);
+      candidate.profile_score =
+          MiProfileSimilarity(source_signature, s, target_signature, t);
       candidate.score =
           options.profile_weight * candidate.profile_score +
           (1.0 - options.profile_weight) * candidate.entropy_score;

@@ -1,0 +1,56 @@
+// depmatch-lint: bit-identical-file
+// Signature construction and comparison feed bit-identical contracts:
+// the profile-similarity sums below must accumulate in the same fixed
+// index order as the historical MiProfileSimilarity, and the catalog
+// prefilter derives admissible bounds from these arrays. Do not
+// introduce constructs that reorder double accumulation (std::reduce,
+// atomic floating adds, OpenMP reductions).
+#include "depmatch/match/graph_signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace depmatch {
+
+GraphSignature::GraphSignature(const DependencyGraph& graph) : n_(graph.size()) {
+  entropies_.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) entropies_.push_back(graph.entropy(i));
+  size_t length = profile_length();
+  desc_.resize(n_ * length);
+  asc_.resize(n_ * length);
+  for (size_t i = 0; i < n_; ++i) {
+    double* row = desc_.data() + i * length;
+    size_t filled = 0;
+    for (size_t j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      row[filled++] = graph.mi(i, j);
+    }
+    // Descending, exactly as SortedOffDiagonal in candidate_ranking.cc
+    // (sort on reverse iterators), so equal-value orderings match too.
+    std::sort(std::make_reverse_iterator(row + length),
+              std::make_reverse_iterator(row));
+    double* ascending = asc_.data() + i * length;
+    std::reverse_copy(row, row + length, ascending);
+  }
+}
+
+double MiProfileSimilarity(const GraphSignature& a, size_t s,
+                           const GraphSignature& b, size_t t) {
+  size_t la = a.profile_length();
+  size_t lb = b.profile_length();
+  const double* pa = a.ProfileDesc(s);
+  const double* pb = b.ProfileDesc(t);
+  size_t length = std::max(la, lb);
+  double difference = 0.0;
+  double mass = 0.0;
+  for (size_t i = 0; i < length; ++i) {
+    double x = i < la ? pa[i] : 0.0;
+    double y = i < lb ? pb[i] : 0.0;
+    difference += std::fabs(x - y);
+    mass += x + y;
+  }
+  if (mass <= 0.0) return 1.0;
+  return 1.0 - difference / mass;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,76 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// GraphSignature: per-graph node signatures precomputed once and reused
+// by every per-attribute comparison.
+//
+// For each node the signature stores the attribute entropy (the graph
+// diagonal) and the node's off-diagonal MI profile sorted descending —
+// exactly the vector MiProfileSimilarity in match/candidate_ranking.h
+// compares. RankCandidates evaluates O(n_s * n_t) pairs; extracting and
+// sorting both profiles inside every pair evaluation made the hot loop
+// O(n_s * n_t * n log n). Building the signature once per graph reduces
+// the per-pair work to a single linear merge over two already-sorted
+// arrays, bit-identical to the historical path (the same doubles are
+// compared in the same order).
+//
+// The catalog prefilter (core/graph_catalog.h) reuses the same
+// signatures: the descending profiles drive the profile-similarity
+// upper bounds, and the ascending copies support the nearest-neighbor
+// best-term lookups of the admissible score bound.
+
+#ifndef DEPMATCH_MATCH_GRAPH_SIGNATURE_H_
+#define DEPMATCH_MATCH_GRAPH_SIGNATURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "depmatch/graph/dependency_graph.h"
+
+namespace depmatch {
+
+class GraphSignature {
+ public:
+  GraphSignature() = default;
+  explicit GraphSignature(const DependencyGraph& graph);
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // H(a_i), in original node order.
+  double entropy(size_t i) const { return entropies_[i]; }
+  const std::vector<double>& entropies() const { return entropies_; }
+
+  // Length of every per-node off-diagonal profile: size() - 1 (0 for
+  // empty or single-node graphs).
+  size_t profile_length() const { return n_ > 0 ? n_ - 1 : 0; }
+
+  // Node i's off-diagonal MI values sorted descending (the vector
+  // MiProfileSimilarity compares). Valid for profile_length() entries.
+  const double* ProfileDesc(size_t i) const {
+    return desc_.data() + i * profile_length();
+  }
+
+  // The same values sorted ascending, for binary-search nearest-neighbor
+  // lookups in the catalog prefilter bound.
+  const double* ProfileAsc(size_t i) const {
+    return asc_.data() + i * profile_length();
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> entropies_;  // size n
+  std::vector<double> desc_;       // n * (n-1), row-major, descending
+  std::vector<double> asc_;        // n * (n-1), row-major, ascending
+};
+
+// Order-invariant MI-profile similarity between node `s` of `a` and node
+// `t` of `b`, served from precomputed signatures. Bit-identical to
+// MiProfileSimilarity(const DependencyGraph&, ...) over the matching
+// graphs: the padded profiles are accumulated in the same index order.
+double MiProfileSimilarity(const GraphSignature& a, size_t s,
+                           const GraphSignature& b, size_t t);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_MATCH_GRAPH_SIGNATURE_H_

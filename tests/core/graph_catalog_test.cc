@@ -1,0 +1,326 @@
+#include "depmatch/core/graph_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/graph/graph_io.h"
+#include "depmatch/match/graph_signature.h"
+#include "depmatch/match/metric.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("a" + std::to_string(i));
+    m[i][i] = 0.5 + rng.NextDouble() * 6.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.7;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+// Mixed-width catalog: some entries narrower than a width-5 query (onto-
+// incompatible), some equal (the only one-to-one candidates), some wider.
+GraphCatalog MixedCatalog(uint64_t seed, size_t entries) {
+  GraphCatalog catalog;
+  for (size_t e = 0; e < entries; ++e) {
+    size_t width = 4 + e % 3;  // 4, 5, 6
+    Status inserted = catalog.Insert("entry" + std::to_string(e),
+                                     RandomGraph(width, seed * 100 + e));
+    EXPECT_TRUE(inserted.ok());
+  }
+  return catalog;
+}
+
+void ExpectSameRanking(const CatalogSearchResult& base,
+                       const CatalogSearchResult& other, const char* what) {
+  ASSERT_EQ(other.ranked.size(), base.ranked.size()) << what;
+  for (size_t i = 0; i < base.ranked.size(); ++i) {
+    EXPECT_EQ(other.ranked[i].entry, base.ranked[i].entry) << what << " #" << i;
+    EXPECT_EQ(other.ranked[i].name, base.ranked[i].name) << what << " #" << i;
+    // Bit-identical, not approximately equal: each key comes from one
+    // GraphMatch with fixed accumulation order, independent of pruning.
+    EXPECT_EQ(std::bit_cast<uint64_t>(other.ranked[i].ranking_key),
+              std::bit_cast<uint64_t>(base.ranked[i].ranking_key))
+        << what << " #" << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(other.ranked[i].normalized_score),
+              std::bit_cast<uint64_t>(base.ranked[i].normalized_score))
+        << what << " #" << i;
+    EXPECT_EQ(other.ranked[i].match.pairs, base.ranked[i].match.pairs)
+        << what << " #" << i;
+  }
+}
+
+TEST(GraphCatalogTest, InsertFindAndDuplicates) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.empty());
+  ASSERT_TRUE(catalog.Insert("orders", RandomGraph(4, 1)).ok());
+  ASSERT_TRUE(catalog.Insert("parts", RandomGraph(5, 2)).ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.name(1), "parts");
+  EXPECT_EQ(catalog.graph(1).size(), 5u);
+  EXPECT_EQ(catalog.signature(1).size(), 5u);
+
+  auto found = catalog.Find("parts");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 1u);
+  EXPECT_EQ(catalog.Find("missing").status().code(), StatusCode::kNotFound);
+
+  Status duplicate = catalog.Insert("orders", RandomGraph(3, 3));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.size(), 2u);  // failed insert left no trace
+}
+
+TEST(GraphCatalogTest, SaveLoadRoundTripIsBitIdentical) {
+  GraphCatalog catalog = MixedCatalog(7, 6);
+  std::string path = testing::TempDir() + "/catalog_roundtrip.dmc";
+  ASSERT_TRUE(catalog.Save(path).ok());
+
+  auto loaded = GraphCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), catalog.size());
+  for (size_t e = 0; e < catalog.size(); ++e) {
+    EXPECT_EQ(loaded->name(e), catalog.name(e));
+    const DependencyGraph& a = catalog.graph(e);
+    const DependencyGraph& b = loaded->graph(e);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.name(i), b.name(i));
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(a.mi(i, j)),
+                  std::bit_cast<uint64_t>(b.mi(i, j)));
+      }
+    }
+  }
+
+  // A search over the loaded catalog is indistinguishable from one over
+  // the original (signatures are recomputed deterministically on load).
+  DependencyGraph query = RandomGraph(5, 99);
+  CatalogSearchOptions options;
+  options.k = 3;
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  auto original = SearchCatalog(query, catalog, options);
+  auto reloaded = SearchCatalog(query, *loaded, options);
+  ASSERT_TRUE(original.ok()) << original.status();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ExpectSameRanking(*original, *reloaded, "loaded catalog");
+}
+
+TEST(GraphCatalogTest, LoadRejectsCorruptionTruncationAndMissing) {
+  GraphCatalog catalog = MixedCatalog(11, 3);
+  std::string path = testing::TempDir() + "/catalog_corrupt.dmc";
+  ASSERT_TRUE(catalog.Save(path).ok());
+  std::string bytes;
+  ASSERT_TRUE(graphio::ReadFileToString(path, &bytes).ok());
+
+  // Every single-byte flip is caught by the envelope checksum.
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x3C);
+    std::string bad_path = testing::TempDir() + "/catalog_bad.dmc";
+    ASSERT_TRUE(graphio::WriteStringToFile(bad_path, corrupted).ok());
+    EXPECT_FALSE(GraphCatalog::Load(bad_path).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+  // Truncations (sampled) are caught too.
+  for (size_t keep = 0; keep < bytes.size(); keep += 13) {
+    std::string short_path = testing::TempDir() + "/catalog_short.dmc";
+    ASSERT_TRUE(
+        graphio::WriteStringToFile(short_path, bytes.substr(0, keep)).ok());
+    EXPECT_FALSE(GraphCatalog::Load(short_path).ok())
+        << "truncation to " << keep << " bytes accepted";
+  }
+  EXPECT_EQ(
+      GraphCatalog::Load(testing::TempDir() + "/no_such_catalog.dmc")
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(GraphCatalogTest, EntryBoundIsAdmissible) {
+  // The prefilter's correctness rests on the bound never undercutting
+  // the true optimum: for every metric and cardinality, the certified
+  // exhaustive optimum's ranking key must stay <= the signature bound.
+  const MetricKind kKinds[] = {
+      MetricKind::kMutualInfoEuclidean, MetricKind::kMutualInfoNormal,
+      MetricKind::kEntropyEuclidean, MetricKind::kEntropyNormal};
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    DependencyGraph query = RandomGraph(4, seed * 1000);
+    GraphSignature query_signature(query);
+    for (size_t width : {4u, 5u, 6u}) {
+      DependencyGraph entry = RandomGraph(width, seed * 1000 + width);
+      GraphSignature entry_signature(entry);
+      for (MetricKind kind : kKinds) {
+        for (Cardinality cardinality :
+             {Cardinality::kOneToOne, Cardinality::kOnto,
+              Cardinality::kPartial}) {
+          if (cardinality == Cardinality::kOneToOne &&
+              width != query.size()) {
+            continue;
+          }
+          Metric metric(kind, 3.0);
+          if (cardinality == Cardinality::kPartial && !metric.maximize()) {
+            continue;  // monotonic metrics are degenerate under partial
+          }
+          MatchOptions options;
+          options.metric = kind;
+          options.cardinality = cardinality;
+          options.algorithm = MatchAlgorithm::kExhaustive;
+          options.candidates_per_attribute = 0;  // certified optimum
+          auto match = MatchGraphs(query, entry, options);
+          ASSERT_TRUE(match.ok()) << match.status();
+          ASSERT_FALSE(match->budget_exhausted);
+          double key = metric.maximize() ? match->metric_value
+                                         : -match->metric_value;
+          double bound = CatalogEntryBound(query_signature, entry_signature,
+                                           metric, cardinality);
+          EXPECT_GE(bound, key)
+              << "metric " << static_cast<int>(kind) << " cardinality "
+              << static_cast<int>(cardinality) << " width " << width
+              << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphCatalogTest, SearchMatchesBruteForceEverywhere) {
+  // Prefiltered parallel search must return exactly the brute-force
+  // all-pairs top-k, for every cardinality mode and metric direction, at
+  // every thread count.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    GraphCatalog catalog = MixedCatalog(seed, 9);
+    DependencyGraph query = RandomGraph(5, seed * 31);
+    struct Mode {
+      Cardinality cardinality;
+      MetricKind metric;
+    };
+    const Mode kModes[] = {
+        {Cardinality::kOnto, MetricKind::kMutualInfoNormal},
+        {Cardinality::kOnto, MetricKind::kMutualInfoEuclidean},
+        {Cardinality::kOneToOne, MetricKind::kEntropyNormal},
+        {Cardinality::kOneToOne, MetricKind::kMutualInfoEuclidean},
+        {Cardinality::kPartial, MetricKind::kMutualInfoNormal},
+    };
+    for (const Mode& mode : kModes) {
+      CatalogSearchOptions options;
+      options.k = 3;
+      options.match.cardinality = mode.cardinality;
+      options.match.metric = mode.metric;
+      options.use_prefilter = false;
+      options.num_threads = 1;
+      auto brute = SearchCatalog(query, catalog, options);
+      ASSERT_TRUE(brute.ok()) << brute.status();
+      // Brute force evaluated every compatible entry.
+      EXPECT_EQ(brute->stats.entries_pruned, 0u);
+      EXPECT_EQ(brute->stats.entries_searched +
+                    brute->stats.entries_incompatible,
+                brute->stats.entries_total);
+
+      options.use_prefilter = true;
+      for (size_t threads : {1u, 2u, 8u}) {
+        options.num_threads = threads;
+        auto pruned = SearchCatalog(query, catalog, options);
+        ASSERT_TRUE(pruned.ok()) << pruned.status();
+        ExpectSameRanking(*brute, *pruned, "prefiltered search");
+        EXPECT_EQ(pruned->stats.entries_searched +
+                      pruned->stats.entries_pruned +
+                      pruned->stats.entries_incompatible,
+                  pruned->stats.entries_total);
+      }
+    }
+  }
+}
+
+TEST(GraphCatalogTest, RankingAgreesWithDirectMatchCalls) {
+  // Independent cross-check: keys reported by SearchCatalog equal what a
+  // caller gets from MatchGraphs on the same pair.
+  GraphCatalog catalog = MixedCatalog(5, 6);
+  DependencyGraph query = RandomGraph(5, 77);
+  CatalogSearchOptions options;
+  options.k = catalog.size();
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  auto result = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->ranked.empty());
+  for (const CatalogMatch& ranked : result->ranked) {
+    auto direct = MatchGraphs(query, catalog.graph(ranked.entry),
+                              options.match);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    EXPECT_EQ(std::bit_cast<uint64_t>(ranked.ranking_key),
+              std::bit_cast<uint64_t>(direct->metric_value));
+    EXPECT_EQ(ranked.match.pairs, direct->pairs);
+    EXPECT_EQ(std::bit_cast<uint64_t>(ranked.normalized_score),
+              std::bit_cast<uint64_t>(
+                  ranked.ranking_key /
+                  (static_cast<double>(query.size()) *
+                   static_cast<double>(query.size()))));
+  }
+  // Best first, ties by entry index.
+  for (size_t i = 1; i < result->ranked.size(); ++i) {
+    const CatalogMatch& prev = result->ranked[i - 1];
+    const CatalogMatch& cur = result->ranked[i];
+    EXPECT_TRUE(prev.ranking_key > cur.ranking_key ||
+                (prev.ranking_key == cur.ranking_key &&
+                 prev.entry < cur.entry));
+  }
+}
+
+TEST(GraphCatalogTest, KLargerThanCatalogReturnsAllCompatible) {
+  GraphCatalog catalog = MixedCatalog(13, 6);
+  DependencyGraph query = RandomGraph(5, 131);
+  CatalogSearchOptions options;
+  options.k = 100;
+  options.match.cardinality = Cardinality::kOneToOne;
+  options.match.metric = MetricKind::kEntropyNormal;
+  auto result = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Only the width-5 entries are one-to-one compatible (widths cycle
+  // 4, 5, 6 -> two of six).
+  EXPECT_EQ(result->ranked.size(), 2u);
+  EXPECT_EQ(result->stats.entries_incompatible, 4u);
+  EXPECT_EQ(result->stats.entries_pruned, 0u);  // never k completed entries
+}
+
+TEST(GraphCatalogTest, SearchValidation) {
+  GraphCatalog catalog = MixedCatalog(17, 3);
+  DependencyGraph query = RandomGraph(4, 171);
+  CatalogSearchOptions options;
+  options.k = 0;
+  EXPECT_FALSE(SearchCatalog(query, catalog, options).ok());
+
+  auto empty_query = DependencyGraph::Create({}, {});
+  ASSERT_TRUE(empty_query.ok());
+  options.k = 1;
+  EXPECT_FALSE(SearchCatalog(*empty_query, catalog, options).ok());
+
+  // Empty catalog: a valid, empty ranking.
+  GraphCatalog none;
+  auto result = SearchCatalog(query, none, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->ranked.empty());
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -130,5 +130,76 @@ TEST(AlignSchemasTest, Validation) {
   EXPECT_FALSE(AlignSchemas({nullptr}, {}).ok());
 }
 
+void ExpectSameAlignment(const MultiMatchResult& base,
+                         const MultiMatchResult& other, const char* what) {
+  EXPECT_EQ(other.pivot_table, base.pivot_table) << what;
+  ASSERT_EQ(other.classes.size(), base.classes.size()) << what;
+  for (size_t c = 0; c < base.classes.size(); ++c) {
+    EXPECT_EQ(other.classes[c].pivot_attribute,
+              base.classes[c].pivot_attribute);
+    ASSERT_EQ(other.classes[c].members.size(), base.classes[c].members.size())
+        << what << " class " << c;
+    for (size_t m = 0; m < base.classes[c].members.size(); ++m) {
+      EXPECT_EQ(other.classes[c].members[m].table,
+                base.classes[c].members[m].table);
+      EXPECT_EQ(other.classes[c].members[m].attribute,
+                base.classes[c].members[m].attribute);
+      EXPECT_EQ(other.classes[c].members[m].name,
+                base.classes[c].members[m].name);
+    }
+  }
+}
+
+TEST(AlignSchemasTest, ParallelAlignmentIsThreadInvariant) {
+  // The table-level fan-out (parallel graph builds + parallel spokes)
+  // promises classes identical to the sequential path, member order
+  // included.
+  Table wide = Source({0, 1, 2, 3, 4, 5}, 9);
+  Table mid = Source({0, 1, 2, 3}, 10);
+  Table narrow = Source({1, 2, 3}, 11);
+  std::vector<const Table*> tables = {&mid, &wide, &narrow};
+
+  MultiMatchOptions options;
+  auto base = AlignSchemas(tables, options);
+  ASSERT_TRUE(base.ok()) << base.status();
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    auto parallel = AlignSchemas(tables, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectSameAlignment(*base, *parallel, "parallel alignment");
+  }
+}
+
+TEST(AlignSchemaGraphsTest, MatchesTableLevelAlignment) {
+  // Aligning prebuilt graphs (the catalog path) must produce exactly the
+  // classes the table-level entry point derives, since AlignSchemas
+  // itself builds each graph once and delegates.
+  Table wide = Source({0, 1, 2, 3, 4}, 12);
+  Table mid = Source({0, 1, 2}, 13);
+  std::vector<const Table*> tables = {&mid, &wide};
+  auto from_tables = AlignSchemas(tables, {});
+  ASSERT_TRUE(from_tables.ok()) << from_tables.status();
+
+  std::vector<DependencyGraph> built;
+  for (const Table* table : tables) {
+    auto graph = BuildDependencyGraph(*table, {});
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    built.push_back(std::move(graph).value());
+  }
+  std::vector<const DependencyGraph*> graphs = {&built[0], &built[1]};
+  for (size_t threads : {1u, 2u, 8u}) {
+    MultiMatchOptions options;
+    options.num_threads = threads;
+    auto from_graphs = AlignSchemaGraphs(graphs, options);
+    ASSERT_TRUE(from_graphs.ok()) << from_graphs.status();
+    ExpectSameAlignment(*from_tables, *from_graphs, "graph-level alignment");
+  }
+}
+
+TEST(AlignSchemaGraphsTest, Validation) {
+  EXPECT_FALSE(AlignSchemaGraphs({}, {}).ok());
+  EXPECT_FALSE(AlignSchemaGraphs({nullptr}, {}).ok());
+}
+
 }  // namespace
 }  // namespace depmatch

@@ -1,0 +1,122 @@
+#include "depmatch/match/graph_signature.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/match/candidate_ranking.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("a" + std::to_string(i));
+    m[i][i] = rng.NextDouble() * 6.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]);
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+TEST(GraphSignatureTest, EntriesMirrorTheGraph) {
+  DependencyGraph graph = RandomGraph(6, 17);
+  GraphSignature signature(graph);
+  ASSERT_EQ(signature.size(), 6u);
+  EXPECT_EQ(signature.profile_length(), 5u);
+  for (size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_EQ(signature.entropy(i), graph.entropy(i));
+    // Descending profile holds exactly the off-diagonal row values.
+    std::vector<double> expected;
+    for (size_t j = 0; j < graph.size(); ++j) {
+      if (j != i) expected.push_back(graph.mi(i, j));
+    }
+    std::sort(expected.rbegin(), expected.rend());
+    const double* descending = signature.ProfileDesc(i);
+    const double* ascending = signature.ProfileAsc(i);
+    for (size_t p = 0; p < signature.profile_length(); ++p) {
+      EXPECT_EQ(descending[p], expected[p]);
+      EXPECT_EQ(ascending[p], expected[signature.profile_length() - 1 - p]);
+    }
+  }
+}
+
+TEST(GraphSignatureTest, SimilarityBitIdenticalToNaiveOverload) {
+  // The signature overload replaces per-pair extract+sort in hot loops;
+  // the contract is bitwise equality with the historical graph overload,
+  // including across different widths (zero padding).
+  DependencyGraph a = RandomGraph(5, 23);
+  DependencyGraph b = RandomGraph(8, 29);
+  GraphSignature sa(a);
+  GraphSignature sb(b);
+  for (size_t s = 0; s < a.size(); ++s) {
+    for (size_t t = 0; t < b.size(); ++t) {
+      double naive = MiProfileSimilarity(a, s, b, t);
+      double fast = MiProfileSimilarity(sa, s, sb, t);
+      EXPECT_EQ(std::bit_cast<uint64_t>(naive), std::bit_cast<uint64_t>(fast))
+          << "pair " << s << " -> " << t;
+    }
+  }
+}
+
+TEST(GraphSignatureTest, SingleNodeGraphsAreAllZeroMassSimilar) {
+  auto a = DependencyGraph::Create({"x"}, {{1.0}});
+  auto b = DependencyGraph::Create({"y"}, {{2.0}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  GraphSignature sa(*a);
+  GraphSignature sb(*b);
+  EXPECT_EQ(sa.profile_length(), 0u);
+  // Empty profiles carry zero mass on both sides -> similarity 1, in
+  // both the naive and the signature form.
+  EXPECT_EQ(MiProfileSimilarity(*a, 0, *b, 0), 1.0);
+  EXPECT_EQ(MiProfileSimilarity(sa, 0, sb, 0), 1.0);
+}
+
+TEST(GraphSignatureTest, RankCandidatesUnchangedByHoistedSignatures) {
+  // RankCandidates now precomputes both signatures once; its output must
+  // be exactly what per-pair naive similarity plus the entropy blend
+  // produced before.
+  DependencyGraph source = RandomGraph(6, 31);
+  DependencyGraph target = RandomGraph(7, 37);
+  CandidateRankingOptions options;
+  auto ranking = RankCandidates(source, target, options);
+  ASSERT_TRUE(ranking.ok()) << ranking.status();
+  ASSERT_EQ(ranking->size(), source.size());
+  for (size_t s = 0; s < source.size(); ++s) {
+    for (const RankedCandidate& candidate : (*ranking)[s]) {
+      double profile =
+          MiProfileSimilarity(source, s, target, candidate.target);
+      double hs = source.entropy(s);
+      double ht = target.entropy(candidate.target);
+      double sum = hs + ht;
+      double entropy_score =
+          sum <= 0.0 ? 1.0 : 1.0 - std::fabs(hs - ht) / sum;
+      EXPECT_EQ(candidate.profile_score, profile);
+      EXPECT_EQ(candidate.entropy_score, entropy_score);
+      EXPECT_EQ(candidate.score,
+                options.profile_weight * profile +
+                    (1.0 - options.profile_weight) * entropy_score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

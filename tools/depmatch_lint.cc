@@ -487,6 +487,10 @@ class Linter {
         "src/depmatch/match/annealing_matcher.cc",
         "src/depmatch/match/graduated_assignment.cc",
         "src/depmatch/match/exhaustive_matcher.cc",
+        "src/depmatch/match/graph_signature.cc",
+        "src/depmatch/graph/graph_io.cc",
+        "src/depmatch/core/graph_catalog.cc",
+        "src/depmatch/core/multi_match.cc",
     };
     for (const char* rel : kRequired) {
       fs::path p = root_ / rel;

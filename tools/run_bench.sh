@@ -5,11 +5,13 @@
 #   BENCH_match_search.json  the four matching search backends
 #   BENCH_pipeline.json      end-to-end experiment pipeline, cold
 #                            materialization vs encoded views + StatCache
+#   BENCH_catalog.json       catalog top-k search: signature prefilter +
+#                            parallel fan-out vs brute-force all-pairs
 #
 # Usage: tools/run_bench.sh [build_dir]
 #   build_dir        defaults to <repo>/build
 #   DEPMATCH_BENCH_REPS   repetitions per data point (defaults: 5 for
-#                         graph_build, 3 for match_search and pipeline)
+#                         graph_build, 3 for the others)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,7 +19,8 @@ BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_graph_build bench_match_search \
-  bench_pipeline
+  bench_pipeline bench_catalog
 "$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
 "$BUILD/bench/bench_match_search" "$ROOT/BENCH_match_search.json"
 "$BUILD/bench/bench_pipeline" "$ROOT/BENCH_pipeline.json"
+"$BUILD/bench/bench_catalog" "$ROOT/BENCH_catalog.json"
