@@ -40,8 +40,7 @@
 #include <thread>
 #include <vector>
 
-#include <unistd.h>
-
+#include "bench_util.h"
 #include "depmatch/common/logging.h"
 #include "depmatch/common/string_util.h"
 #include "depmatch/core/graph_catalog.h"
@@ -224,21 +223,6 @@ ModeSample Measure(const Corpus& corpus, const CatalogSearchOptions& options,
   return sample;
 }
 
-std::string IsoTimestampUtc() {
-  std::time_t now = std::time(nullptr);
-  char buffer[32];
-  std::tm utc;
-  gmtime_r(&now, &utc);
-  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  return buffer;
-}
-
-std::string HostName() {
-  char buffer[256] = {0};
-  if (gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
-  return buffer;
-}
-
 int Run(bool smoke, const std::string& output_path) {
   size_t reps = smoke ? 1 : 3;
   if (const char* raw = std::getenv("DEPMATCH_BENCH_REPS")) {
@@ -341,18 +325,10 @@ int Run(bool smoke, const std::string& output_path) {
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"benchmark\": \"catalog\",\n");
     std::fprintf(out, "  \"timestamp_utc\": \"%s\",\n",
-                 IsoTimestampUtc().c_str());
-    std::fprintf(out, "  \"machine\": {\n");
-    std::fprintf(out, "    \"hostname\": \"%s\",\n", HostName().c_str());
-    std::fprintf(out, "    \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
-#ifdef NDEBUG
-    std::fprintf(out, "    \"build_type\": \"Release\"\n");
-#else
-    std::fprintf(out, "    \"build_type\": \"Debug\"\n");
-#endif
-    std::fprintf(out, "  },\n");
+                 benchutil::IsoTimestampUtc().c_str());
+    benchutil::WriteMachineJson(
+        out, benchutil::MakeMachineReport({1, fanout_threads}), "  ",
+        /*trailing_comma=*/true);
     std::fprintf(out, "  \"corpus\": {\n");
     std::fprintf(out, "    \"entries\": %zu,\n", corpus.catalog.size());
     std::fprintf(out, "    \"query_width\": %zu,\n", corpus.query.size());

@@ -1,6 +1,11 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ctime>
+#include <thread>
+
+#include <unistd.h>
 
 #include "depmatch/common/logging.h"
 #include "depmatch/common/rng.h"
@@ -101,6 +106,51 @@ TablePair BuildCensusTables(size_t sample_rows, uint64_t seed) {
 GraphPair BuildCensusPair(size_t sample_rows, uint64_t seed) {
   TablePair tables = BuildCensusTables(sample_rows, seed);
   return {BuildGraph(tables.t1), BuildGraph(tables.t2)};
+}
+
+MachineReport MakeMachineReport(std::vector<size_t> exercised_threads) {
+  MachineReport report;
+  char buffer[256] = {0};
+  report.hostname =
+      gethostname(buffer, sizeof(buffer) - 1) == 0 ? buffer : "unknown";
+  report.detected_hardware_threads = std::thread::hardware_concurrency();
+  std::sort(exercised_threads.begin(), exercised_threads.end());
+  exercised_threads.erase(
+      std::unique(exercised_threads.begin(), exercised_threads.end()),
+      exercised_threads.end());
+  report.exercised_threads = std::move(exercised_threads);
+  return report;
+}
+
+void WriteMachineJson(std::FILE* out, const MachineReport& report,
+                      const char* indent, bool trailing_comma) {
+  std::fprintf(out, "%s\"machine\": {\n", indent);
+  std::fprintf(out, "%s  \"hostname\": \"%s\",\n", indent,
+               report.hostname.c_str());
+  std::fprintf(out, "%s  \"detected_hardware_threads\": %u,\n", indent,
+               report.detected_hardware_threads);
+  std::fprintf(out, "%s  \"exercised_threads\": [", indent);
+  for (size_t i = 0; i < report.exercised_threads.size(); ++i) {
+    std::fprintf(out, "%s%zu", i > 0 ? ", " : "",
+                 report.exercised_threads[i]);
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "%s  \"compiler\": \"%s\",\n", indent, __VERSION__);
+#ifdef NDEBUG
+  std::fprintf(out, "%s  \"build_type\": \"Release\"\n", indent);
+#else
+  std::fprintf(out, "%s  \"build_type\": \"Debug\"\n", indent);
+#endif
+  std::fprintf(out, "%s}%s\n", indent, trailing_comma ? "," : "");
+}
+
+std::string IsoTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::tm utc;
+  gmtime_r(&now, &utc);
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
 }
 
 const std::vector<MethodSpec>& StandardMethods() {

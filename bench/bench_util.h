@@ -19,6 +19,7 @@
 #define DEPMATCH_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,31 @@ const std::vector<MethodSpec>& StandardMethods();
 // Default number of attributes in the experimental universe (the paper
 // uses 30 randomly chosen attributes of each dataset).
 inline constexpr size_t kUniverseSize = 30;
+
+// Machine identification for bench JSON output. `detected_hardware_threads`
+// is what std::thread::hardware_concurrency() reports (0 when unknown;
+// containers may report fewer threads than a run actually uses), and
+// `exercised_threads` lists the thread counts the bench really ran —
+// the two must be recorded separately, not conflated (a historical
+// BENCH_catalog.json recorded hardware_threads=1 for a 2-thread run).
+struct MachineReport {
+  std::string hostname;
+  unsigned detected_hardware_threads = 0;
+  std::vector<size_t> exercised_threads;
+};
+
+// Fills hostname + detected threads, sorting and deduplicating the
+// exercised list.
+MachineReport MakeMachineReport(std::vector<size_t> exercised_threads);
+
+// Writes the report as a JSON "machine" object (including compiler and
+// build type), indented by `indent`, with a trailing comma iff
+// `trailing_comma`.
+void WriteMachineJson(std::FILE* out, const MachineReport& report,
+                      const char* indent, bool trailing_comma);
+
+// UTC timestamp "YYYY-MM-DDTHH:MM:SSZ" for bench provenance headers.
+std::string IsoTimestampUtc();
 
 }  // namespace benchutil
 }  // namespace depmatch

@@ -1,0 +1,378 @@
+// depmatch-lint: bit-identical-file
+// The tiered index is a pure acceleration structure: searches with and
+// without it must return bit-identical top-k rankings. That holds
+// because ClusterBound() dominates every member entry's admissible
+// bound (coverage-superset argument in the header) and the search only
+// prunes on strict inequality against the monotone shared threshold.
+// Keep the build deterministic (ties broken by entry id, no
+// std::random) and do not introduce constructs that reorder double
+// accumulation (std::reduce, atomic floating adds, OpenMP reductions).
+#include "depmatch/core/catalog_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace depmatch {
+namespace {
+
+// Coalesces a sorted multiset of values into at most `max_intervals`
+// disjoint closed intervals covering every value, cutting at the
+// largest gaps (ties: earliest gap). `values` must be sorted ascending.
+std::vector<double> CoverSortedValues(const std::vector<double>& values,
+                                      size_t max_intervals) {
+  std::vector<double> bounds;
+  if (values.empty()) return bounds;
+  if (max_intervals == 0) max_intervals = 1;
+  // Candidate cut positions between distinct neighbors, widest first.
+  std::vector<std::pair<double, size_t>> gaps;  // (width, position after i)
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    double width = values[i + 1] - values[i];
+    if (width > 0.0) gaps.emplace_back(width, i);
+  }
+  std::sort(gaps.begin(), gaps.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  size_t cuts = std::min(gaps.size(), max_intervals - 1);
+  std::vector<size_t> cut_after;
+  cut_after.reserve(cuts);
+  for (size_t i = 0; i < cuts; ++i) cut_after.push_back(gaps[i].second);
+  std::sort(cut_after.begin(), cut_after.end());
+  size_t start = 0;
+  for (size_t cut : cut_after) {
+    bounds.push_back(values[start]);
+    bounds.push_back(values[cut]);
+    start = cut + 1;
+  }
+  bounds.push_back(values[start]);
+  bounds.push_back(values.back());
+  return bounds;
+}
+
+// Merges two disjoint ascending interval lists into one covering their
+// union, then re-coalesces to the interval budget.
+std::vector<double> MergeCoverage(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  size_t max_intervals) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  std::vector<Interval> merged;
+  merged.reserve((a.size() + b.size()) / 2);
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    Interval next{};
+    if (ib >= b.size() || (ia < a.size() && a[ia] <= b[ib])) {
+      next = {a[ia], a[ia + 1]};
+      ia += 2;
+    } else {
+      next = {b[ib], b[ib + 1]};
+      ib += 2;
+    }
+    if (!merged.empty() && next.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, next.hi);
+    } else {
+      merged.push_back(next);
+    }
+  }
+  if (max_intervals == 0) max_intervals = 1;
+  while (merged.size() > max_intervals) {
+    // Close the narrowest inter-interval gap (ties: earliest).
+    size_t best = 0;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < merged.size(); ++i) {
+      double gap = merged[i + 1].lo - merged[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    merged[best].hi = merged[best + 1].hi;
+    merged.erase(merged.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+  std::vector<double> bounds;
+  bounds.reserve(merged.size() * 2);
+  for (const Interval& iv : merged) {
+    bounds.push_back(iv.lo);
+    bounds.push_back(iv.hi);
+  }
+  return bounds;
+}
+
+// Best achievable metric term of pairing source value `x` against any
+// value covered by `bounds` (max when maximized, min when minimized).
+// Both term families are unimodal in the target value, so the optimum
+// over a union of closed intervals is attained at the clamp of x onto
+// the nearest interval — either x itself (inside an interval) or one of
+// the two neighboring interval endpoints. Empty coverage yields 0.0,
+// the flat structural term of a profile-less member.
+double BestCoveredTerm(const Metric& metric, double x,
+                       const std::vector<double>& bounds) {
+  if (bounds.empty()) return 0.0;
+  const double* begin = bounds.data();
+  const double* end = begin + bounds.size();
+  const double* at = std::lower_bound(begin, end, x);
+  if (at != end && ((at - begin) & 1) != 0) {
+    // First endpoint >= x is an interval's hi and its lo is < x: x lies
+    // inside that interval, so the exact-equality term is achievable.
+    return metric.Term(x, x);
+  }
+  bool maximize = metric.maximize();
+  double best = maximize ? -std::numeric_limits<double>::infinity()
+                         : std::numeric_limits<double>::infinity();
+  if (at != end) {
+    best = metric.Term(x, *at);  // lo of the interval above x (or == x)
+  }
+  if (at != begin) {
+    double term = metric.Term(x, *(at - 1));  // hi of the interval below
+    if (maximize ? term > best : term < best) best = term;
+  }
+  return best;
+}
+
+struct EntryFeatures {
+  double mean_entropy = 0.0;
+  double mean_profile = 0.0;
+};
+
+EntryFeatures ComputeFeatures(const GraphSignature& signature) {
+  EntryFeatures f;
+  size_t n = signature.size();
+  if (n == 0) return f;
+  double entropy_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) entropy_sum += signature.entropy(i);
+  f.mean_entropy = entropy_sum / static_cast<double>(n);
+  size_t length = signature.profile_length();
+  if (length == 0) return f;
+  double profile_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = signature.ProfileDesc(i);
+    for (size_t j = 0; j < length; ++j) profile_sum += row[j];
+  }
+  f.mean_profile = profile_sum / static_cast<double>(n * length);
+  return f;
+}
+
+}  // namespace
+
+CatalogTieredIndex CatalogTieredIndex::Build(
+    const std::vector<const GraphSignature*>& signatures,
+    const CatalogIndexOptions& options) {
+  CatalogTieredIndex index;
+  size_t count = signatures.size();
+  if (count == 0) return index;
+  const size_t leaf_size = std::max<size_t>(1, options.leaf_size);
+  const size_t intervals = std::max<size_t>(1, options.envelope_intervals);
+
+  index.entry_order_.resize(count);
+  for (size_t e = 0; e < count; ++e) index.entry_order_[e] = e;
+  std::vector<EntryFeatures> features(count);
+  for (size_t e = 0; e < count; ++e) {
+    features[e] = ComputeFeatures(*signatures[e]);
+  }
+
+  // Recursive median split; children are appended after their parent,
+  // so child ids are always greater than the parent's (FromParts relies
+  // on this to reject cyclic inputs).
+  struct Builder {
+    std::vector<size_t>& order;
+    const std::vector<EntryFeatures>& features;
+    const std::vector<const GraphSignature*>& signatures;
+    std::vector<TieredIndexNode>& nodes;
+    size_t leaf_size;
+    size_t intervals;
+
+    size_t BuildRange(size_t begin, size_t end) {
+      size_t id = nodes.size();
+      nodes.emplace_back();
+      nodes[id].begin = begin;
+      nodes[id].end = end;
+      bool split = end - begin > leaf_size;
+      if (split) {
+        double lo0 = std::numeric_limits<double>::infinity();
+        double hi0 = -lo0;
+        double lo1 = lo0;
+        double hi1 = -lo0;
+        for (size_t i = begin; i < end; ++i) {
+          const EntryFeatures& f = features[order[i]];
+          lo0 = std::min(lo0, f.mean_entropy);
+          hi0 = std::max(hi0, f.mean_entropy);
+          lo1 = std::min(lo1, f.mean_profile);
+          hi1 = std::max(hi1, f.mean_profile);
+        }
+        // Identical features throughout: splitting cannot separate
+        // anything, so keep one (possibly oversized) leaf.
+        if (hi0 - lo0 <= 0.0 && hi1 - lo1 <= 0.0) split = false;
+        if (split) {
+          bool by_entropy = hi0 - lo0 >= hi1 - lo1;
+          std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                    order.begin() + static_cast<std::ptrdiff_t>(end),
+                    [&](size_t a, size_t b) {
+                      double fa = by_entropy ? features[a].mean_entropy
+                                             : features[a].mean_profile;
+                      double fb = by_entropy ? features[b].mean_entropy
+                                             : features[b].mean_profile;
+                      if (fa != fb) return fa < fb;
+                      return a < b;
+                    });
+          size_t mid = begin + (end - begin) / 2;
+          size_t left = BuildRange(begin, mid);
+          size_t right = BuildRange(mid, end);
+          nodes[id].left = static_cast<int64_t>(left);
+          nodes[id].right = static_cast<int64_t>(right);
+          // Parent envelope: union of the children's coverage (merging
+          // only ever widens, preserving the superset property).
+          const ClusterEnvelope& l = nodes[left].envelope;
+          const ClusterEnvelope& r = nodes[right].envelope;
+          ClusterEnvelope& env = nodes[id].envelope;
+          env.entropy_bounds =
+              MergeCoverage(l.entropy_bounds, r.entropy_bounds, intervals);
+          env.profile_bounds =
+              MergeCoverage(l.profile_bounds, r.profile_bounds, intervals);
+          env.any_empty_profile = l.any_empty_profile || r.any_empty_profile;
+          env.any_empty_graph = l.any_empty_graph || r.any_empty_graph;
+          env.min_width = std::min(l.min_width, r.min_width);
+          env.max_width = std::max(l.max_width, r.max_width);
+          return id;
+        }
+      }
+      // Leaf: exact coverage of the members' raw values.
+      ClusterEnvelope& env = nodes[id].envelope;
+      std::vector<double> entropies;
+      std::vector<double> profiles;
+      env.min_width = std::numeric_limits<size_t>::max();
+      env.max_width = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const GraphSignature& signature = *signatures[order[i]];
+        size_t n = signature.size();
+        env.min_width = std::min(env.min_width, n);
+        env.max_width = std::max(env.max_width, n);
+        if (n == 0) {
+          env.any_empty_graph = true;
+          continue;
+        }
+        for (size_t s = 0; s < n; ++s) entropies.push_back(signature.entropy(s));
+        size_t length = signature.profile_length();
+        if (length == 0) {
+          env.any_empty_profile = true;
+          continue;
+        }
+        for (size_t s = 0; s < n; ++s) {
+          const double* row = signature.ProfileAsc(s);
+          profiles.insert(profiles.end(), row, row + length);
+        }
+      }
+      std::sort(entropies.begin(), entropies.end());
+      std::sort(profiles.begin(), profiles.end());
+      env.entropy_bounds = CoverSortedValues(entropies, intervals);
+      env.profile_bounds = CoverSortedValues(profiles, intervals);
+      return id;
+    }
+  };
+
+  Builder builder{index.entry_order_, features, signatures,
+                  index.nodes_,       leaf_size, intervals};
+  builder.BuildRange(0, count);
+  return index;
+}
+
+double CatalogTieredIndex::ClusterBound(size_t id, const GraphSignature& query,
+                                        const Metric& metric,
+                                        Cardinality cardinality) const {
+  const ClusterEnvelope& env = nodes_[id].envelope;
+  size_t n = query.size();
+  bool maximize = metric.maximize();
+  if (n == 0) {
+    return AdmissibleBoundSlack(maximize ? 0.0 : -metric.Finalize(0.0));
+  }
+  if (cardinality == Cardinality::kPartial && !maximize) {
+    // A minimized (monotonic) metric admits the empty mapping at sum 0,
+    // already its optimum — vacuous, exactly like the per-entry bound.
+    return AdmissibleBoundSlack(-metric.Finalize(0.0));
+  }
+  const bool partial = cardinality == Cardinality::kPartial;
+  const bool structural = metric.structural();
+  const size_t query_profile = query.profile_length();
+  double total = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    // Decoupled relaxation of the per-entry bound's per-row optimum:
+    // the entropy term and every profile term independently pick their
+    // best covered value anywhere in the subtree.
+    double row = BestCoveredTerm(metric, query.entropy(s), env.entropy_bounds);
+    if (structural) {
+      const double* profile = query.ProfileDesc(s);
+      for (size_t idx = 0; idx < query_profile; ++idx) {
+        double term = BestCoveredTerm(metric, profile[idx], env.profile_bounds);
+        if (env.any_empty_profile) {
+          // A profile-less member's structural terms are exactly 0; the
+          // cluster term must not fall on the wrong side of that.
+          term = maximize ? std::max(term, 0.0) : std::min(term, 0.0);
+        }
+        if (partial && term < 0.0) term = 0.0;
+        row += term;
+      }
+    }
+    if (partial && row < 0.0) row = 0.0;
+    total += row;
+  }
+  if (env.any_empty_graph) {
+    // Against an empty member only the empty mapping (sum 0) exists.
+    total = maximize ? std::max(total, 0.0) : std::min(total, 0.0);
+  }
+  return AdmissibleBoundSlack(maximize ? total : -metric.Finalize(total));
+}
+
+CatalogTieredIndex CatalogTieredIndex::FromParts(
+    std::vector<size_t> entry_order, std::vector<TieredIndexNode> nodes) {
+  CatalogTieredIndex index;
+  size_t count = entry_order.size();
+  if (nodes.empty() || count == 0) return index;
+  // entry_order must be a permutation of [0, count).
+  std::vector<uint8_t> seen(count, 0);
+  for (size_t e : entry_order) {
+    if (e >= count || seen[e] != 0) return index;
+    seen[e] = 1;
+  }
+  if (nodes[0].begin != 0 || nodes[0].end != count) return index;
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const TieredIndexNode& nd = nodes[id];
+    if (nd.begin > nd.end || nd.end > count) return index;
+    bool has_left = nd.left >= 0;
+    bool has_right = nd.right >= 0;
+    if (has_left != has_right) return index;
+    if (has_left) {
+      auto l = static_cast<size_t>(nd.left);
+      auto r = static_cast<size_t>(nd.right);
+      // Children follow their parent (acyclic by construction) and
+      // partition its range.
+      if (l <= id || r <= id || l >= nodes.size() || r >= nodes.size()) {
+        return index;
+      }
+      if (nodes[l].begin != nd.begin || nodes[l].end != nodes[r].begin ||
+          nodes[r].end != nd.end) {
+        return index;
+      }
+    }
+    auto valid_bounds = [](const std::vector<double>& bounds) {
+      if (bounds.size() % 2 != 0) return false;
+      for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+        if (bounds[i] > bounds[i + 1]) return false;
+      }
+      return true;
+    };
+    if (!valid_bounds(nd.envelope.entropy_bounds) ||
+        !valid_bounds(nd.envelope.profile_bounds)) {
+      return index;
+    }
+  }
+  index.entry_order_ = std::move(entry_order);
+  index.nodes_ = std::move(nodes);
+  return index;
+}
+
+}  // namespace depmatch

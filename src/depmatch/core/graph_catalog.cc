@@ -1,8 +1,9 @@
 // depmatch-lint: bit-identical-file
 // Catalog search promises a top-k ranking that is bit-identical at any
-// thread count and identical to the brute-force all-pairs ranking. The
-// proof depends on (a) every per-entry key being computed by one
-// GraphMatch call with fixed accumulation order, and (b) entries being
+// thread count, with or without the tiered index, and identical to the
+// brute-force all-pairs ranking. The proof depends on (a) every
+// per-entry key being computed by one GraphMatch call with fixed
+// accumulation order, and (b) entries (or whole index subtrees) being
 // pruned only when their admissible bound is *strictly* below the
 // running k-th best completed key. Do not introduce constructs that
 // reorder double accumulation (std::reduce, atomic floating adds,
@@ -32,16 +33,6 @@ constexpr char kCatalogMagic[4] = {'D', 'M', 'C', '1'};
 constexpr uint32_t kCatalogFormatVersion = 1;
 // Magic + version + entry count + checksum.
 constexpr size_t kMinCatalogFileSize = 4 + 4 + 8 + 4;
-
-// Deterministic floating-point safety slack. The bound derivation below
-// is exact in real arithmetic; in doubles, the per-term nearest-neighbor
-// argument can be off by an ulp and the bound's summation order differs
-// from the searchers'. The slack is a fixed function of the bound value
-// (no runtime state), so determinism is preserved, and it is orders of
-// magnitude below any meaningful score separation.
-double WithSlack(double key_bound) {
-  return key_bound + 1e-9 + 1e-12 * std::fabs(key_bound);
-}
 
 // Best achievable term of pairing source value `x` against any value of
 // the sorted-ascending array (best = max when the metric is maximized,
@@ -126,25 +117,37 @@ bool EntryCompatible(Cardinality cardinality, size_t query_width,
 }  // namespace
 
 Status GraphCatalog::Insert(std::string name, DependencyGraph graph) {
-  if (index_.count(name) > 0) {
+  if (index_by_name_.count(name) > 0) {
     return AlreadyExistsError(
         StrFormat("catalog already holds a graph named '%s'", name.c_str()));
   }
   GraphSignature signature(graph);
-  index_.emplace(name, names_.size());
+  index_by_name_.emplace(name, names_.size());
   names_.push_back(std::move(name));
   graphs_.push_back(std::move(graph));
   signatures_.push_back(std::move(signature));
+  // The tiered index covers a frozen entry set; a new entry invalidates
+  // it rather than risking a stale (non-dominating) envelope.
+  index_.reset();
   return OkStatus();
 }
 
 Result<size_t> GraphCatalog::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
-  if (it == index_.end()) {
+  auto it = index_by_name_.find(std::string(name));
+  if (it == index_by_name_.end()) {
     return NotFoundError(
         StrFormat("no catalog entry named '%s'", std::string(name).c_str()));
   }
   return it->second;
+}
+
+void GraphCatalog::BuildIndex(const CatalogIndexOptions& options) {
+  std::vector<const GraphSignature*> signatures;
+  signatures.reserve(signatures_.size());
+  for (const GraphSignature& signature : signatures_) {
+    signatures.push_back(&signature);
+  }
+  index_ = CatalogTieredIndex::Build(signatures, options);
 }
 
 Status GraphCatalog::Save(const std::string& path) const {
@@ -258,12 +261,12 @@ double CatalogEntryBound(const GraphSignature& query,
   bool maximize = metric.maximize();
   if (n == 0 || m == 0) {
     // Nothing can be matched; the only achievable sum is the empty one.
-    return WithSlack(maximize ? 0.0 : -metric.Finalize(0.0));
+    return AdmissibleBoundSlack(maximize ? 0.0 : -metric.Finalize(0.0));
   }
   if (cardinality == Cardinality::kPartial && !maximize) {
     // A minimized (monotonic) metric admits the empty mapping at sum 0,
     // which is already its optimum — the bound is exact but vacuous.
-    return WithSlack(-metric.Finalize(0.0));
+    return AdmissibleBoundSlack(-metric.Finalize(0.0));
   }
   bool partial = cardinality == Cardinality::kPartial;
   bool structural = metric.structural();
@@ -300,12 +303,12 @@ double CatalogEntryBound(const GraphSignature& query,
     if (partial && best_row < 0.0) best_row = 0.0;
     total += best_row;
   }
-  return WithSlack(maximize ? total : -metric.Finalize(total));
+  return AdmissibleBoundSlack(maximize ? total : -metric.Finalize(total));
 }
 
-Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
-                                          const GraphCatalog& catalog,
-                                          const CatalogSearchOptions& options) {
+Result<CatalogSearchResult> SearchCatalogView(
+    const DependencyGraph& query, const CatalogEntryView& view,
+    const CatalogTieredIndex* index, const CatalogSearchOptions& options) {
   if (options.k == 0) {
     return InvalidArgumentError("catalog search requires k >= 1");
   }
@@ -315,77 +318,241 @@ Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
   const Metric metric(options.match.metric, options.match.alpha);
   const GraphSignature query_signature(query);
   const size_t n = query.size();
-  const size_t count = catalog.size();
+  const size_t count = view.count();
 
   CatalogSearchResult out;
   out.stats.entries_total = count;
 
+  // Width compatibility is a cheap scan over the entry table (no graph
+  // loads, no bound evaluations); on the tiered path, prefix sums over
+  // the index's entry permutation let subtree pruning account for its
+  // compatible members in O(1).
+  std::vector<uint8_t> compatible(count, 0);
+  for (size_t e = 0; e < count; ++e) {
+    if (EntryCompatible(options.match.cardinality, n, view.width(e))) {
+      compatible[e] = 1;
+    } else {
+      ++out.stats.entries_incompatible;
+    }
+  }
+
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> bounds(count, -kInf);
-  std::vector<size_t> candidates;
-  candidates.reserve(count);
-  for (size_t e = 0; e < count; ++e) {
-    if (!EntryCompatible(options.match.cardinality, n,
-                         catalog.graph(e).size())) {
-      ++out.stats.entries_incompatible;
-      continue;
-    }
-    bounds[e] = options.use_prefilter
-                    ? CatalogEntryBound(query_signature, catalog.signature(e),
-                                        metric, options.match.cardinality)
-                    : kInf;
-    candidates.push_back(e);
-  }
-  // Highest bound first: the most promising entries complete earliest
-  // and lift the shared threshold fastest. Ties keep entry order.
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&bounds](size_t a, size_t b) {
-                     if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
-                     return a < b;
-                   });
-
   SharedTopK shared(options.k);
   std::vector<std::optional<CatalogMatch>> slots(count);
   std::vector<Status> errors(count);
   std::vector<uint8_t> pruned(count, 0);
   const bool maximize = metric.maximize();
-  const double denominator = metric.structural()
-                                 ? static_cast<double>(n) * static_cast<double>(n)
-                                 : static_cast<double>(n);
+  const double denominator =
+      metric.structural() ? static_cast<double>(n) * static_cast<double>(n)
+                          : static_cast<double>(n);
 
-  ThreadPool::ParallelFor(
-      options.num_threads, candidates.size(), [&](size_t i) {
-        size_t e = candidates[i];
-        // Strict <: an entry whose achievable key ties the k-th best is
-        // never skipped, so boundary ties resolve identically at every
-        // thread count. The threshold only grows, so a stale read can
-        // only under-prune.
-        if (options.use_prefilter && bounds[e] < shared.Threshold()) {
-          pruned[e] = 1;
-          return;
+  // Full GraphMatch for one entry; callable from any thread (see the
+  // CatalogEntryView threading contract). Failures land in errors[e].
+  auto run_entry = [&](size_t e) {
+    Result<const DependencyGraph*> graph = view.graph(e);
+    if (!graph.ok()) {
+      errors[e] = graph.status();
+      return;
+    }
+    Result<MatchResult> match = MatchGraphs(query, **graph, options.match);
+    if (!match.ok()) {
+      errors[e] = match.status();
+      return;
+    }
+    CatalogMatch candidate;
+    candidate.entry = e;
+    candidate.name = view.name(e);
+    candidate.match = *std::move(match);
+    candidate.ranking_key = maximize ? candidate.match.metric_value
+                                     : -candidate.match.metric_value;
+    candidate.normalized_score = candidate.ranking_key / denominator;
+    shared.Submit(candidate.ranking_key);
+    slots[e] = std::move(candidate);
+  };
+
+  const bool tiered = options.use_prefilter && options.use_index &&
+                      index != nullptr && !index->empty() &&
+                      index->num_entries() == count;
+
+  // Candidate discovery visits entries in descending bound order. The
+  // first warm_target survivors are matched inline on this thread
+  // (warm-up): the threshold cannot prune until k keys exist, so those
+  // matches gain nothing from the pool, and completing the most
+  // promising entries first lifts the threshold to a near-final value
+  // before anything else is considered. The rest land in `deferred`.
+  //
+  // The tiered descent warms log2(count) extra entries beyond k. The
+  // threshold is frozen once warm-up ends (deferred entries do not
+  // match until fan-out), so a single weak key among the first k —
+  // heuristic matchers can score far below an entry's admissible bound
+  // — would leave the k-th best key low for the entire descent and
+  // force near-total subtree expansion. A log-depth cushion lets
+  // later, stronger keys displace weak ones before the threshold is
+  // locked in, at the cost of a handful of serial matches.
+  std::vector<size_t> deferred;
+  deferred.reserve(count);
+  size_t warmed = 0;
+  size_t warm_target = options.use_prefilter ? options.k : 0;
+  if (tiered && warm_target > 0) {
+    size_t depth = 0;
+    for (size_t span = count; span > 1; span >>= 1) ++depth;
+    warm_target += depth;
+  }
+  bool failed = false;
+  auto warm_or_defer = [&](size_t e) {
+    if (warmed < warm_target) {
+      ++warmed;
+      run_entry(e);
+      if (!errors[e].ok()) failed = true;
+      return;
+    }
+    deferred.push_back(e);
+  };
+
+  if (tiered) {
+    // Best-first branch-and-bound over the tiered index: a max-heap of
+    // subtrees and entries keyed by admissible bound. Popping an item
+    // below the (monotone) threshold proves every remaining item is
+    // below it too, so the whole frontier drains as pruned.
+    const std::vector<size_t>& order = index->entry_order();
+    std::vector<size_t> compat_prefix(count + 1, 0);
+    for (size_t i = 0; i < count; ++i) {
+      compat_prefix[i + 1] =
+          compat_prefix[i] + static_cast<size_t>(compatible[order[i]]);
+    }
+    auto compatible_in = [&](const TieredIndexNode& node) {
+      return compat_prefix[node.end] - compat_prefix[node.begin];
+    };
+
+    struct Frontier {
+      double bound;
+      bool is_entry;
+      size_t id;  // entry id when is_entry, node id otherwise
+    };
+    // priority_queue keeps the *highest* priority at top with a
+    // "lower-priority-than" comparator. Ties break deterministically:
+    // entries before subtrees, then smaller id.
+    auto lower_priority = [](const Frontier& a, const Frontier& b) {
+      if (a.bound != b.bound) return a.bound < b.bound;
+      if (a.is_entry != b.is_entry) return b.is_entry;
+      return a.id > b.id;
+    };
+    std::priority_queue<Frontier, std::vector<Frontier>,
+                        decltype(lower_priority)>
+        frontier(lower_priority);
+    if (compatible_in(index->node(index->root())) > 0) {
+      ++out.stats.cluster_bound_evaluations;
+      frontier.push({index->ClusterBound(index->root(), query_signature,
+                                         metric, options.match.cardinality),
+                     false, index->root()});
+    }
+    while (!frontier.empty() && !failed) {
+      Frontier item = frontier.top();
+      // Strict <: a bound that ties the k-th best key is never pruned,
+      // so boundary ties resolve identically at every thread count and
+      // with or without the index.
+      if (item.bound < shared.Threshold()) {
+        while (!frontier.empty()) {
+          Frontier rest = frontier.top();
+          frontier.pop();
+          if (rest.is_entry) {
+            pruned[rest.id] = 1;
+          } else {
+            const TieredIndexNode& node = index->node(rest.id);
+            for (size_t i = node.begin; i < node.end; ++i) {
+              if (compatible[order[i]] != 0) pruned[order[i]] = 1;
+            }
+          }
         }
-        Result<MatchResult> match =
-            MatchGraphs(query, catalog.graph(e), options.match);
-        if (!match.ok()) {
-          errors[e] = match.status();
-          return;
+        break;
+      }
+      frontier.pop();
+      if (item.is_entry) {
+        bounds[item.id] = item.bound;
+        warm_or_defer(item.id);
+        continue;
+      }
+      const TieredIndexNode& node = index->node(item.id);
+      if (node.left < 0) {
+        for (size_t i = node.begin; i < node.end; ++i) {
+          size_t e = order[i];
+          if (compatible[e] == 0) continue;
+          ++out.stats.bound_evaluations;
+          frontier.push({CatalogEntryBound(query_signature, view.signature(e),
+                                           metric, options.match.cardinality),
+                         true, e});
         }
-        CatalogMatch candidate;
-        candidate.entry = e;
-        candidate.name = catalog.name(e);
-        candidate.match = *std::move(match);
-        candidate.ranking_key = maximize ? candidate.match.metric_value
-                                         : -candidate.match.metric_value;
-        candidate.normalized_score = candidate.ranking_key / denominator;
-        shared.Submit(candidate.ranking_key);
-        slots[e] = std::move(candidate);
-      });
+      } else {
+        for (int64_t child : {node.left, node.right}) {
+          size_t child_id = static_cast<size_t>(child);
+          if (compatible_in(index->node(child_id)) == 0) continue;
+          ++out.stats.cluster_bound_evaluations;
+          frontier.push({index->ClusterBound(child_id, query_signature, metric,
+                                             options.match.cardinality),
+                         false, child_id});
+        }
+      }
+    }
+  } else {
+    // Flat pass: bound every compatible entry, then visit in descending
+    // bound order. Highest bound first means the most promising entries
+    // complete earliest and lift the shared threshold fastest.
+    std::vector<size_t> candidates;
+    candidates.reserve(count);
+    for (size_t e = 0; e < count; ++e) {
+      if (compatible[e] == 0) continue;
+      if (options.use_prefilter) {
+        ++out.stats.bound_evaluations;
+        bounds[e] = CatalogEntryBound(query_signature, view.signature(e),
+                                      metric, options.match.cardinality);
+      } else {
+        bounds[e] = kInf;
+      }
+      candidates.push_back(e);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&bounds](size_t a, size_t b) {
+                       if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
+                       return a < b;
+                     });
+    for (size_t e : candidates) {
+      if (failed) break;
+      if (options.use_prefilter && bounds[e] < shared.Threshold()) {
+        pruned[e] = 1;
+        continue;
+      }
+      warm_or_defer(e);
+    }
+  }
+
+  if (!failed) {
+    // Survivors the warm-up could not rule out. Spinning the pool up
+    // costs more than a handful of matches, so small survivor sets run
+    // here on the coordinator (CatalogSearchOptions::min_parallel_entries);
+    // results are identical either way because workers re-check the same
+    // strict bound-vs-threshold condition.
+    const bool fan_out = options.num_threads > 1 &&
+                         (options.min_parallel_entries == 0 ||
+                          deferred.size() >= options.min_parallel_entries);
+    ThreadPool::ParallelFor(
+        fan_out ? options.num_threads : 1, deferred.size(), [&](size_t i) {
+          size_t e = deferred[i];
+          // Strict <, as above. The threshold only grows, so a stale
+          // read can only under-prune.
+          if (options.use_prefilter && bounds[e] < shared.Threshold()) {
+            pruned[e] = 1;
+            return;
+          }
+          run_entry(e);
+        });
+  }
 
   for (size_t e = 0; e < count; ++e) {
     if (!errors[e].ok()) {
       return Status(errors[e].code(),
                     StrFormat("searching catalog entry %zu ('%s'): %s", e,
-                              catalog.name(e).c_str(),
+                              view.name(e).c_str(),
                               errors[e].message().c_str()));
     }
   }
@@ -407,6 +574,38 @@ Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
     out.ranked.resize(options.k);
   }
   return out;
+}
+
+namespace {
+
+class GraphCatalogView final : public CatalogEntryView {
+ public:
+  explicit GraphCatalogView(const GraphCatalog& catalog) : catalog_(catalog) {}
+  size_t count() const override { return catalog_.size(); }
+  size_t width(size_t entry) const override {
+    return catalog_.graph(entry).size();
+  }
+  const std::string& name(size_t entry) const override {
+    return catalog_.name(entry);
+  }
+  const GraphSignature& signature(size_t entry) const override {
+    return catalog_.signature(entry);
+  }
+  Result<const DependencyGraph*> graph(size_t entry) const override {
+    return &catalog_.graph(entry);
+  }
+
+ private:
+  const GraphCatalog& catalog_;
+};
+
+}  // namespace
+
+Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
+                                          const GraphCatalog& catalog,
+                                          const CatalogSearchOptions& options) {
+  GraphCatalogView view(catalog);
+  return SearchCatalogView(query, view, catalog.index(), options);
 }
 
 }  // namespace depmatch

@@ -19,10 +19,21 @@
 //     entry, from signatures alone — entries whose bound falls below
 //     the running top-k threshold are skipped without ever running a
 //     search backend;
-//   * SearchCatalog(): fans the surviving candidates across the
-//     ThreadPool (one full GraphMatch per entry), maintains a shared
-//     atomic score threshold for cross-entry pruning, and returns a
-//     deterministic top-k ranking — bit-identical at any thread count.
+//   * a tiered index (core/catalog_index.h): BuildIndex() clusters the
+//     entries into a balanced signature-space tree whose per-node
+//     envelope bound dominates every member's entry bound, so the
+//     search prunes whole subtrees with one evaluation and the number
+//     of bound evaluations per query grows sublinearly in the corpus;
+//   * SearchCatalog(): best-first descent over the index (or a sorted
+//     flat pass without one), a serial warm-up that establishes the
+//     top-k threshold before fanning surviving candidates across the
+//     ThreadPool, and a shared atomic score threshold for cross-entry
+//     pruning — returning a deterministic top-k ranking that is
+//     bit-identical at any thread count, with or without the index.
+//
+// The 100K-entry, open-without-loading-graphs shape of the same catalog
+// lives in core/sharded_store.h; both front ends share this module's
+// search core through the CatalogEntryView interface below.
 //
 // Ranking key: a single higher-is-better number comparable across
 // entries of one search. For the maximized (normal) metrics it is the
@@ -32,24 +43,27 @@
 // metrics, n for entropy-only ones), so thresholds read the same
 // regardless of schema width.
 //
-// Determinism under pruning: an entry is skipped only when its
-// admissible bound is strictly below the running threshold, and the
-// threshold is always the k-th best key of fully evaluated entries —
-// so every skipped entry's achievable key is strictly below the final
-// k-th best and the top-k set (ties broken by entry index) is
-// identical to the brute-force all-pairs ranking at every thread
-// count. Only the CatalogSearchStats counters depend on scheduling.
+// Determinism under pruning: an entry (or a whole subtree) is skipped
+// only when its admissible bound is strictly below the running
+// threshold, and the threshold is always the k-th best key of fully
+// evaluated entries — so every skipped entry's achievable key is
+// strictly below the final k-th best and the top-k set (ties broken by
+// entry index) is identical to the brute-force all-pairs ranking at
+// every thread count. Only the CatalogSearchStats counters depend on
+// scheduling.
 
 #ifndef DEPMATCH_CORE_GRAPH_CATALOG_H_
 #define DEPMATCH_CORE_GRAPH_CATALOG_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "depmatch/common/status.h"
+#include "depmatch/core/catalog_index.h"
 #include "depmatch/graph/dependency_graph.h"
 #include "depmatch/match/graph_signature.h"
 #include "depmatch/match/matcher.h"
@@ -63,7 +77,8 @@ class GraphCatalog {
   GraphCatalog() = default;
 
   // Adds a named graph; the node signature is computed here, once.
-  // Fails with AlreadyExists on a duplicate name.
+  // Fails with AlreadyExists on a duplicate name. Invalidates a
+  // previously built tiered index.
   Status Insert(std::string name, DependencyGraph graph);
 
   size_t size() const { return names_.size(); }
@@ -75,11 +90,21 @@ class GraphCatalog {
   // Entry index for `name`, or NotFound.
   Result<size_t> Find(std::string_view name) const;
 
+  // (Re)builds the tiered index over the current entries. O(N log N)
+  // and deterministic; SearchCatalog uses it automatically when present
+  // (CatalogSearchOptions::use_index).
+  void BuildIndex(const CatalogIndexOptions& options = {});
+  // The built index, or nullptr if absent / invalidated by Insert.
+  const CatalogTieredIndex* index() const {
+    return index_.has_value() ? &*index_ : nullptr;
+  }
+
   // Versioned binary catalog file: a checksummed envelope of per-entry
   // (name, graph blob) records, each blob itself checksummed
   // (graph/graph_io.h). Load rebuilds signatures, so a loaded catalog
   // is indistinguishable from one built by repeated Insert calls with
-  // bit-identical graphs.
+  // bit-identical graphs. (For corpora where loading every graph up
+  // front is too expensive, see core/sharded_store.h.)
   Status Save(const std::string& path) const;
   static Result<GraphCatalog> Load(const std::string& path);
 
@@ -87,7 +112,8 @@ class GraphCatalog {
   std::vector<std::string> names_;
   std::vector<DependencyGraph> graphs_;
   std::vector<GraphSignature> signatures_;
-  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+  std::optional<CatalogTieredIndex> index_;
 };
 
 struct CatalogSearchOptions {
@@ -102,9 +128,20 @@ struct CatalogSearchOptions {
   // GraphMatch per compatible entry (the brute-force baseline); results
   // are identical either way.
   bool use_prefilter = true;
+  // Descend the catalog's tiered index when one has been built
+  // (GraphCatalog::BuildIndex). Requires use_prefilter; results are
+  // identical with or without it — the index only changes how many
+  // bound evaluations the search performs.
+  bool use_index = true;
   // Worker threads for the catalog-level fan-out (1 = serial). The
   // returned ranking is bit-identical at any value.
   size_t num_threads = 1;
+  // With num_threads > 1, the search still runs serially when fewer
+  // than this many candidates survive the warm-up threshold: spinning
+  // up the pool costs more than a handful of matches (the small-corpus
+  // regression in BENCH_catalog.json). 0 always fans out. Results are
+  // identical either way.
+  size_t min_parallel_entries = 8;
 };
 
 struct CatalogMatch {
@@ -123,11 +160,18 @@ struct CatalogSearchStats {
   size_t entries_total = 0;
   // Width-incompatible with the requested cardinality (skipped upfront).
   size_t entries_incompatible = 0;
-  // Skipped by the admissible bound vs. the running threshold. NOTE:
-  // scheduling-dependent — do not assert on this across thread counts.
+  // Skipped by an admissible bound vs. the running threshold (counting
+  // every compatible entry of a pruned subtree). NOTE: scheduling-
+  // dependent — do not assert on this across thread counts.
   size_t entries_pruned = 0;
   // Entries that ran a full GraphMatch.
   size_t entries_searched = 0;
+  // Per-entry CatalogEntryBound evaluations. With the tiered index this
+  // grows sublinearly in the corpus size; without it, it is the number
+  // of compatible entries.
+  size_t bound_evaluations = 0;
+  // Tiered-index envelope bound evaluations (0 on the flat path).
+  size_t cluster_bound_evaluations = 0;
 };
 
 struct CatalogSearchResult {
@@ -145,10 +189,41 @@ double CatalogEntryBound(const GraphSignature& query,
                          const GraphSignature& entry, const Metric& metric,
                          Cardinality cardinality);
 
-// Ranks the catalog's entries by their best GraphMatch against `query`.
-// Entries incompatible with options.match.cardinality (one-to-one with
-// a different width, onto with a narrower entry) are skipped. Any
-// search-backend error aborts the whole call with that entry's status.
+// Read-only random access to a corpus of catalog entries: the search
+// core below is written against this interface so the in-memory
+// GraphCatalog and the mmap-backed sharded store (core/sharded_store.h)
+// share one pruning/threshold/fan-out implementation.
+//
+// width() and signature() are called from the coordinating thread
+// only; name() and graph() are called concurrently from pool workers —
+// name() must be a plain const read and graph() must synchronize any
+// lazy materialization internally (the sharded store uses a per-entry
+// once-flag).
+class CatalogEntryView {
+ public:
+  virtual ~CatalogEntryView() = default;
+  virtual size_t count() const = 0;
+  virtual size_t width(size_t entry) const = 0;
+  virtual const std::string& name(size_t entry) const = 0;
+  virtual const GraphSignature& signature(size_t entry) const = 0;
+  // The entry's dependency graph, materializing it if needed. The
+  // pointer must stay valid for the lifetime of the view.
+  virtual Result<const DependencyGraph*> graph(size_t entry) const = 0;
+};
+
+// Ranks the view's entries by their best GraphMatch against `query`,
+// descending `index` when non-null (see CatalogSearchOptions). Entries
+// incompatible with options.match.cardinality (one-to-one with a
+// different width, onto with a narrower entry) are skipped. Any
+// search-backend or materialization error aborts the whole call with
+// that entry's status.
+Result<CatalogSearchResult> SearchCatalogView(const DependencyGraph& query,
+                                              const CatalogEntryView& view,
+                                              const CatalogTieredIndex* index,
+                                              const CatalogSearchOptions& options);
+
+// SearchCatalogView over a GraphCatalog, using its tiered index when
+// built and options.use_index allows.
 Result<CatalogSearchResult> SearchCatalog(const DependencyGraph& query,
                                           const GraphCatalog& catalog,
                                           const CatalogSearchOptions& options);

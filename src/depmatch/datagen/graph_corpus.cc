@@ -1,0 +1,120 @@
+#include "depmatch/datagen/graph_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace {
+
+// Entropy scales of the two populations. Disjoint by a wide margin, so
+// the admissible catalog bound separates unrelated entries from the
+// query's neighborhood the way tables over different domains separate.
+constexpr double kQueryEntropyLo = 1.0;
+constexpr double kQueryEntropyHi = 6.0;
+constexpr double kUnrelatedEntropyLo = 8.0;
+constexpr double kUnrelatedEntropyHi = 14.0;
+
+// Seed salt separating the query stream from every entry stream.
+constexpr uint64_t kQuerySalt = 0xC0FFEE5EEDull;
+// Large odd multiplier spreading entry indices across seed space; the
+// Rng constructor's SplitMix64 finishes the decorrelation.
+constexpr uint64_t kEntryStride = 0x9E3779B97F4A7C15ull;
+
+std::vector<std::string> NodeNames(size_t width) {
+  std::vector<std::string> names;
+  names.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    names.push_back(StrFormat("a%zu", i));
+  }
+  return names;
+}
+
+// Random valid MI matrix: entropies on the diagonal, symmetric
+// non-negative off-diagonals bounded by 0.7 * min of the incident
+// entropies (MI(a;b) <= min(H(a), H(b)), kept away from the ceiling).
+DependencyGraph RandomGraph(Rng& rng, size_t width, double entropy_lo,
+                            double entropy_hi) {
+  std::vector<std::vector<double>> matrix(width,
+                                          std::vector<double>(width, 0.0));
+  for (size_t i = 0; i < width; ++i) {
+    matrix[i][i] = entropy_lo + rng.NextDouble() * (entropy_hi - entropy_lo);
+  }
+  for (size_t i = 0; i < width; ++i) {
+    for (size_t j = i + 1; j < width; ++j) {
+      double ceiling = 0.7 * std::min(matrix[i][i], matrix[j][j]);
+      double mi = rng.NextDouble() * ceiling;
+      matrix[i][j] = mi;
+      matrix[j][i] = mi;
+    }
+  }
+  // Inputs are valid by construction (square, symmetric, non-negative).
+  return DependencyGraph::Create(NodeNames(width), std::move(matrix)).value();
+}
+
+// `base` with every value jittered by a relative amount in
+// [-magnitude, +magnitude], re-clamped to stay a valid MI matrix.
+DependencyGraph Perturb(const DependencyGraph& base, Rng& rng,
+                        double magnitude) {
+  size_t width = base.size();
+  std::vector<std::vector<double>> matrix(width,
+                                          std::vector<double>(width, 0.0));
+  for (size_t i = 0; i < width; ++i) {
+    double jitter = 1.0 + magnitude * (2.0 * rng.NextDouble() - 1.0);
+    matrix[i][i] = std::max(1e-3, base.entropy(i) * jitter);
+  }
+  for (size_t i = 0; i < width; ++i) {
+    for (size_t j = i + 1; j < width; ++j) {
+      double jitter = 1.0 + magnitude * (2.0 * rng.NextDouble() - 1.0);
+      double ceiling = 0.95 * std::min(matrix[i][i], matrix[j][j]);
+      double mi = std::clamp(base.mi(i, j) * jitter, 0.0, ceiling);
+      matrix[i][j] = mi;
+      matrix[j][i] = mi;
+    }
+  }
+  return DependencyGraph::Create(NodeNames(width), std::move(matrix)).value();
+}
+
+}  // namespace
+
+DependencyGraph CorpusQuery(const GraphCorpusOptions& options) {
+  Rng rng(options.seed ^ kQuerySalt);
+  size_t width = std::max<size_t>(1, options.query_width);
+  return RandomGraph(rng, width, kQueryEntropyLo, kQueryEntropyHi);
+}
+
+DependencyGraph CorpusEntry(const GraphCorpusOptions& options, size_t index) {
+  Rng rng(options.seed + kEntryStride * (static_cast<uint64_t>(index) + 1));
+  size_t query_width = std::max<size_t>(1, options.query_width);
+  size_t min_width = std::max<size_t>(1, options.min_width);
+  size_t max_width = std::max(options.max_width, query_width);
+  double band = rng.NextDouble();
+  if (band < options.related_fraction) {
+    DependencyGraph query = CorpusQuery(options);
+    return Perturb(query, rng, options.perturbation);
+  }
+  band -= options.related_fraction;
+  if (band < options.mild_fraction) {
+    DependencyGraph query = CorpusQuery(options);
+    return Perturb(query, rng, 10.0 * options.perturbation);
+  }
+  band -= options.mild_fraction;
+  if (band < options.narrow_fraction && query_width > min_width) {
+    size_t width = min_width + static_cast<size_t>(rng.NextBounded(
+                                   static_cast<uint64_t>(query_width - min_width)));
+    return RandomGraph(rng, width, kQueryEntropyLo, kQueryEntropyHi);
+  }
+  size_t width = query_width + static_cast<size_t>(rng.NextBounded(
+                                   static_cast<uint64_t>(max_width - query_width + 1)));
+  return RandomGraph(rng, width, kUnrelatedEntropyLo, kUnrelatedEntropyHi);
+}
+
+std::string CorpusEntryName(size_t index) {
+  return StrFormat("t%06zu", index);
+}
+
+}  // namespace depmatch

@@ -1,0 +1,67 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Synthetic dependency-graph corpora for catalog-scale benchmarks.
+//
+// The scale bench (bench/bench_catalog_scale.cc) and the ≥10K-entry
+// bit-identity tests need corpora far beyond what BayesNet sampling +
+// Table2DepGraph can generate in reasonable time (~1.4 ms per entry:
+// minutes at 100K). This generator emits DependencyGraph MI matrices
+// directly — plausible entropy diagonals with off-diagonal MI bounded
+// by the incident entropies — in a few microseconds per entry.
+//
+// Entries are banded the way a real table corpus is with respect to one
+// query table:
+//   * related  — the corpus query with a small relative perturbation
+//                (same width; these should win the top-k),
+//   * mild     — the query perturbed an order of magnitude harder,
+//   * narrow   — fewer attributes than the query (incompatible with
+//                one-to-one and onto matching; exercises the width
+//                prefilter),
+//   * unrelated — independent graphs on a disjoint entropy scale (the
+//                bulk; the admissible bound prunes these).
+//
+// Every entry is a pure function of (options, index): CorpusEntry(o, i)
+// never depends on other indices or call order, so corpora can be
+// built incrementally, in parallel, or re-derived entry-by-entry in a
+// test without holding 100K graphs in memory.
+
+#ifndef DEPMATCH_DATAGEN_GRAPH_CORPUS_H_
+#define DEPMATCH_DATAGEN_GRAPH_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "depmatch/graph/dependency_graph.h"
+
+namespace depmatch {
+
+struct GraphCorpusOptions {
+  uint64_t seed = 17;
+  // Width of the corpus query and of the related/mild bands.
+  size_t query_width = 8;
+  // Width range of the narrow and unrelated bands (narrow draws below
+  // query_width, unrelated from [query_width, max_width]).
+  size_t min_width = 4;
+  size_t max_width = 16;
+  // Band fractions (remainder is unrelated).
+  double related_fraction = 0.02;
+  double mild_fraction = 0.08;
+  double narrow_fraction = 0.10;
+  // Relative jitter of the related band; the mild band uses 10x this.
+  double perturbation = 0.03;
+};
+
+// The canonical query graph of the corpus (deterministic in options).
+DependencyGraph CorpusQuery(const GraphCorpusOptions& options);
+
+// Corpus entry `index`, deterministic in (options, index) alone.
+DependencyGraph CorpusEntry(const GraphCorpusOptions& options, size_t index);
+
+// Stable entry name ("t000042") for catalog insertion.
+std::string CorpusEntryName(size_t index);
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_DATAGEN_GRAPH_CORPUS_H_

@@ -34,6 +34,25 @@ GraphSignature::GraphSignature(const DependencyGraph& graph) : n_(graph.size()) 
   }
 }
 
+GraphSignature GraphSignature::FromParts(std::vector<double> entropies,
+                                         std::vector<double> desc) {
+  GraphSignature signature;
+  signature.n_ = entropies.size();
+  signature.entropies_ = std::move(entropies);
+  signature.desc_ = std::move(desc);
+  size_t length = signature.profile_length();
+  signature.asc_.resize(signature.n_ * length);
+  for (size_t i = 0; i < signature.n_; ++i) {
+    // The constructor derives each ascending row by reverse-copying the
+    // descending one, so reversing here reproduces it bit-for-bit —
+    // including the ordering of equal values.
+    const double* row = signature.desc_.data() + i * length;
+    std::reverse_copy(row, row + length,
+                      signature.asc_.data() + i * length);
+  }
+  return signature;
+}
+
 double MiProfileSimilarity(const GraphSignature& a, size_t s,
                            const GraphSignature& b, size_t t) {
   size_t la = a.profile_length();

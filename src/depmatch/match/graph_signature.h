@@ -34,6 +34,16 @@ class GraphSignature {
   GraphSignature() = default;
   explicit GraphSignature(const DependencyGraph& graph);
 
+  // Reassembles a signature from its persisted parts (the sharded
+  // catalog store serializes entropies + descending profiles only; the
+  // ascending copies are derived, so they are rebuilt here instead of
+  // stored). `desc` must hold entropies.size() rows of
+  // (entropies.size() - 1) descending values each, exactly as produced
+  // by GraphSignature(graph) — the result is then bit-identical to
+  // constructing from the original graph.
+  static GraphSignature FromParts(std::vector<double> entropies,
+                                  std::vector<double> desc);
+
   size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
 

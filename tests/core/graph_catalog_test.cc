@@ -303,6 +303,87 @@ TEST(GraphCatalogTest, KLargerThanCatalogReturnsAllCompatible) {
   EXPECT_EQ(result->stats.entries_pruned, 0u);  // never k completed entries
 }
 
+TEST(GraphCatalogTest, SequentialFallbackIsIdenticalToForcedFanOut) {
+  // With fewer surviving candidates than min_parallel_entries the
+  // search must not spin up the pool — and must return exactly what a
+  // forced fan-out (min_parallel_entries = 0) returns.
+  GraphCatalog catalog = MixedCatalog(19, 6);
+  DependencyGraph query = RandomGraph(5, 191);
+  CatalogSearchOptions options;
+  options.k = 3;
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  options.num_threads = 8;
+  options.min_parallel_entries = 1000;  // always fall back to serial
+  auto fallback = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+
+  options.min_parallel_entries = 0;  // always fan out
+  auto fanned = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(fanned.ok()) << fanned.status();
+  ExpectSameRanking(*fallback, *fanned, "sequential fallback");
+
+  options.num_threads = 1;
+  options.min_parallel_entries = 8;
+  auto serial = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ExpectSameRanking(*serial, *fallback, "serial baseline");
+}
+
+TEST(GraphCatalogTest, InsertInvalidatesTheTieredIndex) {
+  GraphCatalog catalog = MixedCatalog(23, 6);
+  EXPECT_EQ(catalog.index(), nullptr);  // never built
+  catalog.BuildIndex();
+  ASSERT_NE(catalog.index(), nullptr);
+  EXPECT_EQ(catalog.index()->num_entries(), catalog.size());
+
+  // A stale index over 6 entries must not be consulted for 7.
+  ASSERT_TRUE(catalog.Insert("late", RandomGraph(5, 2323)).ok());
+  EXPECT_EQ(catalog.index(), nullptr);
+
+  // Search still works (flat prefilter) and sees the new entry.
+  DependencyGraph query = RandomGraph(5, 2324);
+  CatalogSearchOptions options;
+  options.k = catalog.size();
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  auto result = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.entries_total, catalog.size());
+  EXPECT_EQ(result->stats.cluster_bound_evaluations, 0u);
+
+  // Rebuilding restores indexed search, bit-identically.
+  catalog.BuildIndex();
+  ASSERT_NE(catalog.index(), nullptr);
+  auto indexed = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  ExpectSameRanking(*result, *indexed, "rebuilt index");
+}
+
+TEST(GraphCatalogTest, BuildIndexOnEmptyAndSingleEntryCatalogs) {
+  GraphCatalog empty;
+  empty.BuildIndex();
+  // An empty tree is represented as "no index"; search stays valid.
+  DependencyGraph query = RandomGraph(4, 404);
+  CatalogSearchOptions options;
+  options.k = 2;
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  auto none = SearchCatalog(query, empty, options);
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_TRUE(none->ranked.empty());
+
+  GraphCatalog single;
+  ASSERT_TRUE(single.Insert("only", RandomGraph(4, 405)).ok());
+  single.BuildIndex();
+  ASSERT_NE(single.index(), nullptr);
+  EXPECT_EQ(single.index()->num_entries(), 1u);
+  auto one = SearchCatalog(query, single, options);
+  ASSERT_TRUE(one.ok()) << one.status();
+  ASSERT_EQ(one->ranked.size(), 1u);
+  EXPECT_EQ(one->ranked[0].name, "only");
+}
+
 TEST(GraphCatalogTest, SearchValidation) {
   GraphCatalog catalog = MixedCatalog(17, 3);
   DependencyGraph query = RandomGraph(4, 171);

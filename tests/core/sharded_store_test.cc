@@ -1,0 +1,331 @@
+#include "depmatch/core/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/core/graph_catalog.h"
+#include "depmatch/graph/dependency_graph.h"
+#include "depmatch/graph/graph_io.h"
+#include "depmatch/match/graph_signature.h"
+
+namespace depmatch {
+namespace {
+
+DependencyGraph RandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("a" + std::to_string(i));
+    m[i][i] = 0.5 + rng.NextDouble() * 6.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = rng.NextDouble() * std::min(m[i][i], m[j][j]) * 0.7;
+      m[i][j] = v;
+      m[j][i] = v;
+    }
+  }
+  auto g = DependencyGraph::Create(std::move(names), std::move(m));
+  EXPECT_TRUE(g.ok());
+  return g.value();
+}
+
+GraphCatalog MixedCatalog(uint64_t seed, size_t entries) {
+  GraphCatalog catalog;
+  for (size_t e = 0; e < entries; ++e) {
+    size_t width = 4 + e % 3;  // 4, 5, 6
+    EXPECT_TRUE(catalog
+                    .Insert("entry" + std::to_string(e),
+                            RandomGraph(width, seed * 100 + e))
+                    .ok());
+  }
+  return catalog;
+}
+
+void ExpectSameRanking(const CatalogSearchResult& base,
+                       const CatalogSearchResult& other, const char* what) {
+  ASSERT_EQ(other.ranked.size(), base.ranked.size()) << what;
+  for (size_t i = 0; i < base.ranked.size(); ++i) {
+    EXPECT_EQ(other.ranked[i].entry, base.ranked[i].entry) << what << " #" << i;
+    EXPECT_EQ(other.ranked[i].name, base.ranked[i].name) << what << " #" << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(other.ranked[i].ranking_key),
+              std::bit_cast<uint64_t>(base.ranked[i].ranking_key))
+        << what << " #" << i;
+    EXPECT_EQ(other.ranked[i].match.pairs, base.ranked[i].match.pairs)
+        << what << " #" << i;
+  }
+}
+
+void ExpectGraphsBitIdentical(const DependencyGraph& a,
+                              const DependencyGraph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.name(i), b.name(i));
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(a.mi(i, j)),
+                std::bit_cast<uint64_t>(b.mi(i, j)));
+    }
+  }
+}
+
+void ExpectSignaturesBitIdentical(const GraphSignature& a,
+                                  const GraphSignature& b) {
+  ASSERT_EQ(a.size(), b.size());
+  size_t length = a.profile_length();
+  ASSERT_EQ(b.profile_length(), length);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.entropy(i)),
+              std::bit_cast<uint64_t>(b.entropy(i)));
+    for (size_t j = 0; j < length; ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(a.ProfileDesc(i)[j]),
+                std::bit_cast<uint64_t>(b.ProfileDesc(i)[j]));
+      EXPECT_EQ(std::bit_cast<uint64_t>(a.ProfileAsc(i)[j]),
+                std::bit_cast<uint64_t>(b.ProfileAsc(i)[j]));
+    }
+  }
+}
+
+// True iff the store at `dir` is rejected at some stage of its lazy
+// lifecycle: Open (header), EnsureMetadata (section checksums and
+// offset validation), or graph materialization (segment checksums).
+bool StoreRejects(const std::string& dir) {
+  auto store = ShardedCatalogStore::Open(dir);
+  if (!store.ok()) return true;
+  if (!store->EnsureMetadata().ok()) return true;
+  for (size_t e = 0; e < store->size(); ++e) {
+    if (!store->graph(e).ok()) return true;
+  }
+  return false;
+}
+
+CatalogSearchOptions DefaultSearch() {
+  CatalogSearchOptions options;
+  options.k = 4;
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  return options;
+}
+
+TEST(ShardedStoreTest, RoundTripIsBitIdenticalIncludingTheIndex) {
+  GraphCatalog catalog = MixedCatalog(21, 9);
+  catalog.BuildIndex();
+  ASSERT_NE(catalog.index(), nullptr);
+  std::string dir = testing::TempDir() + "/sharded_roundtrip";
+  ShardedStoreWriteOptions write;
+  write.entries_per_segment = 2;  // force entries across shard boundaries
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir, write).ok());
+
+  auto store = ShardedCatalogStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), catalog.size());
+  EXPECT_EQ(store->num_segments(), (catalog.size() + 1) / 2);
+  ASSERT_TRUE(store->EnsureMetadata().ok());
+
+  // The persisted tiered index round-trips structurally.
+  const CatalogTieredIndex* stored_index = store->index();
+  ASSERT_NE(stored_index, nullptr);
+  EXPECT_EQ(stored_index->num_entries(), catalog.index()->num_entries());
+  EXPECT_EQ(stored_index->num_nodes(), catalog.index()->num_nodes());
+  EXPECT_EQ(stored_index->entry_order(), catalog.index()->entry_order());
+
+  for (size_t e = 0; e < catalog.size(); ++e) {
+    EXPECT_EQ(store->name(e), catalog.name(e));
+    EXPECT_EQ(store->width(e), catalog.graph(e).size());
+    ExpectSignaturesBitIdentical(store->signature(e), catalog.signature(e));
+    auto graph = store->graph(e);
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    ExpectGraphsBitIdentical(**graph, catalog.graph(e));
+  }
+
+  // A search through the store is indistinguishable from the in-memory
+  // catalog, at every thread count.
+  DependencyGraph query = RandomGraph(5, 2121);
+  CatalogSearchOptions options = DefaultSearch();
+  auto mem = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    auto sharded = SearchShardedCatalog(query, *store, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ExpectSameRanking(*mem, *sharded, "sharded search");
+  }
+}
+
+TEST(ShardedStoreTest, WriteWithoutIndexOpensWithoutIndex) {
+  GraphCatalog catalog = MixedCatalog(33, 5);  // no BuildIndex call
+  std::string dir = testing::TempDir() + "/sharded_no_index";
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir).ok());
+  auto store = ShardedCatalogStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->EnsureMetadata().ok());
+  EXPECT_EQ(store->index(), nullptr);
+
+  // Search falls back to the flat prefilter and still matches memory.
+  DependencyGraph query = RandomGraph(5, 3333);
+  auto mem = SearchCatalog(query, catalog, DefaultSearch());
+  auto sharded = SearchShardedCatalog(query, *store, DefaultSearch());
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ExpectSameRanking(*mem, *sharded, "flat sharded search");
+}
+
+TEST(ShardedStoreTest, EmptyCatalogRoundTrips) {
+  GraphCatalog catalog;
+  std::string dir = testing::TempDir() + "/sharded_empty";
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir).ok());
+  auto store = ShardedCatalogStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), 0u);
+  EXPECT_EQ(store->num_segments(), 0u);
+  ASSERT_TRUE(store->EnsureMetadata().ok());
+  EXPECT_EQ(store->index(), nullptr);
+
+  DependencyGraph query = RandomGraph(4, 4444);
+  auto result = SearchShardedCatalog(query, *store, DefaultSearch());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->ranked.empty());
+  EXPECT_EQ(result->stats.entries_total, 0u);
+}
+
+TEST(ShardedStoreTest, SingleEntryStore) {
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.Insert("only", RandomGraph(5, 5150)).ok());
+  catalog.BuildIndex();
+  std::string dir = testing::TempDir() + "/sharded_single";
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir).ok());
+  auto store = ShardedCatalogStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_EQ(store->num_segments(), 1u);
+  ASSERT_TRUE(store->EnsureMetadata().ok());
+  EXPECT_EQ(store->name(0), "only");
+
+  DependencyGraph query = RandomGraph(5, 5151);
+  auto mem = SearchCatalog(query, catalog, DefaultSearch());
+  auto sharded = SearchShardedCatalog(query, *store, DefaultSearch());
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_EQ(sharded->ranked.size(), 1u);
+  ExpectSameRanking(*mem, *sharded, "single entry");
+}
+
+TEST(ShardedStoreTest, DuplicateSignatureEntriesAcrossShards) {
+  // The same graph under different names lands in different segment
+  // files (one entry per segment); ties must resolve by entry index,
+  // identically to the in-memory catalog.
+  GraphCatalog catalog;
+  DependencyGraph twin = RandomGraph(5, 616);
+  ASSERT_TRUE(catalog.Insert("twin_b", twin).ok());
+  ASSERT_TRUE(catalog.Insert("other", RandomGraph(5, 617)).ok());
+  ASSERT_TRUE(catalog.Insert("twin_a", twin).ok());
+  catalog.BuildIndex();
+  std::string dir = testing::TempDir() + "/sharded_twins";
+  ShardedStoreWriteOptions write;
+  write.entries_per_segment = 1;
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir, write).ok());
+  auto store = ShardedCatalogStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->num_segments(), 3u);
+
+  CatalogSearchOptions options = DefaultSearch();
+  options.k = 3;
+  DependencyGraph query = twin;  // both twins score identically
+  auto mem = SearchCatalog(query, catalog, options);
+  auto sharded = SearchShardedCatalog(query, *store, options);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_EQ(sharded->ranked.size(), 3u);
+  ExpectSameRanking(*mem, *sharded, "duplicate signatures");
+  // The tie between the twins broke by insertion index.
+  EXPECT_EQ(sharded->ranked[0].entry, 0u);
+  EXPECT_EQ(sharded->ranked[0].name, "twin_b");
+  EXPECT_EQ(sharded->ranked[1].entry, 2u);
+  EXPECT_EQ(sharded->ranked[1].name, "twin_a");
+  EXPECT_EQ(std::bit_cast<uint64_t>(sharded->ranked[0].ranking_key),
+            std::bit_cast<uint64_t>(sharded->ranked[1].ranking_key));
+}
+
+TEST(ShardedStoreTest, OpenRejectsMissingAndForeignFiles) {
+  EXPECT_FALSE(ShardedCatalogStore::Open(testing::TempDir() + "/no_such_dir")
+                   .ok());
+  // A directory whose manifest is a different format entirely.
+  std::string dir = testing::TempDir() + "/sharded_foreign";
+  GraphCatalog catalog = MixedCatalog(71, 2);
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir).ok());
+  ASSERT_TRUE(catalog.Save(dir + "/MANIFEST.dms").ok());  // overwrite: DMC1
+  EXPECT_TRUE(StoreRejects(dir));
+}
+
+TEST(ShardedStoreTest, EveryManifestCorruptionIsDetected) {
+  GraphCatalog catalog = MixedCatalog(55, 4);
+  catalog.BuildIndex();
+  std::string dir = testing::TempDir() + "/sharded_corrupt_manifest";
+  ShardedStoreWriteOptions write;
+  write.entries_per_segment = 2;
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir, write).ok());
+  std::string manifest_path = dir + "/MANIFEST.dms";
+  std::string bytes;
+  ASSERT_TRUE(graphio::ReadFileToString(manifest_path, &bytes).ok());
+
+  // Every single-byte flip across the whole manifest — header, entry
+  // table, name heap, signature heap, index, segment table — must be
+  // caught (every byte is covered by exactly one checksum).
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5A);
+    ASSERT_TRUE(graphio::WriteStringToFile(manifest_path, corrupted).ok());
+    EXPECT_TRUE(StoreRejects(dir)) << "manifest flip at byte " << i;
+  }
+  // Every truncation too.
+  for (size_t keep = 0; keep < bytes.size(); keep += 3) {
+    ASSERT_TRUE(
+        graphio::WriteStringToFile(manifest_path, bytes.substr(0, keep)).ok());
+    EXPECT_TRUE(StoreRejects(dir)) << "manifest truncated to " << keep;
+  }
+  // Restoring the original bytes restores a fully working store.
+  ASSERT_TRUE(graphio::WriteStringToFile(manifest_path, bytes).ok());
+  EXPECT_FALSE(StoreRejects(dir));
+}
+
+TEST(ShardedStoreTest, EverySegmentCorruptionIsDetected) {
+  GraphCatalog catalog = MixedCatalog(56, 4);
+  std::string dir = testing::TempDir() + "/sharded_corrupt_segment";
+  ShardedStoreWriteOptions write;
+  write.entries_per_segment = 2;
+  ASSERT_TRUE(WriteShardedCatalog(catalog, dir, write).ok());
+  for (size_t segment = 0; segment < 2; ++segment) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/segment-%05zu.seg", segment);
+    std::string path = dir + name;
+    std::string bytes;
+    ASSERT_TRUE(graphio::ReadFileToString(path, &bytes).ok());
+    for (size_t i = 0; i < bytes.size(); i += 5) {
+      std::string corrupted = bytes;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5A);
+      ASSERT_TRUE(graphio::WriteStringToFile(path, corrupted).ok());
+      EXPECT_TRUE(StoreRejects(dir))
+          << "segment " << segment << " flip at byte " << i;
+    }
+    for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+      ASSERT_TRUE(
+          graphio::WriteStringToFile(path, bytes.substr(0, keep)).ok());
+      EXPECT_TRUE(StoreRejects(dir))
+          << "segment " << segment << " truncated to " << keep;
+    }
+    // Deleting the segment outright is caught on first touch.
+    ASSERT_EQ(std::remove(path.c_str()), 0);
+    EXPECT_TRUE(StoreRejects(dir)) << "segment " << segment << " missing";
+    ASSERT_TRUE(graphio::WriteStringToFile(path, bytes).ok());
+  }
+  EXPECT_FALSE(StoreRejects(dir));
+}
+
+}  // namespace
+}  // namespace depmatch

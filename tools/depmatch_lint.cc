@@ -489,8 +489,10 @@ class Linter {
         "src/depmatch/match/exhaustive_matcher.cc",
         "src/depmatch/match/graph_signature.cc",
         "src/depmatch/graph/graph_io.cc",
+        "src/depmatch/core/catalog_index.cc",
         "src/depmatch/core/graph_catalog.cc",
         "src/depmatch/core/multi_match.cc",
+        "src/depmatch/core/sharded_store.cc",
     };
     for (const char* rel : kRequired) {
       fs::path p = root_ / rel;

@@ -7,11 +7,14 @@
 #                            materialization vs encoded views + StatCache
 #   BENCH_catalog.json       catalog top-k search: signature prefilter +
 #                            parallel fan-out vs brute-force all-pairs
+#   BENCH_catalog_scale.json tiered index + sharded store at 1K/10K/100K
+#                            entries: open/search latency, prune rates
 #
 # Usage: tools/run_bench.sh [build_dir]
 #   build_dir        defaults to <repo>/build
 #   DEPMATCH_BENCH_REPS   repetitions per data point (defaults: 5 for
-#                         graph_build, 3 for the others)
+#                         graph_build, 9 for catalog_scale, 3 for the
+#                         others)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,8 +22,9 @@ BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_graph_build bench_match_search \
-  bench_pipeline bench_catalog
+  bench_pipeline bench_catalog bench_catalog_scale
 "$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
 "$BUILD/bench/bench_match_search" "$ROOT/BENCH_match_search.json"
 "$BUILD/bench/bench_pipeline" "$ROOT/BENCH_pipeline.json"
 "$BUILD/bench/bench_catalog" "$ROOT/BENCH_catalog.json"
+"$BUILD/bench/bench_catalog_scale" "$ROOT/BENCH_catalog_scale.json"
