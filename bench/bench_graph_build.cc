@@ -6,17 +6,25 @@
 // (default: BENCH_graph_build.json, overridable as argv[1]) so the perf
 // trajectory of the pairwise-statistics hot path is tracked PR over PR.
 //
-// Three modes per configuration:
-//   * dense     — the default kernel selection (dense flat-matrix counting
+// Modes per configuration:
+//   * dense     — the default kernel selection (dense strategy dispatch
 //                 wherever the cell budget allows)
-//   * sparse    — dense_cell_budget = 0, forcing the hash-map fallback
+//   * scalar    — JointKernelDispatch::kScalar: the legacy single-lane
+//                 loops, so the vectorized-vs-scalar gain is visible
+//   * sparse    — dense_cell_budget = 0, forcing the sparse fallback
+//   * sketch    — dense_cell_budget = 0 + SketchMode::kCountMin, pushing
+//                 every pair through the count-min tier (the throughput
+//                 ceiling of the approximate path); high-cardinality
+//                 configs only
 //   * seed_ref  — a faithful replica of the original per-pair path (one
 //                 JointHistogram hash map per pair, marginals recomputed
 //                 per pair), kept here as the fixed baseline the speedups
 //                 are measured against
 //
-// The bench also asserts that dense and sparse builds produce identical
-// dependency graphs (exact double equality) before reporting.
+// The bench also asserts that dense, scalar, and sparse builds produce
+// identical dependency graphs (exact double equality) before reporting,
+// and measures the sketch tier's accuracy (MI deltas and thresholded-edge
+// precision/recall vs exact) on the Figure-9 sample-size sweep fixtures.
 //
 //   DEPMATCH_BENCH_REPS  repetitions per data point (default 5)
 
@@ -26,15 +34,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <functional>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include <unistd.h>
-
+#include "bench_util.h"
 #include "depmatch/common/logging.h"
 #include "depmatch/common/string_util.h"
 #include "depmatch/common/thread_pool.h"
@@ -42,6 +47,7 @@
 #include "depmatch/graph/graph_builder.h"
 #include "depmatch/stats/entropy.h"
 #include "depmatch/stats/histogram.h"
+#include "depmatch/stats/joint_sketch.h"
 
 namespace depmatch {
 namespace {
@@ -136,6 +142,13 @@ Sample Measure(const Table& table, const Config& config,
   DependencyGraphOptions options;
   options.num_threads = config.threads;
   if (mode == "sparse") options.stats.dense_cell_budget = 0;
+  if (mode == "scalar") {
+    options.stats.dispatch = JointKernelDispatch::kScalar;
+  }
+  if (mode == "sketch") {
+    options.stats.dense_cell_budget = 0;
+    options.stats.sketch_mode = SketchMode::kCountMin;
+  }
 
   Sample sample{config, mode, reps, 1e300, 0.0};
   for (size_t rep = 0; rep < reps; ++rep) {
@@ -155,7 +168,7 @@ Sample Measure(const Table& table, const Config& config,
   return sample;
 }
 
-// Exact graph comparison: the dense and sparse kernels must agree
+// Exact graph comparison: every exact kernel/strategy must agree
 // bit-for-bit.
 bool GraphsIdentical(const DependencyGraph& a, const DependencyGraph& b) {
   if (a.size() != b.size()) return false;
@@ -167,19 +180,74 @@ bool GraphsIdentical(const DependencyGraph& a, const DependencyGraph& b) {
   return true;
 }
 
-std::string IsoTimestampUtc() {
-  std::time_t now = std::time(nullptr);
-  char buffer[32];
-  std::tm utc;
-  gmtime_r(&now, &utc);
-  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  return buffer;
-}
+// The committed alphabet-4096 dense minimum before the kernel rework;
+// the acceptance bar for the rework is >= 2x below this.
+constexpr double kAlphabet4096BaselineMinMs = 428.335;
 
-std::string HostName() {
-  char buffer[256] = {0};
-  if (gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
-  return buffer;
+// Sketch-vs-exact accuracy on one Figure-9 sweep fixture: MI deltas over
+// all pairs, plus precision/recall of the "strong edge" set (edges with
+// MI >= 20% of the strongest exact edge) when every pair is pushed
+// through the sketch tier.
+struct SketchAccuracy {
+  const char* dataset;
+  size_t rows;
+  double max_abs_mi_delta = 0.0;
+  double mean_abs_mi_delta = 0.0;
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+SketchAccuracy MeasureSketchAccuracy(const char* dataset, const Table& table,
+                                     size_t rows) {
+  DependencyGraphOptions exact_options;
+  exact_options.num_threads = 1;
+  DependencyGraphOptions sketch_options = exact_options;
+  sketch_options.stats.dense_cell_budget = 0;
+  sketch_options.stats.sketch_mode = SketchMode::kCountMin;
+
+  DependencyGraph exact = BuildDependencyGraph(table, exact_options).value();
+  DependencyGraph approx =
+      BuildDependencyGraph(table, sketch_options).value();
+  DEPMATCH_CHECK_EQ(exact.size(), approx.size());
+
+  SketchAccuracy acc{dataset, rows, 0.0, 0.0, 1.0, 1.0};
+  size_t n = exact.size();
+  size_t pairs = 0;
+  double sum_delta = 0.0;
+  double max_exact = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double delta = std::fabs(exact.mi(i, j) - approx.mi(i, j));
+      acc.max_abs_mi_delta = std::max(acc.max_abs_mi_delta, delta);
+      sum_delta += delta;
+      max_exact = std::max(max_exact, exact.mi(i, j));
+      ++pairs;
+    }
+  }
+  if (pairs > 0) acc.mean_abs_mi_delta = sum_delta / static_cast<double>(pairs);
+
+  double tau = 0.2 * max_exact;
+  size_t true_positive = 0, exact_positive = 0, approx_positive = 0;
+  if (tau > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        bool in_exact = exact.mi(i, j) >= tau;
+        bool in_approx = approx.mi(i, j) >= tau;
+        exact_positive += in_exact ? 1 : 0;
+        approx_positive += in_approx ? 1 : 0;
+        true_positive += (in_exact && in_approx) ? 1 : 0;
+      }
+    }
+  }
+  if (approx_positive > 0) {
+    acc.precision = static_cast<double>(true_positive) /
+                    static_cast<double>(approx_positive);
+  }
+  if (exact_positive > 0) {
+    acc.recall = static_cast<double>(true_positive) /
+                 static_cast<double>(exact_positive);
+  }
+  return acc;
 }
 
 int Run(const std::string& output_path) {
@@ -191,51 +259,69 @@ int Run(const std::string& output_path) {
     }
   }
 
-  // Row-count sweep, arity sweep, thread sweep (on the headline shape),
-  // and one high-cardinality shape that exceeds the default cell budget
-  // so the sparse fallback is what "dense" mode actually exercises there.
+  // Row-count sweep, arity sweep, thread sweeps on the two headline
+  // shapes (alphabet 32 and the high-cardinality alphabet 4096, whose
+  // matrices exceed the static cell budget and exercise the auto-raised
+  // dense strategies).
   const std::vector<Config> configs = {
-      {1000, 30, 32, 1},    {10000, 10, 32, 1},  {10000, 30, 32, 1},
-      {50000, 30, 32, 1},   {10000, 30, 32, 2},  {10000, 30, 32, 4},
-      {10000, 30, 32, 8},   {10000, 30, 4096, 1},
+      {1000, 30, 32, 1},    {10000, 10, 32, 1},   {10000, 30, 32, 1},
+      {50000, 30, 32, 1},   {10000, 30, 32, 2},   {10000, 30, 32, 4},
+      {10000, 30, 32, 8},   {10000, 30, 4096, 1}, {10000, 30, 4096, 2},
+      {10000, 30, 4096, 4}, {10000, 30, 4096, 8},
   };
 
   std::vector<Sample> samples;
   bool all_identical = true;
   double headline_seed_ms = 0.0;
   double headline_dense_ms = 0.0;
+  double headline4096_dense_ms = 0.0;
 
   for (const Config& config : configs) {
     Table table = MakeTable(config.rows, config.attrs, config.alphabet);
 
-    // Correctness gate first: dense and sparse builds must be identical.
+    // Correctness gate first: dense (auto dispatch), scalar, and sparse
+    // builds must all be bit-identical.
     DependencyGraphOptions dense_options;
     dense_options.num_threads = config.threads;
+    DependencyGraphOptions scalar_options = dense_options;
+    scalar_options.stats.dispatch = JointKernelDispatch::kScalar;
     DependencyGraphOptions sparse_options = dense_options;
     sparse_options.stats.dense_cell_budget = 0;
     Result<DependencyGraph> dense_graph =
         BuildDependencyGraph(table, dense_options);
+    Result<DependencyGraph> scalar_graph =
+        BuildDependencyGraph(table, scalar_options);
     Result<DependencyGraph> sparse_graph =
         BuildDependencyGraph(table, sparse_options);
     DEPMATCH_CHECK(dense_graph.ok());
+    DEPMATCH_CHECK(scalar_graph.ok());
     DEPMATCH_CHECK(sparse_graph.ok());
-    if (!GraphsIdentical(dense_graph.value(), sparse_graph.value())) {
+    if (!GraphsIdentical(dense_graph.value(), scalar_graph.value()) ||
+        !GraphsIdentical(dense_graph.value(), sparse_graph.value())) {
       all_identical = false;
     }
 
-    for (const char* mode : {"dense", "sparse", "seed_ref"}) {
+    for (const char* mode :
+         {"dense", "scalar", "sparse", "sketch", "seed_ref"}) {
       // The seed replica is serial; measuring it under a thread sweep
-      // would time a different implementation than the seed shipped.
+      // would time a different implementation than the seed shipped. The
+      // sketch tier targets high-cardinality pairs, so it is only timed
+      // where they occur.
       if (std::string(mode) == "seed_ref" && config.threads != 1) continue;
+      if (std::string(mode) == "sketch" && config.alphabet < 4096) continue;
       Sample sample = Measure(table, config, mode, reps);
       std::printf("rows=%-6zu attrs=%-3zu alphabet=%-5zu threads=%zu "
                   "%-8s min %8.2f ms   mean %8.2f ms\n",
                   config.rows, config.attrs, config.alphabet, config.threads,
                   mode, sample.min_ms, sample.mean_ms);
       if (config.rows == 10000 && config.attrs == 30 &&
-          config.alphabet == 32 && config.threads == 1) {
-        if (sample.mode == "seed_ref") headline_seed_ms = sample.min_ms;
-        if (sample.mode == "dense") headline_dense_ms = sample.min_ms;
+          config.threads == 1) {
+        if (config.alphabet == 32) {
+          if (sample.mode == "seed_ref") headline_seed_ms = sample.min_ms;
+          if (sample.mode == "dense") headline_dense_ms = sample.min_ms;
+        } else if (config.alphabet == 4096 && sample.mode == "dense") {
+          headline4096_dense_ms = sample.min_ms;
+        }
       }
       samples.push_back(std::move(sample));
     }
@@ -243,11 +329,41 @@ int Run(const std::string& output_path) {
 
   double headline_speedup =
       (headline_dense_ms > 0.0) ? headline_seed_ms / headline_dense_ms : 0.0;
+  double headline4096_speedup =
+      (headline4096_dense_ms > 0.0)
+          ? kAlphabet4096BaselineMinMs / headline4096_dense_ms
+          : 0.0;
   std::printf("\nheadline (10K rows x 30 attrs, alphabet 32, 1 thread): "
               "seed %.2f ms -> dense %.2f ms = %.2fx speedup\n",
               headline_seed_ms, headline_dense_ms, headline_speedup);
-  std::printf("dense/sparse graphs identical: %s\n",
+  std::printf("headline (10K rows x 30 attrs, alphabet 4096, 1 thread): "
+              "committed baseline %.2f ms -> dense %.2f ms = %.2fx\n",
+              kAlphabet4096BaselineMinMs, headline4096_dense_ms,
+              headline4096_speedup);
+  std::printf("dense/scalar/sparse graphs identical: %s\n",
               all_identical ? "true" : "false");
+
+  // Sketch-tier accuracy on the Figure-9 sample-size sweep (lab exam and
+  // census fixtures at 1K/5K/10K tuples), with every pair forced through
+  // the sketch so the deltas measure the tier itself, not its gating.
+  const SketchParams sketch_params = SketchParams::FromBounds(
+      StatsOptions{}.sketch_epsilon, StatsOptions{}.sketch_delta);
+  std::vector<SketchAccuracy> accuracy;
+  for (size_t rows : {size_t{1000}, size_t{5000}, size_t{10000}}) {
+    accuracy.push_back(MeasureSketchAccuracy(
+        "lab_exam", benchutil::BuildLabTables(rows, 7).t1, rows));
+    accuracy.push_back(MeasureSketchAccuracy(
+        "census", benchutil::BuildCensusTables(rows, 7).t1, rows));
+  }
+  std::printf("\nsketch accuracy (eps=%.4f del=%.3f -> width=%u depth=%u)\n",
+              StatsOptions{}.sketch_epsilon, StatsOptions{}.sketch_delta,
+              sketch_params.width, sketch_params.depth);
+  for (const SketchAccuracy& acc : accuracy) {
+    std::printf("  %-9s rows=%-6zu max|dMI| %.5f  mean|dMI| %.6f  "
+                "precision %.3f  recall %.3f\n",
+                acc.dataset, acc.rows, acc.max_abs_mi_delta,
+                acc.mean_abs_mi_delta, acc.precision, acc.recall);
+  }
 
   std::FILE* out = std::fopen(output_path.c_str(), "w");
   if (out == nullptr) {
@@ -257,18 +373,10 @@ int Run(const std::string& output_path) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"graph_build\",\n");
   std::fprintf(out, "  \"timestamp_utc\": \"%s\",\n",
-               IsoTimestampUtc().c_str());
-  std::fprintf(out, "  \"machine\": {\n");
-  std::fprintf(out, "    \"hostname\": \"%s\",\n", HostName().c_str());
-  std::fprintf(out, "    \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "    \"compiler\": \"%s\",\n", __VERSION__);
-#ifdef NDEBUG
-  std::fprintf(out, "    \"build_type\": \"Release\"\n");
-#else
-  std::fprintf(out, "    \"build_type\": \"Debug\"\n");
-#endif
-  std::fprintf(out, "  },\n");
+               benchutil::IsoTimestampUtc().c_str());
+  benchutil::WriteMachineJson(
+      out, benchutil::MakeMachineReport({1, 2, 4, 8}), "  ",
+      /*trailing_comma=*/true);
   std::fprintf(out, "  \"dense_sparse_graphs_identical\": %s,\n",
                all_identical ? "true" : "false");
   std::fprintf(out, "  \"headline\": {\n");
@@ -277,6 +385,37 @@ int Run(const std::string& output_path) {
   std::fprintf(out, "    \"seed_ref_min_ms\": %.3f,\n", headline_seed_ms);
   std::fprintf(out, "    \"dense_min_ms\": %.3f,\n", headline_dense_ms);
   std::fprintf(out, "    \"speedup\": %.3f\n", headline_speedup);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"headline_alphabet4096\": {\n");
+  std::fprintf(out, "    \"config\": \"10000 rows x 30 attrs, alphabet "
+                    "4096, 1 thread\",\n");
+  std::fprintf(out, "    \"baseline_min_ms\": %.3f,\n",
+               kAlphabet4096BaselineMinMs);
+  std::fprintf(out, "    \"dense_min_ms\": %.3f,\n", headline4096_dense_ms);
+  std::fprintf(out, "    \"speedup_vs_baseline\": %.3f\n",
+               headline4096_speedup);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sketch_accuracy\": {\n");
+  std::fprintf(out, "    \"epsilon\": %.6f,\n", StatsOptions{}.sketch_epsilon);
+  std::fprintf(out, "    \"delta\": %.6f,\n", StatsOptions{}.sketch_delta);
+  std::fprintf(out, "    \"width\": %u,\n", sketch_params.width);
+  std::fprintf(out, "    \"depth\": %u,\n", sketch_params.depth);
+  std::fprintf(out, "    \"note\": \"Figure-9 sweep fixtures; every pair "
+                    "forced through the count-min tier (budget 0); "
+                    "precision/recall of edges with MI >= 20%% of the "
+                    "strongest exact edge\",\n");
+  std::fprintf(out, "    \"sweeps\": [\n");
+  for (size_t i = 0; i < accuracy.size(); ++i) {
+    const SketchAccuracy& acc = accuracy[i];
+    std::fprintf(out,
+                 "      {\"dataset\": \"%s\", \"rows\": %zu, "
+                 "\"max_abs_mi_delta\": %.6f, \"mean_abs_mi_delta\": %.6f, "
+                 "\"precision\": %.4f, \"recall\": %.4f}%s\n",
+                 acc.dataset, acc.rows, acc.max_abs_mi_delta,
+                 acc.mean_abs_mi_delta, acc.precision, acc.recall,
+                 (i + 1 < accuracy.size()) ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < samples.size(); ++i) {

@@ -8,9 +8,36 @@
 
 #include "depmatch/common/thread_pool.h"
 #include "depmatch/stats/joint_kernel.h"
+#include "depmatch/stats/joint_sketch.h"
 
 namespace depmatch {
 namespace {
+
+// Cache-blocked strict-upper-triangle work list. Pairs are emitted in
+// kPairBlockColumns x kPairBlockColumns tiles, so a worker draining
+// consecutive work items touches a bounded set of encoded columns per
+// stretch: each block of columns streams through cache once per tile
+// instead of once per pair across the whole row. The pair SET is exactly
+// the strict upper triangle and every pair's fold is independent of
+// evaluation order, so results are identical to the flat order.
+inline constexpr size_t kPairBlockColumns = 8;
+
+std::vector<std::pair<size_t, size_t>> BlockedPairs(size_t n) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (n > 1) pairs.reserve(n * (n - 1) / 2);
+  for (size_t bi = 0; bi < n; bi += kPairBlockColumns) {
+    const size_t ei = std::min(n, bi + kPairBlockColumns);
+    for (size_t bj = bi; bj < n; bj += kPairBlockColumns) {
+      const size_t ej = std::min(n, bj + kPairBlockColumns);
+      for (size_t i = bi; i < ei; ++i) {
+        for (size_t j = std::max(i + 1, bj); j < ej; ++j) {
+          pairs.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  return pairs;
+}
 
 // One pairwise edge value from a counting result plus the marginal cache.
 double EdgeValue(DependencyMeasure measure, const JointCounts& joint,
@@ -56,6 +83,65 @@ double EdgeValue(DependencyMeasure measure, const JointCounts& joint,
   return 0.0;
 }
 
+// EdgeValue's counterpart for a sketched pair. Marginals (and thus hx/hy
+// and the level counts) stay exact; only the joint folds are estimates.
+double SketchEdgeValue(DependencyMeasure measure,
+                       const SketchedJoint& sketched,
+                       const ColumnMarginal& mx, const ColumnMarginal& my) {
+  if (sketched.total == 0) return 0.0;
+  double hx = sketched.has_marginals
+                  ? EntropyFromSlots(sketched.x_marginals, sketched.total)
+                  : mx.entropy;
+  double hy = sketched.has_marginals
+                  ? EntropyFromSlots(sketched.y_marginals, sketched.total)
+                  : my.entropy;
+  switch (measure) {
+    case DependencyMeasure::kMutualInformation: {
+      // The sketch under-estimates H(X,Y); clamp MI_hat into the exact
+      // quantity's feasible range [0, min(hx, hy)].
+      double mi = hx + hy - sketched.joint_entropy;
+      if (mi < 0.0) mi = 0.0;
+      return std::min(mi, std::min(hx, hy));
+    }
+    case DependencyMeasure::kNormalizedMutualInformation: {
+      double denom = std::max(hx, hy);
+      if (denom <= 0.0) return 0.0;
+      double mi = hx + hy - sketched.joint_entropy;
+      if (mi < 0.0) mi = 0.0;
+      mi = std::min(mi, std::min(hx, hy));
+      return std::min(mi / denom, 1.0);
+    }
+    case DependencyMeasure::kCramersV: {
+      size_t levels_x =
+          sketched.has_marginals ? SupportFromSlots(sketched.x_marginals)
+                                 : mx.support;
+      size_t levels_y =
+          sketched.has_marginals ? SupportFromSlots(sketched.y_marginals)
+                                 : my.support;
+      if (levels_x < 2 || levels_y < 2) return 0.0;
+      double denom = static_cast<double>(sketched.total) *
+                     static_cast<double>(std::min(levels_x, levels_y) - 1);
+      return std::min(std::sqrt(sketched.chi_square / denom), 1.0);
+    }
+  }
+  return 0.0;
+}
+
+// Edge memo tag: bits 0-1 the measure (the fold differs per measure),
+// bit 2 the sketch flag, and — for sketched edges only — bits 3..25 the
+// sketch width and 26..29 the depth, so a value estimated under one
+// (epsilon, delta) shape never aliases another shape or the exact value.
+// Exact edges keep the kernel knobs OUT of the tag: dense/sparse/dispatch
+// all emit bit-identical folds (stat_cache.h documents the contract).
+uint32_t EdgeFoldTag(DependencyMeasure measure, bool sketched,
+                     const SketchParams& params) {
+  uint32_t tag = static_cast<uint32_t>(measure);
+  if (sketched) {
+    tag |= 0x4u | (params.width << 3) | (params.depth << 26);
+  }
+  return tag;
+}
+
 }  // namespace
 
 Result<DependencyGraph> BuildDependencyGraph(
@@ -86,25 +172,29 @@ Result<DependencyGraph> BuildDependencyGraph(
     matrix[i][i] = marginals[i].entropy;
   }
 
-  // Strict upper-triangle work list.
-  std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(n * (n - 1) / 2);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      pairs.emplace_back(i, j);
-    }
-  }
+  // Strict upper-triangle work list, in cache-blocked tile order.
+  std::vector<std::pair<size_t, size_t>> pairs = BlockedPairs(n);
 
   // One counting kernel per worker: scratch buffers are allocated
-  // O(threads) times and reused across pairs.
+  // O(threads) times and reused across pairs. Sketch kernels engage only
+  // for pairs UseSketch admits (opt-in + over-budget).
   std::vector<JointCountKernel> kernels(workers);
+  std::vector<JointSketchKernel> sketchers(workers);
   ThreadPool::ParallelForWithWorker(
       workers, pairs.size(), [&](size_t worker, size_t k) {
         auto [i, j] = pairs[k];
-        const JointCounts& joint = kernels[worker].Count(
-            table.column(i), table.column(j), options.stats);
-        double value =
-            EdgeValue(options.measure, joint, marginals[i], marginals[j]);
+        double value;
+        if (UseSketch(table.column(i), table.column(j), options.stats)) {
+          const SketchedJoint& sketched = sketchers[worker].Estimate(
+              table.column(i), table.column(j), options.stats);
+          value = SketchEdgeValue(options.measure, sketched, marginals[i],
+                                  marginals[j]);
+        } else {
+          const JointCounts& joint = kernels[worker].Count(
+              table.column(i), table.column(j), options.stats);
+          value =
+              EdgeValue(options.measure, joint, marginals[i], marginals[j]);
+        }
         matrix[i][j] = value;
         matrix[j][i] = value;
       });
@@ -144,30 +234,42 @@ Result<DependencyGraph> BuildDependencyGraph(
     matrix[i][i] = stats[i]->marginal.entropy;
   }
 
-  std::vector<std::pair<size_t, size_t>> pairs;
-  pairs.reserve(n * (n - 1) / 2);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      pairs.emplace_back(i, j);
-    }
-  }
+  std::vector<std::pair<size_t, size_t>> pairs = BlockedPairs(n);
 
-  // The edge memo keys on the measure as well (the fold differs), not on
-  // the kernel knobs (dense/sparse/auto emit bit-identical folds).
-  const uint32_t fold_tag = static_cast<uint32_t>(options.measure);
+  // The edge memo keys on the measure and — for sketched pairs — the
+  // sketch shape (see EdgeFoldTag), never on the exact-kernel knobs.
+  const SketchParams sketch_params = SketchParams::FromBounds(
+      options.stats.sketch_epsilon, options.stats.sketch_delta);
+  const uint32_t exact_tag =
+      EdgeFoldTag(options.measure, /*sketched=*/false, sketch_params);
+  const uint32_t sketch_tag =
+      EdgeFoldTag(options.measure, /*sketched=*/true, sketch_params);
   const NullPolicy policy = options.stats.null_policy;
 
   std::vector<JointCountKernel> kernels(workers);
+  std::vector<JointSketchKernel> sketchers(workers);
   ThreadPool::ParallelForWithWorker(
       workers, pairs.size(), [&](size_t worker, size_t k) {
         auto [i, j] = pairs[k];
+        const CodeView& xi = stats[i]->code_view();
+        const CodeView& xj = stats[j]->code_view();
+        const bool sketched = UseSketch(xi, xj, options.stats);
+        const uint32_t fold_tag = sketched ? sketch_tag : exact_tag;
         double value;
         if (cache == nullptr ||
             !cache->GetEdge(view, i, j, policy, fold_tag, &value)) {
-          const JointCounts& joint = kernels[worker].Count(
-              stats[i]->code_view(), stats[j]->code_view(), options.stats);
-          value = EdgeValue(options.measure, joint, stats[i]->marginal,
-                            stats[j]->marginal);
+          if (sketched) {
+            const SketchedJoint& estimate = sketchers[worker].Estimate(
+                xi, xj, stats[i]->marginal.slots, stats[j]->marginal.slots,
+                options.stats);
+            value = SketchEdgeValue(options.measure, estimate,
+                                    stats[i]->marginal, stats[j]->marginal);
+          } else {
+            const JointCounts& joint =
+                kernels[worker].Count(xi, xj, options.stats);
+            value = EdgeValue(options.measure, joint, stats[i]->marginal,
+                              stats[j]->marginal);
+          }
           if (cache != nullptr) {
             cache->PutEdge(view, i, j, policy, fold_tag, value);
           }

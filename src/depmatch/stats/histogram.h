@@ -21,19 +21,37 @@
 
 namespace depmatch {
 
-// Default ceiling on (distinct_x + 1) * (distinct_y + 1) below which the
-// pairwise statistics use the dense counting kernel (see joint_kernel.h):
-// 2^20 cells = 8 MiB of uint64 counts per worker thread.
+// ---------------------------------------------------------------------------
+// Dense/sparse crossover — the one authoritative statement of the rule.
+// (joint_kernel.cc implements it in EffectiveDenseBudget/UseDenseForShape
+// and refers here; do not restate the rule elsewhere.)
+//
+// A pair of columns is counted with the dense kernel iff
+// (distinct_x + 1) * (distinct_y + 1) fits the *effective* cell budget.
+// The effective budget starts from StatsOptions::dense_cell_budget and,
+// when StatsOptions::auto_dense_budget is on, is raised to
+//   min(rows * kDenseAutoCellsPerRow, kDenseAutoMaxCells)
+// whenever that is larger: the dense strategies keep per-pair work
+// O(rows + k log k) for k occupied cells regardless of matrix size (the
+// sort-based strategy never even allocates the matrix), so admitting more
+// cells only costs bounded scratch. The rows factor keeps tiny tables from
+// paying for a matrix they barely populate. A dense_cell_budget of 0
+// always forces the sparse path and is never overridden by the auto rule.
+//
+// Pairs that fail the crossover take the sparse fallback — unless
+// StatsOptions::sketch_mode opts into the approximate count-min tier, in
+// which case exactly those over-budget pairs are estimated with sketches
+// instead (see SketchMode below and stats/joint_sketch.h). Kernel choice
+// below the sketch tier is a pure performance knob (dense and sparse are
+// bit-identical); the sketch tier is not, which is why it is opt-in and
+// keyed separately in caches.
+// ---------------------------------------------------------------------------
+
+// Default static ceiling: 2^20 cells = 8 MiB of uint64 counts per worker.
 inline constexpr size_t kDefaultDenseCellBudget = size_t{1} << 20;
 
-// Auto-tuned dense budget (StatsOptions::auto_dense_budget): a pair whose
-// matrix exceeds dense_cell_budget may still count densely when the
-// *measured* dictionary sizes give at most min(rows * kDenseAutoCellsPerRow,
-// kDenseAutoMaxCells) cells. Touched-cell compaction keeps per-pair work
-// O(rows + k log k) regardless of matrix size, so beyond the static budget
-// the only cost is scratch memory — capped at 2^25 cells = 256 MiB of
-// uint64 counts per worker. The rows factor keeps tiny tables from paying
-// a huge first-touch memset for a matrix they barely populate.
+// Auto-raise parameters (see the crossover comment above). The cap is
+// 2^25 cells = 256 MiB of uint64 counts per worker.
 inline constexpr size_t kDenseAutoCellsPerRow = 4096;
 inline constexpr size_t kDenseAutoMaxCells = size_t{1} << 25;
 
@@ -49,22 +67,58 @@ enum class NullPolicy {
   kDropNulls,
 };
 
+// How the counting loops inside the exact kernels are implemented. Every
+// dispatch produces bit-identical JointCounts (same cells, same canonical
+// order, integer counts), so this is a pure performance knob; kScalar is
+// kept as the reference the equivalence tests compare against.
+enum class JointKernelDispatch {
+  // Shape-based strategy selection: per-lane sub-histograms merged once
+  // per pair for row-dominated matrices, touched-cell scatter for
+  // mid-size matrices, and a streaming radix-sort strategy for matrices
+  // past the cache-friendly range (which never allocates the matrix at
+  // all). Lane width is fixed at compile time from the target ISA.
+  kAuto,
+  // The legacy single-lane loops (one scatter increment per row, scan or
+  // touched-cell compaction). Reference implementation for bit-identity.
+  kScalar,
+};
+
+// The approximate tier for pairs whose dense matrix blows the effective
+// cell budget (see the crossover comment above). Strictly opt-in: the
+// default kOff keeps every pair exact, and the lint's sketch-gate rule
+// forbids library code from reaching the sketch kernel except through
+// this option.
+enum class SketchMode : uint8_t {
+  kOff,       // over-budget pairs use the exact sparse fallback (default)
+  kCountMin,  // over-budget pairs are estimated with count-min sketches
+              // sized from (sketch_epsilon, sketch_delta); see
+              // stats/joint_sketch.h for the guarantee
+};
+
 // Options shared by every pairwise statistic (entropy.h, association.h,
-// joint_kernel.h). Lives here, next to NullPolicy, so the counting layer
-// and the estimator layer agree on one knob set.
+// joint_kernel.h, joint_sketch.h). Lives here, next to NullPolicy, so the
+// counting layer and the estimator layer agree on one knob set.
 struct StatsOptions {
   NullPolicy null_policy = NullPolicy::kNullAsSymbol;
-  // A pair of columns is counted with the dense flat-matrix kernel when
-  // (distinct_x + 1) * (distinct_y + 1) <= dense_cell_budget; otherwise
-  // the sparse hash-map kernel is used. 0 forces the sparse path.
+  // Static part of the dense/sparse crossover budget; see the
+  // authoritative rule in the comment block above kDefaultDenseCellBudget.
   size_t dense_cell_budget = kDefaultDenseCellBudget;
-  // When true (default), the crossover decision additionally admits pairs
-  // whose measured cell count fits min(rows * kDenseAutoCellsPerRow,
-  // kDenseAutoMaxCells), so high-cardinality pairs on row-heavy tables
-  // stay on the dense kernel instead of falling back to the hash map.
-  // Kernel choice is a pure performance knob: results are bit-identical
-  // either way. Ignored when dense_cell_budget is 0 (forced sparse).
+  // Enables the measured-shape auto-raise of the budget (same comment
+  // block). Ignored when dense_cell_budget is 0 (forced sparse).
   bool auto_dense_budget = true;
+  // Counting-loop implementation for the exact kernels; bit-identical
+  // either way (pure performance knob).
+  JointKernelDispatch dispatch = JointKernelDispatch::kAuto;
+  // Opt-in approximate tier for over-budget pairs. With kCountMin, a pair
+  // that fails the dense crossover is estimated by a count-min sketch
+  // whose width/depth derive from (sketch_epsilon, sketch_delta): each
+  // point count is overestimated by at most sketch_epsilon * N with
+  // probability >= 1 - sketch_delta. Results are still deterministic and
+  // thread-invariant, but NOT equal to the exact path — callers opt in
+  // per pipeline, and caches key sketched values separately.
+  SketchMode sketch_mode = SketchMode::kOff;
+  double sketch_epsilon = 0.005;
+  double sketch_delta = 0.01;
 };
 
 // Marginal frequency histogram of one column.

@@ -30,12 +30,26 @@ struct SpanSlots {
   uint32_t operator()(size_t r) const { return slots[r]; }
 };
 
-// The cell budget the dense/sparse crossover compares against. With
-// auto_dense_budget, the static budget is raised to the measured-shape
-// allowance min(rows * kDenseAutoCellsPerRow, kDenseAutoMaxCells):
-// touched-cell compaction makes dense counting O(rows + k log k) in time
-// regardless of matrix size, so admitting more cells only costs capped
-// scratch memory. Budget 0 (forced sparse) is never overridden.
+// Strategy thresholds for JointKernelDispatch::kAuto.
+//
+// Lane count: compile-time, matched to the widest vector unit the build
+// targets so the merge pass (a strided integer reduction) fills whole
+// registers. The increments themselves stay scalar — independent lanes
+// buy instruction-level parallelism on skewed data, not gather/scatter.
+#if defined(__AVX512F__) || defined(__AVX2__)
+inline constexpr size_t kDenseLaneCount = 8;
+#else
+inline constexpr size_t kDenseLaneCount = 4;
+#endif
+// Above this many cells the flat matrix stops fitting in L2 and scatter
+// increments degrade to cache misses; the sort-based strategy (pure
+// sequential passes, no matrix) takes over.
+inline constexpr size_t kSortStrategyMinCells = size_t{1} << 17;
+
+// The cell budget the dense/sparse crossover compares against; the
+// authoritative statement of the rule (static budget, auto-raise shape
+// allowance, budget-0 semantics, sketch interaction) is the crossover
+// comment block in histogram.h.
 size_t EffectiveDenseBudget(size_t rows, const StatsOptions& options) {
   size_t budget = options.dense_cell_budget;
   if (budget == 0 || !options.auto_dense_budget) return budget;
@@ -114,9 +128,9 @@ const JointCounts& JointCountKernel::Count(const Column& x, const Column& y,
   ColumnSlots ys{y.codes().data()};
   if (counts_.used_dense) {
     CountDense(xs, ys, x.size(), x.distinct_count() + 1,
-               y.distinct_count() + 1, options.null_policy);
+               y.distinct_count() + 1, options);
   } else {
-    CountSparse(xs, ys, x.size(), options.null_policy);
+    CountSparse(xs, ys, x.size(), options);
   }
 
   // The retained-row set depends on the pair only under kDropNulls with
@@ -145,10 +159,9 @@ const JointCounts& JointCountKernel::Count(const CodeView& x,
   SpanSlots xs{x.slots};
   SpanSlots ys{y.slots};
   if (counts_.used_dense) {
-    CountDense(xs, ys, x.size, x.num_slots, y.num_slots,
-               options.null_policy);
+    CountDense(xs, ys, x.size, x.num_slots, y.num_slots, options);
   } else {
-    CountSparse(xs, ys, x.size, options.null_policy);
+    CountSparse(xs, ys, x.size, options);
   }
 
   if (options.null_policy == NullPolicy::kDropNulls &&
@@ -161,39 +174,110 @@ const JointCounts& JointCountKernel::Count(const CodeView& x,
 template <typename SlotOfX, typename SlotOfY>
 void JointCountKernel::CountDense(SlotOfX x_slot, SlotOfY y_slot,
                                   size_t rows, size_t dx1, size_t dy1,
-                                  NullPolicy policy) {
+                                  const StatsOptions& options) {
   const size_t cells = dx1 * dy1;
-  if (dense_.size() < cells) dense_.resize(cells, 0);
-  touched_.clear();
+  const bool drop = (options.null_policy == NullPolicy::kDropNulls);
+  const bool scalar = (options.dispatch == JointKernelDispatch::kScalar);
 
-  const bool drop = (policy == NullPolicy::kDropNulls);
-
-  // Low-cardinality pairs (matrix no bigger than the row count) take the
-  // branch-free loop — one unconditional increment per row — and compact
-  // by scanning the whole matrix afterwards. High-cardinality pairs track
-  // the touched cells instead, so compaction stays O(k log k) even when
-  // the matrix is much larger than the number of distinct pairs.
-  const bool scan_compact = (cells <= rows);
-  if (scan_compact) {
-    for (size_t r = 0; r < rows; ++r) {
-      uint32_t sx = x_slot(r);
-      uint32_t sy = y_slot(r);
-      if (drop && (sx == 0 || sy == 0)) continue;
-      ++dense_[static_cast<size_t>(sx) * dy1 + sy];
-      ++counts_.total;
-    }
-    // Flat-index order is the canonical row-major cell order; zeroing as
-    // we go restores the all-zero scratch invariant.
-    for (size_t slot = 0; slot < cells; ++slot) {
-      if (dense_[slot] == 0) continue;
-      counts_.cell_x_slots.push_back(static_cast<uint32_t>(slot / dy1));
-      counts_.cell_y_slots.push_back(static_cast<uint32_t>(slot % dy1));
-      counts_.cell_counts.push_back(dense_[slot]);
-      dense_[slot] = 0;
+  // Strategy choice depends only on the pair's shape and the dispatch
+  // option — never on thread count or data values — so it is
+  // deterministic, and every strategy emits identical cells anyway.
+  if (cells <= rows) {
+    // Row-dominated matrix: branch-free increments, whole-matrix
+    // compaction scan. Lane-splitting needs per-cell counts to fit the
+    // uint32 lane counters, which rows bounds.
+    if (!scalar && rows < UINT32_MAX) {
+      CountDenseLanes(x_slot, y_slot, rows, dy1, cells, drop);
+    } else {
+      CountDenseScan(x_slot, y_slot, rows, dy1, cells, drop);
     }
     return;
   }
+  if (!scalar && cells >= kSortStrategyMinCells) {
+    CountDenseSorted(x_slot, y_slot, rows, dy1, drop);
+    return;
+  }
+  if (dense_.size() < cells) dense_.resize(cells, 0);
+  CountDenseTouched(x_slot, y_slot, rows, dy1, drop);
+}
 
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountDenseScan(SlotOfX x_slot, SlotOfY y_slot,
+                                      size_t rows, size_t dy1, size_t cells,
+                                      bool drop) {
+  if (dense_.size() < cells) dense_.resize(cells, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    ++dense_[static_cast<size_t>(sx) * dy1 + sy];
+    ++counts_.total;
+  }
+  // Flat-index order is the canonical row-major cell order; zeroing as
+  // we go restores the all-zero scratch invariant.
+  for (size_t slot = 0; slot < cells; ++slot) {
+    if (dense_[slot] == 0) continue;
+    counts_.cell_x_slots.push_back(static_cast<uint32_t>(slot / dy1));
+    counts_.cell_y_slots.push_back(static_cast<uint32_t>(slot % dy1));
+    counts_.cell_counts.push_back(dense_[slot]);
+    dense_[slot] = 0;
+  }
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountDenseLanes(SlotOfX x_slot, SlotOfY y_slot,
+                                       size_t rows, size_t dy1, size_t cells,
+                                       bool drop) {
+  constexpr size_t kLanes = kDenseLaneCount;
+  if (lanes_.size() < cells * kLanes) lanes_.resize(cells * kLanes, 0);
+  uint32_t* lane[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) lane[l] = lanes_.data() + l * cells;
+
+  // Unrolled row loop: lane l sees rows r + l only, so the kLanes
+  // increments per iteration hit independent sub-histograms and can
+  // retire in parallel even when the data is heavily skewed.
+  uint64_t retained[kLanes] = {};
+  size_t r = 0;
+  for (; r + kLanes <= rows; r += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      uint32_t sx = x_slot(r + l);
+      uint32_t sy = y_slot(r + l);
+      if (drop && (sx == 0 || sy == 0)) continue;
+      ++lane[l][static_cast<size_t>(sx) * dy1 + sy];
+      ++retained[l];
+    }
+  }
+  for (; r < rows; ++r) {
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    ++lane[0][static_cast<size_t>(sx) * dy1 + sy];
+    ++retained[0];
+  }
+  for (size_t l = 0; l < kLanes; ++l) counts_.total += retained[l];
+
+  // One merge pass per pair: sum the lanes per cell (a strided integer
+  // reduction the vectorizer handles), emit non-zero cells in flat-index
+  // order — the canonical row-major order — and re-zero the lanes to
+  // restore the all-zero scratch invariant. Integer sums, so the merged
+  // counts equal the single-histogram counts exactly.
+  for (size_t slot = 0; slot < cells; ++slot) {
+    uint64_t count = 0;
+    for (size_t l = 0; l < kLanes; ++l) {
+      count += lane[l][slot];
+      lane[l][slot] = 0;
+    }
+    if (count == 0) continue;
+    counts_.cell_x_slots.push_back(static_cast<uint32_t>(slot / dy1));
+    counts_.cell_y_slots.push_back(static_cast<uint32_t>(slot % dy1));
+    counts_.cell_counts.push_back(count);
+  }
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountDenseTouched(SlotOfX x_slot, SlotOfY y_slot,
+                                         size_t rows, size_t dy1,
+                                         bool drop) {
   touched_.clear();
   for (size_t r = 0; r < rows; ++r) {
     uint32_t sx = x_slot(r);
@@ -220,10 +304,54 @@ void JointCountKernel::CountDense(SlotOfX x_slot, SlotOfY y_slot,
 }
 
 template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountDenseSorted(SlotOfX x_slot, SlotOfY y_slot,
+                                        size_t rows, size_t dy1,
+                                        bool drop) {
+  // Pack each retained row into its flat cell index. Ascending flat
+  // indices ARE the canonical row-major cell order, so sorting and
+  // run-length encoding reproduces exactly what the matrix strategies
+  // emit — without ever materializing the matrix (the win: scratch is
+  // O(rows), not O(cells), and every pass is sequential).
+  keys_.clear();
+  keys_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    keys_.push_back(static_cast<uint64_t>(sx) * dy1 + sy);
+  }
+  counts_.total = keys_.size();
+  if (keys_.empty()) return;
+
+  RadixSortKeys(*std::max_element(keys_.begin(), keys_.end()));
+
+  const size_t n = keys_.size();
+  for (size_t i = 0; i < n;) {
+    const uint64_t key = keys_[i];
+    size_t j = i + 1;
+    while (j < n && keys_[j] == key) ++j;
+    counts_.cell_x_slots.push_back(static_cast<uint32_t>(key / dy1));
+    counts_.cell_y_slots.push_back(static_cast<uint32_t>(key % dy1));
+    counts_.cell_counts.push_back(static_cast<uint64_t>(j - i));
+    i = j;
+  }
+}
+
+template <typename SlotOfX, typename SlotOfY>
 void JointCountKernel::CountSparse(SlotOfX x_slot, SlotOfY y_slot,
-                                   size_t rows, NullPolicy policy) {
+                                   size_t rows, const StatsOptions& options) {
+  const bool drop = (options.null_policy == NullPolicy::kDropNulls);
+  if (options.dispatch == JointKernelDispatch::kScalar) {
+    CountSparseHash(x_slot, y_slot, rows, drop);
+  } else {
+    CountSparsePacked(x_slot, y_slot, rows, drop);
+  }
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountSparseHash(SlotOfX x_slot, SlotOfY y_slot,
+                                       size_t rows, bool drop) {
   sparse_.clear();
-  const bool drop = (policy == NullPolicy::kDropNulls);
   for (size_t r = 0; r < rows; ++r) {
     uint32_t sx = x_slot(r);
     uint32_t sy = y_slot(r);
@@ -248,6 +376,74 @@ void JointCountKernel::CountSparse(SlotOfX x_slot, SlotOfY y_slot,
     counts_.cell_y_slots.push_back(
         static_cast<uint32_t>(key & 0xffffffffULL));
     counts_.cell_counts.push_back(sparse_.find(key)->second);
+  }
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointCountKernel::CountSparsePacked(SlotOfX x_slot, SlotOfY y_slot,
+                                         size_t rows, bool drop) {
+  // The hash map's packed (x_slot << 32 | y_slot) keys already sort in
+  // the canonical cell order, so the sort-based strategy applies to the
+  // sparse tier verbatim: pack, radix-sort, run-length encode. No hashing
+  // per row, no rehash growth, and the same exact output.
+  keys_.clear();
+  keys_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    keys_.push_back((static_cast<uint64_t>(sx) << 32) | sy);
+  }
+  counts_.total = keys_.size();
+  if (keys_.empty()) return;
+
+  RadixSortKeys(*std::max_element(keys_.begin(), keys_.end()));
+
+  const size_t n = keys_.size();
+  for (size_t i = 0; i < n;) {
+    const uint64_t key = keys_[i];
+    size_t j = i + 1;
+    while (j < n && keys_[j] == key) ++j;
+    counts_.cell_x_slots.push_back(static_cast<uint32_t>(key >> 32));
+    counts_.cell_y_slots.push_back(
+        static_cast<uint32_t>(key & 0xffffffffULL));
+    counts_.cell_counts.push_back(static_cast<uint64_t>(j - i));
+    i = j;
+  }
+}
+
+void JointCountKernel::RadixSortKeys(uint64_t max_key) {
+  const size_t n = keys_.size();
+  if (n < 2) return;
+  if (keys_tmp_.size() < n) keys_tmp_.resize(n);
+
+  size_t passes = 0;
+  while (passes < 8 && (max_key >> (8 * passes)) != 0) ++passes;
+
+  uint64_t* src = keys_.data();
+  uint64_t* dst = keys_tmp_.data();
+  size_t hist[256];
+  for (size_t p = 0; p < passes; ++p) {
+    const unsigned shift = static_cast<unsigned>(8 * p);
+    std::fill(std::begin(hist), std::end(hist), size_t{0});
+    for (size_t i = 0; i < n; ++i) {
+      ++hist[static_cast<size_t>((src[i] >> shift) & 0xff)];
+    }
+    // A pass whose digit is constant permutes nothing; skip the copy.
+    if (hist[static_cast<size_t>((src[0] >> shift) & 0xff)] == n) continue;
+    size_t offset = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      size_t count = hist[b];
+      hist[b] = offset;
+      offset += count;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[hist[static_cast<size_t>((src[i] >> shift) & 0xff)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys_.data()) {
+    std::copy(src, src + n, keys_.data());
   }
 }
 

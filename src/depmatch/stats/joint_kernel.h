@@ -8,23 +8,40 @@
 // provides two interchangeable counting kernels plus the deterministic
 // folds:
 //
-//   * Dense: a flat (distinct_x + 1) x (distinct_y + 1) count matrix, one
-//     array increment per row. Chosen when the matrix fits the configured
-//     cell budget (StatsOptions::dense_cell_budget). The scratch matrix is
-//     kept all-zero between calls and only the touched cells are reset, so
-//     per-pair cost is O(rows + k log k) for k distinct pairs, with no
-//     per-pair allocation after warm-up.
-//   * Sparse: the classic hash-map of packed code pairs, used as fallback
-//     for high-cardinality pairs whose product exceeds the budget.
+//   * Dense: chosen when the (distinct_x + 1) x (distinct_y + 1) matrix
+//     fits the effective cell budget (the authoritative crossover rule
+//     lives in histogram.h). Three SIMD-friendly strategies, selected by
+//     matrix shape under JointKernelDispatch::kAuto:
+//       - lane-split: for matrices no bigger than the row count, the row
+//         loop is unrolled over independent per-lane sub-histograms that
+//         are merged (and re-zeroed) in one vectorizable pass per pair,
+//         breaking the store-to-load dependency chains skewed data causes
+//         in a single histogram;
+//       - touched-scatter: mid-size matrices keep the classic one
+//         increment per row into a flat matrix, compacting and resetting
+//         only the touched cells;
+//       - sort-based: matrices past the cache-friendly range are counted
+//         by packing each row into a flat cell index, radix-sorting the
+//         packed keys, and run-length encoding — pure streaming passes,
+//         and the matrix itself is never allocated.
+//   * Sparse: fallback for pairs whose product exceeds the budget. Under
+//     kAuto this also runs the radix-sort strategy (on 64-bit packed
+//     keys); kScalar keeps the classic hash map of packed code pairs.
 //
-// Both kernels emit cells in row-major (x_code, y_code) order with the
-// null slot first, so every downstream floating-point fold visits cells in
-// the same order regardless of which kernel ran: the two paths are
-// bit-identical, which the equivalence tests assert with exact equality.
+// All kernels and strategies emit cells in row-major (x_code, y_code)
+// order with the null slot first, so every downstream floating-point fold
+// visits cells in the same order regardless of which path ran: counts are
+// integers and the fold order is canonical, so every path is bit-identical
+// to every other, which the equivalence tests assert with exact equality.
+// JointKernelDispatch::kScalar pins the legacy single-lane loops as the
+// reference implementation for those tests.
 //
 // A JointCountKernel instance owns reusable scratch and is meant to live
 // per worker thread (the graph builder allocates O(threads) kernels, not
 // O(pairs) hash maps).
+//
+// The opt-in approximate tier for over-budget pairs (StatsOptions::
+// sketch_mode) lives in joint_sketch.h; this file is exact-only.
 
 #ifndef DEPMATCH_STATS_JOINT_KERNEL_H_
 #define DEPMATCH_STATS_JOINT_KERNEL_H_
@@ -120,20 +137,60 @@ class JointCountKernel {
  private:
   // Counting loops are generic over the per-row slot source (a callable
   // r -> slot) so the Column and CodeView entry points share one body and
-  // therefore one accumulation order.
+  // therefore one accumulation order. CountDense/CountSparse pick a
+  // strategy (below) from the matrix shape and options.dispatch; every
+  // strategy emits the same canonical cells.
   template <typename SlotOfX, typename SlotOfY>
   void CountDense(SlotOfX x_slot, SlotOfY y_slot, size_t rows, size_t dx1,
-                  size_t dy1, NullPolicy policy);
+                  size_t dy1, const StatsOptions& options);
   template <typename SlotOfX, typename SlotOfY>
   void CountSparse(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
-                   NullPolicy policy);
+                   const StatsOptions& options);
+
+  // Dense strategies. Scan = branch-free increments + whole-matrix
+  // compaction scan (cells <= rows); Lanes = the same shape with the row
+  // loop split over independent sub-histograms merged once; Touched =
+  // scatter with touched-cell tracking; Sorted = pack/radix-sort/RLE with
+  // no matrix at all.
+  template <typename SlotOfX, typename SlotOfY>
+  void CountDenseScan(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                      size_t dy1, size_t cells, bool drop);
+  template <typename SlotOfX, typename SlotOfY>
+  void CountDenseLanes(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                       size_t dy1, size_t cells, bool drop);
+  template <typename SlotOfX, typename SlotOfY>
+  void CountDenseTouched(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                         size_t dy1, bool drop);
+  template <typename SlotOfX, typename SlotOfY>
+  void CountDenseSorted(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                        size_t dy1, bool drop);
+
+  // Sparse strategies: the classic hash map (kScalar) and the radix sort
+  // over 64-bit packed (x_slot << 32 | y_slot) keys (kAuto).
+  template <typename SlotOfX, typename SlotOfY>
+  void CountSparseHash(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                       bool drop);
+  template <typename SlotOfX, typename SlotOfY>
+  void CountSparsePacked(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                         bool drop);
+
+  // Ascending radix sort of keys_ (LSD, byte digits, ping-pong via
+  // keys_tmp_); sorts only the bytes covered by max_key.
+  void RadixSortKeys(uint64_t max_key);
+
   void FillMarginals(size_t x_slots, size_t y_slots);
 
   JointCounts counts_;
   // Dense scratch; invariant: all-zero between Count() calls.
   std::vector<uint64_t> dense_;
+  // Per-lane sub-histograms (kDenseLaneCount * cells uint32 counters);
+  // same all-zero invariant.
+  std::vector<uint32_t> lanes_;
   // Flat indices of non-zero dense cells for the current pair.
   std::vector<uint64_t> touched_;
+  // Packed per-row keys for the sort-based strategies (and radix scratch).
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> keys_tmp_;
   // Sparse scratch, cleared (capacity kept) between pairs.
   std::unordered_map<uint64_t, uint64_t> sparse_;
   std::vector<uint64_t> sparse_keys_;

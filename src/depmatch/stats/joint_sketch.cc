@@ -1,0 +1,199 @@
+// depmatch-lint: bit-identical-file
+// Sketched estimates are approximate relative to the exact kernel, but
+// they are still deterministic and thread-invariant: hash constants are
+// fixed, and every floating-point fold below accumulates serially in row
+// order for the pair. Do not introduce constructs that reorder double
+// accumulation (std::reduce, atomic floating adds, OpenMP reductions).
+#include "depmatch/stats/joint_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "depmatch/common/logging.h"
+
+namespace depmatch {
+namespace {
+
+// Fixed per-depth multiply constants (odd, high bit entropy; splitmix64 /
+// golden-ratio family). Fixed constants make estimates reproducible; the
+// (epsilon, delta) guarantee then holds in the average-case sense the
+// property tests measure, not adversarially against the constants.
+constexpr uint64_t kHashMul[kSketchMaxDepth] = {
+    0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL, 0x94d049bb133111ebULL,
+    0xff51afd7ed558ccdULL, 0xc4ceb9fe1a85ec53ULL, 0x2545f4914f6cdd1dULL,
+    0x9e6c63d0873a6a0dULL, 0xd6e8feb86659fd93ULL};
+
+// Mixed hash for depth d, mapped to [0, width) by Lemire reduction — no
+// modulo, and the full 64-bit hash participates.
+inline size_t Bucket(uint64_t key, size_t depth, uint32_t width) {
+  uint64_t h = (key ^ (key >> 33)) * kHashMul[depth];
+  h ^= h >> 29;
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(h) * width) >> 64);
+}
+
+}  // namespace
+
+SketchParams SketchParams::FromBounds(double epsilon, double delta) {
+  SketchParams p;
+  // Non-positive / NaN bounds degrade to the tightest clamped shape.
+  double w = (epsilon > 0.0) ? std::ceil(std::exp(1.0) / epsilon)
+                             : static_cast<double>(kSketchMaxWidth);
+  if (!(w >= static_cast<double>(kSketchMinWidth))) w = kSketchMinWidth;
+  if (w > static_cast<double>(kSketchMaxWidth)) w = kSketchMaxWidth;
+  p.width = static_cast<uint32_t>(w);
+
+  double d = (delta > 0.0 && delta < 1.0) ? std::ceil(-std::log(delta))
+                                          : static_cast<double>(kSketchMaxDepth);
+  if (!(d >= 1.0)) d = 1.0;
+  if (d > static_cast<double>(kSketchMaxDepth)) d = kSketchMaxDepth;
+  p.depth = static_cast<uint32_t>(d);
+
+  p.epsilon_bound = std::exp(1.0) / static_cast<double>(p.width);
+  p.delta_bound = std::exp(-static_cast<double>(p.depth));
+  return p;
+}
+
+bool UseSketch(const Column& x, const Column& y, const StatsOptions& options) {
+  return options.sketch_mode == SketchMode::kCountMin &&
+         !JointCountKernel::UseDense(x, y, options);
+}
+
+bool UseSketch(const CodeView& x, const CodeView& y,
+               const StatsOptions& options) {
+  return options.sketch_mode == SketchMode::kCountMin &&
+         !JointCountKernel::UseDense(x, y, options);
+}
+
+void JointSketchKernel::Reset(const SketchParams& params) {
+  params_ = params;
+  const size_t cells =
+      static_cast<size_t>(params.width) * static_cast<size_t>(params.depth);
+  if (table_.size() < cells) table_.resize(cells);
+  std::fill(table_.begin(), table_.begin() + static_cast<ptrdiff_t>(cells),
+            uint64_t{0});
+}
+
+void JointSketchKernel::Add(uint64_t key) {
+  for (size_t d = 0; d < params_.depth; ++d) {
+    ++table_[d * params_.width + Bucket(key, d, params_.width)];
+  }
+}
+
+uint64_t JointSketchKernel::EstimateCount(uint64_t key) const {
+  uint64_t estimate = UINT64_MAX;
+  for (size_t d = 0; d < params_.depth; ++d) {
+    estimate = std::min(
+        estimate, table_[d * params_.width + Bucket(key, d, params_.width)]);
+  }
+  return estimate;
+}
+
+template <typename SlotOfX, typename SlotOfY>
+void JointSketchKernel::EstimateImpl(SlotOfX x_slot, SlotOfY y_slot,
+                                     size_t rows, size_t dx1, size_t dy1,
+                                     const std::vector<uint64_t>& x_slots,
+                                     const std::vector<uint64_t>& y_slots,
+                                     const StatsOptions& options) {
+  result_.total = 0;
+  result_.joint_entropy = 0.0;
+  result_.chi_square = 0.0;
+  result_.x_marginals.clear();
+  result_.y_marginals.clear();
+
+  Reset(SketchParams::FromBounds(options.sketch_epsilon,
+                                 options.sketch_delta));
+  result_.params = params_;
+
+  const bool drop = (options.null_policy == NullPolicy::kDropNulls);
+  // Per-pair marginals are needed exactly when the retained-row set is
+  // pair-dependent: kDropNulls with nulls present (same rule as the exact
+  // kernel). has_marginals is set by the entry points.
+  if (result_.has_marginals) {
+    result_.x_marginals.assign(dx1, 0);
+    result_.y_marginals.assign(dy1, 0);
+  }
+
+  // Pass 1: stream the retained rows into the sketch, keeping the packed
+  // keys for pass 2 and (when pair-dependent) the exact marginals.
+  keys_.clear();
+  keys_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t sx = x_slot(r);
+    uint32_t sy = y_slot(r);
+    if (drop && (sx == 0 || sy == 0)) continue;
+    uint64_t key = (static_cast<uint64_t>(sx) << 32) | sy;
+    keys_.push_back(key);
+    Add(key);
+    if (result_.has_marginals) {
+      ++result_.x_marginals[sx];
+      ++result_.y_marginals[sy];
+    }
+  }
+  result_.total = keys_.size();
+  if (keys_.empty()) return;
+
+  const std::vector<uint64_t>& mx =
+      result_.has_marginals ? result_.x_marginals : x_slots;
+  const std::vector<uint64_t>& my =
+      result_.has_marginals ? result_.y_marginals : y_slots;
+
+  // Pass 2: point-query every retained row. Summing log2(c_hat) over rows
+  // equals summing c * log2(c_hat) over cells, and summing c_hat/(m_x*m_y)
+  // over rows equals summing c*c_hat/(m_x*m_y) ~= o^2/(m_x*m_y) over
+  // cells — both folds run serially in row order, so the estimate is
+  // thread-invariant.
+  const double n = static_cast<double>(result_.total);
+  double weighted = 0.0;
+  double chi_sum = 0.0;
+  for (uint64_t key : keys_) {
+    const double c_hat = static_cast<double>(EstimateCount(key));
+    weighted += std::log2(c_hat);
+    const uint64_t row_count = mx[static_cast<size_t>(key >> 32)];
+    const uint64_t col_count = my[static_cast<size_t>(key & 0xffffffffULL)];
+    chi_sum +=
+        c_hat / (static_cast<double>(row_count) *
+                 static_cast<double>(col_count));
+  }
+  double h = std::log2(n) - weighted / n;
+  result_.joint_entropy = h < 0.0 ? 0.0 : h;
+  double chi2 = n * chi_sum - n;
+  result_.chi_square = chi2 < 0.0 ? 0.0 : chi2;
+}
+
+const SketchedJoint& JointSketchKernel::Estimate(
+    const CodeView& x, const CodeView& y,
+    const std::vector<uint64_t>& x_slots,
+    const std::vector<uint64_t>& y_slots, const StatsOptions& options) {
+  DEPMATCH_CHECK_EQ(x.size, y.size);
+  result_.has_marginals =
+      options.null_policy == NullPolicy::kDropNulls &&
+      (x.null_count > 0 || y.null_count > 0);
+  auto x_of = [slots = x.slots](size_t r) { return slots[r]; };
+  auto y_of = [slots = y.slots](size_t r) { return slots[r]; };
+  EstimateImpl(x_of, y_of, x.size, x.num_slots, y.num_slots, x_slots,
+               y_slots, options);
+  return result_;
+}
+
+const SketchedJoint& JointSketchKernel::Estimate(const Column& x,
+                                                 const Column& y,
+                                                 const StatsOptions& options) {
+  DEPMATCH_CHECK_EQ(x.size(), y.size());
+  result_.has_marginals =
+      options.null_policy == NullPolicy::kDropNulls &&
+      (x.null_count() > 0 || y.null_count() > 0);
+  ColumnMarginal mx = ComputeColumnMarginal(x, options.null_policy);
+  ColumnMarginal my = ComputeColumnMarginal(y, options.null_policy);
+  auto x_of = [codes = x.codes().data()](size_t r) {
+    return static_cast<uint32_t>(codes[r] + 1);
+  };
+  auto y_of = [codes = y.codes().data()](size_t r) {
+    return static_cast<uint32_t>(codes[r] + 1);
+  };
+  EstimateImpl(x_of, y_of, x.size(), x.distinct_count() + 1,
+               y.distinct_count() + 1, mx.slots, my.slots, options);
+  return result_;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,132 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Opt-in count-min sketch tier for over-budget column pairs.
+//
+// Pairs whose (distinct_x + 1) x (distinct_y + 1) matrix fails the dense
+// crossover (histogram.h) normally take the exact sparse fallback. With
+// StatsOptions::sketch_mode == SketchMode::kCountMin, exactly those pairs
+// are instead *estimated* from a count-min sketch of the packed
+// (x_slot, y_slot) stream, trading a bounded overcount for O(width*depth)
+// memory and two streaming passes over the rows.
+//
+// Guarantee (Cormode & Muthukrishnan): with width w = ceil(e / epsilon)
+// and depth d = ceil(ln(1 / delta)), every point estimate c_hat satisfies
+//   c <= c_hat  and  Pr[c_hat > c + epsilon * N] <= delta
+// where c is the true pair count and N the number of retained rows. The
+// tests assert the deterministic half (c_hat >= c) exactly and the
+// epsilon half empirically on adversarial fixtures.
+//
+// Estimates feed the same plug-in formulas as the exact kernel:
+//   H_hat(X,Y) = log2(N) - (1/N) * sum_rows log2(c_hat(row))
+//     (equal to sum_cells c * log2(c_hat), folded in row order), and
+//   chi2_hat   = N * sum_rows c_hat(row) / (m_x * m_y) - N.
+// Marginals stay exact (column histograms are never sketched), so MI_hat =
+// H(X) + H(Y) - H_hat(X,Y), clamped to [0, min(H(X), H(Y))] by callers.
+//
+// Hash functions are fixed multiply-shift constants: estimates are fully
+// deterministic, independent of thread count, and stable across runs —
+// but NOT equal to the exact path, which is why the tier is opt-in and
+// cached under sketch-specific fold tags (see graph_builder.cc).
+
+#ifndef DEPMATCH_STATS_JOINT_SKETCH_H_
+#define DEPMATCH_STATS_JOINT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "depmatch/stats/histogram.h"
+#include "depmatch/stats/joint_kernel.h"
+#include "depmatch/table/column.h"
+
+namespace depmatch {
+
+// Sketch shape derived from the (epsilon, delta) bounds in StatsOptions.
+struct SketchParams {
+  uint32_t width = 0;   // counters per hash row: ceil(e / epsilon), clamped
+  uint32_t depth = 0;   // hash rows: ceil(ln(1 / delta)), clamped
+  // The bounds the clamped shape actually delivers (epsilon_bound = e/w,
+  // delta_bound = exp(-d)); reported in benches alongside measured error.
+  double epsilon_bound = 0.0;
+  double delta_bound = 0.0;
+
+  static SketchParams FromBounds(double epsilon, double delta);
+};
+
+// Clamp range for the derived shape: at least 16 counters per row, at most
+// 2^22 (32 MiB of uint64 counters per row at the extreme), depth 1..8.
+inline constexpr uint32_t kSketchMinWidth = 16;
+inline constexpr uint32_t kSketchMaxWidth = uint32_t{1} << 22;
+inline constexpr uint32_t kSketchMaxDepth = 8;
+
+// True when (x, y) would be estimated rather than counted exactly under
+// `options`: the sketch tier is engaged iff it is opted into AND the pair
+// fails the dense crossover. This predicate is the single gate callers
+// must route through (the lint's sketch-gate rule enforces it).
+bool UseSketch(const Column& x, const Column& y, const StatsOptions& options);
+bool UseSketch(const CodeView& x, const CodeView& y,
+               const StatsOptions& options);
+
+// Result of one sketched estimation pass. Mirrors JointCounts' role for
+// the folds the graph builder needs, without per-cell storage.
+struct SketchedJoint {
+  uint64_t total = 0;          // retained rows N
+  double joint_entropy = 0.0;  // H_hat(X,Y), an under-estimate of H(X,Y)
+  double chi_square = 0.0;     // chi2_hat, an over-estimate of chi^2
+  // Exact per-pair marginals over the retained rows; filled only when the
+  // retained-row set is pair-dependent (kDropNulls with nulls present),
+  // exactly like JointCounts::has_marginals.
+  bool has_marginals = false;
+  std::vector<uint64_t> x_marginals;
+  std::vector<uint64_t> y_marginals;
+  // The shape and bounds this estimate was produced under.
+  SketchParams params;
+};
+
+// Reusable sketching kernel; one instance per worker, like
+// JointCountKernel. Estimate() returns a reference to internal storage
+// valid until the next Estimate() call.
+class JointSketchKernel {
+ public:
+  // Estimates the pair over borrowed slot encodings. x_slots/y_slots are
+  // the pair-invariant marginal slot vectors of the two columns (used for
+  // the chi-square fold when the retained-row set is pair-invariant;
+  // under kDropNulls with nulls present the kernel builds and uses exact
+  // per-pair marginals instead). Precondition: x.size == y.size.
+  const SketchedJoint& Estimate(const CodeView& x, const CodeView& y,
+                                const std::vector<uint64_t>& x_slots,
+                                const std::vector<uint64_t>& y_slots,
+                                const StatsOptions& options);
+  // Column convenience overload: computes the marginal slot vectors
+  // internally. Bit-identical to the CodeView overload on equivalent data.
+  const SketchedJoint& Estimate(const Column& x, const Column& y,
+                                const StatsOptions& options);
+
+  // The underlying point-query machinery, exposed for the property tests:
+  // Reset, stream keys with Add, then query. EstimateCount is the min
+  // over depth rows of the Lemire-reduced multiply-shift buckets.
+  void Reset(const SketchParams& params);
+  void Add(uint64_t key);
+  uint64_t EstimateCount(uint64_t key) const;
+
+ private:
+  template <typename SlotOfX, typename SlotOfY>
+  void EstimateImpl(SlotOfX x_slot, SlotOfY y_slot, size_t rows,
+                    size_t dx1, size_t dy1,
+                    const std::vector<uint64_t>& x_slots,
+                    const std::vector<uint64_t>& y_slots,
+                    const StatsOptions& options);
+
+  SketchedJoint result_;
+  SketchParams params_;
+  // depth_ rows of width_ uint64 counters, row-major; all-zero outside
+  // Reset()..Estimate() (re-zeroed per pair, like the dense scratch).
+  std::vector<uint64_t> table_;
+  // Packed keys of the retained rows, kept between the two passes.
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_JOINT_SKETCH_H_

@@ -202,6 +202,70 @@ TEST(JointCountKernelTest, DenseAndSparseAreBitIdentical) {
   }
 }
 
+// Slot-level equality of two counting passes: same totals, same cells,
+// same counts — which (with canonical order) implies every downstream
+// double fold is bit-identical.
+void ExpectSameCounts(const JointCounts& a, const JointCounts& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.cell_x_slots, b.cell_x_slots);
+  EXPECT_EQ(a.cell_y_slots, b.cell_y_slots);
+  EXPECT_EQ(a.cell_counts, b.cell_counts);
+  EXPECT_EQ(a.has_marginals, b.has_marginals);
+  EXPECT_EQ(a.x_marginals, b.x_marginals);
+  EXPECT_EQ(a.y_marginals, b.y_marginals);
+}
+
+TEST(JointCountKernelTest, AutoDispatchMatchesScalarAcrossStrategies) {
+  // Shapes chosen to land in each kAuto strategy: lane-split (cells <=
+  // rows), touched-scatter (rows < cells < sort threshold), radix-sort
+  // (cells >= 2^17 via two ~600-distinct columns), and the sparse packed
+  // sort (budget 0). Every one must reproduce the kScalar reference
+  // slot-for-slot.
+  struct Shape {
+    size_t rows, alphabet_x, alphabet_y;
+    bool force_sparse;
+  };
+  const Shape shapes[] = {
+      {2000, 5, 7, false},     // lanes vs scan
+      {500, 40, 40, false},    // touched both ways
+      {3000, 600, 600, false},  // sorted vs touched (361K cells)
+      {3000, 600, 600, true},   // sparse: packed sort vs hash map
+  };
+  Rng rng(123);
+  for (const Shape& shape : shapes) {
+    for (NullPolicy policy :
+         {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+      Column x = RandomColumn(rng, shape.rows, shape.alphabet_x, 0.1);
+      Column y = RandomColumn(rng, shape.rows, shape.alphabet_y, 0.1);
+      StatsOptions auto_options;
+      auto_options.null_policy = policy;
+      if (shape.force_sparse) auto_options.dense_cell_budget = 0;
+      StatsOptions scalar_options = auto_options;
+      scalar_options.dispatch = JointKernelDispatch::kScalar;
+
+      JointCountKernel auto_kernel;
+      JointCountKernel scalar_kernel;
+      const JointCounts& a = auto_kernel.Count(x, y, auto_options);
+      const JointCounts& s = scalar_kernel.Count(x, y, scalar_options);
+      EXPECT_EQ(a.used_dense, !shape.force_sparse);
+      ExpectSameCounts(a, s);
+    }
+  }
+}
+
+TEST(JointCountKernelTest, SortStrategyShapeReallyExceedsThreshold) {
+  // Guard the sorted-strategy coverage above: if the crossover constants
+  // move, the 600x600 shape must still exercise the radix path (cells
+  // beyond the touched-scatter range but within the auto dense budget).
+  Rng rng(9);
+  Column x = RandomColumn(rng, 3000, 600, 0.1);
+  Column y = RandomColumn(rng, 3000, 600, 0.1);
+  size_t cells = (x.distinct_count() + 1) * (y.distinct_count() + 1);
+  EXPECT_GT(cells, size_t{1} << 17);
+  EXPECT_GT(cells, size_t{3000});  // not the lane/scan regime
+  EXPECT_TRUE(JointCountKernel::UseDense(x, y, StatsOptions{}));
+}
+
 TEST(JointCountKernelTest, PairMarginalsOnlyWhenDroppingObservedNulls) {
   Rng rng(3);
   Column with_nulls = RandomColumn(rng, 200, 6, 0.3);

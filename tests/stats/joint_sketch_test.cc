@@ -1,0 +1,287 @@
+#include "depmatch/stats/joint_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "depmatch/common/rng.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/stats/association.h"
+#include "depmatch/stats/entropy.h"
+#include "depmatch/stats/histogram.h"
+
+namespace depmatch {
+namespace {
+
+Column RandomColumn(Rng& rng, size_t rows, size_t alphabet,
+                    double null_probability) {
+  Column col(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(null_probability)) {
+      col.Append(Value::Null());
+    } else {
+      col.Append(Value(static_cast<int64_t>(rng.NextBounded(alphabet))));
+    }
+  }
+  return col;
+}
+
+StatsOptions SketchAllPairs(NullPolicy policy = NullPolicy::kNullAsSymbol) {
+  StatsOptions options;
+  options.null_policy = policy;
+  options.dense_cell_budget = 0;  // nothing passes the dense crossover...
+  options.sketch_mode = SketchMode::kCountMin;  // ...so everything sketches
+  return options;
+}
+
+TEST(SketchParamsTest, DerivesWidthAndDepthFromBounds) {
+  // width = ceil(e / eps), depth = ceil(ln(1 / del)).
+  SketchParams p = SketchParams::FromBounds(0.005, 0.01);
+  EXPECT_EQ(p.width, 544u);  // ceil(2.71828 / 0.005)
+  EXPECT_EQ(p.depth, 5u);    // ceil(ln 100) = ceil(4.605)
+  EXPECT_NEAR(p.epsilon_bound, std::exp(1.0) / 544.0, 1e-12);
+  EXPECT_NEAR(p.delta_bound, std::exp(-5.0), 1e-12);
+  // Tighter bounds grow the sketch.
+  SketchParams tight = SketchParams::FromBounds(0.0005, 0.001);
+  EXPECT_GT(tight.width, p.width);
+  EXPECT_GT(tight.depth, p.depth);
+}
+
+TEST(SketchParamsTest, ClampsDegenerateBounds) {
+  SketchParams loose = SketchParams::FromBounds(100.0, 0.9);
+  EXPECT_EQ(loose.width, kSketchMinWidth);
+  EXPECT_EQ(loose.depth, 1u);
+  SketchParams extreme = SketchParams::FromBounds(1e-12, 1e-12);
+  EXPECT_EQ(extreme.width, kSketchMaxWidth);
+  EXPECT_EQ(extreme.depth, kSketchMaxDepth);
+  // Nonsense values degrade to the tightest clamped shape, never UB.
+  SketchParams nonsense = SketchParams::FromBounds(0.0, 0.0);
+  EXPECT_EQ(nonsense.width, kSketchMaxWidth);
+  EXPECT_EQ(nonsense.depth, kSketchMaxDepth);
+}
+
+// The count-min property test: stream adversarial key distributions and
+// check both halves of the guarantee — c_hat >= c always (deterministic),
+// and the fraction of point queries overshooting by more than epsilon * N
+// is at most delta (the probabilistic half, checked empirically; hashes
+// are fixed, so a passing stream passes forever).
+TEST(CountMinTest, EpsilonDeltaGuaranteeOnAdversarialStreams) {
+  const SketchParams params = SketchParams::FromBounds(0.005, 0.01);
+
+  struct Stream {
+    const char* name;
+    std::vector<uint64_t> keys;
+  };
+  std::vector<Stream> streams;
+
+  // Heavy head + all-distinct tail: the classic worst case for uniform
+  // error (tail counts of 1 sit next to counts of 200).
+  {
+    Stream s{"head_plus_tail", {}};
+    for (uint64_t k = 0; k < 50; ++k) {
+      for (int rep = 0; rep < 200; ++rep) s.keys.push_back(k);
+    }
+    for (uint64_t k = 1000; k < 11000; ++k) s.keys.push_back(k);
+    streams.push_back(std::move(s));
+  }
+  // Sequential packed pairs, the kernel's actual key shape.
+  {
+    Stream s{"packed_pairs", {}};
+    for (uint64_t x = 1; x <= 100; ++x) {
+      for (uint64_t y = 1; y <= 100; ++y) {
+        s.keys.push_back((x << 32) | y);
+      }
+    }
+    streams.push_back(std::move(s));
+  }
+  // Random keys with zipf-ish repetition.
+  {
+    Stream s{"random_skewed", {}};
+    Rng rng(31);
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t k = rng.NextBounded(4000);
+      s.keys.push_back(k * k);  // non-uniform spacing
+    }
+    streams.push_back(std::move(s));
+  }
+
+  for (const Stream& stream : streams) {
+    JointSketchKernel sketch;
+    sketch.Reset(params);
+    std::unordered_map<uint64_t, uint64_t> truth;
+    for (uint64_t key : stream.keys) {
+      sketch.Add(key);
+      ++truth[key];
+    }
+    const double n = static_cast<double>(stream.keys.size());
+    const double allowed_over = params.epsilon_bound * n;
+    size_t violations = 0;
+    for (const auto& [key, count] : truth) {
+      uint64_t estimate = sketch.EstimateCount(key);
+      ASSERT_GE(estimate, count) << stream.name << " key " << key;
+      if (static_cast<double>(estimate - count) > allowed_over) {
+        ++violations;
+      }
+    }
+    double violation_fraction =
+        static_cast<double>(violations) / static_cast<double>(truth.size());
+    EXPECT_LE(violation_fraction, 0.01)
+        << stream.name << ": " << violations << "/" << truth.size()
+        << " queries overshot epsilon*N = " << allowed_over;
+  }
+}
+
+TEST(JointSketchKernelTest, GatingRequiresExplicitOptIn) {
+  Rng rng(7);
+  Column x = RandomColumn(rng, 400, 11, 0.0);
+  Column y = RandomColumn(rng, 400, 13, 0.0);
+
+  // Default options: sketch off, regardless of kernel crossover.
+  StatsOptions off;
+  EXPECT_FALSE(UseSketch(x, y, off));
+  off.dense_cell_budget = 0;
+  EXPECT_FALSE(UseSketch(x, y, off));
+
+  // Opted in but the pair fits the dense budget: still exact.
+  StatsOptions on;
+  on.sketch_mode = SketchMode::kCountMin;
+  EXPECT_FALSE(UseSketch(x, y, on));
+
+  // Opted in and over budget: sketched.
+  on.dense_cell_budget = 0;
+  EXPECT_TRUE(UseSketch(x, y, on));
+
+  // The sketch-off estimator results are bit-identical to exact even
+  // when the budget forces the sparse kernel.
+  StatsOptions sparse_exact;
+  sparse_exact.dense_cell_budget = 0;
+  EXPECT_DOUBLE_EQ(MutualInformation(x, y, StatsOptions{}),
+                   MutualInformation(x, y, sparse_exact));
+}
+
+TEST(JointSketchKernelTest, DeterministicAcrossInstancesAndCalls) {
+  Rng rng(55);
+  Column x = RandomColumn(rng, 2000, 300, 0.1);
+  Column y = RandomColumn(rng, 2000, 300, 0.1);
+  StatsOptions options = SketchAllPairs();
+
+  JointSketchKernel a;
+  JointSketchKernel b;
+  const SketchedJoint& first = a.Estimate(x, y, options);
+  double h1 = first.joint_entropy;
+  double chi1 = first.chi_square;
+  uint64_t total1 = first.total;
+  const SketchedJoint& second = b.Estimate(x, y, options);
+  EXPECT_EQ(h1, second.joint_entropy);
+  EXPECT_EQ(chi1, second.chi_square);
+  EXPECT_EQ(total1, second.total);
+  // Re-running on a used kernel (scratch reuse) changes nothing.
+  const SketchedJoint& third = a.Estimate(x, y, options);
+  EXPECT_EQ(h1, third.joint_entropy);
+  EXPECT_EQ(chi1, third.chi_square);
+}
+
+TEST(JointSketchKernelTest, SketchedJointEntropyNeverExceedsExact) {
+  // c_hat >= c pointwise implies sum log2(c_hat) >= sum log2(c), hence
+  // H_hat(X,Y) <= H(X,Y): a deterministic inequality, not a tail bound.
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Column x = RandomColumn(rng, 1500, 50 + 200 * static_cast<size_t>(trial),
+                            trial % 2 == 0 ? 0.0 : 0.2);
+    Column y = RandomColumn(rng, 1500, 400, 0.1);
+    for (NullPolicy policy :
+         {NullPolicy::kNullAsSymbol, NullPolicy::kDropNulls}) {
+      StatsOptions exact;
+      exact.null_policy = policy;
+      double h_exact = JointEntropy(x, y, exact);
+      double h_sketch = JointEntropy(x, y, SketchAllPairs(policy));
+      EXPECT_LE(h_sketch, h_exact + 1e-9);
+      EXPECT_GE(h_sketch, 0.0);
+    }
+  }
+}
+
+TEST(JointSketchKernelTest, DropNullsUsesExactPairMarginals) {
+  Rng rng(13);
+  Column x = RandomColumn(rng, 800, 40, 0.25);
+  Column y = RandomColumn(rng, 800, 40, 0.25);
+  JointSketchKernel kernel;
+  const SketchedJoint& sketched =
+      kernel.Estimate(x, y, SketchAllPairs(NullPolicy::kDropNulls));
+  ASSERT_TRUE(sketched.has_marginals);
+  uint64_t x_sum = 0;
+  for (uint64_t c : sketched.x_marginals) x_sum += c;
+  uint64_t y_sum = 0;
+  for (uint64_t c : sketched.y_marginals) y_sum += c;
+  EXPECT_EQ(x_sum, sketched.total);
+  EXPECT_EQ(y_sum, sketched.total);
+  EXPECT_EQ(sketched.x_marginals[0], 0u);
+  EXPECT_EQ(sketched.y_marginals[0], 0u);
+
+  // kNullAsSymbol keeps the retained set pair-invariant: no marginals.
+  const SketchedJoint& symbol =
+      kernel.Estimate(x, y, SketchAllPairs(NullPolicy::kNullAsSymbol));
+  EXPECT_FALSE(symbol.has_marginals);
+  EXPECT_EQ(symbol.total, 800u);
+}
+
+// Exact-vs-sketch MI deltas on the Figure-9 sample-size sweep fixtures
+// (lab exam and census at 1K tuples). Two bounds per pair:
+//   * the deterministic sandwich MI_exact <= MI_hat <= min(H(X), H(Y))
+//     (H_hat under-estimates; the clamp caps the overshoot), and
+//   * |MI_hat - MI_exact| <= log2(1 + 2 * epsilon * N): every point count
+//     inflates by at most epsilon*N with prob >= 1 - delta, and counts
+//     are >= 1, so the per-row log ratio is bounded (doubled for slack on
+//     the delta tail).
+TEST(JointSketchKernelTest, MiDeltaBoundsOnFigure9Fixtures) {
+  constexpr size_t kRows = 1000;
+  datagen::LabExamConfig lab_config;
+  lab_config.num_test_attributes = 12;
+  lab_config.num_null_heavy_attributes = 2;
+  lab_config.num_rows = kRows;
+  Table lab = datagen::MakeLabExamTable(lab_config, 7).value();
+
+  datagen::CensusConfig census_config;
+  census_config.num_attributes = 12;
+  census_config.num_rows = kRows;
+  Table census = datagen::MakeCensusTable(census_config, 7).value();
+
+  const StatsOptions exact;
+  const StatsOptions sketch = SketchAllPairs();
+  const SketchParams params = SketchParams::FromBounds(
+      sketch.sketch_epsilon, sketch.sketch_delta);
+  const double delta_bound = std::log2(
+      1.0 + 2.0 * params.epsilon_bound * static_cast<double>(kRows));
+
+  for (const Table* table : {&lab, &census}) {
+    size_t n = table->num_attributes();
+    double sum_delta = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const Column& x = table->column(i);
+        const Column& y = table->column(j);
+        double mi_exact = MutualInformation(x, y, exact);
+        double mi_sketch = MutualInformation(x, y, sketch);
+        double cap = std::min(EntropyOf(x, exact), EntropyOf(y, exact));
+        EXPECT_GE(mi_sketch, mi_exact - 1e-9);
+        EXPECT_LE(mi_sketch, cap + 1e-9);
+        double delta = std::fabs(mi_sketch - mi_exact);
+        EXPECT_LE(delta, delta_bound)
+            << "pair (" << i << ", " << j << ")";
+        sum_delta += delta;
+        ++pairs;
+      }
+    }
+    // The average error is far inside the worst-case bound on these
+    // fixtures (the bench records the measured values per sweep).
+    EXPECT_LE(sum_delta / static_cast<double>(pairs), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace depmatch

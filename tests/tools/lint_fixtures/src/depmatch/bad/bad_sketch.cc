@@ -1,0 +1,10 @@
+// Fixture for the sketch-gate rule: library code reaching for the
+// count-min kernel without consulting the UseSketch() opt-in predicate.
+
+namespace depmatch {
+
+double ApproximateMi(JointSketchKernel* kernel) {  // sketch-gate: ungated
+  return kernel->Estimate().joint_entropy;
+}
+
+}  // namespace depmatch

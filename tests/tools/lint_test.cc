@@ -56,6 +56,8 @@ TEST(DepmatchLintTest, FailsOnTheFixtureTreeWithEveryRule) {
       << result.output;
   EXPECT_NE(result.output.find("[bit-identical]"), std::string::npos)
       << result.output;
+  EXPECT_NE(result.output.find("[sketch-gate]"), std::string::npos)
+      << result.output;
 }
 
 TEST(DepmatchLintTest, FindingsNameFileAndLine) {

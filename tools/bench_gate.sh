@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-measure the graph-build headline numbers and
+# compare them against the committed BENCH_graph_build.json. A fresh
+# headline more than BENCH_GATE_TOLERANCE percent slower than the
+# committed one fails the gate — catching perf regressions the unit tests
+# cannot see (the kernels stay bit-identical while getting slower).
+#
+#   tools/bench_gate.sh                 measure and compare
+#   BENCH_GATE=0 tools/bench_gate.sh    skip (exit 0)
+#
+# Environment:
+#   BENCH_GATE_TOLERANCE  allowed slowdown in percent (default 10)
+#   BENCH_GATE_REPS       repetitions per data point (default 2; min-of-N
+#                         absorbs scheduler noise better than one shot)
+#   BENCH_GATE_ATTEMPTS   measurement attempts before failing (default 2:
+#                         the committed minima are min-of-5 on a quiet
+#                         machine, so a single noisy run re-measures once
+#                         — the per-config minimum across attempts is
+#                         compared — before the gate calls it a
+#                         regression)
+#   BENCH_GATE_BUILD      build directory (default build/)
+#
+# Compared values: every "dense_min_ms" in the headline blocks, i.e. the
+# alphabet-32 and alphabet-4096 dense builds at 10K rows x 30 attrs. The
+# full results[] sweep is too noisy for a hard gate at single-digit
+# milliseconds; the headline minima are what the PR history tracks.
+#
+# Exit code: 0 on pass/skip, 1 on regression or measurement failure.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ "${BENCH_GATE:-1}" = "0" ]; then
+  echo "bench_gate: skipped (BENCH_GATE=0)"
+  exit 0
+fi
+
+COMMITTED="$ROOT/BENCH_graph_build.json"
+if [ ! -f "$COMMITTED" ]; then
+  echo "bench_gate: skipped (no committed $COMMITTED to compare against)"
+  exit 0
+fi
+
+TOLERANCE="${BENCH_GATE_TOLERANCE:-10}"
+REPS="${BENCH_GATE_REPS:-2}"
+ATTEMPTS="${BENCH_GATE_ATTEMPTS:-2}"
+BUILD="${BENCH_GATE_BUILD:-$ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+if ! cmake --build "$BUILD" --target bench_graph_build -j "$JOBS" \
+    >/dev/null; then
+  echo "bench_gate: FAIL (could not build bench_graph_build)"
+  exit 1
+fi
+
+FRESH="$(mktemp /tmp/bench_gate.XXXXXX.json)"
+BEST="$(mktemp /tmp/bench_gate.XXXXXX.best)"
+trap 'rm -f "$FRESH" "$BEST"' EXIT
+
+# The headline blocks precede results[], so the first two occurrences of
+# "dense_min_ms" in file order are alphabet-32 then alphabet-4096.
+headline_minima() {
+  grep -o '"dense_min_ms": *[0-9.]*' "$1" | grep -o '[0-9.]*$' | head -2
+}
+
+compare() {  # committed-minima-file best-minima-file
+  paste "$1" "$2" | awk -v tol="$TOLERANCE" '
+    BEGIN { labels[1] = "alphabet-32 dense"; labels[2] = "alphabet-4096 dense" }
+    NF == 2 {
+      limit = $1 * (1 + tol / 100)
+      verdict = ($2 <= limit) ? "ok" : "REGRESSION"
+      printf "bench_gate: %-20s committed %8.2f ms   fresh %8.2f ms   %s\n",
+             labels[NR], $1, $2, verdict
+      if ($2 > limit) failed = 1
+    }
+    NF == 1 {
+      printf "bench_gate: %-20s present in only one file; skipped\n",
+             labels[NR]
+    }
+    END { exit failed ? 1 : 0 }
+  '
+}
+
+COMMITTED_MINIMA="$(mktemp /tmp/bench_gate.XXXXXX.committed)"
+trap 'rm -f "$FRESH" "$BEST" "$COMMITTED_MINIMA"' EXIT
+headline_minima "$COMMITTED" > "$COMMITTED_MINIMA"
+
+: > "$BEST"
+attempt=0
+while :; do
+  attempt=$((attempt + 1))
+  echo "bench_gate: measuring fresh headline (attempt $attempt/$ATTEMPTS, reps=$REPS) ..."
+  if ! DEPMATCH_BENCH_REPS="$REPS" "$BUILD/bench/bench_graph_build" "$FRESH" \
+      >/dev/null; then
+    echo "bench_gate: FAIL (bench_graph_build run failed)"
+    exit 1
+  fi
+  # Fold this attempt into the element-wise best-so-far minima.
+  if [ -s "$BEST" ]; then
+    paste "$BEST" <(headline_minima "$FRESH") \
+      | awk '{ print (NF == 2 && $2 < $1) ? $2 : $1 }' > "$BEST.next"
+    mv "$BEST.next" "$BEST"
+  else
+    headline_minima "$FRESH" > "$BEST"
+  fi
+  if compare "$COMMITTED_MINIMA" "$BEST"; then
+    echo "bench_gate: pass"
+    exit 0
+  fi
+  if [ "$attempt" -ge "$ATTEMPTS" ]; then
+    echo "bench_gate: FAIL (fresh headline >$TOLERANCE% over committed after $ATTEMPTS attempts)"
+    exit 1
+  fi
+  echo "bench_gate: over tolerance; re-measuring to rule out scheduler noise"
+done

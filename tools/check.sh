@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-shot correctness gate: format check, clang-tidy build, depmatch_lint,
-# and ASan+TSan smoke runs of the benches' --smoke correctness gates plus
-# the tsan_stress test suite.
+# ASan+TSan smoke runs of the benches' --smoke correctness gates plus the
+# tsan_stress test suite, and the bench regression gate (fresh graph-build
+# headline vs the committed BENCH_graph_build.json).
 #
 #   tools/check.sh            run every stage
-#   tools/check.sh --fast     skip the sanitizer stages (format+tidy+lint)
+#   tools/check.sh --fast     skip the sanitizer and bench stages
+#                             (format+tidy+lint)
+#   BENCH_GATE=0 tools/check.sh   run everything but the bench gate
 #
 # Stages that need an optional tool (clang-format, clang-tidy) are
 # SKIPPED with a notice when the tool is absent — the container image
@@ -97,6 +100,14 @@ else
     echo "tsan stress clean"
   else
     fail "TSan stress failed"
+  fi
+
+  # ---- 6. bench regression gate -------------------------------------------
+  note "bench regression gate (tools/bench_gate.sh, tolerance 10%)"
+  if tools/bench_gate.sh; then
+    echo "bench gate clean"
+  else
+    fail "bench regression gate reported a >10% headline slowdown"
   fi
 fi
 

@@ -26,6 +26,12 @@
 //                     constructs that change double accumulation order
 //                     (std::reduce, std::transform_reduce, atomic
 //                     floating accumulators, OpenMP reductions).
+//   sketch-gate       Library code (src/) outside the sketch module must
+//                     not touch JointSketchKernel unless the same file
+//                     routes through the UseSketch() predicate, which is
+//                     the single place that checks the explicit
+//                     StatsOptions::sketch_mode opt-in. Approximate
+//                     answers must never be reachable by default.
 //
 // A finding on line N is suppressed when line N or line N-1 contains
 //   depmatch-lint: allow(<rule>)
@@ -472,6 +478,7 @@ class Linter {
     CheckRawThread(rel, code, raw_lines);
     if (kind.is_header) CheckHeaderGuard(rel, code, raw_lines);
     CheckBitIdentical(rel, raw, code, raw_lines);
+    CheckSketchGate(rel, kind, code, raw_lines);
   }
 
   void CheckRequiredSentinels() {
@@ -481,6 +488,7 @@ class Linter {
     // it shows up in a diff (and here).
     static const char* kRequired[] = {
         "src/depmatch/stats/joint_kernel.cc",
+        "src/depmatch/stats/joint_sketch.cc",
         "src/depmatch/stats/stat_cache.cc",
         "src/depmatch/table/encoded_column.cc",
         "src/depmatch/match/score_kernel.cc",
@@ -657,6 +665,29 @@ class Linter {
           "documented bit-identical at any thread count (sentinel "
           "comment) — keep summation order fixed";
       Report(rel, line, "bit-identical", msg, raw_lines);
+    }
+  }
+
+  void CheckSketchGate(const std::string& rel, const FileKind& kind,
+                       const std::string& code,
+                       const std::vector<std::string>& raw_lines) {
+    if (!kind.in_src) return;
+    // The sketch module itself defines the kernel and the gate.
+    if (rel.find("stats/joint_sketch") != std::string::npos) return;
+    static const std::regex kKernel(R"(\bJointSketchKernel\b)");
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kKernel);
+    if (begin == std::sregex_iterator()) return;
+    // A file that consults UseSketch() is, by construction, checking the
+    // explicit StatsOptions::sketch_mode opt-in before estimating.
+    if (code.find("UseSketch") != std::string::npos) return;
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
+      Report(rel, line, "sketch-gate",
+             "JointSketchKernel used without a UseSketch() gate; the "
+             "count-min tier is approximate and must only run when "
+             "StatsOptions::sketch_mode is explicitly set (see "
+             "stats/joint_sketch.h)",
+             raw_lines);
     }
   }
 
