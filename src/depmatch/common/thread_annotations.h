@@ -1,0 +1,78 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Thread-safety annotation macros, enforced two ways:
+//
+//   * under clang, DEPMATCH_GUARDED_BY / DEPMATCH_REQUIRES /
+//     DEPMATCH_EXCLUDES expand to the clang thread-safety-analysis
+//     attributes, so a `-Wthread-safety` build checks them natively;
+//   * under gcc (the CI container ships no clang) they expand to
+//     nothing, and `tools/depmatch_analyze` enforces them statically:
+//     an annotated field touched in a scope that does not hold the
+//     named mutex is a `lock-discipline` finding, and a class that
+//     declares a std::mutex member must annotate every mutable field
+//     (`lock-annotation`).
+//
+// The _ONCE variants cover state materialized lazily under a
+// std::once_flag (the sharded store's metadata/signature/graph slots).
+// A once_flag is not a clang capability, so these are no-ops under both
+// compilers and exist purely for depmatch_analyze, which checks that
+// every *write* to the field happens inside a std::call_once on one of
+// the named flags (or in a function marked DEPMATCH_REQUIRES_ONCE).
+// Reads are unchecked: the call_once happens-before edge publishes the
+// slot, after which it is read-only — that write-once contract is
+// exactly what the analyzer pins down.
+//
+// Usage:
+//
+//   class Queue {
+//    public:
+//     void Push(Item item) DEPMATCH_EXCLUDES(mu_);
+//
+//    private:
+//     void PushLocked(Item item) DEPMATCH_REQUIRES(mu_);
+//
+//     std::mutex mu_;
+//     std::deque<Item> items_ DEPMATCH_GUARDED_BY(mu_);
+//   };
+//
+// A field may carry several _ONCE annotations when distinct phases
+// write it under distinct flags (e.g. sized under `meta_once`, filled
+// per-element under `sig_once[i]`); a write is legal under any listed
+// flag. See docs/static_analysis.md for the rule catalog and the
+// suppression syntax for the rare legitimate exception
+// (`depmatch-analyze: allow(lock-discipline) — justification`).
+
+#ifndef DEPMATCH_COMMON_THREAD_ANNOTATIONS_H_
+#define DEPMATCH_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DEPMATCH_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DEPMATCH_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+// Field is protected by the given mutex: every read and write must
+// happen with the mutex held.
+#define DEPMATCH_GUARDED_BY(mu) \
+  DEPMATCH_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(mu))
+
+// Function requires the listed mutexes to be held by the caller (it
+// does not acquire them itself).
+#define DEPMATCH_REQUIRES(...) \
+  DEPMATCH_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function must NOT be entered with the listed mutexes held (it
+// acquires them internally; calling it under the lock would deadlock).
+#define DEPMATCH_EXCLUDES(...) \
+  DEPMATCH_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Write-once state materialized under a std::once_flag. No-op for the
+// compilers; enforced by depmatch_analyze only (see file comment).
+#define DEPMATCH_GUARDED_BY_ONCE(flag)
+
+// Function's body runs with the given once_flag held (it is only ever
+// invoked from a std::call_once on that flag). Analyzer-only.
+#define DEPMATCH_REQUIRES_ONCE(flag)
+
+#endif  // DEPMATCH_COMMON_THREAD_ANNOTATIONS_H_

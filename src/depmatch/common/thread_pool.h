@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "depmatch/common/thread_annotations.h"
+
 namespace depmatch {
 
 // A minimal fixed-size thread pool. Tasks are void() callables. Destruction
@@ -30,12 +32,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues `task` for execution on some worker.
-  void Schedule(std::function<void()> task);
+  // Enqueues `task` for execution on some worker. Must not be called
+  // from a scope holding mu_ (it takes the lock itself).
+  void Schedule(std::function<void()> task) DEPMATCH_EXCLUDES(mu_);
 
   // Blocks until every scheduled task (including tasks scheduled by other
   // tasks) has completed.
-  void Wait();
+  void Wait() DEPMATCH_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -54,14 +57,17 @@ class ThreadPool {
       const std::function<void(size_t worker, size_t index)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DEPMATCH_EXCLUDES(mu_);
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::deque<std::function<void()>> queue_ DEPMATCH_GUARDED_BY(mu_);
+  size_t in_flight_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ DEPMATCH_GUARDED_BY(mu_) = false;
+  // depmatch-analyze: allow(lock-annotation) — written only by the
+  // constructor (before any sharing) and joined by the destructor after
+  // every worker has exited; num_threads() reads a size fixed at birth.
   std::vector<std::thread> threads_;
 };
 

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_annotations.h"
 #include "depmatch/common/thread_pool.h"
 #include "depmatch/graph/graph_io.h"
 
@@ -74,7 +75,7 @@ class SharedTopK {
         threshold_bits_(
             std::bit_cast<uint64_t>(-std::numeric_limits<double>::infinity())) {}
 
-  void Submit(double key) {
+  void Submit(double key) DEPMATCH_EXCLUDES(mu_) {
     std::lock_guard<std::mutex> lock(mu_);
     if (heap_.size() < k_) {
       heap_.push(key);
@@ -95,9 +96,10 @@ class SharedTopK {
   }
 
  private:
-  size_t k_;
+  const size_t k_;
   std::mutex mu_;
-  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_
+      DEPMATCH_GUARDED_BY(mu_);
   std::atomic<uint64_t> threshold_bits_;
 };
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "depmatch/common/string_util.h"
+#include "depmatch/common/thread_annotations.h"
 #include "depmatch/graph/graph_io.h"
 
 namespace depmatch {
@@ -374,30 +375,46 @@ struct ShardedCatalogStore::Impl {
   Section section[kNumSections];
 
   mutable std::once_flag meta_once;
-  mutable Status meta_status;
-  mutable std::vector<EntryMeta> entries;
-  mutable std::vector<std::string> names;
-  mutable std::vector<SegmentMeta> segments;
-  mutable CatalogTieredIndex tiered;
-  mutable bool has_tiered = false;
+  mutable Status meta_status DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<EntryMeta> entries DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<std::string> names DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<SegmentMeta> segments
+      DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable CatalogTieredIndex tiered DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable bool has_tiered DEPMATCH_GUARDED_BY_ONCE(meta_once) = false;
 
   // Lazy per-entry / per-segment state. The once-flags make concurrent
   // materialization from pool workers safe; each guarded slot is
-  // written exactly once and read-only afterwards.
-  mutable std::unique_ptr<std::once_flag[]> sig_once;
-  mutable std::vector<GraphSignature> sigs;
-  mutable std::unique_ptr<std::once_flag[]> graph_once;
-  mutable std::vector<std::unique_ptr<DependencyGraph>> graphs;
-  mutable std::vector<Status> graph_status;
-  mutable std::unique_ptr<std::once_flag[]> segment_once;
-  mutable std::vector<MappedFile> segment_maps;
-  mutable std::vector<Status> segment_status;
+  // written exactly once and read-only afterwards. The slot vectors are
+  // sized under meta_once (before any element writer can reach them)
+  // and filled element-wise under their own flag, hence the dual
+  // annotations.
+  mutable std::unique_ptr<std::once_flag[]> sig_once
+      DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<GraphSignature> sigs
+      DEPMATCH_GUARDED_BY_ONCE(meta_once) DEPMATCH_GUARDED_BY_ONCE(sig_once);
+  mutable std::unique_ptr<std::once_flag[]> graph_once
+      DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<std::unique_ptr<DependencyGraph>> graphs
+      DEPMATCH_GUARDED_BY_ONCE(meta_once)
+          DEPMATCH_GUARDED_BY_ONCE(graph_once);
+  mutable std::vector<Status> graph_status
+      DEPMATCH_GUARDED_BY_ONCE(meta_once)
+          DEPMATCH_GUARDED_BY_ONCE(graph_once);
+  mutable std::unique_ptr<std::once_flag[]> segment_once
+      DEPMATCH_GUARDED_BY_ONCE(meta_once);
+  mutable std::vector<MappedFile> segment_maps
+      DEPMATCH_GUARDED_BY_ONCE(meta_once)
+          DEPMATCH_GUARDED_BY_ONCE(segment_once);
+  mutable std::vector<Status> segment_status
+      DEPMATCH_GUARDED_BY_ONCE(meta_once)
+          DEPMATCH_GUARDED_BY_ONCE(segment_once);
 
   std::string_view SectionView(size_t s) const {
     return manifest.view().substr(section[s].offset, section[s].length);
   }
 
-  Status ParseMetadata() const;
+  Status ParseMetadata() const DEPMATCH_REQUIRES_ONCE(meta_once);
   Status EnsureSegment(size_t s) const;
 };
 

@@ -48,7 +48,8 @@ class SharedBound {
   bool maximize_;
   // Bound publication, not a sum: branches only prune strictly against
   // it, so the result stays exact at any publication order.
-  // depmatch-lint: allow(bit-identical) — no accumulation through this atomic
+  // depmatch-analyze: allow(det-atomic-float) — no accumulation through
+  // this atomic
   std::atomic<double> value_;
 };
 

@@ -366,6 +366,9 @@ void JointCountKernel::CountSparseHash(SlotOfX x_slot, SlotOfY y_slot,
   // yields the same canonical cell order the dense kernel produces.
   sparse_keys_.clear();
   sparse_keys_.reserve(sparse_.size());
+  // depmatch-analyze: allow(det-unordered-iter) — only keys are taken,
+  // and they are sorted on the next line; hash order never reaches the
+  // output.
   for (const auto& [key, count] : sparse_) sparse_keys_.push_back(key);
   std::sort(sparse_keys_.begin(), sparse_keys_.end());
   counts_.cell_x_slots.reserve(sparse_keys_.size());

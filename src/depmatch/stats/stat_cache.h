@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "depmatch/common/thread_annotations.h"
 #include "depmatch/stats/joint_kernel.h"
 #include "depmatch/table/encoded_column.h"
 
@@ -97,7 +98,8 @@ class StatCache {
   // view row selection, policy), computing and inserting on miss.
   std::shared_ptr<const ColumnSelectionStats> Get(const EncodedTableView& view,
                                                   size_t column,
-                                                  NullPolicy policy);
+                                                  NullPolicy policy)
+      DEPMATCH_EXCLUDES(mu_);
 
   // Edge memo: the exact double a graph-builder fold produced for view
   // columns (x, y) under `fold_tag` (the caller's encoding of the edge
@@ -111,9 +113,11 @@ class StatCache {
   // and are directional (see file comment), so a hit is bit-identical to
   // recomputing by construction.
   bool GetEdge(const EncodedTableView& view, size_t x, size_t y,
-               NullPolicy policy, uint32_t fold_tag, double* value);
+               NullPolicy policy, uint32_t fold_tag, double* value)
+      DEPMATCH_EXCLUDES(mu_);
   void PutEdge(const EncodedTableView& view, size_t x, size_t y,
-               NullPolicy policy, uint32_t fold_tag, double value);
+               NullPolicy policy, uint32_t fold_tag, double value)
+      DEPMATCH_EXCLUDES(mu_);
 
   struct Counters {
     uint64_t hits = 0;
@@ -123,11 +127,11 @@ class StatCache {
     uint64_t edge_misses = 0;
     size_t edge_entries = 0;
   };
-  Counters counters() const;
+  Counters counters() const DEPMATCH_EXCLUDES(mu_);
 
   // Drops all entries (counters included). Outstanding shared_ptrs stay
   // valid — entries are immutable and reference-counted.
-  void Clear();
+  void Clear() DEPMATCH_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -160,12 +164,13 @@ class StatCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const ColumnSelectionStats>,
                      KeyHash>
-      map_;
-  std::unordered_map<EdgeKey, double, EdgeKeyHash> edge_map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t edge_hits_ = 0;
-  uint64_t edge_misses_ = 0;
+      map_ DEPMATCH_GUARDED_BY(mu_);
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> edge_map_
+      DEPMATCH_GUARDED_BY(mu_);
+  uint64_t hits_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  uint64_t edge_hits_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  uint64_t edge_misses_ DEPMATCH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace depmatch

@@ -122,7 +122,9 @@ Result<RangePartitionResult> RangePartitionAtMedian(const Table& table,
         "cannot take median of an all-null attribute");
   }
   size_t mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
   return RangePartition(table, col, values[mid]);
 }
 

@@ -1,0 +1,79 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Compile-level contract of common/thread_annotations.h: under clang
+// the macros expand to the thread-safety-analysis attributes, under gcc
+// to nothing — and in both cases an annotated class must compile and
+// behave normally. The analyzer-only _ONCE variants must expand to
+// nothing everywhere.
+
+#include "depmatch/common/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+
+namespace depmatch {
+namespace {
+
+#define DEPMATCH_TEST_STRINGIZE_IMPL(x) #x
+#define DEPMATCH_TEST_STRINGIZE(x) DEPMATCH_TEST_STRINGIZE_IMPL(x)
+
+TEST(ThreadAnnotationsTest, ExpansionMatchesCompiler) {
+  const std::string guarded =
+      DEPMATCH_TEST_STRINGIZE(DEPMATCH_GUARDED_BY(mu_));
+  const std::string requires_cap =
+      DEPMATCH_TEST_STRINGIZE(DEPMATCH_REQUIRES(mu_));
+  const std::string excludes =
+      DEPMATCH_TEST_STRINGIZE(DEPMATCH_EXCLUDES(mu_));
+#if defined(__clang__)
+  EXPECT_NE(guarded.find("guarded_by(mu_)"), std::string::npos) << guarded;
+  EXPECT_NE(requires_cap.find("requires_capability(mu_)"), std::string::npos)
+      << requires_cap;
+  EXPECT_NE(excludes.find("locks_excluded(mu_)"), std::string::npos)
+      << excludes;
+#else
+  EXPECT_EQ(guarded, "");
+  EXPECT_EQ(requires_cap, "");
+  EXPECT_EQ(excludes, "");
+#endif
+}
+
+TEST(ThreadAnnotationsTest, OnceVariantsAreAlwaysNoOps) {
+  // once_flag is not a clang capability; the _ONCE annotations exist for
+  // depmatch_analyze only and must vanish under every compiler.
+  EXPECT_STREQ(DEPMATCH_TEST_STRINGIZE(DEPMATCH_GUARDED_BY_ONCE(flag_)), "");
+  EXPECT_STREQ(DEPMATCH_TEST_STRINGIZE(DEPMATCH_REQUIRES_ONCE(flag_)), "");
+}
+
+// An annotated class must compile (gcc sees plain declarations; clang
+// sees the attributes in a -Wthread-safety-clean arrangement) and work.
+class AnnotatedCounter {
+ public:
+  void Add(int delta) DEPMATCH_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    AddLocked(delta);
+  }
+
+  int Total() const DEPMATCH_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  void AddLocked(int delta) DEPMATCH_REQUIRES(mu_) { total_ += delta; }
+
+  mutable std::mutex mu_;
+  int total_ DEPMATCH_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedClassCompilesAndRuns) {
+  AnnotatedCounter counter;
+  counter.Add(3);
+  counter.Add(4);
+  EXPECT_EQ(counter.Total(), 7);
+}
+
+}  // namespace
+}  // namespace depmatch

@@ -102,6 +102,75 @@ TEST(StatCacheStressTest, ConcurrentGetsWithOverlappingKeys) {
   }
 }
 
+TEST(StatCacheStressTest, ClearRacesWithGetsEdgeOpsAndCounters) {
+  // Clear() concurrent with Get / GetEdge / PutEdge / counters(): the
+  // DEPMATCH_EXCLUDES(mu_) methods must all be callable from any thread
+  // at any time. A cleared-then-recomputed entry must stay bit-identical
+  // to the cold computation, and counters must never tear.
+  Table table = RandomTable(200, 6, 91);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  const size_t cols = view.num_attributes();
+
+  std::vector<std::shared_ptr<const ColumnSelectionStats>> reference;
+  for (size_t c = 0; c < cols; ++c) {
+    reference.push_back(
+        ComputeSelectionStats(view, c, NullPolicy::kNullAsSymbol));
+  }
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOps = 4000;
+  StatCache cache;
+  ThreadPool::ParallelFor(kThreads, kOps, [&](size_t op) {
+    const size_t column = op % cols;
+    const size_t other = (column + 1) % cols;
+    switch (op % 5) {
+      case 0: {
+        auto stats = cache.Get(view, column, NullPolicy::kNullAsSymbol);
+        ASSERT_NE(stats, nullptr);
+        // Entries inserted before a racing Clear stay valid and exact.
+        EXPECT_EQ(stats->marginal.entropy,
+                  reference[column]->marginal.entropy);
+        break;
+      }
+      case 1: {
+        double value = 0.0;
+        if (cache.GetEdge(view, column, other, NullPolicy::kNullAsSymbol,
+                          /*fold_tag=*/7, &value)) {
+          // A hit must return exactly what PutEdge stored for this key.
+          EXPECT_EQ(value, static_cast<double>(column));
+        }
+        break;
+      }
+      case 2:
+        cache.PutEdge(view, column, other, NullPolicy::kNullAsSymbol,
+                      /*fold_tag=*/7, static_cast<double>(column));
+        break;
+      case 3: {
+        StatCache::Counters counters = cache.counters();
+        // One policy over `cols` columns: the column memo never exceeds
+        // cols entries between clears, and hit/miss only grow.
+        EXPECT_LE(counters.entries, cols);
+        EXPECT_LE(counters.edge_entries, cols);
+        break;
+      }
+      default:
+        if (op % 16 == 4) cache.Clear();
+        break;
+    }
+  });
+
+  // After the dust settles a fresh Get recomputes bit-identically.
+  cache.Clear();
+  for (size_t c = 0; c < cols; ++c) {
+    auto stats = cache.Get(view, c, NullPolicy::kNullAsSymbol);
+    ASSERT_EQ(*stats->slots, *reference[c]->slots);
+    EXPECT_EQ(stats->marginal.entropy, reference[c]->marginal.entropy);
+  }
+  StatCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.entries, cols);
+  EXPECT_EQ(counters.misses, cols);
+}
+
 TEST(StatCacheStressTest, SharedCacheGraphBuildsAreThreadInvariant) {
   Table table = RandomTable(300, 10, 83);
   EncodedTableView view = EncodedTableView::FromTable(table);

@@ -1,10 +1,11 @@
-// Fixture: one violation per rule, each on its own clearly-marked line.
+// Fixture: one violation per legacy rule, each on its own clearly-marked
+// line.
 
 #include <random>
 #include <stdexcept>
 #include <thread>
 
-#include "bad_lib.h"
+#include "depmatch/bad/bad_lib.h"
 
 namespace depmatch {
 

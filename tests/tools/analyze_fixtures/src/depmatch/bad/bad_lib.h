@@ -1,5 +1,7 @@
 // Fixture: violates header-guard (guard does not match the path-derived
 // DEPMATCH_BAD_BAD_LIB_H_) and seeds the Status registry with DoThing.
+// The directory itself also violates layering: `bad` is not a declared
+// module.
 
 #ifndef WRONG_GUARD_H
 #define WRONG_GUARD_H

@@ -1,0 +1,27 @@
+// Fixture: every lock-discipline failure mode, each on its own
+// clearly-marked line.
+
+#include "depmatch/common/bad_lock.h"
+
+namespace depmatch {
+
+void BadCounter::Increment() {
+  ++count_;  // lock-discipline: GUARDED_BY(mu_) field without the lock
+}
+
+void BadCounter::Reload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Refresh();  // lock-discipline: EXCLUDES(mu_) method called under mu_
+}
+
+void BadCounter::Refresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+}
+
+int BadCounter::WarmCache() {
+  cache_ = 42;  // lock-discipline: once-guarded write outside call_once
+  return cache_;
+}
+
+}  // namespace depmatch

@@ -1,0 +1,30 @@
+// Fixture: lock-discipline and lock-annotation violations, one each per
+// clearly-marked line.
+
+#ifndef DEPMATCH_COMMON_BAD_LOCK_H_
+#define DEPMATCH_COMMON_BAD_LOCK_H_
+
+#include <mutex>
+
+#include "depmatch/common/thread_annotations.h"
+
+namespace depmatch {
+
+class BadCounter {
+ public:
+  void Increment();
+  void Reload() DEPMATCH_EXCLUDES(mu_);
+  void Refresh() DEPMATCH_EXCLUDES(mu_);
+  int WarmCache();
+
+ private:
+  mutable std::mutex mu_;
+  int count_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  int total_ = 0;  // lock-annotation: unannotated field in a mutex class
+  std::once_flag cache_once_;
+  int cache_ DEPMATCH_GUARDED_BY_ONCE(cache_once_) = 0;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_COMMON_BAD_LOCK_H_

@@ -1,7 +1,7 @@
 // Fixture: clean consumption patterns the discarded-status rule must NOT
 // flag, plus one correctly-suppressed finding.
 
-#include "good_lib.h"
+#include "depmatch/common/good_lib.h"
 
 namespace depmatch {
 
@@ -16,7 +16,7 @@ bool ConsumeEveryWay() {
   Status assigned = DoGoodThing();        // consumed: initialization
   if (!DoGoodThing().ok()) return false;  // consumed: condition
   (void)DoGoodThing();                    // consumed: explicit void cast
-  // depmatch-lint: allow(discarded-status) — fixture for suppression
+  // depmatch-analyze: allow(discarded-status) — fixture for suppression
   DoGoodThing();
   return assigned.ok();
 }

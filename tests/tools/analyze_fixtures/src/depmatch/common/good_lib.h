@@ -1,7 +1,7 @@
 // Fixture: fully clean header — correct path-derived guard.
 
-#ifndef DEPMATCH_GOOD_GOOD_LIB_H_
-#define DEPMATCH_GOOD_GOOD_LIB_H_
+#ifndef DEPMATCH_COMMON_GOOD_LIB_H_
+#define DEPMATCH_COMMON_GOOD_LIB_H_
 
 namespace depmatch {
 
@@ -11,4 +11,4 @@ Status DoGoodThing();
 
 }  // namespace depmatch
 
-#endif  // DEPMATCH_GOOD_GOOD_LIB_H_
+#endif  // DEPMATCH_COMMON_GOOD_LIB_H_

@@ -1,0 +1,31 @@
+// Fixture: clean lock usage — guarded fields only under RAII locks, the
+// REQUIRES helper only called with the lock held, the once-field only
+// written inside call_once.
+
+#include "depmatch/common/good_locked.h"
+
+namespace depmatch {
+
+void GoodCounter::Add(int delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ += delta;
+  BumpLocked(delta);
+}
+
+int GoodCounter::Total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ + bumps_;
+}
+
+void GoodCounter::BumpLocked(int delta) { bumps_ += delta > 0 ? 1 : 0; }
+
+void GoodCounter::InitLimit() const {
+  std::call_once(limit_once_, [&] { limit_ = 1 << 20; });
+}
+
+int GoodCounter::CachedLimit() const {
+  InitLimit();
+  return limit_;  // reads of once-published state are lock-free
+}
+
+}  // namespace depmatch

@@ -1,0 +1,35 @@
+// Fixture: lock discipline done right — the lock pass must stay quiet.
+
+#ifndef DEPMATCH_COMMON_GOOD_LOCKED_H_
+#define DEPMATCH_COMMON_GOOD_LOCKED_H_
+
+#include <mutex>
+
+#include "depmatch/common/thread_annotations.h"
+
+namespace depmatch {
+
+class GoodCounter {
+ public:
+  void Add(int delta) DEPMATCH_EXCLUDES(mu_);
+  int Total() const DEPMATCH_EXCLUDES(mu_);
+  int CachedLimit() const;
+
+ private:
+  // Helper that expects the caller to hold mu_ already.
+  void BumpLocked(int delta) DEPMATCH_REQUIRES(mu_);
+  // In-class definition: the REQUIRES annotation licenses the body here
+  // too, not just in out-of-line definitions.
+  int DoubledLocked() const DEPMATCH_REQUIRES(mu_) { return bumps_ * 2; }
+  void InitLimit() const;
+
+  mutable std::mutex mu_;
+  int total_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  int bumps_ DEPMATCH_GUARDED_BY(mu_) = 0;
+  mutable std::once_flag limit_once_;
+  mutable int limit_ DEPMATCH_GUARDED_BY_ONCE(limit_once_) = 0;
+};
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_COMMON_GOOD_LOCKED_H_

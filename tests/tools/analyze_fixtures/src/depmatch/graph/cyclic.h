@@ -1,0 +1,15 @@
+// Fixture: graph -> stats is a declared (legal) edge, but together with
+// stats/cyclic.h it forms an include cycle the layer pass must report.
+
+#ifndef DEPMATCH_GRAPH_CYCLIC_H_
+#define DEPMATCH_GRAPH_CYCLIC_H_
+
+#include "depmatch/stats/cyclic.h"
+
+namespace depmatch {
+
+inline int GraphSide() { return 1; }
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_GRAPH_CYCLIC_H_

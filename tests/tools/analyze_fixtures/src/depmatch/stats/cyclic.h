@@ -1,0 +1,15 @@
+// Fixture: layering violation — stats may not depend on graph — which
+// also closes an include cycle with graph/cyclic.h.
+
+#ifndef DEPMATCH_STATS_CYCLIC_H_
+#define DEPMATCH_STATS_CYCLIC_H_
+
+#include "depmatch/graph/cyclic.h"  // layer: stats -> graph is not allowed
+
+namespace depmatch {
+
+inline int StatsSide() { return GraphSide() + 1; }
+
+}  // namespace depmatch
+
+#endif  // DEPMATCH_STATS_CYCLIC_H_

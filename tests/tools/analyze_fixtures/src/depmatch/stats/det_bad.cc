@@ -1,0 +1,28 @@
+// Fixture for the determinism rules: this file declares itself
+// bit-identical but iterates a hash container into its output, and uses
+// src-wide banned constructs.
+// depmatch-lint: bit-identical-file
+
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace depmatch {
+
+std::atomic<double> g_acc;  // det-atomic-float: reordered IEEE adds
+
+double UnorderedSum(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // det-reduce: reorders adds
+}
+
+std::vector<uint64_t> CellKeys(const std::vector<uint64_t>& rows) {
+  std::unordered_map<uint64_t, int> cells;
+  for (uint64_t row : rows) ++cells[row];
+  std::vector<uint64_t> keys;
+  // det-unordered-iter: hash order feeds the result unsorted.
+  for (const auto& kv : cells) keys.push_back(kv.first);
+  return keys;
+}
+
+}  // namespace depmatch

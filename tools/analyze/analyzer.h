@@ -1,0 +1,50 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Driver for the multi-pass whole-project analyzer. Orchestrates a
+// collect phase (annotations, Status registry, unordered-container
+// registry — always over all of src/) followed by a check phase over
+// the target set (the whole tree, or explicit files), then renders
+// findings as text or JSON and optionally emits docs/architecture.json.
+//
+// Exit codes: 0 clean, 1 findings, 2 tool error (bad flags, unreadable
+// input, unwritable output) — so CI can tell "the gate fired" from "the
+// gate is broken".
+
+#ifndef DEPMATCH_TOOLS_ANALYZE_ANALYZER_H_
+#define DEPMATCH_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace depmatch_analyze {
+
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitFindings = 1;
+inline constexpr int kExitToolError = 2;
+
+struct AnalyzerOptions {
+  std::filesystem::path root;
+  // When non-empty, only these files are checked (collection still walks
+  // src/ under root) and whole-tree checks (cycles, required sentinels)
+  // are skipped.
+  std::vector<std::filesystem::path> explicit_files;
+  bool json = false;          // findings as JSON on stdout
+  std::string json_out;       // findings as JSON to this file ("" = off)
+  std::string emit_arch;      // write architecture JSON here ("" = off)
+};
+
+// Parses depmatch_analyze's command line into `opts`. Returns kExitClean
+// on success, kExitToolError on a bad invocation (after printing to
+// `err`); prints usage and returns -1 for --help (caller exits 0).
+int ParseArgs(int argc, char** argv, AnalyzerOptions* opts, std::ostream& err);
+
+// Runs all passes; returns one of the exit codes above.
+int RunAnalyzer(const AnalyzerOptions& opts, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace depmatch_analyze
+
+#endif  // DEPMATCH_TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Determinism pass. Generalizes the old per-file bit-identical sentinel
+// checks into project-wide rules:
+//
+//   det-atomic-float   std::atomic<double/float/long double> anywhere in
+//                      src/ — atomic accumulation reorders IEEE adds.
+//   det-reduce         std::reduce / std::transform_reduce /
+//                      std::execution policies / #pragma omp anywhere in
+//                      src/ — unordered reduction primitives.
+//   det-unordered-iter in files carrying the bit-identical sentinel:
+//                      iterating an unordered_{map,set,multimap,multiset}
+//                      (range-for over it, or calling .begin()/.cbegin())
+//                      — hash iteration order is not part of the
+//                      contract those files document. Lookups, size(),
+//                      count(), clear() stay free; iterate a sorted copy
+//                      or switch the container instead.
+//   sentinel           the files docs/performance.md documents as
+//                      bit-identical must carry the sentinel comment.
+//
+// The unordered-container registry is harvested from declarations across
+// src/ (and the file under check), so a map declared in a header and
+// iterated in a sentinel .cc is still caught.
+
+#ifndef DEPMATCH_TOOLS_ANALYZE_DETERMINISM_PASS_H_
+#define DEPMATCH_TOOLS_ANALYZE_DETERMINISM_PASS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace depmatch_analyze {
+
+class DeterminismPass {
+ public:
+  // Harvests unordered-container variable names declared in `file`.
+  void Collect(const SourceFile& file);
+
+  void Check(const SourceFile& file, std::vector<Finding>* findings) const;
+
+  // Whole-tree only: the documented bit-identical files must carry the
+  // sentinel marker. `files` is every loaded file, keyed by rel path.
+  void CheckRequiredSentinels(const std::vector<SourceFile>& files,
+                              std::vector<Finding>* findings) const;
+
+ private:
+  std::set<std::string> unordered_names_;
+};
+
+}  // namespace depmatch_analyze
+
+#endif  // DEPMATCH_TOOLS_ANALYZE_DETERMINISM_PASS_H_

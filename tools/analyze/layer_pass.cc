@@ -1,0 +1,203 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/analyze/layer_pass.h"
+
+#include <sstream>
+
+namespace depmatch_analyze {
+
+namespace {
+
+constexpr char kRuleLayer[] = "layer";
+constexpr char kRuleCycle[] = "layer-cycle";
+
+}  // namespace
+
+std::string ModuleOfPath(const std::string& rel) {
+  const std::string prefix = "src/depmatch/";
+  if (rel.rfind(prefix, 0) != 0) return "";
+  size_t begin = prefix.size();
+  size_t slash = rel.find('/', begin);
+  if (slash == std::string::npos) return "";
+  return rel.substr(begin, slash - begin);
+}
+
+LayerPass::LayerPass() {
+  // Bottom-to-top declaration; each layer lists its allowed dependencies
+  // explicitly (already transitively closed) so the JSON artifact reads
+  // as a specification, not a computation.
+  struct Layer {
+    const char* name;
+    std::vector<const char*> deps;
+  };
+  const std::vector<Layer> layers = {
+      {"common", {}},
+      {"table", {"common"}},
+      {"stats", {"table", "common"}},
+      {"graph", {"stats", "table", "common"}},
+      {"datagen", {"graph", "stats", "table", "common"}},
+      {"match", {"graph", "stats", "table", "common"}},
+      {"translate", {"match", "graph", "stats", "table", "common"}},
+      {"eval", {"match", "graph", "stats", "table", "common"}},
+      {"core",
+       {"eval", "translate", "datagen", "match", "graph", "stats", "table",
+        "common"}},
+      {"nested",
+       {"core", "eval", "translate", "datagen", "match", "graph", "stats",
+        "table", "common"}},
+      // Reserved for the matching-as-a-service facade (ROADMAP item 1):
+      // declared now so the first service/ file lands under an enforced
+      // contract instead of redefining the DAG.
+      {"service",
+       {"nested", "core", "eval", "translate", "datagen", "match", "graph",
+        "stats", "table", "common"}},
+  };
+  for (const auto& layer : layers) {
+    layer_order_.push_back(layer.name);
+    auto& deps = allowed_[layer.name];
+    for (const char* dep : layer.deps) deps.insert(dep);
+  }
+}
+
+void LayerPass::Check(const SourceFile& file, std::vector<Finding>* findings) {
+  std::string module = ModuleOfPath(file.rel);
+  if (file.in_src && module.empty()) {
+    findings->push_back(
+        {file.rel, 0, kRuleLayer,
+         "file is under src/ but not in a declared module directory "
+         "(src/depmatch/<module>/...)"});
+    return;
+  }
+  if (module.empty()) return;
+  bool declared = allowed_.count(module) > 0;
+  if (!declared) {
+    findings->push_back(
+        {file.rel, 0, kRuleLayer,
+         "module '" + module +
+             "' is not declared in the layer DAG; add it to "
+             "tools/analyze/layer_pass.cc (and docs/architecture.json)"});
+  }
+  // #include "depmatch/<module>/..." scan. Includes live on their own
+  // lines; the stripped code blanks the path, so scan raw lines.
+  for (size_t n = 0; n < file.raw_lines.size(); ++n) {
+    const std::string& line = file.raw_lines[n];
+    size_t hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    size_t inc = line.find("include", hash);
+    if (inc == std::string::npos) continue;
+    size_t quote = line.find('"', inc);
+    if (quote == std::string::npos) continue;
+    size_t end = line.find('"', quote + 1);
+    if (end == std::string::npos) continue;
+    std::string path = line.substr(quote + 1, end - quote - 1);
+    if (path.rfind("depmatch/", 0) != 0) continue;
+    size_t slash = path.find('/', 9);
+    if (slash == std::string::npos) continue;
+    std::string target = path.substr(9, slash - 9);
+    observed_[module][target] += 1;
+    if (target == module) continue;
+    if (declared && allowed_.at(module).count(target) == 0) {
+      findings->push_back(
+          {file.rel, n + 1, kRuleLayer,
+           "module '" + module + "' may not depend on '" + target +
+               "' (allowed: module-local plus declared lower layers; see "
+               "docs/architecture.json)"});
+    }
+  }
+}
+
+void LayerPass::Finish(std::vector<Finding>* findings) const {
+  // Cycle detection on the observed graph. The declared DAG is acyclic
+  // by construction, but an undeclared module or a suppressed edge could
+  // still form a loop; report every cycle once, deterministically.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  // Iterative DFS with explicit stack for determinism and no recursion.
+  struct Visit {
+    std::string node;
+    std::vector<std::string> next;
+    size_t idx = 0;
+  };
+  for (const auto& entry : observed_) {
+    if (state[entry.first] != 0) continue;
+    std::vector<Visit> visits;
+    auto push = [&](const std::string& node) {
+      Visit visit;
+      visit.node = node;
+      auto it = observed_.find(node);
+      if (it != observed_.end()) {
+        for (const auto& edge : it->second) {
+          if (edge.first != node) visit.next.push_back(edge.first);
+        }
+      }
+      visits.push_back(visit);
+      state[node] = 1;
+      stack.push_back(node);
+    };
+    push(entry.first);
+    while (!visits.empty()) {
+      Visit& visit = visits.back();
+      if (visit.idx >= visit.next.size()) {
+        state[visit.node] = 2;
+        stack.pop_back();
+        visits.pop_back();
+        continue;
+      }
+      const std::string& target = visit.next[visit.idx++];
+      if (state[target] == 1) {
+        // Found a back edge: the cycle is the stack suffix from target.
+        std::string cycle;
+        bool in_cycle = false;
+        for (const auto& node : stack) {
+          if (node == target) in_cycle = true;
+          if (in_cycle) cycle += node + " -> ";
+        }
+        cycle += target;
+        if (reported.insert(cycle).second) {
+          findings->push_back(
+              {"src/depmatch", 0, kRuleCycle,
+               "include cycle between modules: " + cycle});
+        }
+      } else if (state[target] == 0) {
+        push(target);
+      }
+    }
+  }
+}
+
+std::string LayerPass::ArchitectureJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"declared_layers\": [\n";
+  for (size_t i = 0; i < layer_order_.size(); ++i) {
+    const std::string& name = layer_order_[i];
+    out << "    {\"module\": \"" << JsonEscape(name) << "\", \"may_use\": [";
+    const auto& deps = allowed_.at(name);
+    size_t j = 0;
+    for (const auto& dep : deps) {
+      out << (j++ ? ", " : "") << "\"" << JsonEscape(dep) << "\"";
+    }
+    out << "]}" << (i + 1 < layer_order_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"observed_includes\": [\n";
+  size_t total = 0;
+  for (const auto& entry : observed_) total += entry.second.size();
+  size_t emitted = 0;
+  for (const auto& entry : observed_) {
+    for (const auto& edge : entry.second) {
+      ++emitted;
+      out << "    {\"from\": \"" << JsonEscape(entry.first) << "\", \"to\": \""
+          << JsonEscape(edge.first) << "\", \"includes\": " << edge.second
+          << "}" << (emitted < total ? "," : "") << "\n";
+    }
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace depmatch_analyze

@@ -1,0 +1,59 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Layering pass. Parses the #include graph of src/depmatch/ and checks
+// it against the declared module DAG:
+//
+//   common -> table -> stats -> graph -> {match, datagen} -> translate
+//     -> eval -> core -> nested        (each may use everything below)
+//
+// plus a reserved top layer `service` (the planned matching-as-a-service
+// facade from ROADMAP item 1) that may use everything. A file in module
+// M may only include depmatch headers from M itself or modules M is
+// declared to depend on; includes of undeclared modules, dependency
+// cycles, and source files outside any declared module are findings.
+// The observed graph is also emitted as docs/architecture.json so the
+// checked-in artifact can be diffed for staleness in CI.
+
+#ifndef DEPMATCH_TOOLS_ANALYZE_LAYER_PASS_H_
+#define DEPMATCH_TOOLS_ANALYZE_LAYER_PASS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace depmatch_analyze {
+
+class LayerPass {
+ public:
+  LayerPass();
+
+  // Records the depmatch includes of `file` and reports per-include
+  // layering violations. Files outside src/depmatch/ contribute nothing
+  // (tests and tools may include anything).
+  void Check(const SourceFile& file, std::vector<Finding>* findings);
+
+  // Whole-graph checks (cycles) after every file was seen.
+  void Finish(std::vector<Finding>* findings) const;
+
+  // Renders the observed module graph + declared DAG as deterministic
+  // JSON (sorted keys, no timestamps).
+  std::string ArchitectureJson() const;
+
+ private:
+  // module -> modules it is allowed to depend on (transitively closed).
+  std::map<std::string, std::set<std::string>> allowed_;
+  std::vector<std::string> layer_order_;  // bottom to top, for the JSON
+  // Observed edges: module -> included module -> #include count.
+  std::map<std::string, std::map<std::string, size_t>> observed_;
+};
+
+// Module of a repo-relative path ("" when not under src/depmatch/).
+std::string ModuleOfPath(const std::string& rel);
+
+}  // namespace depmatch_analyze
+
+#endif  // DEPMATCH_TOOLS_ANALYZE_LAYER_PASS_H_

@@ -1,0 +1,1108 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "tools/analyze/lock_pass.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace depmatch_analyze {
+
+namespace {
+
+constexpr char kRuleDiscipline[] = "lock-discipline";
+constexpr char kRuleAnnotation[] = "lock-annotation";
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+size_t SkipSpace(const std::string& code, size_t i) {
+  while (i < code.size() && IsSpace(code[i])) ++i;
+  return i;
+}
+
+// Skips whitespace backward; returns the index just past the previous
+// non-space char (0 if none).
+size_t RskipSpace(const std::string& code, size_t i) {
+  while (i > 0 && IsSpace(code[i - 1])) --i;
+  return i;
+}
+
+// Reads the identifier ENDING at `end` (exclusive); returns "" if the
+// char before `end` is not an identifier char.
+std::string ReadIdentifierBackward(const std::string& code, size_t end,
+                                   size_t* start) {
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(code[begin - 1])) --begin;
+  *start = begin;
+  if (begin == end || !IsIdentStart(code[begin])) return "";
+  return code.substr(begin, end - begin);
+}
+
+// Index of the '(' matching the ')' just before `end` (exclusive), or
+// npos. `code[end - 1]` must be ')'.
+size_t MatchParenBackward(const std::string& code, size_t end) {
+  int depth = 0;
+  for (size_t i = end; i > 0; --i) {
+    char c = code[i - 1];
+    if (c == ')') {
+      ++depth;
+    } else if (c == '(') {
+      --depth;
+      if (depth == 0) return i - 1;
+    }
+  }
+  return std::string::npos;
+}
+
+struct ClassSpan {
+  std::string name;
+  std::string outer;
+  size_t body_begin = 0;  // offset of '{'
+  size_t body_end = 0;    // offset of matching '}'
+};
+
+// Finds every class/struct definition body in `code`. Handles nested
+// classes, out-of-line nested definitions (struct Outer::Inner { ... }),
+// base clauses, and `final`; skips forward declarations, enum class, and
+// template parameter lists.
+std::vector<ClassSpan> ParseClassSpans(const std::string& code) {
+  std::vector<ClassSpan> spans;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdentStart(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      continue;
+    }
+    std::string word = ReadIdentifier(code, i);
+    size_t after = i + word.size();
+    if (word != "class" && word != "struct") {
+      i = after - 1;
+      continue;
+    }
+    // "enum class"/"enum struct" is not a class definition.
+    size_t prev_end = RskipSpace(code, i);
+    size_t prev_begin = 0;
+    if (ReadIdentifierBackward(code, prev_end, &prev_begin) == "enum") {
+      i = after - 1;
+      continue;
+    }
+    size_t j = SkipSpace(code, after);
+    // Qualified name: Ident(::Ident)*.
+    std::string qual;
+    while (j < code.size() && IsIdentStart(code[j])) {
+      std::string part = ReadIdentifier(code, j);
+      j += part.size();
+      if (!qual.empty()) qual += "::";
+      qual += part;
+      if (code.compare(j, 2, "::") == 0) {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (qual.empty()) {
+      i = after - 1;
+      continue;
+    }
+    j = SkipSpace(code, j);
+    if (code.compare(j, 5, "final") == 0 &&
+        (j + 5 >= code.size() || !IsIdentChar(code[j + 5]))) {
+      j = SkipSpace(code, j + 5);
+    }
+    if (j >= code.size()) break;
+    if (code[j] == ':' && (j + 1 >= code.size() || code[j + 1] != ':')) {
+      // Base clause: scan to the body brace at template/paren depth 0.
+      int angle = 0;
+      int paren = 0;
+      while (j < code.size()) {
+        char c = code[j];
+        if (c == '<') {
+          ++angle;
+        } else if (c == '>') {
+          if (angle > 0) --angle;
+        } else if (c == '(') {
+          ++paren;
+        } else if (c == ')') {
+          if (paren > 0) --paren;
+        } else if ((c == '{' || c == ';') && angle == 0 && paren == 0) {
+          break;
+        }
+        ++j;
+      }
+    }
+    if (j >= code.size() || code[j] != '{') {
+      // Forward declaration, template parameter, elaborated type, ...
+      i = after - 1;
+      continue;
+    }
+    size_t close = MatchBrace(code, j);
+    if (close == std::string::npos) {
+      i = after - 1;
+      continue;
+    }
+    ClassSpan span;
+    size_t sep = qual.rfind("::");
+    if (sep == std::string::npos) {
+      span.name = qual;
+    } else {
+      span.name = qual.substr(sep + 2);
+      std::string prefix = qual.substr(0, sep);
+      size_t prev_sep = prefix.rfind("::");
+      span.outer =
+          prev_sep == std::string::npos ? prefix : prefix.substr(prev_sep + 2);
+    }
+    span.body_begin = j;
+    span.body_end = close;
+    spans.push_back(span);
+    i = j;  // keep scanning inside for nested classes
+  }
+  // Nested definitions inherit the enclosing span as `outer` unless the
+  // declaration was already qualified.
+  for (auto& span : spans) {
+    if (!span.outer.empty()) continue;
+    size_t best = std::string::npos;
+    for (const auto& other : spans) {
+      if (&other == &span) continue;
+      if (other.body_begin < span.body_begin &&
+          other.body_end > span.body_end) {
+        size_t width = other.body_end - other.body_begin;
+        if (best == std::string::npos || width < best) {
+          best = width;
+          span.outer = other.name;
+        }
+      }
+    }
+  }
+  return spans;
+}
+
+struct MethodSpan {
+  std::string cls;    // last qualifier (Impl in Outer::Impl::Method)
+  std::string outer;  // qualifier before that ("" if none)
+  std::string method;
+  size_t body_begin = 0;  // offset of '{'
+  size_t body_end = 0;
+};
+
+// Finds out-of-line member function definitions: a ::-qualified name
+// followed by a parameter list whose tail reads like a definition header
+// (cv/ref qualifiers, annotation macros, ctor-init list, trailing
+// return) ending in '{'. Qualified *calls* end in ';' or an operator and
+// are rejected by the tail scan.
+std::vector<MethodSpan> ParseMethodSpans(const std::string& code) {
+  std::vector<MethodSpan> spans;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '(') continue;
+    // Backtrack: [~]Ident preceded by a :: chain.
+    size_t name_end = RskipSpace(code, i);
+    size_t name_begin = 0;
+    std::string method = ReadIdentifierBackward(code, name_end, &name_begin);
+    if (method.empty()) continue;
+    size_t q = name_begin;
+    if (q > 0 && code[q - 1] == '~') {
+      method = "~" + method;
+      --q;
+    }
+    std::vector<std::string> quals;
+    while (q >= 2 && code[q - 1] == ':' && code[q - 2] == ':') {
+      size_t part_begin = 0;
+      std::string part = ReadIdentifierBackward(code, q - 2, &part_begin);
+      if (part.empty()) break;
+      quals.insert(quals.begin(), part);
+      q = part_begin;
+    }
+    if (quals.empty()) continue;
+    size_t params_end = MatchParen(code, i);
+    if (params_end == std::string::npos) continue;
+    // Tail scan.
+    size_t t = params_end;
+    size_t body = std::string::npos;
+    bool reject = false;
+    while (!reject) {
+      t = SkipSpace(code, t);
+      if (t >= code.size()) {
+        reject = true;
+        break;
+      }
+      char c = code[t];
+      if (c == '{') {
+        body = t;
+        break;
+      }
+      if (IsIdentStart(c)) {
+        std::string word = ReadIdentifier(code, t);
+        t += word.size();
+        if (word == "const" || word == "override" || word == "final" ||
+            word == "try" || word == "mutable") {
+          continue;
+        }
+        if (word == "noexcept" || word.rfind("DEPMATCH_", 0) == 0) {
+          size_t p = SkipSpace(code, t);
+          if (p < code.size() && code[p] == '(') {
+            size_t end = MatchParen(code, p);
+            if (end == std::string::npos) {
+              reject = true;
+              break;
+            }
+            t = end;
+          }
+          continue;
+        }
+        reject = true;
+        break;
+      }
+      if (c == ':' && (t + 1 >= code.size() || code[t + 1] != ':')) {
+        // Constructor initializer list: Ident ( ... ) | { ... }, comma
+        // separated, then the body brace.
+        ++t;
+        while (true) {
+          t = SkipSpace(code, t);
+          std::string member = ReadIdentifier(code, t);
+          if (member.empty()) {
+            reject = true;
+            break;
+          }
+          t = SkipSpace(code, t + member.size());
+          if (t >= code.size() || (code[t] != '(' && code[t] != '{')) {
+            reject = true;
+            break;
+          }
+          size_t end = code[t] == '('
+                           ? MatchParen(code, t)
+                           : MatchBrace(code, t) + 1;
+          if (end == std::string::npos || end == 0) {
+            reject = true;
+            break;
+          }
+          t = SkipSpace(code, end);
+          if (t < code.size() && code[t] == ',') {
+            ++t;
+            continue;
+          }
+          break;
+        }
+        if (reject) break;
+        if (t < code.size() && code[t] == '{') body = t;
+        break;
+      }
+      if (c == '-' && t + 1 < code.size() && code[t + 1] == '>') {
+        // Trailing return type: scan to '{' or ';' at depth 0.
+        t += 2;
+        int angle = 0;
+        int paren = 0;
+        while (t < code.size()) {
+          char d = code[t];
+          if (d == '<') {
+            ++angle;
+          } else if (d == '>') {
+            if (angle > 0) --angle;
+          } else if (d == '(') {
+            ++paren;
+          } else if (d == ')') {
+            if (paren > 0) --paren;
+          } else if ((d == '{' || d == ';') && angle == 0 && paren == 0) {
+            break;
+          }
+          ++t;
+        }
+        if (t < code.size() && code[t] == '{') body = t;
+        break;
+      }
+      reject = true;
+    }
+    if (body == std::string::npos) continue;
+    size_t close = MatchBrace(code, body);
+    if (close == std::string::npos) continue;
+    MethodSpan span;
+    span.cls = quals.back();
+    if (quals.size() >= 2) span.outer = quals[quals.size() - 2];
+    span.method = method;
+    span.body_begin = body;
+    span.body_end = close;
+    spans.push_back(span);
+    i = body;
+  }
+  return spans;
+}
+
+const ClassSpan* InnermostClass(const std::vector<ClassSpan>& spans,
+                                size_t offset) {
+  const ClassSpan* best = nullptr;
+  for (const auto& span : spans) {
+    if (span.body_begin < offset && offset < span.body_end) {
+      if (best == nullptr ||
+          span.body_end - span.body_begin < best->body_end - best->body_begin) {
+        best = &span;
+      }
+    }
+  }
+  return best;
+}
+
+// How a member occurrence is qualified at the use site.
+enum class Qualifier {
+  kBare,    // plain identifier
+  kSelf,    // this-> or impl->/impl_->  (pimpl self access)
+  kOther,   // someobj.field / someobj->field — not our member
+  kStatic,  // Cls::field — not an object access
+};
+
+Qualifier ClassifyQualifier(const std::string& code, size_t word_begin) {
+  size_t p = RskipSpace(code, word_begin);
+  if (p == 0) return Qualifier::kBare;
+  char prev = code[p - 1];
+  if (prev == ':') return Qualifier::kStatic;
+  bool arrow = false;
+  if (prev == '.') {
+    p -= 1;
+  } else if (prev == '>' && p >= 2 && code[p - 2] == '-') {
+    p -= 2;
+    arrow = true;
+  } else {
+    return Qualifier::kBare;
+  }
+  (void)arrow;
+  p = RskipSpace(code, p);
+  // Object expression ends here. Accept this / impl / impl_ as "self";
+  // anything else (including call results and indexed objects) is some
+  // other object's member.
+  if (p == 0) return Qualifier::kOther;
+  if (code[p - 1] == ']') {
+    // objs[i].field — indexing some container; not self.
+    return Qualifier::kOther;
+  }
+  size_t obj_begin = 0;
+  std::string obj = ReadIdentifierBackward(code, p, &obj_begin);
+  if (obj == "this" || obj == "impl" || obj == "impl_") {
+    return Qualifier::kSelf;
+  }
+  return Qualifier::kOther;
+}
+
+const std::set<std::string>& MutatingMethods() {
+  static const std::set<std::string> kSet = {
+      "push_back", "emplace_back", "pop_back",  "push",   "pop",
+      "resize",    "reserve",      "clear",     "insert", "emplace",
+      "erase",     "assign",       "swap",      "reset",  "shrink_to_fit",
+  };
+  return kSet;
+}
+
+// True when the occurrence of a field ending at `end` (with optional
+// [index] suffixes) is a write: assignment, compound assignment,
+// increment/decrement, or a mutating method call.
+bool IsWriteAccess(const std::string& code, size_t word_begin, size_t end) {
+  // Pre-increment / pre-decrement.
+  size_t p = RskipSpace(code, word_begin);
+  if (p >= 2 && ((code[p - 1] == '+' && code[p - 2] == '+') ||
+                 (code[p - 1] == '-' && code[p - 2] == '-'))) {
+    return true;
+  }
+  size_t j = end;
+  // Skip [index] suffixes.
+  while (true) {
+    j = SkipSpace(code, j);
+    if (j < code.size() && code[j] == '[') {
+      int depth = 0;
+      while (j < code.size()) {
+        if (code[j] == '[') ++depth;
+        if (code[j] == ']') {
+          --depth;
+          if (depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        ++j;
+      }
+      continue;
+    }
+    break;
+  }
+  if (j >= code.size()) return false;
+  char c = code[j];
+  char next = j + 1 < code.size() ? code[j + 1] : '\0';
+  if (c == '=' && next != '=') return true;
+  if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' || c == '&' ||
+       c == '|' || c == '^') &&
+      next == '=') {
+    return true;
+  }
+  if ((c == '+' && next == '+') || (c == '-' && next == '-')) return true;
+  if (c == '.' || (c == '-' && next == '>')) {
+    size_t m = j + (c == '.' ? 1 : 2);
+    m = SkipSpace(code, m);
+    std::string method = ReadIdentifier(code, m);
+    if (MutatingMethods().count(method) > 0) return true;
+  }
+  return false;
+}
+
+struct Frame {
+  bool is_method = false;
+  std::vector<std::string> names;  // class names giving member context
+  size_t end = 0;                  // offset of the closing '}'
+  int entry_depth = 0;             // brace depth of the body itself
+  std::vector<std::string> held_mutexes;  // from DEPMATCH_REQUIRES
+  std::vector<std::string> held_once;     // from DEPMATCH_REQUIRES_ONCE
+};
+
+struct HeldLock {
+  std::string cap;
+  int depth = 0;  // brace depth at declaration; released when it closes
+};
+
+struct OnceRegion {
+  std::string cap;
+  size_t end = 0;  // one past the call_once closing ')'
+};
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+}  // namespace
+
+void LockPass::Collect(const SourceFile& file) {
+  const std::string& code = file.code;
+  std::vector<ClassSpan> spans = ParseClassSpans(code);
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdentStart(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      continue;
+    }
+    std::string word = ReadIdentifier(code, i);
+    size_t after = i + word.size();
+    bool guarded = word == "DEPMATCH_GUARDED_BY";
+    bool guarded_once = word == "DEPMATCH_GUARDED_BY_ONCE";
+    bool requires_mu = word == "DEPMATCH_REQUIRES";
+    bool requires_once = word == "DEPMATCH_REQUIRES_ONCE";
+    bool excludes = word == "DEPMATCH_EXCLUDES";
+    if (!guarded && !guarded_once && !requires_mu && !requires_once &&
+        !excludes) {
+      i = after - 1;
+      continue;
+    }
+    size_t open = SkipSpace(code, after);
+    if (open >= code.size() || code[open] != '(') {
+      i = after - 1;
+      continue;  // the #define itself, or a mention without args
+    }
+    size_t close = MatchParen(code, open);
+    if (close == std::string::npos) {
+      i = after - 1;
+      continue;
+    }
+    std::string cap = LastIdentifierIgnoringIndex(
+        code.substr(open + 1, close - open - 2));
+    const ClassSpan* cls = InnermostClass(spans, i);
+    if (cap.empty() || cls == nullptr) {
+      i = close - 1;
+      continue;  // #define site or namespace-scope mention
+    }
+    // Walk backward to the annotated entity, skipping other annotation
+    // macros and trailing cv/virt specifiers.
+    size_t p = i;
+    std::string target;
+    bool is_method = false;
+    while (true) {
+      p = RskipSpace(code, p);
+      if (p == 0) break;
+      if (code[p - 1] == ')') {
+        size_t call_open = MatchParenBackward(code, p);
+        if (call_open == std::string::npos) break;
+        size_t callee_end = RskipSpace(code, call_open);
+        size_t callee_begin = 0;
+        std::string callee =
+            ReadIdentifierBackward(code, callee_end, &callee_begin);
+        if (callee.rfind("DEPMATCH_", 0) == 0) {
+          p = callee_begin;  // stacked annotation; keep walking
+          continue;
+        }
+        if (!callee.empty()) {
+          target = callee;
+          is_method = true;
+        }
+        break;
+      }
+      if (IsIdentChar(code[p - 1])) {
+        size_t begin = 0;
+        std::string ident = ReadIdentifierBackward(code, p, &begin);
+        if (ident == "const" || ident == "noexcept" || ident == "override" ||
+            ident == "final" || ident == "mutable") {
+          p = begin;
+          continue;
+        }
+        target = ident;
+        is_method = false;
+        break;
+      }
+      break;
+    }
+    if (target.empty()) {
+      i = close - 1;
+      continue;
+    }
+    if (is_method) {
+      auto& infos = methods_[target];
+      MethodInfo* info = nullptr;
+      for (auto& existing : infos) {
+        if (existing.cls == cls->name && existing.outer == cls->outer) {
+          info = &existing;
+        }
+      }
+      if (info == nullptr) {
+        infos.push_back({cls->name, cls->outer, {}, {}, {}});
+        info = &infos.back();
+      }
+      if (requires_mu && !Contains(info->requires_mutexes, cap)) {
+        info->requires_mutexes.push_back(cap);
+      }
+      if (requires_once && !Contains(info->requires_once, cap)) {
+        info->requires_once.push_back(cap);
+      }
+      if (excludes && !Contains(info->excludes, cap)) {
+        info->excludes.push_back(cap);
+      }
+    } else {
+      auto& infos = fields_[target];
+      FieldInfo* info = nullptr;
+      for (auto& existing : infos) {
+        if (existing.cls == cls->name && existing.outer == cls->outer) {
+          info = &existing;
+        }
+      }
+      if (info == nullptr) {
+        infos.push_back({cls->name, cls->outer, {}, {}});
+        info = &infos.back();
+      }
+      if (guarded && !Contains(info->mutexes, cap)) {
+        info->mutexes.push_back(cap);
+      }
+      if (guarded_once && !Contains(info->once_flags, cap)) {
+        info->once_flags.push_back(cap);
+      }
+    }
+    i = close - 1;
+  }
+}
+
+void LockPass::Check(const SourceFile& file,
+                     std::vector<Finding>* findings) const {
+  CheckAccesses(file, findings);
+  if (file.in_src) CheckCompleteness(file, findings);
+}
+
+void LockPass::CheckAccesses(const SourceFile& file,
+                             std::vector<Finding>* findings) const {
+  const std::string& code = file.code;
+  std::vector<ClassSpan> classes = ParseClassSpans(code);
+  std::vector<MethodSpan> methods = ParseMethodSpans(code);
+
+  // Merge into one begin-ordered worklist of frames to push.
+  struct Pending {
+    size_t begin;
+    Frame frame;
+  };
+  std::vector<Pending> pending;
+  for (const auto& span : classes) {
+    Frame frame;
+    frame.is_method = false;
+    frame.names = {span.name};
+    frame.end = span.body_end;
+    pending.push_back({span.body_begin, frame});
+  }
+  for (const auto& span : methods) {
+    Frame frame;
+    frame.is_method = true;
+    frame.names = {span.cls};
+    if (!span.outer.empty()) frame.names.push_back(span.outer);
+    frame.end = span.body_end;
+    auto it = methods_.find(span.method);
+    if (it != methods_.end()) {
+      for (const auto& info : it->second) {
+        if (info.cls != span.cls) continue;
+        frame.held_mutexes = info.requires_mutexes;
+        frame.held_once = info.requires_once;
+      }
+    }
+    pending.push_back({span.body_begin, frame});
+  }
+  // In-class method definitions carry their annotations inline:
+  //   void AddLocked(int d) DEPMATCH_REQUIRES(mu_) { total_ += d; }
+  // ParseMethodSpans only sees ::-qualified out-of-line definitions, so
+  // scan for REQUIRES/REQUIRES_ONCE macros followed (through stacked
+  // specifiers) by a body brace and push a frame holding the capability.
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdentStart(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      continue;
+    }
+    std::string word = ReadIdentifier(code, i);
+    bool req = word == "DEPMATCH_REQUIRES";
+    bool req_once = word == "DEPMATCH_REQUIRES_ONCE";
+    if (!req && !req_once) {
+      i += word.size() - 1;
+      continue;
+    }
+    size_t open = SkipSpace(code, i + word.size());
+    if (open >= code.size() || code[open] != '(') continue;
+    size_t close = MatchParen(code, open);
+    if (close == std::string::npos) continue;
+    const ClassSpan* cls = InnermostClass(classes, i);
+    std::string cap =
+        LastIdentifierIgnoringIndex(code.substr(open + 1, close - open - 2));
+    if (cls == nullptr || cap.empty()) {
+      i = close - 1;
+      continue;
+    }
+    size_t t = close;
+    size_t body = std::string::npos;
+    while (true) {
+      t = SkipSpace(code, t);
+      if (t >= code.size()) break;
+      char c = code[t];
+      if (c == '{') {
+        body = t;
+        break;
+      }
+      if (!IsIdentStart(c)) break;  // a declaration (';') or initializer
+      std::string spec = ReadIdentifier(code, t);
+      t += spec.size();
+      if (spec != "const" && spec != "noexcept" && spec != "override" &&
+          spec != "final" && spec != "mutable" &&
+          spec.rfind("DEPMATCH_", 0) != 0) {
+        break;
+      }
+      size_t p = SkipSpace(code, t);
+      if (p < code.size() && code[p] == '(') {
+        size_t end = MatchParen(code, p);
+        if (end == std::string::npos) break;
+        t = end;
+      }
+    }
+    if (body != std::string::npos) {
+      size_t bend = MatchBrace(code, body);
+      if (bend != std::string::npos) {
+        Frame frame;
+        frame.is_method = true;
+        frame.names = {cls->name};
+        if (!cls->outer.empty()) frame.names.push_back(cls->outer);
+        frame.end = bend;
+        if (req) {
+          frame.held_mutexes.push_back(cap);
+        } else {
+          frame.held_once.push_back(cap);
+        }
+        pending.push_back({body, frame});
+      }
+    }
+    i = close - 1;
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.begin < b.begin; });
+
+  std::vector<Frame> frames;
+  std::vector<HeldLock> locks;
+  std::vector<OnceRegion> regions;
+  size_t next_pending = 0;
+  int depth = 0;
+
+  auto report = [&](size_t offset, const std::string& message) {
+    size_t line = LineOfOffset(code, offset);
+    if (Suppressed(file.raw_lines, line, kRuleDiscipline)) return;
+    findings->push_back({file.rel, line, kRuleDiscipline, message});
+  };
+
+  auto held_caps = [&]() {
+    std::vector<std::string> held;
+    for (const auto& lock : locks) held.push_back(lock.cap);
+    for (const auto& region : regions) held.push_back(region.cap);
+    for (const auto& frame : frames) {
+      held.insert(held.end(), frame.held_mutexes.begin(),
+                  frame.held_mutexes.end());
+      held.insert(held.end(), frame.held_once.begin(), frame.held_once.end());
+    }
+    return held;
+  };
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    while (!frames.empty() && i > frames.back().end) frames.pop_back();
+    while (!regions.empty()) {
+      bool erased = false;
+      for (size_t r = 0; r < regions.size(); ++r) {
+        if (i >= regions[r].end) {
+          regions.erase(regions.begin() + static_cast<ptrdiff_t>(r));
+          erased = true;
+          break;
+        }
+      }
+      if (!erased) break;
+    }
+    while (next_pending < pending.size() && pending[next_pending].begin == i) {
+      Frame frame = pending[next_pending].frame;
+      frame.entry_depth = depth + 1;  // the '{' at i is about to open
+      frames.push_back(frame);
+      ++next_pending;
+    }
+    char c = code[i];
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      for (size_t l = locks.size(); l > 0; --l) {
+        if (locks[l - 1].depth == depth) {
+          locks.erase(locks.begin() + static_cast<ptrdiff_t>(l - 1));
+        }
+      }
+      --depth;
+      continue;
+    }
+    if (!IsIdentStart(c) || (i > 0 && IsIdentChar(code[i - 1]))) continue;
+    std::string word = ReadIdentifier(code, i);
+    size_t after = i + word.size();
+
+    // RAII guards.
+    if (word == "lock_guard" || word == "unique_lock" ||
+        word == "scoped_lock" || word == "shared_lock") {
+      size_t j = SkipSpace(code, after);
+      if (j < code.size() && code[j] == '<') {
+        int angle = 1;
+        ++j;
+        while (j < code.size() && angle > 0) {
+          if (code[j] == '<') ++angle;
+          if (code[j] == '>') --angle;
+          ++j;
+        }
+      }
+      j = SkipSpace(code, j);
+      std::string var = ReadIdentifier(code, j);
+      j = SkipSpace(code, j + var.size());
+      if (j < code.size() && (code[j] == '(' || code[j] == '{')) {
+        size_t end = code[j] == '(' ? MatchParen(code, j)
+                                    : MatchBrace(code, j) + 1;
+        if (end != std::string::npos && end != 0) {
+          std::string args = code.substr(j + 1, end - j - 2);
+          // scoped_lock may take several mutexes.
+          size_t start = 0;
+          int nest = 0;
+          for (size_t k = 0; k <= args.size(); ++k) {
+            char d = k < args.size() ? args[k] : ',';
+            if (d == '(' || d == '[' || d == '<') ++nest;
+            // '->' is member access, not an angle close.
+            if ((d == ')' || d == ']' ||
+                 (d == '>' && (k == 0 || args[k - 1] != '-'))) &&
+                nest > 0) {
+              --nest;
+            }
+            if (d == ',' && nest == 0) {
+              std::string cap = LastIdentifierIgnoringIndex(
+                  args.substr(start, k - start));
+              if (!cap.empty()) locks.push_back({cap, depth});
+              start = k + 1;
+            }
+          }
+          i = end - 1;
+          continue;
+        }
+      }
+      i = after - 1;
+      continue;
+    }
+
+    // call_once(flag, ...) opens a write-licensed region for `flag`
+    // spanning the whole call, lambda included.
+    if (word == "call_once") {
+      size_t j = SkipSpace(code, after);
+      if (j < code.size() && code[j] == '(') {
+        size_t end = MatchParen(code, j);
+        if (end != std::string::npos) {
+          std::string args = code.substr(j + 1, end - j - 2);
+          size_t comma = std::string::npos;
+          int nest = 0;
+          for (size_t k = 0; k < args.size(); ++k) {
+            char d = args[k];
+            if (d == '(' || d == '[' || d == '<' || d == '{') ++nest;
+            // '->' is member access, not an angle close.
+            if ((d == ')' || d == ']' || d == '}' ||
+                 (d == '>' && (k == 0 || args[k - 1] != '-'))) &&
+                nest > 0) {
+              --nest;
+            }
+            if (d == ',' && nest == 0) {
+              comma = k;
+              break;
+            }
+          }
+          std::string cap = LastIdentifierIgnoringIndex(
+              comma == std::string::npos ? args : args.substr(0, comma));
+          if (!cap.empty()) regions.push_back({cap, end});
+        }
+      }
+      i = after - 1;
+      continue;
+    }
+
+    bool in_function = false;
+    if (!frames.empty()) {
+      const Frame& inner = frames.back();
+      in_function =
+          inner.is_method ? depth >= inner.entry_depth : depth > inner.entry_depth;
+    }
+    if (!in_function) {
+      i = after - 1;
+      continue;
+    }
+    std::set<std::string> ctx;
+    for (const auto& frame : frames) {
+      ctx.insert(frame.names.begin(), frame.names.end());
+    }
+
+    // Annotated field access?
+    auto field_it = fields_.find(word);
+    if (field_it != fields_.end()) {
+      Qualifier qual = ClassifyQualifier(code, i);
+      if (qual != Qualifier::kOther && qual != Qualifier::kStatic) {
+        for (const auto& info : field_it->second) {
+          bool direct = ctx.count(info.cls) > 0;
+          bool via_outer = !info.outer.empty() && ctx.count(info.outer) > 0;
+          // A bare identifier only binds to the member when we are in
+          // the declaring class itself; pimpl members need impl_->.
+          if (!direct && !(via_outer && qual == Qualifier::kSelf)) continue;
+          std::vector<std::string> held = held_caps();
+          if (!info.once_flags.empty()) {
+            if (IsWriteAccess(code, i, after)) {
+              bool licensed = false;
+              for (const auto& flag : info.once_flags) {
+                if (Contains(held, flag)) licensed = true;
+              }
+              if (!licensed) {
+                report(i, "write to once-guarded field '" + word + "' of '" +
+                              info.cls + "' outside call_once(" +
+                              info.once_flags.front() +
+                              ") (or a DEPMATCH_REQUIRES_ONCE method)");
+              }
+            }
+          } else {
+            for (const auto& mu : info.mutexes) {
+              if (!Contains(held, mu)) {
+                report(i, "field '" + word + "' of '" + info.cls +
+                              "' is DEPMATCH_GUARDED_BY(" + mu +
+                              ") but accessed without holding it");
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Annotated method call?
+    auto method_it = methods_.find(word);
+    if (method_it != methods_.end()) {
+      size_t j = SkipSpace(code, after);
+      bool is_call = j < code.size() && code[j] == '(';
+      Qualifier qual = ClassifyQualifier(code, i);
+      if (is_call && qual != Qualifier::kOther && qual != Qualifier::kStatic) {
+        for (const auto& info : method_it->second) {
+          bool direct = ctx.count(info.cls) > 0;
+          bool via_outer = !info.outer.empty() && ctx.count(info.outer) > 0;
+          if (!direct && !(via_outer && qual == Qualifier::kSelf)) continue;
+          std::vector<std::string> held = held_caps();
+          for (const auto& mu : info.excludes) {
+            if (Contains(held, mu)) {
+              report(i, "calls '" + word + "' (DEPMATCH_EXCLUDES(" + mu +
+                            ")) while '" + mu + "' is held — self-deadlock");
+            }
+          }
+          for (const auto& mu : info.requires_mutexes) {
+            if (!Contains(held, mu)) {
+              report(i, "calls '" + word + "' (DEPMATCH_REQUIRES(" + mu +
+                            ")) without holding '" + mu + "'");
+            }
+          }
+          for (const auto& flag : info.requires_once) {
+            if (!Contains(held, flag)) {
+              report(i, "calls '" + word + "' (DEPMATCH_REQUIRES_ONCE(" +
+                            flag + ")) outside call_once(" + flag + ")");
+            }
+          }
+        }
+      }
+    }
+    i = after - 1;
+  }
+}
+
+namespace {
+
+// Removes template argument groups from a member-declaration fragment so
+// "std::deque<std::function<void()>> queue_" reads "std::deque queue_"
+// and the paren test below sees only real parameter lists.
+std::string RemoveAngleGroups(const std::string& text) {
+  std::string out;
+  int depth = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '<' && i > 0 &&
+        (IsIdentChar(text[i - 1]) || text[i - 1] == '>')) {
+      ++depth;
+      continue;
+    }
+    if (depth > 0) {
+      if (c == '<') {
+        ++depth;
+      } else if (c == '>' && (i == 0 || text[i - 1] != '-')) {
+        --depth;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool StartsWithWord(const std::string& text, const std::string& word) {
+  if (text.compare(0, word.size(), word) != 0) return false;
+  return text.size() == word.size() || !IsIdentChar(text[word.size()]);
+}
+
+std::string TrimLeft(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && IsSpace(text[i])) ++i;
+  return text.substr(i);
+}
+
+}  // namespace
+
+void LockPass::CheckCompleteness(const SourceFile& file,
+                                 std::vector<Finding>* findings) const {
+  const std::string& code = file.code;
+  std::vector<ClassSpan> spans = ParseClassSpans(code);
+  for (const auto& span : spans) {
+    // Flatten the class body at member level: nested braces (method
+    // bodies, nested classes) are elided; offsets are kept per char so
+    // findings point at the declaration.
+    std::string flat;
+    std::vector<size_t> offsets;
+    for (size_t i = span.body_begin + 1; i < span.body_end; ++i) {
+      if (code[i] == '{') {
+        size_t close = MatchBrace(code, i);
+        if (close == std::string::npos || close > span.body_end) break;
+        i = close;
+        continue;
+      }
+      flat.push_back(code[i]);
+      offsets.push_back(i);
+    }
+    // Split into ';'-terminated member statements.
+    struct Member {
+      std::string text;
+      size_t begin;  // index into flat
+    };
+    std::vector<Member> members;
+    size_t start = 0;
+    int paren = 0;
+    for (size_t i = 0; i <= flat.size(); ++i) {
+      char c = i < flat.size() ? flat[i] : ';';
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (c == ';' && paren == 0) {
+        members.push_back({flat.substr(start, i - start), start});
+        start = i + 1;
+      }
+    }
+    // The discipline only applies to classes that own a mutex.
+    bool has_mutex = false;
+    for (const auto& member : members) {
+      std::string no_angles = RemoveAngleGroups(member.text);
+      if (no_angles.find("mutex") != std::string::npos &&
+          no_angles.find('(') == std::string::npos) {
+        has_mutex = true;
+      }
+    }
+    if (!has_mutex) continue;
+
+    for (const auto& member : members) {
+      std::string text = member.text;
+      // Drop access labels glued to the front of the statement.
+      while (true) {
+        std::string trimmed = TrimLeft(text);
+        bool stripped = false;
+        for (const char* label : {"public", "private", "protected"}) {
+          if (StartsWithWord(trimmed, label)) {
+            size_t colon = trimmed.find(':');
+            if (colon != std::string::npos) {
+              text = trimmed.substr(colon + 1);
+              stripped = true;
+            }
+          }
+        }
+        if (!stripped) break;
+      }
+      text = TrimLeft(text);
+      if (text.empty()) continue;
+      bool skip = false;
+      for (const char* keyword :
+           {"using", "typedef", "friend", "static", "constexpr", "enum",
+            "struct", "class", "union", "template", "explicit", "virtual",
+            "operator", "const", "public", "private", "protected"}) {
+        if (StartsWithWord(text, keyword)) skip = true;
+      }
+      if (skip) continue;
+      // Self-synchronizing or immutable types are exempt.
+      if (text.find("mutex") != std::string::npos ||
+          text.find("condition_variable") != std::string::npos ||
+          text.find("once_flag") != std::string::npos ||
+          text.find("atomic") != std::string::npos) {
+        continue;
+      }
+      bool annotated = text.find("DEPMATCH_GUARDED_BY") != std::string::npos;
+      // Remove annotation macros, then template groups; a surviving '('
+      // means a function declaration, not a field.
+      std::string cleaned;
+      for (size_t i = 0; i < text.size();) {
+        if (IsIdentStart(text[i]) && (i == 0 || !IsIdentChar(text[i - 1]))) {
+          std::string word = ReadIdentifier(text, i);
+          if (word.rfind("DEPMATCH_", 0) == 0) {
+            size_t open = SkipSpace(text, i + word.size());
+            if (open < text.size() && text[open] == '(') {
+              size_t end = MatchParen(text, open);
+              if (end != std::string::npos) {
+                i = end;
+                continue;
+              }
+            }
+            i += word.size();
+            continue;
+          }
+          cleaned += word;
+          i += word.size();
+          continue;
+        }
+        cleaned.push_back(text[i]);
+        ++i;
+      }
+      cleaned = RemoveAngleGroups(cleaned);
+      if (cleaned.find('(') != std::string::npos) continue;  // method decl
+      if (cleaned.find('=') == 0) continue;
+      std::string decl = cleaned.substr(0, cleaned.find('='));
+      std::string name = LastIdentifierIgnoringIndex(decl);
+      if (name.empty()) continue;
+      if (annotated) continue;
+      // Locate the declaration's line via the flattened offset map.
+      size_t name_pos = member.text.rfind(name);
+      size_t offset = name_pos == std::string::npos
+                          ? offsets[member.begin]
+                          : offsets[member.begin + name_pos];
+      size_t line = LineOfOffset(code, offset);
+      if (Suppressed(file.raw_lines, line, kRuleAnnotation)) continue;
+      findings->push_back(
+          {file.rel, line, kRuleAnnotation,
+           "field '" + name + "' of '" + span.name +
+               "' (a class with a std::mutex member) has no "
+               "DEPMATCH_GUARDED_BY annotation; annotate it or suppress "
+               "with a justification comment"});
+    }
+  }
+}
+
+}  // namespace depmatch_analyze

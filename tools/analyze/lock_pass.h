@@ -1,0 +1,86 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Lock-discipline pass. Two phases over the whole project:
+//
+//  Collect: harvest DEPMATCH_GUARDED_BY / DEPMATCH_GUARDED_BY_ONCE field
+//    annotations and DEPMATCH_REQUIRES / DEPMATCH_REQUIRES_ONCE /
+//    DEPMATCH_EXCLUDES method annotations from every file, keyed by the
+//    enclosing class (headers declare, sources check).
+//
+//  Check: lexical scope scan of each file. Tracks brace depth, RAII lock
+//    guards (lock_guard / unique_lock / scoped_lock / shared_lock),
+//    std::call_once argument extents, and the class/method context of
+//    every statement, then enforces:
+//      - a DEPMATCH_GUARDED_BY(mu) field is only touched while `mu` is
+//        held (via a guard in scope, or a REQUIRES(mu) on the enclosing
+//        method);
+//      - a DEPMATCH_GUARDED_BY_ONCE(flag) field is only *written* inside
+//        a call_once(flag, ...) extent or a REQUIRES_ONCE(flag) method.
+//        Reads are free: call_once publication gives a happens-before
+//        edge, so initialized data is safe to read without the flag.
+//        A field may name several flags; a write is legal under any of
+//        them (phased init: sized under one flag, filled under another);
+//      - calling a DEPMATCH_EXCLUDES(mu) method while `mu` is held is an
+//        error (self-deadlock);
+//      - calling a REQUIRES/REQUIRES_ONCE method without the capability
+//        is an error;
+//      - (completeness, src/ only) a non-exempt mutable field of a class
+//        that declares a std::mutex member must carry an annotation or a
+//        suppression comment, so new shared state cannot slip in
+//        unannotated.
+//
+// The pass is deliberately lexical, not semantic: it resolves member
+// accesses by identifier name within the class context (bare, this->,
+// or impl_-> for the pimpl idiom) and ignores accesses through other
+// objects. That is enough to enforce the discipline this codebase
+// actually uses, with zero toolchain dependencies; clang builds get the
+// real thread-safety analysis from the same macros for free.
+
+#ifndef DEPMATCH_TOOLS_ANALYZE_LOCK_PASS_H_
+#define DEPMATCH_TOOLS_ANALYZE_LOCK_PASS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace depmatch_analyze {
+
+class LockPass {
+ public:
+  // Harvests annotations from `file`. Call for every file first.
+  void Collect(const SourceFile& file);
+
+  // Scans `file` for violations. Call after all Collect() calls.
+  void Check(const SourceFile& file, std::vector<Finding>* findings) const;
+
+ private:
+  struct FieldInfo {
+    std::string cls;    // class that declares the field
+    std::string outer;  // enclosing class for nested classes ("" if none)
+    std::vector<std::string> mutexes;     // GUARDED_BY (all must be held)
+    std::vector<std::string> once_flags;  // GUARDED_BY_ONCE (any-of, writes)
+  };
+  struct MethodInfo {
+    std::string cls;
+    std::string outer;
+    std::vector<std::string> requires_mutexes;  // DEPMATCH_REQUIRES
+    std::vector<std::string> requires_once;     // DEPMATCH_REQUIRES_ONCE
+    std::vector<std::string> excludes;          // DEPMATCH_EXCLUDES
+  };
+
+  // std::map keeps iteration deterministic everywhere.
+  std::map<std::string, std::vector<FieldInfo>> fields_;    // by field name
+  std::map<std::string, std::vector<MethodInfo>> methods_;  // by method name
+
+  void CheckAccesses(const SourceFile& file,
+                     std::vector<Finding>* findings) const;
+  void CheckCompleteness(const SourceFile& file,
+                         std::vector<Finding>* findings) const;
+};
+
+}  // namespace depmatch_analyze
+
+#endif  // DEPMATCH_TOOLS_ANALYZE_LOCK_PASS_H_

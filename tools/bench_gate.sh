@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Bench regression gate: re-measure the graph-build headline numbers and
-# compare them against the committed BENCH_graph_build.json. A fresh
-# headline more than BENCH_GATE_TOLERANCE percent slower than the
-# committed one fails the gate — catching perf regressions the unit tests
-# cannot see (the kernels stay bit-identical while getting slower).
+# Bench regression gate: re-measure the headline numbers of every
+# committed BENCH_*.json and compare them against the committed values.
+# A fresh headline more than BENCH_GATE_TOLERANCE percent slower than
+# the committed one fails the gate — catching perf regressions the unit
+# tests cannot see (the kernels stay bit-identical while getting slower).
 #
-#   tools/bench_gate.sh                 measure and compare
+#   tools/bench_gate.sh                 measure and compare all benches
+#   tools/bench_gate.sh graph_build     gate a single bench
 #   BENCH_GATE=0 tools/bench_gate.sh    skip (exit 0)
 #
 # Environment:
@@ -20,12 +21,17 @@
 #                         regression)
 #   BENCH_GATE_BUILD      build directory (default build/)
 #
-# Compared values: every "dense_min_ms" in the headline blocks, i.e. the
-# alphabet-32 and alphabet-4096 dense builds at 10K rows x 30 attrs. The
-# full results[] sweep is too noisy for a hard gate at single-digit
-# milliseconds; the headline minima are what the PR history tracks.
+# Compared values: the headline *_min_ms fields that precede results[]
+# in each BENCH_*.json — the full results[] sweeps are too noisy for a
+# hard gate at single-digit milliseconds; the headline minima are what
+# the PR history tracks. Per bench:
+#   graph_build    first 2 x dense_min_ms  (alphabet-32, alphabet-4096)
+#   match_search   first 2 x new_min_ms    (cold, warm-cache search)
+#   pipeline       first 1 x cached_min_ms (end-to-end with StatCache)
+#   catalog        first 1 x prefilter_parallel_min_ms (top-k search)
+#   catalog_scale  first 3 x search_min_ms (10K/50K/100K-entry tiers)
 #
-# Exit code: 0 on pass/skip, 1 on regression or measurement failure.
+# Exit code: 0 on pass/skip, 1 on any regression or measurement failure.
 
 set -u
 
@@ -37,81 +43,120 @@ if [ "${BENCH_GATE:-1}" = "0" ]; then
   exit 0
 fi
 
-COMMITTED="$ROOT/BENCH_graph_build.json"
-if [ ! -f "$COMMITTED" ]; then
-  echo "bench_gate: skipped (no committed $COMMITTED to compare against)"
-  exit 0
-fi
-
 TOLERANCE="${BENCH_GATE_TOLERANCE:-10}"
 REPS="${BENCH_GATE_REPS:-2}"
 ATTEMPTS="${BENCH_GATE_ATTEMPTS:-2}"
 BUILD="${BENCH_GATE_BUILD:-$ROOT/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-if ! cmake --build "$BUILD" --target bench_graph_build -j "$JOBS" \
-    >/dev/null; then
-  echo "bench_gate: FAIL (could not build bench_graph_build)"
-  exit 1
-fi
+# bench-name : headline key : expected count
+SPECS="
+graph_build:dense_min_ms:2
+match_search:new_min_ms:2
+pipeline:cached_min_ms:1
+catalog:prefilter_parallel_min_ms:1
+catalog_scale:search_min_ms:3
+"
 
-FRESH="$(mktemp /tmp/bench_gate.XXXXXX.json)"
-BEST="$(mktemp /tmp/bench_gate.XXXXXX.best)"
-trap 'rm -f "$FRESH" "$BEST"' EXIT
+ONLY="${1:-}"
 
-# The headline blocks precede results[], so the first two occurrences of
-# "dense_min_ms" in file order are alphabet-32 then alphabet-4096.
-headline_minima() {
-  grep -o '"dense_min_ms": *[0-9.]*' "$1" | grep -o '[0-9.]*$' | head -2
+# The headline blocks precede results[], so the first N occurrences of
+# the key in file order are the headline minima.
+headline_minima() {  # json-file key count
+  grep -o "\"$2\": *[0-9.]*" "$1" | grep -o '[0-9.]*$' | head -"$3"
 }
 
-compare() {  # committed-minima-file best-minima-file
-  paste "$1" "$2" | awk -v tol="$TOLERANCE" '
-    BEGIN { labels[1] = "alphabet-32 dense"; labels[2] = "alphabet-4096 dense" }
+compare() {  # bench-name committed-minima-file best-minima-file
+  paste "$2" "$3" | awk -v tol="$TOLERANCE" -v bench="$1" '
     NF == 2 {
       limit = $1 * (1 + tol / 100)
       verdict = ($2 <= limit) ? "ok" : "REGRESSION"
-      printf "bench_gate: %-20s committed %8.2f ms   fresh %8.2f ms   %s\n",
-             labels[NR], $1, $2, verdict
+      printf "bench_gate: %-13s #%d  committed %8.2f ms   fresh %8.2f ms   %s\n",
+             bench, NR, $1, $2, verdict
       if ($2 > limit) failed = 1
     }
     NF == 1 {
-      printf "bench_gate: %-20s present in only one file; skipped\n",
-             labels[NR]
+      printf "bench_gate: %-13s #%d  present in only one file; skipped\n",
+             bench, NR
     }
     END { exit failed ? 1 : 0 }
   '
 }
 
-COMMITTED_MINIMA="$(mktemp /tmp/bench_gate.XXXXXX.committed)"
-trap 'rm -f "$FRESH" "$BEST" "$COMMITTED_MINIMA"' EXIT
-headline_minima "$COMMITTED" > "$COMMITTED_MINIMA"
+gate_one() {  # bench-name key count
+  local name="$1" key="$2" count="$3"
+  local committed="$ROOT/BENCH_$name.json"
+  if [ ! -f "$committed" ]; then
+    echo "bench_gate: $name skipped (no committed $committed)"
+    return 0
+  fi
 
-: > "$BEST"
-attempt=0
-while :; do
-  attempt=$((attempt + 1))
-  echo "bench_gate: measuring fresh headline (attempt $attempt/$ATTEMPTS, reps=$REPS) ..."
-  if ! DEPMATCH_BENCH_REPS="$REPS" "$BUILD/bench/bench_graph_build" "$FRESH" \
+  if ! cmake --build "$BUILD" --target "bench_$name" -j "$JOBS" \
       >/dev/null; then
-    echo "bench_gate: FAIL (bench_graph_build run failed)"
-    exit 1
+    echo "bench_gate: FAIL (could not build bench_$name)"
+    return 1
   fi
-  # Fold this attempt into the element-wise best-so-far minima.
-  if [ -s "$BEST" ]; then
-    paste "$BEST" <(headline_minima "$FRESH") \
-      | awk '{ print (NF == 2 && $2 < $1) ? $2 : $1 }' > "$BEST.next"
-    mv "$BEST.next" "$BEST"
-  else
-    headline_minima "$FRESH" > "$BEST"
+
+  local fresh best committed_minima
+  fresh="$(mktemp /tmp/bench_gate.XXXXXX.json)"
+  best="$(mktemp /tmp/bench_gate.XXXXXX.best)"
+  committed_minima="$(mktemp /tmp/bench_gate.XXXXXX.committed)"
+  headline_minima "$committed" "$key" "$count" > "$committed_minima"
+
+  : > "$best"
+  local attempt=0 rc=1
+  while :; do
+    attempt=$((attempt + 1))
+    echo "bench_gate: measuring $name headline (attempt $attempt/$ATTEMPTS, reps=$REPS) ..."
+    if ! DEPMATCH_BENCH_REPS="$REPS" "$BUILD/bench/bench_$name" "$fresh" \
+        >/dev/null; then
+      echo "bench_gate: FAIL (bench_$name run failed)"
+      break
+    fi
+    # Fold this attempt into the element-wise best-so-far minima.
+    if [ -s "$best" ]; then
+      paste "$best" <(headline_minima "$fresh" "$key" "$count") \
+        | awk '{ print (NF == 2 && $2 < $1) ? $2 : $1 }' > "$best.next"
+      mv "$best.next" "$best"
+    else
+      headline_minima "$fresh" "$key" "$count" > "$best"
+    fi
+    if compare "$name" "$committed_minima" "$best"; then
+      rc=0
+      break
+    fi
+    if [ "$attempt" -ge "$ATTEMPTS" ]; then
+      echo "bench_gate: FAIL ($name headline >$TOLERANCE% over committed after $ATTEMPTS attempts)"
+      break
+    fi
+    echo "bench_gate: $name over tolerance; re-measuring to rule out scheduler noise"
+  done
+  rm -f "$fresh" "$best" "$best.next" "$committed_minima"
+  return "$rc"
+}
+
+failures=0
+matched=0
+for spec in $SPECS; do
+  name="${spec%%:*}"
+  rest="${spec#*:}"
+  key="${rest%%:*}"
+  count="${rest##*:}"
+  if [ -n "$ONLY" ] && [ "$name" != "$ONLY" ]; then
+    continue
   fi
-  if compare "$COMMITTED_MINIMA" "$BEST"; then
-    echo "bench_gate: pass"
-    exit 0
-  fi
-  if [ "$attempt" -ge "$ATTEMPTS" ]; then
-    echo "bench_gate: FAIL (fresh headline >$TOLERANCE% over committed after $ATTEMPTS attempts)"
-    exit 1
-  fi
-  echo "bench_gate: over tolerance; re-measuring to rule out scheduler noise"
+  matched=$((matched + 1))
+  gate_one "$name" "$key" "$count" || failures=$((failures + 1))
 done
+
+if [ -n "$ONLY" ] && [ "$matched" -eq 0 ]; then
+  echo "bench_gate: FAIL (unknown bench '$ONLY')"
+  exit 1
+fi
+
+if [ "$failures" -eq 0 ]; then
+  echo "bench_gate: pass"
+  exit 0
+fi
+echo "bench_gate: $failures bench(es) regressed"
+exit 1

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# One-shot correctness gate: format check, clang-tidy build, depmatch_lint,
-# ASan+TSan smoke runs of the benches' --smoke correctness gates plus the
-# tsan_stress test suite, and the bench regression gate (fresh graph-build
-# headline vs the committed BENCH_graph_build.json).
+# One-shot correctness gate: format check, clang-tidy build,
+# depmatch_analyze (lock discipline + layering + determinism +
+# architecture staleness), UBSan test suite, ASan+TSan smoke runs of the
+# benches' --smoke correctness gates plus the tsan_stress test suite, and
+# the bench regression gate (fresh headlines vs every committed
+# BENCH_*.json).
 #
 #   tools/check.sh            run every stage
 #   tools/check.sh --fast     skip the sanitizer and bench stages
-#                             (format+tidy+lint)
+#                             (format+tidy+analyze)
 #   BENCH_GATE=0 tools/check.sh   run everything but the bench gate
 #
 # Stages that need an optional tool (clang-format, clang-tidy) are
@@ -34,7 +36,7 @@ skip()  { printf 'SKIP: %s\n' "$*"; }
 note "clang-format (style: .clang-format)"
 if command -v clang-format >/dev/null 2>&1; then
   if find src tests bench tools -name '*.cc' -o -name '*.h' \
-      | grep -v lint_fixtures \
+      | grep -v -e lint_fixtures -e analyze_fixtures \
       | xargs clang-format --dry-run -Werror; then
     echo "format clean"
   else
@@ -57,20 +59,44 @@ else
   skip "clang-tidy not on PATH"
 fi
 
-# ---- 3. depmatch_lint -----------------------------------------------------
-note "depmatch_lint (repo invariants)"
+# ---- 3. depmatch_analyze --------------------------------------------------
+# Lock discipline, layering, determinism, and the legacy repo invariants,
+# plus a staleness check: the committed docs/architecture.json must match
+# what the analyzer derives from the current #include graph.
+note "depmatch_analyze (lock discipline, layering, determinism)"
+ARCH_FRESH="$(mktemp /tmp/depmatch_arch.XXXXXX.json)"
 if cmake --preset default >/dev/null \
-    && cmake --build --preset default -j "$JOBS" --target depmatch_lint \
-    && ./build/tools/depmatch_lint --root "$ROOT"; then
-  echo "lint clean"
+    && cmake --build --preset default -j "$JOBS" --target depmatch_analyze \
+    && ./build/tools/depmatch_analyze --root "$ROOT" \
+        --emit-arch "$ARCH_FRESH"; then
+  if diff -u docs/architecture.json "$ARCH_FRESH"; then
+    echo "analyze clean, architecture.json current"
+  else
+    fail "docs/architecture.json is stale; regenerate with \
+./build/tools/depmatch_analyze --root . --emit-arch docs/architecture.json"
+  fi
 else
-  fail "depmatch_lint reported findings"
+  fail "depmatch_analyze reported findings"
 fi
+rm -f "$ARCH_FRESH"
 
 if [ "$FAST" = 1 ]; then
   note "fast mode: skipping sanitizer stages"
 else
-  # ---- 4. ASan+UBSan smoke ------------------------------------------------
+  # ---- 4. UBSan test suite ------------------------------------------------
+  # The UBSan-only lane is fast enough to run the whole test suite, not
+  # just the bench smokes — signed overflow, bad shifts, and misaligned
+  # loads surface wherever the tests reach.
+  note "UBSan test suite (preset: ubsan)"
+  if cmake --preset ubsan >/dev/null \
+      && cmake --build --preset ubsan -j "$JOBS" \
+      && ctest --preset ubsan; then
+    echo "ubsan suite clean"
+  else
+    fail "UBSan test suite failed"
+  fi
+
+  # ---- 5. ASan+UBSan smoke ------------------------------------------------
   note "ASan+UBSan smoke (preset: asan)"
   if cmake --preset asan >/dev/null \
       && cmake --build --preset asan -j "$JOBS" \
@@ -86,7 +112,7 @@ else
     fail "ASan+UBSan smoke failed"
   fi
 
-  # ---- 5. TSan stress -----------------------------------------------------
+  # ---- 6. TSan stress -----------------------------------------------------
   note "TSan stress (preset: tsan, ctest label: tsan_stress)"
   if cmake --preset tsan >/dev/null \
       && cmake --build --preset tsan -j "$JOBS" \
@@ -102,8 +128,8 @@ else
     fail "TSan stress failed"
   fi
 
-  # ---- 6. bench regression gate -------------------------------------------
-  note "bench regression gate (tools/bench_gate.sh, tolerance 10%)"
+  # ---- 7. bench regression gate -------------------------------------------
+  note "bench regression gate (tools/bench_gate.sh, all benches, tolerance 10%)"
   if tools/bench_gate.sh; then
     echo "bench gate clean"
   else

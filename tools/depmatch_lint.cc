@@ -1,785 +1,25 @@
 // Copyright 2026 The DepMatch Authors.
 // Licensed under the Apache License, Version 2.0.
 //
-// depmatch_lint: textual enforcement of repo invariants that clang-tidy
-// cannot express. The binary walks src/, tests/, bench/, and tools/ and
-// reports findings as "path:line: [rule] message", exiting non-zero if
-// any finding survives. Rules (see docs/static_analysis.md):
+// DEPRECATED entry point. depmatch_lint's rules were absorbed into
+// depmatch_analyze (tools/analyze/), which adds lock-discipline,
+// layering, and determinism passes on top. This wrapper keeps old
+// invocations (and muscle memory) working: it accepts the historical
+// flags and runs the full analyzer. Use depmatch_analyze directly for
+// the new flags (--json, --json-out, --emit-arch).
 //
-//   discarded-status  A standalone statement calls a function whose
-//                     declared return type is Status or Result<T> and
-//                     drops the value. Consume it, propagate it, or cast
-//                     to (void) with a suppression comment.
-//   no-throw          Library code (src/) never throws; errors travel
-//                     via Status/Result<T>.
-//   no-std-random     No std::rand/srand anywhere; no std::mt19937 in
-//                     src/ outside common/rng (all randomness flows
-//                     through depmatch::Rng); no argless std::mt19937
-//                     anywhere (unseeded => irreproducible).
-//   raw-thread        No raw std::thread/std::jthread/std::async outside
-//                     common/thread_pool.{h,cc}; concurrency goes through
-//                     ThreadPool so Wait()/shutdown semantics stay in one
-//                     audited place.
-//   header-guard      Include guards follow DEPMATCH_<PATH>_H_.
-//   bit-identical     Files documented bit-identical-at-any-thread-count
-//                     carry the sentinel comment and must not introduce
-//                     constructs that change double accumulation order
-//                     (std::reduce, std::transform_reduce, atomic
-//                     floating accumulators, OpenMP reductions).
-//   sketch-gate       Library code (src/) outside the sketch module must
-//                     not touch JointSketchKernel unless the same file
-//                     routes through the UseSketch() predicate, which is
-//                     the single place that checks the explicit
-//                     StatsOptions::sketch_mode opt-in. Approximate
-//                     answers must never be reachable by default.
-//
-// A finding on line N is suppressed when line N or line N-1 contains
-//   depmatch-lint: allow(<rule>)
-// in a comment. Suppressions are grep-able and should carry a short
-// justification on the same line.
-//
-// The lint is intentionally a line/statement-level scanner, not a real
-// parser: it strips comments and string literals, then works on the
-// remaining code text. That keeps it dependency-free (no libclang in the
-// build image) and fast enough to run on every ctest invocation.
+// Exit codes follow the analyzer: 0 clean, 1 findings, 2 tool error.
 
-#include <algorithm>
-#include <cctype>
-#include <cstddef>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Finding {
-  std::string file;  // path relative to --root
-  size_t line = 0;   // 1-based
-  std::string rule;
-  std::string message;
-};
-
-std::string ReadFile(const fs::path& path, bool* ok) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *ok = false;
-    return "";
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *ok = true;
-  return buf.str();
-}
-
-// Replaces the contents of //-comments, /* */-comments, and string/char
-// literals with spaces, preserving every newline (and therefore line
-// numbers and column positions). Raw string literals R"(...)" are handled
-// with their full delimiter syntax.
-std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: ")delim" terminator
-  for (size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   src[i - 1])) &&
-                               src[i - 1] != '_'))) {
-          size_t paren = src.find('(', i + 2);
-          if (paren != std::string::npos) {
-            raw_delim = ")";
-            raw_delim.append(src, i + 2, paren - (i + 2));
-            raw_delim.push_back('"');
-            state = State::kRawString;
-            for (size_t j = i; j <= paren; ++j) {
-              if (src[j] != '\n') out[j] = ' ';
-            }
-            i = paren;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
-
-// The suppression marker is assembled at runtime so this file's own
-// string literals cannot satisfy a raw-text search for it.
-std::string AllowMarker(const std::string& rule) {
-  return std::string("depmatch-lint") + ": allow(" + rule + ")";
-}
-
-bool Suppressed(const std::vector<std::string>& raw_lines, size_t line,
-                const std::string& rule) {
-  std::string marker = AllowMarker(rule);
-  auto has = [&](size_t idx) {
-    return idx >= 1 && idx <= raw_lines.size() &&
-           raw_lines[idx - 1].find(marker) != std::string::npos;
-  };
-  return has(line) || has(line - 1);
-}
-
-size_t LineOfOffset(const std::string& text, size_t offset) {
-  return 1 + static_cast<size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(offset), '\n'));
-}
-
-// ---------------------------------------------------------------------------
-// Registry of Status / Result<T>-returning function names, harvested from
-// declarations and definitions across src/. Name-level matching is a
-// heuristic: an unrelated void function with the same name would be
-// flagged too, which is handled by renaming or a suppression comment —
-// both acceptable costs for catching every dropped error path.
-// ---------------------------------------------------------------------------
-
-void CollectStatusReturning(const std::string& code,
-                            std::set<std::string>* names) {
-  static const std::regex kDecl(
-      R"((?:^|[;{}\s])(?:const\s+)?(?:::depmatch::)?(?:depmatch::)?(?:Status|Result\s*<[^;{}()]+>)\s*&?\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
-  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::string name = (*it)[1].str();
-    // Constructors/keywords the regex can sweep up.
-    if (name == "if" || name == "while" || name == "for" ||
-        name == "switch" || name == "return" || name == "operator") {
-      continue;
-    }
-    names->insert(name);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Statement splitting for the discarded-status rule.
-// ---------------------------------------------------------------------------
-
-struct Statement {
-  size_t line = 0;  // 1-based line of the first non-space character
-  std::string text;
-};
-
-// True when a '{' after `cur` opens a brace initializer (Foo f{...},
-// Result<int>{...}) rather than a block: the preceding token must be an
-// identifier/template/subscript end, and the statement must not start
-// with a type- or control-keyword (class Foo {, namespace x {, ...).
-bool BraceOpensInitializer(const std::string& cur) {
-  size_t e = cur.find_last_not_of(" \t\r\n");
-  if (e == std::string::npos) return false;
-  char last = cur[e];
-  bool ident_like = std::isalnum(static_cast<unsigned char>(last)) ||
-                    last == '_' || last == '>' || last == ']';
-  if (!ident_like) return false;
-  size_t b = cur.find_first_not_of(" \t\r\n");
-  // Skip access-specifier labels so `public: struct X {` still reads as
-  // a type definition.
-  for (const char* label : {"public:", "private:", "protected:"}) {
-    if (cur.compare(b, std::char_traits<char>::length(label), label) == 0) {
-      b = cur.find_first_not_of(" \t\r\n",
-                                b + std::char_traits<char>::length(label));
-      if (b == std::string::npos) return false;
-      break;
-    }
-  }
-  size_t head_end = cur.find_first_of(" \t\r\n<({", b);
-  std::string head = head_end == std::string::npos
-                         ? cur.substr(b)
-                         : cur.substr(b, head_end - b);
-  static const char* kBlockKeywords[] = {
-      "class", "struct", "enum",  "union",    "namespace", "extern",
-      "if",    "else",   "for",   "while",    "do",        "switch",
-      "try",   "catch",  "return"};
-  for (const char* kw : kBlockKeywords) {
-    if (head == kw) return false;
-  }
-  return true;
-}
-
-// Splits stripped code into statements at ';', '{', '}' seen at paren
-// depth 0 — where '{' that opens a brace initializer counts as a paren,
-// not a boundary, and a preprocessor directive is its own statement
-// ending at the (non-continued) end of line. Without the latter,
-// `#include <...>` lines (no ';') would bleed into the next statement
-// and defeat the brace-initializer keyword check. Statements inside
-// lambda bodies that are themselves inside a call's parentheses are not
-// split out (the whole call is one statement); the rule therefore sees
-// top-level and block-level statements, which is where dropped Status
-// calls live in this codebase.
-std::vector<Statement> SplitStatements(const std::string& code) {
-  std::vector<Statement> statements;
-  size_t paren_depth = 0;
-  size_t init_brace_depth = 0;
-  bool in_preproc = false;
-  std::string cur;
-  size_t cur_line = 0;
-  size_t line = 1;
-  auto flush = [&]() {
-    // Trim.
-    size_t b = cur.find_first_not_of(" \t\r\n");
-    if (b != std::string::npos) {
-      size_t e = cur.find_last_not_of(" \t\r\n");
-      statements.push_back({cur_line, cur.substr(b, e - b + 1)});
-    }
-    cur.clear();
-    cur_line = 0;
-  };
-  for (char c : code) {
-    if (c == '\n') ++line;
-    if (in_preproc) {
-      if (c == '\n' && (cur.empty() || cur.back() != '\\')) {
-        flush();
-        in_preproc = false;
-      } else {
-        cur.push_back(c);
-      }
-      continue;
-    }
-    if (cur.empty() && c == '#') {
-      in_preproc = true;
-      cur_line = line;
-      cur.push_back(c);
-      continue;
-    }
-    if (c == '(' || c == '[') {
-      ++paren_depth;
-    } else if (c == ')' || c == ']') {
-      if (paren_depth > 0) --paren_depth;
-    }
-    if (paren_depth == 0 && (c == ';' || c == '{' || c == '}')) {
-      if (c == '{' && BraceOpensInitializer(cur)) {
-        ++init_brace_depth;
-      } else if (c == '}' && init_brace_depth > 0) {
-        --init_brace_depth;
-      } else if (init_brace_depth == 0) {
-        flush();
-        continue;
-      }
-    }
-    if (cur.empty() && (c == ' ' || c == '\t' || c == '\r' || c == '\n')) {
-      continue;
-    }
-    if (cur.empty()) cur_line = line;
-    cur.push_back(c);
-  }
-  flush();
-  return statements;
-}
-
-bool StartsWithKeyword(const std::string& stmt) {
-  static const char* kKeywords[] = {
-      "return",   "if",       "while",  "for",      "switch", "case",
-      "default",  "do",       "else",   "using",    "typedef", "namespace",
-      "template", "class",    "struct", "enum",     "static_assert",
-      "goto",     "break",    "continue", "delete", "new",    "throw",
-      "co_return", "co_await", "public", "private",  "protected", "friend",
-      "extern",   "#"};
-  for (const char* kw : kKeywords) {
-    size_t n = std::strlen(kw);
-    if (stmt.compare(0, n, kw) == 0 &&
-        (stmt.size() == n || !(std::isalnum(static_cast<unsigned char>(stmt[n])) ||
-                               stmt[n] == '_'))) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// True when `stmt` contains a top-level '=' that is an assignment (not
-// ==, !=, <=, >=), meaning the statement consumes a value.
-bool HasTopLevelAssignment(const std::string& stmt) {
-  size_t depth = 0;
-  for (size_t i = 0; i < stmt.size(); ++i) {
-    char c = stmt[i];
-    if (c == '(' || c == '[' || c == '<') {
-      ++depth;
-    } else if (c == ')' || c == ']' || c == '>') {
-      if (depth > 0) --depth;
-    } else if (c == '=' && depth == 0) {
-      char prev = i > 0 ? stmt[i - 1] : '\0';
-      char next = i + 1 < stmt.size() ? stmt[i + 1] : '\0';
-      if (prev != '=' && prev != '!' && prev != '<' && prev != '>' &&
-          next != '=') {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-// If `stmt` is a plain call expression (optionally a member chain),
-// returns the name of the outermost (final) call; otherwise "".
-std::string OutermostCallName(const std::string& stmt) {
-  if (stmt.empty() || stmt.back() != ')') return "";
-  // Find the '(' matching the final ')'.
-  size_t depth = 0;
-  size_t open = std::string::npos;
-  for (size_t i = stmt.size(); i-- > 0;) {
-    char c = stmt[i];
-    if (c == ')') {
-      ++depth;
-    } else if (c == '(') {
-      --depth;
-      if (depth == 0) {
-        open = i;
-        break;
-      }
-    }
-  }
-  if (open == std::string::npos || open == 0) return "";
-  // Identifier immediately before '('.
-  size_t end = open;
-  while (end > 0 && std::isspace(static_cast<unsigned char>(stmt[end - 1]))) {
-    --end;
-  }
-  size_t start = end;
-  while (start > 0) {
-    char c = stmt[start - 1];
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-      --start;
-    } else {
-      break;
-    }
-  }
-  if (start == end) return "";
-  // The prefix before the identifier must be a value chain (member access
-  // or qualification), not an operator expression or declaration.
-  std::string prefix = stmt.substr(0, start);
-  static const std::regex kChain(
-      R"(^(?:[A-Za-z_]\w*(?:\(\s*\))?(?:::|\.|->)|\(\s*|\s)*$)");
-  if (!prefix.empty() && !std::regex_match(prefix, kChain)) return "";
-  return stmt.substr(start, end - start);
-}
-
-// ---------------------------------------------------------------------------
-// Lint driver
-// ---------------------------------------------------------------------------
-
-struct FileKind {
-  bool in_src = false;
-  bool in_tests = false;
-  bool is_header = false;
-};
-
-class Linter {
- public:
-  Linter(fs::path root, std::set<std::string> status_fns)
-      : root_(std::move(root)), status_fns_(std::move(status_fns)) {}
-
-  void LintFile(const fs::path& path) {
-    bool ok = false;
-    std::string raw = ReadFile(path, &ok);
-    if (!ok) {
-      findings_.push_back({Rel(path), 0, "io", "could not read file"});
-      return;
-    }
-    std::string rel = Rel(path);
-    std::string code = StripCommentsAndStrings(raw);
-    std::vector<std::string> raw_lines = SplitLines(raw);
-
-    FileKind kind;
-    kind.in_src = rel.rfind("src/", 0) == 0;
-    kind.in_tests = rel.rfind("tests/", 0) == 0;
-    kind.is_header = path.extension() == ".h";
-
-    CheckDiscardedStatus(rel, code, raw_lines);
-    CheckNoThrow(rel, kind, code, raw_lines);
-    CheckNoStdRandom(rel, kind, code, raw_lines);
-    CheckRawThread(rel, code, raw_lines);
-    if (kind.is_header) CheckHeaderGuard(rel, code, raw_lines);
-    CheckBitIdentical(rel, raw, code, raw_lines);
-    CheckSketchGate(rel, kind, code, raw_lines);
-  }
-
-  void CheckRequiredSentinels() {
-    // Files whose public contract is "bit-identical at any thread
-    // count" (docs/performance.md). The sentinel comment must survive
-    // refactors so the accumulation-order rules keep applying; deleting
-    // it shows up in a diff (and here).
-    static const char* kRequired[] = {
-        "src/depmatch/stats/joint_kernel.cc",
-        "src/depmatch/stats/joint_sketch.cc",
-        "src/depmatch/stats/stat_cache.cc",
-        "src/depmatch/table/encoded_column.cc",
-        "src/depmatch/match/score_kernel.cc",
-        "src/depmatch/match/annealing_matcher.cc",
-        "src/depmatch/match/graduated_assignment.cc",
-        "src/depmatch/match/exhaustive_matcher.cc",
-        "src/depmatch/match/graph_signature.cc",
-        "src/depmatch/graph/graph_io.cc",
-        "src/depmatch/core/catalog_index.cc",
-        "src/depmatch/core/graph_catalog.cc",
-        "src/depmatch/core/multi_match.cc",
-        "src/depmatch/core/sharded_store.cc",
-    };
-    for (const char* rel : kRequired) {
-      fs::path p = root_ / rel;
-      if (!fs::exists(p)) continue;  // renamed: the diff reviewer decides
-      bool ok = false;
-      std::string raw = ReadFile(p, &ok);
-      if (ok && raw.find(SentinelMarker()) == std::string::npos) {
-        findings_.push_back(
-            {rel, 1, "bit-identical",
-             "file is documented bit-identical at any thread count but "
-             "lacks the '" +
-                 SentinelMarker() + "' sentinel comment"});
-      }
-    }
-  }
-
-  const std::vector<Finding>& findings() const { return findings_; }
-
- private:
-  static std::string SentinelMarker() {
-    return std::string("depmatch-lint") + ": bit-identical-file";
-  }
-
-  std::string Rel(const fs::path& path) const {
-    std::error_code ec;
-    fs::path rel = fs::relative(path, root_, ec);
-    std::string s = (ec || rel.empty()) ? path.string() : rel.string();
-    return s;
-  }
-
-  void Report(const std::string& rel, size_t line, const std::string& rule,
-              const std::string& message,
-              const std::vector<std::string>& raw_lines) {
-    if (Suppressed(raw_lines, line, rule)) return;
-    findings_.push_back({rel, line, rule, message});
-  }
-
-  void CheckDiscardedStatus(const std::string& rel, const std::string& code,
-                            const std::vector<std::string>& raw_lines) {
-    if (rel.size() < 3 || rel.compare(rel.size() - 3, 3, ".cc") != 0) return;
-    for (const Statement& stmt : SplitStatements(code)) {
-      if (stmt.text[0] == '#') continue;  // preprocessor directive
-      if (StartsWithKeyword(stmt.text)) continue;
-      if (stmt.text.rfind("(void)", 0) == 0) continue;
-      if (HasTopLevelAssignment(stmt.text)) continue;
-      std::string name = OutermostCallName(stmt.text);
-      if (name.empty() || status_fns_.count(name) == 0) continue;
-      Report(rel, stmt.line, "discarded-status",
-             "result of '" + name +
-                 "' (returns Status/Result) is discarded; check it, "
-                 "propagate it, or cast to (void) with a justification",
-             raw_lines);
-    }
-  }
-
-  void CheckNoThrow(const std::string& rel, const FileKind& kind,
-                    const std::string& code,
-                    const std::vector<std::string>& raw_lines) {
-    if (!kind.in_src) return;
-    static const std::regex kThrow(R"(\bthrow\b)");
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kThrow);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      Report(rel, line, "no-throw",
-             "library code must not throw; return Status/Result<T> instead",
-             raw_lines);
-    }
-  }
-
-  void CheckNoStdRandom(const std::string& rel, const FileKind& kind,
-                        const std::string& code,
-                        const std::vector<std::string>& raw_lines) {
-    static const std::regex kRand(R"(\bstd::rand\b|\bsrand\s*\()");
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kRand);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      Report(rel, line, "no-std-random",
-             "std::rand/srand are banned; use depmatch::Rng", raw_lines);
-    }
-
-    bool in_rng = rel.find("common/rng") != std::string::npos;
-    static const std::regex kMt(R"(\bstd::mt19937(?:_64)?\b)");
-    static const std::regex kMtArgless(
-        R"(\bstd::mt19937(?:_64)?\s+\w+\s*[;,)]|\bstd::mt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\}))");
-    auto mt_begin = std::sregex_iterator(code.begin(), code.end(), kMt);
-    for (auto it = mt_begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      if (kind.in_src && !in_rng) {
-        Report(rel, line, "no-std-random",
-               "std::mt19937 in library code; all randomness flows through "
-               "depmatch::Rng (common/rng.h)",
-               raw_lines);
-      }
-    }
-    auto al_begin =
-        std::sregex_iterator(code.begin(), code.end(), kMtArgless);
-    for (auto it = al_begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      if (kind.in_src && !in_rng) continue;  // already reported above
-      Report(rel, line, "no-std-random",
-             "default-constructed std::mt19937 is unseeded and "
-             "irreproducible; seed it or use depmatch::Rng",
-             raw_lines);
-    }
-  }
-
-  void CheckRawThread(const std::string& rel, const std::string& code,
-                      const std::vector<std::string>& raw_lines) {
-    if (rel.find("common/thread_pool") != std::string::npos) return;
-    static const std::regex kThread(
-        R"(\bstd::(?:thread|jthread)\b(?!::)|\bstd::async\b|\bpthread_create\b)");
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kThread);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      Report(rel, line, "raw-thread",
-             "raw thread primitive outside common/thread_pool.cc; use "
-             "ThreadPool (or suppress with a justification in tests that "
-             "exercise cross-thread behaviour)",
-             raw_lines);
-    }
-  }
-
-  void CheckHeaderGuard(const std::string& rel, const std::string& code,
-                        const std::vector<std::string>& raw_lines) {
-    std::string path_part = rel;
-    const std::string kSrcPrefix = "src/depmatch/";
-    if (path_part.rfind(kSrcPrefix, 0) == 0) {
-      path_part = path_part.substr(kSrcPrefix.size());
-    }
-    std::string guard = "DEPMATCH_";
-    for (char c : path_part) {
-      if (c == '/' || c == '.') {
-        guard.push_back('_');
-      } else {
-        guard.push_back(static_cast<char>(
-            std::toupper(static_cast<unsigned char>(c))));
-      }
-    }
-    guard.push_back('_');
-    if (code.find("#ifndef " + guard) == std::string::npos ||
-        code.find("#define " + guard) == std::string::npos) {
-      Report(rel, 1, "header-guard",
-             "expected include guard '" + guard +
-                 "' (#ifndef/#define pair) derived from the header path",
-             raw_lines);
-    }
-  }
-
-  void CheckBitIdentical(const std::string& rel, const std::string& raw,
-                         const std::string& code,
-                         const std::vector<std::string>& raw_lines) {
-    if (raw.find(SentinelMarker()) == std::string::npos) return;
-    static const std::regex kForbidden(
-        R"(\bstd::reduce\b|\bstd::transform_reduce\b|\bstd::atomic\s*<\s*(?:double|float|long\s+double)\s*>|#\s*pragma\s+omp)");
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kForbidden);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      std::string msg = "'";
-      msg += it->str();
-      msg +=
-          "' can change double accumulation order; this file is "
-          "documented bit-identical at any thread count (sentinel "
-          "comment) — keep summation order fixed";
-      Report(rel, line, "bit-identical", msg, raw_lines);
-    }
-  }
-
-  void CheckSketchGate(const std::string& rel, const FileKind& kind,
-                       const std::string& code,
-                       const std::vector<std::string>& raw_lines) {
-    if (!kind.in_src) return;
-    // The sketch module itself defines the kernel and the gate.
-    if (rel.find("stats/joint_sketch") != std::string::npos) return;
-    static const std::regex kKernel(R"(\bJointSketchKernel\b)");
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kKernel);
-    if (begin == std::sregex_iterator()) return;
-    // A file that consults UseSketch() is, by construction, checking the
-    // explicit StatsOptions::sketch_mode opt-in before estimating.
-    if (code.find("UseSketch") != std::string::npos) return;
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      size_t line = LineOfOffset(code, static_cast<size_t>(it->position()));
-      Report(rel, line, "sketch-gate",
-             "JointSketchKernel used without a UseSketch() gate; the "
-             "count-min tier is approximate and must only run when "
-             "StatsOptions::sketch_mode is explicitly set (see "
-             "stats/joint_sketch.h)",
-             raw_lines);
-    }
-  }
-
-  fs::path root_;
-  std::set<std::string> status_fns_;
-  std::vector<Finding> findings_;
-};
-
-// `root`-relative filtering: the fixture tree under tests/tools/
-// lint_fixtures/ is skipped when linting the repo, but lintable when the
-// self-test points --root directly at it.
-bool ShouldLint(const fs::path& path, const fs::path& root) {
-  fs::path ext = path.extension();
-  if (ext != ".cc" && ext != ".h") return false;
-  std::error_code ec;
-  fs::path rel = fs::relative(path, root, ec);
-  std::string s = ec ? path.string() : rel.string();
-  return s.find("lint_fixtures") == std::string::npos;
-}
-
-void WalkDir(const fs::path& dir, const fs::path& root,
-             std::vector<fs::path>* files) {
-  std::error_code ec;
-  if (!fs::exists(dir, ec)) return;
-  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) break;
-    if (it->is_regular_file(ec) && ShouldLint(it->path(), root)) {
-      files->push_back(it->path());
-    }
-  }
-}
-
-}  // namespace
+#include "tools/analyze/analyzer.h"
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::vector<fs::path> explicit_files;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: depmatch_lint [--root DIR] [file...]\n"
-                << "Lints DIR/{src,tests,bench,tools} (or just the given "
-                   "files) against repo invariants.\n";
-      return 0;
-    } else {
-      explicit_files.emplace_back(arg);
-    }
-  }
-  root = fs::absolute(root);
-
-  // Build the Status/Result registry from all of src/ (headers and
-  // definitions), independent of which files are being linted.
-  std::set<std::string> status_fns;
-  {
-    std::vector<fs::path> decl_files;
-    WalkDir(root / "src", root, &decl_files);
-    for (const fs::path& p : decl_files) {
-      bool ok = false;
-      std::string raw = ReadFile(p, &ok);
-      if (!ok) continue;
-      std::string code = StripCommentsAndStrings(raw);
-      CollectStatusReturning(code, &status_fns);
-    }
-  }
-
-  std::vector<fs::path> files = explicit_files;
-  bool whole_tree = files.empty();
-  if (whole_tree) {
-    WalkDir(root / "src", root, &files);
-    WalkDir(root / "tests", root, &files);
-    WalkDir(root / "bench", root, &files);
-    WalkDir(root / "tools", root, &files);
-    std::sort(files.begin(), files.end());
-  }
-
-  Linter linter(root, std::move(status_fns));
-  for (const fs::path& p : files) {
-    linter.LintFile(p);
-  }
-  if (whole_tree) linter.CheckRequiredSentinels();
-
-  for (const Finding& f : linter.findings()) {
-    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-  if (!linter.findings().empty()) {
-    std::cerr << linter.findings().size() << " lint finding(s)\n";
-    return 1;
-  }
-  std::cout << "depmatch_lint: " << files.size() << " files clean\n";
-  return 0;
+  std::cerr << "depmatch_lint is deprecated; running depmatch_analyze "
+               "(same rules and more — see docs/static_analysis.md)\n";
+  depmatch_analyze::AnalyzerOptions opts;
+  int rc = depmatch_analyze::ParseArgs(argc, argv, &opts, std::cerr);
+  if (rc == -1) return depmatch_analyze::kExitClean;  // --help
+  if (rc != depmatch_analyze::kExitClean) return rc;
+  return depmatch_analyze::RunAnalyzer(opts, std::cout, std::cerr);
 }
