@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <ctime>
 #include <thread>
@@ -151,6 +152,33 @@ std::string IsoTimestampUtc() {
   gmtime_r(&now, &utc);
   std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
   return buffer;
+}
+
+double PercentileMs(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (pct <= 0.0) return samples.front();
+  if (pct >= 100.0) return samples.back();
+  // Nearest-rank: the value at rank ceil(pct/100 * n), 1-based.
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  summary.count = samples.size();
+  std::sort(samples.begin(), samples.end());
+  summary.min_ms = samples.front();
+  summary.max_ms = samples.back();
+  double total = 0.0;
+  for (double sample : samples) total += sample;
+  summary.mean_ms = total / static_cast<double>(samples.size());
+  summary.p50_ms = PercentileMs(samples, 50.0);
+  summary.p99_ms = PercentileMs(samples, 99.0);
+  return summary;
 }
 
 const std::vector<MethodSpec>& StandardMethods() {

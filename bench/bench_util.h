@@ -97,6 +97,25 @@ void WriteMachineJson(std::FILE* out, const MachineReport& report,
 // UTC timestamp "YYYY-MM-DDTHH:MM:SSZ" for bench provenance headers.
 std::string IsoTimestampUtc();
 
+// Nearest-rank percentile of `samples` (pct in (0, 100]): the value at
+// rank ceil(pct/100 * n), so p50 of [1,2,3,4] is 2 and p100 is the max.
+// Sorts a copy; returns 0.0 on an empty vector.
+double PercentileMs(std::vector<double> samples, double pct);
+
+// Wall-clock latency digest shared by the serving/load benches so each
+// does not re-implement timing stats (count, min/mean/max, p50/p99).
+struct LatencySummary {
+  size_t count = 0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// Digest of `samples` (milliseconds). All fields 0 when empty.
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
 }  // namespace benchutil
 }  // namespace depmatch
 

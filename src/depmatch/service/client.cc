@@ -1,0 +1,226 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#include "depmatch/service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "depmatch/common/string_util.h"
+
+namespace depmatch {
+namespace service {
+
+namespace {
+
+bool ReadFull(int fd, char* data, size_t count) {
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = read(fd, data + done, count - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* data, size_t count) {
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = send(fd, data + done, count - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceClient::~ServiceClient() { Close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError(
+        StrFormat("socket path must be 1..%zu bytes, got %zu",
+                  sizeof(addr.sun_path) - 1, socket_path.size()));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = NotFoundError(StrFormat("connect(%s) failed: %s",
+                                            socket_path.c_str(),
+                                            std::strerror(errno)));
+    close(fd);
+    return status;
+  }
+  return ServiceClient(fd);
+}
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> ServiceClient::Call(const Request& request) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("client is not connected");
+  }
+  std::string frame = EncodeRequest(request);
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    Close();
+    return InternalError("connection broke while sending the request");
+  }
+
+  std::string header(kFrameHeaderBytes, '\0');
+  if (!ReadFull(fd_, header.data(), header.size())) {
+    Close();
+    return InternalError("connection closed before a response arrived");
+  }
+  Result<uint64_t> body_bytes =
+      DecodeFrameHeader(header, /*expect_request=*/false);
+  if (!body_bytes.ok()) {
+    Close();
+    return body_bytes.status();
+  }
+  std::string response_frame = header;
+  response_frame.resize(FrameSizeForBody(*body_bytes));
+  if (!ReadFull(fd_, response_frame.data() + header.size(),
+                response_frame.size() - header.size())) {
+    Close();
+    return InternalError("connection closed mid-response");
+  }
+  Result<Response> response = DecodeResponse(response_frame);
+  if (!response.ok()) {
+    Close();
+    return response.status();
+  }
+  // The server answered a framing error it could not attribute with
+  // request id 0; anything else must echo ours.
+  if (response->request_id != request.request_id &&
+      response->request_id != 0) {
+    Close();
+    return InternalError(
+        StrFormat("response id %llu does not echo request id %llu",
+                  static_cast<unsigned long long>(response->request_id),
+                  static_cast<unsigned long long>(request.request_id)));
+  }
+  return response;
+}
+
+Result<Response> ServiceClient::MatchTables(Table source, Table target,
+                                            const WireMatchOptions& options,
+                                            uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kMatchTables;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.match.source = std::move(source);
+  request.match.target = std::move(target);
+  request.match.options = options;
+  return Call(request);
+}
+
+Result<Response> ServiceClient::SearchTable(Table table, uint64_t k,
+                                            const WireMatchOptions& options,
+                                            uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kSearch;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.search.source = SearchSource::kInlineTable;
+  request.search.table = std::move(table);
+  request.search.k = k;
+  request.search.options = options;
+  return Call(request);
+}
+
+Result<Response> ServiceClient::SearchStored(std::string stored_name,
+                                             uint64_t k,
+                                             const WireMatchOptions& options,
+                                             uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kSearch;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.search.source = SearchSource::kStoredEntry;
+  request.search.stored_name = std::move(stored_name);
+  request.search.k = k;
+  request.search.options = options;
+  return Call(request);
+}
+
+Result<Response> ServiceClient::InsertTable(std::string name, Table table,
+                                            bool replace_existing,
+                                            uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kInsert;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.insert.name = std::move(name);
+  request.insert.payload = InsertPayload::kTable;
+  request.insert.table = std::move(table);
+  request.insert.replace_existing = replace_existing;
+  return Call(request);
+}
+
+Result<Response> ServiceClient::InsertGraph(std::string name,
+                                            DependencyGraph graph,
+                                            bool replace_existing,
+                                            uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kInsert;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.insert.name = std::move(name);
+  request.insert.payload = InsertPayload::kGraphBlob;
+  request.insert.graph = std::move(graph);
+  request.insert.replace_existing = replace_existing;
+  return Call(request);
+}
+
+Result<Response> ServiceClient::Stats() {
+  Request request;
+  request.type = RequestType::kStats;
+  request.request_id = next_request_id_++;
+  return Call(request);
+}
+
+}  // namespace service
+}  // namespace depmatch

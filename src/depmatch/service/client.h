@@ -1,0 +1,78 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// ServiceClient: a synchronous client for the matching service.
+//
+// One client wraps one connection and issues one request at a time
+// (Call blocks until the response frame arrives), which is exactly the
+// closed-loop shape the bench's load generator wants: N concurrent
+// clients = N connections, each with its own ServiceClient on its own
+// thread. The client is movable but not thread-safe; do not share one
+// instance across threads.
+
+#ifndef DEPMATCH_SERVICE_CLIENT_H_
+#define DEPMATCH_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depmatch/common/status.h"
+#include "depmatch/service/protocol.h"
+
+namespace depmatch {
+namespace service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  // Connects to a ServiceServer's AF_UNIX socket.
+  static Result<ServiceClient> Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends `request` and blocks for its response. Transport failures
+  // (broken connection, undecodable response frame) surface as a
+  // non-OK Result; service-level failures (kOverloaded, kNotFound,
+  // ...) come back as OK Results whose Response carries the status.
+  // Fails if the response echoes a different request id.
+  Result<Response> Call(const Request& request);
+
+  // Convenience wrappers around Call(), stamping sequential request
+  // ids.
+  Result<Response> MatchTables(Table source, Table target,
+                               const WireMatchOptions& options = {},
+                               uint64_t deadline_ms = 0);
+  Result<Response> SearchTable(Table table, uint64_t k,
+                               const WireMatchOptions& options = {},
+                               uint64_t deadline_ms = 0);
+  Result<Response> SearchStored(std::string stored_name, uint64_t k,
+                                const WireMatchOptions& options = {},
+                                uint64_t deadline_ms = 0);
+  Result<Response> InsertTable(std::string name, Table table,
+                               bool replace_existing = true,
+                               uint64_t deadline_ms = 0);
+  Result<Response> InsertGraph(std::string name, DependencyGraph graph,
+                               bool replace_existing = true,
+                               uint64_t deadline_ms = 0);
+  Result<Response> Stats();
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace service
+}  // namespace depmatch
+
+#endif  // DEPMATCH_SERVICE_CLIENT_H_

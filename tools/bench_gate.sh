@@ -30,6 +30,7 @@
 #   pipeline       first 1 x cached_min_ms (end-to-end with StatCache)
 #   catalog        first 1 x prefilter_parallel_min_ms (top-k search)
 #   catalog_scale  first 3 x search_min_ms (10K/50K/100K-entry tiers)
+#   service        first 1 x serve_p99_ms  (1-client served search p99)
 #
 # Exit code: 0 on pass/skip, 1 on any regression or measurement failure.
 
@@ -56,6 +57,7 @@ match_search:new_min_ms:2
 pipeline:cached_min_ms:1
 catalog:prefilter_parallel_min_ms:1
 catalog_scale:search_min_ms:3
+service:serve_p99_ms:1
 "
 
 ONLY="${1:-}"

@@ -101,11 +101,12 @@ else
   if cmake --preset asan >/dev/null \
       && cmake --build --preset asan -j "$JOBS" \
           --target bench_match_search bench_graph_build bench_pipeline \
-          bench_catalog bench_catalog_scale tsan_stress_test \
+          bench_catalog bench_catalog_scale bench_service tsan_stress_test \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_match_search --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_pipeline --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_catalog --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_catalog_scale --smoke \
+      && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_service --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/tsan_stress_test; then
     echo "asan smoke clean"
   else
@@ -117,12 +118,13 @@ else
   if cmake --preset tsan >/dev/null \
       && cmake --build --preset tsan -j "$JOBS" \
           --target tsan_stress_test bench_match_search bench_pipeline \
-          bench_catalog bench_catalog_scale \
+          bench_catalog bench_catalog_scale bench_service \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/tsan_stress_test \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_match_search --smoke \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_pipeline --smoke \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_catalog --smoke \
-      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_catalog_scale --smoke; then
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_catalog_scale --smoke \
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_service --smoke; then
     echo "tsan stress clean"
   else
     fail "TSan stress failed"
