@@ -1,0 +1,294 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// bench_incremental: times the incremental Table2DepGraph path
+// (graph/incremental_builder.h) against a cold full rebuild when a
+// batch of new rows arrives. The fixture is the paper's lab-exam
+// workload at 50K+ rows, date-partitioned by exam_date into a base
+// slice plus an append delta (datagen::MakeStreamingSlices with
+// order_by = 0 — rows arrive in date order, exactly the streaming shape
+// the lab data has), at 1% / 5% / 25% delta sizes.
+//
+// Per configuration the bench measures:
+//   * cold_rebuild — BuildDependencyGraph over ALL rows (base + delta),
+//     what a non-incremental pipeline pays on every ingestion;
+//   * incremental  — Append(delta) + Refresh() on the retained builder:
+//     the service's steady-state ingestion path (MatchService mutates
+//     its per-entry builder in place). The state is reset between reps
+//     by forking the retained base builder OUTSIDE the timed region —
+//     the fork is bench scaffolding, not part of the measured path.
+// and asserts, before reporting, that the two graphs are bit-identical
+// (exact double equality) — the speedup is only meaningful because the
+// answer is exactly the same.
+//
+// The headline `append_speedup_x` (50K rows, 1% delta) is gated by
+// tools/bench_gate.sh as a higher-is-better metric.
+//
+// `--smoke` runs a pure correctness gate at tiny sizes: Append and
+// Merge ingestion, dense and packed-sparse count state, 1/2/8 refold
+// threads — every variant must reproduce the cold concatenated-table
+// build bit-for-bit.
+//
+//   DEPMATCH_BENCH_REPS  repetitions per data point (default 3)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "depmatch/common/logging.h"
+#include "depmatch/common/string_util.h"
+#include "depmatch/datagen/datasets.h"
+#include "depmatch/graph/graph_builder.h"
+#include "depmatch/graph/incremental_builder.h"
+
+namespace depmatch {
+namespace {
+
+double TimeMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool GraphsIdentical(const DependencyGraph& a, const DependencyGraph& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a.mi(i, j) != b.mi(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+struct Sample {
+  double delta_fraction = 0.0;
+  size_t total_rows = 0;
+  size_t delta_rows = 0;
+  size_t reps = 0;
+  double cold_min_ms = 0.0;
+  double cold_mean_ms = 0.0;
+  double incremental_min_ms = 0.0;
+  double incremental_mean_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+Sample MeasureFraction(const Table& table, double fraction, size_t reps) {
+  Result<datagen::StreamingSlices> slices = datagen::MakeStreamingSlices(
+      table, 1.0 - fraction, /*num_appends=*/1, /*order_by=*/0);
+  DEPMATCH_CHECK(slices.ok());
+  Result<Table> full =
+      datagen::ConcatenateSlices(slices->base, slices->appends);
+  DEPMATCH_CHECK(full.ok());
+
+  // The retained builder over the base slice — built once, outside the
+  // timed region, exactly like a live catalog entry's count state.
+  Result<IncrementalGraphBuilder> retained =
+      IncrementalGraphBuilder::Create(slices->base);
+  DEPMATCH_CHECK(retained.ok());
+
+  Sample sample;
+  sample.delta_fraction = fraction;
+  sample.total_rows = full->num_rows();
+  sample.delta_rows = slices->appends[0].num_rows();
+  sample.reps = reps;
+  sample.cold_min_ms = 1e300;
+  sample.incremental_min_ms = 1e300;
+
+  DependencyGraph cold_graph;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    double ms = TimeMs([&] {
+      Result<DependencyGraph> graph = BuildDependencyGraph(*full);
+      DEPMATCH_CHECK(graph.ok());
+      cold_graph = *std::move(graph);
+    });
+    sample.cold_min_ms = std::min(sample.cold_min_ms, ms);
+    sample.cold_mean_ms += ms;
+  }
+  sample.cold_mean_ms /= static_cast<double>(reps);
+
+  DependencyGraph incremental_graph;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    // Untimed state reset: the service appends into a long-lived builder
+    // in place, so the measured region is exactly Append + Refresh.
+    IncrementalGraphBuilder fork = *retained;
+    double ms = TimeMs([&] {
+      DEPMATCH_CHECK(fork.Append(slices->appends[0]).ok());
+      Result<DependencyGraph> graph = fork.Refresh();
+      DEPMATCH_CHECK(graph.ok());
+      incremental_graph = *std::move(graph);
+    });
+    sample.incremental_min_ms = std::min(sample.incremental_min_ms, ms);
+    sample.incremental_mean_ms += ms;
+  }
+  sample.incremental_mean_ms /= static_cast<double>(reps);
+
+  sample.identical = GraphsIdentical(cold_graph, incremental_graph);
+  sample.speedup = (sample.incremental_min_ms > 0.0)
+                       ? sample.cold_min_ms / sample.incremental_min_ms
+                       : 0.0;
+  return sample;
+}
+
+int Run(const std::string& output_path) {
+  size_t reps = 3;
+  if (const char* raw = std::getenv("DEPMATCH_BENCH_REPS")) {
+    auto parsed = ParseInt64(raw);
+    if (parsed.has_value() && *parsed > 0) {
+      reps = static_cast<size_t>(*parsed);
+    }
+  }
+
+  datagen::LabExamConfig config;
+  config.num_rows = 51200;  // 50K+ rows, date-partitioned by column 0
+  Result<Table> table = datagen::MakeLabExamTable(config, 7);
+  DEPMATCH_CHECK(table.ok());
+
+  const std::vector<double> fractions = {0.01, 0.05, 0.25};
+  std::vector<Sample> samples;
+  bool all_identical = true;
+  for (double fraction : fractions) {
+    Sample sample = MeasureFraction(*table, fraction, reps);
+    std::printf("rows=%-6zu delta=%5.1f%% (%5zu rows)  cold min %8.2f ms   "
+                "incremental min %8.2f ms   speedup %7.2fx   identical %s\n",
+                sample.total_rows, fraction * 100.0, sample.delta_rows,
+                sample.cold_min_ms, sample.incremental_min_ms, sample.speedup,
+                sample.identical ? "true" : "false");
+    all_identical = all_identical && sample.identical;
+    samples.push_back(sample);
+  }
+
+  const Sample& headline = samples.front();  // 1% delta
+  std::printf("\nheadline (%zu rows, 1%% append): cold %.2f ms -> "
+              "incremental %.2f ms = %.2fx\n",
+              headline.total_rows, headline.cold_min_ms,
+              headline.incremental_min_ms, headline.speedup);
+  std::printf("incremental/cold graphs identical: %s\n",
+              all_identical ? "true" : "false");
+
+  std::FILE* out = std::fopen(output_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", output_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"incremental\",\n");
+  std::fprintf(out, "  \"timestamp_utc\": \"%s\",\n",
+               benchutil::IsoTimestampUtc().c_str());
+  benchutil::WriteMachineJson(out, benchutil::MakeMachineReport({1}), "  ",
+                              /*trailing_comma=*/true);
+  std::fprintf(out, "  \"incremental_cold_graphs_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(out, "  \"headline\": {\n");
+  std::fprintf(out,
+               "    \"config\": \"lab exam, %zu rows, 1%% date-partitioned "
+               "append, 1 thread\",\n",
+               headline.total_rows);
+  std::fprintf(out, "    \"cold_rebuild_min_ms\": %.3f,\n",
+               headline.cold_min_ms);
+  std::fprintf(out, "    \"incremental_min_ms\": %.3f,\n",
+               headline.incremental_min_ms);
+  std::fprintf(out, "    \"append_speedup_x\": %.3f\n", headline.speedup);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"delta_fraction\": %.2f, \"total_rows\": %zu, "
+                 "\"delta_rows\": %zu, \"reps\": %zu, "
+                 "\"cold_min_ms\": %.3f, \"cold_mean_ms\": %.3f, "
+                 "\"incremental_min_ms\": %.3f, "
+                 "\"incremental_mean_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 s.delta_fraction, s.total_rows, s.delta_rows, s.reps,
+                 s.cold_min_ms, s.cold_mean_ms, s.incremental_min_ms,
+                 s.incremental_mean_ms, s.speedup,
+                 s.identical ? "true" : "false",
+                 (i + 1 < samples.size()) ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", output_path.c_str());
+  return all_identical ? 0 : 2;
+}
+
+// Tiny-size correctness gate: every ingestion shape must reproduce the
+// cold concatenated-table build bit-for-bit.
+int Smoke() {
+  datagen::LabExamConfig config;
+  config.num_rows = 900;
+  config.num_test_attributes = 10;
+  config.num_null_heavy_attributes = 2;
+  Result<Table> table = datagen::MakeLabExamTable(config, 11);
+  DEPMATCH_CHECK(table.ok());
+  Result<datagen::StreamingSlices> slices = datagen::MakeStreamingSlices(
+      *table, 0.5, /*num_appends=*/3, /*order_by=*/0);
+  DEPMATCH_CHECK(slices.ok());
+  Result<Table> full =
+      datagen::ConcatenateSlices(slices->base, slices->appends);
+  DEPMATCH_CHECK(full.ok());
+
+  bool ok = true;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (bool sparse : {false, true}) {
+      IncrementalBuildOptions options;
+      options.graph.num_threads = threads;
+      if (sparse) options.dense_state_cell_budget = 0;
+
+      Result<DependencyGraph> cold =
+          BuildDependencyGraph(*full, options.graph);
+      DEPMATCH_CHECK(cold.ok());
+
+      // Append ingestion: one delta at a time, refresh after each.
+      Result<IncrementalGraphBuilder> appended =
+          IncrementalGraphBuilder::Create(slices->base, options);
+      DEPMATCH_CHECK(appended.ok());
+      for (const Table& delta : slices->appends) {
+        DEPMATCH_CHECK(appended->Append(delta).ok());
+        DEPMATCH_CHECK(appended->Refresh().ok());
+      }
+      bool append_identical = GraphsIdentical(appended->graph(), *cold);
+
+      // Merge ingestion: an independent builder per slice, merged in
+      // arrival order, one refresh at the end.
+      Result<IncrementalGraphBuilder> merged =
+          IncrementalGraphBuilder::Create(slices->base, options);
+      DEPMATCH_CHECK(merged.ok());
+      for (const Table& delta : slices->appends) {
+        Result<IncrementalGraphBuilder> part =
+            IncrementalGraphBuilder::Create(delta, options);
+        DEPMATCH_CHECK(part.ok());
+        DEPMATCH_CHECK(merged->Merge(*part).ok());
+      }
+      DEPMATCH_CHECK(merged->Refresh().ok());
+      bool merge_identical = GraphsIdentical(merged->graph(), *cold);
+
+      std::printf("smoke threads=%zu state=%-6s append %s merge %s\n",
+                  threads, sparse ? "sparse" : "dense",
+                  append_identical ? "identical" : "MISMATCH",
+                  merge_identical ? "identical" : "MISMATCH");
+      ok = ok && append_identical && merge_identical;
+    }
+  }
+  std::printf("bench_incremental smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace depmatch
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return depmatch::Smoke();
+  }
+  std::string output_path = (argc > 1) ? argv[1] : "BENCH_incremental.json";
+  return depmatch::Run(output_path);
+}

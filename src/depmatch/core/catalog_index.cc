@@ -327,6 +327,54 @@ double CatalogTieredIndex::ClusterBound(size_t id, const GraphSignature& query,
   return AdmissibleBoundSlack(maximize ? total : -metric.Finalize(total));
 }
 
+bool CatalogTieredIndex::UpdateEntry(size_t entry,
+                                     const GraphSignature& signature,
+                                     const CatalogIndexOptions& options) {
+  if (nodes_.empty()) return false;
+  auto it = std::find(entry_order_.begin(), entry_order_.end(), entry);
+  if (it == entry_order_.end()) return false;
+  size_t pos = static_cast<size_t>(it - entry_order_.begin());
+  const size_t intervals = std::max<size_t>(1, options.envelope_intervals);
+
+  // Coverage of the new signature's raw values, built exactly like a
+  // leaf's during Build().
+  size_t n = signature.size();
+  size_t length = signature.profile_length();
+  std::vector<double> entropies;
+  std::vector<double> profiles;
+  entropies.reserve(n);
+  for (size_t s = 0; s < n; ++s) entropies.push_back(signature.entropy(s));
+  if (length > 0) {
+    profiles.reserve(n * length);
+    for (size_t s = 0; s < n; ++s) {
+      const double* row = signature.ProfileAsc(s);
+      profiles.insert(profiles.end(), row, row + length);
+    }
+  }
+  std::sort(entropies.begin(), entropies.end());
+  std::sort(profiles.begin(), profiles.end());
+  std::vector<double> entropy_cover = CoverSortedValues(entropies, intervals);
+  std::vector<double> profile_cover = CoverSortedValues(profiles, intervals);
+
+  size_t id = root();
+  while (true) {
+    TieredIndexNode& nd = nodes_[id];
+    ClusterEnvelope& env = nd.envelope;
+    env.entropy_bounds =
+        MergeCoverage(env.entropy_bounds, entropy_cover, intervals);
+    env.profile_bounds =
+        MergeCoverage(env.profile_bounds, profile_cover, intervals);
+    if (n == 0) env.any_empty_graph = true;
+    if (n > 0 && length == 0) env.any_empty_profile = true;
+    env.min_width = std::min(env.min_width, n);
+    env.max_width = std::max(env.max_width, n);
+    if (nd.left < 0) break;
+    size_t left = static_cast<size_t>(nd.left);
+    id = pos < nodes_[left].end ? left : static_cast<size_t>(nd.right);
+  }
+  return true;
+}
+
 CatalogTieredIndex CatalogTieredIndex::FromParts(
     std::vector<size_t> entry_order, std::vector<TieredIndexNode> nodes) {
   CatalogTieredIndex index;

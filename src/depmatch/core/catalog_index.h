@@ -116,6 +116,20 @@ class CatalogTieredIndex {
   double ClusterBound(size_t id, const GraphSignature& query,
                       const Metric& metric, Cardinality cardinality) const;
 
+  // Widen-only refresh after one entry's signature changed in place
+  // (the incremental-append path): walks the root-to-leaf path whose
+  // ranges cover the entry's slot and widens each node's envelope to
+  // additionally cover the new signature's values. Coverage stays a
+  // superset of every member's values — including the entry's old ones,
+  // which may no longer occur — so every cluster bound still dominates
+  // and search results stay bit-identical to a flat scan; the envelopes
+  // are merely looser than a fresh Build() would produce (rebuild
+  // periodically to re-tighten). The entry keeps its slot in the
+  // feature-split order, so repeated updates can also degrade balance,
+  // never correctness. Returns false if `entry` is not indexed.
+  bool UpdateEntry(size_t entry, const GraphSignature& signature,
+                   const CatalogIndexOptions& options = {});
+
   // Reassembles an index from its serialized parts (sharded store).
   // Performs structural validation; returns an empty index on invalid
   // input (callers treat that as "no index").

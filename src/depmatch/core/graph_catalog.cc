@@ -134,6 +134,22 @@ Status GraphCatalog::Insert(std::string name, DependencyGraph graph) {
   return OkStatus();
 }
 
+Status GraphCatalog::UpdateEntry(std::string_view name, DependencyGraph graph,
+                                 const CatalogIndexOptions& index_options) {
+  Result<size_t> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  GraphSignature signature(graph);
+  graphs_[*entry] = std::move(graph);
+  signatures_[*entry] = std::move(signature);
+  if (index_.has_value() &&
+      !index_->UpdateEntry(*entry, signatures_[*entry], index_options)) {
+    // The entry is not covered by the index (stale or partial build);
+    // drop the index rather than risk a non-dominating envelope.
+    index_.reset();
+  }
+  return OkStatus();
+}
+
 Result<size_t> GraphCatalog::Find(std::string_view name) const {
   auto it = index_by_name_.find(std::string(name));
   if (it == index_by_name_.end()) {

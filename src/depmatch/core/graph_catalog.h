@@ -81,6 +81,16 @@ class GraphCatalog {
   // previously built tiered index.
   Status Insert(std::string name, DependencyGraph graph);
 
+  // Replaces an existing entry's graph in place (the incremental-append
+  // path, graph/incremental_builder.h): only that entry's signature is
+  // recomputed, and a built tiered index is kept live by widening the
+  // entry's root-to-leaf envelope path (CatalogTieredIndex::UpdateEntry)
+  // instead of being invalidated — searches through the updated catalog
+  // stay bit-identical to a flat scan over the updated entries. Fails
+  // with NotFound when no entry has `name`.
+  Status UpdateEntry(std::string_view name, DependencyGraph graph,
+                     const CatalogIndexOptions& index_options = {});
+
   size_t size() const { return names_.size(); }
   bool empty() const { return names_.empty(); }
   const std::string& name(size_t i) const { return names_[i]; }

@@ -1,6 +1,9 @@
 #include "depmatch/datagen/datasets.h"
 
+#include <algorithm>
 #include <array>
+#include <utility>
+#include <vector>
 
 #include "depmatch/common/string_util.h"
 
@@ -143,6 +146,86 @@ BayesNetSpec MakeCensusSpec(const CensusConfig& config) {
 
 Result<Table> MakeCensusTable(const CensusConfig& config, uint64_t seed) {
   return GenerateBayesNet(MakeCensusSpec(config), config.num_rows, seed);
+}
+
+Result<StreamingSlices> MakeStreamingSlices(const Table& table,
+                                            double base_fraction,
+                                            size_t num_appends,
+                                            int order_by) {
+  if (!(base_fraction > 0.0) || base_fraction > 1.0) {
+    return InvalidArgumentError(
+        StrFormat("MakeStreamingSlices: base_fraction %g outside (0, 1]",
+                  base_fraction));
+  }
+  if (table.num_rows() == 0) {
+    return InvalidArgumentError("MakeStreamingSlices: empty table");
+  }
+  if (order_by >= 0 &&
+      static_cast<size_t>(order_by) >= table.num_attributes()) {
+    return InvalidArgumentError(
+        StrFormat("MakeStreamingSlices: order_by %d out of range", order_by));
+  }
+
+  // Arrival order: row position, or a stable value sort on the
+  // partition column (nulls first, per Value's total order).
+  std::vector<size_t> order(table.num_rows());
+  for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+  if (order_by >= 0) {
+    const Column& column = table.column(static_cast<size_t>(order_by));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return column.GetValue(a) < column.GetValue(b);
+    });
+  }
+
+  size_t rows = table.num_rows();
+  size_t base_rows = static_cast<size_t>(
+      base_fraction * static_cast<double>(rows) + 0.5);
+  if (base_rows == 0) base_rows = 1;
+  if (base_rows > rows) base_rows = rows;
+  size_t rest = rows - base_rows;
+
+  auto build_slice = [&](size_t begin, size_t end) -> Result<Table> {
+    TableBuilder builder(table.schema());
+    for (size_t k = begin; k < end; ++k) {
+      DEPMATCH_RETURN_IF_ERROR(builder.AppendRow(table.GetRow(order[k])));
+    }
+    return std::move(builder).Build();
+  };
+
+  StreamingSlices slices;
+  Result<Table> base = build_slice(0, base_rows);
+  if (!base.ok()) return base.status();
+  slices.base = *std::move(base);
+  slices.appends.reserve(num_appends);
+  size_t cursor = base_rows;
+  for (size_t a = 0; a < num_appends; ++a) {
+    // Near-equal remainder split; early slices absorb the residue.
+    size_t take = num_appends > 0 ? rest / num_appends : 0;
+    if (a < rest % num_appends) ++take;
+    Result<Table> slice = build_slice(cursor, cursor + take);
+    if (!slice.ok()) return slice.status();
+    slices.appends.push_back(*std::move(slice));
+    cursor += take;
+  }
+  return slices;
+}
+
+Result<Table> ConcatenateSlices(const Table& base,
+                                const std::vector<Table>& appends) {
+  TableBuilder builder(base.schema());
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    DEPMATCH_RETURN_IF_ERROR(builder.AppendRow(base.GetRow(r)));
+  }
+  for (const Table& append : appends) {
+    if (!(append.schema() == base.schema())) {
+      return InvalidArgumentError(
+          "ConcatenateSlices: append schema does not match the base");
+    }
+    for (size_t r = 0; r < append.num_rows(); ++r) {
+      DEPMATCH_RETURN_IF_ERROR(builder.AppendRow(append.GetRow(r)));
+    }
+  }
+  return std::move(builder).Build();
 }
 
 }  // namespace datagen

@@ -23,7 +23,9 @@
 #ifndef DEPMATCH_DATAGEN_DATASETS_H_
 #define DEPMATCH_DATAGEN_DATASETS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "depmatch/common/status.h"
 #include "depmatch/datagen/bayes_net.h"
@@ -75,6 +77,33 @@ BayesNetSpec MakeCensusSpec(const CensusConfig& config);
 // are two calls with different seeds: independent samples of the same
 // joint distribution, hence matchable by structure.
 Result<Table> MakeCensusTable(const CensusConfig& config, uint64_t seed);
+
+// A table split into an initial base plus a stream of append deltas, for
+// incremental-build tests and benches (graph/incremental_builder.h).
+struct StreamingSlices {
+  Table base;
+  std::vector<Table> appends;
+};
+
+// Deterministically splits `table` into a base slice of about
+// base_fraction of the rows plus `num_appends` near-equal delta slices.
+// With order_by < 0 the split is by row position (arrival order). With
+// order_by >= 0 rows are first stably ordered by that column's values
+// (nulls first) — the paper's lab workload arrives range-partitioned by
+// its exam_date column 0, so order_by = 0 yields date-partitioned
+// slices. Every row of `table` lands in exactly one slice.
+// Fails when base_fraction is outside (0, 1], the table is empty, or
+// order_by is out of range.
+Result<StreamingSlices> MakeStreamingSlices(const Table& table,
+                                            double base_fraction,
+                                            size_t num_appends,
+                                            int order_by = -1);
+
+// Row-at-a-time concatenation of base + appends, re-interning values in
+// arrival order — the reference table an incremental build over the
+// same slices must match bit-for-bit.
+Result<Table> ConcatenateSlices(const Table& base,
+                                const std::vector<Table>& appends);
 
 }  // namespace datagen
 }  // namespace depmatch

@@ -39,51 +39,8 @@ std::vector<std::pair<size_t, size_t>> BlockedPairs(size_t n) {
   return pairs;
 }
 
-// One pairwise edge value from a counting result plus the marginal cache.
-double EdgeValue(DependencyMeasure measure, const JointCounts& joint,
-                 const ColumnMarginal& mx, const ColumnMarginal& my) {
-  if (joint.total == 0) return 0.0;
-  // Under kDropNulls with nulls present the retained rows are
-  // pair-specific and the kernel supplies marginals; otherwise the cached
-  // pair-invariant column marginals apply.
-  double hx = joint.has_marginals
-                  ? EntropyFromSlots(joint.x_marginals, joint.total)
-                  : mx.entropy;
-  double hy = joint.has_marginals
-                  ? EntropyFromSlots(joint.y_marginals, joint.total)
-                  : my.entropy;
-  switch (measure) {
-    case DependencyMeasure::kMutualInformation: {
-      double mi = hx + hy - JointEntropyFromCells(joint);
-      return mi < 0.0 ? 0.0 : mi;
-    }
-    case DependencyMeasure::kNormalizedMutualInformation: {
-      double denom = std::max(hx, hy);
-      if (denom <= 0.0) return 0.0;
-      double mi = hx + hy - JointEntropyFromCells(joint);
-      if (mi < 0.0) mi = 0.0;
-      return std::min(mi / denom, 1.0);
-    }
-    case DependencyMeasure::kCramersV: {
-      size_t levels_x =
-          joint.has_marginals ? SupportFromSlots(joint.x_marginals)
-                              : mx.support;
-      size_t levels_y =
-          joint.has_marginals ? SupportFromSlots(joint.y_marginals)
-                              : my.support;
-      if (levels_x < 2 || levels_y < 2) return 0.0;
-      double chi2 = ChiSquareFromCounts(
-          joint, joint.has_marginals ? joint.x_marginals : mx.slots,
-          joint.has_marginals ? joint.y_marginals : my.slots);
-      double denom = static_cast<double>(joint.total) *
-                     static_cast<double>(std::min(levels_x, levels_y) - 1);
-      return std::min(std::sqrt(chi2 / denom), 1.0);
-    }
-  }
-  return 0.0;
-}
-
-// EdgeValue's counterpart for a sketched pair. Marginals (and thus hx/hy
+// DependencyEdgeValue's counterpart for a sketched pair. Marginals (and
+// thus hx/hy
 // and the level counts) stay exact; only the joint folds are estimates.
 double SketchEdgeValue(DependencyMeasure measure,
                        const SketchedJoint& sketched,
@@ -144,6 +101,52 @@ uint32_t EdgeFoldTag(DependencyMeasure measure, bool sketched,
 
 }  // namespace
 
+// THE edge fold (see graph_builder.h): every builder — cold table, cold
+// view, incremental refresh — funnels through this one body, so equal
+// counts always produce bit-equal edge values.
+double DependencyEdgeValue(DependencyMeasure measure, const JointCounts& joint,
+                           const ColumnMarginal& mx, const ColumnMarginal& my) {
+  if (joint.total == 0) return 0.0;
+  // Under kDropNulls with nulls present the retained rows are
+  // pair-specific and the kernel supplies marginals; otherwise the cached
+  // pair-invariant column marginals apply.
+  double hx = joint.has_marginals
+                  ? EntropyFromSlots(joint.x_marginals, joint.total)
+                  : mx.entropy;
+  double hy = joint.has_marginals
+                  ? EntropyFromSlots(joint.y_marginals, joint.total)
+                  : my.entropy;
+  switch (measure) {
+    case DependencyMeasure::kMutualInformation: {
+      double mi = hx + hy - JointEntropyFromCells(joint);
+      return mi < 0.0 ? 0.0 : mi;
+    }
+    case DependencyMeasure::kNormalizedMutualInformation: {
+      double denom = std::max(hx, hy);
+      if (denom <= 0.0) return 0.0;
+      double mi = hx + hy - JointEntropyFromCells(joint);
+      if (mi < 0.0) mi = 0.0;
+      return std::min(mi / denom, 1.0);
+    }
+    case DependencyMeasure::kCramersV: {
+      size_t levels_x =
+          joint.has_marginals ? SupportFromSlots(joint.x_marginals)
+                              : mx.support;
+      size_t levels_y =
+          joint.has_marginals ? SupportFromSlots(joint.y_marginals)
+                              : my.support;
+      if (levels_x < 2 || levels_y < 2) return 0.0;
+      double chi2 = ChiSquareFromCounts(
+          joint, joint.has_marginals ? joint.x_marginals : mx.slots,
+          joint.has_marginals ? joint.y_marginals : my.slots);
+      double denom = static_cast<double>(joint.total) *
+                     static_cast<double>(std::min(levels_x, levels_y) - 1);
+      return std::min(std::sqrt(chi2 / denom), 1.0);
+    }
+  }
+  return 0.0;
+}
+
 Result<DependencyGraph> BuildDependencyGraph(
     const Table& table, const DependencyGraphOptions& options) {
   size_t n = table.num_attributes();
@@ -192,8 +195,8 @@ Result<DependencyGraph> BuildDependencyGraph(
         } else {
           const JointCounts& joint = kernels[worker].Count(
               table.column(i), table.column(j), options.stats);
-          value =
-              EdgeValue(options.measure, joint, marginals[i], marginals[j]);
+          value = DependencyEdgeValue(options.measure, joint, marginals[i],
+                                      marginals[j]);
         }
         matrix[i][j] = value;
         matrix[j][i] = value;
@@ -267,8 +270,8 @@ Result<DependencyGraph> BuildDependencyGraph(
           } else {
             const JointCounts& joint =
                 kernels[worker].Count(xi, xj, options.stats);
-            value = EdgeValue(options.measure, joint, stats[i]->marginal,
-                              stats[j]->marginal);
+            value = DependencyEdgeValue(options.measure, joint,
+                                        stats[i]->marginal, stats[j]->marginal);
           }
           if (cache != nullptr) {
             cache->PutEdge(view, i, j, policy, fold_tag, value);

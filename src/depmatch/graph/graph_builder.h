@@ -23,6 +23,7 @@
 #include "depmatch/common/status.h"
 #include "depmatch/graph/dependency_graph.h"
 #include "depmatch/stats/entropy.h"
+#include "depmatch/stats/joint_kernel.h"
 #include "depmatch/stats/stat_cache.h"
 #include "depmatch/table/encoded_column.h"
 #include "depmatch/table/table.h"
@@ -49,6 +50,15 @@ struct DependencyGraphOptions {
   size_t num_threads = 1;
   DependencyMeasure measure = DependencyMeasure::kMutualInformation;
 };
+
+// One pairwise edge value from a counting result plus the two column
+// marginals (the per-pair retained marginals take over when the counting
+// pass filled them; see JointCounts::has_marginals). This is THE edge
+// fold: both cold build overloads below and graph/incremental_builder.h
+// call it, which is what makes an incremental refresh bit-identical to a
+// cold rebuild — identical counts fed through identical folds.
+double DependencyEdgeValue(DependencyMeasure measure, const JointCounts& joint,
+                           const ColumnMarginal& mx, const ColumnMarginal& my);
 
 // Builds the dependency graph of `table`: m[i][j] = MI(a_i; a_j), with the
 // diagonal m[i][i] = H(a_i) (self-information). Deterministic for a given

@@ -1,0 +1,190 @@
+// Copyright 2026 The DepMatch Authors.
+// Licensed under the Apache License, Version 2.0.
+// depmatch-lint: bit-identical-file
+//
+// Incremental Table2DepGraph (see incremental_builder.h for the
+// bit-identity contract). Refresh refolds ONLY dirty entries, through
+// the same EntropyFromSlots / DependencyEdgeValue folds the cold
+// builder uses.
+
+#include "depmatch/graph/incremental_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "depmatch/common/thread_pool.h"
+#include "depmatch/graph/sparsify.h"
+#include "depmatch/stats/joint_kernel.h"
+
+namespace depmatch {
+namespace {
+
+// DependencyEdgeValue's streaming counterpart: folds the measure
+// directly over the pair state's canonical cell stream instead of
+// emitting a JointCounts copy first. Every arithmetic step — the
+// CellWeight memo fold, EntropyFromWeighted, EntropyFromSlots over the
+// retained marginals, the chi-square cell fold — is the same operation
+// in the same canonical cell order as THE edge fold on the emitted
+// counts, so the value is bit-identical to EmitJoint +
+// DependencyEdgeValue (which the incremental tests and the bench smoke
+// assert against the cold build). Skipping the emission is what makes a
+// refresh O(cells folded) rather than O(cells copied three times).
+double EdgeValueFromState(DependencyMeasure measure, const PairCountState& pair,
+                          bool has_marginals, const ColumnMarginal& mx,
+                          const ColumnMarginal& my) {
+  const uint64_t total = pair.total();
+  if (total == 0) return 0.0;
+  double hx = has_marginals ? EntropyFromSlots(pair.x_retained(), total)
+                            : mx.entropy;
+  double hy = has_marginals ? EntropyFromSlots(pair.y_retained(), total)
+                            : my.entropy;
+  switch (measure) {
+    case DependencyMeasure::kMutualInformation:
+    case DependencyMeasure::kNormalizedMutualInformation: {
+      double weighted = pair.FoldCellWeights(CellWeightTable());
+      double mi = hx + hy - EntropyFromWeighted(weighted, total);
+      if (measure == DependencyMeasure::kMutualInformation) {
+        return mi < 0.0 ? 0.0 : mi;
+      }
+      double denom = std::max(hx, hy);
+      if (denom <= 0.0) return 0.0;
+      if (mi < 0.0) mi = 0.0;
+      return std::min(mi / denom, 1.0);
+    }
+    case DependencyMeasure::kCramersV: {
+      size_t levels_x = has_marginals ? SupportFromSlots(pair.x_retained())
+                                      : mx.support;
+      size_t levels_y = has_marginals ? SupportFromSlots(pair.y_retained())
+                                      : my.support;
+      if (levels_x < 2 || levels_y < 2) return 0.0;
+      const std::vector<uint64_t>& x_slots =
+          has_marginals ? pair.x_retained() : mx.slots;
+      const std::vector<uint64_t>& y_slots =
+          has_marginals ? pair.y_retained() : my.slots;
+      double n = static_cast<double>(total);
+      double sum = 0.0;
+      pair.ForEachCell([&](uint32_t sx, uint32_t sy, uint64_t count) {
+        double row = static_cast<double>(x_slots[sx]);
+        double col = static_cast<double>(y_slots[sy]);
+        double observed = static_cast<double>(count);
+        double expected = row * col / n;
+        sum += observed * observed / expected;
+      });
+      double chi2 = sum - n;
+      if (chi2 < 0.0) chi2 = 0.0;
+      double denom = static_cast<double>(total) *
+                     static_cast<double>(std::min(levels_x, levels_y) - 1);
+      return std::min(std::sqrt(chi2 / denom), 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<IncrementalGraphBuilder> IncrementalGraphBuilder::Create(
+    const Table& table, const IncrementalBuildOptions& options) {
+  IncrementalGraphBuilder builder;
+  builder.options_ = options;
+  CountStateOptions state_options;
+  state_options.stats = options.graph.stats;
+  state_options.num_threads = options.graph.num_threads;
+  state_options.dense_state_cell_budget = options.dense_state_cell_budget;
+  Result<TableCountState> state =
+      TableCountState::FromTable(table, state_options);
+  if (!state.ok()) return state.status();
+  builder.state_ = *std::move(state);
+
+  size_t n = builder.state_.num_columns();
+  builder.names_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    builder.names_.push_back(table.schema().attribute(i).name);
+  }
+  builder.marginals_.resize(n);
+  builder.matrix_.assign(n, std::vector<double>(n, 0.0));
+
+  // FromTable leaves everything dirty, so the first Refresh folds the
+  // full matrix — the cold build, retained.
+  Result<DependencyGraph> graph = builder.Refresh();
+  if (!graph.ok()) return graph.status();
+  return builder;
+}
+
+Status IncrementalGraphBuilder::Append(const Table& delta) {
+  return state_.Append(delta);
+}
+
+Status IncrementalGraphBuilder::Merge(const IncrementalGraphBuilder& other) {
+  if (other.options_.graph.measure != options_.graph.measure) {
+    return InvalidArgumentError(
+        "Merge: builders use different dependency measures");
+  }
+  return state_.Merge(other.state_);
+}
+
+Result<DependencyGraph> IncrementalGraphBuilder::Refresh() {
+  size_t n = state_.num_columns();
+  const DirtySet& dirty = state_.dirty();
+  size_t workers = std::max<size_t>(1, options_.graph.num_threads);
+
+  // Dirty marginals: the same EmitMarginal -> entropy diagonal the cold
+  // build derives. Clean ones keep their previously-folded doubles.
+  last_refreshed_columns_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (dirty.column(i)) last_refreshed_columns_.push_back(i);
+  }
+  ThreadPool::ParallelForWithWorker(
+      workers, last_refreshed_columns_.size(), [&](size_t, size_t k) {
+        size_t i = last_refreshed_columns_[k];
+        marginals_[i] = state_.EmitMarginal(i);
+        matrix_[i][i] = marginals_[i].entropy;
+      });
+
+  // Dirty edges: refold the measure by streaming the pair's merged
+  // counts in canonical order straight out of the state (no JointCounts
+  // materialization; see EdgeValueFromState for the bit-identity
+  // argument).
+  std::vector<std::pair<size_t, size_t>> dirty_pairs;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dirty.pair(i, j)) dirty_pairs.emplace_back(i, j);
+    }
+  }
+  ThreadPool::ParallelForWithWorker(
+      workers, dirty_pairs.size(), [&](size_t, size_t k) {
+        auto [i, j] = dirty_pairs[k];
+        double value = EdgeValueFromState(
+            options_.graph.measure, state_.pair_state(i, j),
+            state_.pair_has_marginals(i, j), marginals_[i], marginals_[j]);
+        matrix_[i][j] = value;
+        matrix_[j][i] = value;
+      });
+
+  Result<DependencyGraph> graph = DependencyGraph::Create(names_, matrix_);
+  if (!graph.ok()) return graph.status();
+  Result<DependencyGraph> sparsified = Sparsify(*std::move(graph));
+  if (!sparsified.ok()) return sparsified.status();
+  graph_ = *std::move(sparsified);
+  state_.ClearDirty();
+  return graph_;
+}
+
+Result<DependencyGraph> IncrementalGraphBuilder::Sparsify(
+    DependencyGraph graph) const {
+  switch (options_.sparsify) {
+    case GraphSparsify::kNone:
+      return graph;
+    case GraphSparsify::kChowLiuTree:
+      return ChowLiuTree(graph);
+    case GraphSparsify::kTopK:
+      return KeepTopEdges(graph, options_.top_k);
+    case GraphSparsify::kDropWeak:
+      return DropWeakEdges(graph, options_.weak_threshold);
+  }
+  return graph;
+}
+
+}  // namespace depmatch

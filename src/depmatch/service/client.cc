@@ -215,6 +215,17 @@ Result<Response> ServiceClient::InsertGraph(std::string name,
   return Call(request);
 }
 
+Result<Response> ServiceClient::AppendRows(std::string name, Table delta,
+                                           uint64_t deadline_ms) {
+  Request request;
+  request.type = RequestType::kAppend;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.append.name = std::move(name);
+  request.append.table = std::move(delta);
+  return Call(request);
+}
+
 Result<Response> ServiceClient::Stats() {
   Request request;
   request.type = RequestType::kStats;

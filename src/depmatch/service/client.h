@@ -63,6 +63,11 @@ class ServiceClient {
   Result<Response> InsertGraph(std::string name, DependencyGraph graph,
                                bool replace_existing = true,
                                uint64_t deadline_ms = 0);
+  // Appends `delta` to the table-backed entry `name`; the server
+  // refreshes the entry in O(delta) rows and republishes (see
+  // AppendRequest in protocol.h for the preconditions).
+  Result<Response> AppendRows(std::string name, Table delta,
+                              uint64_t deadline_ms = 0);
   Result<Response> Stats();
 
  private:

@@ -144,6 +144,7 @@ StatsResponse MatchService::StatsLocked() const {
   stats.batches_total = counters_.batches_total;
   stats.batched_requests_total = counters_.batched_requests_total;
   stats.inserts_total = counters_.inserts_total;
+  stats.appends_total = counters_.appends_total;
   stats.queue_depth = queue_.size();
   stats.max_queue_depth_seen = counters_.max_queue_depth_seen;
   StatCache::Counters cache = stat_cache_.counters();
@@ -297,6 +298,8 @@ Response MatchService::ExecuteSingle(const Request& request) {
           options_.stat_cache_max_entries != 0 ? &stat_cache_ : nullptr);
     case RequestType::kInsert:
       return ExecuteInsert(request);
+    case RequestType::kAppend:
+      return ExecuteAppend(request);
     case RequestType::kSearch:
     case RequestType::kStats:
       break;  // handled elsewhere; fall through to the error below
@@ -396,12 +399,19 @@ Response MatchService::ExecuteInsert(const Request& request) {
                              "catalog entry name must not be empty");
   }
 
+  // A table-backed entry is built through the incremental builder so
+  // its count state survives for later kAppend requests. The builder's
+  // initial Refresh IS the cold build — bit-identical to
+  // BuildDependencyGraph on the same table (graph/incremental_builder.h)
+  // — so table inserts serve exactly what they always did.
   DependencyGraph graph;
+  std::unique_ptr<IncrementalGraphBuilder> builder;
   if (request.insert.payload == InsertPayload::kTable) {
-    Result<DependencyGraph> built =
-        BuildDependencyGraph(request.insert.table);
+    Result<IncrementalGraphBuilder> built =
+        IncrementalGraphBuilder::Create(request.insert.table);
     if (!built.ok()) return MakeStatusResponse(request, built.status());
-    graph = *std::move(built);
+    builder = std::make_unique<IncrementalGraphBuilder>(*std::move(built));
+    graph = builder->graph();
   } else {
     graph = request.insert.graph;
   }
@@ -443,6 +453,16 @@ Response MatchService::ExecuteInsert(const Request& request) {
   response.insert.snapshot_version = published->version;
   response.insert.catalog_entries = published->catalog.size();
   response.insert.replaced = replaced;
+  // Builder bookkeeping happens only once publication is certain, so a
+  // failed insert never clobbers an entry's existing count state. A
+  // graph-blob (re)insert drops any prior state: the entry is no longer
+  // table-backed, and a later append must fail kFailedPrecondition
+  // rather than extend counts that no longer describe the entry.
+  if (builder != nullptr) {
+    builders_[request.insert.name] = std::move(builder);
+  } else {
+    builders_.erase(request.insert.name);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (options_.snapshot_history > 0) {
@@ -453,6 +473,69 @@ Response MatchService::ExecuteInsert(const Request& request) {
     }
     snapshot_ = std::move(published);
     ++counters_.inserts_total;
+  }
+  return response;
+}
+
+Response MatchService::ExecuteAppend(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  response.type = RequestType::kAppend;
+
+  if (request.append.name.empty()) {
+    return MakeErrorResponse(request, WireStatus::kInvalidArgument,
+                             "catalog entry name must not be empty");
+  }
+
+  std::shared_ptr<const ServiceSnapshot> current = snapshot();
+  Result<size_t> entry = current->catalog.Find(request.append.name);
+  if (!entry.ok()) return MakeStatusResponse(request, entry.status());
+
+  auto it = builders_.find(request.append.name);
+  if (it == builders_.end()) {
+    return MakeErrorResponse(
+        request, WireStatus::kFailedPrecondition,
+        StrFormat("entry '%s' has no count state (inserted as a graph "
+                  "blob); append requires a table-backed entry",
+                  request.append.name.c_str()));
+  }
+  IncrementalGraphBuilder& builder = *it->second;
+
+  // O(delta): count only the new rows, refold only the dirty entries.
+  // A schema-mismatched delta fails here, before any mutation.
+  Status appended = builder.Append(request.append.table);
+  if (!appended.ok()) return MakeStatusResponse(request, appended);
+  Result<DependencyGraph> refreshed = builder.Refresh();
+  if (!refreshed.ok()) return MakeStatusResponse(request, refreshed.status());
+
+  // Copy-on-write publication, but cheaper than an insert's: copying
+  // the catalog carries its tiered index along, UpdateEntry widens just
+  // the refreshed entry's root-to-leaf envelope path, and the
+  // index-preserving snapshot maker skips the O(N log N) re-index
+  // entirely. Search against the widened index stays bit-identical to a
+  // flat scan (core/catalog_index.h's widen-only contract).
+  GraphCatalog next = current->catalog;
+  Status updated = next.UpdateEntry(request.append.name, *std::move(refreshed),
+                                    options_.index);
+  if (!updated.ok()) return MakeStatusResponse(request, updated);
+
+  std::shared_ptr<const ServiceSnapshot> published =
+      MakeServiceSnapshotPreservingIndex(current->version + 1,
+                                         std::move(next));
+  response.append.snapshot_version = published->version;
+  response.append.catalog_entries = published->catalog.size();
+  response.append.rows_total = builder.rows();
+  response.append.generation = builder.generation();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.snapshot_history > 0) {
+      history_.push_front(snapshot_);
+      while (history_.size() > options_.snapshot_history) {
+        history_.pop_back();
+      }
+    }
+    snapshot_ = std::move(published);
+    ++counters_.appends_total;
   }
   return response;
 }

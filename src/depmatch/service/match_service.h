@@ -48,12 +48,15 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "depmatch/common/thread_annotations.h"
 #include "depmatch/common/thread_pool.h"
 #include "depmatch/core/catalog_index.h"
 #include "depmatch/core/graph_catalog.h"
+#include "depmatch/graph/incremental_builder.h"
 #include "depmatch/service/protocol.h"
 #include "depmatch/service/snapshot.h"
 #include "depmatch/stats/stat_cache.h"
@@ -163,6 +166,7 @@ class MatchService {
     uint64_t batches_total = 0;
     uint64_t batched_requests_total = 0;
     uint64_t inserts_total = 0;
+    uint64_t appends_total = 0;
     uint64_t max_queue_depth_seen = 0;
   };
 
@@ -170,6 +174,10 @@ class MatchService {
   // Executes one non-search request on the dispatcher thread.
   Response ExecuteSingle(const Request& request) DEPMATCH_EXCLUDES(mu_);
   Response ExecuteInsert(const Request& request) DEPMATCH_EXCLUDES(mu_);
+  // Appends delta rows to a table-backed entry's incremental builder,
+  // refreshes its graph in O(delta), widens the copied catalog's index
+  // in place, and publishes — never re-indexing. Dispatcher thread only.
+  Response ExecuteAppend(const Request& request) DEPMATCH_EXCLUDES(mu_);
   StatsResponse StatsLocked() const DEPMATCH_REQUIRES(mu_);
   // Clears the stat cache when it outgrew the configured bound.
   void RecycleStatCache();
@@ -181,6 +189,12 @@ class MatchService {
   // depmatch-analyze: allow(lock-annotation) — StatCache is internally
   // synchronized; it is also only touched from the dispatcher thread.
   StatCache stat_cache_;
+  // Per-entry incremental count state for table-backed catalog entries,
+  // keyed by entry name. Inserts with InsertPayload::kTable create one;
+  // graph-blob inserts erase it; appends extend it. Only the dispatcher
+  // thread executes inserts and appends, so the map is never shared.
+  std::unordered_map<std::string, std::unique_ptr<IncrementalGraphBuilder>>
+      builders_;  // depmatch-analyze: allow(lock-annotation) — dispatcher-only
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -60,7 +60,7 @@ Status Malformed(const char* what) {
 
 bool ValidRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(RequestType::kMatchTables) &&
-         raw <= static_cast<uint8_t>(RequestType::kStats);
+         raw <= static_cast<uint8_t>(RequestType::kAppend);
 }
 
 bool ValidWireStatus(uint8_t raw) {
@@ -220,6 +220,8 @@ std::string_view RequestTypeToString(RequestType type) {
       return "insert";
     case RequestType::kStats:
       return "stats";
+    case RequestType::kAppend:
+      return "append";
   }
   return "unknown";
 }
@@ -448,6 +450,10 @@ std::string EncodeRequest(const Request& request) {
         AppendGraph(&body, request.insert.graph);
       }
       break;
+    case RequestType::kAppend:
+      AppendString(&body, request.append.name);
+      AppendTable(&body, request.append.table);
+      break;
     case RequestType::kStats:
       break;
   }
@@ -527,6 +533,15 @@ Result<Request> DecodeRequest(std::string_view frame) {
       }
       break;
     }
+    case RequestType::kAppend: {
+      if (!ReadString(bytes, &cursor, &request.append.name)) {
+        return Malformed("truncated append header");
+      }
+      Result<Table> table = ParseTable(bytes, &cursor);
+      if (!table.ok()) return table.status();
+      request.append.table = *std::move(table);
+      break;
+    }
     case RequestType::kStats:
       break;
   }
@@ -579,6 +594,12 @@ std::string EncodeResponse(const Response& response) {
         AppendU64(&body, response.insert.catalog_entries);
         AppendByte(&body, response.insert.replaced ? 1 : 0);
         break;
+      case RequestType::kAppend:
+        AppendU64(&body, response.append.snapshot_version);
+        AppendU64(&body, response.append.catalog_entries);
+        AppendU64(&body, response.append.rows_total);
+        AppendU64(&body, response.append.generation);
+        break;
       case RequestType::kStats: {
         const StatsResponse& stats = response.stats;
         AppendU64(&body, stats.snapshot_version);
@@ -590,6 +611,7 @@ std::string EncodeResponse(const Response& response) {
         AppendU64(&body, stats.batches_total);
         AppendU64(&body, stats.batched_requests_total);
         AppendU64(&body, stats.inserts_total);
+        AppendU64(&body, stats.appends_total);
         AppendU64(&body, stats.queue_depth);
         AppendU64(&body, stats.max_queue_depth_seen);
         AppendU64(&body, stats.stat_cache_hits);
@@ -691,6 +713,15 @@ Result<Response> DecodeResponse(std::string_view frame) {
         response.insert.replaced = replaced == 1;
         break;
       }
+      case RequestType::kAppend: {
+        if (!ReadU64(bytes, &cursor, &response.append.snapshot_version) ||
+            !ReadU64(bytes, &cursor, &response.append.catalog_entries) ||
+            !ReadU64(bytes, &cursor, &response.append.rows_total) ||
+            !ReadU64(bytes, &cursor, &response.append.generation)) {
+          return Malformed("truncated append payload");
+        }
+        break;
+      }
       case RequestType::kStats: {
         StatsResponse& stats = response.stats;
         if (!ReadU64(bytes, &cursor, &stats.snapshot_version) ||
@@ -702,6 +733,7 @@ Result<Response> DecodeResponse(std::string_view frame) {
             !ReadU64(bytes, &cursor, &stats.batches_total) ||
             !ReadU64(bytes, &cursor, &stats.batched_requests_total) ||
             !ReadU64(bytes, &cursor, &stats.inserts_total) ||
+            !ReadU64(bytes, &cursor, &stats.appends_total) ||
             !ReadU64(bytes, &cursor, &stats.queue_depth) ||
             !ReadU64(bytes, &cursor, &stats.max_queue_depth_seen) ||
             !ReadU64(bytes, &cursor, &stats.stat_cache_hits) ||

@@ -71,12 +71,14 @@ inline constexpr size_t kFrameTrailerBytes = 4;  // CRC-32
 // from the 16-byte prefix alone, before any body bytes are read.
 inline constexpr uint64_t kMaxFrameBodyBytes = 64ull << 20;
 
-// The four request kinds of ROADMAP item 1.
+// The four request kinds of ROADMAP item 1, plus the incremental
+// append path (graph/incremental_builder.h).
 enum class RequestType : uint8_t {
   kMatchTables = 1,  // match two inline tables
   kSearch = 2,       // top-k catalog search (inline table or stored entry)
   kInsert = 3,       // insert/update a catalog entry (snapshot swap)
   kStats = 4,        // stats & health
+  kAppend = 5,       // append rows to a stored entry (O(delta) rebuild)
 };
 
 std::string_view RequestTypeToString(RequestType type);
@@ -151,6 +153,18 @@ struct InsertRequest {
   bool replace_existing = true;
 };
 
+// Appends the rows of `table` to the stored entry `name` and republishes
+// the catalog. The server keeps an incremental builder per table-backed
+// entry (graph/incremental_builder.h), so the refreshed entry graph is
+// bit-identical to a cold rebuild over all rows ever ingested while
+// costing O(delta). Requires the entry to have been inserted with
+// InsertPayload::kTable (a graph-blob entry has no count state to extend
+// — kFailedPrecondition); the delta's schema must match the original's.
+struct AppendRequest {
+  std::string name;
+  Table table;
+};
+
 struct Request {
   RequestType type = RequestType::kStats;
   uint64_t request_id = 0;
@@ -161,6 +175,7 @@ struct Request {
   MatchTablesRequest match;
   SearchRequest search;
   InsertRequest insert;
+  AppendRequest append;
 };
 
 struct WireCorrespondence {
@@ -202,6 +217,15 @@ struct InsertResponse {
   bool replaced = false;
 };
 
+struct AppendResponse {
+  uint64_t snapshot_version = 0;  // version holding the refreshed entry
+  uint64_t catalog_entries = 0;
+  // Rows the entry's count state now covers (base + every append).
+  uint64_t rows_total = 0;
+  // Count-state generation after this ingestion (1 = cold build only).
+  uint64_t generation = 0;
+};
+
 struct StatsResponse {
   uint64_t snapshot_version = 0;
   uint64_t catalog_entries = 0;
@@ -212,6 +236,7 @@ struct StatsResponse {
   uint64_t batches_total = 0;
   uint64_t batched_requests_total = 0;
   uint64_t inserts_total = 0;
+  uint64_t appends_total = 0;
   uint64_t queue_depth = 0;
   uint64_t max_queue_depth_seen = 0;
   uint64_t stat_cache_hits = 0;
@@ -227,6 +252,7 @@ struct Response {
   MatchTablesResponse match;
   SearchResponse search;
   InsertResponse insert;
+  AppendResponse append;
   StatsResponse stats;
 };
 

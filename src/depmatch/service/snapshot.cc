@@ -19,5 +19,14 @@ std::shared_ptr<const ServiceSnapshot> MakeServiceSnapshot(
   return snapshot;
 }
 
+std::shared_ptr<const ServiceSnapshot> MakeServiceSnapshotPreservingIndex(
+    uint64_t version, GraphCatalog catalog) {
+  auto snapshot = std::make_shared<ServiceSnapshot>();
+  snapshot->version = version;
+  snapshot->catalog = std::move(catalog);
+  snapshot->index_built = snapshot->catalog.index() != nullptr;
+  return snapshot;
+}
+
 }  // namespace service
 }  // namespace depmatch

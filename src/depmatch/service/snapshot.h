@@ -45,6 +45,16 @@ std::shared_ptr<const ServiceSnapshot> MakeServiceSnapshot(
     uint64_t version, GraphCatalog catalog, bool build_index,
     const CatalogIndexOptions& index_options = {});
 
+// Wraps an already-prepared catalog into a snapshot as-is, WITHOUT
+// rebuilding the tiered index: index_built reflects whatever index the
+// catalog carries. This is the incremental-append publication path — the
+// dispatcher copies the current catalog (index included), refreshes one
+// entry in place (GraphCatalog::UpdateEntry keeps the index live by
+// widening its envelope path), and publishes in O(delta) instead of the
+// O(N log N) re-index a full MakeServiceSnapshot would pay.
+std::shared_ptr<const ServiceSnapshot> MakeServiceSnapshotPreservingIndex(
+    uint64_t version, GraphCatalog catalog);
+
 }  // namespace service
 }  // namespace depmatch
 

@@ -460,9 +460,6 @@ void JointCountKernel::FillMarginals(size_t x_slots, size_t y_slots) {
   }
 }
 
-namespace {
-
-// H = log2(N) - (1/N) sum c*log2(c), the stable form used everywhere.
 double EntropyFromWeighted(double weighted, uint64_t total) {
   if (total == 0) return 0.0;
   double n = static_cast<double>(total);
@@ -474,13 +471,11 @@ double EntropyFromWeighted(double weighted, uint64_t total) {
 // counts rarely exceed a few thousand even on large tables). The table
 // holds the exact doubles std::log2 produces, so memoization does not
 // perturb any result. 4096 entries = 32 KiB, resident in L1/L2.
-constexpr size_t kWeightTableSize = 4096;
-
-const double* WeightTable() {
+const double* CellWeightTable() {
   static const double* table = [] {
-    auto* t = new double[kWeightTableSize];
+    auto* t = new double[kCellWeightTableSize];
     t[0] = 0.0;
-    for (size_t c = 1; c < kWeightTableSize; ++c) {
+    for (size_t c = 1; c < kCellWeightTableSize; ++c) {
       double d = static_cast<double>(c);
       t[c] = d * std::log2(d);
     }
@@ -489,19 +484,11 @@ const double* WeightTable() {
   return table;
 }
 
-inline double WeightedCount(const double* table, uint64_t count) {
-  if (count < kWeightTableSize) return table[count];
-  double c = static_cast<double>(count);
-  return c * std::log2(c);
-}
-
-}  // namespace
-
 double JointEntropyFromCells(const JointCounts& counts) {
-  const double* table = WeightTable();
+  const double* table = CellWeightTable();
   double weighted = 0.0;
   for (uint64_t count : counts.cell_counts) {
-    weighted += WeightedCount(table, count);
+    weighted += CellWeight(table, count);
   }
   return EntropyFromWeighted(weighted, counts.total);
 }
@@ -509,14 +496,14 @@ double JointEntropyFromCells(const JointCounts& counts) {
 double EntropyFromSlots(const std::vector<uint64_t>& slots, uint64_t total) {
   // Codes first, null slot last: the historical EntropyOf order, kept so
   // cached entropies stay bit-identical with it.
-  const double* table = WeightTable();
+  const double* table = CellWeightTable();
   double weighted = 0.0;
   for (size_t s = 1; s < slots.size(); ++s) {
     if (slots[s] == 0) continue;
-    weighted += WeightedCount(table, slots[s]);
+    weighted += CellWeight(table, slots[s]);
   }
   if (!slots.empty() && slots[0] > 0) {
-    weighted += WeightedCount(table, slots[0]);
+    weighted += CellWeight(table, slots[0]);
   }
   return EntropyFromWeighted(weighted, total);
 }

@@ -46,6 +46,7 @@
 #ifndef DEPMATCH_STATS_JOINT_KERNEL_H_
 #define DEPMATCH_STATS_JOINT_KERNEL_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -201,6 +202,23 @@ class JointCountKernel {
 double JointEntropyFromCells(const JointCounts& counts);
 double EntropyFromSlots(const std::vector<uint64_t>& slots, uint64_t total);
 size_t SupportFromSlots(const std::vector<uint64_t>& slots);
+
+// The primitives JointEntropyFromCells is built from, exposed so folds
+// that stream cells straight out of retained count state
+// (stats/count_state.h) reproduce its accumulation bit-for-bit without
+// materializing a JointCounts copy. CellWeightTable memoizes the exact
+// doubles std::log2 produces for c * log2(c) at small counts (which
+// dominate real folds); CellWeight falls back to direct evaluation past
+// the table, exactly as the internal fold does.
+inline constexpr size_t kCellWeightTableSize = 4096;
+const double* CellWeightTable();
+inline double CellWeight(const double* table, uint64_t count) {
+  if (count < kCellWeightTableSize) return table[count];
+  double c = static_cast<double>(count);
+  return c * std::log2(c);
+}
+// H = log2(N) - weighted / N, clamped at 0 (the stable form above).
+double EntropyFromWeighted(double weighted, uint64_t total);
 
 // Pearson chi-square from one counting pass plus the two marginal slot
 // vectors (cached or pair-computed; they must cover the retained rows of

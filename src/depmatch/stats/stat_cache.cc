@@ -57,6 +57,7 @@ std::shared_ptr<const ColumnSelectionStats> StatCache::Get(
   key.table_id = view.base().id();
   key.row_digest = view.row_digest();
   key.row_count = view.num_rows();
+  key.generation = view.generation();
   key.column = static_cast<uint32_t>(view.base_column(column));
   key.policy = static_cast<uint8_t>(policy);
 
@@ -91,6 +92,7 @@ bool StatCache::GetEdge(const EncodedTableView& view, size_t x, size_t y,
   key.table_id = view.base().id();
   key.row_digest = view.row_digest();
   key.row_count = view.num_rows();
+  key.generation = view.generation();
   key.x = static_cast<uint32_t>(view.base_column(x));
   key.y = static_cast<uint32_t>(view.base_column(y));
   key.fold_tag = fold_tag;
@@ -116,6 +118,7 @@ void StatCache::PutEdge(const EncodedTableView& view, size_t x, size_t y,
   key.table_id = view.base().id();
   key.row_digest = view.row_digest();
   key.row_count = view.num_rows();
+  key.generation = view.generation();
   key.x = static_cast<uint32_t>(view.base_column(x));
   key.y = static_cast<uint32_t>(view.base_column(y));
   key.fold_tag = fold_tag;
@@ -139,6 +142,39 @@ StatCache::Counters StatCache::counters() const {
   return counters;
 }
 
+size_t StatCache::EvictColumns(uint64_t table_id,
+                               const std::vector<size_t>& columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dirty = [&columns](uint64_t column) {
+    for (size_t c : columns) {
+      if (static_cast<uint64_t>(c) == column) return true;
+    }
+    return false;
+  };
+  size_t dropped = 0;
+  // depmatch-analyze: allow(det-unordered-iter) — erase-only sweep; the
+  // surviving entry set and the returned count are order-independent.
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.table_id == table_id && dirty(it->first.column)) {
+      it = map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  // depmatch-analyze: allow(det-unordered-iter) — same erase-only sweep.
+  for (auto it = edge_map_.begin(); it != edge_map_.end();) {
+    if (it->first.table_id == table_id &&
+        (dirty(it->first.x) || dirty(it->first.y))) {
+      it = edge_map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 void StatCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
@@ -154,6 +190,7 @@ size_t StatCache::KeyHash::operator()(const Key& key) const {
   hash = HashMix(hash, key.table_id);
   hash = HashMix(hash, key.row_digest);
   hash = HashMix(hash, key.row_count);
+  hash = HashMix(hash, key.generation);
   hash = HashMix(hash, (static_cast<uint64_t>(key.column) << 8) |
                            key.policy);
   return static_cast<size_t>(hash);
@@ -164,6 +201,7 @@ size_t StatCache::EdgeKeyHash::operator()(const EdgeKey& key) const {
   hash = HashMix(hash, key.table_id);
   hash = HashMix(hash, key.row_digest);
   hash = HashMix(hash, key.row_count);
+  hash = HashMix(hash, key.generation);
   hash = HashMix(hash, (static_cast<uint64_t>(key.x) << 32) | key.y);
   hash = HashMix(hash, (static_cast<uint64_t>(key.fold_tag) << 8) |
                            key.policy);

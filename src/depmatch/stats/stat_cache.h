@@ -17,7 +17,13 @@
 // EncodedTable snapshot id — snapshots are immutable, so entries never
 // need invalidation; dropping the EncodedTable and building a new one
 // yields a fresh id (stale entries are purged with Clear(), or simply by
-// letting the cache go out of scope with the sweep). The row digest is
+// letting the cache go out of scope with the sweep). For incremental
+// ingestion (graph/incremental_builder.h), where one logical table gains
+// rows over time, callers tag views with the count-state generation
+// digest (EncodedTableView::WithGeneration); the tag is part of every key,
+// so a view over appended data can never hit an entry cached before the
+// append — stale hits are structurally impossible, and EvictColumns()
+// reclaims the superseded entries eagerly. The row digest is
 // content-based (RowSelectionDigest), so independently constructed but
 // equal selections share entries; the length rides along to keep the
 // 64-bit digest honest against accidental collisions between selections
@@ -133,11 +139,22 @@ class StatCache {
   // valid — entries are immutable and reference-counted.
   void Clear() DEPMATCH_EXCLUDES(mu_);
 
+  // Digest-chained invalidation for incremental ingestion: drops every
+  // column entry of `table_id` whose base-column index is in `columns`,
+  // plus every edge entry of `table_id` touching one of them. An append's
+  // dirty set (stats/count_state.h) names exactly the stale columns; the
+  // generation key already makes stale *hits* impossible, so this is
+  // memory hygiene, not correctness. Returns the number of entries
+  // dropped. Counters are untouched.
+  size_t EvictColumns(uint64_t table_id, const std::vector<size_t>& columns)
+      DEPMATCH_EXCLUDES(mu_);
+
  private:
   struct Key {
     uint64_t table_id = 0;
     uint64_t row_digest = 0;
     uint64_t row_count = 0;
+    uint64_t generation = 0;
     uint32_t column = 0;
     uint8_t policy = 0;
 
@@ -150,6 +167,7 @@ class StatCache {
     uint64_t table_id = 0;
     uint64_t row_digest = 0;
     uint64_t row_count = 0;
+    uint64_t generation = 0;
     uint32_t x = 0;  // base-column index of the fold's row axis
     uint32_t y = 0;  // base-column index of the fold's column axis
     uint32_t fold_tag = 0;

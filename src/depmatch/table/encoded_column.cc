@@ -93,6 +93,12 @@ EncodedTableView EncodedTableView::FromTable(const Table& table) {
   return EncodedTableView(EncodedTable::FromTable(table));
 }
 
+EncodedTableView EncodedTableView::WithGeneration(uint64_t generation) const {
+  EncodedTableView view = *this;
+  view.generation_ = generation;
+  return view;
+}
+
 Result<EncodedTableView> EncodedTableView::Project(
     const std::vector<size_t>& indices) const {
   EncodedTableView view = *this;

@@ -159,6 +159,16 @@ class EncodedTableView {
   // Content digest of the selection (kFullRowsDigest when none).
   uint64_t row_digest() const { return row_digest_; }
 
+  // Count-state generation digest this view represents (the digest chain
+  // of stats/count_state.h, or any caller-chosen epoch). Folded into
+  // every StatCache key, so a view over appended data can never alias
+  // entries cached before the append — the append changed the digest.
+  // 0 (default) = the un-tagged snapshot epoch.
+  uint64_t generation() const { return generation_; }
+  // Copy of this view tagged with `generation`; derived views (Project /
+  // SelectRows / Head / Sample) inherit the tag.
+  EncodedTableView WithGeneration(uint64_t generation) const;
+
   // View over columns `indices` (view-relative, order preserved). Fails on
   // out-of-range indices. Row selection carries over.
   Result<EncodedTableView> Project(const std::vector<size_t>& indices) const;
@@ -182,6 +192,7 @@ class EncodedTableView {
   // nullptr = all base rows, in base order.
   std::shared_ptr<const std::vector<uint32_t>> rows_;
   uint64_t row_digest_ = kFullRowsDigest;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace depmatch

@@ -183,6 +183,66 @@ TEST(CatalogIndexTest, ClusterBoundDominatesEveryMemberEntryBound) {
   }
 }
 
+TEST(CatalogIndexTest, UpdateEntryWidensPathAndKeepsDominance) {
+  // The live-refresh path: after an entry's signature changes in place,
+  // the widened envelopes must still dominate every member's entry
+  // bound — the same certificate the fresh Build() carries, against the
+  // *updated* signature set. Updates deliberately include degenerate
+  // transitions (the empty entry growing wide, a wide entry shrinking
+  // to a single profile-less node).
+  GraphCatalog catalog = DegenerateMixedCatalog(5, 24);
+  std::vector<GraphSignature> signatures;
+  signatures.reserve(catalog.size());
+  for (size_t e = 0; e < catalog.size(); ++e) {
+    signatures.push_back(catalog.signature(e));
+  }
+  std::vector<const GraphSignature*> pointers;
+  for (const GraphSignature& s : signatures) pointers.push_back(&s);
+  CatalogIndexOptions options;
+  options.leaf_size = 3;
+  options.envelope_intervals = 4;
+  CatalogTieredIndex index = CatalogTieredIndex::Build(pointers, options);
+  ASSERT_FALSE(index.empty());
+
+  EXPECT_FALSE(index.UpdateEntry(catalog.size(), signatures[0], options));
+
+  struct Update {
+    size_t entry;
+    size_t width;
+  };
+  const Update kUpdates[] = {{0, 6}, {1, 1}, {2, 1}, {7, 8}, {11, 2}};
+  for (const Update& update : kUpdates) {
+    DependencyGraph graph = RandomGraph(update.width, 7000 + update.entry);
+    signatures[update.entry] = GraphSignature(graph);
+    ASSERT_TRUE(
+        index.UpdateEntry(update.entry, signatures[update.entry], options));
+  }
+
+  DependencyGraph query = RandomGraph(5, 4242);
+  GraphSignature query_signature(query);
+  for (MetricKind kind :
+       {MetricKind::kMutualInfoNormal, MetricKind::kMutualInfoEuclidean}) {
+    Metric metric(kind, 3.0);
+    for (Cardinality cardinality :
+         {Cardinality::kOneToOne, Cardinality::kOnto, Cardinality::kPartial}) {
+      for (size_t id = 0; id < index.num_nodes(); ++id) {
+        double cluster =
+            index.ClusterBound(id, query_signature, metric, cardinality);
+        const TieredIndexNode& node = index.node(id);
+        for (size_t i = node.begin; i < node.end; ++i) {
+          size_t entry = index.entry_order()[i];
+          double member = CatalogEntryBound(query_signature, signatures[entry],
+                                            metric, cardinality);
+          EXPECT_GE(cluster, member - 1e-9)
+              << "node " << id << " entry " << entry << " metric "
+              << static_cast<int>(kind) << " cardinality "
+              << static_cast<int>(cardinality);
+        }
+      }
+    }
+  }
+}
+
 TEST(CatalogIndexTest, FromPartsRejectsStructurallyInvalidInput) {
   GraphCatalog catalog = DegenerateMixedCatalog(9, 12);
   std::vector<const GraphSignature*> signatures;

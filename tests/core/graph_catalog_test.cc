@@ -90,6 +90,54 @@ TEST(GraphCatalogTest, InsertFindAndDuplicates) {
   EXPECT_EQ(catalog.size(), 2u);  // failed insert left no trace
 }
 
+TEST(GraphCatalogTest, UpdateEntryKeepsIndexLiveAndSearchBitIdentical) {
+  GraphCatalog catalog = MixedCatalog(13, 20);
+  catalog.BuildIndex();
+  ASSERT_NE(catalog.index(), nullptr);
+
+  Status missing = catalog.UpdateEntry("missing", RandomGraph(5, 1));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  // Replace several entries in place — including a width change — and
+  // verify the index survives (Insert would have reset it) and that the
+  // signature was recomputed from the new graph.
+  for (size_t e : {size_t{3}, size_t{4}, size_t{10}}) {
+    std::string name = "entry" + std::to_string(e);
+    DependencyGraph updated = RandomGraph(5 + e % 2, 9000 + e);
+    GraphSignature expected(updated);
+    ASSERT_TRUE(catalog.UpdateEntry(name, updated).ok());
+    ASSERT_NE(catalog.index(), nullptr);
+    auto found = catalog.Find(name);
+    ASSERT_TRUE(found.ok());
+    const GraphSignature& recomputed = catalog.signature(*found);
+    ASSERT_EQ(recomputed.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(recomputed.entropy(i)),
+                std::bit_cast<uint64_t>(expected.entropy(i)));
+    }
+  }
+
+  // The widened index is a pure acceleration structure still: indexed
+  // search through the updated catalog is bit-identical to the flat
+  // scan, at several thread counts.
+  DependencyGraph query = RandomGraph(5, 777);
+  CatalogSearchOptions options;
+  options.k = 4;
+  options.match.cardinality = Cardinality::kOnto;
+  options.match.metric = MetricKind::kMutualInfoNormal;
+  options.use_index = false;
+  auto flat = SearchCatalog(query, catalog, options);
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  options.use_index = true;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    auto indexed = SearchCatalog(query, catalog, options);
+    ASSERT_TRUE(indexed.ok()) << indexed.status();
+    ExpectSameRanking(*flat, *indexed, "updated index vs flat");
+  }
+}
+
 TEST(GraphCatalogTest, SaveLoadRoundTripIsBitIdentical) {
   GraphCatalog catalog = MixedCatalog(7, 6);
   std::string path = testing::TempDir() + "/catalog_roundtrip.dmc";

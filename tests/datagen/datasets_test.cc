@@ -151,6 +151,91 @@ TEST(CensusTest, GroupStructureGivesWithinGroupMi) {
   EXPECT_GT(within, across + 0.5);
 }
 
+TEST(StreamingTest, SlicesPartitionEveryRow) {
+  auto table = MakeLabExamTable(SmallLab(), 5);
+  ASSERT_TRUE(table.ok());
+  auto slices = MakeStreamingSlices(*table, 0.8, 4);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_EQ(slices->appends.size(), 4u);
+  size_t total = slices->base.num_rows();
+  for (const Table& delta : slices->appends) total += delta.num_rows();
+  EXPECT_EQ(total, table->num_rows());
+  // The base holds about base_fraction of the rows; deltas are
+  // near-equal shares of the rest.
+  EXPECT_NEAR(static_cast<double>(slices->base.num_rows()),
+              0.8 * static_cast<double>(table->num_rows()), 4.0);
+}
+
+TEST(StreamingTest, DeterministicAndConcatenationRoundTrips) {
+  auto table = MakeLabExamTable(SmallLab(), 5);
+  ASSERT_TRUE(table.ok());
+  auto a = MakeStreamingSlices(*table, 0.75, 3, /*order_by=*/0);
+  auto b = MakeStreamingSlices(*table, 0.75, 3, /*order_by=*/0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto expect_same = [](const Table& x, const Table& y) {
+    ASSERT_EQ(x.num_rows(), y.num_rows());
+    ASSERT_EQ(x.num_attributes(), y.num_attributes());
+    for (size_t c = 0; c < x.num_attributes(); ++c) {
+      for (size_t r = 0; r < x.num_rows(); ++r) {
+        ASSERT_TRUE(x.column(c).GetValue(r) == y.column(c).GetValue(r))
+            << "column " << c << " row " << r;
+      }
+    }
+  };
+  expect_same(a->base, b->base);
+  for (size_t k = 0; k < a->appends.size(); ++k) {
+    expect_same(a->appends[k], b->appends[k]);
+  }
+  auto whole = ConcatenateSlices(a->base, a->appends);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->num_rows(), table->num_rows());
+  EXPECT_EQ(whole->num_attributes(), table->num_attributes());
+}
+
+TEST(StreamingTest, OrderByYieldsDatePartitionedSlices) {
+  auto table = MakeLabExamTable(SmallLab(), 5);
+  ASSERT_TRUE(table.ok());
+  auto slices = MakeStreamingSlices(*table, 0.6, 5, /*order_by=*/0);
+  ASSERT_TRUE(slices.ok());
+  // With order_by = 0 (exam_date), every non-null date in slice k
+  // precedes (or equals) every non-null date in slice k+1.
+  std::vector<const Table*> ordered = {&slices->base};
+  for (const Table& delta : slices->appends) ordered.push_back(&delta);
+  for (size_t k = 0; k + 1 < ordered.size(); ++k) {
+    const Column& cur = ordered[k]->column(0);
+    const Column& next = ordered[k + 1]->column(0);
+    bool have_max = false, have_min = false;
+    Value max_cur, min_next;
+    for (size_t r = 0; r < cur.size(); ++r) {
+      Value v = cur.GetValue(r);
+      if (v.is_null()) continue;
+      if (!have_max || max_cur < v) max_cur = v;
+      have_max = true;
+    }
+    for (size_t r = 0; r < next.size(); ++r) {
+      Value v = next.GetValue(r);
+      if (v.is_null()) continue;
+      if (!have_min || v < min_next) min_next = v;
+      have_min = true;
+    }
+    if (have_max && have_min) {
+      EXPECT_FALSE(min_next < max_cur) << "slice " << k;
+    }
+  }
+}
+
+TEST(StreamingTest, RejectsBadArguments) {
+  auto table = MakeLabExamTable(SmallLab(), 5);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(MakeStreamingSlices(*table, 0.0, 2).ok());
+  EXPECT_FALSE(MakeStreamingSlices(*table, 1.5, 2).ok());
+  EXPECT_FALSE(
+      MakeStreamingSlices(*table, 0.5, 2,
+                          static_cast<int>(table->num_attributes()))
+          .ok());
+}
+
 TEST(SpecTest, SpecsValidate) {
   EXPECT_TRUE(ValidateSpec(MakeLabExamSpec({})).ok());
   EXPECT_TRUE(ValidateSpec(MakeCensusSpec({})).ok());

@@ -188,6 +188,66 @@ TEST(ProtocolTest, SearchAndInsertAndStatsRequestsRoundTrip) {
   EXPECT_EQ(stats_decoded->request_id, 80u);
 }
 
+TEST(ProtocolTest, AppendRequestAndResponseRoundTrip) {
+  Request append;
+  append.type = RequestType::kAppend;
+  append.request_id = 85;
+  append.deadline_ms = 400;
+  append.append.name = "t000009";
+  append.append.table = MakeWireTable();
+  auto decoded = DecodeRequest(EncodeRequest(append));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->type, RequestType::kAppend);
+  EXPECT_EQ(decoded->request_id, 85u);
+  EXPECT_EQ(decoded->deadline_ms, 400u);
+  EXPECT_EQ(decoded->append.name, "t000009");
+  ExpectBitIdenticalTables(append.append.table, decoded->append.table);
+
+  Response response;
+  response.request_id = 86;
+  response.type = RequestType::kAppend;
+  response.append.snapshot_version = 12;
+  response.append.catalog_entries = 30;
+  response.append.rows_total = 51234;
+  response.append.generation = 7;
+  auto response_decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(response_decoded.ok()) << response_decoded.status();
+  EXPECT_EQ(response_decoded->type, RequestType::kAppend);
+  EXPECT_EQ(response_decoded->append.snapshot_version, 12u);
+  EXPECT_EQ(response_decoded->append.catalog_entries, 30u);
+  EXPECT_EQ(response_decoded->append.rows_total, 51234u);
+  EXPECT_EQ(response_decoded->append.generation, 7u);
+}
+
+TEST(ProtocolTest, AppendFrameCorruptionAndTruncationAreDetected) {
+  Request append;
+  append.type = RequestType::kAppend;
+  append.request_id = 87;
+  append.append.name = "x";
+  append.append.table = MakeWireTable();
+  std::string frame = EncodeRequest(append);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string corrupted = frame;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5A);
+    EXPECT_FALSE(DecodeRequest(corrupted).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+  for (size_t keep = 0; keep < frame.size(); ++keep) {
+    EXPECT_FALSE(DecodeRequest(frame.substr(0, keep)).ok())
+        << "truncation to " << keep << " bytes accepted";
+  }
+
+  Response response;
+  response.request_id = 88;
+  response.type = RequestType::kAppend;
+  response.append.rows_total = 99;
+  std::string response_frame = EncodeResponse(response);
+  for (size_t keep = 0; keep < response_frame.size(); ++keep) {
+    EXPECT_FALSE(DecodeResponse(response_frame.substr(0, keep)).ok())
+        << "truncation to " << keep << " bytes accepted";
+  }
+}
+
 TEST(ProtocolTest, ResponsesRoundTripBitIdentically) {
   Response search;
   search.request_id = 91;
@@ -247,12 +307,14 @@ TEST(ProtocolTest, ResponsesRoundTripBitIdentically) {
   stats.stats.snapshot_version = 3;
   stats.stats.accepted_total = 100;
   stats.stats.shed_overload_total = 5;
+  stats.stats.appends_total = 11;
   stats.stats.stat_cache_hits = 42;
   auto stats_decoded = DecodeResponse(EncodeResponse(stats));
   ASSERT_TRUE(stats_decoded.ok()) << stats_decoded.status();
   EXPECT_EQ(stats_decoded->stats.snapshot_version, 3u);
   EXPECT_EQ(stats_decoded->stats.accepted_total, 100u);
   EXPECT_EQ(stats_decoded->stats.shed_overload_total, 5u);
+  EXPECT_EQ(stats_decoded->stats.appends_total, 11u);
   EXPECT_EQ(stats_decoded->stats.stat_cache_hits, 42u);
 }
 

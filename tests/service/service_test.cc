@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "depmatch/datagen/graph_corpus.h"
+#include "depmatch/graph/graph_builder.h"
 #include "depmatch/service/protocol.h"
 #include "depmatch/table/table.h"
 
@@ -85,6 +86,44 @@ void ExpectBitIdenticalSearch(const Response& served,
               std::bit_cast<uint64_t>(b.metric_value));
     EXPECT_EQ(a.pairs, b.pairs);
   }
+}
+
+// Row-wise concatenation through the public Table API — the reference
+// "cold" table an appended entry must be bit-identical to.
+Table ConcatRows(const Table& base, const Table& delta) {
+  TableBuilder builder(base.schema());
+  for (const Table* part : {&base, &delta}) {
+    for (size_t r = 0; r < part->num_rows(); ++r) {
+      for (size_t c = 0; c < part->num_attributes(); ++c) {
+        builder.AppendValue(c, part->GetValue(r, c));
+      }
+    }
+  }
+  Result<Table> table = std::move(builder).Build();
+  EXPECT_TRUE(table.ok());
+  return *std::move(table);
+}
+
+void ExpectBitIdenticalGraphs(const DependencyGraph& a,
+                              const DependencyGraph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.name(i), b.name(i));
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(a.mi(i, j)),
+                std::bit_cast<uint64_t>(b.mi(i, j)))
+          << "cell " << i << "," << j;
+    }
+  }
+}
+
+Request AppendRequestFor(std::string name, Table delta, uint64_t request_id) {
+  Request request;
+  request.type = RequestType::kAppend;
+  request.request_id = request_id;
+  request.append.name = std::move(name);
+  request.append.table = std::move(delta);
+  return request;
 }
 
 TEST(MatchServiceTest, StatsAnsweredInlineWithCatalogShape) {
@@ -207,6 +246,129 @@ TEST(MatchServiceTest, InsertRespectsReplaceExisting) {
   EXPECT_TRUE(replaced.insert.replaced);
   EXPECT_EQ(replaced.insert.snapshot_version, 2u);
   EXPECT_EQ(replaced.insert.catalog_entries, kCorpusEntries);
+}
+
+TEST(MatchServiceTest, AppendRefreshesEntryBitIdenticalToColdRebuild) {
+  ServiceOptions options;
+  options.snapshot_history = 8;
+  MatchService service(MakeCatalog(), options);
+
+  Table base = MakeSmallTable(50);
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.request_id = 20;
+  insert.insert.name = "live_entry";
+  insert.insert.payload = InsertPayload::kTable;
+  insert.insert.table = base;
+  ASSERT_EQ(service.Process(insert).status, WireStatus::kOk);
+
+  // Two appends; after each, the published entry graph must equal a
+  // cold BuildDependencyGraph over every row ingested so far — every
+  // double bit-equal — and the snapshot lineage must stay resolvable.
+  Table accumulated = base;
+  for (uint64_t step = 0; step < 2; ++step) {
+    Table delta = MakeSmallTable(60 + step * 17);
+    accumulated = ConcatRows(accumulated, delta);
+    Response appended = service.Process(
+        AppendRequestFor("live_entry", delta, 21 + step));
+    ASSERT_EQ(appended.status, WireStatus::kOk) << appended.message;
+    EXPECT_EQ(appended.append.snapshot_version, 3 + step);
+    EXPECT_EQ(appended.append.catalog_entries, kCorpusEntries + 1);
+    EXPECT_EQ(appended.append.rows_total, accumulated.num_rows());
+    EXPECT_EQ(appended.append.generation, 2 + step);
+
+    auto snapshot = service.SnapshotAt(appended.append.snapshot_version);
+    ASSERT_NE(snapshot, nullptr);
+    Result<size_t> entry = snapshot->catalog.Find("live_entry");
+    ASSERT_TRUE(entry.ok());
+    Result<DependencyGraph> cold = BuildDependencyGraph(accumulated);
+    ASSERT_TRUE(cold.ok());
+    ExpectBitIdenticalGraphs(snapshot->catalog.graph(*entry), *cold);
+  }
+
+  // The append path must not have dropped the tiered index: the
+  // published snapshot still carries one (widened in place, never
+  // rebuilt), and a served search against it is bit-identical to the
+  // direct call on the same snapshot.
+  auto current = service.snapshot();
+  EXPECT_TRUE(current->index_built);
+  EXPECT_NE(current->catalog.index(), nullptr);
+  Request search = SearchStoredRequest("live_entry", 3, 30);
+  Response served = service.Process(search);
+  ASSERT_EQ(served.status, WireStatus::kOk);
+  EXPECT_EQ(served.search.hits.front().name, "live_entry");
+  Response direct = MatchService::ExecuteSearchDirect(
+      search, *service.SnapshotAt(served.search.snapshot_version),
+      service.options());
+  ExpectBitIdenticalSearch(served, direct);
+
+  EXPECT_EQ(service.Stats().appends_total, 2u);
+}
+
+TEST(MatchServiceTest, AppendPreconditionsAreEnforced) {
+  MatchService service(MakeCatalog(), {});
+
+  // Unknown entry.
+  Response missing =
+      service.Process(AppendRequestFor("no_such_entry", MakeSmallTable(1), 40));
+  EXPECT_EQ(missing.status, WireStatus::kNotFound);
+
+  // Empty name.
+  Response unnamed = service.Process(AppendRequestFor("", MakeSmallTable(1), 41));
+  EXPECT_EQ(unnamed.status, WireStatus::kInvalidArgument);
+
+  // The corpus entries were seeded as graphs, not tables: no count
+  // state to extend.
+  Response blob = service.Process(
+      AppendRequestFor(CorpusEntryName(0), MakeSmallTable(1), 42));
+  EXPECT_EQ(blob.status, WireStatus::kFailedPrecondition);
+
+  // A table-backed entry loses its count state when replaced by a
+  // graph blob; appends must fail from then on instead of extending
+  // counts that no longer describe the entry.
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.request_id = 43;
+  insert.insert.name = "flip";
+  insert.insert.payload = InsertPayload::kTable;
+  insert.insert.table = MakeSmallTable(5);
+  ASSERT_EQ(service.Process(insert).status, WireStatus::kOk);
+  ASSERT_EQ(service
+                .Process(AppendRequestFor("flip", MakeSmallTable(6), 44))
+                .status,
+            WireStatus::kOk);
+
+  Request replace;
+  replace.type = RequestType::kInsert;
+  replace.request_id = 45;
+  replace.insert.name = "flip";
+  replace.insert.payload = InsertPayload::kGraphBlob;
+  replace.insert.graph = service.snapshot()->catalog.graph(
+      *service.snapshot()->catalog.Find("flip"));
+  ASSERT_EQ(service.Process(replace).status, WireStatus::kOk);
+  Response after_blob =
+      service.Process(AppendRequestFor("flip", MakeSmallTable(7), 46));
+  EXPECT_EQ(after_blob.status, WireStatus::kFailedPrecondition);
+
+  // A schema-mismatched delta is refused without mutating the entry.
+  Result<Schema> other_schema = Schema::Create({{"z", DataType::kString}});
+  ASSERT_TRUE(other_schema.ok());
+  TableBuilder other_builder(*other_schema);
+  other_builder.AppendValue(0, Value("zed"));
+  Result<Table> other = std::move(other_builder).Build();
+  ASSERT_TRUE(other.ok());
+  Request insert2;
+  insert2.type = RequestType::kInsert;
+  insert2.request_id = 47;
+  insert2.insert.name = "strict";
+  insert2.insert.payload = InsertPayload::kTable;
+  insert2.insert.table = MakeSmallTable(9);
+  ASSERT_EQ(service.Process(insert2).status, WireStatus::kOk);
+  uint64_t version_before = service.snapshot()->version;
+  Response mismatched =
+      service.Process(AppendRequestFor("strict", *std::move(other), 48));
+  EXPECT_EQ(mismatched.status, WireStatus::kInvalidArgument);
+  EXPECT_EQ(service.snapshot()->version, version_before);
 }
 
 TEST(MatchServiceTest, SnapshotHistoryIsBounded) {

@@ -184,6 +184,69 @@ TEST(StatCacheTest, EdgeMemoKeysOnOrientationPolicyAndTag) {
       cache.GetEdge(view, 0, 1, NullPolicy::kNullAsSymbol, 0, &value));
 }
 
+TEST(StatCacheTest, GenerationTagMakesStaleHitsImpossible) {
+  // Incremental-ingestion regression: a view tagged with a newer
+  // count-state generation must never hit an entry cached under an older
+  // one, for column and edge memos alike — even though table id, row
+  // digest, row count, column, and policy are all identical.
+  Table table = RandomTable(100, 3, 41);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  EXPECT_EQ(view.generation(), 0u);
+  EncodedTableView tagged = view.WithGeneration(0xfeedfacecafebeefULL);
+  EXPECT_EQ(tagged.generation(), 0xfeedfacecafebeefULL);
+
+  StatCache cache;
+  auto before = cache.Get(view, 0, NullPolicy::kNullAsSymbol);
+  auto after = cache.Get(tagged, 0, NullPolicy::kNullAsSymbol);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(cache.counters().misses, 2u);
+  EXPECT_EQ(cache.counters().hits, 0u);
+
+  double value = 0.0;
+  cache.PutEdge(view, 0, 1, NullPolicy::kNullAsSymbol, 0, 0.25);
+  EXPECT_FALSE(
+      cache.GetEdge(tagged, 0, 1, NullPolicy::kNullAsSymbol, 0, &value));
+  // Same generation still hits.
+  ASSERT_TRUE(
+      cache.GetEdge(view, 0, 1, NullPolicy::kNullAsSymbol, 0, &value));
+  EXPECT_EQ(value, 0.25);
+
+  // Derived views inherit the tag, so projections/selections of an
+  // appended-to table stay isolated from pre-append entries too.
+  auto projected = tagged.Project({1, 2});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->generation(), tagged.generation());
+  auto selected = tagged.SelectRows({1, 2, 3});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->generation(), tagged.generation());
+}
+
+TEST(StatCacheTest, EvictColumnsDropsExactlyTouchedEntries) {
+  Table table = RandomTable(90, 4, 43);
+  EncodedTableView view = EncodedTableView::FromTable(table);
+  StatCache cache;
+  for (size_t c = 0; c < 4; ++c) {
+    cache.Get(view, c, NullPolicy::kNullAsSymbol);
+  }
+  cache.PutEdge(view, 0, 1, NullPolicy::kNullAsSymbol, 0, 0.1);
+  cache.PutEdge(view, 2, 3, NullPolicy::kNullAsSymbol, 0, 0.2);
+  cache.PutEdge(view, 1, 3, NullPolicy::kNullAsSymbol, 0, 0.3);
+
+  // Evicting column 1 drops its marginal entry and both edges touching
+  // it, and nothing else. A foreign table id drops nothing.
+  EXPECT_EQ(cache.EvictColumns(view.base().id() + 1, {0, 1, 2, 3}), 0u);
+  EXPECT_EQ(cache.EvictColumns(view.base().id(), {1}), 3u);
+  StatCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.entries, 3u);
+  EXPECT_EQ(counters.edge_entries, 1u);
+  double value = 0.0;
+  EXPECT_FALSE(
+      cache.GetEdge(view, 0, 1, NullPolicy::kNullAsSymbol, 0, &value));
+  ASSERT_TRUE(
+      cache.GetEdge(view, 2, 3, NullPolicy::kNullAsSymbol, 0, &value));
+  EXPECT_EQ(value, 0.2);
+}
+
 TEST(StatCacheTest, ClearDropsEntriesButKeepsOutstandingPointers) {
   Table table = RandomTable(60, 2, 31);
   EncodedTableView view = EncodedTableView::FromTable(table);

@@ -186,6 +186,8 @@ void DeterminismPass::CheckRequiredSentinels(
       "src/depmatch/stats/joint_kernel.cc",
       "src/depmatch/stats/joint_sketch.cc",
       "src/depmatch/stats/stat_cache.cc",
+      "src/depmatch/stats/count_state.cc",
+      "src/depmatch/graph/incremental_builder.cc",
       "src/depmatch/table/encoded_column.cc",
       "src/depmatch/match/score_kernel.cc",
       "src/depmatch/match/annealing_matcher.cc",

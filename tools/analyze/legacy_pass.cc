@@ -232,6 +232,17 @@ void LegacyPass::Collect(const SourceFile& file) {
     }
     status_fns_.insert(name);
   }
+  // Harvest void-returning declarations of the same shape. A name that
+  // appears with BOTH a Status/Result and a void return type is
+  // ambiguous at name level (e.g. ColumnBuilder::Append vs
+  // TableCountState::Append) and is dropped from the rule in Check —
+  // flagging every void call site would drown the real findings.
+  static const std::regex kVoidDecl(
+      R"((?:^|[;{}\s])void\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kVoidDecl);
+       it != std::sregex_iterator(); ++it) {
+    void_fns_.insert((*it)[1].str());
+  }
 }
 
 void LegacyPass::Check(const SourceFile& file,
@@ -248,6 +259,7 @@ void LegacyPass::Check(const SourceFile& file,
       if (HasTopLevelAssignment(stmt.text)) continue;
       std::string name = OutermostCallName(stmt.text);
       if (name.empty() || status_fns_.count(name) == 0) continue;
+      if (void_fns_.count(name) != 0) continue;  // ambiguous overload set
       Report(file, stmt.line, "discarded-status",
              "result of '" + name +
                  "' (returns Status/Result) is discarded; check it, "

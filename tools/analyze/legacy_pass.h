@@ -38,6 +38,11 @@ class LegacyPass {
 
  private:
   std::set<std::string> status_fns_;
+  // Names that ALSO appear with a void return type somewhere in src/.
+  // Name-level matching cannot tell the overloads apart, so ambiguous
+  // names are excluded from the discarded-status rule rather than
+  // flooding every void call site with false positives.
+  std::set<std::string> void_fns_;
 };
 
 }  // namespace depmatch_analyze

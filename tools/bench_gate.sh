@@ -31,6 +31,12 @@
 #   catalog        first 1 x prefilter_parallel_min_ms (top-k search)
 #   catalog_scale  first 3 x search_min_ms (10K/50K/100K-entry tiers)
 #   service        first 1 x serve_p99_ms  (1-client served search p99)
+#   incremental    first 1 x append_speedup_x (append-vs-rebuild ratio;
+#                  higher is better — gated with the `max` direction)
+#
+# A spec's optional 4th field is the direction: `min` (default; lower is
+# better, fresh must stay under committed * (1 + tol)) or `max` (higher
+# is better, fresh must stay over committed * (1 - tol)).
 #
 # Exit code: 0 on pass/skip, 1 on any regression or measurement failure.
 
@@ -50,7 +56,7 @@ ATTEMPTS="${BENCH_GATE_ATTEMPTS:-2}"
 BUILD="${BENCH_GATE_BUILD:-$ROOT/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-# bench-name : headline key : expected count
+# bench-name : headline key : expected count [: direction]
 SPECS="
 graph_build:dense_min_ms:2
 match_search:new_min_ms:2
@@ -58,6 +64,7 @@ pipeline:cached_min_ms:1
 catalog:prefilter_parallel_min_ms:1
 catalog_scale:search_min_ms:3
 service:serve_p99_ms:1
+incremental:append_speedup_x:1:max
 "
 
 ONLY="${1:-}"
@@ -68,14 +75,20 @@ headline_minima() {  # json-file key count
   grep -o "\"$2\": *[0-9.]*" "$1" | grep -o '[0-9.]*$' | head -"$3"
 }
 
-compare() {  # bench-name committed-minima-file best-minima-file
-  paste "$2" "$3" | awk -v tol="$TOLERANCE" -v bench="$1" '
+compare() {  # bench-name committed-file best-file direction
+  paste "$2" "$3" | awk -v tol="$TOLERANCE" -v bench="$1" -v dir="$4" '
     NF == 2 {
-      limit = $1 * (1 + tol / 100)
-      verdict = ($2 <= limit) ? "ok" : "REGRESSION"
-      printf "bench_gate: %-13s #%d  committed %8.2f ms   fresh %8.2f ms   %s\n",
+      if (dir == "max") {
+        limit = $1 * (1 - tol / 100)
+        bad = ($2 < limit)
+      } else {
+        limit = $1 * (1 + tol / 100)
+        bad = ($2 > limit)
+      }
+      verdict = bad ? "REGRESSION" : "ok"
+      printf "bench_gate: %-13s #%d  committed %8.2f      fresh %8.2f      %s\n",
              bench, NR, $1, $2, verdict
-      if ($2 > limit) failed = 1
+      if (bad) failed = 1
     }
     NF == 1 {
       printf "bench_gate: %-13s #%d  present in only one file; skipped\n",
@@ -85,8 +98,8 @@ compare() {  # bench-name committed-minima-file best-minima-file
   '
 }
 
-gate_one() {  # bench-name key count
-  local name="$1" key="$2" count="$3"
+gate_one() {  # bench-name key count direction
+  local name="$1" key="$2" count="$3" dir="$4"
   local committed="$ROOT/BENCH_$name.json"
   if [ ! -f "$committed" ]; then
     echo "bench_gate: $name skipped (no committed $committed)"
@@ -115,15 +128,19 @@ gate_one() {  # bench-name key count
       echo "bench_gate: FAIL (bench_$name run failed)"
       break
     fi
-    # Fold this attempt into the element-wise best-so-far minima.
+    # Fold this attempt into the element-wise best-so-far values (the
+    # minimum for min-direction headlines, the maximum for max).
     if [ -s "$best" ]; then
       paste "$best" <(headline_minima "$fresh" "$key" "$count") \
-        | awk '{ print (NF == 2 && $2 < $1) ? $2 : $1 }' > "$best.next"
+        | awk -v dir="$dir" '{
+            better = (dir == "max") ? ($2 > $1) : ($2 < $1)
+            print (NF == 2 && better) ? $2 : $1
+          }' > "$best.next"
       mv "$best.next" "$best"
     else
       headline_minima "$fresh" "$key" "$count" > "$best"
     fi
-    if compare "$name" "$committed_minima" "$best"; then
+    if compare "$name" "$committed_minima" "$best" "$dir"; then
       rc=0
       break
     fi
@@ -143,12 +160,17 @@ for spec in $SPECS; do
   name="${spec%%:*}"
   rest="${spec#*:}"
   key="${rest%%:*}"
-  count="${rest##*:}"
+  rest="${rest#*:}"
+  count="${rest%%:*}"
+  case "$rest" in
+    *:*) dir="${rest#*:}" ;;
+    *) dir="min" ;;
+  esac
   if [ -n "$ONLY" ] && [ "$name" != "$ONLY" ]; then
     continue
   fi
   matched=$((matched + 1))
-  gate_one "$name" "$key" "$count" || failures=$((failures + 1))
+  gate_one "$name" "$key" "$count" "$dir" || failures=$((failures + 1))
 done
 
 if [ -n "$ONLY" ] && [ "$matched" -eq 0 ]; then

@@ -101,12 +101,14 @@ else
   if cmake --preset asan >/dev/null \
       && cmake --build --preset asan -j "$JOBS" \
           --target bench_match_search bench_graph_build bench_pipeline \
-          bench_catalog bench_catalog_scale bench_service tsan_stress_test \
+          bench_catalog bench_catalog_scale bench_service \
+          bench_incremental tsan_stress_test \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_match_search --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_pipeline --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_catalog --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_catalog_scale --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_service --smoke \
+      && ASAN_OPTIONS=detect_leaks=1 ./build-asan/bench/bench_incremental --smoke \
       && ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/tsan_stress_test; then
     echo "asan smoke clean"
   else
@@ -118,13 +120,14 @@ else
   if cmake --preset tsan >/dev/null \
       && cmake --build --preset tsan -j "$JOBS" \
           --target tsan_stress_test bench_match_search bench_pipeline \
-          bench_catalog bench_catalog_scale bench_service \
+          bench_catalog bench_catalog_scale bench_service bench_incremental \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/tsan_stress_test \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_match_search --smoke \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_pipeline --smoke \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_catalog --smoke \
       && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_catalog_scale --smoke \
-      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_service --smoke; then
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_service --smoke \
+      && TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_incremental --smoke; then
     echo "tsan stress clean"
   else
     fail "TSan stress failed"

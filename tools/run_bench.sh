@@ -12,6 +12,9 @@
 #   BENCH_service.json       matching-as-a-service daemon: sustained QPS
 #                            and p50/p99 served latency at 1/4/16 closed-
 #                            loop clients, plus overload shedding
+#   BENCH_incremental.json   incremental Table2DepGraph: fork + Append +
+#                            Refresh vs cold full rebuild at 50K lab rows
+#                            with 1%/5%/25% date-partitioned appends
 #
 # Usage: tools/run_bench.sh [build_dir]
 #   build_dir        defaults to <repo>/build
@@ -25,10 +28,12 @@ BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_graph_build bench_match_search \
-  bench_pipeline bench_catalog bench_catalog_scale bench_service
+  bench_pipeline bench_catalog bench_catalog_scale bench_service \
+  bench_incremental
 "$BUILD/bench/bench_graph_build" "$ROOT/BENCH_graph_build.json"
 "$BUILD/bench/bench_match_search" "$ROOT/BENCH_match_search.json"
 "$BUILD/bench/bench_pipeline" "$ROOT/BENCH_pipeline.json"
 "$BUILD/bench/bench_catalog" "$ROOT/BENCH_catalog.json"
 "$BUILD/bench/bench_catalog_scale" "$ROOT/BENCH_catalog_scale.json"
 "$BUILD/bench/bench_service" "$ROOT/BENCH_service.json"
+"$BUILD/bench/bench_incremental" "$ROOT/BENCH_incremental.json"
